@@ -1,0 +1,135 @@
+//! Greedy beam search over subspaces — the classic heuristic subspace
+//! explorer (in the lineage of bottom-up subspace search): grow views one
+//! column at a time, keeping the `beam_width` best prefixes per level.
+
+use ziggy_store::{Bitmask, StatsCache, Table};
+
+use crate::centroid::centroid_distance;
+use crate::{rank_and_select_disjoint, BaselineView};
+
+/// Beam search: level 1 scores all single numeric columns; each further
+/// level extends the surviving beams by one unused column and keeps the
+/// best `beam_width`. All beams ever produced compete for the final
+/// ranking.
+pub fn beam_search(
+    table: &Table,
+    cache: &StatsCache<'_>,
+    mask: &Bitmask,
+    max_size: usize,
+    beam_width: usize,
+    max_views: usize,
+) -> Vec<BaselineView> {
+    let numeric = table.numeric_indices();
+    let score = |cols: &[usize]| centroid_distance(table, cache, mask, cols);
+
+    let mut all: Vec<BaselineView> = Vec::new();
+    let mut beam: Vec<BaselineView> = numeric
+        .iter()
+        .map(|&c| BaselineView {
+            columns: vec![c],
+            score: score(&[c]),
+        })
+        .collect();
+    beam.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    beam.truncate(beam_width);
+    all.extend(beam.clone());
+
+    for _level in 2..=max_size {
+        let mut next: Vec<BaselineView> = Vec::new();
+        for prefix in &beam {
+            for &c in &numeric {
+                if prefix.columns.contains(&c) {
+                    continue;
+                }
+                let mut cols = prefix.columns.clone();
+                cols.push(c);
+                cols.sort_unstable();
+                if next.iter().any(|v| v.columns == cols) {
+                    continue;
+                }
+                let s = score(&cols);
+                next.push(BaselineView {
+                    columns: cols,
+                    score: s,
+                });
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        next.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        next.truncate(beam_width);
+        all.extend(next.clone());
+        beam = next;
+    }
+    rank_and_select_disjoint(all, max_views)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziggy_store::{eval::select, TableBuilder};
+
+    fn fixture() -> (Table, Bitmask) {
+        let n = 300usize;
+        let mut b = TableBuilder::new();
+        b.add_numeric("key", (0..n).map(|i| i as f64).collect());
+        b.add_numeric(
+            "s0",
+            (0..n)
+                .map(|i| if i >= 250 { 12.0 } else { 0.0 } + ((i * 13) % 5) as f64)
+                .collect(),
+        );
+        b.add_numeric(
+            "s1",
+            (0..n)
+                .map(|i| if i >= 250 { 9.0 } else { 0.0 } + ((i * 7) % 5) as f64)
+                .collect(),
+        );
+        b.add_numeric("n0", (0..n).map(|i| ((i * 7919) % 23) as f64).collect());
+        b.add_numeric("n1", (0..n).map(|i| ((i * 104729) % 31) as f64).collect());
+        let t = b.build().unwrap();
+        let mask = select(&t, "key >= 250").unwrap();
+        (t, mask)
+    }
+
+    #[test]
+    fn beam_finds_shifted_columns() {
+        let (t, mask) = fixture();
+        let cache = StatsCache::new(&t);
+        let views = beam_search(&t, &cache, &mask, 2, 3, 2);
+        assert!(!views.is_empty());
+        let top = &views[0].columns;
+        // Top view must include at least one strongly shifted column.
+        assert!(
+            top.contains(&0) || top.contains(&1) || top.contains(&2),
+            "top beam view {top:?}"
+        );
+    }
+
+    #[test]
+    fn wider_beam_never_worse() {
+        let (t, mask) = fixture();
+        let cache = StatsCache::new(&t);
+        let narrow = beam_search(&t, &cache, &mask, 3, 1, 1);
+        let wide = beam_search(&t, &cache, &mask, 3, 8, 1);
+        assert!(wide[0].score >= narrow[0].score - 1e-12);
+    }
+
+    #[test]
+    fn respects_max_size() {
+        let (t, mask) = fixture();
+        let cache = StatsCache::new(&t);
+        for v in beam_search(&t, &cache, &mask, 2, 4, 10) {
+            assert!(v.columns.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn single_level_matches_singletons() {
+        let (t, mask) = fixture();
+        let cache = StatsCache::new(&t);
+        let views = beam_search(&t, &cache, &mask, 1, 10, 10);
+        assert!(views.iter().all(|v| v.columns.len() == 1));
+    }
+}

@@ -1,0 +1,129 @@
+//! Centroid-distance scoring — the simplest divergence the paper cites
+//! ("the distance between the centroids", §2.1).
+
+use ziggy_store::{masked_uni, Bitmask, StatsCache, Table};
+
+use crate::{rank_and_select_disjoint, BaselineView};
+
+/// Standardized centroid distance of a column set: the Euclidean norm of
+/// the per-column `(mean_in − mean_out) / sd_whole` vector. Columns whose
+/// whole-table dispersion is degenerate contribute 0.
+pub fn centroid_distance(
+    table: &Table,
+    cache: &StatsCache<'_>,
+    mask: &Bitmask,
+    columns: &[usize],
+) -> f64 {
+    let mut sum_sq = 0.0;
+    for &col in columns {
+        let Ok(inside) = masked_uni(table, col, mask) else {
+            continue;
+        };
+        let Ok(outside) = cache.uni_complement(col, &inside) else {
+            continue;
+        };
+        if inside.count() == 0 || outside.count() == 0 {
+            continue;
+        }
+        let Ok(whole) = cache.uni(col) else { continue };
+        let Ok(sd) = whole.std_dev() else { continue };
+        if sd <= 0.0 {
+            continue;
+        }
+        let d = (inside.mean() - outside.mean()) / sd;
+        sum_sq += d * d;
+    }
+    sum_sq.sqrt()
+}
+
+/// Centroid-distance subspace search: every numeric column and (when
+/// `pairwise`) every pair, scored by standardized centroid distance.
+pub fn centroid_search(
+    table: &Table,
+    cache: &StatsCache<'_>,
+    mask: &Bitmask,
+    max_views: usize,
+    pairwise: bool,
+) -> Vec<BaselineView> {
+    let numeric = table.numeric_indices();
+    let mut views: Vec<BaselineView> = numeric
+        .iter()
+        .map(|&c| BaselineView {
+            columns: vec![c],
+            score: centroid_distance(table, cache, mask, &[c]),
+        })
+        .collect();
+    if pairwise {
+        for (i, &a) in numeric.iter().enumerate() {
+            for &b in &numeric[i + 1..] {
+                views.push(BaselineView {
+                    columns: vec![a, b],
+                    score: centroid_distance(table, cache, mask, &[a, b]),
+                });
+            }
+        }
+    }
+    rank_and_select_disjoint(views, max_views)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziggy_store::{eval::select, TableBuilder};
+
+    fn fixture() -> (Table, Bitmask) {
+        let n = 400usize;
+        let mut b = TableBuilder::new();
+        b.add_numeric("key", (0..n).map(|i| i as f64).collect());
+        b.add_numeric(
+            "shift_big",
+            (0..n)
+                .map(|i| if i >= 300 { 20.0 } else { 0.0 } + ((i * 13) % 5) as f64)
+                .collect(),
+        );
+        b.add_numeric(
+            "shift_small",
+            (0..n)
+                .map(|i| if i >= 300 { 1.0 } else { 0.0 } + ((i * 29) % 5) as f64)
+                .collect(),
+        );
+        b.add_numeric("flat", vec![5.0; n]);
+        let t = b.build().unwrap();
+        let mask = select(&t, "key >= 300").unwrap();
+        (t, mask)
+    }
+
+    #[test]
+    fn bigger_shift_bigger_distance() {
+        let (t, mask) = fixture();
+        let cache = StatsCache::new(&t);
+        let big = centroid_distance(&t, &cache, &mask, &[1]);
+        let small = centroid_distance(&t, &cache, &mask, &[2]);
+        assert!(big > small, "{big} vs {small}");
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn distance_is_monotone_in_columns() {
+        let (t, mask) = fixture();
+        let cache = StatsCache::new(&t);
+        let one = centroid_distance(&t, &cache, &mask, &[1]);
+        let two = centroid_distance(&t, &cache, &mask, &[1, 2]);
+        assert!(two >= one);
+    }
+
+    #[test]
+    fn constant_column_contributes_zero() {
+        let (t, mask) = fixture();
+        let cache = StatsCache::new(&t);
+        assert_eq!(centroid_distance(&t, &cache, &mask, &[3]), 0.0);
+    }
+
+    #[test]
+    fn search_ranks_big_shift_first() {
+        let (t, mask) = fixture();
+        let cache = StatsCache::new(&t);
+        let views = centroid_search(&t, &cache, &mask, 2, false);
+        assert_eq!(views[0].columns, vec![1]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Clique-based candidate generation — the alternative the paper names
+//! for Ziggy's view-search stage: "it materializes the graph formed by
+//! the column's pairwise dependencies, and partitions it with a clique
+//! search or clustering algorithm" (§3).
+//!
+//! Edges connect column pairs with dependence ≥ `MIN_tight`; maximal
+//! cliques are then *exactly* the maximal tight column sets (no
+//! complete-linkage approximation). The price is worst-case exponential
+//! enumeration, bounded here by a clique-count budget.
+
+use ziggy_core::graph::DependencyGraph;
+
+/// Error raised when the clique enumeration exceeds its budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliqueBudgetExceeded {
+    /// The configured budget.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for CliqueBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "maximal-clique enumeration exceeded the budget of {}",
+            self.budget
+        )
+    }
+}
+
+impl std::error::Error for CliqueBudgetExceeded {}
+
+/// Enumerates maximal cliques of the thresholded dependency graph with
+/// Bron–Kerbosch (pivoting). Returns cliques as sorted *table column
+/// index* sets (consistent with Ziggy's candidate representation), with
+/// isolated vertices included as singleton cliques.
+pub fn maximal_cliques(
+    graph: &DependencyGraph,
+    min_tightness: f64,
+    budget: usize,
+) -> Result<Vec<Vec<usize>>, CliqueBudgetExceeded> {
+    let n = graph.len();
+    let adj: Vec<Vec<bool>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| i != j && graph.similarity(i, j) >= min_tightness)
+                .collect()
+        })
+        .collect();
+
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    let mut r: Vec<usize> = Vec::new();
+    let p: Vec<usize> = (0..n).collect();
+    let x: Vec<usize> = Vec::new();
+    bron_kerbosch(&adj, &mut r, p, x, &mut cliques, budget)?;
+
+    // Map positions → table columns, sort for determinism.
+    let mut out: Vec<Vec<usize>> = cliques
+        .into_iter()
+        .map(|c| {
+            let mut cols: Vec<usize> = c.iter().map(|&p| graph.columns()[p]).collect();
+            cols.sort_unstable();
+            cols
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn bron_kerbosch(
+    adj: &[Vec<bool>],
+    r: &mut Vec<usize>,
+    p: Vec<usize>,
+    x: Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+    budget: usize,
+) -> Result<(), CliqueBudgetExceeded> {
+    if out.len() >= budget {
+        return Err(CliqueBudgetExceeded { budget });
+    }
+    if p.is_empty() && x.is_empty() {
+        out.push(r.clone());
+        return Ok(());
+    }
+    // Pivot: vertex of P ∪ X with most neighbours in P.
+    let pivot = p
+        .iter()
+        .chain(&x)
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&v| adj[u][v]).count())
+        .expect("P ∪ X non-empty");
+    let candidates: Vec<usize> = p.iter().copied().filter(|&v| !adj[pivot][v]).collect();
+    let mut p = p;
+    let mut x = x;
+    for v in candidates {
+        r.push(v);
+        let p_next: Vec<usize> = p.iter().copied().filter(|&w| adj[v][w]).collect();
+        let x_next: Vec<usize> = x.iter().copied().filter(|&w| adj[v][w]).collect();
+        bron_kerbosch(adj, r, p_next, x_next, out, budget)?;
+        r.pop();
+        p.retain(|&w| w != v);
+        x.push(v);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziggy_core::config::DependenceKind;
+    use ziggy_store::{StatsCache, Table, TableBuilder};
+
+    /// Columns 0-2 mutually dependent, 3-4 dependent, 5 isolated.
+    fn blocky() -> Table {
+        let n = 400usize;
+        let sig_a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin() * 10.0).collect();
+        let sig_b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos() * 10.0).collect();
+        let noise = |i: usize, k: usize| ((i * (17 + k * 13)) % 11) as f64 * 0.05;
+        let mut b = TableBuilder::new();
+        b.add_numeric(
+            "a0",
+            sig_a
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v + noise(i, 0))
+                .collect(),
+        );
+        b.add_numeric(
+            "a1",
+            sig_a
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * 2.0 + noise(i, 1))
+                .collect(),
+        );
+        b.add_numeric(
+            "a2",
+            sig_a
+                .iter()
+                .enumerate()
+                .map(|(i, v)| -v + noise(i, 2))
+                .collect(),
+        );
+        b.add_numeric(
+            "b0",
+            sig_b
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v + noise(i, 3))
+                .collect(),
+        );
+        b.add_numeric(
+            "b1",
+            sig_b
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * 1.4 + noise(i, 4))
+                .collect(),
+        );
+        b.add_numeric("lone", (0..n).map(|i| ((i * 7919) % 89) as f64).collect());
+        b.build().unwrap()
+    }
+
+    fn graph(t: &Table) -> DependencyGraph {
+        let cache = StatsCache::new(t);
+        DependencyGraph::build(&cache, (0..6).collect(), DependenceKind::Pearson, 8).unwrap()
+    }
+
+    #[test]
+    fn cliques_match_blocks() {
+        let t = blocky();
+        let g = graph(&t);
+        let cliques = maximal_cliques(&g, 0.5, 10_000).unwrap();
+        assert!(cliques.contains(&vec![0, 1, 2]), "{cliques:?}");
+        assert!(cliques.contains(&vec![3, 4]), "{cliques:?}");
+        assert!(cliques.contains(&vec![5]), "{cliques:?}");
+    }
+
+    #[test]
+    fn cliques_are_tight() {
+        let t = blocky();
+        let g = graph(&t);
+        for clique in maximal_cliques(&g, 0.6, 10_000).unwrap() {
+            let positions: Vec<usize> = clique
+                .iter()
+                .map(|c| g.columns().iter().position(|x| x == c).unwrap())
+                .collect();
+            assert!(
+                g.tightness(&positions) >= 0.6 - 1e-9,
+                "clique {clique:?} not tight"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_one_gives_singletons() {
+        let t = blocky();
+        let g = graph(&t);
+        let cliques = maximal_cliques(&g, 1.01, 10_000).unwrap();
+        assert_eq!(cliques.len(), 6);
+        assert!(cliques.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn budget_guard() {
+        let t = blocky();
+        let g = graph(&t);
+        // Budget 0 trips immediately on any enumeration effort.
+        assert!(maximal_cliques(&g, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn cliques_feed_ziggy_search() {
+        // The paper's "clique search" variant: candidates from cliques,
+        // scored and selected by the normal Ziggy machinery.
+        use ziggy_core::config::ZiggyConfig;
+        use ziggy_core::prepare::prepare;
+        use ziggy_core::search::search;
+        use ziggy_store::eval::select;
+
+        let t = blocky();
+        let g = graph(&t);
+        let cache = StatsCache::new(&t);
+        let mask = select(&t, "a0 >= 0").unwrap();
+        let prepared = prepare(
+            &cache,
+            &mask,
+            &(0..6).collect::<Vec<_>>(),
+            &ZiggyConfig::default(),
+        )
+        .unwrap();
+        let cliques = maximal_cliques(&g, 0.5, 10_000).unwrap();
+        let views = search(cliques, &prepared, &ZiggyConfig::default());
+        assert!(!views.is_empty());
+        // Disjointness still enforced downstream.
+        let mut seen = Vec::new();
+        for v in &views {
+            for c in &v.columns {
+                assert!(!seen.contains(c));
+                seen.push(*c);
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Kullback–Leibler subspace scoring — the archetypal "black box"
+//! divergence the paper contrasts with the Zig-Dissimilarity: it says how
+//! much the selection differs, but not why.
+
+use ziggy_stats::{Histogram, PairMoments, UniMoments};
+use ziggy_store::{masked_pair, masked_uni, Bitmask, StatsCache, Table};
+
+use crate::{rank_and_select_disjoint, BaselineView};
+
+/// Closed-form KL divergence between two univariate Gaussians fitted to
+/// the moment sketches: `KL(N_in ‖ N_out)`.
+pub fn gaussian_kl_1d(inside: &UniMoments, outside: &UniMoments) -> Option<f64> {
+    if inside.count() < 2 || outside.count() < 2 {
+        return None;
+    }
+    let vi = inside.variance().ok()?;
+    let vo = outside.variance().ok()?;
+    if vi <= 0.0 || vo <= 0.0 {
+        return None;
+    }
+    let dm = inside.mean() - outside.mean();
+    Some(0.5 * ((vo / vi).ln() + (vi + dm * dm) / vo - 1.0).max(0.0))
+}
+
+/// Closed-form KL divergence between two bivariate Gaussians fitted to
+/// the pair sketches.
+pub fn gaussian_kl_2d(inside: &PairMoments, outside: &PairMoments) -> Option<f64> {
+    if inside.count() < 3 || outside.count() < 3 {
+        return None;
+    }
+    // Covariance matrices [[a, c], [c, b]].
+    let cov = |m: &PairMoments| -> Option<(f64, f64, f64)> {
+        let a = m.x_moments().variance().ok()?;
+        let b = m.y_moments().variance().ok()?;
+        let c = m.covariance().ok()?;
+        Some((a, b, c))
+    };
+    let (a1, b1, c1) = cov(inside)?;
+    let (a0, b0, c0) = cov(outside)?;
+    let det1 = a1 * b1 - c1 * c1;
+    let det0 = a0 * b0 - c0 * c0;
+    if det1 <= 0.0 || det0 <= 0.0 {
+        return None;
+    }
+    // Σ0⁻¹ = 1/det0 · [[b0, −c0], [−c0, a0]].
+    let inv = (b0 / det0, a0 / det0, -c0 / det0);
+    // tr(Σ0⁻¹ Σ1).
+    let trace = inv.0 * a1 + 2.0 * inv.2 * c1 + inv.1 * b1;
+    let dx = inside.mean_x() - outside.mean_x();
+    let dy = inside.mean_y() - outside.mean_y();
+    // Mahalanobis term dᵀ Σ0⁻¹ d.
+    let maha = inv.0 * dx * dx + 2.0 * inv.2 * dx * dy + inv.1 * dy * dy;
+    Some(0.5 * (trace + maha - 2.0 + (det0 / det1).ln()).max(0.0))
+}
+
+/// Histogram-based (non-parametric) KL with add-half smoothing, sharing
+/// the bucket grid between the two sides.
+pub fn histogram_kl(inside: &[f64], outside: &[f64], bins: usize) -> Option<f64> {
+    let all: Vec<f64> = inside.iter().chain(outside).copied().collect();
+    let range = Histogram::from_data(&all, bins).ok()?;
+    let mut hi = Histogram::new(range.lo(), range.hi(), bins).ok()?;
+    let mut ho = Histogram::new(range.lo(), range.hi(), bins).ok()?;
+    for &v in inside {
+        hi.push(v);
+    }
+    for &v in outside {
+        ho.push(v);
+    }
+    if hi.total() == 0 || ho.total() == 0 {
+        return None;
+    }
+    let smooth = |h: &Histogram| -> Vec<f64> {
+        let n = h.total() as f64 + 0.5 * h.bins() as f64;
+        h.counts().iter().map(|&c| (c as f64 + 0.5) / n).collect()
+    };
+    let pi = smooth(&hi);
+    let po = smooth(&ho);
+    Some(
+        pi.iter()
+            .zip(&po)
+            .map(|(&p, &q)| if p > 0.0 { p * (p / q).ln() } else { 0.0 })
+            .sum::<f64>()
+            .max(0.0),
+    )
+}
+
+/// KL-based subspace search: scores every numeric column (1D) and — when
+/// `pairwise` — every numeric pair (2D) with Gaussian KL, then returns
+/// the top disjoint views. No tightness constraint, no explanations: the
+/// black-box straw man.
+pub fn kl_search(
+    table: &Table,
+    cache: &StatsCache<'_>,
+    mask: &Bitmask,
+    max_views: usize,
+    pairwise: bool,
+) -> Vec<BaselineView> {
+    let numeric = table.numeric_indices();
+    let mut views = Vec::new();
+    let mut inside_uni = std::collections::HashMap::new();
+    for &col in &numeric {
+        let Ok(inside) = masked_uni(table, col, mask) else {
+            continue;
+        };
+        let Ok(outside) = cache.uni_complement(col, &inside) else {
+            continue;
+        };
+        if let Some(kl) = gaussian_kl_1d(&inside, &outside) {
+            views.push(BaselineView {
+                columns: vec![col],
+                score: kl,
+            });
+        }
+        inside_uni.insert(col, inside);
+    }
+    if pairwise {
+        for (i, &a) in numeric.iter().enumerate() {
+            for &b in &numeric[i + 1..] {
+                let Ok(inside) = masked_pair(table, a, b, mask) else {
+                    continue;
+                };
+                let Ok(outside) = cache.pair_complement(a, b, &inside) else {
+                    continue;
+                };
+                if let Some(kl) = gaussian_kl_2d(&inside, &outside) {
+                    views.push(BaselineView {
+                        columns: vec![a, b],
+                        score: kl,
+                    });
+                }
+            }
+        }
+    }
+    rank_and_select_disjoint(views, max_views)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziggy_store::{eval::select, TableBuilder};
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn kl_1d_identical_is_zero() {
+        let m = UniMoments::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        close(gaussian_kl_1d(&m, &m).unwrap(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn kl_1d_known_value() {
+        // N(1, 1) vs N(0, 1): KL = μ²/2 = 0.5. Build samples with unit
+        // sample variance and the right means.
+        let a = UniMoments::from_slice(&[0.0, 2.0]); // mean 1, var 2 → not unit.
+        let b = UniMoments::from_slice(&[-1.0, 1.0]); // mean 0, var 2.
+                                                      // Same variance cancels the log/trace terms: KL = dm²/(2σ²) = 1/4.
+        close(gaussian_kl_1d(&a, &b).unwrap(), 0.25, 1e-12);
+    }
+
+    #[test]
+    fn kl_1d_degenerate_none() {
+        let c = UniMoments::from_slice(&[5.0, 5.0, 5.0]);
+        let v = UniMoments::from_slice(&[1.0, 2.0, 3.0]);
+        assert!(gaussian_kl_1d(&c, &v).is_none());
+        assert!(gaussian_kl_1d(&v, &UniMoments::from_slice(&[1.0])).is_none());
+    }
+
+    #[test]
+    fn kl_2d_identical_is_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 7.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 6.0];
+        let m = PairMoments::from_slices(&xs, &ys).unwrap();
+        close(gaussian_kl_2d(&m, &m).unwrap(), 0.0, 1e-10);
+    }
+
+    #[test]
+    fn kl_2d_grows_with_mean_shift() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
+        let base = PairMoments::from_slices(&xs, &ys).unwrap();
+        let shifted_small: Vec<f64> = xs.iter().map(|x| x + 1.0).collect();
+        let shifted_big: Vec<f64> = xs.iter().map(|x| x + 5.0).collect();
+        let m_small = PairMoments::from_slices(&shifted_small, &ys).unwrap();
+        let m_big = PairMoments::from_slices(&shifted_big, &ys).unwrap();
+        let kl_small = gaussian_kl_2d(&m_small, &base).unwrap();
+        let kl_big = gaussian_kl_2d(&m_big, &base).unwrap();
+        assert!(kl_big > kl_small);
+        assert!(kl_small > 0.0);
+    }
+
+    #[test]
+    fn histogram_kl_behaviour() {
+        let a: Vec<f64> = (0..500).map(|i| (i % 100) as f64).collect();
+        let same = histogram_kl(&a, &a, 10).unwrap();
+        close(same, 0.0, 1e-9);
+        let b: Vec<f64> = (0..500).map(|i| (i % 100) as f64 + 200.0).collect();
+        let diff = histogram_kl(&a, &b, 10).unwrap();
+        assert!(
+            diff > 1.0,
+            "disjoint supports must give large KL, got {diff}"
+        );
+    }
+
+    #[test]
+    fn kl_search_finds_planted_column() {
+        let n = 500usize;
+        let mut b = TableBuilder::new();
+        b.add_numeric("key", (0..n).map(|i| i as f64).collect());
+        b.add_numeric(
+            "planted",
+            (0..n)
+                .map(|i| if i >= 400 { 30.0 } else { 0.0 } + ((i * 13) % 7) as f64)
+                .collect(),
+        );
+        b.add_numeric("noise", (0..n).map(|i| ((i * 7919) % 100) as f64).collect());
+        let t = b.build().unwrap();
+        let cache = StatsCache::new(&t);
+        let mask = select(&t, "key >= 400").unwrap();
+        let views = kl_search(&t, &cache, &mask, 3, true);
+        assert!(!views.is_empty());
+        let planted = t.index_of("planted").unwrap();
+        assert!(
+            views[0].columns.contains(&planted),
+            "top KL view {:?} should include the planted column",
+            views[0]
+        );
+    }
+}

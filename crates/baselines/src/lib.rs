@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+
+//! Baseline methods Ziggy is compared against.
+//!
+//! The paper positions Ziggy against two families of alternatives
+//! (§1, and the full paper's evaluation):
+//!
+//! * **Black-box subspace search** — rank column subsets by an opaque
+//!   divergence score. Implemented here with Kullback–Leibler divergence
+//!   ([`kl`]), centroid distance ([`centroid`]), exhaustive bounded
+//!   enumeration ([`exhaustive`]) and greedy beam search ([`beam`]).
+//!   These find *where* the selection differs but cannot say *why* —
+//!   that contrast is the paper's core argument for the Zig-Dissimilarity.
+//! * **Dimensionality reduction** — PCA ([`pca`], Jacobi eigensolver from
+//!   scratch), which transforms the data and ignores the exploration
+//!   context entirely.
+//!
+//! [`clique`] provides the clique-based candidate generator the paper
+//! mentions as the alternative to complete-linkage clustering in Ziggy's
+//! own view-search stage.
+
+pub mod beam;
+pub mod centroid;
+pub mod clique;
+pub mod exhaustive;
+pub mod kl;
+pub mod pca;
+
+use serde::{Deserialize, Serialize};
+
+/// A view produced by a baseline, with its method-specific score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineView {
+    /// Table column indices, sorted ascending.
+    pub columns: Vec<usize>,
+    /// Method-specific score (higher = more characteristic).
+    pub score: f64,
+}
+
+/// Ranks views by descending score (lexicographic tie-break) and keeps
+/// the top disjoint `max_views`, mirroring Ziggy's output contract so
+/// quality comparisons are apples-to-apples.
+pub fn rank_and_select_disjoint(
+    mut views: Vec<BaselineView>,
+    max_views: usize,
+) -> Vec<BaselineView> {
+    for v in &mut views {
+        v.columns.sort_unstable();
+    }
+    views.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores must be finite")
+            .then_with(|| a.columns.cmp(&b.columns))
+    });
+    let mut used: Vec<usize> = Vec::new();
+    let mut out = Vec::new();
+    for v in views {
+        if out.len() >= max_views {
+            break;
+        }
+        if v.columns.iter().any(|c| used.contains(c)) {
+            continue;
+        }
+        used.extend(v.columns.iter().copied());
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_is_disjoint_and_sorted() {
+        let views = vec![
+            BaselineView {
+                columns: vec![2, 1],
+                score: 5.0,
+            },
+            BaselineView {
+                columns: vec![1],
+                score: 4.0,
+            },
+            BaselineView {
+                columns: vec![3],
+                score: 3.0,
+            },
+        ];
+        let picked = rank_and_select_disjoint(views, 10);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].columns, vec![1, 2]);
+        assert_eq!(picked[1].columns, vec![3]);
+    }
+
+    #[test]
+    fn cap_respected() {
+        let views: Vec<BaselineView> = (0..5)
+            .map(|i| BaselineView {
+                columns: vec![i],
+                score: i as f64,
+            })
+            .collect();
+        assert_eq!(rank_and_select_disjoint(views, 2).len(), 2);
+    }
+}

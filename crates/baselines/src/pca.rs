@@ -1,0 +1,259 @@
+//! Principal Component Analysis — the dimensionality-reduction
+//! alternative the paper's introduction argues against: it rescales,
+//! projects and rotates the data ("the tuples that the users visualize
+//! are not those that they requested"), and it ignores the selection
+//! entirely. Implemented from scratch with a cyclic Jacobi eigensolver.
+
+use ziggy_store::Table;
+
+/// Result of a PCA run.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Eigenvalues (variance per component), descending.
+    pub eigenvalues: Vec<f64>,
+    /// Row `k` holds component `k`'s loadings over the input columns.
+    pub components: Vec<Vec<f64>>,
+    /// The table column indices the loadings refer to.
+    pub columns: Vec<usize>,
+}
+
+/// Jacobi eigendecomposition of a symmetric matrix (row-major, square).
+/// Returns `(eigenvalues, eigenvectors)` with eigenvectors as rows,
+/// sorted by descending eigenvalue.
+pub fn jacobi_eigen(matrix: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = matrix.len();
+    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+    // v starts as identity; columns accumulate the rotations.
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let mut off: f64 = 0.0;
+        for (i, row) in a.iter().enumerate() {
+            for &v in &row[i + 1..] {
+                off += v * v;
+            }
+        }
+        if off < 1e-22 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q of A.
+                for row in a.iter_mut() {
+                    let akp = row[p];
+                    let akq = row[q];
+                    row[p] = c * akp - s * akq;
+                    row[q] = s * akp + c * akq;
+                }
+                // Rows p and q update jointly; take them out to satisfy
+                // the borrow checker without per-element indexing costs.
+                let row_p = std::mem::take(&mut a[p]);
+                let row_q = std::mem::take(&mut a[q]);
+                let new_p: Vec<f64> = row_p
+                    .iter()
+                    .zip(&row_q)
+                    .map(|(&rp, &rq)| c * rp - s * rq)
+                    .collect();
+                let new_q: Vec<f64> = row_p
+                    .iter()
+                    .zip(&row_q)
+                    .map(|(&rp, &rq)| s * rp + c * rq)
+                    .collect();
+                a[p] = new_p;
+                a[q] = new_q;
+                for row in v.iter_mut() {
+                    let vp = row[p];
+                    let vq = row[q];
+                    row[p] = c * vp - s * vq;
+                    row[q] = s * vp + c * vq;
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| a[j][j].partial_cmp(&a[i][i]).expect("finite eigenvalues"));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| a[i][i]).collect();
+    let eigenvectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&col| (0..n).map(|row| v[row][col]).collect())
+        .collect();
+    (eigenvalues, eigenvectors)
+}
+
+/// Runs PCA over the standardized numeric columns of a table (i.e. an
+/// eigendecomposition of the correlation matrix). Columns with degenerate
+/// dispersion are skipped.
+pub fn pca(table: &Table) -> Pca {
+    let mut columns = Vec::new();
+    let mut standardized: Vec<Vec<f64>> = Vec::new();
+    for col in table.numeric_indices() {
+        let data = table.numeric(col).expect("numeric index");
+        let m = ziggy_stats::UniMoments::from_slice(data);
+        let Ok(sd) = m.std_dev() else { continue };
+        if sd <= 0.0 {
+            continue;
+        }
+        let mean = m.mean();
+        standardized.push(
+            data.iter()
+                .map(|&v| if v.is_finite() { (v - mean) / sd } else { 0.0 })
+                .collect(),
+        );
+        columns.push(col);
+    }
+    let k = columns.len();
+    let n_rows = table.n_rows().max(1) as f64;
+    let mut corr = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        for j in i..k {
+            let dot: f64 = standardized[i]
+                .iter()
+                .zip(&standardized[j])
+                .map(|(a, b)| a * b)
+                .sum();
+            let c = dot / (n_rows - 1.0).max(1.0);
+            corr[i][j] = c;
+            corr[j][i] = c;
+        }
+    }
+    let (eigenvalues, components) = jacobi_eigen(&corr);
+    Pca {
+        eigenvalues,
+        components,
+        columns,
+    }
+}
+
+impl Pca {
+    /// Fraction of total variance explained by the first `k` components.
+    pub fn explained_variance(&self, k: usize) -> f64 {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.eigenvalues.iter().take(k).sum::<f64>() / total
+    }
+
+    /// The `top` table columns with the largest absolute loadings on
+    /// component `k` — PCA's (selection-blind) notion of a "view".
+    pub fn top_loading_columns(&self, k: usize, top: usize) -> Vec<usize> {
+        let Some(comp) = self.components.get(k) else {
+            return Vec::new();
+        };
+        let mut idx: Vec<usize> = (0..comp.len()).collect();
+        idx.sort_by(|&a, &b| comp[b].abs().partial_cmp(&comp[a].abs()).expect("finite"));
+        let mut out: Vec<usize> = idx.into_iter().take(top).map(|i| self.columns[i]).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziggy_store::TableBuilder;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let m = vec![vec![3.0, 0.0], vec![0.0, 1.0]];
+        let (vals, vecs) = jacobi_eigen(&m);
+        close(vals[0], 3.0, 1e-12);
+        close(vals[1], 1.0, 1e-12);
+        close(vecs[0][0].abs(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let m = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let (vals, vecs) = jacobi_eigen(&m);
+        close(vals[0], 3.0, 1e-10);
+        close(vals[1], 1.0, 1e-10);
+        // First eigenvector ∝ (1, 1)/√2.
+        close(vecs[0][0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-8);
+        close(vecs[0][1].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-8);
+    }
+
+    #[test]
+    fn jacobi_reconstruction() {
+        let m = vec![
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ];
+        let (vals, vecs) = jacobi_eigen(&m);
+        // Σ λ_k v_k v_kᵀ reconstructs the matrix.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += vals[k] * vecs[k][i] * vecs[k][j];
+                }
+                close(s, m[i][j], 1e-8);
+            }
+        }
+        // Trace preserved.
+        close(vals.iter().sum::<f64>(), 9.0, 1e-9);
+    }
+
+    fn correlated_table() -> Table {
+        let n = 300usize;
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", (0..n).map(|i| (i as f64 * 0.21).sin() * 5.0).collect());
+        b.add_numeric(
+            "y",
+            (0..n)
+                .map(|i| (i as f64 * 0.21).sin() * 10.0 + ((i * 13) % 5) as f64 * 0.01)
+                .collect(),
+        );
+        b.add_numeric("z", (0..n).map(|i| ((i * 7919) % 97) as f64).collect());
+        b.add_categorical("c", (0..n).map(|_| Some("k")).collect());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pca_finds_correlated_block() {
+        let t = correlated_table();
+        let p = pca(&t);
+        assert_eq!(p.columns.len(), 3);
+        // x and y are nearly collinear → first component ≈ 2 of the 3
+        // units of standardized variance.
+        assert!(p.eigenvalues[0] > 1.8, "{:?}", p.eigenvalues);
+        let top = p.top_loading_columns(0, 2);
+        assert_eq!(top, vec![0, 1]);
+    }
+
+    #[test]
+    fn explained_variance_monotone_and_bounded() {
+        let t = correlated_table();
+        let p = pca(&t);
+        let e1 = p.explained_variance(1);
+        let e2 = p.explained_variance(2);
+        let e3 = p.explained_variance(3);
+        assert!(e1 <= e2 && e2 <= e3);
+        close(e3, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn pca_skips_constant_columns() {
+        let mut b = TableBuilder::new();
+        b.add_numeric("flat", vec![1.0; 50]);
+        b.add_numeric("live", (0..50).map(|i| i as f64).collect());
+        let t = b.build().unwrap();
+        let p = pca(&t);
+        assert_eq!(p.columns, vec![1]);
+    }
+}

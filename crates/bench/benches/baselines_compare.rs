@@ -1,0 +1,49 @@
+//! Criterion bench for experiment T1's runtime side: Ziggy vs the
+//! baseline subspace searches on a 64-column, 5000-row dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ziggy_baselines::beam::beam_search;
+use ziggy_baselines::centroid::centroid_search;
+use ziggy_baselines::kl::kl_search;
+use ziggy_baselines::pca::pca;
+use ziggy_core::{Ziggy, ZiggyConfig};
+use ziggy_store::{eval::select, StatsCache};
+use ziggy_synth::scaling_dataset;
+
+fn methods(c: &mut Criterion) {
+    let d = scaling_dataset(5_000, 64, 21);
+    let mask = select(&d.table, &d.predicate).expect("predicate evaluates");
+
+    let mut group = c.benchmark_group("baselines_compare");
+    group.sample_size(10);
+    group.bench_function("ziggy_cold", |b| {
+        b.iter(|| {
+            let z = Ziggy::new(&d.table, ZiggyConfig::default());
+            black_box(z.characterize(&d.predicate).unwrap())
+        })
+    });
+    group.bench_function("ziggy_warm", |b| {
+        let z = Ziggy::new(&d.table, ZiggyConfig::default());
+        let _ = z.characterize(&d.predicate).unwrap();
+        b.iter(|| black_box(z.characterize(&d.predicate).unwrap()))
+    });
+    group.bench_function("kl_pairwise", |b| {
+        let cache = StatsCache::new(&d.table);
+        b.iter(|| black_box(kl_search(&d.table, &cache, &mask, 5, true)))
+    });
+    group.bench_function("centroid_pairwise", |b| {
+        let cache = StatsCache::new(&d.table);
+        b.iter(|| black_box(centroid_search(&d.table, &cache, &mask, 5, true)))
+    });
+    group.bench_function("beam_w8", |b| {
+        let cache = StatsCache::new(&d.table);
+        b.iter(|| black_box(beam_search(&d.table, &cache, &mask, 2, 8, 5)))
+    });
+    group.bench_function("pca_full", |b| b.iter(|| black_box(pca(&d.table))));
+    group.finish();
+}
+
+criterion_group!(benches, methods);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion bench for experiment T5: the shared-computation
+//! optimization. Complement statistics by moment-cache subtraction vs a
+//! direct second scan over the complement rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ziggy_store::{eval::select, masked_pair, masked_uni, StatsCache};
+use ziggy_synth::scaling_dataset;
+
+fn complement_uni(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complement_uni");
+    for rows in [5_000usize, 50_000] {
+        let d = scaling_dataset(rows, 16, 7);
+        let mask = select(&d.table, &d.predicate).expect("predicate evaluates");
+        let complement = mask.complement();
+        let cache = StatsCache::new(&d.table);
+        let cols: Vec<usize> = d.table.numeric_indices();
+        // Warm the whole-table cache (query-independent work).
+        for &col in &cols {
+            cache.uni(col).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("subtracted", rows), &rows, |b, _| {
+            b.iter(|| {
+                for &col in &cols {
+                    let inside = masked_uni(&d.table, col, &mask).unwrap();
+                    black_box(cache.uni_complement(col, &inside).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("two_scans", rows), &rows, |b, _| {
+            b.iter(|| {
+                for &col in &cols {
+                    let inside = masked_uni(&d.table, col, &mask).unwrap();
+                    let outside = masked_uni(&d.table, col, &complement).unwrap();
+                    black_box((inside, outside));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn complement_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complement_pair");
+    group.sample_size(20);
+    let d = scaling_dataset(20_000, 16, 9);
+    let mask = select(&d.table, &d.predicate).expect("predicate evaluates");
+    let complement = mask.complement();
+    let cache = StatsCache::new(&d.table);
+    let cols = d.table.numeric_indices();
+    let pairs: Vec<(usize, usize)> = cols
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &a)| cols[i + 1..].iter().map(move |&b| (a, b)))
+        .collect();
+    for &(a, b) in &pairs {
+        cache.pair(a, b).unwrap();
+    }
+    group.bench_function("subtracted", |b| {
+        b.iter(|| {
+            for &(x, y) in &pairs {
+                let inside = masked_pair(&d.table, x, y, &mask).unwrap();
+                black_box(cache.pair_complement(x, y, &inside).unwrap());
+            }
+        })
+    });
+    group.bench_function("two_scans", |b| {
+        b.iter(|| {
+            for &(x, y) in &pairs {
+                let inside = masked_pair(&d.table, x, y, &mask).unwrap();
+                let outside = masked_pair(&d.table, x, y, &complement).unwrap();
+                black_box((inside, outside));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, complement_uni, complement_pair);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Microbenchmarks for the Zig-Component effect sizes and the statistics
+//! kernels behind them (the hot path of the preparation stage — the code
+//! the original authors dropped to C for).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ziggy_stats::{
+    cohens_w, correlation_difference, hedges_g, log_std_ratio, mutual_information, pearson,
+    spearman, PairMoments, UniMoments,
+};
+
+fn fixtures(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.37).sin() * 12.0 + 50.0)
+        .collect();
+    let ys: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.37).sin() * 6.0 + ((i * 7919) % 101) as f64 * 0.1)
+        .collect();
+    (xs, ys)
+}
+
+fn effect_sizes(c: &mut Criterion) {
+    let (xs, ys) = fixtures(10_000);
+    let a = UniMoments::from_slice(&xs[..5_000]);
+    let b = UniMoments::from_slice(&xs[5_000..]);
+    let pa = PairMoments::from_slices(&xs[..5_000], &ys[..5_000]).unwrap();
+    let pb = PairMoments::from_slices(&xs[5_000..], &ys[5_000..]).unwrap();
+    let ra = pa.correlation().unwrap();
+    let rb = pb.correlation().unwrap();
+
+    let mut group = c.benchmark_group("effect_sizes");
+    group.bench_function("hedges_g", |bch| {
+        bch.iter(|| hedges_g(black_box(&a), black_box(&b)).unwrap())
+    });
+    group.bench_function("log_std_ratio", |bch| {
+        bch.iter(|| log_std_ratio(black_box(&a), black_box(&b)).unwrap())
+    });
+    group.bench_function("correlation_difference", |bch| {
+        bch.iter(|| correlation_difference(black_box(ra), 5_000, black_box(rb), 5_000).unwrap())
+    });
+    group.bench_function("cohens_w", |bch| {
+        let inside = [120u64, 380, 250, 250];
+        let outside = [900u64, 2_000, 1_500, 1_600];
+        bch.iter(|| cohens_w(black_box(&inside), black_box(&outside)).unwrap())
+    });
+    group.finish();
+}
+
+fn moment_accumulation(c: &mut Criterion) {
+    let (xs, ys) = fixtures(100_000);
+    let mut group = c.benchmark_group("moment_accumulation");
+    group.bench_function("uni_from_slice_100k", |b| {
+        b.iter(|| UniMoments::from_slice(black_box(&xs)))
+    });
+    group.bench_function("pair_from_slices_100k", |b| {
+        b.iter(|| PairMoments::from_slices(black_box(&xs), black_box(&ys)).unwrap())
+    });
+    group.finish();
+}
+
+fn dependence_measures(c: &mut Criterion) {
+    let (xs, ys) = fixtures(10_000);
+    let mut group = c.benchmark_group("dependence_measures");
+    group.bench_function("pearson_10k", |b| {
+        b.iter(|| pearson(black_box(&xs), black_box(&ys)).unwrap())
+    });
+    group.bench_function("spearman_10k", |b| {
+        b.iter(|| spearman(black_box(&xs), black_box(&ys)).unwrap())
+    });
+    group.bench_function("mutual_information_10k", |b| {
+        b.iter(|| mutual_information(black_box(&xs), black_box(&ys), 8).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    effect_sizes,
+    moment_accumulation,
+    dependence_measures
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench for experiment F4: the three pipeline stages, isolated
+//! on the US Crime twin (1994×128).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ziggy_core::candidates::generate_candidates;
+use ziggy_core::config::ZiggyConfig;
+use ziggy_core::graph::{usable_columns, DependencyGraph};
+use ziggy_core::prepare::prepare;
+use ziggy_core::search::search;
+use ziggy_core::{Ziggy, ZiggyConfig as Config};
+use ziggy_store::{eval::select, StatsCache};
+use ziggy_synth::us_crime;
+
+fn pipeline_stages(c: &mut Criterion) {
+    let d = us_crime(7);
+    let config = ZiggyConfig::default();
+    let cache = StatsCache::new(&d.table);
+    let mask = select(&d.table, &d.predicate).expect("predicate evaluates");
+    let usable = usable_columns(&d.table);
+    // Warm the whole-table cache so per-iteration numbers isolate the
+    // query-dependent work, matching the steady exploration state.
+    let graph = DependencyGraph::build(&cache, usable.clone(), config.dependence, config.mi_bins)
+        .expect("graph builds");
+    let prepared = prepare(&cache, &mask, &usable, &config).expect("preparation");
+
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(20);
+    group.bench_function("stage1_preparation", |b| {
+        b.iter(|| prepare(black_box(&cache), black_box(&mask), &usable, &config).unwrap())
+    });
+    group.bench_function("stage2_view_search", |b| {
+        b.iter(|| {
+            let candidates = generate_candidates(black_box(&graph), &config).unwrap();
+            search(candidates, black_box(&prepared), &config)
+        })
+    });
+    group.bench_function("stage3_post_processing", |b| {
+        let candidates = generate_candidates(&graph, &config).unwrap();
+        let selected = search(candidates, &prepared, &config);
+        b.iter(|| {
+            for sv in &selected {
+                let refs = prepared.components_for_view(&sv.columns);
+                let p = ziggy_core::robust::view_robustness(&refs, config.aggregation);
+                let e = ziggy_core::explain::generate(
+                    &d.table,
+                    &mask,
+                    &sv.columns,
+                    &refs,
+                    config.alpha,
+                );
+                black_box((p, e));
+            }
+        })
+    });
+    group.bench_function("end_to_end_cold_cache", |b| {
+        b.iter(|| {
+            let z = Ziggy::new(&d.table, Config::default());
+            black_box(z.characterize(&d.predicate).unwrap())
+        })
+    });
+    group.bench_function("end_to_end_warm_cache", |b| {
+        let z = Ziggy::new(&d.table, Config::default());
+        let _ = z.characterize(&d.predicate).unwrap();
+        b.iter(|| black_box(z.characterize(&d.predicate).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_stages);
+criterion_main!(benches);

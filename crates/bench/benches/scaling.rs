@@ -1,0 +1,41 @@
+//! Criterion bench for experiment T2: end-to-end cost vs column count
+//! and row count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ziggy_core::{Ziggy, ZiggyConfig};
+use ziggy_synth::scaling_dataset;
+
+fn scaling_columns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_columns");
+    group.sample_size(10);
+    for cols in [16usize, 32, 64, 128] {
+        let d = scaling_dataset(2_000, cols, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(cols), &d, |b, d| {
+            b.iter(|| {
+                let z = Ziggy::new(&d.table, ZiggyConfig::default());
+                black_box(z.characterize(&d.predicate).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn scaling_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_rows");
+    group.sample_size(10);
+    for rows in [1_000usize, 5_000, 20_000] {
+        let d = scaling_dataset(rows, 32, 43);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &d, |b, d| {
+            b.iter(|| {
+                let z = Ziggy::new(&d.table, ZiggyConfig::default());
+                black_box(z.characterize(&d.predicate).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling_columns, scaling_rows);
+criterion_main!(benches);

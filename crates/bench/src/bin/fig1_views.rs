@@ -1,0 +1,4 @@
+//! Regenerates paper Figure 1 (four characteristic views, US Crime).
+fn main() {
+    print!("{}", ziggy_bench::experiments::fig1::run(7));
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Figure 2 (the problem setting / selection split).
+fn main() {
+    print!("{}", ziggy_bench::experiments::fig2::run(7));
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Figure 3 (Zig-Components on one view).
+fn main() {
+    print!("{}", ziggy_bench::experiments::fig3::run(7));
+}

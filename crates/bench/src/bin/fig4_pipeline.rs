@@ -1,0 +1,4 @@
+//! Regenerates paper Figure 4 (pipeline stage breakdown).
+fn main() {
+    print!("{}", ziggy_bench::experiments::fig4::run(7, true));
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Figure 5 (interface snapshot).
+fn main() {
+    print!("{}", ziggy_bench::experiments::fig5::run(7));
+}

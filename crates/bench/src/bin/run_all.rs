@@ -1,0 +1,43 @@
+//! Runs every figure/table experiment in sequence (the full reproduction
+//! suite). Pass `--quick` to skip the 519-column twin and the large
+//! scaling sweep.
+use ziggy_bench::experiments as e;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rule = "#".repeat(72);
+    let mut sections: Vec<(&str, String)> = vec![
+        ("F1", e::fig1::run(7)),
+        ("F2", e::fig2::run(7)),
+        ("F3", e::fig3::run(7)),
+        ("F4", e::fig4::run(7, !quick)),
+        ("F5", e::fig5::run(7)),
+        ("U1", e::usecases::box_office_usecase(7)),
+        ("U2", e::usecases::crime_usecase(7)),
+        ("T3", e::tightness::run(7)),
+        ("T4", e::robustness::run(7, if quick { 5 } else { 20 })),
+        ("T6", e::ablation::run(7)),
+    ];
+    if quick {
+        sections.push(("T1", e::quality::run(&[0.8, 1.6], &[11], 6)));
+        sections.push(("T2", e::scaling::run(&[16, 64], 1_000, &[1_000, 5_000], 32)));
+    } else {
+        sections.push(("U3", e::usecases::innovation_usecase(7)));
+        sections.push((
+            "T1",
+            e::quality::run(&[0.4, 0.8, 1.2, 1.6, 2.0], &[11, 22, 33], 6),
+        ));
+        sections.push((
+            "T2",
+            e::scaling::run(
+                &[16, 32, 64, 128, 256, 512],
+                2_000,
+                &[1_000, 5_000, 10_000, 20_000, 50_000],
+                64,
+            ),
+        ));
+    }
+    for (id, body) in sections {
+        println!("{rule}\n# Experiment {id}\n{rule}\n{body}");
+    }
+}

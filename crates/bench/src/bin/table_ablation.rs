@@ -1,0 +1,4 @@
+//! Table T6: component-family ablation (cost vs accuracy).
+fn main() {
+    print!("{}", ziggy_bench::experiments::ablation::run(7));
+}

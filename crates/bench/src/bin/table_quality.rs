@@ -1,0 +1,9 @@
+//! Table T1: recovery quality vs baselines across effect strengths.
+fn main() {
+    let shifts = [0.4, 0.8, 1.2, 1.6, 2.0];
+    let seeds = [11, 22, 33];
+    print!(
+        "{}",
+        ziggy_bench::experiments::quality::run(&shifts, &seeds, 6)
+    );
+}

@@ -1,0 +1,4 @@
+//! Table T4: spurious-view control under the null.
+fn main() {
+    print!("{}", ziggy_bench::experiments::robustness::run(7, 20));
+}

@@ -1,0 +1,9 @@
+//! Table T2: runtime scaling in columns and rows.
+fn main() {
+    let cols = [16, 32, 64, 128, 256, 512];
+    let rows = [1_000, 5_000, 10_000, 20_000, 50_000];
+    print!(
+        "{}",
+        ziggy_bench::experiments::scaling::run(&cols, 2_000, &rows, 64)
+    );
+}

@@ -1,0 +1,4 @@
+//! Table T3: tightness-threshold ablation.
+fn main() {
+    print!("{}", ziggy_bench::experiments::tightness::run(7));
+}

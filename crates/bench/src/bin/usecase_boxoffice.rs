@@ -1,0 +1,7 @@
+//! Use case U1: Box Office (paper section 4.2).
+fn main() {
+    print!(
+        "{}",
+        ziggy_bench::experiments::usecases::box_office_usecase(7)
+    );
+}

@@ -1,0 +1,4 @@
+//! Use case U2: US Crime with the surprise predictor (paper section 4.2).
+fn main() {
+    print!("{}", ziggy_bench::experiments::usecases::crime_usecase(7));
+}

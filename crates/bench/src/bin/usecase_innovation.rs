@@ -1,0 +1,7 @@
+//! Use case U3: Countries & Innovation at 519 columns (paper section 4.2).
+fn main() {
+    print!(
+        "{}",
+        ziggy_bench::experiments::usecases::innovation_usecase(7)
+    );
+}

@@ -1,0 +1,85 @@
+//! Experiment F4 — paper Figure 4: the pipeline and its cost profile.
+//!
+//! The paper states the preparation stage "is often the most time
+//! consuming step". The experiment times the three stages on all three
+//! dataset twins and reports the breakdown, plus the effect of the
+//! whole-table moment cache on a *second* query (the shared-computation
+//! optimization).
+
+use std::time::Instant;
+
+use crate::harness::{format_duration_us, MarkdownTable};
+use ziggy_core::{Ziggy, ZiggyConfig};
+use ziggy_synth::{box_office, oecd_innovation, us_crime, SyntheticDataset};
+
+fn one_dataset(d: &SyntheticDataset, table: &mut MarkdownTable) -> (u64, u64) {
+    let z = Ziggy::new(&d.table, ZiggyConfig::default());
+    let t0 = Instant::now();
+    let first = z
+        .characterize(&d.predicate)
+        .expect("characterization succeeds");
+    let first_total = t0.elapsed().as_micros() as u64;
+    // Second, different query reuses the whole-table cache and graph.
+    let second_query = format!("{} <= {}", d.spec.driver, d.threshold);
+    let t1 = Instant::now();
+    let _second = z
+        .characterize(&second_query)
+        .expect("second query succeeds");
+    let second_total = t1.elapsed().as_micros() as u64;
+
+    table.row(&[
+        d.spec.name.clone(),
+        format!("{}x{}", d.table.n_rows(), d.table.n_cols()),
+        format_duration_us(first.timings.preparation_us),
+        format_duration_us(first.timings.view_search_us),
+        format_duration_us(first.timings.post_processing_us),
+        format!("{:.0}%", first.timings.preparation_fraction() * 100.0),
+        format_duration_us(second_total),
+    ]);
+    (first_total, second_total)
+}
+
+/// Runs F4. `include_oecd` gates the expensive 519-column twin (on for
+/// the binary, off for quick test runs).
+pub fn run(seed: u64, include_oecd: bool) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 4 — pipeline stage breakdown (preparation / view search / post)\n\n");
+    let mut table = MarkdownTable::new(&[
+        "dataset",
+        "shape",
+        "preparation",
+        "view search",
+        "post-proc",
+        "prep share",
+        "2nd query (cached)",
+    ]);
+    let mut pairs = Vec::new();
+    pairs.push(one_dataset(&box_office(seed), &mut table));
+    pairs.push(one_dataset(&us_crime(seed), &mut table));
+    if include_oecd {
+        pairs.push(one_dataset(&oecd_innovation(seed), &mut table));
+    }
+    out.push_str(&table.render());
+    let faster = pairs.iter().filter(|(a, b)| b < a).count();
+    out.push_str(&format!(
+        "\nsecond-query speedup via the whole-table moment cache: {}/{} datasets faster\n\
+         paper claim: preparation is \"often the most time consuming step\".\n",
+        faster,
+        pairs.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_has_all_stages() {
+        let report = run(5, false);
+        assert!(report.contains("preparation"));
+        assert!(report.contains("box_office"));
+        assert!(report.contains("us_crime"));
+        assert!(report.contains("prep share"));
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per paper exhibit (DESIGN.md §4 maps exhibit → module).
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod quality;
+pub mod robustness;
+pub mod scaling;
+pub mod tightness;
+pub mod usecases;

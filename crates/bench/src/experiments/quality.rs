@@ -1,0 +1,186 @@
+//! Experiment T1 — recovery quality vs the baselines.
+//!
+//! Sweeps the strength of the planted effect and measures how well each
+//! method recovers the planted views: Ziggy, KL subspace search, centroid
+//! search, beam search, and PCA (which is selection-blind and should do
+//! poorly by construction). Expected shape: Ziggy ≥ the black-box
+//! searches at every strength, PCA flat and weak, everyone degrading as
+//! the signal fades — and only Ziggy produces explanations at all.
+
+use crate::harness::MarkdownTable;
+use ziggy_baselines::{beam::beam_search, centroid::centroid_search, kl::kl_search, pca::pca};
+use ziggy_core::{Ziggy, ZiggyConfig};
+use ziggy_store::{eval::select, StatsCache};
+use ziggy_synth::spec::{DatasetSpec, ThemeSpec};
+use ziggy_synth::{evaluate_recovery, generate, SyntheticDataset};
+
+fn sweep_spec(shift: f64, seed: u64) -> DatasetSpec {
+    let theme = |name: &str, cols: [&str; 2], s: f64, scale: f64| ThemeSpec {
+        name: name.into(),
+        columns: cols.iter().map(|c| c.to_string()).collect(),
+        intra_r: 0.75,
+        mean_shift: s,
+        scale,
+    };
+    // Pure location shifts (scale 1.0) so the sweep parameter is the
+    // only signal and recovery degrades as it fades.
+    let mut themes = vec![
+        theme("plant_up", ["up_a", "up_b"], shift, 1.0),
+        theme("plant_down", ["down_a", "down_b"], -shift, 1.0),
+        theme("plant_weak", ["weak_a", "weak_b"], shift * 0.75, 1.0),
+    ];
+    for g in 0..7 {
+        themes.push(ThemeSpec {
+            name: format!("filler_{g}"),
+            columns: (0..4).map(|k| format!("f{g}_{k}")).collect(),
+            intra_r: 0.6,
+            mean_shift: 0.0,
+            scale: 1.0,
+        });
+    }
+    DatasetSpec {
+        name: format!("quality_shift_{shift}"),
+        n_rows: 1500,
+        driver: "driver".into(),
+        selection_frac: 0.12,
+        themes,
+        noise_columns: (0..5).map(|k| format!("noise_{k}")).collect(),
+        categoricals: vec![],
+        seed,
+    }
+}
+
+fn names_of(
+    table: &ziggy_store::Table,
+    views: &[ziggy_baselines::BaselineView],
+) -> Vec<Vec<String>> {
+    views
+        .iter()
+        .map(|v| {
+            v.columns
+                .iter()
+                .map(|&c| table.name(c).to_string())
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-method recovery scores `(name, column F1, view recall)` on one
+/// dataset instance.
+pub fn method_scores(d: &SyntheticDataset, max_views: usize) -> Vec<(&'static str, f64, f64)> {
+    let mask = select(&d.table, &d.predicate).expect("predicate evaluates");
+    let cache = StatsCache::new(&d.table);
+    let score = |views: Vec<Vec<String>>| {
+        let q = evaluate_recovery(&views, &d.planted, 0.5);
+        (q.column_f1, q.view_recall)
+    };
+
+    let mut out = Vec::new();
+
+    let z = Ziggy::new(
+        &d.table,
+        ZiggyConfig {
+            max_views,
+            ..ZiggyConfig::default()
+        },
+    );
+    let report = z.characterize(&d.predicate).expect("ziggy run");
+    let (f1, vr) = score(report.views.iter().map(|v| v.view.names.clone()).collect());
+    out.push(("ziggy", f1, vr));
+
+    let (f1, vr) = score(names_of(
+        &d.table,
+        &kl_search(&d.table, &cache, &mask, max_views, true),
+    ));
+    out.push(("kl", f1, vr));
+    let (f1, vr) = score(names_of(
+        &d.table,
+        &centroid_search(&d.table, &cache, &mask, max_views, true),
+    ));
+    out.push(("centroid", f1, vr));
+    let (f1, vr) = score(names_of(
+        &d.table,
+        &beam_search(&d.table, &cache, &mask, 2, 8, max_views),
+    ));
+    out.push(("beam", f1, vr));
+
+    // PCA: top-loading pairs of the first components (selection-blind).
+    let p = pca(&d.table);
+    let pca_views: Vec<Vec<String>> = (0..max_views.min(p.eigenvalues.len()))
+        .map(|k| {
+            p.top_loading_columns(k, 2)
+                .into_iter()
+                .map(|c| d.table.name(c).to_string())
+                .collect()
+        })
+        .collect();
+    let (f1, vr) = score(pca_views);
+    out.push(("pca", f1, vr));
+    out
+}
+
+/// Runs T1: shift strengths × seeds, reporting mean column-F1 per method.
+pub fn run(shifts: &[f64], seeds: &[u64], max_views: usize) -> String {
+    let mut out = String::new();
+    out.push_str("Table T1 — planted-view recovery (column F1) vs effect strength\n\n");
+    let methods = ["ziggy", "kl", "centroid", "beam", "pca"];
+    let mut table =
+        MarkdownTable::new(&["shift (sd units)", "ziggy", "kl", "centroid", "beam", "pca"]);
+    for &shift in shifts {
+        let mut f1s = vec![0.0; methods.len()];
+        let mut vrs = vec![0.0; methods.len()];
+        for &seed in seeds {
+            let d = generate(&sweep_spec(shift, seed));
+            for (i, (name, f1, vr)) in method_scores(&d, max_views).into_iter().enumerate() {
+                debug_assert_eq!(name, methods[i]);
+                f1s[i] += f1;
+                vrs[i] += vr;
+            }
+        }
+        let k = seeds.len() as f64;
+        let mut row = vec![format!("{shift:.2}")];
+        row.extend(
+            f1s.iter()
+                .zip(&vrs)
+                .map(|(f1, vr)| format!("F1 {:.2} / VR {:.2}", f1 / k, vr / k)),
+        );
+        table.row(&row);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "
+(F1 = column F1; VR = view recall at Jaccard >= 0.5)
+",
+    );
+    out.push_str(
+        "\nnotes: PCA is selection-blind (flat, weak); KL/centroid/beam find\n\
+         shifted columns but have no tightness constraint and no\n\
+         explanations; Ziggy pairs correlated shifted columns and explains\n\
+         each view.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ziggy_beats_pca_on_strong_signal() {
+        let d = generate(&sweep_spec(1.8, 11));
+        let scores = method_scores(&d, 5);
+        let f1 = |name: &str| scores.iter().find(|(n, _, _)| *n == name).unwrap().1;
+        let vr = |name: &str| scores.iter().find(|(n, _, _)| *n == name).unwrap().2;
+        assert!(f1("ziggy") > f1("pca"), "{scores:?}");
+        assert!(f1("ziggy") >= 0.5, "{scores:?}");
+        // View-level recall is where the tightness constraint pays off.
+        assert!(vr("ziggy") >= vr("kl"), "{scores:?}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(&[1.5], &[1], 5);
+        assert!(r.contains("column F1"));
+        assert!(r.contains("ziggy"));
+    }
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness regenerating every figure and table of the Ziggy
+//! paper (see DESIGN.md §4 for the experiment index).
+//!
+//! Each experiment is a library function returning a printable report, so
+//! the `src/bin/*` wrappers stay thin and integration tests can execute
+//! scaled-down variants. Criterion micro/meso benchmarks live under
+//! `benches/`.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{format_duration_us, MarkdownTable};

@@ -1,0 +1,321 @@
+//! Merge trees (dendrograms), cuts, cophenetic distances, and ASCII
+//! rendering — the "visual support to help setting the parameter
+//! MIN_tight" that the paper attributes to complete-linkage clustering.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ClusterError, Result};
+
+/// One agglomeration step. Cluster ids follow the scipy convention:
+/// leaves are `0..n`; the `k`-th merge creates cluster `n + k`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// Id of the first merged cluster.
+    pub left: usize,
+    /// Id of the second merged cluster.
+    pub right: usize,
+    /// Linkage distance at which the merge happened.
+    pub height: f64,
+    /// Number of leaves in the merged cluster.
+    pub size: usize,
+}
+
+/// A complete agglomeration history over `n` leaves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Wraps a merge list, validating counts and ids.
+    pub fn new(n_leaves: usize, merges: Vec<Merge>) -> Result<Self> {
+        if n_leaves < 2 {
+            return Err(ClusterError::TooFewItems {
+                needed: 2,
+                got: n_leaves,
+            });
+        }
+        if merges.len() != n_leaves - 1 {
+            return Err(ClusterError::InvalidCut(format!(
+                "expected {} merges for {} leaves, got {}",
+                n_leaves - 1,
+                n_leaves,
+                merges.len()
+            )));
+        }
+        Ok(Self { n_leaves, merges })
+    }
+
+    /// Number of leaves (items).
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The merge history in order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Leaf indices contained in cluster `id` (leaf ids return themselves).
+    pub fn leaves_of(&self, id: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(c) = stack.pop() {
+            if c < self.n_leaves {
+                out.push(c);
+            } else {
+                let m = &self.merges[c - self.n_leaves];
+                stack.push(m.left);
+                stack.push(m.right);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Cuts the tree at `height`: clusters are the maximal subtrees whose
+    /// merge height is ≤ `height`. Returns leaf groups, each sorted, the
+    /// groups ordered by their smallest leaf.
+    pub fn cut_at_height(&self, height: f64) -> Vec<Vec<usize>> {
+        // A union-find over leaves, applying merges with height ≤ cut.
+        let mut parent: Vec<usize> = (0..self.n_leaves).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for m in &self.merges {
+            if m.height <= height {
+                let ls = self.leaves_of(m.left);
+                let rs = self.leaves_of(m.right);
+                let ra = find(&mut parent, ls[0]);
+                let rb = find(&mut parent, rs[0]);
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for leaf in 0..self.n_leaves {
+            let root = find(&mut parent, leaf);
+            groups.entry(root).or_default().push(leaf);
+        }
+        let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+        for g in &mut out {
+            g.sort_unstable();
+        }
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+
+    /// Cuts the tree into exactly `k` clusters (undoing the last `k − 1`
+    /// merges). `k` must be in `1..=n_leaves`.
+    pub fn cut_k(&self, k: usize) -> Result<Vec<Vec<usize>>> {
+        if k == 0 || k > self.n_leaves {
+            return Err(ClusterError::InvalidCut(format!(
+                "k = {k} outside 1..={}",
+                self.n_leaves
+            )));
+        }
+        if k == self.n_leaves {
+            return Ok((0..self.n_leaves).map(|i| vec![i]).collect());
+        }
+        // Replaying the first n − k merges leaves exactly k clusters.
+        let mut parent: Vec<usize> = (0..self.n_leaves).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for m in self.merges.iter().take(self.n_leaves - k) {
+            let ls = self.leaves_of(m.left);
+            let rs = self.leaves_of(m.right);
+            let ra = find(&mut parent, ls[0]);
+            let rb = find(&mut parent, rs[0]);
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for leaf in 0..self.n_leaves {
+            let root = find(&mut parent, leaf);
+            groups.entry(root).or_default().push(leaf);
+        }
+        let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+        for g in &mut out {
+            g.sort_unstable();
+        }
+        out.sort_by_key(|g| g[0]);
+        Ok(out)
+    }
+
+    /// Cophenetic distance between two leaves: the height of their lowest
+    /// common merge.
+    pub fn cophenetic(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        for m in &self.merges {
+            let leaves = self.leaves_of_merge_cached(m);
+            if leaves.contains(&a) && leaves.contains(&b) {
+                return m.height;
+            }
+        }
+        f64::INFINITY
+    }
+
+    fn leaves_of_merge_cached(&self, m: &Merge) -> Vec<usize> {
+        let mut l = self.leaves_of(m.left);
+        l.extend(self.leaves_of(m.right));
+        l
+    }
+
+    /// Renders a compact ASCII dendrogram listing each merge with an
+    /// indented height bar — the "visual support" for choosing MIN_tight.
+    /// `labels` maps leaf index → display name (falls back to `#i`).
+    pub fn render_ascii(&self, labels: &[String]) -> String {
+        let name = |id: usize| -> String {
+            if id < self.n_leaves {
+                labels.get(id).cloned().unwrap_or_else(|| format!("#{id}"))
+            } else {
+                format!("cluster{}", id - self.n_leaves)
+            }
+        };
+        let max_h = self
+            .merges
+            .iter()
+            .map(|m| m.height)
+            .fold(0.0, f64::max)
+            .max(1e-12);
+        let mut out = String::new();
+        out.push_str("height   merge\n");
+        for (k, m) in self.merges.iter().enumerate() {
+            let bar_len = ((m.height / max_h) * 40.0).round() as usize;
+            let bar: String = std::iter::repeat_n('─', bar_len.max(1)).collect();
+            out.push_str(&format!(
+                "{:>7.4} {} cluster{} = {} + {} ({} leaves)\n",
+                m.height,
+                bar,
+                k,
+                name(m.left),
+                name(m.right),
+                m.size
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceMatrix;
+    use crate::linkage::{hierarchical, Linkage};
+
+    fn sample() -> Dendrogram {
+        // Points on a line at 0, 1, 2, 10 with complete linkage:
+        // merges (0,1)@1 → c0; (c0,2)@2 → c1; (c1,3)@10 → c2.
+        let pts = [0.0f64, 1.0, 2.0, 10.0];
+        let dm = DistanceMatrix::from_fn(4, |i, j| (pts[i] - pts[j]).abs()).unwrap();
+        hierarchical(&dm, Linkage::Complete).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Dendrogram::new(1, vec![]).is_err());
+        assert!(Dendrogram::new(3, vec![]).is_err());
+    }
+
+    #[test]
+    fn leaves_of_clusters() {
+        let d = sample();
+        assert_eq!(d.leaves_of(0), vec![0]);
+        assert_eq!(d.leaves_of(4), vec![0, 1]); // first merge.
+        assert_eq!(d.leaves_of(5), vec![0, 1, 2]);
+        assert_eq!(d.leaves_of(6), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cut_at_height_thresholds() {
+        let d = sample();
+        assert_eq!(
+            d.cut_at_height(0.5),
+            vec![vec![0], vec![1], vec![2], vec![3]]
+        );
+        assert_eq!(d.cut_at_height(1.0), vec![vec![0, 1], vec![2], vec![3]]);
+        assert_eq!(d.cut_at_height(2.0), vec![vec![0, 1, 2], vec![3]]);
+        assert_eq!(d.cut_at_height(100.0), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn cut_k_counts() {
+        let d = sample();
+        assert_eq!(d.cut_k(4).unwrap().len(), 4);
+        assert_eq!(d.cut_k(3).unwrap(), vec![vec![0, 1], vec![2], vec![3]]);
+        assert_eq!(d.cut_k(2).unwrap(), vec![vec![0, 1, 2], vec![3]]);
+        assert_eq!(d.cut_k(1).unwrap().len(), 1);
+        assert!(d.cut_k(0).is_err());
+        assert!(d.cut_k(5).is_err());
+    }
+
+    #[test]
+    fn cuts_partition_leaves() {
+        let d = sample();
+        for h in [0.0, 0.5, 1.0, 1.5, 2.0, 5.0, 10.0] {
+            let groups = d.cut_at_height(h);
+            let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3], "cut at {h} is not a partition");
+        }
+    }
+
+    #[test]
+    fn cophenetic_distances() {
+        let d = sample();
+        assert_eq!(d.cophenetic(0, 1), 1.0);
+        assert_eq!(d.cophenetic(0, 2), 2.0);
+        assert_eq!(d.cophenetic(1, 3), 10.0);
+        assert_eq!(d.cophenetic(2, 2), 0.0);
+    }
+
+    #[test]
+    fn complete_linkage_cut_satisfies_max_pairwise_bound() {
+        // The property Ziggy relies on: after cutting at h, every group has
+        // all pairwise distances <= h.
+        let pts: Vec<f64> = vec![0.0, 0.5, 0.9, 5.0, 5.2, 9.0, 9.1, 9.3];
+        let dm = DistanceMatrix::from_fn(pts.len(), |i, j| (pts[i] - pts[j]).abs()).unwrap();
+        let dend = hierarchical(&dm, Linkage::Complete).unwrap();
+        for h in [0.3, 0.5, 1.0, 2.0, 4.5] {
+            for group in dend.cut_at_height(h) {
+                for (ai, &a) in group.iter().enumerate() {
+                    for &b in &group[ai + 1..] {
+                        assert!(
+                            dm.get(a, b) <= h + 1e-12,
+                            "pair ({a},{b}) violates the bound at h={h}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_rendering_mentions_labels() {
+        let d = sample();
+        let labels: Vec<String> = ["pop", "density", "rent", "age"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let art = d.render_ascii(&labels);
+        assert!(art.contains("pop"));
+        assert!(art.contains("density"));
+        assert!(art.lines().count() >= 4);
+    }
+}

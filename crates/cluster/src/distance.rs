@@ -1,0 +1,158 @@
+//! Condensed pairwise distance matrices.
+//!
+//! For `n` items only the `n(n−1)/2` upper-triangular entries are stored,
+//! in the usual row-major pair order `(0,1), (0,2), …, (n−2,n−1)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ClusterError, Result};
+
+/// A symmetric pairwise distance matrix in condensed form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+/// Flattened index of the unordered pair `(i, j)` with `i < j`.
+pub fn condensed_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    // Offset of row i, then the position of j within the row.
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+impl DistanceMatrix {
+    /// Builds a matrix by evaluating `f(i, j)` for every pair `i < j`.
+    /// Distances must be finite and nonnegative.
+    pub fn from_fn(n: usize, f: impl Fn(usize, usize) -> f64) -> Result<Self> {
+        if n < 2 {
+            return Err(ClusterError::TooFewItems { needed: 2, got: n });
+        }
+        let mut data = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = f(i, j);
+                if !d.is_finite() || d < 0.0 {
+                    return Err(ClusterError::InvalidDistance {
+                        index: data.len(),
+                        value: d,
+                    });
+                }
+                data.push(d);
+            }
+        }
+        Ok(Self { n, data })
+    }
+
+    /// Wraps an existing condensed vector, validating the length.
+    pub fn from_condensed(data: Vec<f64>) -> Result<Self> {
+        // Solve n(n−1)/2 = len.
+        let len = data.len();
+        let n = (1.0 + (1.0 + 8.0 * len as f64).sqrt()) / 2.0;
+        let n_int = n.round() as usize;
+        if n_int < 2 || n_int * (n_int - 1) / 2 != len {
+            return Err(ClusterError::BadCondensedLength(len));
+        }
+        for (index, &d) in data.iter().enumerate() {
+            if !d.is_finite() || d < 0.0 {
+                return Err(ClusterError::InvalidDistance { index, value: d });
+            }
+        }
+        Ok(Self { n: n_int, data })
+    }
+
+    /// Euclidean distances between rows of a points-by-features matrix.
+    pub fn euclidean(points: &[Vec<f64>]) -> Result<Self> {
+        Self::from_fn(points.len(), |i, j| {
+            points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+        })
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no items (never constructed, kept for API
+    /// symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between items `i` and `j` (0 on the diagonal).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        if i == j {
+            return 0.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.data[condensed_index(self.n, a, b)]
+    }
+
+    /// The raw condensed storage.
+    pub fn condensed(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Largest pairwise distance.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condensed_index_layout() {
+        // n = 4: pairs (0,1)(0,2)(0,3)(1,2)(1,3)(2,3) → indices 0..6.
+        assert_eq!(condensed_index(4, 0, 1), 0);
+        assert_eq!(condensed_index(4, 0, 3), 2);
+        assert_eq!(condensed_index(4, 1, 2), 3);
+        assert_eq!(condensed_index(4, 2, 3), 5);
+    }
+
+    #[test]
+    fn from_fn_and_symmetry() {
+        let m = DistanceMatrix::from_fn(4, |i, j| (i + j) as f64).unwrap();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.get(1, 3), 4.0);
+        assert_eq!(m.get(3, 1), 4.0);
+        assert_eq!(m.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_distances() {
+        assert!(DistanceMatrix::from_fn(3, |_, _| -1.0).is_err());
+        assert!(DistanceMatrix::from_fn(3, |_, _| f64::NAN).is_err());
+        assert!(DistanceMatrix::from_fn(1, |_, _| 0.0).is_err());
+    }
+
+    #[test]
+    fn from_condensed_validates_length() {
+        assert!(DistanceMatrix::from_condensed(vec![1.0]).is_ok()); // n=2
+        assert!(DistanceMatrix::from_condensed(vec![1.0, 2.0, 3.0]).is_ok()); // n=3
+        assert!(DistanceMatrix::from_condensed(vec![1.0, 2.0]).is_err());
+        assert!(DistanceMatrix::from_condensed(vec![-1.0]).is_err());
+    }
+
+    #[test]
+    fn euclidean_distances() {
+        let pts = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![0.0, 1.0]];
+        let m = DistanceMatrix::euclidean(&pts).unwrap();
+        assert!((m.get(0, 1) - 5.0).abs() < 1e-12);
+        assert!((m.get(0, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_distance() {
+        let m = DistanceMatrix::from_fn(3, |i, j| (i * 10 + j) as f64).unwrap();
+        assert_eq!(m.max(), 12.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the clustering layer.
+
+use std::fmt;
+
+/// Errors raised while constructing matrices or clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Fewer than the required number of observations.
+    TooFewItems {
+        /// Items required.
+        needed: usize,
+        /// Items supplied.
+        got: usize,
+    },
+    /// A distance was negative or non-finite.
+    InvalidDistance {
+        /// Flattened pair index of the offending entry.
+        index: usize,
+        /// Its value.
+        value: f64,
+    },
+    /// Condensed vector length does not match any `n(n−1)/2`.
+    BadCondensedLength(usize),
+    /// A cut parameter was out of range.
+    InvalidCut(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::TooFewItems { needed, got } => {
+                write!(f, "clustering needs at least {needed} items, got {got}")
+            }
+            ClusterError::InvalidDistance { index, value } => {
+                write!(
+                    f,
+                    "distance #{index} = {value} must be finite and nonnegative"
+                )
+            }
+            ClusterError::BadCondensedLength(len) => {
+                write!(f, "condensed length {len} is not n(n-1)/2 for any n")
+            }
+            ClusterError::InvalidCut(msg) => write!(f, "invalid cut: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(ClusterError::TooFewItems { needed: 2, got: 0 }
+            .to_string()
+            .contains("2"));
+        assert!(ClusterError::BadCondensedLength(4)
+            .to_string()
+            .contains("4"));
+        assert!(ClusterError::InvalidDistance {
+            index: 1,
+            value: -1.0
+        }
+        .to_string()
+        .contains("-1"));
+        assert!(ClusterError::InvalidCut("k = 0".into())
+            .to_string()
+            .contains("k = 0"));
+    }
+}

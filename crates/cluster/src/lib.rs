@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Agglomerative hierarchical clustering — Ziggy's candidate-view
+//! generator.
+//!
+//! The paper partitions the column-dependency graph "with a clique search
+//! or clustering algorithm. In our implementation, we used complete
+//! linkage clustering. This method is simple, well established, and it
+//! provides a dendrogram, i.e., visual support to help setting the
+//! parameter." (§3, *View Search*.)
+//!
+//! Complete linkage has the property Ziggy relies on: a cluster that forms
+//! at height `h` has **all** pairwise distances ≤ `h`. With distance
+//! `1 − S` (where `S` is the dependence measure), cutting the dendrogram
+//! at `1 − MIN_tight` yields exactly the maximal column groups satisfying
+//! the tightness constraint of Equation 2.
+//!
+//! * [`distance`] — condensed (upper-triangular) distance matrices.
+//! * [`linkage`] — single / complete / average agglomeration via
+//!   Lance–Williams updates.
+//! * [`dendrogram`] — the merge tree, cuts by height or cluster count,
+//!   cophenetic distances, and an ASCII rendering.
+
+pub mod dendrogram;
+pub mod distance;
+pub mod error;
+pub mod linkage;
+
+pub use dendrogram::{Dendrogram, Merge};
+pub use distance::DistanceMatrix;
+pub use error::ClusterError;
+pub use linkage::{hierarchical, Linkage};

@@ -1,0 +1,188 @@
+//! Agglomerative clustering via Lance–Williams distance updates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dendrogram::{Dendrogram, Merge};
+use crate::distance::DistanceMatrix;
+use crate::error::Result;
+
+/// Linkage criterion: how the distance between clusters is derived from
+/// item distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance (chaining-prone).
+    Single,
+    /// Maximum pairwise distance — the paper's choice, because a cluster
+    /// formed at height `h` then has *all* pairwise distances ≤ `h`,
+    /// which is exactly Ziggy's tightness constraint.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+impl Linkage {
+    /// Lance–Williams update: distance from the merged cluster `a ∪ b` to
+    /// another cluster `c`, given the previous distances and sizes.
+    fn update(self, d_ac: f64, d_bc: f64, size_a: usize, size_b: usize) -> f64 {
+        match self {
+            Linkage::Single => d_ac.min(d_bc),
+            Linkage::Complete => d_ac.max(d_bc),
+            Linkage::Average => {
+                let (na, nb) = (size_a as f64, size_b as f64);
+                (na * d_ac + nb * d_bc) / (na + nb)
+            }
+        }
+    }
+}
+
+/// Runs agglomerative clustering over a distance matrix, producing the
+/// full dendrogram (`n − 1` merges, scipy-style cluster numbering: leaves
+/// are `0..n`, the `k`-th merge creates cluster `n + k`).
+///
+/// Complexity is `O(n²)` memory and `O(n³)` time in the worst case — more
+/// than adequate for Ziggy's use (items are table *columns*, typically a
+/// few hundred).
+pub fn hierarchical(dist: &DistanceMatrix, linkage: Linkage) -> Result<Dendrogram> {
+    let n = dist.len();
+    // Working copy of pairwise distances between *active* clusters.
+    let mut d: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| dist.get(i, j)).collect())
+        .collect();
+    // active[i]: cluster id currently occupying slot i (usize::MAX = dead).
+    let mut cluster_id: Vec<usize> = (0..n).collect();
+    let mut size: Vec<usize> = vec![1; n];
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut merges = Vec::with_capacity(n - 1);
+
+    for step in 0..(n - 1) {
+        // Find the closest active pair.
+        let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !alive[j] {
+                    continue;
+                }
+                if d[i][j] < best.2 {
+                    best = (i, j, d[i][j]);
+                }
+            }
+        }
+        let (a, b, height) = best;
+        debug_assert!(a != usize::MAX, "no active pair found");
+
+        merges.push(Merge {
+            left: cluster_id[a],
+            right: cluster_id[b],
+            height,
+            size: size[a] + size[b],
+        });
+
+        // Slot a becomes the merged cluster; slot b dies.
+        for c in 0..n {
+            if !alive[c] || c == a || c == b {
+                continue;
+            }
+            let updated = linkage.update(d[a][c], d[b][c], size[a], size[b]);
+            d[a][c] = updated;
+            d[c][a] = updated;
+        }
+        cluster_id[a] = n + step;
+        size[a] += size[b];
+        alive[b] = false;
+    }
+
+    Dendrogram::new(n, merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three tight points and one far outlier on a line.
+    fn line_matrix() -> DistanceMatrix {
+        let pts = [0.0f64, 1.0, 2.0, 10.0];
+        DistanceMatrix::from_fn(pts.len(), |i, j| (pts[i] - pts[j]).abs()).unwrap()
+    }
+
+    #[test]
+    fn merge_count_and_final_size() {
+        let dend = hierarchical(&line_matrix(), Linkage::Complete).unwrap();
+        assert_eq!(dend.merges().len(), 3);
+        assert_eq!(dend.merges().last().unwrap().size, 4);
+    }
+
+    #[test]
+    fn outlier_joins_last() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dend = hierarchical(&line_matrix(), linkage).unwrap();
+            let last = dend.merges().last().unwrap();
+            // The final merge absorbs the singleton containing leaf 3.
+            let leaves_right = dend.leaves_of(last.right);
+            let leaves_left = dend.leaves_of(last.left);
+            assert!(
+                leaves_right == vec![3] || leaves_left == vec![3],
+                "{linkage:?}: outlier must join last"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_linkage_heights_are_max_pairwise() {
+        let dend = hierarchical(&line_matrix(), Linkage::Complete).unwrap();
+        // First merge: {0,1} at 1; second: {0,1,2} at max(2,1)=2;
+        // final: everything at max distance 10.
+        let hs: Vec<f64> = dend.merges().iter().map(|m| m.height).collect();
+        assert_eq!(hs, vec![1.0, 2.0, 10.0]);
+    }
+
+    #[test]
+    fn single_linkage_chains() {
+        let dend = hierarchical(&line_matrix(), Linkage::Single).unwrap();
+        // Single linkage: {0,1} at 1, then +2 at 1, then +3 at 8.
+        let hs: Vec<f64> = dend.merges().iter().map(|m| m.height).collect();
+        assert_eq!(hs, vec![1.0, 1.0, 8.0]);
+    }
+
+    #[test]
+    fn average_linkage_between_single_and_complete() {
+        let d = line_matrix();
+        let hs = |l: Linkage| hierarchical(&d, l).unwrap().merges().last().unwrap().height;
+        let s = hs(Linkage::Single);
+        let c = hs(Linkage::Complete);
+        let a = hs(Linkage::Average);
+        assert!(
+            s <= a && a <= c,
+            "single {s} <= average {a} <= complete {c}"
+        );
+    }
+
+    #[test]
+    fn merge_heights_monotone_for_complete_and_average() {
+        // Monotonicity holds for single/complete/average (no inversions).
+        let pts: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i as f64 * 1.7).sin() * 5.0, (i as f64 * 0.9).cos() * 3.0])
+            .collect();
+        let dm = DistanceMatrix::euclidean(&pts).unwrap();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dend = hierarchical(&dm, linkage).unwrap();
+            let hs: Vec<f64> = dend.merges().iter().map(|m| m.height).collect();
+            for w in hs.windows(2) {
+                assert!(
+                    w[1] >= w[0] - 1e-12,
+                    "{linkage:?} produced an inversion: {hs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_items() {
+        let dm = DistanceMatrix::from_condensed(vec![4.2]).unwrap();
+        let dend = hierarchical(&dm, Linkage::Complete).unwrap();
+        assert_eq!(dend.merges().len(), 1);
+        assert_eq!(dend.merges()[0].height, 4.2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the clustering substrate: linkage
+//! monotonicity, the complete-linkage tightness guarantee, cut
+//! consistency.
+
+use proptest::prelude::*;
+use ziggy_cluster::{hierarchical, DistanceMatrix, Linkage};
+
+fn random_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-100.0..100.0f64, 2..4), 3..18).prop_filter(
+        "equal dims",
+        |pts| {
+            let d = pts[0].len();
+            pts.iter().all(|p| p.len() == d)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merge heights never decrease (no inversions) for all linkages.
+    #[test]
+    fn merge_heights_monotone(points in random_points()) {
+        let dm = DistanceMatrix::euclidean(&points).unwrap();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dend = hierarchical(&dm, linkage).unwrap();
+            let hs: Vec<f64> = dend.merges().iter().map(|m| m.height).collect();
+            for w in hs.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-9, "{linkage:?} inversion: {hs:?}");
+            }
+        }
+    }
+
+    /// The complete-linkage guarantee Ziggy relies on: cutting at any
+    /// height yields groups whose max pairwise distance is ≤ the cut.
+    #[test]
+    fn complete_linkage_tightness_guarantee(points in random_points(), frac in 0.0..1.0f64) {
+        let dm = DistanceMatrix::euclidean(&points).unwrap();
+        let dend = hierarchical(&dm, Linkage::Complete).unwrap();
+        let h = frac * dm.max();
+        for group in dend.cut_at_height(h) {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    prop_assert!(
+                        dm.get(a, b) <= h + 1e-9,
+                        "pair ({a},{b}) at {} violates cut {h}",
+                        dm.get(a, b)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every cut is a partition of the leaves.
+    #[test]
+    fn cuts_partition(points in random_points(), frac in 0.0..1.2f64) {
+        let n = points.len();
+        let dm = DistanceMatrix::euclidean(&points).unwrap();
+        let dend = hierarchical(&dm, Linkage::Average).unwrap();
+        let groups = dend.cut_at_height(frac * dm.max());
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    /// cut_k returns exactly k groups for every feasible k.
+    #[test]
+    fn cut_k_exact(points in random_points()) {
+        let n = points.len();
+        let dm = DistanceMatrix::euclidean(&points).unwrap();
+        let dend = hierarchical(&dm, Linkage::Complete).unwrap();
+        for k in 1..=n {
+            let groups = dend.cut_k(k).unwrap();
+            prop_assert_eq!(groups.len(), k);
+            let total: usize = groups.iter().map(|g| g.len()).sum();
+            prop_assert_eq!(total, n);
+        }
+    }
+
+    /// Cophenetic distance dominates single-linkage and is dominated by
+    /// complete-linkage merge heights... at minimum it upper-bounds the
+    /// original distance for single linkage and lower-bounds nothing
+    /// degenerate: check the classic bound coph >= d is NOT generally
+    /// true; instead check coph is symmetric and zero on the diagonal.
+    #[test]
+    fn cophenetic_basic_properties(points in random_points()) {
+        let dm = DistanceMatrix::euclidean(&points).unwrap();
+        let dend = hierarchical(&dm, Linkage::Complete).unwrap();
+        let n = points.len();
+        for i in 0..n.min(6) {
+            prop_assert_eq!(dend.cophenetic(i, i), 0.0);
+            for j in 0..n.min(6) {
+                prop_assert_eq!(dend.cophenetic(i, j), dend.cophenetic(j, i));
+                if i != j {
+                    // Complete linkage: the merge joining i and j has
+                    // height >= their direct distance.
+                    prop_assert!(dend.cophenetic(i, j) >= dm.get(i, j) - 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Single linkage heights lower-bound complete linkage heights at
+    /// every merge step (classic dominance).
+    #[test]
+    fn single_below_complete(points in random_points()) {
+        let dm = DistanceMatrix::euclidean(&points).unwrap();
+        let single = hierarchical(&dm, Linkage::Single).unwrap();
+        let complete = hierarchical(&dm, Linkage::Complete).unwrap();
+        // Compare the final (root) merge heights.
+        let s = single.merges().last().unwrap().height;
+        let c = complete.merges().last().unwrap().height;
+        prop_assert!(s <= c + 1e-9);
+    }
+}

@@ -1,0 +1,255 @@
+//! Candidate view generation under the tightness constraint.
+//!
+//! The dependency graph is partitioned with complete-linkage clustering
+//! (the paper's choice) cut at height `1 − MIN_tight`: by the
+//! complete-linkage property every resulting group has **all** pairwise
+//! similarities ≥ `MIN_tight`, i.e. satisfies Equation 3 exactly. Groups
+//! larger than the view-size budget `D` are split greedily into tight
+//! chunks of at most `D` columns.
+
+use ziggy_cluster::{hierarchical, Linkage};
+
+use crate::config::ZiggyConfig;
+use crate::error::Result;
+use crate::graph::DependencyGraph;
+
+/// Generates candidate views (as table column-index sets) satisfying the
+/// tightness constraint, each of size `1..=max_view_size`.
+pub fn generate_candidates(
+    graph: &DependencyGraph,
+    config: &ZiggyConfig,
+) -> Result<Vec<Vec<usize>>> {
+    let m = graph.len();
+    if m == 0 {
+        return Ok(Vec::new());
+    }
+    if m == 1 {
+        return Ok(vec![vec![graph.columns()[0]]]);
+    }
+    let dist = graph.to_distance_matrix()?;
+    let dendrogram = hierarchical(&dist, Linkage::Complete)?;
+    let cut_height = 1.0 - config.min_tightness;
+    let groups = dendrogram.cut_at_height(cut_height);
+
+    let mut candidates = Vec::new();
+    for group in groups {
+        for chunk in split_group(&group, graph, config.max_view_size) {
+            // Positions → table column indices.
+            candidates.push(chunk.iter().map(|&p| graph.columns()[p]).collect());
+        }
+    }
+    // Deterministic order for reproducibility.
+    candidates.sort();
+    Ok(candidates)
+}
+
+/// Splits a (tight) group of node positions into chunks of at most
+/// `max_size`, greedily keeping the most similar columns together: each
+/// chunk is seeded with the highest-similarity remaining pair and grown
+/// with the column maximizing its minimum similarity to the chunk.
+fn split_group(group: &[usize], graph: &DependencyGraph, max_size: usize) -> Vec<Vec<usize>> {
+    if group.len() <= max_size {
+        return vec![group.to_vec()];
+    }
+    let mut remaining: Vec<usize> = group.to_vec();
+    let mut chunks = Vec::new();
+    while !remaining.is_empty() {
+        if remaining.len() <= max_size {
+            let mut last = std::mem::take(&mut remaining);
+            last.sort_unstable();
+            chunks.push(last);
+            break;
+        }
+        // Seed: most similar remaining pair (or the single leftover).
+        let mut chunk: Vec<usize> = if remaining.len() == 1 || max_size == 1 {
+            vec![remaining[0]]
+        } else {
+            let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+            for i in 0..remaining.len() {
+                for j in (i + 1)..remaining.len() {
+                    let s = graph.similarity(remaining[i], remaining[j]);
+                    if s > best.2 {
+                        best = (i, j, s);
+                    }
+                }
+            }
+            vec![remaining[best.0], remaining[best.1]]
+        };
+        remaining.retain(|p| !chunk.contains(p));
+        // Grow: add the column with the best minimum similarity to chunk.
+        while chunk.len() < max_size && !remaining.is_empty() {
+            let (best_idx, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(idx, &p)| {
+                    let min_sim = chunk
+                        .iter()
+                        .map(|&q| graph.similarity(p, q))
+                        .fold(f64::INFINITY, f64::min);
+                    (idx, min_sim)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("similarities are finite"))
+                .expect("remaining is non-empty");
+            chunk.push(remaining.remove(best_idx));
+        }
+        chunk.sort_unstable();
+        chunks.push(chunk);
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DependenceKind;
+    use ziggy_store::{StatsCache, Table, TableBuilder};
+
+    /// Two tight numeric blocks (0,1,2) and (3,4), plus a loner (5).
+    fn blocky_table() -> Table {
+        let n = 500usize;
+        let base_a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin() * 10.0).collect();
+        let base_b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos() * 8.0).collect();
+        let noise = |i: usize, k: usize| ((i * (7919 + k * 31)) % 13) as f64 * 0.05;
+        let mut b = TableBuilder::new();
+        b.add_numeric(
+            "a0",
+            base_a
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v + noise(i, 0))
+                .collect(),
+        );
+        b.add_numeric(
+            "a1",
+            base_a
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * 1.5 + noise(i, 1))
+                .collect(),
+        );
+        b.add_numeric(
+            "a2",
+            base_a
+                .iter()
+                .enumerate()
+                .map(|(i, v)| -v + noise(i, 2))
+                .collect(),
+        );
+        b.add_numeric(
+            "b0",
+            base_b
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v + noise(i, 3))
+                .collect(),
+        );
+        b.add_numeric(
+            "b1",
+            base_b
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * 2.0 + noise(i, 4))
+                .collect(),
+        );
+        b.add_numeric("lone", (0..n).map(|i| ((i * 104729) % 89) as f64).collect());
+        b.build().unwrap()
+    }
+
+    fn graph_of(t: &Table, tightness_cols: Vec<usize>) -> DependencyGraph {
+        let cache = StatsCache::new(t);
+        DependencyGraph::build(&cache, tightness_cols, DependenceKind::Pearson, 8).unwrap()
+    }
+
+    #[test]
+    fn blocks_recovered_as_candidates() {
+        let t = blocky_table();
+        let g = graph_of(&t, (0..6).collect());
+        let config = ZiggyConfig {
+            max_view_size: 3,
+            min_tightness: 0.5,
+            ..Default::default()
+        };
+        let cands = generate_candidates(&g, &config).unwrap();
+        assert!(cands.contains(&vec![0, 1, 2]), "block A missing: {cands:?}");
+        assert!(cands.contains(&vec![3, 4]), "block B missing: {cands:?}");
+        assert!(cands.contains(&vec![5]), "loner missing: {cands:?}");
+    }
+
+    #[test]
+    fn candidates_satisfy_tightness() {
+        let t = blocky_table();
+        let g = graph_of(&t, (0..6).collect());
+        let config = ZiggyConfig {
+            max_view_size: 4,
+            min_tightness: 0.4,
+            ..Default::default()
+        };
+        for cand in generate_candidates(&g, &config).unwrap() {
+            let positions: Vec<usize> = cand
+                .iter()
+                .map(|c| g.columns().iter().position(|x| x == c).unwrap())
+                .collect();
+            assert!(
+                g.tightness(&positions) >= config.min_tightness - 1e-9,
+                "candidate {cand:?} violates tightness"
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_respect_size_budget_and_partition() {
+        let t = blocky_table();
+        let g = graph_of(&t, (0..6).collect());
+        let config = ZiggyConfig {
+            max_view_size: 2,
+            min_tightness: 0.5,
+            ..Default::default()
+        };
+        let cands = generate_candidates(&g, &config).unwrap();
+        let mut all: Vec<usize> = cands.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            vec![0, 1, 2, 3, 4, 5],
+            "candidates must partition the columns"
+        );
+        assert!(cands.iter().all(|c| c.len() <= 2));
+    }
+
+    #[test]
+    fn high_tightness_dissolves_blocks() {
+        let t = blocky_table();
+        let g = graph_of(&t, (0..6).collect());
+        let strict = ZiggyConfig {
+            min_tightness: 0.999_999,
+            ..Default::default()
+        };
+        let cands = generate_candidates(&g, &strict).unwrap();
+        // Nothing correlates that perfectly; every column is a singleton.
+        assert!(cands.iter().all(|c| c.len() == 1), "{cands:?}");
+        assert_eq!(cands.len(), 6);
+    }
+
+    #[test]
+    fn zero_tightness_one_big_group_split_by_budget() {
+        let t = blocky_table();
+        let g = graph_of(&t, (0..6).collect());
+        let lax = ZiggyConfig {
+            min_tightness: 0.0,
+            max_view_size: 4,
+            ..Default::default()
+        };
+        let cands = generate_candidates(&g, &lax).unwrap();
+        let total: usize = cands.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 6);
+        assert!(cands.iter().all(|c| c.len() <= 4));
+    }
+
+    #[test]
+    fn single_column_graph() {
+        let t = blocky_table();
+        let g = graph_of(&t, vec![2]);
+        let cands = generate_candidates(&g, &ZiggyConfig::default()).unwrap();
+        assert_eq!(cands, vec![vec![2]]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+use ziggy_stats::Aggregation;
+
+use crate::error::{Result, ZiggyError};
+use crate::weights::Weights;
+
+/// The dependence measure `S` used for the tightness constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DependenceKind {
+    /// Absolute Pearson correlation (fast, moment-cache friendly).
+    Pearson,
+    /// Absolute Spearman rank correlation (robust to monotone warps).
+    Spearman,
+    /// Normalized mutual information over an equi-width grid (captures
+    /// non-monotone dependence; slower).
+    MutualInformation,
+}
+
+/// Configuration of the Ziggy engine (paper parameters are called out).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZiggyConfig {
+    /// `D`: maximum number of columns per view (paper: "a set of at most
+    /// D columns", kept small so views stay plottable). Default 2.
+    pub max_view_size: usize,
+    /// `MIN_tight`: minimum pairwise dependence within a view
+    /// (Equation 3). Default 0.25.
+    pub min_tightness: f64,
+    /// Maximum number of views to return (ranked by dissimilarity).
+    /// Default 5.
+    pub max_views: usize,
+    /// User preference weights for the Zig-Dissimilarity.
+    pub weights: Weights,
+    /// Aggregation scheme for per-view robustness ("it retains the lowest
+    /// value, or … the Bonferroni correction"). Default Bonferroni-min.
+    pub aggregation: Aggregation,
+    /// Significance level used by the explanation generator and the
+    /// optional robustness filter. Default 0.05.
+    pub alpha: f64,
+    /// Drop views whose aggregated robustness p-value exceeds `alpha`.
+    /// Default false (rank only, as in the demo).
+    pub filter_insignificant: bool,
+    /// Dependence measure for the tightness graph.
+    pub dependence: DependenceKind,
+    /// Grid size per axis for [`DependenceKind::MutualInformation`].
+    pub mi_bins: usize,
+    /// Minimum rows required on each side of the split. Effect-size
+    /// asymptotics need a handful of observations; default 8.
+    pub min_side_rows: usize,
+    /// Parallelize pairwise component computation across threads.
+    pub parallel: bool,
+    /// Include two-dimensional (correlation) components. Disabling them
+    /// reproduces the cheap univariate-only ablation. Default true.
+    pub pairwise_components: bool,
+    /// Compute the extended distribution-shape (KS) component. Off by
+    /// default: the paper warns that additional components "only add
+    /// marginal accuracy gains in practice, at the cost of significant
+    /// processing times" (KS needs a sort per column per query).
+    #[serde(default)]
+    pub extended_components: bool,
+}
+
+impl Default for ZiggyConfig {
+    fn default() -> Self {
+        Self {
+            max_view_size: 2,
+            min_tightness: 0.25,
+            max_views: 5,
+            weights: Weights::default(),
+            aggregation: Aggregation::BonferroniMin,
+            alpha: 0.05,
+            filter_insignificant: false,
+            dependence: DependenceKind::Pearson,
+            mi_bins: 8,
+            min_side_rows: 8,
+            parallel: true,
+            pairwise_components: true,
+            extended_components: false,
+        }
+    }
+}
+
+impl ZiggyConfig {
+    /// Validates all parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_view_size == 0 {
+            return Err(ZiggyError::InvalidConfig(
+                "max_view_size must be >= 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.min_tightness) {
+            return Err(ZiggyError::InvalidConfig(format!(
+                "min_tightness = {} outside [0, 1]",
+                self.min_tightness
+            )));
+        }
+        if self.max_views == 0 {
+            return Err(ZiggyError::InvalidConfig("max_views must be >= 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.alpha) || self.alpha == 0.0 {
+            return Err(ZiggyError::InvalidConfig(format!(
+                "alpha = {} outside (0, 1]",
+                self.alpha
+            )));
+        }
+        if self.mi_bins < 2 {
+            return Err(ZiggyError::InvalidConfig("mi_bins must be >= 2".into()));
+        }
+        if self.min_side_rows < 4 {
+            return Err(ZiggyError::InvalidConfig(
+                "min_side_rows must be >= 4 (Fisher-z needs n - 3 > 0)".into(),
+            ));
+        }
+        self.weights.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ZiggyConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let base = ZiggyConfig::default();
+        assert!(ZiggyConfig {
+            max_view_size: 0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ZiggyConfig {
+            min_tightness: 1.5,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ZiggyConfig {
+            min_tightness: -0.1,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ZiggyConfig {
+            max_views: 0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ZiggyConfig {
+            alpha: 0.0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ZiggyConfig {
+            mi_bins: 1,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ZiggyConfig {
+            min_side_rows: 2,
+            ..base
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ZiggyConfig {
+            max_views: 7,
+            ..ZiggyConfig::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ZiggyConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

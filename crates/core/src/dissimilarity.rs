@@ -1,0 +1,122 @@
+//! The Zig-Dissimilarity: normalized, weighted aggregation of the
+//! Zig-Components of a view (Equation 1 instantiated as §2.2 describes).
+
+use crate::component::ZigComponent;
+use crate::prepare::PreparedStats;
+use crate::weights::Weights;
+
+/// Scores a view: the weighted sum of the normalized magnitudes of every
+/// component that lies entirely within the view's columns.
+pub fn view_score(view: &[usize], prepared: &PreparedStats, weights: &Weights) -> f64 {
+    prepared
+        .components_for_view(view)
+        .iter()
+        .map(|c| weights.for_kind(c.kind) * c.normalized)
+        .sum()
+}
+
+/// Itemized score: `(component, weighted contribution)` pairs, sorted by
+/// contribution descending — the raw material for explanations and debug
+/// output.
+pub fn score_breakdown<'p>(
+    view: &[usize],
+    prepared: &'p PreparedStats,
+    weights: &Weights,
+) -> Vec<(&'p ZigComponent, f64)> {
+    let mut parts: Vec<(&ZigComponent, f64)> = prepared
+        .components_for_view(view)
+        .into_iter()
+        .map(|c| (c, weights.for_kind(c.kind) * c.normalized))
+        .collect();
+    parts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weighted scores are finite"));
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ZiggyConfig;
+    use crate::graph::usable_columns;
+    use crate::prepare::prepare;
+    use ziggy_store::{eval::select, StatsCache, Table, TableBuilder};
+
+    fn sample() -> Table {
+        let n = 300usize;
+        let mut b = TableBuilder::new();
+        b.add_numeric("key", (0..n).map(|i| i as f64).collect());
+        b.add_numeric(
+            "hot",
+            (0..n)
+                .map(|i| if i >= 200 { 50.0 } else { 0.0 } + ((i * 13) % 7) as f64)
+                .collect(),
+        );
+        b.add_numeric("cold", (0..n).map(|i| ((i * 7919) % 50) as f64).collect());
+        b.build().unwrap()
+    }
+
+    fn prepared(t: &Table) -> PreparedStats {
+        let cache = StatsCache::new(t);
+        let mask = select(t, "key >= 200").unwrap();
+        prepare(&cache, &mask, &usable_columns(t), &ZiggyConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn hot_column_scores_higher_than_cold() {
+        let t = sample();
+        let p = prepared(&t);
+        let hot = t.index_of("hot").unwrap();
+        let cold = t.index_of("cold").unwrap();
+        let w = Weights::default();
+        assert!(view_score(&[hot], &p, &w) > view_score(&[cold], &p, &w));
+    }
+
+    #[test]
+    fn weights_gate_families() {
+        let t = sample();
+        let p = prepared(&t);
+        let hot = t.index_of("hot").unwrap();
+        let zero = Weights {
+            mean: 0.0,
+            dispersion: 0.0,
+            correlation: 0.0,
+            frequency: 1.0,
+            shape: 0.0,
+        };
+        // No categorical columns → frequency-only weights zero the score.
+        assert_eq!(view_score(&[hot], &p, &zero), 0.0);
+    }
+
+    #[test]
+    fn score_monotone_in_view_growth() {
+        // Adding a column can only add components (scores are sums of
+        // nonnegative contributions).
+        let t = sample();
+        let p = prepared(&t);
+        let hot = t.index_of("hot").unwrap();
+        let cold = t.index_of("cold").unwrap();
+        let w = Weights::default();
+        assert!(view_score(&[hot, cold], &p, &w) >= view_score(&[hot], &p, &w) - 1e-12);
+    }
+
+    #[test]
+    fn breakdown_sorted_and_consistent() {
+        let t = sample();
+        let p = prepared(&t);
+        let hot = t.index_of("hot").unwrap();
+        let cold = t.index_of("cold").unwrap();
+        let w = Weights::default();
+        let parts = score_breakdown(&[hot, cold], &p, &w);
+        let total: f64 = parts.iter().map(|(_, s)| s).sum();
+        assert!((total - view_score(&[hot, cold], &p, &w)).abs() < 1e-12);
+        for pair in parts.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_view_scores_zero() {
+        let t = sample();
+        let p = prepared(&t);
+        assert_eq!(view_score(&[], &p, &Weights::default()), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for the Ziggy engine.
+
+use std::fmt;
+
+/// Errors raised by the characterization pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZiggyError {
+    /// The selection is unusable (empty, complete, or below the minimum
+    /// row counts required by the effect-size asymptotics).
+    DegenerateSelection {
+        /// Rows selected by the query.
+        inside: usize,
+        /// Rows outside the selection.
+        outside: usize,
+        /// Rows each side needs.
+        needed: usize,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+    /// The table has no characterizable columns.
+    NoUsableColumns,
+    /// Error from the store layer (parsing, evaluation, typing).
+    Store(ziggy_store::StoreError),
+    /// Error from the statistics layer.
+    Stats(ziggy_stats::StatsError),
+    /// Error from the clustering layer.
+    Cluster(ziggy_cluster::ClusterError),
+}
+
+impl fmt::Display for ZiggyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZiggyError::DegenerateSelection {
+                inside,
+                outside,
+                needed,
+            } => write!(
+                f,
+                "selection is degenerate: {inside} rows inside, {outside} outside \
+                 (need at least {needed} on each side)"
+            ),
+            ZiggyError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ZiggyError::NoUsableColumns => {
+                write!(f, "the table has no columns Ziggy can characterize")
+            }
+            ZiggyError::Store(e) => write!(f, "store error: {e}"),
+            ZiggyError::Stats(e) => write!(f, "statistics error: {e}"),
+            ZiggyError::Cluster(e) => write!(f, "clustering error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ZiggyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ZiggyError::Store(e) => Some(e),
+            ZiggyError::Stats(e) => Some(e),
+            ZiggyError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ziggy_store::StoreError> for ZiggyError {
+    fn from(e: ziggy_store::StoreError) -> Self {
+        ZiggyError::Store(e)
+    }
+}
+
+impl From<ziggy_stats::StatsError> for ZiggyError {
+    fn from(e: ziggy_stats::StatsError) -> Self {
+        ZiggyError::Stats(e)
+    }
+}
+
+impl From<ziggy_cluster::ClusterError> for ZiggyError {
+    fn from(e: ziggy_cluster::ClusterError) -> Self {
+        ZiggyError::Cluster(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ZiggyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = ZiggyError::DegenerateSelection {
+            inside: 1,
+            outside: 0,
+            needed: 4,
+        };
+        assert!(e.to_string().contains("degenerate"));
+        let wrapped: ZiggyError = ziggy_stats::StatsError::Degenerate("x").into();
+        assert!(std::error::Error::source(&wrapped).is_some());
+        let wrapped: ZiggyError = ziggy_store::StoreError::EmptyTable.into();
+        assert!(wrapped.to_string().contains("store error"));
+        let wrapped: ZiggyError =
+            ziggy_cluster::ClusterError::TooFewItems { needed: 2, got: 1 }.into();
+        assert!(wrapped.to_string().contains("clustering"));
+    }
+}

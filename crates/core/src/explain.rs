@@ -1,0 +1,378 @@
+//! Rule-based explanation generation.
+//!
+//! "Ziggy choses the Zig-Components associated with the highest levels of
+//! confidence, and it describes them with text. We implemented the text
+//! generation functionalities with handwritten rules…" (§3.) The target
+//! style is the paper's example:
+//!
+//! > "On the columns Population and Density, your selection has
+//! > particularly high values and a low variance"
+
+use serde::{Deserialize, Serialize};
+use ziggy_store::{masked_freq, Bitmask, Table};
+
+use crate::component::{ComponentKind, ZigComponent};
+use crate::robust::significant_components;
+
+/// A generated explanation: one sentence per confirmed phenomenon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Human-readable sentences, most confident phenomena first.
+    pub sentences: Vec<String>,
+}
+
+impl std::fmt::Display for Explanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.sentences.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+fn join_names(names: &[String]) -> String {
+    match names.len() {
+        0 => String::new(),
+        1 => names[0].clone(),
+        2 => format!("{} and {}", names[0], names[1]),
+        _ => format!(
+            "{} and {}",
+            names[..names.len() - 1].join(", "),
+            names[names.len() - 1]
+        ),
+    }
+}
+
+/// Generates the explanation for one view from its significant
+/// components. `table` and `mask` are consulted to name over- and
+/// under-represented categories for frequency components.
+pub fn generate(
+    table: &Table,
+    mask: &Bitmask,
+    view: &[usize],
+    components: &[&ZigComponent],
+    alpha: f64,
+) -> Explanation {
+    let sig = significant_components(components, alpha);
+    let mut sentences = Vec::new();
+
+    // --- Mean shifts, grouped by direction, fused with dispersion. -----
+    let mean_dir = |c: &&ZigComponent| {
+        (c.kind == ComponentKind::MeanShift).then_some((c.column_a, c.effect.value > 0.0))
+    };
+    let disp_of = |col: usize| -> Option<f64> {
+        sig.iter()
+            .find(|c| c.kind == ComponentKind::DispersionShift && c.column_a == col)
+            .map(|c| c.effect.value)
+    };
+    let mut consumed_dispersion: Vec<usize> = Vec::new();
+    for up in [true, false] {
+        let cols: Vec<usize> = sig
+            .iter()
+            .filter_map(mean_dir)
+            .filter(|&(_, dir)| dir == up)
+            .map(|(col, _)| col)
+            .collect();
+        if cols.is_empty() {
+            continue;
+        }
+        let names: Vec<String> = cols.iter().map(|&c| table.name(c).to_string()).collect();
+        let level = if up {
+            "particularly high values"
+        } else {
+            "particularly low values"
+        };
+        // Fuse a uniform dispersion direction into the same sentence.
+        let disps: Vec<f64> = cols.iter().filter_map(|&c| disp_of(c)).collect();
+        let dispersion_phrase = if disps.len() == cols.len() && !disps.is_empty() {
+            consumed_dispersion.extend(cols.iter().copied());
+            if disps.iter().all(|&d| d < 0.0) {
+                " and a low variance"
+            } else if disps.iter().all(|&d| d > 0.0) {
+                " and a high variance"
+            } else {
+                consumed_dispersion.retain(|c| !cols.contains(c));
+                ""
+            }
+        } else {
+            ""
+        };
+        let column_word = if cols.len() == 1 { "column" } else { "columns" };
+        sentences.push(format!(
+            "On the {column_word} {}, your selection has {level}{dispersion_phrase}.",
+            join_names(&names)
+        ));
+    }
+
+    // --- Leftover dispersion shifts. ------------------------------------
+    for c in sig
+        .iter()
+        .filter(|c| c.kind == ComponentKind::DispersionShift)
+    {
+        if consumed_dispersion.contains(&c.column_a) {
+            continue;
+        }
+        let spread = if c.effect.value > 0.0 {
+            "more dispersed"
+        } else {
+            "more concentrated"
+        };
+        sentences.push(format!(
+            "On the column {}, the values of your selection are noticeably {spread} \
+             than in the rest of the data.",
+            table.name(c.column_a)
+        ));
+    }
+
+    // --- Correlation shifts. --------------------------------------------
+    for c in sig
+        .iter()
+        .filter(|c| c.kind == ComponentKind::CorrelationShift)
+    {
+        let b = c.column_b.expect("correlation components span two columns");
+        let direction = if c.effect.value > 0.0 {
+            "more positively related"
+        } else {
+            "more negatively related"
+        };
+        sentences.push(format!(
+            "Inside your selection, the columns {} and {} are {direction} than elsewhere \
+             (Fisher-z shift {:+.2}).",
+            table.name(c.column_a),
+            table.name(b),
+            c.effect.value
+        ));
+    }
+
+    // --- Distribution-shape shifts (extended component). -----------------
+    for c in sig.iter().filter(|c| c.kind == ComponentKind::ShapeShift) {
+        // Skip columns already covered by a mean-shift sentence — the KS
+        // signal is then redundant narration.
+        let has_mean = sig
+            .iter()
+            .any(|m| m.kind == ComponentKind::MeanShift && m.column_a == c.column_a);
+        if has_mean {
+            continue;
+        }
+        sentences.push(format!(
+            "The overall distribution of {} differs inside your selection              (Kolmogorov-Smirnov D = {:.2}).",
+            table.name(c.column_a),
+            c.effect.value
+        ));
+    }
+
+    // --- Frequency shifts (consult the data for the culprit labels). ----
+    for c in sig
+        .iter()
+        .filter(|c| c.kind == ComponentKind::FrequencyShift)
+    {
+        let col = c.column_a;
+        let sentence = match frequency_detail(table, mask, col) {
+            Some((label, p_in, p_out)) => format!(
+                "The category '{label}' of {} is strongly over-represented in your selection \
+                 ({:.0}% vs {:.0}% elsewhere).",
+                table.name(col),
+                p_in * 100.0,
+                p_out * 100.0
+            ),
+            None => format!(
+                "Your selection has an unusual mix of categories on {}.",
+                table.name(col)
+            ),
+        };
+        sentences.push(sentence);
+    }
+
+    if sentences.is_empty() {
+        let names: Vec<String> = view.iter().map(|&c| table.name(c).to_string()).collect();
+        sentences.push(format!(
+            "No statistically robust difference was confirmed on the columns {} at \
+             significance level {alpha}.",
+            join_names(&names)
+        ));
+    }
+    Explanation { sentences }
+}
+
+/// Finds the category with the largest positive proportion gap
+/// (inside − outside); returns `(label, p_inside, p_outside)`.
+fn frequency_detail(table: &Table, mask: &Bitmask, col: usize) -> Option<(String, f64, f64)> {
+    let (_, labels) = table.categorical(col).ok()?;
+    let inside = masked_freq(table, col, mask).ok()?;
+    let outside = masked_freq(table, col, &mask.complement()).ok()?;
+    let pi = inside.proportions();
+    let po = outside.proportions();
+    let (best, gap) = pi
+        .iter()
+        .zip(&po)
+        .enumerate()
+        .map(|(i, (a, b))| (i, a - b))
+        .max_by(|x, y| x.1.partial_cmp(&y.1).expect("proportions are finite"))?;
+    if gap <= 0.0 {
+        return None;
+    }
+    Some((labels[best].clone(), pi[best], po[best]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziggy_stats::EffectSize;
+    use ziggy_store::{eval::select, TableBuilder};
+
+    fn mk(kind: ComponentKind, a: usize, b: Option<usize>, value: f64, p: f64) -> ZigComponent {
+        ZigComponent {
+            kind,
+            column_a: a,
+            column_b: b,
+            effect: EffectSize {
+                value,
+                se: 0.1,
+                p_value: p,
+            },
+            normalized: 1.0,
+        }
+    }
+
+    fn sample_table() -> (Table, Bitmask) {
+        let n = 100usize;
+        let mut b = TableBuilder::new();
+        b.add_numeric("population", (0..n).map(|i| i as f64).collect());
+        b.add_numeric("density", (0..n).map(|i| (i * 2) as f64).collect());
+        b.add_categorical(
+            "region",
+            (0..n)
+                .map(|i| Some(if i >= 80 { "west" } else { "east" }))
+                .collect(),
+        );
+        let t = b.build().unwrap();
+        let mask = select(&t, "population >= 80").unwrap();
+        (t, mask)
+    }
+    use ziggy_store::Table;
+
+    #[test]
+    fn paper_style_sentence_high_values_low_variance() {
+        let (t, mask) = sample_table();
+        let comps = [
+            mk(ComponentKind::MeanShift, 0, None, 2.0, 0.001),
+            mk(ComponentKind::MeanShift, 1, None, 1.5, 0.002),
+            mk(ComponentKind::DispersionShift, 0, None, -0.8, 0.01),
+            mk(ComponentKind::DispersionShift, 1, None, -0.5, 0.01),
+        ];
+        let refs: Vec<&ZigComponent> = comps.iter().collect();
+        let e = generate(&t, &mask, &[0, 1], &refs, 0.05);
+        assert_eq!(e.sentences.len(), 1, "{:?}", e.sentences);
+        let s = &e.sentences[0];
+        assert!(s.contains("population") && s.contains("density"), "{s}");
+        assert!(s.contains("particularly high values"), "{s}");
+        assert!(s.contains("and a low variance"), "{s}");
+    }
+
+    #[test]
+    fn low_values_direction() {
+        let (t, mask) = sample_table();
+        let comps = [mk(ComponentKind::MeanShift, 0, None, -2.0, 0.001)];
+        let refs: Vec<&ZigComponent> = comps.iter().collect();
+        let e = generate(&t, &mask, &[0], &refs, 0.05);
+        assert!(e.sentences[0].contains("particularly low values"));
+    }
+
+    #[test]
+    fn mixed_dispersion_not_fused() {
+        let (t, mask) = sample_table();
+        let comps = [
+            mk(ComponentKind::MeanShift, 0, None, 2.0, 0.001),
+            mk(ComponentKind::MeanShift, 1, None, 1.5, 0.002),
+            mk(ComponentKind::DispersionShift, 0, None, -0.8, 0.01),
+            mk(ComponentKind::DispersionShift, 1, None, 0.5, 0.01),
+        ];
+        let refs: Vec<&ZigComponent> = comps.iter().collect();
+        let e = generate(&t, &mask, &[0, 1], &refs, 0.05);
+        // Mean sentence without fused variance + two dispersion sentences.
+        assert!(e.sentences[0].contains("particularly high values"));
+        assert!(!e.sentences[0].contains("variance"));
+        assert_eq!(e.sentences.len(), 3, "{:?}", e.sentences);
+    }
+
+    #[test]
+    fn correlation_sentence() {
+        let (t, mask) = sample_table();
+        let comps = [mk(ComponentKind::CorrelationShift, 0, Some(1), 1.2, 0.003)];
+        let refs: Vec<&ZigComponent> = comps.iter().collect();
+        let e = generate(&t, &mask, &[0, 1], &refs, 0.05);
+        let s = &e.sentences[0];
+        assert!(s.contains("more positively related"), "{s}");
+        assert!(s.contains("population") && s.contains("density"), "{s}");
+    }
+
+    #[test]
+    fn frequency_sentence_names_over_represented_label() {
+        let (t, mask) = sample_table();
+        let comps = [mk(ComponentKind::FrequencyShift, 2, None, 1.0, 0.001)];
+        let refs: Vec<&ZigComponent> = comps.iter().collect();
+        let e = generate(&t, &mask, &[2], &refs, 0.05);
+        let s = &e.sentences[0];
+        // Selection (rows 80..) is all 'west'.
+        assert!(s.contains("'west'"), "{s}");
+        assert!(s.contains("100%"), "{s}");
+    }
+
+    #[test]
+    fn shape_sentence_only_without_mean_shift() {
+        let (t, mask) = sample_table();
+        // Shape shift alone → sentence appears.
+        let comps = [mk(ComponentKind::ShapeShift, 0, None, 0.45, 0.001)];
+        let refs: Vec<&ZigComponent> = comps.iter().collect();
+        let e = generate(&t, &mask, &[0], &refs, 0.05);
+        assert!(
+            e.sentences[0].contains("overall distribution"),
+            "{:?}",
+            e.sentences
+        );
+        assert!(e.sentences[0].contains("D = 0.45"));
+        // With a mean shift on the same column, the KS narration is
+        // suppressed as redundant.
+        let comps = [
+            mk(ComponentKind::MeanShift, 0, None, 2.0, 0.001),
+            mk(ComponentKind::ShapeShift, 0, None, 0.45, 0.001),
+        ];
+        let refs: Vec<&ZigComponent> = comps.iter().collect();
+        let e = generate(&t, &mask, &[0], &refs, 0.05);
+        assert!(e
+            .sentences
+            .iter()
+            .all(|s| !s.contains("overall distribution")));
+    }
+
+    #[test]
+    fn insignificant_components_fall_back() {
+        let (t, mask) = sample_table();
+        let comps = [mk(ComponentKind::MeanShift, 0, None, 0.1, 0.8)];
+        let refs: Vec<&ZigComponent> = comps.iter().collect();
+        let e = generate(&t, &mask, &[0], &refs, 0.05);
+        assert_eq!(e.sentences.len(), 1);
+        assert!(e.sentences[0].contains("No statistically robust difference"));
+    }
+
+    #[test]
+    fn display_joins_sentences() {
+        let e = Explanation {
+            sentences: vec!["A.".into(), "B.".into()],
+        };
+        assert_eq!(e.to_string(), "A.\nB.");
+    }
+
+    #[test]
+    fn join_names_forms() {
+        assert_eq!(join_names(&["a".into()]), "a");
+        assert_eq!(join_names(&["a".into(), "b".into()]), "a and b");
+        assert_eq!(
+            join_names(&["a".into(), "b".into(), "c".into()]),
+            "a, b and c"
+        );
+    }
+}

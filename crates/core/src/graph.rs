@@ -1,0 +1,305 @@
+//! The column dependency graph.
+//!
+//! "It materializes the graph formed by the column's pairwise
+//! dependencies, and partitions it…" (§3, *View Search*.) Nodes are the
+//! table's usable columns; edge weights are a dependence measure `S` in
+//! `[0, 1]`, chosen per column-type pair:
+//!
+//! * numeric–numeric: |Pearson r| (default), |Spearman ρ|, or normalized
+//!   mutual information, per [`DependenceKind`];
+//! * categorical–categorical: Cramér's V;
+//! * numeric–categorical: the correlation ratio η.
+//!
+//! All whole-table quantities — the graph is query-independent and can be
+//! shared across explorations of the same table (the moment cache serves
+//! the Pearson case directly).
+
+use ziggy_cluster::DistanceMatrix;
+use ziggy_store::{ColumnType, StatsCache, Table};
+
+use crate::config::DependenceKind;
+use crate::error::Result;
+
+/// The materialized dependency graph over usable columns.
+#[derive(Debug, Clone)]
+pub struct DependencyGraph {
+    /// Table indices of the graph's nodes (usable columns).
+    columns: Vec<usize>,
+    /// Condensed pairwise similarity, aligned with `columns` positions.
+    sim: Vec<f64>,
+}
+
+/// Decides whether a column can participate in views: numeric columns
+/// need at least two distinct finite values; categorical columns need at
+/// least two populated categories.
+pub fn usable_columns(table: &Table) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in 0..table.n_cols() {
+        match table.schema().column(i).map(|c| c.ctype) {
+            Some(ColumnType::Numeric) => {
+                let data = table.numeric(i).expect("type checked");
+                let mut first: Option<f64> = None;
+                let mut distinct = false;
+                for &v in data {
+                    if !v.is_finite() {
+                        continue;
+                    }
+                    match first {
+                        None => first = Some(v),
+                        Some(f) if f != v => {
+                            distinct = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if distinct {
+                    out.push(i);
+                }
+            }
+            Some(ColumnType::Categorical) => {
+                let (codes, labels) = table.categorical(i).expect("type checked");
+                if labels.len() >= 2 {
+                    let mut seen = vec![false; labels.len()];
+                    let mut populated = 0;
+                    for &c in codes {
+                        if c != u32::MAX && !seen[c as usize] {
+                            seen[c as usize] = true;
+                            populated += 1;
+                            if populated >= 2 {
+                                break;
+                            }
+                        }
+                    }
+                    if populated >= 2 {
+                        out.push(i);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+    out
+}
+
+fn pair_similarity(
+    cache: &StatsCache<'_>,
+    a: usize,
+    b: usize,
+    kind: DependenceKind,
+    mi_bins: usize,
+) -> f64 {
+    let table = cache.table();
+    let ta = table.schema().column(a).map(|c| c.ctype);
+    let tb = table.schema().column(b).map(|c| c.ctype);
+    match (ta, tb) {
+        (Some(ColumnType::Numeric), Some(ColumnType::Numeric)) => match kind {
+            DependenceKind::Pearson => cache
+                .pair(a, b)
+                .and_then(|m| m.correlation().map_err(Into::into))
+                .map(|r| r.abs())
+                .unwrap_or(0.0),
+            DependenceKind::Spearman => {
+                let xs = table.numeric(a).expect("type checked");
+                let ys = table.numeric(b).expect("type checked");
+                ziggy_stats::spearman(xs, ys)
+                    .map(|r| r.abs())
+                    .unwrap_or(0.0)
+            }
+            DependenceKind::MutualInformation => {
+                let xs = table.numeric(a).expect("type checked");
+                let ys = table.numeric(b).expect("type checked");
+                ziggy_stats::mutual_information(xs, ys, mi_bins).unwrap_or(0.0)
+            }
+        },
+        (Some(ColumnType::Categorical), Some(ColumnType::Categorical)) => {
+            let (ca, la) = table.categorical(a).expect("type checked");
+            let (cb, lb) = table.categorical(b).expect("type checked");
+            let mut counts = vec![vec![0u64; lb.len()]; la.len()];
+            for (&x, &y) in ca.iter().zip(cb) {
+                if x != u32::MAX && y != u32::MAX {
+                    counts[x as usize][y as usize] += 1;
+                }
+            }
+            ziggy_stats::cramers_v_counts(&counts).unwrap_or(0.0)
+        }
+        (Some(ColumnType::Numeric), Some(ColumnType::Categorical))
+        | (Some(ColumnType::Categorical), Some(ColumnType::Numeric)) => {
+            let (num_col, cat_col) = if ta == Some(ColumnType::Numeric) {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            let values = table.numeric(num_col).expect("type checked");
+            let (codes, labels) = table.categorical(cat_col).expect("type checked");
+            let opt_codes: Vec<Option<u32>> = codes
+                .iter()
+                .map(|&c| if c == u32::MAX { None } else { Some(c) })
+                .collect();
+            ziggy_stats::correlation_ratio(&opt_codes, values, labels.len()).unwrap_or(0.0)
+        }
+        _ => 0.0,
+    }
+}
+
+impl DependencyGraph {
+    /// Materializes the graph over the given usable columns. Degenerate
+    /// pairs (constant margins and the like) get similarity 0 rather than
+    /// failing the whole graph.
+    pub fn build(
+        cache: &StatsCache<'_>,
+        columns: Vec<usize>,
+        kind: DependenceKind,
+        mi_bins: usize,
+    ) -> Result<Self> {
+        let m = columns.len();
+        let mut sim = Vec::with_capacity(m.saturating_sub(1) * m / 2);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let s = pair_similarity(cache, columns[i], columns[j], kind, mi_bins);
+                sim.push(s.clamp(0.0, 1.0));
+            }
+        }
+        Ok(Self { columns, sim })
+    }
+
+    /// Table indices of the nodes.
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Similarity between nodes at *positions* `i` and `j` (1 on the
+    /// diagonal).
+    pub fn similarity(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        let n = self.columns.len();
+        self.sim[a * n - a * (a + 1) / 2 + (b - a - 1)]
+    }
+
+    /// Converts to the distance matrix `1 − S` for clustering.
+    pub fn to_distance_matrix(&self) -> Result<DistanceMatrix> {
+        Ok(DistanceMatrix::from_condensed(
+            self.sim.iter().map(|&s| (1.0 - s).max(0.0)).collect(),
+        )?)
+    }
+
+    /// Minimum pairwise similarity among a set of node *positions* —
+    /// the paper's `tightness` (Equation 2). A singleton has tightness 1.
+    pub fn tightness(&self, positions: &[usize]) -> f64 {
+        let mut min = 1.0f64;
+        for (idx, &i) in positions.iter().enumerate() {
+            for &j in &positions[idx + 1..] {
+                min = min.min(self.similarity(i, j));
+            }
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziggy_store::TableBuilder;
+
+    fn sample() -> Table {
+        let n = 240;
+        let mut b = TableBuilder::new();
+        // x and y strongly dependent, z independent noise.
+        b.add_numeric("x", (0..n).map(|i| i as f64).collect());
+        b.add_numeric(
+            "y",
+            (0..n)
+                .map(|i| i as f64 * 2.0 + ((i * 31) % 5) as f64)
+                .collect(),
+        );
+        b.add_numeric("z", (0..n).map(|i| ((i * 7919) % 101) as f64).collect());
+        // Categorical correlated with x's halves; plus a constant-ish one.
+        b.add_categorical(
+            "half",
+            (0..n)
+                .map(|i| Some(if i < n / 2 { "lo" } else { "hi" }))
+                .collect(),
+        );
+        b.add_categorical("const", (0..n).map(|_| Some("only")).collect());
+        b.add_numeric("flat", vec![3.0; n]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn usable_excludes_degenerates() {
+        let t = sample();
+        let usable = usable_columns(&t);
+        // "const" (single category) and "flat" (constant numeric) excluded.
+        assert_eq!(usable, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pearson_graph_strong_and_weak_edges() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        let g = DependencyGraph::build(&cache, vec![0, 1, 2], DependenceKind::Pearson, 8).unwrap();
+        assert!(g.similarity(0, 1) > 0.95, "x~y should be near 1");
+        assert!(g.similarity(0, 2) < 0.3, "x~z should be weak");
+        assert_eq!(g.similarity(1, 0), g.similarity(0, 1));
+        assert_eq!(g.similarity(2, 2), 1.0);
+    }
+
+    #[test]
+    fn mixed_type_edges() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        let g = DependencyGraph::build(&cache, vec![0, 3], DependenceKind::Pearson, 8).unwrap();
+        // x (ramp) strongly separates the two halves → high eta.
+        assert!(g.similarity(0, 1) > 0.8);
+    }
+
+    #[test]
+    fn tightness_is_min_pairwise() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        let g = DependencyGraph::build(&cache, vec![0, 1, 2], DependenceKind::Pearson, 8).unwrap();
+        let tight_xy = g.tightness(&[0, 1]);
+        let tight_all = g.tightness(&[0, 1, 2]);
+        assert!(tight_xy > tight_all);
+        assert_eq!(g.tightness(&[1]), 1.0);
+    }
+
+    #[test]
+    fn distance_matrix_complements_similarity() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        let g = DependencyGraph::build(&cache, vec![0, 1, 2], DependenceKind::Pearson, 8).unwrap();
+        let d = g.to_distance_matrix().unwrap();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!((d.get(i, j) - (1.0 - g.similarity(i, j))).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn spearman_and_mi_variants_run() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        for kind in [DependenceKind::Spearman, DependenceKind::MutualInformation] {
+            let g = DependencyGraph::build(&cache, vec![0, 1, 2], kind, 6).unwrap();
+            assert!(
+                g.similarity(0, 1) > g.similarity(0, 2),
+                "{kind:?}: dependent pair must beat the independent pair"
+            );
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! The three-stage pipeline (paper Figure 4): preparation → view search →
+//! post-processing.
+
+use std::time::Instant;
+
+use ziggy_store::{eval, parse_predicate, Bitmask, StatsCache, Table};
+
+use crate::candidates::generate_candidates;
+use crate::config::ZiggyConfig;
+use crate::error::{Result, ZiggyError};
+use crate::explain;
+use crate::graph::{usable_columns, DependencyGraph};
+use crate::prepare::prepare;
+use crate::report::{CharacterizationReport, StageTimings, View, ViewReport};
+use crate::robust::view_robustness;
+use crate::search::search;
+
+/// The Ziggy engine bound to one table.
+///
+/// Holds the whole-table statistics cache, so successive queries against
+/// the same table share the expensive moment computations (the paper's
+/// between-query optimization).
+pub struct Ziggy<'t> {
+    table: &'t Table,
+    cache: StatsCache<'t>,
+    config: ZiggyConfig,
+    /// Dependency graph is query-independent; memoized after first use.
+    graph: parking_lot::Mutex<Option<DependencyGraph>>,
+}
+
+// parking_lot re-export via ziggy-store's dependency is not public; the
+// engine takes its own direct dependency (see Cargo.toml).
+
+impl<'t> Ziggy<'t> {
+    /// Creates an engine over `table` with the given configuration.
+    /// Configuration problems surface on the first characterization.
+    pub fn new(table: &'t Table, config: ZiggyConfig) -> Self {
+        Self {
+            table,
+            cache: StatsCache::new(table),
+            config,
+            graph: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ZiggyConfig {
+        &self.config
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &'t Table {
+        self.table
+    }
+
+    /// The whole-table statistics cache (shared across queries).
+    pub fn cache(&self) -> &StatsCache<'t> {
+        &self.cache
+    }
+
+    fn graph(&self) -> Result<DependencyGraph> {
+        let mut slot = self.graph.lock();
+        if let Some(g) = slot.as_ref() {
+            return Ok(g.clone());
+        }
+        let usable = usable_columns(self.table);
+        if usable.is_empty() {
+            return Err(ZiggyError::NoUsableColumns);
+        }
+        let g = DependencyGraph::build(
+            &self.cache,
+            usable,
+            self.config.dependence,
+            self.config.mi_bins,
+        )?;
+        *slot = Some(g.clone());
+        Ok(g)
+    }
+
+    /// ASCII dendrogram of the column dependency graph — the "visual
+    /// support to help setting the parameter MIN_tight".
+    pub fn dependency_dendrogram(&self) -> Result<String> {
+        let g = self.graph()?;
+        if g.len() < 2 {
+            return Ok("<fewer than two usable columns>".to_string());
+        }
+        let dend = ziggy_cluster::hierarchical(
+            &g.to_distance_matrix()?,
+            ziggy_cluster::Linkage::Complete,
+        )?;
+        let labels: Vec<String> = g
+            .columns()
+            .iter()
+            .map(|&c| self.table.name(c).to_string())
+            .collect();
+        Ok(dend.render_ascii(&labels))
+    }
+
+    /// Characterizes the result of a predicate query (parse + evaluate +
+    /// [`Ziggy::characterize_mask`]).
+    pub fn characterize(&self, query: &str) -> Result<CharacterizationReport> {
+        let expr = parse_predicate(query)?;
+        let mask = eval::evaluate(&expr, self.table)?;
+        self.characterize_mask(&mask, query)
+    }
+
+    /// Characterizes an arbitrary selection mask (`query_label` is used
+    /// for reporting only).
+    pub fn characterize_mask(
+        &self,
+        mask: &Bitmask,
+        query_label: &str,
+    ) -> Result<CharacterizationReport> {
+        self.config.validate()?;
+        let n_inside = mask.count_ones();
+        let n_outside = self.table.n_rows() - n_inside;
+        if n_inside < self.config.min_side_rows || n_outside < self.config.min_side_rows {
+            return Err(ZiggyError::DegenerateSelection {
+                inside: n_inside,
+                outside: n_outside,
+                needed: self.config.min_side_rows,
+            });
+        }
+
+        // --- Stage 1: preparation. --------------------------------------
+        let t0 = Instant::now();
+        let graph = self.graph()?;
+        let prepared = prepare(&self.cache, mask, graph.columns(), &self.config)?;
+        let preparation_us = t0.elapsed().as_micros() as u64;
+
+        // --- Stage 2: view search. --------------------------------------
+        let t1 = Instant::now();
+        let candidates = generate_candidates(&graph, &self.config)?;
+        let selected = search(candidates, &prepared, &self.config);
+        let view_search_us = t1.elapsed().as_micros() as u64;
+
+        // --- Stage 3: post-processing. ----------------------------------
+        let t2 = Instant::now();
+        let mut views = Vec::with_capacity(selected.len());
+        for sv in selected {
+            let comp_refs = prepared.components_for_view(&sv.columns);
+            let robustness_p = view_robustness(&comp_refs, self.config.aggregation);
+            if self.config.filter_insignificant && robustness_p >= self.config.alpha {
+                continue;
+            }
+            let explanation =
+                explain::generate(self.table, mask, &sv.columns, &comp_refs, self.config.alpha);
+            let positions: Vec<usize> = sv
+                .columns
+                .iter()
+                .filter_map(|c| graph.columns().iter().position(|x| x == c))
+                .collect();
+            let tightness = graph.tightness(&positions);
+            let names = sv
+                .columns
+                .iter()
+                .map(|&c| self.table.name(c).to_string())
+                .collect();
+            views.push(ViewReport {
+                view: View {
+                    columns: sv.columns,
+                    names,
+                },
+                score: sv.score,
+                robustness_p,
+                tightness,
+                components: comp_refs.into_iter().copied().collect(),
+                explanation,
+            });
+        }
+        let post_processing_us = t2.elapsed().as_micros() as u64;
+
+        Ok(CharacterizationReport {
+            query: query_label.to_string(),
+            n_inside,
+            n_outside,
+            views,
+            timings: StageTimings {
+                preparation_us,
+                view_search_us,
+                post_processing_us,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziggy_store::TableBuilder;
+
+    /// A table with a planted 2-column characteristic view:
+    /// (pop, density) correlated and shifted inside the selection.
+    fn crime_like() -> Table {
+        let n = 600usize;
+        let sel = |i: usize| i >= 450;
+        let noise = |i: usize, k: usize| ((i * (31 + 7 * k)) % 17) as f64 * 0.3;
+        let mut b = TableBuilder::new();
+        b.add_numeric(
+            "crime",
+            (0..n)
+                .map(|i| if sel(i) { 90.0 } else { 10.0 } + noise(i, 0))
+                .collect(),
+        );
+        b.add_numeric(
+            "pop",
+            (0..n)
+                .map(|i| if sel(i) { 80.0 } else { 20.0 } + noise(i, 1) * 4.0)
+                .collect(),
+        );
+        b.add_numeric(
+            "density",
+            (0..n)
+                .map(|i| {
+                    let pop = if sel(i) { 80.0 } else { 20.0 } + noise(i, 1) * 4.0;
+                    pop * 1.5 + noise(i, 2)
+                })
+                .collect(),
+        );
+        b.add_numeric("rain", (0..n).map(|i| ((i * 7919) % 100) as f64).collect());
+        b.add_categorical(
+            "coast",
+            (0..n)
+                .map(|i| Some(if i % 3 == 0 { "yes" } else { "no" }))
+                .collect(),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_finds_planted_view() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        let report = z.characterize("crime >= 50").unwrap();
+        assert_eq!(report.n_inside, 150);
+        assert!(!report.views.is_empty());
+        let top = report.best_view().unwrap();
+        // The top view should involve pop and/or density (excluding the
+        // selection column itself is not required by the paper).
+        let names: Vec<&str> = top.view.names.iter().map(|s| s.as_str()).collect();
+        assert!(
+            names.contains(&"pop") || names.contains(&"density") || names.contains(&"crime"),
+            "unexpected top view {names:?}"
+        );
+        assert!(top.score > 0.0);
+        assert!(top.robustness_p < 0.05);
+        assert!(!top.explanation.sentences.is_empty());
+    }
+
+    #[test]
+    fn views_are_disjoint_and_tight() {
+        let t = crime_like();
+        let config = ZiggyConfig {
+            min_tightness: 0.3,
+            ..Default::default()
+        };
+        let z = Ziggy::new(&t, config.clone());
+        let report = z.characterize("crime >= 50").unwrap();
+        let mut seen: Vec<usize> = Vec::new();
+        for v in &report.views {
+            for c in &v.view.columns {
+                assert!(!seen.contains(c), "column {c} appears in two views");
+                seen.push(*c);
+            }
+            assert!(v.view.len() <= config.max_view_size);
+            assert!(v.tightness >= config.min_tightness - 1e-9);
+        }
+    }
+
+    #[test]
+    fn ranking_is_descending() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        let report = z.characterize("crime >= 50").unwrap();
+        for w in report.views.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn degenerate_selections_rejected() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        assert!(matches!(
+            z.characterize("crime < 0"),
+            Err(ZiggyError::DegenerateSelection { .. })
+        ));
+        assert!(matches!(
+            z.characterize("crime >= 0"),
+            Err(ZiggyError::DegenerateSelection { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_query_propagates_parse_error() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        assert!(matches!(
+            z.characterize("crime >>> 1"),
+            Err(ZiggyError::Store(_))
+        ));
+        assert!(matches!(
+            z.characterize("nope > 1"),
+            Err(ZiggyError::Store(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_characterize() {
+        let t = crime_like();
+        let z = Ziggy::new(
+            &t,
+            ZiggyConfig {
+                max_views: 0,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            z.characterize("crime >= 50"),
+            Err(ZiggyError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn preparation_dominates_timings() {
+        // Paper: "This is often the most time consuming step."
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        let report = z.characterize("crime >= 50").unwrap();
+        assert!(report.timings.total_us() > 0);
+        // Don't assert dominance strictly (tiny table), just coherence.
+        assert_eq!(
+            report.timings.total_us(),
+            report.timings.preparation_us
+                + report.timings.view_search_us
+                + report.timings.post_processing_us
+        );
+    }
+
+    #[test]
+    fn cache_makes_second_query_cheaper_or_equal() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        let first = z.characterize("crime >= 50").unwrap();
+        let second = z.characterize("pop >= 50").unwrap();
+        // Both succeed and share the cache; the graph is only built once.
+        assert!(first.timings.total_us() > 0 && second.timings.total_us() > 0);
+        let (uni, pair, freq) = z.cache().sizes();
+        assert!(uni >= 4 && pair >= 6 && freq >= 1);
+    }
+
+    #[test]
+    fn filter_insignificant_drops_noise_views() {
+        let t = crime_like();
+        let config = ZiggyConfig {
+            filter_insignificant: true,
+            ..Default::default()
+        };
+        let z = Ziggy::new(&t, config);
+        let report = z.characterize("crime >= 50").unwrap();
+        for v in &report.views {
+            assert!(v.robustness_p < 0.05);
+        }
+    }
+
+    #[test]
+    fn dendrogram_rendering() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        let art = z.dependency_dendrogram().unwrap();
+        assert!(art.contains("pop"));
+        assert!(art.contains("height"));
+    }
+
+    #[test]
+    fn characterize_mask_matches_query_path() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        let mask = ziggy_store::eval::select(&t, "crime >= 50").unwrap();
+        let via_mask = z.characterize_mask(&mask, "crime >= 50").unwrap();
+        let via_query = z.characterize("crime >= 50").unwrap();
+        assert_eq!(via_mask.n_inside, via_query.n_inside);
+        assert_eq!(via_mask.views.len(), via_query.views.len());
+        for (a, b) in via_mask.views.iter().zip(&via_query.views) {
+            assert_eq!(a.view, b.view);
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Preparation stage: execute the query and compute all Zig-Components.
+//!
+//! "During the preparation step, Ziggy executes the user's query, loads
+//! the results, and computes the Zig-Components associated to each column
+//! and each couple of columns. This is often the most time consuming
+//! step." (§3.) Costs are kept down two ways:
+//!
+//! * complement statistics come from the whole-table moment cache by
+//!   subtraction (one masked scan per query instead of two full scans) —
+//!   the reproduction of the full paper's shared-computation strategy;
+//! * pairwise components are computed on worker threads via
+//!   `crossbeam::scope` when [`ZiggyConfig::parallel`] is set.
+
+use std::collections::HashMap;
+
+use ziggy_stats::{PairMoments, UniMoments};
+use ziggy_store::{Bitmask, ColumnType, StatsCache};
+
+use crate::component::{normalize_components, ComponentKind, ZigComponent};
+use crate::config::ZiggyConfig;
+use crate::error::Result;
+
+/// All Zig-Components of one query, normalized and indexed.
+#[derive(Debug, Clone)]
+pub struct PreparedStats {
+    /// Rows matched by the query.
+    pub n_inside: usize,
+    /// Rows outside the selection.
+    pub n_outside: usize,
+    /// Every successfully computed component (normalized).
+    components: Vec<ZigComponent>,
+    /// Index from `(kind, column_a, column_b)` into `components`.
+    index: HashMap<(ComponentKind, usize, usize), usize>,
+}
+
+const NO_COLUMN: usize = usize::MAX;
+
+impl PreparedStats {
+    /// All components.
+    pub fn components(&self) -> &[ZigComponent] {
+        &self.components
+    }
+
+    /// Looks up a univariate component for a column.
+    pub fn uni_component(&self, kind: ComponentKind, column: usize) -> Option<&ZigComponent> {
+        self.index
+            .get(&(kind, column, NO_COLUMN))
+            .map(|&i| &self.components[i])
+    }
+
+    /// Looks up the correlation component for an unordered column pair.
+    pub fn pair_component(&self, a: usize, b: usize) -> Option<&ZigComponent> {
+        let key = (ComponentKind::CorrelationShift, a.min(b), a.max(b));
+        self.index.get(&key).map(|&i| &self.components[i])
+    }
+
+    /// Components whose columns all lie inside `view` (the inputs to the
+    /// view's Zig-Dissimilarity).
+    pub fn components_for_view(&self, view: &[usize]) -> Vec<&ZigComponent> {
+        self.components.iter().filter(|c| c.within(view)).collect()
+    }
+}
+
+/// Runs the preparation stage over the selection `mask`.
+pub fn prepare(
+    cache: &StatsCache<'_>,
+    mask: &Bitmask,
+    usable: &[usize],
+    config: &ZiggyConfig,
+) -> Result<PreparedStats> {
+    let table = cache.table();
+    let n_inside = mask.count_ones();
+    let n_outside = table.n_rows() - n_inside;
+    let rows: Vec<usize> = mask.iter_ones().collect();
+
+    let mut components: Vec<ZigComponent> = Vec::new();
+
+    // --- Univariate components, one pass per usable column. ------------
+    let mut numeric_cols: Vec<usize> = Vec::new();
+    let mut inside_uni: HashMap<usize, UniMoments> = HashMap::new();
+    for &col in usable {
+        match table.schema().column(col).map(|c| c.ctype) {
+            Some(ColumnType::Numeric) => {
+                let data = table.numeric(col)?;
+                let mut inside = UniMoments::new();
+                for &r in &rows {
+                    inside.push(data[r]);
+                }
+                let outside = cache.uni_complement(col, &inside)?;
+                if let Ok(c) = ZigComponent::mean_shift(col, &inside, &outside) {
+                    components.push(c);
+                }
+                if let Ok(c) = ZigComponent::dispersion_shift(col, &inside, &outside) {
+                    components.push(c);
+                }
+                if config.extended_components {
+                    // Raw-sample component: needs the actual values, not
+                    // just moments (hence the extra per-query cost the
+                    // paper warns about).
+                    let inside_vals: Vec<f64> = rows
+                        .iter()
+                        .map(|&r| data[r])
+                        .filter(|v| v.is_finite())
+                        .collect();
+                    let outside_vals: Vec<f64> = data
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, v)| !mask.get(*i) && v.is_finite())
+                        .map(|(_, &v)| v)
+                        .collect();
+                    if let Ok(c) = ZigComponent::shape_shift(col, &inside_vals, &outside_vals) {
+                        components.push(c);
+                    }
+                }
+                numeric_cols.push(col);
+                inside_uni.insert(col, inside);
+            }
+            Some(ColumnType::Categorical) => {
+                let inside = ziggy_store::masked_freq(table, col, mask)?;
+                let outside = cache.freq_complement(col, &inside)?;
+                if let Ok(c) = ZigComponent::frequency_shift(col, &inside, &outside) {
+                    components.push(c);
+                }
+            }
+            None => {}
+        }
+    }
+
+    // --- Pairwise (correlation) components. ----------------------------
+    if config.pairwise_components && numeric_cols.len() >= 2 {
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (i, &a) in numeric_cols.iter().enumerate() {
+            for &b in &numeric_cols[i + 1..] {
+                pairs.push((a, b));
+            }
+        }
+        let pair_components = if config.parallel && pairs.len() >= 64 {
+            compute_pairs_parallel(cache, &rows, &pairs)
+        } else {
+            compute_pairs_serial(cache, &rows, &pairs)
+        };
+        components.extend(pair_components);
+    }
+
+    normalize_components(&mut components);
+
+    let mut index = HashMap::with_capacity(components.len());
+    for (i, c) in components.iter().enumerate() {
+        index.insert((c.kind, c.column_a, c.column_b.unwrap_or(NO_COLUMN)), i);
+    }
+    Ok(PreparedStats {
+        n_inside,
+        n_outside,
+        components,
+        index,
+    })
+}
+
+fn compute_pair(
+    cache: &StatsCache<'_>,
+    rows: &[usize],
+    a: usize,
+    b: usize,
+) -> Option<ZigComponent> {
+    let table = cache.table();
+    let xs = table.numeric(a).ok()?;
+    let ys = table.numeric(b).ok()?;
+    let mut inside = PairMoments::new();
+    for &r in rows {
+        inside.push(xs[r], ys[r]);
+    }
+    let outside = cache.pair_complement(a, b, &inside).ok()?;
+    ZigComponent::correlation_shift(a, b, &inside, &outside).ok()
+}
+
+fn compute_pairs_serial(
+    cache: &StatsCache<'_>,
+    rows: &[usize],
+    pairs: &[(usize, usize)],
+) -> Vec<ZigComponent> {
+    pairs
+        .iter()
+        .filter_map(|&(a, b)| compute_pair(cache, rows, a, b))
+        .collect()
+}
+
+fn compute_pairs_parallel(
+    cache: &StatsCache<'_>,
+    rows: &[usize],
+    pairs: &[(usize, usize)],
+) -> Vec<ZigComponent> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    let chunk = pairs.len().div_ceil(threads);
+    let mut out: Vec<ZigComponent> = Vec::with_capacity(pairs.len());
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| {
+                s.spawn(move |_| {
+                    slice
+                        .iter()
+                        .filter_map(|&(a, b)| compute_pair(cache, rows, a, b))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("pairwise worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziggy_store::{eval::select, Table, TableBuilder};
+
+    /// 400 rows; selection = rows 300.. (shifted mean on `shifted`,
+    /// changed correlation on (`cx`, `cy`), different category mix on
+    /// `cat`).
+    fn sample() -> Table {
+        let n = 400usize;
+        let sel = |i: usize| i >= 300;
+        let mut b = TableBuilder::new();
+        b.add_numeric("key", (0..n).map(|i| i as f64).collect());
+        b.add_numeric(
+            "shifted",
+            (0..n)
+                .map(|i| {
+                    let noise = ((i * 37) % 11) as f64 * 0.1;
+                    if sel(i) {
+                        10.0 + noise
+                    } else {
+                        0.0 + noise
+                    }
+                })
+                .collect(),
+        );
+        b.add_numeric("cx", (0..n).map(|i| ((i * 17) % 101) as f64).collect());
+        b.add_numeric(
+            "cy",
+            (0..n)
+                .map(|i| {
+                    let x = ((i * 17) % 101) as f64;
+                    if sel(i) {
+                        x * 2.0 // strong correlation inside.
+                    } else {
+                        ((i * 7919) % 97) as f64 // noise outside.
+                    }
+                })
+                .collect(),
+        );
+        b.add_categorical(
+            "cat",
+            (0..n)
+                .map(|i| {
+                    Some(if sel(i) {
+                        "rare"
+                    } else {
+                        ["common_a", "common_b"][i % 2]
+                    })
+                })
+                .collect(),
+        );
+        b.build().unwrap()
+    }
+
+    fn prep(table: &Table, query: &str, config: &ZiggyConfig) -> PreparedStats {
+        let cache = StatsCache::new(table);
+        let mask = select(table, query).unwrap();
+        let usable = crate::graph::usable_columns(table);
+        prepare(&cache, &mask, &usable, config).unwrap()
+    }
+
+    #[test]
+    fn counts_split() {
+        let t = sample();
+        let p = prep(&t, "key >= 300", &ZiggyConfig::default());
+        assert_eq!(p.n_inside, 100);
+        assert_eq!(p.n_outside, 300);
+    }
+
+    #[test]
+    fn mean_shift_detected_on_shifted_column() {
+        let t = sample();
+        let p = prep(&t, "key >= 300", &ZiggyConfig::default());
+        let col = t.index_of("shifted").unwrap();
+        let c = p
+            .uni_component(ComponentKind::MeanShift, col)
+            .expect("component exists");
+        assert!(
+            c.effect.value > 2.0,
+            "huge shift expected, got {}",
+            c.effect.value
+        );
+        assert!(c.effect.p_value < 1e-6);
+        // It should dominate its family after normalization.
+        assert!((c.normalized - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_shift_detected_on_planted_pair() {
+        let t = sample();
+        let p = prep(&t, "key >= 300", &ZiggyConfig::default());
+        let (cx, cy) = (t.index_of("cx").unwrap(), t.index_of("cy").unwrap());
+        let c = p.pair_component(cx, cy).expect("pair component exists");
+        assert!(c.effect.value.abs() > 1.0);
+        assert!(c.effect.p_value < 1e-4);
+        // Symmetric lookup.
+        assert_eq!(
+            p.pair_component(cy, cx).unwrap().effect.value,
+            c.effect.value
+        );
+    }
+
+    #[test]
+    fn frequency_shift_detected_on_categorical() {
+        let t = sample();
+        let p = prep(&t, "key >= 300", &ZiggyConfig::default());
+        let col = t.index_of("cat").unwrap();
+        let c = p
+            .uni_component(ComponentKind::FrequencyShift, col)
+            .expect("component exists");
+        assert!(
+            c.effect.value > 1.0,
+            "selection is all-'rare': big Cohen's w"
+        );
+        assert!(c.effect.p_value < 1e-6);
+    }
+
+    #[test]
+    fn extended_components_add_shape_shift() {
+        let t = sample();
+        let base = prep(&t, "key >= 300", &ZiggyConfig::default());
+        assert!(base
+            .components()
+            .iter()
+            .all(|c| c.kind != ComponentKind::ShapeShift));
+        let config = ZiggyConfig {
+            extended_components: true,
+            ..ZiggyConfig::default()
+        };
+        let p = prep(&t, "key >= 300", &config);
+        let col = t.index_of("shifted").unwrap();
+        let c = p
+            .uni_component(ComponentKind::ShapeShift, col)
+            .expect("shape component");
+        assert!(c.effect.value > 0.9, "disjoint distributions: KS D near 1");
+        assert!(c.effect.p_value < 1e-6);
+    }
+
+    #[test]
+    fn disabling_pairwise_removes_correlation_components() {
+        let t = sample();
+        let config = ZiggyConfig {
+            pairwise_components: false,
+            ..ZiggyConfig::default()
+        };
+        let p = prep(&t, "key >= 300", &config);
+        assert!(p
+            .components()
+            .iter()
+            .all(|c| c.kind != ComponentKind::CorrelationShift));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let t = sample();
+        let serial = prep(
+            &t,
+            "key >= 300",
+            &ZiggyConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let parallel = prep(
+            &t,
+            "key >= 300",
+            &ZiggyConfig {
+                parallel: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.components().len(), parallel.components().len());
+        let (cx, cy) = (t.index_of("cx").unwrap(), t.index_of("cy").unwrap());
+        let a = serial.pair_component(cx, cy).unwrap().effect.value;
+        let b = parallel.pair_component(cx, cy).unwrap().effect.value;
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_for_view_filters_by_coverage() {
+        let t = sample();
+        let p = prep(&t, "key >= 300", &ZiggyConfig::default());
+        let (cx, cy) = (t.index_of("cx").unwrap(), t.index_of("cy").unwrap());
+        let view = vec![cx, cy];
+        let comps = p.components_for_view(&view);
+        // 2 mean + 2 dispersion + 1 correlation = 5 components at most.
+        assert!(comps.len() <= 5 && comps.len() >= 3);
+        assert!(comps.iter().all(|c| c.within(&view)));
+    }
+
+    #[test]
+    fn empty_selection_yields_no_components_but_no_panic() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        let mask = select(&t, "key < 0").unwrap();
+        let usable = crate::graph::usable_columns(&t);
+        let p = prepare(&cache, &mask, &usable, &ZiggyConfig::default()).unwrap();
+        assert_eq!(p.n_inside, 0);
+        // Every effect needs >= 2 rows per side; nothing is computable.
+        assert!(p.components().is_empty());
+    }
+}

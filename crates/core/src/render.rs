@@ -1,0 +1,256 @@
+//! ASCII rendering: scatter views (Figure 1) and the interface snapshot
+//! (Figure 5). The demo's Shiny/HTML front-end is replaced by terminal
+//! output; the artifact structure — query box, ranked view list, detail
+//! plot, explanation pane — is preserved.
+
+use ziggy_store::{Bitmask, Table};
+
+use crate::report::CharacterizationReport;
+
+/// Characters used by the scatter renderer.
+const CH_OUT: char = '·';
+const CH_IN: char = '+';
+const CH_BOTH: char = '#';
+
+/// Renders a 2-column scatter plot of the table, marking selection rows
+/// `+`, complement rows `·`, and collisions `#`. Returns a multi-line
+/// string with axis labels (y column name on top, x along the bottom).
+pub fn ascii_scatter(
+    table: &Table,
+    mask: &Bitmask,
+    x_col: usize,
+    y_col: usize,
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.max(8);
+    let height = height.max(4);
+    let xs = match table.numeric(x_col) {
+        Ok(v) => v,
+        Err(_) => return format!("<{} is not numeric>", table.name(x_col)),
+    };
+    let ys = match table.numeric(y_col) {
+        Ok(v) => v,
+        Err(_) => return format!("<{} is not numeric>", table.name(y_col)),
+    };
+    let finite: Vec<(f64, f64, bool)> = xs
+        .iter()
+        .zip(ys)
+        .enumerate()
+        .filter(|(_, (x, y))| x.is_finite() && y.is_finite())
+        .map(|(i, (&x, &y))| (x, y, mask.get(i)))
+        .collect();
+    if finite.is_empty() {
+        return "<no plottable points>".to_string();
+    }
+    let (mut xlo, mut xhi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ylo, mut yhi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y, _) in &finite {
+        xlo = xlo.min(x);
+        xhi = xhi.max(x);
+        ylo = ylo.min(y);
+        yhi = yhi.max(y);
+    }
+    if xlo == xhi {
+        xhi = xlo + 1.0;
+    }
+    if ylo == yhi {
+        yhi = ylo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    let place = |v: f64, lo: f64, hi: f64, cells: usize| -> usize {
+        (((v - lo) / (hi - lo) * cells as f64).floor().max(0.0) as usize).min(cells - 1)
+    };
+    // Outside first so selection markers paint on top.
+    for pass in 0..2 {
+        for &(x, y, inside) in &finite {
+            if (pass == 0) == inside {
+                continue;
+            }
+            let cx = place(x, xlo, xhi, width);
+            let cy = height - 1 - place(y, ylo, yhi, height);
+            let cell = &mut grid[cy][cx];
+            *cell = match (*cell, inside) {
+                (' ', true) => CH_IN,
+                (' ', false) => CH_OUT,
+                (CH_OUT, true) | (CH_IN, false) | (CH_BOTH, _) => CH_BOTH,
+                (c, _) => c,
+            };
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{} ^\n", table.name(y_col)));
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push_str("> ");
+    out.push_str(table.name(x_col));
+    out.push('\n');
+    out.push_str(&format!(
+        "  [{CH_IN} selection  {CH_OUT} others  {CH_BOTH} both]\n"
+    ));
+    out
+}
+
+/// Renders the Figure-5-style "interface snapshot": input query, ranked
+/// views, a detail plot of the top view, and the explanation pane.
+pub fn render_interface(table: &Table, mask: &Bitmask, report: &CharacterizationReport) -> String {
+    let mut out = String::new();
+    let rule = "=".repeat(72);
+    out.push_str(&rule);
+    out.push_str("\nZIGGY — query characterization\n");
+    out.push_str(&rule);
+    out.push('\n');
+    out.push_str(&format!("Input query  : {}\n", report.query));
+    out.push_str(&format!(
+        "Selection    : {} tuples inside, {} outside ({:.1}% selectivity)\n",
+        report.n_inside,
+        report.n_outside,
+        report.selectivity() * 100.0
+    ));
+    out.push_str(&format!(
+        "Timings      : prep {} us | search {} us | post {} us\n",
+        report.timings.preparation_us,
+        report.timings.view_search_us,
+        report.timings.post_processing_us
+    ));
+    out.push_str(&rule);
+    out.push_str("\nVIEWS (by decreasing dissimilarity)\n");
+    for (i, v) in report.views.iter().enumerate() {
+        out.push_str(&format!(
+            "  {}. {}  score={:.3}  robustness p={:.2e}  tightness={:.2}\n",
+            i + 1,
+            v.view,
+            v.score,
+            v.robustness_p,
+            v.tightness
+        ));
+    }
+    if let Some(top) = report.best_view() {
+        out.push_str(&rule);
+        out.push_str(&format!("\nDETAIL — top view {}\n", top.view));
+        if top.view.columns.len() >= 2 {
+            out.push_str(&ascii_scatter(
+                table,
+                mask,
+                top.view.columns[0],
+                top.view.columns[1],
+                56,
+                16,
+            ));
+        } else if top.view.columns.len() == 1 {
+            out.push_str(&format!("(single-column view on {})\n", top.view.names[0]));
+        }
+        out.push_str(&rule);
+        out.push_str("\nEXPLANATIONS\n");
+        for v in &report.views {
+            out.push_str(&format!("{}:\n", v.view));
+            for s in &v.explanation.sentences {
+                out.push_str(&format!("  - {s}\n"));
+            }
+        }
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explain::Explanation;
+    use crate::report::{StageTimings, View, ViewReport};
+    use ziggy_store::{eval::select, TableBuilder};
+
+    fn sample() -> (Table, Bitmask) {
+        let n = 60usize;
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", (0..n).map(|i| i as f64).collect());
+        b.add_numeric("y", (0..n).map(|i| (i * i) as f64 * 0.05).collect());
+        b.add_categorical("c", (0..n).map(|_| Some("k")).collect());
+        let t = b.build().unwrap();
+        let mask = select(&t, "x >= 40").unwrap();
+        (t, mask)
+    }
+
+    #[test]
+    fn scatter_contains_axes_and_markers() {
+        let (t, mask) = sample();
+        let art = ascii_scatter(&t, &mask, 0, 1, 40, 12);
+        assert!(art.contains("y ^"), "{art}");
+        assert!(art.contains("> x"), "{art}");
+        assert!(art.contains('+'), "selection markers missing:\n{art}");
+        assert!(art.contains('·'), "complement markers missing:\n{art}");
+    }
+
+    #[test]
+    fn scatter_selection_lands_in_upper_right() {
+        let (t, mask) = sample();
+        let art = ascii_scatter(&t, &mask, 0, 1, 40, 12);
+        // The selection is the top of both ranges; the first grid row that
+        // contains any marker should contain a '+'.
+        let first_marked = art
+            .lines()
+            .find(|l| l.contains('+') || l.contains('·'))
+            .expect("some markers");
+        assert!(
+            first_marked.contains('+'),
+            "top row lacks selection: {first_marked}"
+        );
+    }
+
+    #[test]
+    fn scatter_degenerate_inputs() {
+        let (t, mask) = sample();
+        // Non-numeric column renders a notice, not a panic.
+        let art = ascii_scatter(&t, &mask, 2, 1, 20, 8);
+        assert!(art.contains("not numeric"));
+        // Constant columns still render.
+        let mut b = TableBuilder::new();
+        b.add_numeric("u", vec![1.0; 10]);
+        b.add_numeric("v", vec![2.0; 10]);
+        let t2 = b.build().unwrap();
+        let m2 = Bitmask::ones(10);
+        let art = ascii_scatter(&t2, &m2, 0, 1, 20, 8);
+        assert!(art.contains('+'));
+    }
+
+    #[test]
+    fn interface_snapshot_structure() {
+        let (t, mask) = sample();
+        let report = CharacterizationReport {
+            query: "x >= 40".into(),
+            n_inside: 20,
+            n_outside: 40,
+            views: vec![ViewReport {
+                view: View {
+                    columns: vec![0, 1],
+                    names: vec!["x".into(), "y".into()],
+                },
+                score: 2.5,
+                robustness_p: 0.001,
+                tightness: 0.9,
+                components: vec![],
+                explanation: Explanation {
+                    sentences: vec!["On the columns x and y, …".into()],
+                },
+            }],
+            timings: StageTimings {
+                preparation_us: 10,
+                view_search_us: 5,
+                post_processing_us: 1,
+            },
+        };
+        let ui = render_interface(&t, &mask, &report);
+        assert!(ui.contains("Input query  : x >= 40"));
+        assert!(ui.contains("VIEWS"));
+        assert!(ui.contains("DETAIL"));
+        assert!(ui.contains("EXPLANATIONS"));
+        assert!(ui.contains("score=2.500"));
+        assert!(ui.contains("33.3% selectivity"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Result types: views, per-view reports, and the full characterization
+//! report (all serde-serializable so harnesses can persist them).
+
+use serde::{Deserialize, Serialize};
+
+use crate::component::ZigComponent;
+use crate::explain::Explanation;
+
+/// A characteristic view: a small set of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    /// Table column indices, sorted ascending.
+    pub columns: Vec<usize>,
+    /// The matching column names.
+    pub names: Vec<String>,
+}
+
+impl View {
+    /// Number of columns in the view.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the view is empty (never produced by the engine).
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+impl std::fmt::Display for View {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{{}}}", self.names.join(", "))
+    }
+}
+
+/// Everything Ziggy reports about one view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewReport {
+    /// The view itself.
+    pub view: View,
+    /// Zig-Dissimilarity score (weighted, normalized; higher = more
+    /// characteristic).
+    pub score: f64,
+    /// Aggregated robustness p-value (lower = harder to explain away by
+    /// chance).
+    pub robustness_p: f64,
+    /// Minimum pairwise dependence among the view's columns (Equation 2).
+    pub tightness: f64,
+    /// The view's Zig-Components (owned snapshot).
+    pub components: Vec<ZigComponent>,
+    /// Generated explanation.
+    pub explanation: Explanation,
+}
+
+/// Wall-clock cost of each pipeline stage, in microseconds (Figure 4's
+/// three boxes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Query execution + Zig-Component computation.
+    pub preparation_us: u64,
+    /// Candidate generation + scoring + ranking.
+    pub view_search_us: u64,
+    /// Robustness testing + explanation generation.
+    pub post_processing_us: u64,
+}
+
+impl StageTimings {
+    /// Total pipeline time in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.preparation_us + self.view_search_us + self.post_processing_us
+    }
+
+    /// Fraction of total time spent in preparation (NaN when total is 0).
+    pub fn preparation_fraction(&self) -> f64 {
+        self.preparation_us as f64 / self.total_us() as f64
+    }
+}
+
+/// The full result of characterizing one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationReport {
+    /// The predicate text that defined the selection.
+    pub query: String,
+    /// Rows matched by the query.
+    pub n_inside: usize,
+    /// Rows outside the selection.
+    pub n_outside: usize,
+    /// Views ranked by decreasing dissimilarity.
+    pub views: Vec<ViewReport>,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+}
+
+impl CharacterizationReport {
+    /// Selectivity of the query (fraction of rows selected).
+    pub fn selectivity(&self) -> f64 {
+        let total = self.n_inside + self.n_outside;
+        if total == 0 {
+            f64::NAN
+        } else {
+            self.n_inside as f64 / total as f64
+        }
+    }
+
+    /// The top view, if any.
+    pub fn best_view(&self) -> Option<&ViewReport> {
+        self.views.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_display() {
+        let v = View {
+            columns: vec![0, 2],
+            names: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(v.to_string(), "{a, b}");
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn timings_arithmetic() {
+        let t = StageTimings {
+            preparation_us: 700,
+            view_search_us: 200,
+            post_processing_us: 100,
+        };
+        assert_eq!(t.total_us(), 1000);
+        assert!((t.preparation_fraction() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_selectivity() {
+        let r = CharacterizationReport {
+            query: "x > 1".into(),
+            n_inside: 25,
+            n_outside: 75,
+            views: vec![],
+            timings: StageTimings::default(),
+        };
+        assert!((r.selectivity() - 0.25).abs() < 1e-12);
+        assert!(r.best_view().is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = CharacterizationReport {
+            query: "x > 1".into(),
+            n_inside: 1,
+            n_outside: 2,
+            views: vec![ViewReport {
+                view: View {
+                    columns: vec![0],
+                    names: vec!["x".into()],
+                },
+                score: 1.5,
+                robustness_p: 0.01,
+                tightness: 1.0,
+                components: vec![],
+                explanation: crate::explain::Explanation {
+                    sentences: vec!["s".into()],
+                },
+            }],
+            timings: StageTimings::default(),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CharacterizationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,117 @@
+//! Post-processing: statistical robustness of the views.
+//!
+//! "For each view, it tests the significance of the Zig-Components
+//! separately, using asymptotic bounds from the literature. Then it
+//! aggregates the confidence scores associated with each component.
+//! Depending on the users' preferences, it retains the lowest value, or
+//! it uses more advanced aggregation schemes such as the Bonferroni
+//! correction." (§3.)
+//!
+//! Per-component p-values come with the effect sizes (asymptotic normal /
+//! χ² bounds, crate `ziggy-stats`); this module aggregates them.
+
+use ziggy_stats::{aggregate_p_values, Aggregation};
+
+use crate::component::ZigComponent;
+
+/// Aggregates the p-values of a view's components into one robustness
+/// p-value. Components without a usable p-value (degenerate SEs) are
+/// skipped; a view with no testable component gets 1.0 (no evidence).
+pub fn view_robustness(components: &[&ZigComponent], scheme: Aggregation) -> f64 {
+    let ps: Vec<f64> = components
+        .iter()
+        .map(|c| c.effect.p_value)
+        .filter(|p| p.is_finite() && (0.0..=1.0).contains(p))
+        .collect();
+    if ps.is_empty() {
+        return 1.0;
+    }
+    aggregate_p_values(&ps, scheme).unwrap_or(1.0)
+}
+
+/// The components of a view that individually clear the significance
+/// threshold, ordered by ascending p-value (most convincing first).
+pub fn significant_components<'a>(
+    components: &[&'a ZigComponent],
+    alpha: f64,
+) -> Vec<&'a ZigComponent> {
+    let mut sig: Vec<&ZigComponent> = components
+        .iter()
+        .copied()
+        .filter(|c| c.effect.p_value.is_finite() && c.effect.p_value < alpha)
+        .collect();
+    sig.sort_by(|a, b| {
+        a.effect
+            .p_value
+            .partial_cmp(&b.effect.p_value)
+            .expect("filtered p-values are finite")
+    });
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ComponentKind;
+    use ziggy_stats::EffectSize;
+
+    fn comp(p: f64) -> ZigComponent {
+        ZigComponent {
+            kind: ComponentKind::MeanShift,
+            column_a: 0,
+            column_b: None,
+            effect: EffectSize {
+                value: 1.0,
+                se: 0.5,
+                p_value: p,
+            },
+            normalized: 1.0,
+        }
+    }
+
+    #[test]
+    fn min_p_vs_bonferroni() {
+        let cs = [comp(0.01), comp(0.5), comp(0.9)];
+        let refs: Vec<&ZigComponent> = cs.iter().collect();
+        let min = view_robustness(&refs, Aggregation::MinP);
+        let bonf = view_robustness(&refs, Aggregation::BonferroniMin);
+        assert!((min - 0.01).abs() < 1e-12);
+        assert!((bonf - 0.03).abs() < 1e-12);
+        assert!(bonf >= min, "Bonferroni is more conservative");
+    }
+
+    #[test]
+    fn skips_nan_p_values() {
+        let mut bad = comp(0.02);
+        bad.effect.p_value = f64::NAN;
+        let cs = [bad, comp(0.04)];
+        let refs: Vec<&ZigComponent> = cs.iter().collect();
+        assert!((view_robustness(&refs, Aggregation::MinP) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_view_gets_one() {
+        assert_eq!(view_robustness(&[], Aggregation::MinP), 1.0);
+        let mut bad = comp(0.0);
+        bad.effect.p_value = f64::NAN;
+        let cs = [bad];
+        let refs: Vec<&ZigComponent> = cs.iter().collect();
+        assert_eq!(view_robustness(&refs, Aggregation::Fisher), 1.0);
+    }
+
+    #[test]
+    fn significant_sorted_ascending() {
+        let cs = [comp(0.04), comp(0.001), comp(0.2)];
+        let refs: Vec<&ZigComponent> = cs.iter().collect();
+        let sig = significant_components(&refs, 0.05);
+        assert_eq!(sig.len(), 2);
+        assert!(sig[0].effect.p_value <= sig[1].effect.p_value);
+    }
+
+    #[test]
+    fn alpha_boundary_is_strict() {
+        let cs = [comp(0.05)];
+        let refs: Vec<&ZigComponent> = cs.iter().collect();
+        assert!(significant_components(&refs, 0.05).is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! View search: score the candidates, rank them, enforce disjointness.
+//!
+//! Solves the paper's optimization (Equation 5) greedily: candidates from
+//! the tightness-constrained partition are ranked by Zig-Dissimilarity,
+//! and views are accepted top-down as long as they share no column with a
+//! previously accepted view (Equation 4's `overlap = 0`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ZiggyConfig;
+use crate::dissimilarity::view_score;
+use crate::prepare::PreparedStats;
+
+/// A candidate view with its Zig-Dissimilarity score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredView {
+    /// Table column indices, sorted.
+    pub columns: Vec<usize>,
+    /// Weighted, normalized Zig-Dissimilarity.
+    pub score: f64,
+}
+
+/// Scores and ranks candidates (descending score, lexicographic columns
+/// as the deterministic tie-break).
+pub fn rank_candidates(
+    candidates: Vec<Vec<usize>>,
+    prepared: &PreparedStats,
+    config: &ZiggyConfig,
+) -> Vec<ScoredView> {
+    let mut scored: Vec<ScoredView> = candidates
+        .into_iter()
+        .map(|mut columns| {
+            columns.sort_unstable();
+            let score = view_score(&columns, prepared, &config.weights);
+            ScoredView { columns, score }
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.columns.cmp(&b.columns))
+    });
+    scored
+}
+
+/// Greedy disjoint selection: walks the ranking and keeps a view when it
+/// shares no column with the views kept so far, until `max_views`.
+pub fn select_disjoint(ranked: Vec<ScoredView>, max_views: usize) -> Vec<ScoredView> {
+    let mut used: Vec<usize> = Vec::new();
+    let mut out = Vec::new();
+    for view in ranked {
+        if out.len() >= max_views {
+            break;
+        }
+        if view.columns.iter().any(|c| used.contains(c)) {
+            continue;
+        }
+        used.extend(view.columns.iter().copied());
+        out.push(view);
+    }
+    out
+}
+
+/// Full view-search stage: rank then select.
+pub fn search(
+    candidates: Vec<Vec<usize>>,
+    prepared: &PreparedStats,
+    config: &ZiggyConfig,
+) -> Vec<ScoredView> {
+    select_disjoint(
+        rank_candidates(candidates, prepared, config),
+        config.max_views,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ZiggyConfig;
+    use crate::graph::usable_columns;
+    use crate::prepare::prepare;
+    use ziggy_store::{eval::select, StatsCache, Table, TableBuilder};
+
+    fn sample() -> Table {
+        let n = 300usize;
+        let mut b = TableBuilder::new();
+        b.add_numeric("key", (0..n).map(|i| i as f64).collect());
+        b.add_numeric(
+            "hot",
+            (0..n)
+                .map(|i| if i >= 200 { 30.0 } else { 0.0 } + ((i * 13) % 7) as f64)
+                .collect(),
+        );
+        b.add_numeric(
+            "warm",
+            (0..n)
+                .map(|i| if i >= 200 { 3.0 } else { 0.0 } + ((i * 29) % 11) as f64)
+                .collect(),
+        );
+        b.add_numeric("cold", (0..n).map(|i| ((i * 7919) % 50) as f64).collect());
+        b.build().unwrap()
+    }
+
+    fn prepared_for(t: &Table) -> PreparedStats {
+        let cache = StatsCache::new(t);
+        let mask = select(t, "key >= 200").unwrap();
+        prepare(&cache, &mask, &usable_columns(t), &ZiggyConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn ranking_puts_hot_first() {
+        let t = sample();
+        let p = prepared_for(&t);
+        let hot = t.index_of("hot").unwrap();
+        let warm = t.index_of("warm").unwrap();
+        let cold = t.index_of("cold").unwrap();
+        let ranked = rank_candidates(
+            vec![vec![cold], vec![hot], vec![warm]],
+            &p,
+            &ZiggyConfig::default(),
+        );
+        assert_eq!(ranked[0].columns, vec![hot]);
+        assert!(ranked[0].score > ranked[2].score);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let t = sample();
+        let p = prepared_for(&t);
+        // Two candidates with identical (zero) scores under zeroed weights.
+        let config = ZiggyConfig {
+            weights: crate::weights::Weights {
+                mean: 0.0,
+                dispersion: 0.0,
+                correlation: 0.0,
+                frequency: 1.0,
+                shape: 0.0,
+            },
+            ..Default::default()
+        };
+        let ranked = rank_candidates(vec![vec![3], vec![1]], &p, &config);
+        assert_eq!(ranked[0].columns, vec![1], "lexicographic tie-break");
+    }
+
+    #[test]
+    fn disjoint_selection_skips_overlaps() {
+        let views = vec![
+            ScoredView {
+                columns: vec![1, 2],
+                score: 10.0,
+            },
+            ScoredView {
+                columns: vec![2, 3],
+                score: 9.0,
+            }, // overlaps.
+            ScoredView {
+                columns: vec![4],
+                score: 8.0,
+            },
+        ];
+        let picked = select_disjoint(views, 5);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].columns, vec![1, 2]);
+        assert_eq!(picked[1].columns, vec![4]);
+    }
+
+    #[test]
+    fn max_views_cap() {
+        let views: Vec<ScoredView> = (0..10)
+            .map(|i| ScoredView {
+                columns: vec![i],
+                score: (10 - i) as f64,
+            })
+            .collect();
+        assert_eq!(select_disjoint(views, 3).len(), 3);
+    }
+
+    #[test]
+    fn selected_views_pairwise_disjoint_property() {
+        let t = sample();
+        let p = prepared_for(&t);
+        let candidates: Vec<Vec<usize>> =
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0], vec![3]];
+        let picked = search(candidates, &p, &ZiggyConfig::default());
+        for (i, a) in picked.iter().enumerate() {
+            for b in &picked[i + 1..] {
+                assert!(
+                    a.columns.iter().all(|c| !b.columns.contains(c)),
+                    "views {a:?} and {b:?} overlap"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Exploration sessions: trial-and-error support on top of the engine.
+//!
+//! The paper frames exploration as a loop — "they write a query, inspect
+//! the results and refine their specifications accordingly" (§1) — and
+//! the conclusion promises Ziggy "as a library, to be included into
+//! external exploration systems". [`ExplorationSession`] is that
+//! integration surface: it keeps the query history, reuses the engine's
+//! whole-table caches across steps, and diffs successive reports so the
+//! explorer sees what *changed* when they refined the query.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::pipeline::Ziggy;
+use crate::report::{CharacterizationReport, View};
+
+/// The difference between two successive characterizations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportDiff {
+    /// Views present now but not in the previous step.
+    pub appeared: Vec<View>,
+    /// Views from the previous step that vanished.
+    pub vanished: Vec<View>,
+    /// Views present in both, with `(previous_score, current_score)`.
+    pub persisted: Vec<(View, f64, f64)>,
+}
+
+impl ReportDiff {
+    /// True when the two reports expose identical view sets.
+    pub fn is_stable(&self) -> bool {
+        self.appeared.is_empty() && self.vanished.is_empty()
+    }
+}
+
+impl std::fmt::Display for ReportDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_stable() {
+            write!(f, "view set unchanged ({} views)", self.persisted.len())?;
+            return Ok(());
+        }
+        for v in &self.appeared {
+            writeln!(f, "+ {v}")?;
+        }
+        for v in &self.vanished {
+            writeln!(f, "- {v}")?;
+        }
+        for (v, old, new) in &self.persisted {
+            writeln!(f, "= {v}  score {old:.3} -> {new:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the view-set difference between two reports (views matched by
+/// their column sets).
+pub fn diff_reports(
+    previous: &CharacterizationReport,
+    current: &CharacterizationReport,
+) -> ReportDiff {
+    let mut appeared = Vec::new();
+    let mut persisted = Vec::new();
+    for cv in &current.views {
+        match previous
+            .views
+            .iter()
+            .find(|pv| pv.view.columns == cv.view.columns)
+        {
+            Some(pv) => persisted.push((cv.view.clone(), pv.score, cv.score)),
+            None => appeared.push(cv.view.clone()),
+        }
+    }
+    let vanished = previous
+        .views
+        .iter()
+        .filter(|pv| {
+            !current
+                .views
+                .iter()
+                .any(|cv| cv.view.columns == pv.view.columns)
+        })
+        .map(|pv| pv.view.clone())
+        .collect();
+    ReportDiff {
+        appeared,
+        vanished,
+        persisted,
+    }
+}
+
+/// A stateful exploration session over one table.
+pub struct ExplorationSession<'t> {
+    engine: Ziggy<'t>,
+    history: Vec<CharacterizationReport>,
+}
+
+impl<'t> ExplorationSession<'t> {
+    /// Wraps an engine into a session.
+    pub fn new(engine: Ziggy<'t>) -> Self {
+        Self {
+            engine,
+            history: Vec::new(),
+        }
+    }
+
+    /// The underlying engine (for dendrograms, cache inspection, …).
+    pub fn engine(&self) -> &Ziggy<'t> {
+        &self.engine
+    }
+
+    /// Characterizes the next query; returns the report plus the diff
+    /// against the previous step (None on the first step). The report is
+    /// recorded in the history.
+    pub fn explore(
+        &mut self,
+        query: &str,
+    ) -> Result<(&CharacterizationReport, Option<ReportDiff>)> {
+        let report = self.engine.characterize(query)?;
+        let diff = self.history.last().map(|prev| diff_reports(prev, &report));
+        self.history.push(report);
+        Ok((self.history.last().expect("just pushed"), diff))
+    }
+
+    /// All reports so far, oldest first.
+    pub fn history(&self) -> &[CharacterizationReport] {
+        &self.history
+    }
+
+    /// Number of exploration steps taken.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True before the first query.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ZiggyConfig;
+    use ziggy_store::{Table, TableBuilder};
+
+    fn table() -> Table {
+        let n = 400usize;
+        let mut b = TableBuilder::new();
+        b.add_numeric("key", (0..n).map(|i| i as f64).collect());
+        b.add_numeric(
+            "high_end",
+            (0..n)
+                .map(|i| if i >= 300 { 40.0 } else { 0.0 } + ((i * 13) % 7) as f64)
+                .collect(),
+        );
+        b.add_numeric(
+            "low_end",
+            (0..n)
+                .map(|i| if i < 100 { 40.0 } else { 0.0 } + ((i * 29) % 7) as f64)
+                .collect(),
+        );
+        b.add_numeric("noise", (0..n).map(|i| ((i * 7919) % 50) as f64).collect());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn first_step_has_no_diff() {
+        let t = table();
+        let mut s = ExplorationSession::new(Ziggy::new(&t, ZiggyConfig::default()));
+        assert!(s.is_empty());
+        let (report, diff) = s.explore("key >= 300").unwrap();
+        assert!(!report.views.is_empty());
+        assert!(diff.is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn refinement_diff_reports_changes() {
+        let t = table();
+        let mut s = ExplorationSession::new(Ziggy::new(&t, ZiggyConfig::default()));
+        s.explore("key >= 300").unwrap();
+        // A very different selection: the low end.
+        let (_, diff) = s.explore("key < 100").unwrap();
+        let _diff = diff.expect("second step has a diff");
+        // The substantive change between the steps: high_end flips from
+        // "particularly high" (selection = top keys) to "particularly low"
+        // (selection = bottom keys). The session history captures it.
+        let explanation_of = |report: &crate::report::CharacterizationReport| -> String {
+            report
+                .views
+                .iter()
+                .find(|v| v.view.names.contains(&"high_end".to_string()))
+                .map(|v| v.explanation.sentences.join(" "))
+                .unwrap_or_default()
+        };
+        let before = explanation_of(&s.history()[0]);
+        let after = explanation_of(&s.history()[1]);
+        assert!(before.contains("particularly high values"), "{before}");
+        assert!(after.contains("particularly low values"), "{after}");
+    }
+
+    #[test]
+    fn identical_queries_are_stable() {
+        let t = table();
+        let mut s = ExplorationSession::new(Ziggy::new(&t, ZiggyConfig::default()));
+        s.explore("key >= 300").unwrap();
+        let (_, diff) = s.explore("key >= 300").unwrap();
+        let diff = diff.unwrap();
+        assert!(diff.is_stable(), "{diff}");
+        for (_, old, new) in &diff.persisted {
+            assert!((old - new).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn history_accumulates() {
+        let t = table();
+        let mut s = ExplorationSession::new(Ziggy::new(&t, ZiggyConfig::default()));
+        s.explore("key >= 300").unwrap();
+        s.explore("key < 100").unwrap();
+        s.explore("key BETWEEN 100 AND 299").unwrap();
+        assert_eq!(s.history().len(), 3);
+        assert_eq!(s.history()[0].query, "key >= 300");
+        assert_eq!(s.history()[2].query, "key BETWEEN 100 AND 299");
+    }
+
+    #[test]
+    fn errors_do_not_pollute_history() {
+        let t = table();
+        let mut s = ExplorationSession::new(Ziggy::new(&t, ZiggyConfig::default()));
+        s.explore("key >= 300").unwrap();
+        assert!(s.explore("nonsense >>>").is_err());
+        assert_eq!(s.len(), 1, "failed step must not be recorded");
+    }
+
+    #[test]
+    fn diff_display_format() {
+        let t = table();
+        let mut s = ExplorationSession::new(Ziggy::new(&t, ZiggyConfig::default()));
+        s.explore("key >= 300").unwrap();
+        let (_, diff) = s.explore("key < 100").unwrap();
+        let diff = diff.unwrap();
+        let text = diff.to_string();
+        if diff.is_stable() {
+            assert!(text.contains("unchanged"), "diff text: {text}");
+        } else {
+            assert!(
+                text.contains('+') || text.contains('-') || text.contains('='),
+                "diff text: {text}"
+            );
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! User preference weights for the Zig-Dissimilarity.
+//!
+//! "To aggregate the Zig-Components, we normalize them and compute a
+//! weighted sum. … The weights in the final sum are defined by the user.
+//! Thanks to this mechanism, our explorers can express their preference
+//! for one type of difference over the others." (§2.2)
+
+use serde::{Deserialize, Serialize};
+
+use crate::component::ComponentKind;
+use crate::error::{Result, ZiggyError};
+
+/// Per-component-family weights (nonnegative, not all zero).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    /// Weight of the difference-between-means component.
+    pub mean: f64,
+    /// Weight of the difference-between-standard-deviations component.
+    pub dispersion: f64,
+    /// Weight of the difference-between-correlations component.
+    pub correlation: f64,
+    /// Weight of the categorical frequency-divergence component.
+    pub frequency: f64,
+    /// Weight of the extended distribution-shape (Kolmogorov–Smirnov)
+    /// component (only computed when
+    /// [`crate::ZiggyConfig::extended_components`] is on).
+    #[serde(default = "default_shape_weight")]
+    pub shape: f64,
+}
+
+fn default_shape_weight() -> f64 {
+    1.0
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Self {
+            mean: 1.0,
+            dispersion: 1.0,
+            correlation: 1.0,
+            frequency: 1.0,
+            shape: 1.0,
+        }
+    }
+}
+
+impl Weights {
+    /// Validates that every weight is finite and nonnegative and at least
+    /// one is positive.
+    pub fn validate(&self) -> Result<()> {
+        let all = [
+            self.mean,
+            self.dispersion,
+            self.correlation,
+            self.frequency,
+            self.shape,
+        ];
+        for w in all {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ZiggyError::InvalidConfig(format!(
+                    "weights must be finite and nonnegative, got {w}"
+                )));
+            }
+        }
+        if all.iter().all(|&w| w == 0.0) {
+            return Err(ZiggyError::InvalidConfig("all weights are zero".into()));
+        }
+        Ok(())
+    }
+
+    /// Weight applied to a component of the given kind.
+    pub fn for_kind(&self, kind: ComponentKind) -> f64 {
+        match kind {
+            ComponentKind::MeanShift => self.mean,
+            ComponentKind::DispersionShift => self.dispersion,
+            ComponentKind::CorrelationShift => self.correlation,
+            ComponentKind::FrequencyShift => self.frequency,
+            ComponentKind::ShapeShift => self.shape,
+        }
+    }
+
+    /// A weight profile that only cares about location shifts.
+    pub fn means_only() -> Self {
+        Self {
+            mean: 1.0,
+            dispersion: 0.0,
+            correlation: 0.0,
+            frequency: 0.0,
+            shape: 0.0,
+        }
+    }
+
+    /// A weight profile emphasizing structural (correlation) change.
+    pub fn structure_heavy() -> Self {
+        Self {
+            mean: 0.5,
+            dispersion: 0.5,
+            correlation: 2.0,
+            frequency: 1.0,
+            shape: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_uniform() {
+        let w = Weights::default();
+        w.validate().unwrap();
+        assert_eq!(w.for_kind(ComponentKind::MeanShift), 1.0);
+        assert_eq!(w.for_kind(ComponentKind::FrequencyShift), 1.0);
+    }
+
+    #[test]
+    fn rejects_negative_nan_and_all_zero() {
+        let bad = Weights {
+            mean: -1.0,
+            ..Weights::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = Weights {
+            dispersion: f64::NAN,
+            ..Weights::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = Weights {
+            mean: 0.0,
+            dispersion: 0.0,
+            correlation: 0.0,
+            frequency: 0.0,
+            shape: 0.0,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn profiles() {
+        Weights::means_only().validate().unwrap();
+        Weights::structure_heavy().validate().unwrap();
+        assert_eq!(
+            Weights::means_only().for_kind(ComponentKind::CorrelationShift),
+            0.0
+        );
+        assert!(Weights::structure_heavy().for_kind(ComponentKind::CorrelationShift) > 1.0);
+    }
+}

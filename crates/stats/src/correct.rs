@@ -1,0 +1,237 @@
+//! Multiple-comparison corrections and p-value aggregation.
+//!
+//! Ziggy's post-processing tests every Zig-Component of a view separately
+//! and then combines the per-component confidences into one robustness
+//! score for the view — "it retains the lowest value, or it uses more
+//! advanced aggregation schemes such as the Bonferroni correction".
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::{ContinuousDistribution, Normal};
+use crate::error::{Result, StatsError};
+use crate::special::inverse_normal_cdf;
+
+/// Family-wise correction applied to a set of p-values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Correction {
+    /// No adjustment.
+    None,
+    /// Bonferroni: multiply each p by the family size (capped at 1).
+    Bonferroni,
+    /// Holm's step-down procedure (uniformly more powerful than Bonferroni
+    /// while controlling the same family-wise error rate).
+    Holm,
+}
+
+/// Scheme for collapsing a view's per-component p-values into one score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Keep the smallest p-value (the paper's default "lowest value").
+    MinP,
+    /// Bonferroni-adjusted minimum: `min(1, k · min p)`.
+    BonferroniMin,
+    /// Fisher's method: `−2 Σ ln p ~ χ²(2k)`.
+    Fisher,
+    /// Stouffer's method: `Σ Φ⁻¹(1 − pᵢ) / √k`.
+    Stouffer,
+}
+
+fn validate_ps(ps: &[f64]) -> Result<()> {
+    if ps.is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "p-value set",
+            needed: 1,
+            got: 0,
+        });
+    }
+    for &p in ps {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(StatsError::InvalidParameter {
+                name: "p",
+                value: p,
+                expected: "0 <= p <= 1",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Adjusts a family of p-values, preserving input order.
+pub fn adjust_p_values(ps: &[f64], method: Correction) -> Result<Vec<f64>> {
+    validate_ps(ps)?;
+    let k = ps.len() as f64;
+    match method {
+        Correction::None => Ok(ps.to_vec()),
+        Correction::Bonferroni => Ok(ps.iter().map(|&p| (p * k).min(1.0)).collect()),
+        Correction::Holm => {
+            let mut idx: Vec<usize> = (0..ps.len()).collect();
+            idx.sort_by(|&a, &b| ps[a].partial_cmp(&ps[b]).expect("validated p-values"));
+            let mut adjusted = vec![0.0; ps.len()];
+            let mut running_max: f64 = 0.0;
+            for (rank, &i) in idx.iter().enumerate() {
+                let factor = (ps.len() - rank) as f64;
+                let adj = (ps[i] * factor).min(1.0);
+                running_max = running_max.max(adj);
+                adjusted[i] = running_max;
+            }
+            Ok(adjusted)
+        }
+    }
+}
+
+/// Aggregates a view's component p-values into one robustness p-value.
+pub fn aggregate_p_values(ps: &[f64], scheme: Aggregation) -> Result<f64> {
+    validate_ps(ps)?;
+    let k = ps.len() as f64;
+    match scheme {
+        Aggregation::MinP => Ok(ps.iter().copied().fold(f64::INFINITY, f64::min)),
+        Aggregation::BonferroniMin => {
+            let min = ps.iter().copied().fold(f64::INFINITY, f64::min);
+            Ok((min * k).min(1.0))
+        }
+        Aggregation::Fisher => {
+            // Guard against log(0); clamp to the smallest positive double.
+            let stat: f64 = ps
+                .iter()
+                .map(|&p| -2.0 * p.max(f64::MIN_POSITIVE).ln())
+                .sum();
+            let chi = crate::dist::ChiSquared::new(2.0 * k)?;
+            Ok(chi.sf(stat))
+        }
+        Aggregation::Stouffer => {
+            let mut z_sum = 0.0;
+            for &p in ps {
+                // Φ⁻¹(1 − p): large positive z for small p.
+                let clamped = p.clamp(1e-300, 1.0 - 1e-16);
+                z_sum += inverse_normal_cdf(1.0 - clamped)?;
+            }
+            let z = z_sum / k.sqrt();
+            Ok(Normal::standard().sf(z))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn bonferroni_multiplies_and_caps() {
+        let adj = adjust_p_values(&[0.01, 0.2, 0.5], Correction::Bonferroni).unwrap();
+        close(adj[0], 0.03, 1e-12);
+        close(adj[1], 0.6, 1e-12);
+        close(adj[2], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn holm_matches_reference() {
+        // R: p.adjust(c(0.01, 0.04, 0.03, 0.005), "holm")
+        //    = 0.03, 0.06, 0.06, 0.02.
+        let adj = adjust_p_values(&[0.01, 0.04, 0.03, 0.005], Correction::Holm).unwrap();
+        close(adj[0], 0.03, 1e-12);
+        close(adj[1], 0.06, 1e-12);
+        close(adj[2], 0.06, 1e-12);
+        close(adj[3], 0.02, 1e-12);
+    }
+
+    #[test]
+    fn holm_never_exceeds_bonferroni() {
+        let ps = [0.001, 0.011, 0.03, 0.045, 0.2, 0.7];
+        let holm = adjust_p_values(&ps, Correction::Holm).unwrap();
+        let bonf = adjust_p_values(&ps, Correction::Bonferroni).unwrap();
+        for (h, b) in holm.iter().zip(&bonf) {
+            assert!(h <= b, "Holm must dominate Bonferroni");
+        }
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let ps = [0.3, 0.01];
+        assert_eq!(adjust_p_values(&ps, Correction::None).unwrap(), ps.to_vec());
+    }
+
+    #[test]
+    fn adjust_validates_input() {
+        assert!(adjust_p_values(&[], Correction::Bonferroni).is_err());
+        assert!(adjust_p_values(&[1.5], Correction::Holm).is_err());
+        assert!(adjust_p_values(&[-0.1], Correction::None).is_err());
+        assert!(adjust_p_values(&[f64::NAN], Correction::Holm).is_err());
+    }
+
+    #[test]
+    fn min_p_and_bonferroni_min() {
+        let ps = [0.02, 0.5, 0.9];
+        close(
+            aggregate_p_values(&ps, Aggregation::MinP).unwrap(),
+            0.02,
+            1e-12,
+        );
+        close(
+            aggregate_p_values(&ps, Aggregation::BonferroniMin).unwrap(),
+            0.06,
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn fisher_reference() {
+        // Fisher's statistic for (0.1, 0.2): −2(ln .1 + ln .2) = 7.824;
+        // χ²(4) upper tail ≈ 0.0983.
+        let p = aggregate_p_values(&[0.1, 0.2], Aggregation::Fisher).unwrap();
+        close(p, 0.098_3, 1e-3);
+    }
+
+    #[test]
+    fn stouffer_symmetric_null() {
+        // All p = 0.5 → z = 0 → aggregate 0.5.
+        let p = aggregate_p_values(&[0.5, 0.5, 0.5], Aggregation::Stouffer).unwrap();
+        close(p, 0.5, 1e-9);
+    }
+
+    #[test]
+    fn aggregation_rewards_consistent_evidence() {
+        // Several moderately small p-values: Fisher/Stouffer amplify,
+        // Bonferroni-min does not.
+        let ps = [0.04, 0.05, 0.05, 0.06];
+        let fisher = aggregate_p_values(&ps, Aggregation::Fisher).unwrap();
+        let stouffer = aggregate_p_values(&ps, Aggregation::Stouffer).unwrap();
+        let bonf = aggregate_p_values(&ps, Aggregation::BonferroniMin).unwrap();
+        assert!(fisher < bonf);
+        assert!(stouffer < bonf);
+    }
+
+    #[test]
+    fn aggregation_handles_extreme_p() {
+        for scheme in [
+            Aggregation::MinP,
+            Aggregation::BonferroniMin,
+            Aggregation::Fisher,
+            Aggregation::Stouffer,
+        ] {
+            let p = aggregate_p_values(&[0.0, 1.0, 0.5], scheme).unwrap();
+            assert!((0.0..=1.0).contains(&p), "{scheme:?} produced {p}");
+        }
+    }
+
+    #[test]
+    fn single_p_value_aggregates_to_itself() {
+        for scheme in [Aggregation::MinP, Aggregation::BonferroniMin] {
+            close(aggregate_p_values(&[0.07], scheme).unwrap(), 0.07, 1e-12);
+        }
+        // Fisher with one p: −2 ln p ~ χ²(2) ⇒ returns p itself.
+        close(
+            aggregate_p_values(&[0.07], Aggregation::Fisher).unwrap(),
+            0.07,
+            1e-9,
+        );
+        close(
+            aggregate_p_values(&[0.07], Aggregation::Stouffer).unwrap(),
+            0.07,
+            1e-9,
+        );
+    }
+}

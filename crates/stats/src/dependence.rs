@@ -1,0 +1,354 @@
+//! Statistical dependence measures — the paper's `S` in the *tightness*
+//! constraint (Equation 2): a view is only admissible when every pair of
+//! its columns is sufficiently interdependent.
+//!
+//! * [`pearson`] / [`spearman`] — linear and rank correlation for
+//!   numeric–numeric pairs.
+//! * [`mutual_information`] — discretized MI, normalized to `[0, 1]`.
+//! * [`cramers_v_counts`] — Cramér's V for categorical–categorical pairs.
+//! * [`correlation_ratio`] — η for categorical–numeric pairs.
+
+use crate::error::{Result, StatsError};
+use crate::moments::PairMoments;
+use crate::rank::average_ranks;
+
+/// Pearson correlation over jointly finite entries of two parallel slices.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    PairMoments::from_slices(xs, ys)?.correlation()
+}
+
+/// Spearman rank correlation (Pearson over average ranks, tie-aware).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    // Rank only the jointly finite rows so the two rank vectors align.
+    let joint: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    if joint.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "Spearman correlation",
+            needed: 2,
+            got: joint.len(),
+        });
+    }
+    let xr = average_ranks(&joint.iter().map(|p| p.0).collect::<Vec<_>>());
+    let yr = average_ranks(&joint.iter().map(|p| p.1).collect::<Vec<_>>());
+    pearson(&xr, &yr)
+}
+
+/// Mutual information between two discretized variables, given the joint
+/// contingency `table` (row-major). Returns MI in nats.
+pub fn mutual_information_from_table(table: &[Vec<u64>]) -> Result<f64> {
+    let rows = table.len();
+    if rows == 0 || table[0].is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "mutual information",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let cols = table[0].len();
+    if table.iter().any(|r| r.len() != cols) {
+        return Err(StatsError::Degenerate("ragged contingency table"));
+    }
+    let n: u64 = table.iter().flatten().sum();
+    if n == 0 {
+        return Err(StatsError::InsufficientData {
+            what: "mutual information",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let nf = n as f64;
+    let row_sums: Vec<f64> = table.iter().map(|r| r.iter().sum::<u64>() as f64).collect();
+    let col_sums: Vec<f64> = (0..cols)
+        .map(|j| table.iter().map(|r| r[j]).sum::<u64>() as f64)
+        .collect();
+    let mut mi = 0.0;
+    for i in 0..rows {
+        for j in 0..cols {
+            let nij = table[i][j] as f64;
+            if nij == 0.0 {
+                continue;
+            }
+            mi += (nij / nf) * ((nij * nf) / (row_sums[i] * col_sums[j])).ln();
+        }
+    }
+    Ok(mi.max(0.0))
+}
+
+/// Normalized mutual information between two numeric slices, discretized
+/// into `bins × bins` equi-width cells. Normalization divides by
+/// `min(H(X), H(Y))`, mapping independence to ~0 and a bijection to 1.
+pub fn mutual_information(xs: &[f64], ys: &[f64], bins: usize) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if bins < 2 {
+        return Err(StatsError::InvalidParameter {
+            name: "bins",
+            value: bins as f64,
+            expected: "bins >= 2",
+        });
+    }
+    let joint: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    if joint.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "mutual information",
+            needed: 2,
+            got: joint.len(),
+        });
+    }
+    let (mut xlo, mut xhi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ylo, mut yhi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &joint {
+        xlo = xlo.min(x);
+        xhi = xhi.max(x);
+        ylo = ylo.min(y);
+        yhi = yhi.max(y);
+    }
+    if xlo >= xhi || ylo >= yhi {
+        return Err(StatsError::Degenerate(
+            "mutual information with a constant margin",
+        ));
+    }
+    let mut table = vec![vec![0u64; bins]; bins];
+    let index = |v: f64, lo: f64, hi: f64| -> usize {
+        (((v - lo) / (hi - lo) * bins as f64).floor().max(0.0) as usize).min(bins - 1)
+    };
+    for &(x, y) in &joint {
+        table[index(x, xlo, xhi)][index(y, ylo, yhi)] += 1;
+    }
+    let mi = mutual_information_from_table(&table)?;
+    let n = joint.len() as f64;
+    let entropy = |sums: Vec<f64>| -> f64 {
+        sums.iter()
+            .filter(|&&s| s > 0.0)
+            .map(|&s| {
+                let p = s / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let hx = entropy(table.iter().map(|r| r.iter().sum::<u64>() as f64).collect());
+    let hy = entropy(
+        (0..bins)
+            .map(|j| table.iter().map(|r| r[j]).sum::<u64>() as f64)
+            .collect(),
+    );
+    let h_min = hx.min(hy);
+    if h_min <= 0.0 {
+        return Err(StatsError::Degenerate(
+            "mutual information with a zero-entropy margin",
+        ));
+    }
+    Ok((mi / h_min).clamp(0.0, 1.0))
+}
+
+/// Cramér's V from a contingency table of raw counts (row-major).
+pub fn cramers_v_counts(table: &[Vec<u64>]) -> Result<f64> {
+    let test = crate::htest::chi2_independence_test(table)?;
+    let n: u64 = table.iter().flatten().sum();
+    let rows = table.iter().filter(|r| r.iter().any(|&c| c > 0)).count();
+    let cols_total = table[0].len();
+    let cols = (0..cols_total)
+        .filter(|&j| table.iter().any(|r| r[j] > 0))
+        .count();
+    let k = rows.min(cols);
+    if k < 2 {
+        return Err(StatsError::Degenerate(
+            "Cramér's V with a single populated margin",
+        ));
+    }
+    Ok((test.statistic / (n as f64 * (k as f64 - 1.0)))
+        .sqrt()
+        .clamp(0.0, 1.0))
+}
+
+/// Correlation ratio η between a categorical grouping (dictionary codes,
+/// `None` = NULL) and a numeric column: √(between-group SS / total SS).
+pub fn correlation_ratio(codes: &[Option<u32>], values: &[f64], cardinality: usize) -> Result<f64> {
+    if codes.len() != values.len() {
+        return Err(StatsError::LengthMismatch {
+            left: codes.len(),
+            right: values.len(),
+        });
+    }
+    let mut sums = vec![0.0f64; cardinality];
+    let mut counts = vec![0u64; cardinality];
+    let mut total_sum = 0.0;
+    let mut total_sq = 0.0;
+    let mut n = 0u64;
+    for (c, &v) in codes.iter().zip(values) {
+        let Some(c) = c else { continue };
+        if !v.is_finite() || (*c as usize) >= cardinality {
+            continue;
+        }
+        sums[*c as usize] += v;
+        counts[*c as usize] += 1;
+        total_sum += v;
+        total_sq += v * v;
+        n += 1;
+    }
+    if n < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "correlation ratio",
+            needed: 2,
+            got: n as usize,
+        });
+    }
+    let grand_mean = total_sum / n as f64;
+    let total_ss = total_sq - n as f64 * grand_mean * grand_mean;
+    if total_ss <= 0.0 {
+        return Err(StatsError::Degenerate(
+            "correlation ratio of a constant numeric column",
+        ));
+    }
+    let mut between_ss = 0.0;
+    for (s, &c) in sums.iter().zip(&counts) {
+        if c == 0 {
+            continue;
+        }
+        let gm = s / c as f64;
+        between_ss += c as f64 * (gm - grand_mean).powi(2);
+    }
+    Ok((between_ss / total_ss).sqrt().clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn pearson_perfect_lines() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        close(pearson(&xs, &[3.0, 5.0, 7.0, 9.0]).unwrap(), 1.0, 1e-12);
+        close(pearson(&xs, &[9.0, 7.0, 5.0, 3.0]).unwrap(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0];
+        // Nonlinear but monotone: Spearman = 1, Pearson < 1.
+        close(spearman(&xs, &ys).unwrap(), 1.0, 1e-12);
+        assert!(pearson(&xs, &ys).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_with_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [10.0, 20.0, 20.0, 30.0];
+        close(spearman(&xs, &ys).unwrap(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn spearman_skips_nan_rows() {
+        let xs = [1.0, f64::NAN, 3.0, 4.0, 5.0];
+        let ys = [2.0, 9.0, 6.0, 8.0, 10.0];
+        let s = spearman(&xs, &ys).unwrap();
+        close(s, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_independent_vs_dependent() {
+        let n = 2000;
+        // Deterministic pseudo-random but independent-ish pair.
+        let xs: Vec<f64> = (0..n).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let ys: Vec<f64> = (0..n).map(|i| ((i * 104729 + 17) % 1000) as f64).collect();
+        let indep = mutual_information(&xs, &ys, 8).unwrap();
+        let dep = mutual_information(&xs, &xs, 8).unwrap();
+        assert!(dep > 0.99, "self-MI should normalize to 1, got {dep}");
+        assert!(indep < 0.15, "independent MI should be near 0, got {indep}");
+    }
+
+    #[test]
+    fn mutual_information_validation() {
+        assert!(mutual_information(&[1.0], &[1.0, 2.0], 4).is_err());
+        assert!(mutual_information(&[1.0, 2.0], &[1.0, 2.0], 1).is_err());
+        assert!(mutual_information(&[1.0, 1.0], &[1.0, 2.0], 4).is_err());
+    }
+
+    #[test]
+    fn mi_from_table_perfect_dependence() {
+        // Diagonal table: MI = ln 2.
+        let mi = mutual_information_from_table(&[vec![50, 0], vec![0, 50]]).unwrap();
+        close(mi, std::f64::consts::LN_2, 1e-9);
+    }
+
+    #[test]
+    fn mi_from_table_independence() {
+        let mi = mutual_information_from_table(&[vec![25, 25], vec![25, 25]]).unwrap();
+        close(mi, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn cramers_v_extremes() {
+        close(
+            cramers_v_counts(&[vec![50, 0], vec![0, 50]]).unwrap(),
+            1.0,
+            1e-9,
+        );
+        close(
+            cramers_v_counts(&[vec![25, 25], vec![25, 25]]).unwrap(),
+            0.0,
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn cramers_v_rectangular_table() {
+        // 2×3 table with strong association.
+        let v = cramers_v_counts(&[vec![40, 5, 5], vec![5, 25, 20]]).unwrap();
+        assert!(v > 0.4 && v <= 1.0);
+    }
+
+    #[test]
+    fn correlation_ratio_group_separation() {
+        // Two perfectly separated groups → η = 1.
+        let codes = [Some(0), Some(0), Some(1), Some(1)].to_vec();
+        let vals = [1.0, 1.0, 9.0, 9.0];
+        close(correlation_ratio(&codes, &vals, 2).unwrap(), 1.0, 1e-12);
+        // Identical group means → η = 0.
+        let vals_same = [1.0, 9.0, 1.0, 9.0];
+        close(
+            correlation_ratio(&codes, &vals_same, 2).unwrap(),
+            0.0,
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn correlation_ratio_skips_nulls_and_nans() {
+        let codes = [Some(0), None, Some(1), Some(1), Some(0)].to_vec();
+        let vals = [1.0, 100.0, 9.0, f64::NAN, 1.0];
+        let eta = correlation_ratio(&codes, &vals, 2).unwrap();
+        close(eta, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn correlation_ratio_validation() {
+        assert!(correlation_ratio(&[Some(0)], &[1.0, 2.0], 2).is_err());
+        assert!(correlation_ratio(&[Some(0), Some(0)], &[5.0, 5.0], 2).is_err());
+    }
+}

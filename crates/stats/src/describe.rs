@@ -1,0 +1,355 @@
+//! Single-pass descriptive summaries.
+//!
+//! [`Summary`] accumulates count, mean, variance (via Welford's numerically
+//! stable recurrence), skewness, kurtosis and extrema in one pass, ignoring
+//! non-finite values — the store encodes SQL NULLs as NaN.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, StatsError};
+
+/// Streaming descriptive summary of a numeric sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice, skipping non-finite entries.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation; non-finite values (NULL encoding) are skipped.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another summary into this one (parallel combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta2 * delta2;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of finite observations seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`n − 1` denominator).
+    pub fn variance(&self) -> Result<f64> {
+        if self.n < 2 {
+            return Err(StatsError::InsufficientData {
+                what: "sample variance",
+                needed: 2,
+                got: self.n as usize,
+            });
+        }
+        Ok((self.m2 / (self.n as f64 - 1.0)).max(0.0))
+    }
+
+    /// Population variance (`n` denominator).
+    pub fn population_variance(&self) -> Result<f64> {
+        if self.n < 1 {
+            return Err(StatsError::InsufficientData {
+                what: "population variance",
+                needed: 1,
+                got: 0,
+            });
+        }
+        Ok((self.m2 / self.n as f64).max(0.0))
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn std_dev(&self) -> Result<f64> {
+        Ok(self.variance()?.sqrt())
+    }
+
+    /// Sample skewness (`g1`, biased moment estimator).
+    pub fn skewness(&self) -> Result<f64> {
+        if self.n < 3 {
+            return Err(StatsError::InsufficientData {
+                what: "skewness",
+                needed: 3,
+                got: self.n as usize,
+            });
+        }
+        let n = self.n as f64;
+        let var = self.m2 / n;
+        if var <= 0.0 {
+            return Err(StatsError::Degenerate("skewness of a constant sample"));
+        }
+        Ok((self.m3 / n) / var.powf(1.5))
+    }
+
+    /// Excess kurtosis (`g2`, biased moment estimator).
+    pub fn kurtosis(&self) -> Result<f64> {
+        if self.n < 4 {
+            return Err(StatsError::InsufficientData {
+                what: "kurtosis",
+                needed: 4,
+                got: self.n as usize,
+            });
+        }
+        let n = self.n as f64;
+        let var = self.m2 / n;
+        if var <= 0.0 {
+            return Err(StatsError::Degenerate("kurtosis of a constant sample"));
+        }
+        Ok((self.m4 / n) / (var * var) - 3.0)
+    }
+
+    /// Smallest finite observation; NaN when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest finite observation; NaN when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Range `max − min`; NaN when empty.
+    pub fn range(&self) -> f64 {
+        self.max() - self.min()
+    }
+}
+
+/// Computes the `q`-quantile (`0 ≤ q ≤ 1`) with linear interpolation
+/// (type-7, the R default). Non-finite values are excluded.
+pub fn quantile(values: &[f64], q: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter {
+            name: "q",
+            value: q,
+            expected: "0 <= q <= 1",
+        });
+    }
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "quantile",
+            needed: 1,
+            got: 0,
+        });
+    }
+    finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+    let h = q * (finite.len() as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Ok(finite[lo])
+    } else {
+        let frac = h - lo as f64;
+        Ok(finite[lo] * (1.0 - frac) + finite[hi] * frac)
+    }
+}
+
+/// Median shortcut for [`quantile`] with `q = 0.5`.
+pub fn median(values: &[f64]) -> Result<f64> {
+    quantile(values, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_nan());
+        assert!(s.min().is_nan());
+        assert!(s.variance().is_err());
+    }
+
+    #[test]
+    fn known_small_sample() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        close(s.mean(), 5.0, 1e-12);
+        close(s.population_variance().unwrap(), 4.0, 1e-12);
+        close(s.variance().unwrap(), 32.0 / 7.0, 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn skewness_and_kurtosis_of_symmetric_sample() {
+        let s = Summary::from_slice(&[-2.0, -1.0, 0.0, 1.0, 2.0]);
+        close(s.skewness().unwrap(), 0.0, 1e-12);
+        // Uniform-ish discrete sample: m4/m2² − 3 = (68/5)/(2·2) − 3 = 0.4·8.5 − 3.
+        close(s.kurtosis().unwrap(), (34.0 / 5.0) / 4.0 - 3.0, 1e-12);
+    }
+
+    #[test]
+    fn skewed_sample_sign() {
+        let s = Summary::from_slice(&[1.0, 1.0, 1.0, 1.0, 100.0]);
+        assert!(s.skewness().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn nan_and_infinity_skipped() {
+        let s = Summary::from_slice(&[1.0, f64::NAN, 2.0, f64::INFINITY, 3.0, f64::NEG_INFINITY]);
+        assert_eq!(s.count(), 3);
+        close(s.mean(), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_degenerate_higher_moments() {
+        let s = Summary::from_slice(&[5.0; 10]);
+        close(s.variance().unwrap(), 0.0, 1e-12);
+        assert!(matches!(s.skewness(), Err(StatsError::Degenerate(_))));
+        assert!(matches!(s.kurtosis(), Err(StatsError::Degenerate(_))));
+    }
+
+    #[test]
+    fn merge_equals_bulk() {
+        let all: Vec<f64> = (0..100)
+            .map(|i| (i as f64) * 0.37 - 3.0 + ((i * i) % 17) as f64)
+            .collect();
+        let bulk = Summary::from_slice(&all);
+        let mut left = Summary::from_slice(&all[..33]);
+        let right = Summary::from_slice(&all[33..]);
+        left.merge(&right);
+        close(left.mean(), bulk.mean(), 1e-10);
+        close(left.variance().unwrap(), bulk.variance().unwrap(), 1e-9);
+        close(left.skewness().unwrap(), bulk.skewness().unwrap(), 1e-9);
+        close(left.kurtosis().unwrap(), bulk.kurtosis().unwrap(), 1e-9);
+        assert_eq!(left.count(), bulk.count());
+        assert_eq!(left.min(), bulk.min());
+        assert_eq!(left.max(), bulk.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        close(quantile(&v, 0.0).unwrap(), 1.0, 1e-12);
+        close(quantile(&v, 1.0).unwrap(), 4.0, 1e-12);
+        close(quantile(&v, 0.5).unwrap(), 2.5, 1e-12);
+        close(quantile(&v, 0.25).unwrap(), 1.75, 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        close(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0, 1e-12);
+        close(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5, 1e-12);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_q_and_empty() {
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[f64::NAN], 0.5).is_err());
+    }
+}

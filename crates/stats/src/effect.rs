@@ -1,0 +1,444 @@
+//! Effect sizes — the raw material of Ziggy's Zig-Components.
+//!
+//! The paper grounds its dissimilarity indicators in the meta-analysis
+//! literature (Hedges & Olkin, *Statistical Methods for Meta-Analysis*,
+//! 1985): each Zig-Component is an effect size comparing the user's
+//! selection (`inside`) against the rest of the table (`outside`), together
+//! with an asymptotic standard error that the post-processing stage turns
+//! into a significance level.
+//!
+//! Provided effects:
+//!
+//! * [`mean_difference`] — Cohen's d (standardized mean difference).
+//! * [`hedges_g`] — Cohen's d with the small-sample bias correction `J`.
+//! * [`log_std_ratio`] — log ratio of standard deviations.
+//! * [`correlation_difference`] — difference of Fisher-z–transformed
+//!   correlation coefficients.
+//! * [`cohens_w`] — frequency divergence for categorical columns.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::{ChiSquared, ContinuousDistribution, Normal};
+use crate::error::{Result, StatsError};
+use crate::moments::UniMoments;
+
+/// An effect size with its asymptotic standard error and two-sided p-value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EffectSize {
+    /// Signed magnitude of the effect (units depend on the effect family).
+    pub value: f64,
+    /// Asymptotic standard error; NaN when no closed form applies.
+    pub se: f64,
+    /// Two-sided p-value of the null "no difference".
+    pub p_value: f64,
+}
+
+impl EffectSize {
+    /// Builds an effect from a value and standard error, deriving the
+    /// p-value from the asymptotic normal `value / se`.
+    pub fn from_z(value: f64, se: f64) -> Self {
+        let p = if se > 0.0 && se.is_finite() {
+            Normal::two_sided_p(value / se)
+        } else if value == 0.0 {
+            1.0
+        } else {
+            f64::NAN
+        };
+        Self {
+            value,
+            se,
+            p_value: p,
+        }
+    }
+
+    /// z-statistic `value / se`; NaN when the SE is unusable.
+    pub fn z(&self) -> f64 {
+        if self.se > 0.0 && self.se.is_finite() {
+            self.value / self.se
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// 95% normal-theory confidence interval `(lo, hi)`.
+    pub fn ci95(&self) -> (f64, f64) {
+        const Z975: f64 = 1.959_963_984_540_054;
+        (self.value - Z975 * self.se, self.value + Z975 * self.se)
+    }
+
+    /// True when the p-value falls below `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value.is_finite() && self.p_value < alpha
+    }
+}
+
+fn require_counts(inside: &UniMoments, outside: &UniMoments, what: &'static str) -> Result<()> {
+    if inside.count() < 2 {
+        return Err(StatsError::InsufficientData {
+            what,
+            needed: 2,
+            got: inside.count() as usize,
+        });
+    }
+    if outside.count() < 2 {
+        return Err(StatsError::InsufficientData {
+            what,
+            needed: 2,
+            got: outside.count() as usize,
+        });
+    }
+    Ok(())
+}
+
+/// Cohen's d: `(mean_in − mean_out) / s_pooled`.
+///
+/// Positive values mean the selection sits *above* the rest of the data.
+/// SE uses the standard large-sample approximation
+/// `√(1/n_i + 1/n_o + d²/(2(n_i + n_o)))`.
+pub fn mean_difference(inside: &UniMoments, outside: &UniMoments) -> Result<EffectSize> {
+    require_counts(inside, outside, "Cohen's d")?;
+    let (ni, no) = (inside.count() as f64, outside.count() as f64);
+    let vi = inside.variance()?;
+    let vo = outside.variance()?;
+    let pooled = ((ni - 1.0) * vi + (no - 1.0) * vo) / (ni + no - 2.0);
+    if pooled <= 0.0 {
+        // Both sides constant: identical means ⇒ no effect; different means
+        // ⇒ an infinite standardized difference, reported as degenerate.
+        return if (inside.mean() - outside.mean()).abs() < f64::EPSILON {
+            Ok(EffectSize {
+                value: 0.0,
+                se: f64::NAN,
+                p_value: 1.0,
+            })
+        } else {
+            Err(StatsError::Degenerate(
+                "standardized mean difference with zero pooled variance",
+            ))
+        };
+    }
+    let d = (inside.mean() - outside.mean()) / pooled.sqrt();
+    let se = (1.0 / ni + 1.0 / no + d * d / (2.0 * (ni + no))).sqrt();
+    Ok(EffectSize::from_z(d, se))
+}
+
+/// Hedges' g: Cohen's d corrected for small-sample bias with
+/// `J(df) = 1 − 3 / (4·df − 1)`, `df = n_i + n_o − 2` (Hedges & Olkin).
+pub fn hedges_g(inside: &UniMoments, outside: &UniMoments) -> Result<EffectSize> {
+    let d = mean_difference(inside, outside)?;
+    let (ni, no) = (inside.count() as f64, outside.count() as f64);
+    let df = ni + no - 2.0;
+    let j = 1.0 - 3.0 / (4.0 * df - 1.0);
+    let g = d.value * j;
+    // Hedges & Olkin large-sample variance of g.
+    let var = (ni + no) / (ni * no) + g * g / (2.0 * (ni + no));
+    Ok(EffectSize::from_z(g, var.sqrt()))
+}
+
+/// Log ratio of standard deviations `ln(s_in / s_out)`.
+///
+/// Zero when the dispersions agree; negative when the selection is *tighter*
+/// than the rest. SE is the classic `√(1/(2(n_i−1)) + 1/(2(n_o−1)))`.
+pub fn log_std_ratio(inside: &UniMoments, outside: &UniMoments) -> Result<EffectSize> {
+    require_counts(inside, outside, "log std-dev ratio")?;
+    let si = inside.std_dev()?;
+    let so = outside.std_dev()?;
+    if si <= 0.0 || so <= 0.0 {
+        return Err(StatsError::Degenerate(
+            "log std-dev ratio with a constant sample",
+        ));
+    }
+    let (ni, no) = (inside.count() as f64, outside.count() as f64);
+    let value = (si / so).ln();
+    let se = (1.0 / (2.0 * (ni - 1.0)) + 1.0 / (2.0 * (no - 1.0))).sqrt();
+    Ok(EffectSize::from_z(value, se))
+}
+
+/// Fisher z transform `atanh(r)`, clamping away from ±1.
+pub fn fisher_z(r: f64) -> f64 {
+    let r = r.clamp(-0.999_999_999, 0.999_999_999);
+    r.atanh()
+}
+
+/// Difference of correlation coefficients via Fisher's z:
+/// `atanh(r_in) − atanh(r_out)`, SE `√(1/(n_i−3) + 1/(n_o−3))`.
+pub fn correlation_difference(
+    r_inside: f64,
+    n_inside: u64,
+    r_outside: f64,
+    n_outside: u64,
+) -> Result<EffectSize> {
+    for (name, r) in [("r_inside", r_inside), ("r_outside", r_outside)] {
+        if !(-1.0..=1.0).contains(&r) || r.is_nan() {
+            return Err(StatsError::InvalidParameter {
+                name,
+                value: r,
+                expected: "-1 <= r <= 1",
+            });
+        }
+    }
+    if n_inside < 4 || n_outside < 4 {
+        return Err(StatsError::InsufficientData {
+            what: "correlation difference",
+            needed: 4,
+            got: n_inside.min(n_outside) as usize,
+        });
+    }
+    let value = fisher_z(r_inside) - fisher_z(r_outside);
+    let se = (1.0 / (n_inside as f64 - 3.0) + 1.0 / (n_outside as f64 - 3.0)).sqrt();
+    Ok(EffectSize::from_z(value, se))
+}
+
+/// Cohen's w for categorical columns: `√(Σ (p_in − p_out)² / p_out)` where
+/// the complement's proportions play the role of the expected distribution.
+///
+/// The p-value comes from the chi-squared statistic `n_in · w²` with
+/// `k − 1` degrees of freedom (goodness-of-fit against the complement).
+/// Categories absent from *both* sides are dropped; categories absent only
+/// from the complement are smoothed with half a pseudo-count to keep the
+/// statistic finite.
+pub fn cohens_w(inside_counts: &[u64], outside_counts: &[u64]) -> Result<EffectSize> {
+    if inside_counts.len() != outside_counts.len() {
+        return Err(StatsError::LengthMismatch {
+            left: inside_counts.len(),
+            right: outside_counts.len(),
+        });
+    }
+    let n_in: u64 = inside_counts.iter().sum();
+    let n_out: u64 = outside_counts.iter().sum();
+    if n_in == 0 || n_out == 0 {
+        return Err(StatsError::InsufficientData {
+            what: "Cohen's w",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let mut w2 = 0.0;
+    let mut active = 0usize;
+    for (&ci, &co) in inside_counts.iter().zip(outside_counts) {
+        if ci == 0 && co == 0 {
+            continue;
+        }
+        active += 1;
+        let p_in = ci as f64 / n_in as f64;
+        // Smooth empty complement cells with half a pseudo-count.
+        let p_out = if co == 0 {
+            0.5 / n_out as f64
+        } else {
+            co as f64 / n_out as f64
+        };
+        let diff = p_in - p_out;
+        w2 += diff * diff / p_out;
+    }
+    if active < 2 {
+        return Err(StatsError::Degenerate(
+            "Cohen's w over fewer than two categories",
+        ));
+    }
+    let w = w2.sqrt();
+    let df = (active - 1) as f64;
+    let chi2 = n_in as f64 * w2;
+    let p = ChiSquared::new(df)?.sf(chi2);
+    // Delta-method SE of w from the noncentral χ² variance approximation.
+    let se = if w > 0.0 {
+        ((2.0 * df + 4.0 * chi2) / (2.0 * n_in as f64)).sqrt() / (2.0 * w * (n_in as f64).sqrt())
+    } else {
+        f64::NAN
+    };
+    Ok(EffectSize {
+        value: w,
+        se,
+        p_value: p,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    fn moments_of(vals: &[f64]) -> UniMoments {
+        UniMoments::from_slice(vals)
+    }
+
+    #[test]
+    fn cohens_d_direction_and_magnitude() {
+        // inside shifted +1 SD above outside.
+        let inside = moments_of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let outside = moments_of(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let e = mean_difference(&inside, &outside).unwrap();
+        // Pooled sd = sqrt(2.5); d = 1/sqrt(2.5).
+        close(e.value, 1.0 / 2.5f64.sqrt(), 1e-12);
+        assert!(e.value > 0.0);
+    }
+
+    #[test]
+    fn cohens_d_zero_for_identical_samples() {
+        let a = moments_of(&[1.0, 2.0, 3.0]);
+        let e = mean_difference(&a, &a).unwrap();
+        close(e.value, 0.0, 1e-12);
+        close(e.p_value, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn cohens_d_antisymmetric() {
+        let a = moments_of(&[5.0, 6.0, 7.0, 8.0]);
+        let b = moments_of(&[1.0, 2.0, 3.0, 4.0]);
+        let ab = mean_difference(&a, &b).unwrap();
+        let ba = mean_difference(&b, &a).unwrap();
+        close(ab.value, -ba.value, 1e-12);
+        close(ab.p_value, ba.p_value, 1e-12);
+    }
+
+    #[test]
+    fn cohens_d_insufficient_data() {
+        let tiny = moments_of(&[1.0]);
+        let ok = moments_of(&[1.0, 2.0, 3.0]);
+        assert!(mean_difference(&tiny, &ok).is_err());
+        assert!(mean_difference(&ok, &tiny).is_err());
+    }
+
+    #[test]
+    fn cohens_d_constant_sides() {
+        let c1 = moments_of(&[2.0, 2.0, 2.0]);
+        let c2 = moments_of(&[3.0, 3.0, 3.0]);
+        // Same constant ⇒ zero effect.
+        let same = mean_difference(&c1, &c1).unwrap();
+        close(same.value, 0.0, 1e-12);
+        // Different constants ⇒ degenerate.
+        assert!(matches!(
+            mean_difference(&c1, &c2),
+            Err(StatsError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn hedges_g_shrinks_d() {
+        let inside = moments_of(&[3.0, 4.0, 5.0, 6.0]);
+        let outside = moments_of(&[1.0, 2.0, 3.0, 4.0]);
+        let d = mean_difference(&inside, &outside).unwrap();
+        let g = hedges_g(&inside, &outside).unwrap();
+        assert!(g.value.abs() < d.value.abs());
+        // J(df=6) = 1 − 3/23.
+        close(g.value, d.value * (1.0 - 3.0 / 23.0), 1e-12);
+    }
+
+    #[test]
+    fn hedges_g_large_samples_converges_to_d() {
+        let a: Vec<f64> = (0..5000).map(|i| (i % 100) as f64 + 1.0).collect();
+        let b: Vec<f64> = (0..5000).map(|i| (i % 100) as f64).collect();
+        let d = mean_difference(&moments_of(&a), &moments_of(&b)).unwrap();
+        let g = hedges_g(&moments_of(&a), &moments_of(&b)).unwrap();
+        close(d.value, g.value, 1e-3);
+    }
+
+    #[test]
+    fn log_std_ratio_signs() {
+        let narrow = moments_of(&[4.9, 5.0, 5.1, 5.0, 4.95, 5.05]);
+        let wide = moments_of(&[1.0, 5.0, 9.0, 3.0, 7.0, 5.0]);
+        let e = log_std_ratio(&narrow, &wide).unwrap();
+        assert!(
+            e.value < 0.0,
+            "tighter selection must give negative log ratio"
+        );
+        let e2 = log_std_ratio(&wide, &narrow).unwrap();
+        close(e.value, -e2.value, 1e-12);
+    }
+
+    #[test]
+    fn log_std_ratio_equal_dispersion() {
+        let a = moments_of(&[1.0, 2.0, 3.0]);
+        let b = moments_of(&[11.0, 12.0, 13.0]);
+        let e = log_std_ratio(&a, &b).unwrap();
+        close(e.value, 0.0, 1e-12);
+        close(e.p_value, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn log_std_ratio_constant_errors() {
+        let c = moments_of(&[2.0, 2.0, 2.0]);
+        let v = moments_of(&[1.0, 2.0, 3.0]);
+        assert!(log_std_ratio(&c, &v).is_err());
+    }
+
+    #[test]
+    fn correlation_difference_basics() {
+        let e = correlation_difference(0.9, 100, 0.1, 400).unwrap();
+        assert!(e.value > 0.0);
+        assert!(
+            e.p_value < 0.001,
+            "strong correlation shift must be significant"
+        );
+        let same = correlation_difference(0.5, 50, 0.5, 50).unwrap();
+        close(same.value, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn correlation_difference_clamps_extremes() {
+        // r = ±1 must not produce infinities.
+        let e = correlation_difference(1.0, 20, -1.0, 20).unwrap();
+        assert!(e.value.is_finite());
+        assert!(e.p_value < 1e-10);
+    }
+
+    #[test]
+    fn correlation_difference_input_validation() {
+        assert!(correlation_difference(1.5, 10, 0.0, 10).is_err());
+        assert!(correlation_difference(0.0, 3, 0.0, 10).is_err());
+        assert!(correlation_difference(f64::NAN, 10, 0.0, 10).is_err());
+    }
+
+    #[test]
+    fn fisher_z_known_values() {
+        close(fisher_z(0.0), 0.0, 1e-15);
+        close(fisher_z(0.5), 0.549_306_144_334_054_8, 1e-12);
+        assert!(fisher_z(1.0).is_finite());
+    }
+
+    #[test]
+    fn cohens_w_identical_distributions() {
+        let e = cohens_w(&[50, 30, 20], &[500, 300, 200]).unwrap();
+        close(e.value, 0.0, 1e-12);
+        assert!(e.p_value > 0.99);
+    }
+
+    #[test]
+    fn cohens_w_detects_shift() {
+        // Selection concentrated in category 0; complement uniform.
+        let e = cohens_w(&[90, 5, 5], &[1000, 1000, 1000]).unwrap();
+        assert!(e.value > 0.5);
+        assert!(e.p_value < 1e-6);
+    }
+
+    #[test]
+    fn cohens_w_skips_jointly_empty_categories() {
+        let with_gap = cohens_w(&[50, 0, 50], &[400, 0, 600]).unwrap();
+        let without = cohens_w(&[50, 50], &[400, 600]).unwrap();
+        close(with_gap.value, without.value, 1e-12);
+    }
+
+    #[test]
+    fn cohens_w_validation() {
+        assert!(cohens_w(&[1, 2], &[1, 2, 3]).is_err());
+        assert!(cohens_w(&[0, 0], &[1, 2]).is_err());
+        assert!(cohens_w(&[5, 0], &[9, 0]).is_err());
+    }
+
+    #[test]
+    fn effect_ci_contains_value() {
+        let e = EffectSize::from_z(0.8, 0.2);
+        let (lo, hi) = e.ci95();
+        assert!(lo < 0.8 && 0.8 < hi);
+        close(hi - 0.8, 0.8 - lo, 1e-12);
+    }
+
+    #[test]
+    fn significance_threshold() {
+        let strong = EffectSize::from_z(1.0, 0.1);
+        assert!(strong.significant_at(0.05));
+        let weak = EffectSize::from_z(0.05, 0.5);
+        assert!(!weak.significant_at(0.05));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type shared by all statistical routines.
+
+use std::fmt;
+
+/// Errors raised by statistical computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// Not enough observations to compute the requested statistic.
+    InsufficientData {
+        /// Human-readable name of the statistic.
+        what: &'static str,
+        /// Observations required.
+        needed: usize,
+        /// Observations available.
+        got: usize,
+    },
+    /// A parameter was outside its legal domain (e.g. negative variance,
+    /// degrees of freedom ≤ 0, probability outside `[0, 1]`).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Description of the legal domain.
+        expected: &'static str,
+    },
+    /// Two paired inputs had mismatched lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The computation is undefined for the given data (e.g. correlation of
+    /// a constant column).
+    Degenerate(&'static str),
+    /// An iterative routine failed to converge.
+    NoConvergence(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InsufficientData { what, needed, got } => {
+                write!(f, "{what}: needs at least {needed} observations, got {got}")
+            }
+            StatsError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => {
+                write!(f, "parameter {name} = {value} invalid: expected {expected}")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(
+                    f,
+                    "paired inputs have mismatched lengths {left} and {right}"
+                )
+            }
+            StatsError::Degenerate(msg) => write!(f, "degenerate input: {msg}"),
+            StatsError::NoConvergence(what) => write!(f, "{what} failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_insufficient_data() {
+        let e = StatsError::InsufficientData {
+            what: "variance",
+            needed: 2,
+            got: 1,
+        };
+        assert_eq!(
+            e.to_string(),
+            "variance: needs at least 2 observations, got 1"
+        );
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = StatsError::InvalidParameter {
+            name: "df",
+            value: -1.0,
+            expected: "df > 0",
+        };
+        assert!(e.to_string().contains("df = -1"));
+        assert!(e.to_string().contains("df > 0"));
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = StatsError::LengthMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(StatsError::Degenerate("constant column"));
+        assert!(e.to_string().contains("constant column"));
+    }
+}

@@ -1,0 +1,409 @@
+//! Binning utilities: equi-width histograms for numeric columns and
+//! frequency tables for categorical columns. Both feed the discretized
+//! dependence measures (mutual information) and the categorical
+//! Zig-Components (frequency divergence).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, StatsError};
+
+/// Equi-width histogram over a fixed `[lo, hi]` range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width buckets spanning
+    /// `[lo, hi]`. Values outside the range clamp into the edge buckets, so
+    /// histograms built over subsets with the *same* range stay comparable.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+                expected: "bins >= 1",
+            });
+        }
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+            return Err(StatsError::InvalidParameter {
+                name: "range",
+                value: hi - lo,
+                expected: "finite lo < hi",
+            });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Builds a histogram over a slice with the range taken from the data.
+    /// Falls back to a single degenerate bucket when all values are equal.
+    pub fn from_data(values: &[f64], bins: usize) -> Result<Self> {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return Err(StatsError::InsufficientData {
+                what: "histogram",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut h = if lo < hi {
+            Self::new(lo, hi, bins)?
+        } else {
+            // Constant column: widen artificially so indexing stays valid.
+            Self::new(lo - 0.5, hi + 0.5, bins)?
+        };
+        for v in finite {
+            h.push(v);
+        }
+        Ok(h)
+    }
+
+    /// Adds one observation; non-finite values are skipped.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let idx = self.bin_index(x);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Bucket index for `x` (clamped to the edge buckets).
+    pub fn bin_index(&self, x: f64) -> usize {
+        let bins = self.counts.len();
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let idx = (frac * bins as f64).floor();
+        (idx.max(0.0) as usize).min(bins - 1)
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations binned.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of buckets.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Lower edge of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Bucket proportions; an empty histogram yields all zeros.
+    pub fn proportions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// `[lo, hi)` edges of bucket `i` (the last bucket is closed).
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+}
+
+/// Computes `k` equi-depth (quantile) cut points for discretization,
+/// returning strictly increasing interior boundaries (duplicates collapse,
+/// so heavily tied data can yield fewer boundaries).
+pub fn equi_depth_edges(values: &[f64], k: usize) -> Result<Vec<f64>> {
+    if k < 2 {
+        return Err(StatsError::InvalidParameter {
+            name: "k",
+            value: k as f64,
+            expected: "k >= 2 buckets",
+        });
+    }
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "equi-depth edges",
+            needed: 1,
+            got: 0,
+        });
+    }
+    finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let mut edges = Vec::with_capacity(k - 1);
+    for i in 1..k {
+        let q = i as f64 / k as f64;
+        let h = q * (finite.len() as f64 - 1.0);
+        let lo = h.floor() as usize;
+        let frac = h - lo as f64;
+        let v = if lo + 1 < finite.len() {
+            finite[lo] * (1.0 - frac) + finite[lo + 1] * frac
+        } else {
+            finite[lo]
+        };
+        if edges.last().is_none_or(|&last| v > last) {
+            edges.push(v);
+        }
+    }
+    Ok(edges)
+}
+
+/// Discretizes a value against sorted interior `edges`, producing bucket ids
+/// `0..=edges.len()`. NaN maps to `None`.
+pub fn discretize(x: f64, edges: &[f64]) -> Option<usize> {
+    if !x.is_finite() {
+        return None;
+    }
+    Some(edges.partition_point(|&e| e <= x))
+}
+
+/// Frequency table over small categorical domains (dictionary codes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyTable {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl FrequencyTable {
+    /// Creates a table over a domain of `cardinality` codes.
+    pub fn new(cardinality: usize) -> Self {
+        Self {
+            counts: vec![0; cardinality],
+            total: 0,
+        }
+    }
+
+    /// Builds a table from dictionary codes; `None` encodes NULL and is
+    /// skipped. Codes beyond `cardinality` are ignored defensively.
+    pub fn from_codes(codes: impl IntoIterator<Item = Option<u32>>, cardinality: usize) -> Self {
+        let mut t = Self::new(cardinality);
+        for c in codes.into_iter().flatten() {
+            t.push(c);
+        }
+        t
+    }
+
+    /// Counts one occurrence of `code`.
+    pub fn push(&mut self, code: u32) {
+        if let Some(slot) = self.counts.get_mut(code as usize) {
+            *slot += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Per-code counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total non-null observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Domain size.
+    pub fn cardinality(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Per-code proportions; all zeros when empty.
+    pub fn proportions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Derives the complement table `self − other` (requires `other` to be a
+    /// per-code subset).
+    pub fn subtract(&self, other: &FrequencyTable) -> Result<FrequencyTable> {
+        if self.counts.len() != other.counts.len() {
+            return Err(StatsError::LengthMismatch {
+                left: self.counts.len(),
+                right: other.counts.len(),
+            });
+        }
+        let mut counts = Vec::with_capacity(self.counts.len());
+        for (&a, &b) in self.counts.iter().zip(&other.counts) {
+            if b > a {
+                return Err(StatsError::InvalidParameter {
+                    name: "subset count",
+                    value: b as f64,
+                    expected: "subset counts <= superset counts",
+                });
+            }
+            counts.push(a - b);
+        }
+        Ok(FrequencyTable {
+            counts,
+            total: self.total - other.total,
+        })
+    }
+
+    /// Merges another table into this one.
+    pub fn merge(&mut self, other: &FrequencyTable) -> Result<()> {
+        if self.counts.len() != other.counts.len() {
+            return Err(StatsError::LengthMismatch {
+                left: self.counts.len(),
+                right: other.counts.len(),
+            });
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for &v in &[0.5, 1.5, 2.5, 9.9, 5.0] {
+            h.push(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.push(-5.0);
+        h.push(7.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn histogram_upper_edge_in_last_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.push(10.0);
+        assert_eq!(h.counts()[4], 1);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_params() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn histogram_from_data_constant_column() {
+        let h = Histogram::from_data(&[3.0, 3.0, 3.0], 4).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn histogram_from_data_empty_errors() {
+        assert!(Histogram::from_data(&[], 4).is_err());
+        assert!(Histogram::from_data(&[f64::NAN], 4).is_err());
+    }
+
+    #[test]
+    fn histogram_proportions_sum_to_one() {
+        let h = Histogram::from_data(&[1.0, 2.0, 3.0, 4.0, 5.0], 3).unwrap();
+        let s: f64 = h.proportions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bin_edges() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn equi_depth_edges_quartiles() {
+        let v: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let e = equi_depth_edges(&v, 4).unwrap();
+        assert_eq!(e.len(), 3);
+        assert!((e[1] - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equi_depth_collapses_duplicates() {
+        let v = [1.0, 1.0, 1.0, 1.0, 1.0, 9.0];
+        let e = equi_depth_edges(&v, 4).unwrap();
+        // Most quantiles land on 1.0; duplicates collapse.
+        let mut sorted = e.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup();
+        assert_eq!(e.len(), sorted.len());
+    }
+
+    #[test]
+    fn discretize_against_edges() {
+        let edges = [2.0, 5.0];
+        assert_eq!(discretize(1.0, &edges), Some(0));
+        assert_eq!(discretize(2.0, &edges), Some(1));
+        assert_eq!(discretize(4.9, &edges), Some(1));
+        assert_eq!(discretize(5.0, &edges), Some(2));
+        assert_eq!(discretize(f64::NAN, &edges), None);
+    }
+
+    #[test]
+    fn frequency_table_counts_and_subtract() {
+        let whole = FrequencyTable::from_codes([Some(0), Some(1), Some(1), Some(2), None], 3);
+        assert_eq!(whole.counts(), &[1, 2, 1]);
+        assert_eq!(whole.total(), 4);
+        let subset = FrequencyTable::from_codes([Some(1), Some(2)], 3);
+        let rest = whole.subtract(&subset).unwrap();
+        assert_eq!(rest.counts(), &[1, 1, 0]);
+        assert_eq!(rest.total(), 2);
+    }
+
+    #[test]
+    fn frequency_table_subtract_rejects_non_subset() {
+        let a = FrequencyTable::from_codes([Some(0)], 2);
+        let b = FrequencyTable::from_codes([Some(0), Some(0)], 2);
+        assert!(a.subtract(&b).is_err());
+        let c = FrequencyTable::new(3);
+        assert!(a.subtract(&c).is_err());
+    }
+
+    #[test]
+    fn frequency_table_merge() {
+        let mut a = FrequencyTable::from_codes([Some(0), Some(1)], 2);
+        let b = FrequencyTable::from_codes([Some(1), Some(1)], 2);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts(), &[1, 3]);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn frequency_table_ignores_out_of_domain() {
+        let t = FrequencyTable::from_codes([Some(0), Some(9)], 2);
+        assert_eq!(t.counts(), &[1, 0]);
+        assert_eq!(t.total(), 1);
+    }
+}

@@ -1,0 +1,443 @@
+//! Hypothesis tests used by Ziggy's robustness (post-processing) stage and
+//! by the test suite to cross-validate the effect-size machinery.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::{ChiSquared, ContinuousDistribution, FisherF, Normal, StudentT};
+use crate::effect::fisher_z;
+use crate::error::{Result, StatsError};
+use crate::moments::UniMoments;
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// The test statistic (t, F, χ², D, or z depending on the test).
+    pub statistic: f64,
+    /// Two-sided p-value (one-sided where noted on the test function).
+    pub p_value: f64,
+    /// Degrees of freedom when meaningful; NaN otherwise.
+    pub df: f64,
+}
+
+impl TestResult {
+    /// True when the p-value falls below `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value.is_finite() && self.p_value < alpha
+    }
+}
+
+/// Welch's unequal-variance t-test for a difference in means; two-sided.
+pub fn welch_t_test(a: &UniMoments, b: &UniMoments) -> Result<TestResult> {
+    if a.count() < 2 || b.count() < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "Welch t-test",
+            needed: 2,
+            got: a.count().min(b.count()) as usize,
+        });
+    }
+    let (na, nb) = (a.count() as f64, b.count() as f64);
+    let (va, vb) = (a.variance()?, b.variance()?);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return if (a.mean() - b.mean()).abs() < f64::EPSILON {
+            Ok(TestResult {
+                statistic: 0.0,
+                p_value: 1.0,
+                df: na + nb - 2.0,
+            })
+        } else {
+            Err(StatsError::Degenerate(
+                "Welch t-test with zero variance on both sides",
+            ))
+        };
+    }
+    let t = (a.mean() - b.mean()) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let p = StudentT::new(df)?.two_sided_p(t);
+    Ok(TestResult {
+        statistic: t,
+        p_value: p,
+        df,
+    })
+}
+
+/// Variance-ratio F test `s_a² / s_b²`; two-sided.
+pub fn variance_ratio_test(a: &UniMoments, b: &UniMoments) -> Result<TestResult> {
+    if a.count() < 2 || b.count() < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "variance-ratio F test",
+            needed: 2,
+            got: a.count().min(b.count()) as usize,
+        });
+    }
+    let (va, vb) = (a.variance()?, b.variance()?);
+    if va <= 0.0 || vb <= 0.0 {
+        return Err(StatsError::Degenerate("F test with a constant sample"));
+    }
+    let f = va / vb;
+    let d1 = a.count() as f64 - 1.0;
+    let d2 = b.count() as f64 - 1.0;
+    let dist = FisherF::new(d1, d2)?;
+    let tail = dist.cdf(f).min(dist.sf(f));
+    Ok(TestResult {
+        statistic: f,
+        p_value: (2.0 * tail).min(1.0),
+        df: d1,
+    })
+}
+
+/// Fisher-z test for the equality of two correlation coefficients.
+pub fn fisher_z_test(r_a: f64, n_a: u64, r_b: f64, n_b: u64) -> Result<TestResult> {
+    if n_a < 4 || n_b < 4 {
+        return Err(StatsError::InsufficientData {
+            what: "Fisher z test",
+            needed: 4,
+            got: n_a.min(n_b) as usize,
+        });
+    }
+    for (name, r) in [("r_a", r_a), ("r_b", r_b)] {
+        if !(-1.0..=1.0).contains(&r) || r.is_nan() {
+            return Err(StatsError::InvalidParameter {
+                name,
+                value: r,
+                expected: "-1 <= r <= 1",
+            });
+        }
+    }
+    let se = (1.0 / (n_a as f64 - 3.0) + 1.0 / (n_b as f64 - 3.0)).sqrt();
+    let z = (fisher_z(r_a) - fisher_z(r_b)) / se;
+    Ok(TestResult {
+        statistic: z,
+        p_value: Normal::two_sided_p(z),
+        df: f64::NAN,
+    })
+}
+
+/// Chi-squared goodness-of-fit test of observed counts against expected
+/// *proportions* (which must sum to ~1). One-sided (upper tail), as usual.
+pub fn chi2_gof_test(observed: &[u64], expected_props: &[f64]) -> Result<TestResult> {
+    if observed.len() != expected_props.len() {
+        return Err(StatsError::LengthMismatch {
+            left: observed.len(),
+            right: expected_props.len(),
+        });
+    }
+    let n: u64 = observed.iter().sum();
+    if n == 0 {
+        return Err(StatsError::InsufficientData {
+            what: "chi² GOF",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let prop_sum: f64 = expected_props.iter().sum();
+    if (prop_sum - 1.0).abs() > 1e-6 {
+        return Err(StatsError::InvalidParameter {
+            name: "expected_props",
+            value: prop_sum,
+            expected: "proportions summing to 1",
+        });
+    }
+    let mut chi2 = 0.0;
+    let mut cells = 0usize;
+    for (&o, &p) in observed.iter().zip(expected_props) {
+        if p <= 0.0 {
+            if o > 0 {
+                return Err(StatsError::Degenerate(
+                    "observed count in a zero-probability cell",
+                ));
+            }
+            continue;
+        }
+        cells += 1;
+        let e = p * n as f64;
+        chi2 += (o as f64 - e).powi(2) / e;
+    }
+    if cells < 2 {
+        return Err(StatsError::Degenerate("chi² GOF over fewer than two cells"));
+    }
+    let df = (cells - 1) as f64;
+    Ok(TestResult {
+        statistic: chi2,
+        p_value: ChiSquared::new(df)?.sf(chi2),
+        df,
+    })
+}
+
+/// Chi-squared test of independence on an `r × c` contingency table given in
+/// row-major order. One-sided (upper tail).
+pub fn chi2_independence_test(table: &[Vec<u64>]) -> Result<TestResult> {
+    let rows = table.len();
+    if rows < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "chi² independence",
+            needed: 2,
+            got: rows,
+        });
+    }
+    let cols = table[0].len();
+    if cols < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "chi² independence",
+            needed: 2,
+            got: cols,
+        });
+    }
+    if table.iter().any(|r| r.len() != cols) {
+        return Err(StatsError::Degenerate("ragged contingency table"));
+    }
+    let row_sums: Vec<u64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col_sums: Vec<u64> = (0..cols)
+        .map(|j| table.iter().map(|r| r[j]).sum())
+        .collect();
+    let n: u64 = row_sums.iter().sum();
+    if n == 0 {
+        return Err(StatsError::InsufficientData {
+            what: "chi² independence",
+            needed: 1,
+            got: 0,
+        });
+    }
+    // Drop empty rows/columns from the degrees of freedom.
+    let eff_rows = row_sums.iter().filter(|&&s| s > 0).count();
+    let eff_cols = col_sums.iter().filter(|&&s| s > 0).count();
+    if eff_rows < 2 || eff_cols < 2 {
+        return Err(StatsError::Degenerate(
+            "contingency table with a single populated margin",
+        ));
+    }
+    let mut chi2 = 0.0;
+    for i in 0..rows {
+        for j in 0..cols {
+            if row_sums[i] == 0 || col_sums[j] == 0 {
+                continue;
+            }
+            let e = row_sums[i] as f64 * col_sums[j] as f64 / n as f64;
+            chi2 += (table[i][j] as f64 - e).powi(2) / e;
+        }
+    }
+    let df = ((eff_rows - 1) * (eff_cols - 1)) as f64;
+    Ok(TestResult {
+        statistic: chi2,
+        p_value: ChiSquared::new(df)?.sf(chi2),
+        df,
+    })
+}
+
+/// Two-sample Kolmogorov–Smirnov test with the asymptotic Kolmogorov
+/// distribution for the p-value.
+pub fn ks_test(a: &[f64], b: &[f64]) -> Result<TestResult> {
+    let mut xa: Vec<f64> = a.iter().copied().filter(|v| v.is_finite()).collect();
+    let mut xb: Vec<f64> = b.iter().copied().filter(|v| v.is_finite()).collect();
+    if xa.is_empty() || xb.is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "KS test",
+            needed: 1,
+            got: xa.len().min(xb.len()),
+        });
+    }
+    xa.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+    xb.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+    let (na, nb) = (xa.len(), xb.len());
+    let mut i = 0;
+    let mut j = 0;
+    let mut d: f64 = 0.0;
+    while i < na && j < nb {
+        let x = xa[i].min(xb[j]);
+        while i < na && xa[i] <= x {
+            i += 1;
+        }
+        while j < nb && xb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    Ok(TestResult {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+        df: f64::NAN,
+    })
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-16 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    fn m(vals: &[f64]) -> UniMoments {
+        UniMoments::from_slice(vals)
+    }
+
+    #[test]
+    fn welch_identical_samples() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0]);
+        let t = welch_t_test(&a, &a).unwrap();
+        close(t.statistic, 0.0, 1e-12);
+        close(t.p_value, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn welch_reference_value() {
+        // R: t.test(c(1,2,3,4,5), c(3,4,5,6,7)) → t = −2, df = 8, p = 0.0805.
+        let a = m(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = m(&[3.0, 4.0, 5.0, 6.0, 7.0]);
+        let t = welch_t_test(&a, &b).unwrap();
+        close(t.statistic, -2.0, 1e-10);
+        close(t.df, 8.0, 1e-9);
+        close(t.p_value, 0.080_516, 1e-5);
+    }
+
+    #[test]
+    fn welch_unequal_variances_df_shrinks() {
+        let a = m(&[0.0, 0.1, 0.2, 0.0, 0.1, 0.2]);
+        let b = m(&[0.0, 10.0, -10.0, 5.0, -5.0, 8.0]);
+        let t = welch_t_test(&a, &b).unwrap();
+        assert!(t.df < 10.0, "df must collapse toward the noisy sample");
+    }
+
+    #[test]
+    fn welch_insufficient() {
+        assert!(welch_t_test(&m(&[1.0]), &m(&[1.0, 2.0])).is_err());
+    }
+
+    #[test]
+    fn f_test_reference() {
+        // var.test(c(1,2,3,4,5), c(2,4,6,8,10)): F = 0.25, p = 0.2080.
+        let a = m(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = m(&[2.0, 4.0, 6.0, 8.0, 10.0]);
+        let r = variance_ratio_test(&a, &b).unwrap();
+        close(r.statistic, 0.25, 1e-12);
+        close(r.p_value, 0.208, 1e-3);
+    }
+
+    #[test]
+    fn f_test_symmetric_in_p() {
+        let a = m(&[1.0, 3.0, 5.0, 9.0]);
+        let b = m(&[2.0, 2.5, 3.0, 3.5]);
+        let ab = variance_ratio_test(&a, &b).unwrap();
+        let ba = variance_ratio_test(&b, &a).unwrap();
+        close(ab.p_value, ba.p_value, 1e-10);
+    }
+
+    #[test]
+    fn fisher_z_test_basics() {
+        let r = fisher_z_test(0.8, 103, 0.8, 203).unwrap();
+        close(r.statistic, 0.0, 1e-12);
+        let strong = fisher_z_test(0.9, 100, 0.0, 100).unwrap();
+        assert!(strong.p_value < 1e-10);
+    }
+
+    #[test]
+    fn chi2_gof_uniform_fit() {
+        let r = chi2_gof_test(&[25, 25, 25, 25], &[0.25; 4]).unwrap();
+        close(r.statistic, 0.0, 1e-12);
+        close(r.p_value, 1.0, 1e-9);
+        assert_eq!(r.df, 3.0);
+    }
+
+    #[test]
+    fn chi2_gof_reference() {
+        // Observed [50, 30, 20] vs uniform: χ² = (10²+ (−3.33…)² …)/e …
+        // e = 100/3; χ² = (50−e)²/e + (30−e)²/e + (20−e)²/e = 14.0.
+        let r = chi2_gof_test(&[50, 30, 20], &[1.0 / 3.0; 3]).unwrap();
+        close(r.statistic, 14.0, 1e-9);
+        assert!(r.p_value < 0.001);
+    }
+
+    #[test]
+    fn chi2_gof_zero_probability_cell() {
+        assert!(chi2_gof_test(&[5, 5], &[1.0, 0.0]).is_err());
+        // Zero-probability cell with zero observed is tolerated.
+        let ok = chi2_gof_test(&[5, 5, 0], &[0.5, 0.5, 0.0]).unwrap();
+        assert_eq!(ok.df, 1.0);
+    }
+
+    #[test]
+    fn chi2_independence_independent_table() {
+        // Perfectly proportional rows → χ² = 0.
+        let t = chi2_independence_test(&[vec![10, 20], vec![30, 60]]).unwrap();
+        close(t.statistic, 0.0, 1e-9);
+        close(t.p_value, 1.0, 1e-6);
+    }
+
+    #[test]
+    fn chi2_independence_dependent_table() {
+        let t = chi2_independence_test(&[vec![50, 0], vec![0, 50]]).unwrap();
+        close(t.statistic, 100.0, 1e-9);
+        assert!(t.p_value < 1e-10);
+    }
+
+    #[test]
+    fn chi2_independence_validation() {
+        assert!(chi2_independence_test(&[vec![1, 2]]).is_err());
+        assert!(chi2_independence_test(&[vec![1], vec![2]]).is_err());
+        assert!(chi2_independence_test(&[vec![1, 2], vec![3]]).is_err());
+        assert!(chi2_independence_test(&[vec![0, 0], vec![0, 0]]).is_err());
+    }
+
+    #[test]
+    fn ks_identical_samples() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = ks_test(&a, &a).unwrap();
+        close(r.statistic, 0.0, 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn ks_disjoint_samples() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| 1000.0 + i as f64).collect();
+        let r = ks_test(&a, &b).unwrap();
+        close(r.statistic, 1.0, 1e-12);
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn ks_shifted_distribution_detected() {
+        let a: Vec<f64> = (0..200).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..200).map(|i| (i as f64 * 0.7).sin() + 1.0).collect();
+        let r = ks_test(&a, &b).unwrap();
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn ks_empty_errors() {
+        assert!(ks_test(&[], &[1.0]).is_err());
+        assert!(ks_test(&[f64::NAN], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference() {
+        // Q(0.83) ≈ 0.4963 (classic table); Q → 1 at 0, → 0 at ∞.
+        close(kolmogorov_sf(0.83), 0.496, 2e-3);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(5.0) < 1e-10);
+    }
+}

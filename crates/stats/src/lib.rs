@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! Statistics substrate for the Ziggy reproduction.
+//!
+//! Ziggy (Sellam & Kersten, PVLDB'16) measures how much a user's selection
+//! diverges from the rest of a table using *effect sizes* from the
+//! meta-analysis literature (Hedges & Olkin), tests their significance with
+//! asymptotic bounds, and groups columns by statistical dependence. The
+//! original prototype delegated this machinery to R; this crate rebuilds it
+//! from scratch:
+//!
+//! * [`special`] — log-gamma, error function, regularized incomplete
+//!   gamma/beta, inverse normal CDF.
+//! * [`dist`] — normal, chi-squared, Student-t and Fisher F distributions
+//!   (PDF, CDF, survival, quantile).
+//! * [`describe`] — single-pass descriptive summaries (Welford).
+//! * [`moments`] — mergeable *and subtractable* power-sum moment sketches,
+//!   the basis of Ziggy's shared-computation optimization (complement
+//!   statistics are derived as whole-table minus selection).
+//! * [`effect`] — the Zig-Component effect sizes: standardized mean
+//!   difference (Cohen's d / Hedges' g), log standard-deviation ratio,
+//!   Fisher-z correlation difference, Cohen's w frequency divergence.
+//! * [`htest`] — Welch t, variance-ratio F, Fisher-z, chi-squared and
+//!   Kolmogorov–Smirnov tests.
+//! * [`correct`] — Bonferroni/Holm multiplicity corrections and p-value
+//!   aggregation schemes used by Ziggy's post-processing stage.
+//! * [`dependence`] — Pearson, Spearman, mutual information, Cramér's V and
+//!   the correlation ratio, unified behind one measure enum (the paper's
+//!   `S` in the tightness constraint).
+//! * [`histogram`] — equi-width/equi-depth binning and frequency tables.
+//! * [`rank`] — average-rank transforms with tie handling.
+
+pub mod correct;
+pub mod dependence;
+pub mod describe;
+pub mod dist;
+pub mod effect;
+pub mod error;
+pub mod histogram;
+pub mod htest;
+pub mod moments;
+pub mod rank;
+pub mod special;
+
+pub use correct::{adjust_p_values, aggregate_p_values, Aggregation, Correction};
+pub use dependence::{correlation_ratio, cramers_v_counts, mutual_information, pearson, spearman};
+pub use describe::Summary;
+pub use dist::{ChiSquared, ContinuousDistribution, FisherF, Normal, StudentT};
+pub use effect::{
+    cohens_w, correlation_difference, hedges_g, log_std_ratio, mean_difference, EffectSize,
+};
+pub use error::StatsError;
+pub use histogram::{FrequencyTable, Histogram};
+pub use htest::{
+    chi2_gof_test, chi2_independence_test, fisher_z_test, ks_test, variance_ratio_test,
+    welch_t_test, TestResult,
+};
+pub use moments::{PairMoments, UniMoments};

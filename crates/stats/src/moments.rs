@@ -1,0 +1,527 @@
+//! Mergeable *and subtractable* moment sketches.
+//!
+//! Ziggy's preparation stage is dominated by scanning the table to compute
+//! per-column and per-column-pair statistics for both the user's selection
+//! and its complement. The full paper shares computation between queries;
+//! this module provides the enabling primitive: power-sum sketches that
+//! support group subtraction, so the complement's statistics are derived as
+//! `whole_table − selection` without a second scan.
+//!
+//! Sums are Kahan-compensated to keep subtraction well conditioned.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, StatsError};
+
+/// Kahan-compensated accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+struct Kahan {
+    sum: f64,
+    comp: f64,
+}
+
+impl Kahan {
+    fn add(&mut self, x: f64) {
+        let y = x - self.comp;
+        let t = self.sum + y;
+        self.comp = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    fn value(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Univariate power-sum sketch: count, Σx, Σx².
+///
+/// Supports `merge` (parallel combine) and `subtract` (complement
+/// derivation). Non-finite inputs (the NULL encoding) are skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct UniMoments {
+    n: u64,
+    sum: Kahan,
+    sum_sq: Kahan,
+}
+
+impl UniMoments {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a sketch over a slice, skipping non-finite values.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut m = Self::new();
+        for &v in values {
+            m.push(v);
+        }
+        m
+    }
+
+    /// Builds a sketch over the masked subset of a column: row `i`
+    /// contributes iff `mask(i)` is true.
+    pub fn from_masked(values: &[f64], mask: impl Fn(usize) -> bool) -> Self {
+        let mut m = Self::new();
+        for (i, &v) in values.iter().enumerate() {
+            if mask(i) {
+                m.push(v);
+            }
+        }
+        m
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.n += 1;
+        self.sum.add(x);
+        self.sum_sq.add(x * x);
+    }
+
+    /// Merges another sketch (disjoint row sets assumed).
+    pub fn merge(&mut self, other: &UniMoments) {
+        self.n += other.n;
+        self.sum.add(other.sum.value());
+        self.sum_sq.add(other.sum_sq.value());
+    }
+
+    /// Derives `self − other`, the sketch of the complement rows. `other`
+    /// must sketch a subset of the rows sketched by `self`.
+    pub fn subtract(&self, other: &UniMoments) -> Result<UniMoments> {
+        if other.n > self.n {
+            return Err(StatsError::InvalidParameter {
+                name: "subset count",
+                value: other.n as f64,
+                expected: "subset n <= superset n",
+            });
+        }
+        let mut sum = Kahan::default();
+        sum.add(self.sum.value());
+        sum.add(-other.sum.value());
+        let mut sum_sq = Kahan::default();
+        sum_sq.add(self.sum_sq.value());
+        sum_sq.add(-other.sum_sq.value());
+        // Σx² is nonnegative by construction; clamp tiny negative residue.
+        if sum_sq.sum < 0.0 {
+            sum_sq = Kahan {
+                sum: 0.0,
+                comp: 0.0,
+            };
+        }
+        Ok(UniMoments {
+            n: self.n - other.n,
+            sum,
+            sum_sq,
+        })
+    }
+
+    /// Number of finite observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Σx over finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum.value()
+    }
+
+    /// Σx² over finite observations.
+    pub fn sum_sq(&self) -> f64 {
+        self.sum_sq.value()
+    }
+
+    /// Sample mean; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.sum.value() / self.n as f64
+        }
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> Result<f64> {
+        if self.n < 2 {
+            return Err(StatsError::InsufficientData {
+                what: "sample variance",
+                needed: 2,
+                got: self.n as usize,
+            });
+        }
+        let n = self.n as f64;
+        let centered = self.sum_sq.value() - self.sum.value() * self.sum.value() / n;
+        Ok((centered / (n - 1.0)).max(0.0))
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn std_dev(&self) -> Result<f64> {
+        Ok(self.variance()?.sqrt())
+    }
+}
+
+/// Bivariate power-sum sketch over pairs `(x, y)`: count, Σx, Σy, Σx², Σy²,
+/// Σxy, restricted to rows where *both* values are finite.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PairMoments {
+    n: u64,
+    sum_x: Kahan,
+    sum_y: Kahan,
+    sum_xx: Kahan,
+    sum_yy: Kahan,
+    sum_xy: Kahan,
+}
+
+impl PairMoments {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a sketch over two parallel slices.
+    pub fn from_slices(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch {
+                left: xs.len(),
+                right: ys.len(),
+            });
+        }
+        let mut m = Self::new();
+        for (&x, &y) in xs.iter().zip(ys) {
+            m.push(x, y);
+        }
+        Ok(m)
+    }
+
+    /// Builds a sketch over the masked subset of two parallel columns.
+    pub fn from_masked(xs: &[f64], ys: &[f64], mask: impl Fn(usize) -> bool) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch {
+                left: xs.len(),
+                right: ys.len(),
+            });
+        }
+        let mut m = Self::new();
+        for i in 0..xs.len() {
+            if mask(i) {
+                m.push(xs[i], ys[i]);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Adds one pair; skipped unless both coordinates are finite.
+    pub fn push(&mut self, x: f64, y: f64) {
+        if !x.is_finite() || !y.is_finite() {
+            return;
+        }
+        self.n += 1;
+        self.sum_x.add(x);
+        self.sum_y.add(y);
+        self.sum_xx.add(x * x);
+        self.sum_yy.add(y * y);
+        self.sum_xy.add(x * y);
+    }
+
+    /// Merges another sketch (disjoint row sets assumed).
+    pub fn merge(&mut self, other: &PairMoments) {
+        self.n += other.n;
+        self.sum_x.add(other.sum_x.value());
+        self.sum_y.add(other.sum_y.value());
+        self.sum_xx.add(other.sum_xx.value());
+        self.sum_yy.add(other.sum_yy.value());
+        self.sum_xy.add(other.sum_xy.value());
+    }
+
+    /// Derives `self − other` for complement statistics.
+    pub fn subtract(&self, other: &PairMoments) -> Result<PairMoments> {
+        if other.n > self.n {
+            return Err(StatsError::InvalidParameter {
+                name: "subset count",
+                value: other.n as f64,
+                expected: "subset n <= superset n",
+            });
+        }
+        fn sub(a: &Kahan, b: &Kahan) -> Kahan {
+            let mut k = Kahan::default();
+            k.add(a.value());
+            k.add(-b.value());
+            k
+        }
+        let mut sum_xx = sub(&self.sum_xx, &other.sum_xx);
+        let mut sum_yy = sub(&self.sum_yy, &other.sum_yy);
+        if sum_xx.sum < 0.0 {
+            sum_xx = Kahan::default();
+        }
+        if sum_yy.sum < 0.0 {
+            sum_yy = Kahan::default();
+        }
+        Ok(PairMoments {
+            n: self.n - other.n,
+            sum_x: sub(&self.sum_x, &other.sum_x),
+            sum_y: sub(&self.sum_y, &other.sum_y),
+            sum_xx,
+            sum_yy,
+            sum_xy: sub(&self.sum_xy, &other.sum_xy),
+        })
+    }
+
+    /// Number of jointly finite pairs.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the x coordinate; NaN when empty.
+    pub fn mean_x(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.sum_x.value() / self.n as f64
+        }
+    }
+
+    /// Mean of the y coordinate; NaN when empty.
+    pub fn mean_y(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.sum_y.value() / self.n as f64
+        }
+    }
+
+    /// Unbiased sample covariance.
+    pub fn covariance(&self) -> Result<f64> {
+        if self.n < 2 {
+            return Err(StatsError::InsufficientData {
+                what: "covariance",
+                needed: 2,
+                got: self.n as usize,
+            });
+        }
+        let n = self.n as f64;
+        Ok((self.sum_xy.value() - self.sum_x.value() * self.sum_y.value() / n) / (n - 1.0))
+    }
+
+    /// Pearson correlation coefficient, clamped to `[−1, 1]`.
+    pub fn correlation(&self) -> Result<f64> {
+        if self.n < 2 {
+            return Err(StatsError::InsufficientData {
+                what: "correlation",
+                needed: 2,
+                got: self.n as usize,
+            });
+        }
+        let n = self.n as f64;
+        let var_x = (self.sum_xx.value() - self.sum_x.value() * self.sum_x.value() / n).max(0.0);
+        let var_y = (self.sum_yy.value() - self.sum_y.value() * self.sum_y.value() / n).max(0.0);
+        if var_x <= 0.0 || var_y <= 0.0 {
+            return Err(StatsError::Degenerate("correlation with a constant margin"));
+        }
+        let cov = self.sum_xy.value() - self.sum_x.value() * self.sum_y.value() / n;
+        Ok((cov / (var_x * var_y).sqrt()).clamp(-1.0, 1.0))
+    }
+
+    /// Marginal sketch of the x coordinate (over jointly finite rows).
+    pub fn x_moments(&self) -> UniMoments {
+        UniMoments {
+            n: self.n,
+            sum: self.sum_x,
+            sum_sq: self.sum_xx,
+        }
+    }
+
+    /// Marginal sketch of the y coordinate (over jointly finite rows).
+    pub fn y_moments(&self) -> UniMoments {
+        UniMoments {
+            n: self.n,
+            sum: self.sum_y,
+            sum_sq: self.sum_yy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn uni_basics() {
+        let m = UniMoments::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.count(), 4);
+        close(m.mean(), 2.5, 1e-12);
+        close(m.variance().unwrap(), 5.0 / 3.0, 1e-12);
+    }
+
+    #[test]
+    fn uni_skips_non_finite() {
+        let m = UniMoments::from_slice(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(m.count(), 2);
+        close(m.mean(), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn uni_empty() {
+        let m = UniMoments::new();
+        assert!(m.mean().is_nan());
+        assert!(m.variance().is_err());
+        assert!(m.std_dev().is_err());
+    }
+
+    #[test]
+    fn uni_subtract_matches_direct() {
+        let all: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.731).sin() * 40.0 + 100.0)
+            .collect();
+        let whole = UniMoments::from_slice(&all);
+        let inside = UniMoments::from_masked(&all, |i| i % 3 == 0);
+        let outside_direct = UniMoments::from_masked(&all, |i| i % 3 != 0);
+        let outside_derived = whole.subtract(&inside).unwrap();
+        assert_eq!(outside_derived.count(), outside_direct.count());
+        close(outside_derived.mean(), outside_direct.mean(), 1e-9);
+        close(
+            outside_derived.variance().unwrap(),
+            outside_direct.variance().unwrap(),
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn uni_subtract_rejects_larger_subset() {
+        let small = UniMoments::from_slice(&[1.0]);
+        let big = UniMoments::from_slice(&[1.0, 2.0]);
+        assert!(small.subtract(&big).is_err());
+    }
+
+    #[test]
+    fn uni_merge_matches_bulk() {
+        let all: Vec<f64> = (0..200).map(|i| i as f64 * 0.1).collect();
+        let mut a = UniMoments::from_slice(&all[..77]);
+        let b = UniMoments::from_slice(&all[77..]);
+        a.merge(&b);
+        let bulk = UniMoments::from_slice(&all);
+        close(a.mean(), bulk.mean(), 1e-12);
+        close(a.variance().unwrap(), bulk.variance().unwrap(), 1e-10);
+    }
+
+    #[test]
+    fn uni_constant_variance_zero() {
+        let m = UniMoments::from_slice(&[7.0; 50]);
+        close(m.variance().unwrap(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn pair_correlation_known() {
+        // Perfect positive and negative correlation.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        close(
+            PairMoments::from_slices(&xs, &up)
+                .unwrap()
+                .correlation()
+                .unwrap(),
+            1.0,
+            1e-12,
+        );
+        close(
+            PairMoments::from_slices(&xs, &down)
+                .unwrap()
+                .correlation()
+                .unwrap(),
+            -1.0,
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn pair_covariance_known() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 9.0];
+        // Cov = Σ(x−x̄)(y−ȳ)/(n−1) = ((−1)(−3)+(0)(−1)+(1)(4))/2 = 3.5.
+        close(
+            PairMoments::from_slices(&xs, &ys)
+                .unwrap()
+                .covariance()
+                .unwrap(),
+            3.5,
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn pair_requires_both_finite() {
+        let xs = [1.0, f64::NAN, 3.0, 4.0];
+        let ys = [1.0, 2.0, f64::NAN, 5.0];
+        let m = PairMoments::from_slices(&xs, &ys).unwrap();
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn pair_length_mismatch() {
+        assert!(matches!(
+            PairMoments::from_slices(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn pair_degenerate_correlation() {
+        let m = PairMoments::from_slices(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert!(matches!(m.correlation(), Err(StatsError::Degenerate(_))));
+    }
+
+    #[test]
+    fn pair_subtract_matches_direct() {
+        let n = 400;
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos() * 10.0).collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.37).cos() * 5.0 + (i as f64 * 1.13).sin())
+            .collect();
+        let whole = PairMoments::from_slices(&xs, &ys).unwrap();
+        let inside = PairMoments::from_masked(&xs, &ys, |i| i % 5 < 2).unwrap();
+        let outside_direct = PairMoments::from_masked(&xs, &ys, |i| i % 5 >= 2).unwrap();
+        let derived = whole.subtract(&inside).unwrap();
+        assert_eq!(derived.count(), outside_direct.count());
+        close(
+            derived.correlation().unwrap(),
+            outside_direct.correlation().unwrap(),
+            1e-9,
+        );
+        close(
+            derived.covariance().unwrap(),
+            outside_direct.covariance().unwrap(),
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn pair_marginals_match_uni() {
+        let xs = [1.0, 2.0, 3.0, 10.0];
+        let ys = [5.0, 5.0, 6.0, 8.0];
+        let m = PairMoments::from_slices(&xs, &ys).unwrap();
+        close(m.x_moments().mean(), 4.0, 1e-12);
+        close(m.y_moments().mean(), 6.0, 1e-12);
+        close(
+            m.x_moments().variance().unwrap(),
+            UniMoments::from_slice(&xs).variance().unwrap(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn pair_merge_matches_bulk() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..100).map(|i| (i * i) as f64 * 0.01).collect();
+        let mut a = PairMoments::from_slices(&xs[..40], &ys[..40]).unwrap();
+        let b = PairMoments::from_slices(&xs[40..], &ys[40..]).unwrap();
+        a.merge(&b);
+        let bulk = PairMoments::from_slices(&xs, &ys).unwrap();
+        close(a.correlation().unwrap(), bulk.correlation().unwrap(), 1e-12);
+    }
+}

@@ -1,0 +1,106 @@
+//! Rank transforms with tie handling, used by Spearman correlation.
+
+/// Assigns average ranks (1-based) to `values`. Ties receive the mean of the
+/// ranks they span (the "fractional ranking" used by Spearman's ρ).
+/// Non-finite values receive rank NaN and do not displace finite ranks.
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len())
+        .filter(|&i| values[i].is_finite())
+        .collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("finite values compare")
+    });
+
+    let mut ranks = vec![f64::NAN; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Ranks i+1 ..= j+1 (1-based) tie; assign their average.
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Counts tie groups and the tie-correction term `Σ (t³ − t)` used in
+/// rank-statistic variance formulas, over finite values only.
+pub fn tie_correction(values: &[f64]) -> f64 {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let mut corr = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        corr += t * t * t - t;
+        i = j + 1;
+    }
+    corr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranks() {
+        assert_eq!(average_ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn tied_ranks_averaged() {
+        // 10, 20, 20, 30 → ranks 1, 2.5, 2.5, 4.
+        assert_eq!(
+            average_ranks(&[10.0, 20.0, 20.0, 30.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
+    }
+
+    #[test]
+    fn all_tied() {
+        assert_eq!(average_ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn nan_gets_nan_rank() {
+        let r = average_ranks(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(r[0], 2.0);
+        assert!(r[1].is_nan());
+        assert_eq!(r[2], 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(average_ranks(&[]).is_empty());
+        assert_eq!(tie_correction(&[]), 0.0);
+    }
+
+    #[test]
+    fn tie_correction_values() {
+        // No ties → 0.
+        assert_eq!(tie_correction(&[1.0, 2.0, 3.0]), 0.0);
+        // One pair: 2³ − 2 = 6.
+        assert_eq!(tie_correction(&[1.0, 2.0, 2.0]), 6.0);
+        // Triple: 3³ − 3 = 24.
+        assert_eq!(tie_correction(&[7.0, 7.0, 7.0]), 24.0);
+    }
+
+    #[test]
+    fn ranks_sum_invariant() {
+        // Sum of ranks of n finite values is n(n+1)/2 regardless of ties.
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let total: f64 = average_ranks(&v).iter().sum();
+        assert!((total - 55.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the statistics substrate: distribution
+//! identities, effect-size symmetries, correction monotonicity.
+
+use proptest::prelude::*;
+use ziggy_stats::{
+    adjust_p_values, aggregate_p_values, hedges_g, log_std_ratio, mean_difference, Aggregation,
+    ChiSquared, ContinuousDistribution, Correction, FisherF, Normal, StudentT, UniMoments,
+};
+
+fn sample_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, 8..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CDF is monotone and bounded for arbitrary parameters.
+    #[test]
+    fn normal_cdf_monotone(mu in -50.0..50.0f64, sigma in 0.01..30.0f64, a in -100.0..100.0f64, b in -100.0..100.0f64) {
+        let d = Normal::new(mu, sigma).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d.cdf(a)));
+        prop_assert!((d.cdf(a) + d.sf(a) - 1.0).abs() < 1e-9);
+    }
+
+    /// Quantile∘CDF is the identity (within tolerance) for all four
+    /// distributions at random parameters.
+    #[test]
+    fn quantile_round_trips(p in 0.001..0.999f64, df1 in 1.0..40.0f64, df2 in 1.0..40.0f64) {
+        let n = Normal::standard();
+        prop_assert!((n.cdf(n.quantile(p).unwrap()) - p).abs() < 1e-8);
+        let c = ChiSquared::new(df1).unwrap();
+        prop_assert!((c.cdf(c.quantile(p).unwrap()) - p).abs() < 1e-7);
+        let t = StudentT::new(df1).unwrap();
+        prop_assert!((t.cdf(t.quantile(p).unwrap()) - p).abs() < 1e-7);
+        let f = FisherF::new(df1, df2).unwrap();
+        prop_assert!((f.cdf(f.quantile(p).unwrap()) - p).abs() < 1e-7);
+    }
+
+    /// t distribution symmetry: cdf(−x) = 1 − cdf(x).
+    #[test]
+    fn t_symmetry(x in -20.0..20.0f64, df in 0.5..60.0f64) {
+        let t = StudentT::new(df).unwrap();
+        prop_assert!((t.cdf(-x) - (1.0 - t.cdf(x))).abs() < 1e-10);
+    }
+
+    /// Effect sizes are antisymmetric in their arguments.
+    #[test]
+    fn effect_antisymmetry(a in sample_vec(), b in sample_vec()) {
+        let ma = UniMoments::from_slice(&a);
+        let mb = UniMoments::from_slice(&b);
+        if let (Ok(ab), Ok(ba)) = (mean_difference(&ma, &mb), mean_difference(&mb, &ma)) {
+            prop_assert!((ab.value + ba.value).abs() < 1e-9);
+            prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        }
+        if let (Ok(ab), Ok(ba)) = (log_std_ratio(&ma, &mb), log_std_ratio(&mb, &ma)) {
+            prop_assert!((ab.value + ba.value).abs() < 1e-9);
+        }
+    }
+
+    /// Hedges' g is a strict shrinkage of Cohen's d for finite samples.
+    #[test]
+    fn hedges_shrinks(a in sample_vec(), b in sample_vec()) {
+        let ma = UniMoments::from_slice(&a);
+        let mb = UniMoments::from_slice(&b);
+        if let (Ok(d), Ok(g)) = (mean_difference(&ma, &mb), hedges_g(&ma, &mb)) {
+            prop_assert!(g.value.abs() <= d.value.abs() + 1e-12);
+        }
+    }
+
+    /// Effect of a location shift: shifting one sample up strictly
+    /// increases the standardized mean difference.
+    #[test]
+    fn shift_increases_effect(a in sample_vec(), delta in 0.5..50.0f64) {
+        let ma = UniMoments::from_slice(&a);
+        let shifted: Vec<f64> = a.iter().map(|x| x + delta).collect();
+        let ms = UniMoments::from_slice(&shifted);
+        if let (Ok(base), Ok(up)) = (mean_difference(&ma, &ma), mean_difference(&ms, &ma)) {
+            prop_assert!(up.value > base.value);
+        }
+    }
+
+    /// Corrections: Holm ≤ Bonferroni pointwise, both ≥ raw p.
+    #[test]
+    fn correction_ordering(ps in prop::collection::vec(0.0..1.0f64, 1..12)) {
+        let bonf = adjust_p_values(&ps, Correction::Bonferroni).unwrap();
+        let holm = adjust_p_values(&ps, Correction::Holm).unwrap();
+        for ((raw, b), h) in ps.iter().zip(&bonf).zip(&holm) {
+            prop_assert!(h <= b);
+            prop_assert!(*b >= *raw - 1e-15);
+            prop_assert!(*h >= *raw - 1e-15);
+            prop_assert!((0.0..=1.0).contains(h));
+        }
+    }
+
+    /// All aggregations stay within [0, 1] and MinP lower-bounds
+    /// BonferroniMin.
+    #[test]
+    fn aggregation_bounds(ps in prop::collection::vec(0.0..1.0f64, 1..12)) {
+        for scheme in [
+            Aggregation::MinP,
+            Aggregation::BonferroniMin,
+            Aggregation::Fisher,
+            Aggregation::Stouffer,
+        ] {
+            let v = aggregate_p_values(&ps, scheme).unwrap();
+            prop_assert!((0.0..=1.0).contains(&v), "{scheme:?} gave {v}");
+        }
+        let min = aggregate_p_values(&ps, Aggregation::MinP).unwrap();
+        let bonf = aggregate_p_values(&ps, Aggregation::BonferroniMin).unwrap();
+        prop_assert!(min <= bonf + 1e-15);
+    }
+
+    /// Moment merge is associative-ish: bulk == merge of any split.
+    #[test]
+    fn moment_merge_split_invariance(values in sample_vec(), split in 0usize..60) {
+        let split = split.min(values.len());
+        let bulk = UniMoments::from_slice(&values);
+        let mut left = UniMoments::from_slice(&values[..split]);
+        let right = UniMoments::from_slice(&values[split..]);
+        left.merge(&right);
+        prop_assert_eq!(left.count(), bulk.count());
+        if bulk.count() > 0 {
+            prop_assert!((left.mean() - bulk.mean()).abs() < 1e-8);
+        }
+        if bulk.count() > 1 {
+            prop_assert!((left.variance().unwrap() - bulk.variance().unwrap()).abs() < 1e-6);
+        }
+    }
+}

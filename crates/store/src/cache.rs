@@ -1,0 +1,333 @@
+//! Whole-table statistics cache — Ziggy's shared-computation optimization.
+//!
+//! The preparation stage is "often the most time consuming step" (paper,
+//! §3); the full paper shares computation between queries. The enabling
+//! observation: whole-table moments are query-independent, so they can be
+//! computed once and reused. For any selection mask, the complement's
+//! statistics follow algebraically:
+//!
+//! ```text
+//! outside = whole − inside
+//! ```
+//!
+//! so each query pays only one masked scan (over the selection, typically
+//! small) instead of two full scans.
+//!
+//! [`StatsCache`] memoizes whole-table [`UniMoments`], [`PairMoments`] and
+//! [`FrequencyTable`]s behind `parking_lot` RwLocks, making it shareable
+//! across threads and across successive queries.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use ziggy_stats::{FrequencyTable, PairMoments, UniMoments};
+
+use crate::error::{Result, StoreError};
+use crate::mask::Bitmask;
+use crate::table::Table;
+
+/// Memoized whole-table statistics for one [`Table`].
+///
+/// The cache borrows the table, guaranteeing the statistics always refer
+/// to the data they were computed from.
+pub struct StatsCache<'t> {
+    table: &'t Table,
+    uni: RwLock<HashMap<usize, UniMoments>>,
+    pair: RwLock<HashMap<(usize, usize), PairMoments>>,
+    freq: RwLock<HashMap<usize, FrequencyTable>>,
+}
+
+impl<'t> StatsCache<'t> {
+    /// Creates an empty cache over `table`.
+    pub fn new(table: &'t Table) -> Self {
+        Self {
+            table,
+            uni: RwLock::new(HashMap::new()),
+            pair: RwLock::new(HashMap::new()),
+            freq: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The table this cache serves.
+    pub fn table(&self) -> &'t Table {
+        self.table
+    }
+
+    /// Whole-table univariate moments of numeric column `col` (cached).
+    pub fn uni(&self, col: usize) -> Result<UniMoments> {
+        if let Some(m) = self.uni.read().get(&col) {
+            return Ok(*m);
+        }
+        let data = self.table.numeric(col)?;
+        let m = UniMoments::from_slice(data);
+        self.uni.write().insert(col, m);
+        Ok(m)
+    }
+
+    /// Whole-table pair moments of numeric columns `(a, b)` (cached;
+    /// symmetric — `(b, a)` hits the same entry).
+    pub fn pair(&self, a: usize, b: usize) -> Result<PairMoments> {
+        let key = (a.min(b), a.max(b));
+        if let Some(m) = self.pair.read().get(&key) {
+            return Ok(*m);
+        }
+        let xs = self.table.numeric(key.0)?;
+        let ys = self.table.numeric(key.1)?;
+        let m = PairMoments::from_slices(xs, ys)?;
+        self.pair.write().insert(key, m);
+        Ok(m)
+    }
+
+    /// Whole-table frequency table of categorical column `col` (cached).
+    pub fn freq(&self, col: usize) -> Result<FrequencyTable> {
+        if let Some(t) = self.freq.read().get(&col) {
+            return Ok(t.clone());
+        }
+        let (codes, labels) = self.table.categorical(col)?;
+        let t = FrequencyTable::from_codes(
+            codes.iter().map(|&c| {
+                if c == crate::column::NULL_CODE {
+                    None
+                } else {
+                    Some(c)
+                }
+            }),
+            labels.len(),
+        );
+        self.freq.write().insert(col, t.clone());
+        Ok(t)
+    }
+
+    /// Number of memoized entries `(uni, pair, freq)` — mostly for tests
+    /// and instrumentation.
+    pub fn sizes(&self) -> (usize, usize, usize) {
+        (
+            self.uni.read().len(),
+            self.pair.read().len(),
+            self.freq.read().len(),
+        )
+    }
+
+    /// Derives the complement moments `whole − inside` for a numeric
+    /// column, given the selection-side moments.
+    pub fn uni_complement(&self, col: usize, inside: &UniMoments) -> Result<UniMoments> {
+        Ok(self.uni(col)?.subtract(inside)?)
+    }
+
+    /// Derives the complement pair moments for a numeric column pair.
+    pub fn pair_complement(&self, a: usize, b: usize, inside: &PairMoments) -> Result<PairMoments> {
+        Ok(self.pair(a, b)?.subtract(inside)?)
+    }
+
+    /// Derives the complement frequency table for a categorical column.
+    pub fn freq_complement(&self, col: usize, inside: &FrequencyTable) -> Result<FrequencyTable> {
+        Ok(self.freq(col)?.subtract(inside)?)
+    }
+}
+
+/// Univariate moments of a numeric column restricted to the mask's set
+/// rows (the selection side `Cᴵ`).
+pub fn masked_uni(table: &Table, col: usize, mask: &Bitmask) -> Result<UniMoments> {
+    let data = table.numeric(col)?;
+    check_mask(table, mask)?;
+    let mut m = UniMoments::new();
+    for i in mask.iter_ones() {
+        m.push(data[i]);
+    }
+    Ok(m)
+}
+
+/// Pair moments of two numeric columns restricted to the mask's set rows.
+pub fn masked_pair(table: &Table, a: usize, b: usize, mask: &Bitmask) -> Result<PairMoments> {
+    let xs = table.numeric(a)?;
+    let ys = table.numeric(b)?;
+    check_mask(table, mask)?;
+    let mut m = PairMoments::new();
+    for i in mask.iter_ones() {
+        m.push(xs[i], ys[i]);
+    }
+    Ok(m)
+}
+
+/// Frequency table of a categorical column restricted to the mask.
+pub fn masked_freq(table: &Table, col: usize, mask: &Bitmask) -> Result<FrequencyTable> {
+    let (codes, labels) = table.categorical(col)?;
+    check_mask(table, mask)?;
+    let mut t = FrequencyTable::new(labels.len());
+    for i in mask.iter_ones() {
+        let c = codes[i];
+        if c != crate::column::NULL_CODE {
+            t.push(c);
+        }
+    }
+    Ok(t)
+}
+
+fn check_mask(table: &Table, mask: &Bitmask) -> Result<()> {
+    if mask.len() != table.n_rows() {
+        return Err(StoreError::LengthMismatch {
+            column: "<mask>".to_string(),
+            got: mask.len(),
+            expected: table.n_rows(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::select;
+    use crate::table::TableBuilder;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    fn sample() -> Table {
+        let n = 300;
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", (0..n).map(|i| i as f64).collect());
+        b.add_numeric(
+            "y",
+            (0..n)
+                .map(|i| (i as f64) * 2.0 + ((i * 13) % 7) as f64)
+                .collect(),
+        );
+        b.add_categorical(
+            "cat",
+            (0..n)
+                .map(|i| {
+                    if i % 11 == 0 {
+                        None
+                    } else {
+                        Some(["a", "b", "c"][i % 3])
+                    }
+                })
+                .collect(),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uni_cached_once() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        let m1 = cache.uni(0).unwrap();
+        let m2 = cache.uni(0).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(cache.sizes().0, 1);
+    }
+
+    #[test]
+    fn pair_symmetric_key() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        let ab = cache.pair(0, 1).unwrap();
+        let ba = cache.pair(1, 0).unwrap();
+        assert_eq!(ab, ba);
+        assert_eq!(cache.sizes().1, 1);
+    }
+
+    #[test]
+    fn complement_identity_uni() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        let mask = select(&t, "x < 100").unwrap();
+        let inside = masked_uni(&t, 1, &mask).unwrap();
+        let derived = cache.uni_complement(1, &inside).unwrap();
+        let direct = masked_uni(&t, 1, &mask.complement()).unwrap();
+        assert_eq!(derived.count(), direct.count());
+        close(derived.mean(), direct.mean(), 1e-9);
+        close(
+            derived.variance().unwrap(),
+            direct.variance().unwrap(),
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn complement_identity_pair() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        let mask = select(&t, "x BETWEEN 40 AND 220").unwrap();
+        let inside = masked_pair(&t, 0, 1, &mask).unwrap();
+        let derived = cache.pair_complement(0, 1, &inside).unwrap();
+        let direct = masked_pair(&t, 0, 1, &mask.complement()).unwrap();
+        close(
+            derived.correlation().unwrap(),
+            direct.correlation().unwrap(),
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn complement_identity_freq() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        let mask = select(&t, "x >= 150").unwrap();
+        let inside = masked_freq(&t, 2, &mask).unwrap();
+        let derived = cache.freq_complement(2, &inside).unwrap();
+        let direct = masked_freq(&t, 2, &mask.complement()).unwrap();
+        assert_eq!(derived.counts(), direct.counts());
+        assert_eq!(derived.total(), direct.total());
+    }
+
+    #[test]
+    fn masked_respects_nulls() {
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", vec![1.0, f64::NAN, 3.0, 4.0]);
+        let t = b.build().unwrap();
+        let mask = Bitmask::from_bools([true, true, false, true]);
+        let m = masked_uni(&t, 0, &mask).unwrap();
+        assert_eq!(m.count(), 2); // NaN skipped.
+        close(m.mean(), 2.5, 1e-12);
+    }
+
+    #[test]
+    fn mask_length_checked() {
+        let t = sample();
+        let bad = Bitmask::zeros(7);
+        assert!(masked_uni(&t, 0, &bad).is_err());
+        assert!(masked_pair(&t, 0, 1, &bad).is_err());
+        assert!(masked_freq(&t, 2, &bad).is_err());
+    }
+
+    #[test]
+    fn type_errors_propagate() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        assert!(cache.uni(2).is_err()); // categorical column.
+        assert!(cache.freq(0).is_err()); // numeric column.
+        assert!(cache.pair(0, 2).is_err());
+    }
+
+    #[test]
+    fn empty_selection_complement_is_whole() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        let empty = Bitmask::zeros(t.n_rows());
+        let inside = masked_uni(&t, 0, &empty).unwrap();
+        let derived = cache.uni_complement(0, &inside).unwrap();
+        assert_eq!(derived.count(), cache.uni(0).unwrap().count());
+    }
+
+    #[test]
+    fn cache_shared_across_threads() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for col in 0..2 {
+                        cache.uni(col).unwrap();
+                    }
+                    cache.pair(0, 1).unwrap();
+                });
+            }
+        });
+        let (u, p, _) = cache.sizes();
+        assert_eq!(u, 2);
+        assert_eq!(p, 1);
+    }
+}

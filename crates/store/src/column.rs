@@ -1,0 +1,191 @@
+//! Columnar data representation.
+//!
+//! Numeric columns are plain `Vec<f64>` with NaN as the NULL encoding —
+//! the same trick MonetDB-style engines use to keep scans branch-light.
+//! Categorical columns are dictionary-encoded: a label table plus per-row
+//! codes (`u32::MAX` reserved as the NULL code).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Reserved categorical code for NULL.
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// A single typed column of data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// Continuous values; NaN encodes NULL.
+    Numeric(Vec<f64>),
+    /// Dictionary-encoded categories.
+    Categorical {
+        /// Per-row dictionary codes; [`NULL_CODE`] encodes NULL.
+        codes: Vec<u32>,
+        /// Code → label dictionary.
+        labels: Vec<String>,
+    },
+}
+
+impl Column {
+    /// Builds a categorical column from string-ish values (None = NULL),
+    /// assigning dictionary codes in first-appearance order.
+    pub fn categorical_from<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = Option<S>>,
+        S: AsRef<str>,
+    {
+        let mut labels: Vec<String> = Vec::new();
+        let mut index: HashMap<String, u32> = HashMap::new();
+        let mut codes = Vec::new();
+        for v in values {
+            match v {
+                None => codes.push(NULL_CODE),
+                Some(s) => {
+                    let s = s.as_ref();
+                    let code = *index.entry(s.to_string()).or_insert_with(|| {
+                        labels.push(s.to_string());
+                        (labels.len() - 1) as u32
+                    });
+                    codes.push(code);
+                }
+            }
+        }
+        Column::Categorical { codes, labels }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of NULL entries.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.iter().filter(|x| x.is_nan()).count(),
+            Column::Categorical { codes, .. } => codes.iter().filter(|&&c| c == NULL_CODE).count(),
+        }
+    }
+
+    /// Numeric values when this is a numeric column.
+    pub fn as_numeric(&self) -> Option<&[f64]> {
+        match self {
+            Column::Numeric(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `(codes, labels)` when this is a categorical column.
+    pub fn as_categorical(&self) -> Option<(&[u32], &[String])> {
+        match self {
+            Column::Categorical { codes, labels } => Some((codes, labels)),
+            _ => None,
+        }
+    }
+
+    /// Dictionary cardinality (0 for numeric columns).
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Column::Numeric(_) => 0,
+            Column::Categorical { labels, .. } => labels.len(),
+        }
+    }
+
+    /// Categorical code of `label`, if present in the dictionary.
+    pub fn code_of(&self, label: &str) -> Option<u32> {
+        match self {
+            Column::Numeric(_) => None,
+            Column::Categorical { labels, .. } => {
+                labels.iter().position(|l| l == label).map(|i| i as u32)
+            }
+        }
+    }
+
+    /// Row `i` rendered for display (`NULL` for nulls, the label for
+    /// categoricals, shortest-round-trip float for numerics).
+    pub fn display_value(&self, i: usize) -> String {
+        match self {
+            Column::Numeric(v) => {
+                let x = v[i];
+                if x.is_nan() {
+                    "NULL".to_string()
+                } else {
+                    format!("{x}")
+                }
+            }
+            Column::Categorical { codes, labels } => {
+                let c = codes[i];
+                if c == NULL_CODE {
+                    "NULL".to_string()
+                } else {
+                    labels[c as usize].clone()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_dictionary_in_first_appearance_order() {
+        let c = Column::categorical_from(vec![Some("b"), Some("a"), Some("b"), None]);
+        let (codes, labels) = c.as_categorical().unwrap();
+        assert_eq!(labels, &["b".to_string(), "a".to_string()]);
+        assert_eq!(codes, &[0, 1, 0, NULL_CODE]);
+    }
+
+    #[test]
+    fn null_counts() {
+        let n = Column::Numeric(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(n.null_count(), 1);
+        let c = Column::categorical_from(vec![None::<&str>, None, Some("x")]);
+        assert_eq!(c.null_count(), 2);
+    }
+
+    #[test]
+    fn type_accessors() {
+        let n = Column::Numeric(vec![1.0]);
+        assert!(n.as_numeric().is_some());
+        assert!(n.as_categorical().is_none());
+        assert_eq!(n.cardinality(), 0);
+        let c = Column::categorical_from(vec![Some("x"), Some("y")]);
+        assert!(c.as_numeric().is_none());
+        assert_eq!(c.cardinality(), 2);
+    }
+
+    #[test]
+    fn code_lookup() {
+        let c = Column::categorical_from(vec![Some("red"), Some("blue")]);
+        assert_eq!(c.code_of("red"), Some(0));
+        assert_eq!(c.code_of("blue"), Some(1));
+        assert_eq!(c.code_of("green"), None);
+        assert_eq!(Column::Numeric(vec![]).code_of("red"), None);
+    }
+
+    #[test]
+    fn display_values() {
+        let n = Column::Numeric(vec![1.5, f64::NAN]);
+        assert_eq!(n.display_value(0), "1.5");
+        assert_eq!(n.display_value(1), "NULL");
+        let c = Column::categorical_from(vec![Some("hi"), None]);
+        assert_eq!(c.display_value(0), "hi");
+        assert_eq!(c.display_value(1), "NULL");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Column::Numeric(vec![]).len(), 0);
+        assert!(Column::Numeric(vec![]).is_empty());
+        assert_eq!(Column::categorical_from(vec![Some("a")]).len(), 1);
+    }
+}

@@ -1,0 +1,346 @@
+//! CSV loading with RFC-4180-style quoting and type inference.
+//!
+//! The demo's datasets (Box Office, US Crime, OECD) ship as CSV; this
+//! module parses them from scratch: quoted fields, embedded separators,
+//! doubled-quote escapes, CRLF endings. A column is inferred numeric when
+//! every non-empty cell parses as `f64`; empty cells and a configurable
+//! NULL token (`?`, as used by the UCI files) become NULL.
+
+use std::path::Path;
+
+use crate::error::{Result, StoreError};
+use crate::table::{Table, TableBuilder};
+
+/// CSV reader options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub delimiter: char,
+    /// Extra tokens treated as NULL besides the empty string (default
+    /// `["?", "NA", "null", "NULL"]` — covering the UCI conventions).
+    pub null_tokens: Vec<String>,
+    /// When set, a column whose distinct-value count is at most this bound
+    /// is loaded as categorical even if every value parses as a number
+    /// (useful for coded enumerations). `0` disables the heuristic.
+    pub max_numeric_cardinality_as_categorical: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            delimiter: ',',
+            null_tokens: vec!["?".into(), "NA".into(), "null".into(), "NULL".into()],
+            max_numeric_cardinality_as_categorical: 0,
+        }
+    }
+}
+
+/// Splits raw CSV text into records of fields, honoring quotes.
+pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(StoreError::Csv {
+                            line,
+                            message: "quote inside an unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                '\r' => {
+                    // Swallow CR of CRLF; lone CR also ends the record.
+                    if chars.peek() == Some(&'\n') {
+                        continue;
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                c if c == delimiter => record.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StoreError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    // Drop fully blank records (e.g. trailing newline artifacts).
+    records.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    Ok(records)
+}
+
+/// Reads a CSV string (first record = header) into a typed [`Table`].
+pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<Table> {
+    let records = parse_records(text, options.delimiter)?;
+    if records.is_empty() {
+        return Err(StoreError::Csv {
+            line: 1,
+            message: "no header record".into(),
+        });
+    }
+    let header = &records[0];
+    let n_cols = header.len();
+    for (i, rec) in records.iter().enumerate().skip(1) {
+        if rec.len() != n_cols {
+            return Err(StoreError::Csv {
+                line: i + 1,
+                message: format!("expected {n_cols} fields, found {}", rec.len()),
+            });
+        }
+    }
+    let is_null = |s: &str| s.is_empty() || options.null_tokens.iter().any(|t| t == s);
+
+    let mut builder = TableBuilder::new();
+    for (c, name) in header.iter().enumerate() {
+        let cells: Vec<&str> = records[1..].iter().map(|r| r[c].trim()).collect();
+        let all_numeric = cells
+            .iter()
+            .filter(|s| !is_null(s))
+            .all(|s| s.parse::<f64>().map(|v| v.is_finite()).unwrap_or(false));
+        let non_null = cells.iter().filter(|s| !is_null(s)).count();
+        let treat_as_categorical = if all_numeric && non_null > 0 {
+            let bound = options.max_numeric_cardinality_as_categorical;
+            if bound > 0 {
+                let mut distinct: Vec<&str> =
+                    cells.iter().filter(|s| !is_null(s)).copied().collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                distinct.len() <= bound
+            } else {
+                false
+            }
+        } else {
+            true
+        };
+        if !treat_as_categorical && non_null > 0 {
+            let values: Vec<f64> = cells
+                .iter()
+                .map(|s| {
+                    if is_null(s) {
+                        f64::NAN
+                    } else {
+                        s.parse::<f64>().expect("validated")
+                    }
+                })
+                .collect();
+            builder.add_numeric(name.trim(), values);
+        } else {
+            let values: Vec<Option<&str>> = cells
+                .iter()
+                .map(|s| if is_null(s) { None } else { Some(*s) })
+                .collect();
+            builder.add_categorical(name.trim(), values);
+        }
+    }
+    builder.build()
+}
+
+/// Reads a CSV file from disk.
+pub fn read_csv_path(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Table> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| StoreError::Csv {
+        line: 0,
+        message: format!("cannot read {}: {e}", path.as_ref().display()),
+    })?;
+    read_csv_str(&text, options)
+}
+
+/// Serializes a table back to CSV (NULLs as empty fields, labels quoted
+/// when they contain the delimiter, quotes, or newlines).
+pub fn write_csv_string(table: &Table, delimiter: char) -> String {
+    let quote = |s: &str| -> String {
+        if s.contains(delimiter) || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = String::new();
+    let names: Vec<String> = (0..table.n_cols()).map(|i| quote(table.name(i))).collect();
+    out.push_str(&names.join(&delimiter.to_string()));
+    out.push('\n');
+    for row in 0..table.n_rows() {
+        let fields: Vec<String> = (0..table.n_cols())
+            .map(|c| {
+                let v = table.column(c).display_value(row);
+                if v == "NULL" {
+                    String::new()
+                } else {
+                    quote(&v)
+                }
+            })
+            .collect();
+        out.push_str(&fields.join(&delimiter.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    #[test]
+    fn basic_parse_and_inference() {
+        let t = read_csv_str("a,b,c\n1,x,2.5\n2,y,3.5\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.schema().column(0).unwrap().ctype, ColumnType::Numeric);
+        assert_eq!(t.schema().column(1).unwrap().ctype, ColumnType::Categorical);
+        assert_eq!(t.numeric(2).unwrap(), &[2.5, 3.5]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let t = read_csv_str(
+            "name,score\n\"Smith, John\",1\n\"say \"\"hi\"\"\",2\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        let (codes, labels) = t.categorical(0).unwrap();
+        assert_eq!(labels[codes[0] as usize], "Smith, John");
+        assert_eq!(labels[codes[1] as usize], "say \"hi\"");
+    }
+
+    #[test]
+    fn crlf_and_trailing_newline() {
+        let t = read_csv_str("a,b\r\n1,2\r\n3,4\r\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.numeric(0).unwrap(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn null_tokens_become_nan() {
+        let t = read_csv_str("x,y\n1,a\n?,b\n,c\n4,d\n", &CsvOptions::default()).unwrap();
+        let v = t.numeric(0).unwrap();
+        assert!(v[1].is_nan() && v[2].is_nan());
+        assert_eq!(t.column(0).null_count(), 2);
+    }
+
+    #[test]
+    fn ragged_record_is_an_error() {
+        let e = read_csv_str("a,b\n1,2\n3\n", &CsvOptions::default());
+        assert!(matches!(e, Err(StoreError::Csv { line: 3, .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(matches!(
+            read_csv_str("a\n\"oops\n", &CsvOptions::default()),
+            Err(StoreError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn quote_inside_unquoted_field_is_an_error() {
+        assert!(matches!(
+            read_csv_str("a\nab\"c\n", &CsvOptions::default()),
+            Err(StoreError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(read_csv_str("", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn all_null_numeric_column_falls_back_to_categorical() {
+        // With no parsable values the column cannot be called numeric.
+        let t = read_csv_str("x\n?\n?\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().column(0).unwrap().ctype, ColumnType::Categorical);
+        assert_eq!(t.column(0).null_count(), 2);
+    }
+
+    #[test]
+    fn low_cardinality_heuristic() {
+        let opts = CsvOptions {
+            max_numeric_cardinality_as_categorical: 2,
+            ..CsvOptions::default()
+        };
+        let t = read_csv_str("flag,value\n0,10\n1,20\n0,30\n", &opts).unwrap();
+        assert_eq!(t.schema().column(0).unwrap().ctype, ColumnType::Categorical);
+        assert_eq!(t.schema().column(1).unwrap().ctype, ColumnType::Numeric);
+    }
+
+    #[test]
+    fn infinity_token_is_not_numeric() {
+        // "inf" parses as f64 but must not be accepted as a numeric cell.
+        let t = read_csv_str("x\ninf\n1\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().column(0).unwrap().ctype, ColumnType::Categorical);
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let src = "a,b,cat\n1,2.5,x\n3,,\"y,z\"\n";
+        let t = read_csv_str(src, &CsvOptions::default()).unwrap();
+        let written = write_csv_string(&t, ',');
+        let back = read_csv_str(&written, &CsvOptions::default()).unwrap();
+        assert_eq!(back.n_rows(), t.n_rows());
+        assert_eq!(back.numeric(0).unwrap(), t.numeric(0).unwrap());
+        let (codes_a, labels_a) = t.categorical(2).unwrap();
+        let (codes_b, labels_b) = back.categorical(2).unwrap();
+        let render = |codes: &[u32], labels: &[String]| -> Vec<String> {
+            codes
+                .iter()
+                .map(|&c| {
+                    if c == u32::MAX {
+                        "NULL".into()
+                    } else {
+                        labels[c as usize].clone()
+                    }
+                })
+                .collect()
+        };
+        assert_eq!(render(codes_a, labels_a), render(codes_b, labels_b));
+    }
+
+    #[test]
+    fn file_not_found_is_csv_error() {
+        assert!(matches!(
+            read_csv_path(
+                "/nonexistent/definitely_missing.csv",
+                &CsvOptions::default()
+            ),
+            Err(StoreError::Csv { .. })
+        ));
+    }
+}

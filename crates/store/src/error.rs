@@ -1,0 +1,127 @@
+//! Error type for the store layer.
+
+use std::fmt;
+
+/// Errors raised while building tables, loading CSV, or evaluating
+/// predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Referenced a column name that does not exist.
+    UnknownColumn(String),
+    /// A column was used with an incompatible type (e.g. a numeric
+    /// comparison against a categorical column).
+    TypeMismatch {
+        /// Column involved.
+        column: String,
+        /// What the operation expected.
+        expected: &'static str,
+        /// What the column actually is.
+        actual: &'static str,
+    },
+    /// Columns of differing lengths were combined into one table.
+    LengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Its length.
+        got: usize,
+        /// The table's row count.
+        expected: usize,
+    },
+    /// The same column name was added twice.
+    DuplicateColumn(String),
+    /// A table must contain at least one column.
+    EmptyTable,
+    /// CSV input could not be parsed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The predicate text could not be parsed.
+    Parse {
+        /// Byte offset in the input where the error was noticed.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying statistics computation failed.
+    Stats(ziggy_stats::StatsError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            StoreError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => {
+                write!(f, "column {column}: expected {expected}, found {actual}")
+            }
+            StoreError::LengthMismatch {
+                column,
+                got,
+                expected,
+            } => {
+                write!(f, "column {column} has {got} rows, table has {expected}")
+            }
+            StoreError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            StoreError::EmptyTable => write!(f, "a table needs at least one column"),
+            StoreError::Csv { line, message } => write!(f, "CSV error on line {line}: {message}"),
+            StoreError::Parse { position, message } => {
+                write!(f, "predicate parse error at byte {position}: {message}")
+            }
+            StoreError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ziggy_stats::StatsError> for StoreError {
+    fn from(e: ziggy_stats::StatsError) -> Self {
+        StoreError::Stats(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StoreError::UnknownColumn("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(StoreError::EmptyTable.to_string().contains("at least one"));
+        let e = StoreError::Csv {
+            line: 7,
+            message: "bad quote".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = StoreError::Parse {
+            position: 3,
+            message: "expected )".into(),
+        };
+        assert!(e.to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn stats_error_wraps_with_source() {
+        let inner = ziggy_stats::StatsError::Degenerate("constant");
+        let e: StoreError = inner.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,361 @@
+//! Vectorized predicate evaluation: `Expr × Table → Bitmask`.
+//!
+//! Evaluation is column-at-a-time in the MonetDB spirit: each leaf
+//! predicate scans one column into a bitmask, and boolean combinators
+//! operate on whole masks with word-wide operations.
+//!
+//! NULL semantics are two-valued (documented in [`crate::expr`]): any
+//! comparison, `IN`, or `BETWEEN` against a NULL evaluates to false;
+//! `IS NULL` / `IS NOT NULL` test NULL-ness explicitly.
+
+use crate::column::NULL_CODE;
+use crate::error::{Result, StoreError};
+use crate::expr::{CmpOp, Expr, Literal};
+use crate::mask::Bitmask;
+use crate::table::Table;
+
+/// Evaluates a predicate over a table, producing the selection mask.
+pub fn evaluate(expr: &Expr, table: &Table) -> Result<Bitmask> {
+    match expr {
+        Expr::Const(b) => Ok(if *b {
+            Bitmask::ones(table.n_rows())
+        } else {
+            Bitmask::zeros(table.n_rows())
+        }),
+        Expr::And(a, b) => {
+            let mut left = evaluate(a, table)?;
+            let right = evaluate(b, table)?;
+            left.and_assign(&right);
+            Ok(left)
+        }
+        Expr::Or(a, b) => {
+            let mut left = evaluate(a, table)?;
+            let right = evaluate(b, table)?;
+            left.or_assign(&right);
+            Ok(left)
+        }
+        Expr::Not(inner) => {
+            let mut m = evaluate(inner, table)?;
+            m.not_assign();
+            Ok(m)
+        }
+        Expr::Cmp { column, op, value } => eval_cmp(table, column, *op, value),
+        Expr::Between {
+            column,
+            lo,
+            hi,
+            negated,
+        } => eval_between(table, column, *lo, *hi, *negated),
+        Expr::InList {
+            column,
+            values,
+            negated,
+        } => eval_in(table, column, values, *negated),
+        Expr::IsNull { column, negated } => eval_is_null(table, column, *negated),
+    }
+}
+
+/// Parses and evaluates predicate text in one call.
+pub fn select(table: &Table, predicate: &str) -> Result<Bitmask> {
+    let expr = crate::parse::parse_predicate(predicate)?;
+    evaluate(&expr, table)
+}
+
+fn eval_cmp(table: &Table, column: &str, op: CmpOp, value: &Literal) -> Result<Bitmask> {
+    let idx = table.index_of(column)?;
+    match (table.column(idx).as_numeric(), value) {
+        (Some(data), Literal::Number(rhs)) => {
+            let mut m = Bitmask::zeros(table.n_rows());
+            for (i, &x) in data.iter().enumerate() {
+                // NaN (NULL) fails every comparison including !=.
+                if !x.is_nan() && op.eval_f64(x, *rhs) {
+                    m.set(i, true);
+                }
+            }
+            Ok(m)
+        }
+        (Some(_), Literal::Str(_)) => Err(StoreError::TypeMismatch {
+            column: column.to_string(),
+            expected: "a numeric literal",
+            actual: "string literal against a numeric column",
+        }),
+        (None, Literal::Str(rhs)) => {
+            let (codes, _) = table.categorical(idx)?;
+            let code = table.column(idx).code_of(rhs);
+            let mut m = Bitmask::zeros(table.n_rows());
+            match op {
+                CmpOp::Eq => {
+                    if let Some(code) = code {
+                        for (i, &c) in codes.iter().enumerate() {
+                            if c == code {
+                                m.set(i, true);
+                            }
+                        }
+                    }
+                }
+                CmpOp::Ne => {
+                    for (i, &c) in codes.iter().enumerate() {
+                        if c != NULL_CODE && Some(c) != code {
+                            m.set(i, true);
+                        }
+                    }
+                }
+                _ => {
+                    return Err(StoreError::TypeMismatch {
+                        column: column.to_string(),
+                        expected: "= or != for categorical comparisons",
+                        actual: "an ordering operator",
+                    })
+                }
+            }
+            Ok(m)
+        }
+        (None, Literal::Number(_)) => Err(StoreError::TypeMismatch {
+            column: column.to_string(),
+            expected: "a string literal",
+            actual: "numeric literal against a categorical column",
+        }),
+    }
+}
+
+fn eval_between(table: &Table, column: &str, lo: f64, hi: f64, negated: bool) -> Result<Bitmask> {
+    let idx = table.index_of(column)?;
+    let data = table.numeric(idx)?;
+    let mut m = Bitmask::zeros(table.n_rows());
+    for (i, &x) in data.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        let inside = x >= lo && x <= hi;
+        if inside != negated {
+            m.set(i, true);
+        }
+    }
+    Ok(m)
+}
+
+fn eval_in(table: &Table, column: &str, values: &[Literal], negated: bool) -> Result<Bitmask> {
+    let idx = table.index_of(column)?;
+    let mut m = Bitmask::zeros(table.n_rows());
+    if let Some(data) = table.column(idx).as_numeric() {
+        let mut nums = Vec::with_capacity(values.len());
+        for v in values {
+            match v {
+                Literal::Number(n) => nums.push(*n),
+                Literal::Str(_) => {
+                    return Err(StoreError::TypeMismatch {
+                        column: column.to_string(),
+                        expected: "numeric IN-list items",
+                        actual: "string item against a numeric column",
+                    })
+                }
+            }
+        }
+        for (i, &x) in data.iter().enumerate() {
+            if x.is_nan() {
+                continue;
+            }
+            let inside = nums.contains(&x);
+            if inside != negated {
+                m.set(i, true);
+            }
+        }
+    } else {
+        let (codes, _) = table.categorical(idx)?;
+        let mut wanted = Vec::with_capacity(values.len());
+        for v in values {
+            match v {
+                Literal::Str(s) => {
+                    if let Some(code) = table.column(idx).code_of(s) {
+                        wanted.push(code);
+                    }
+                }
+                Literal::Number(_) => {
+                    return Err(StoreError::TypeMismatch {
+                        column: column.to_string(),
+                        expected: "string IN-list items",
+                        actual: "numeric item against a categorical column",
+                    })
+                }
+            }
+        }
+        for (i, &c) in codes.iter().enumerate() {
+            if c == NULL_CODE {
+                continue;
+            }
+            let inside = wanted.contains(&c);
+            if inside != negated {
+                m.set(i, true);
+            }
+        }
+    }
+    Ok(m)
+}
+
+fn eval_is_null(table: &Table, column: &str, negated: bool) -> Result<Bitmask> {
+    let idx = table.index_of(column)?;
+    let mut m = Bitmask::zeros(table.n_rows());
+    match table.column(idx).as_numeric() {
+        Some(data) => {
+            for (i, &x) in data.iter().enumerate() {
+                if x.is_nan() != negated {
+                    m.set(i, true);
+                }
+            }
+        }
+        None => {
+            let (codes, _) = table.categorical(idx)?;
+            for (i, &c) in codes.iter().enumerate() {
+                if (c == NULL_CODE) != negated {
+                    m.set(i, true);
+                }
+            }
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn sample() -> Table {
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", vec![1.0, 2.0, 3.0, f64::NAN, 5.0]);
+        b.add_categorical(
+            "color",
+            vec![Some("red"), Some("blue"), None, Some("red"), Some("green")],
+        );
+        b.build().unwrap()
+    }
+
+    fn rows(m: &Bitmask) -> Vec<usize> {
+        m.iter_ones().collect()
+    }
+
+    #[test]
+    fn numeric_comparisons_skip_null() {
+        let t = sample();
+        assert_eq!(rows(&select(&t, "x > 1.5").unwrap()), vec![1, 2, 4]);
+        assert_eq!(rows(&select(&t, "x <= 2").unwrap()), vec![0, 1]);
+        // != also excludes NULL.
+        assert_eq!(rows(&select(&t, "x != 3").unwrap()), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn categorical_eq_ne() {
+        let t = sample();
+        assert_eq!(rows(&select(&t, "color = 'red'").unwrap()), vec![0, 3]);
+        // != excludes NULLs.
+        assert_eq!(rows(&select(&t, "color != 'red'").unwrap()), vec![1, 4]);
+        // Unknown label matches nothing / everything-but-null.
+        assert_eq!(
+            rows(&select(&t, "color = 'violet'").unwrap()),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            rows(&select(&t, "color != 'violet'").unwrap()),
+            vec![0, 1, 3, 4]
+        );
+    }
+
+    #[test]
+    fn categorical_ordering_is_type_error() {
+        let t = sample();
+        assert!(matches!(
+            select(&t, "color < 'red'"),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_type_literals_are_errors() {
+        let t = sample();
+        assert!(select(&t, "x = 'red'").is_err());
+        assert!(select(&t, "color = 3").is_err());
+        assert!(select(&t, "x IN ('a')").is_err());
+        assert!(select(&t, "color IN (1)").is_err());
+    }
+
+    #[test]
+    fn between_inclusive_and_negated() {
+        let t = sample();
+        assert_eq!(rows(&select(&t, "x BETWEEN 2 AND 3").unwrap()), vec![1, 2]);
+        // NOT BETWEEN still excludes the NULL row.
+        assert_eq!(
+            rows(&select(&t, "x NOT BETWEEN 2 AND 3").unwrap()),
+            vec![0, 4]
+        );
+    }
+
+    #[test]
+    fn in_lists() {
+        let t = sample();
+        assert_eq!(rows(&select(&t, "x IN (1, 5)").unwrap()), vec![0, 4]);
+        assert_eq!(rows(&select(&t, "x NOT IN (1, 5)").unwrap()), vec![1, 2]);
+        assert_eq!(
+            rows(&select(&t, "color IN ('red', 'green')").unwrap()),
+            vec![0, 3, 4]
+        );
+        assert_eq!(
+            rows(&select(&t, "color NOT IN ('red', 'green')").unwrap()),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn is_null_both_types() {
+        let t = sample();
+        assert_eq!(rows(&select(&t, "x IS NULL").unwrap()), vec![3]);
+        assert_eq!(
+            rows(&select(&t, "x IS NOT NULL").unwrap()),
+            vec![0, 1, 2, 4]
+        );
+        assert_eq!(rows(&select(&t, "color IS NULL").unwrap()), vec![2]);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let t = sample();
+        assert_eq!(
+            rows(&select(&t, "x > 1 AND color = 'red'").unwrap()),
+            vec![3].into_iter().filter(|_| false).collect::<Vec<_>>()
+        );
+        // Row 0 is red with x=1; row 3 is red with x NULL.
+        assert_eq!(
+            rows(&select(&t, "x >= 1 AND color = 'red'").unwrap()),
+            vec![0]
+        );
+        assert_eq!(
+            rows(&select(&t, "x <= 1 OR color = 'green'").unwrap()),
+            vec![0, 4]
+        );
+        // NOT is boolean complement (two-valued logic): NULL rows flip in.
+        assert_eq!(rows(&select(&t, "NOT x > 1").unwrap()), vec![0, 3]);
+    }
+
+    #[test]
+    fn constants() {
+        let t = sample();
+        assert_eq!(select(&t, "TRUE").unwrap().count_ones(), 5);
+        assert_eq!(select(&t, "FALSE").unwrap().count_ones(), 0);
+    }
+
+    #[test]
+    fn unknown_column_error() {
+        let t = sample();
+        assert!(matches!(
+            select(&t, "zzz > 1"),
+            Err(StoreError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn de_morgan_on_evaluation() {
+        let t = sample();
+        let lhs = select(&t, "NOT (x > 2 AND color = 'red')").unwrap();
+        let rhs = select(&t, "NOT x > 2 OR NOT color = 'red'").unwrap();
+        assert_eq!(lhs, rhs);
+    }
+}

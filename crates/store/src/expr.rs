@@ -1,0 +1,273 @@
+//! Predicate AST for the selection language.
+//!
+//! A Ziggy exploration query is a conjunction/disjunction of per-column
+//! conditions over one table (the demo's "input query" text box). The AST
+//! is deliberately small: comparisons, `IN` lists, `BETWEEN`, NULL tests,
+//! and boolean combinators.
+//!
+//! NULL semantics are two-valued: any comparison against NULL is false and
+//! `NOT` is plain boolean complement. (Full SQL three-valued logic is
+//! intentionally out of scope; `IS NULL` / `IS NOT NULL` are provided for
+//! explicit NULL handling.)
+
+use serde::{Deserialize, Serialize};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=` / `==`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the operator to an f64 ordering.
+    pub fn eval_f64(self, left: f64, right: f64) -> bool {
+        match self {
+            CmpOp::Lt => left < right,
+            CmpOp::Le => left <= right,
+            CmpOp::Gt => left > right,
+            CmpOp::Ge => left >= right,
+            CmpOp::Eq => left == right,
+            CmpOp::Ne => left != right,
+        }
+    }
+
+    /// SQL spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// A literal value in a predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (single-quoted in the surface syntax).
+    Str(String),
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Literal::Number(n) => write!(f, "{n}"),
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+/// A boolean predicate over table rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// `column OP literal`.
+    Cmp {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        value: Literal,
+    },
+    /// `column [NOT] BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Column name.
+        column: String,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `column [NOT] IN (l1, l2, …)`.
+    InList {
+        /// Column name.
+        column: String,
+        /// Candidate literals.
+        values: Vec<Literal>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `column IS [NOT] NULL`.
+    IsNull {
+        /// Column name.
+        column: String,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation (boolean complement).
+    Not(Box<Expr>),
+    /// Constant TRUE / FALSE.
+    Const(bool),
+}
+
+impl Expr {
+    /// Collects the names of all columns the predicate references, in
+    /// first-appearance order without duplicates.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        self.walk_columns(&mut |name| {
+            if !out.contains(&name) {
+                out.push(name);
+            }
+        });
+        out
+    }
+
+    fn walk_columns<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
+        match self {
+            Expr::Cmp { column, .. }
+            | Expr::Between { column, .. }
+            | Expr::InList { column, .. }
+            | Expr::IsNull { column, .. } => f(column),
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.walk_columns(f);
+                b.walk_columns(f);
+            }
+            Expr::Not(e) => e.walk_columns(f),
+            Expr::Const(_) => {}
+        }
+    }
+
+    /// Depth of the expression tree (a `Const`/leaf is depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::And(a, b) | Expr::Or(a, b) => 1 + a.depth().max(b.depth()),
+            Expr::Not(e) => 1 + e.depth(),
+            _ => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Cmp { column, op, value } => write!(f, "{column} {} {value}", op.symbol()),
+            Expr::Between {
+                column,
+                lo,
+                hi,
+                negated,
+            } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "{column} {not}BETWEEN {lo} AND {hi}")
+            }
+            Expr::InList {
+                column,
+                values,
+                negated,
+            } => {
+                let not = if *negated { "NOT " } else { "" };
+                let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+                write!(f, "{column} {not}IN ({})", items.join(", "))
+            }
+            Expr::IsNull { column, negated } => {
+                write!(f, "{column} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::Const(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp(col: &str, op: CmpOp, v: f64) -> Expr {
+        Expr::Cmp {
+            column: col.into(),
+            op,
+            value: Literal::Number(v),
+        }
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Lt.eval_f64(1.0, 2.0));
+        assert!(!CmpOp::Lt.eval_f64(2.0, 2.0));
+        assert!(CmpOp::Le.eval_f64(2.0, 2.0));
+        assert!(CmpOp::Eq.eval_f64(3.0, 3.0));
+        assert!(CmpOp::Ne.eval_f64(3.0, 4.0));
+        assert!(CmpOp::Ge.eval_f64(4.0, 4.0));
+        assert!(CmpOp::Gt.eval_f64(5.0, 4.0));
+    }
+
+    #[test]
+    fn columns_deduplicated_in_order() {
+        let e = Expr::And(
+            Box::new(cmp("b", CmpOp::Gt, 1.0)),
+            Box::new(Expr::Or(
+                Box::new(cmp("a", CmpOp::Lt, 2.0)),
+                Box::new(cmp("b", CmpOp::Eq, 3.0)),
+            )),
+        );
+        assert_eq!(e.columns(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn depth() {
+        let leaf = cmp("x", CmpOp::Eq, 0.0);
+        assert_eq!(leaf.depth(), 1);
+        let tree = Expr::Not(Box::new(Expr::And(Box::new(leaf.clone()), Box::new(leaf))));
+        assert_eq!(tree.depth(), 3);
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let e = Expr::And(
+            Box::new(cmp("crime", CmpOp::Ge, 0.8)),
+            Box::new(Expr::InList {
+                column: "state".into(),
+                values: vec![Literal::Str("CA".into()), Literal::Str("NY".into())],
+                negated: false,
+            }),
+        );
+        assert_eq!(e.to_string(), "(crime >= 0.8 AND state IN ('CA', 'NY'))");
+    }
+
+    #[test]
+    fn display_escapes_quotes() {
+        let l = Literal::Str("O'Hara".into());
+        assert_eq!(l.to_string(), "'O''Hara'");
+    }
+
+    #[test]
+    fn display_between_and_null() {
+        let b = Expr::Between {
+            column: "x".into(),
+            lo: 1.0,
+            hi: 2.0,
+            negated: true,
+        };
+        assert_eq!(b.to_string(), "x NOT BETWEEN 1 AND 2");
+        let n = Expr::IsNull {
+            column: "y".into(),
+            negated: true,
+        };
+        assert_eq!(n.to_string(), "y IS NOT NULL");
+    }
+}

@@ -1,0 +1,395 @@
+//! Tokenizer for the predicate language.
+
+use crate::error::{Result, StoreError};
+
+/// A lexical token with its byte position (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub position: usize,
+}
+
+/// The kinds of token the predicate language understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Column identifier (bare, or quoted with backticks / double quotes).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal (with `''` escapes).
+    Str(String),
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=` or `==`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `IN`
+    In,
+    /// `BETWEEN`
+    Between,
+    /// `IS`
+    Is,
+    /// `NULL`
+    Null,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+}
+
+fn keyword(word: &str) -> Option<TokenKind> {
+    match word.to_ascii_uppercase().as_str() {
+        "AND" => Some(TokenKind::And),
+        "OR" => Some(TokenKind::Or),
+        "NOT" => Some(TokenKind::Not),
+        "IN" => Some(TokenKind::In),
+        "BETWEEN" => Some(TokenKind::Between),
+        "IS" => Some(TokenKind::Is),
+        "NULL" => Some(TokenKind::Null),
+        "TRUE" => Some(TokenKind::True),
+        "FALSE" => Some(TokenKind::False),
+        _ => None,
+    }
+}
+
+/// Tokenizes predicate text. Whitespace separates tokens; keywords are
+/// case-insensitive; identifiers may be quoted with backticks or double
+/// quotes to include spaces and punctuation (`` `% Home Owners` ``).
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    let err = |position: usize, message: String| StoreError::Parse { position, message };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    position: start,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    position: start,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    position: start,
+                });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        position: start,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        position: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        position: start,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        position: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        position: start,
+                    });
+                    i += 1;
+                }
+            }
+            '=' => {
+                i += if bytes.get(i + 1) == Some(&b'=') {
+                    2
+                } else {
+                    1
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    position: start,
+                });
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        position: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(err(start, "expected '=' after '!'".into()));
+                }
+            }
+            '\'' => {
+                // Single-quoted string with '' escapes.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err(start, "unterminated string literal".into())),
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Advance one UTF-8 scalar.
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().expect("non-empty");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    position: start,
+                });
+            }
+            '`' | '"' => {
+                let close = c;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match input[i..].chars().next() {
+                        None => return Err(err(start, "unterminated quoted identifier".into())),
+                        Some(ch) if ch == close => {
+                            i += ch.len_utf8();
+                            break;
+                        }
+                        Some(ch) => {
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                if s.is_empty() {
+                    return Err(err(start, "empty quoted identifier".into()));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    position: start,
+                });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' || c == '+' || c == '.')
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit() || *b == b'.') =>
+            {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    let exp_sign =
+                        (d == '-' || d == '+') && matches!(bytes[j - 1] as char, 'e' | 'E');
+                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || exp_sign {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..j];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| err(start, format!("invalid number: {text}")))?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    position: start,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < input.len() {
+                    let ch = input[j..].chars().next().expect("in range");
+                    if ch.is_alphanumeric() || ch == '_' || ch == '.' {
+                        j += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[i..j];
+                let kind = keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+                tokens.push(Token {
+                    kind,
+                    position: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(err(start, format!("unexpected character: {other:?}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("< <= > >= = == != <>"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("and OR Not iN between IS null TRUE false"),
+            vec![
+                TokenKind::And,
+                TokenKind::Or,
+                TokenKind::Not,
+                TokenKind::In,
+                TokenKind::Between,
+                TokenKind::Is,
+                TokenKind::Null,
+                TokenKind::True,
+                TokenKind::False
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_incl_signs_and_exponents() {
+        assert_eq!(
+            kinds("1 2.5 -3 +4.25 1e3 2.5e-2 .5"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.5),
+                TokenKind::Number(-3.0),
+                TokenKind::Number(4.25),
+                TokenKind::Number(1000.0),
+                TokenKind::Number(0.025),
+                TokenKind::Number(0.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'abc' 'O''Hara' ''"),
+            vec![
+                TokenKind::Str("abc".into()),
+                TokenKind::Str("O'Hara".into()),
+                TokenKind::Str(String::new())
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(
+            kinds("`% Home Owners` \"Population Size\""),
+            vec![
+                TokenKind::Ident("% Home Owners".into()),
+                TokenKind::Ident("Population Size".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_with_dots_and_underscores() {
+        assert_eq!(
+            kinds("pop_density t.col"),
+            vec![
+                TokenKind::Ident("pop_density".into()),
+                TokenKind::Ident("t.col".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = tokenize("a > $").unwrap_err();
+        assert!(matches!(e, StoreError::Parse { position: 4, .. }));
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("`open").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("``").is_err());
+    }
+
+    #[test]
+    fn whole_predicate() {
+        let ks = kinds("crime >= 0.8 AND state IN ('CA','NY')");
+        assert_eq!(ks.len(), 11);
+        assert_eq!(ks[0], TokenKind::Ident("crime".into()));
+        assert_eq!(ks[3], TokenKind::And);
+        assert_eq!(ks[5], TokenKind::In);
+    }
+}

@@ -1,0 +1,254 @@
+//! Packed row-selection bitmasks.
+//!
+//! The result of evaluating a predicate is a [`Bitmask`]: one bit per row,
+//! set when the row belongs to the user's selection. This is the concrete
+//! realization of the paper's `Cᴵ` / `Cᴼ` split — the selection is the set
+//! bits, the complement the clear bits.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length packed bitmask over table rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmask {
+    /// All-clear mask of `len` rows.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-set mask of `len` rows.
+    pub fn ones(len: usize) -> Self {
+        let mut m = Self {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        m.clear_tail();
+        m
+    }
+
+    /// Builds a mask from a per-row predicate.
+    pub fn from_fn(len: usize, f: impl Fn(usize) -> bool) -> Self {
+        let mut m = Self::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                m.set(i, true);
+            }
+        }
+        m
+    }
+
+    /// Builds a mask from an iterator of booleans.
+    pub fn from_bools(bools: impl IntoIterator<Item = bool>) -> Self {
+        let bools: Vec<bool> = bools.into_iter().collect();
+        Self::from_fn(bools.len(), |i| bools[i])
+    }
+
+    fn clear_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Number of rows covered by the mask.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mask covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`; panics when out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for mask of {} rows",
+            self.len
+        );
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`; panics when out of range.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for mask of {} rows",
+            self.len
+        );
+        if value {
+            self.words[i / 64] |= 1u64 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Number of set bits (selection size).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place intersection. Panics on length mismatch.
+    pub fn and_assign(&mut self, other: &Bitmask) {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union. Panics on length mismatch.
+    pub fn or_assign(&mut self, other: &Bitmask) {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place complement over the mask's row range.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_tail();
+    }
+
+    /// Returns the complement as a new mask.
+    pub fn complement(&self) -> Bitmask {
+        let mut m = self.clone();
+        m.not_assign();
+        m
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Fraction of rows selected; NaN for an empty mask.
+    pub fn selectivity(&self) -> f64 {
+        if self.len == 0 {
+            f64::NAN
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bitmask::zeros(70);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.len(), 70);
+        let o = Bitmask::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        assert!(o.get(69));
+    }
+
+    #[test]
+    fn ones_clears_tail_bits() {
+        // Tail bits beyond len must not leak into count_ones.
+        let o = Bitmask::ones(3);
+        assert_eq!(o.count_ones(), 3);
+        let mut c = o.clone();
+        c.not_assign();
+        assert_eq!(c.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = Bitmask::zeros(130);
+        m.set(0, true);
+        m.set(64, true);
+        m.set(129, true);
+        assert!(m.get(0) && m.get(64) && m.get(129));
+        assert!(!m.get(1) && !m.get(63) && !m.get(128));
+        m.set(64, false);
+        assert!(!m.get(64));
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmask::zeros(10).get(10);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Bitmask::from_bools([true, true, false, false]);
+        let b = Bitmask::from_bools([true, false, true, false]);
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and, Bitmask::from_bools([true, false, false, false]));
+        let mut or = a.clone();
+        or.or_assign(&b);
+        assert_eq!(or, Bitmask::from_bools([true, true, true, false]));
+        assert_eq!(
+            a.complement(),
+            Bitmask::from_bools([false, false, true, true])
+        );
+    }
+
+    #[test]
+    fn de_morgan() {
+        let a = Bitmask::from_fn(100, |i| i % 3 == 0);
+        let b = Bitmask::from_fn(100, |i| i % 5 == 0);
+        // ¬(a ∧ b) = ¬a ∨ ¬b.
+        let mut lhs = a.clone();
+        lhs.and_assign(&b);
+        lhs.not_assign();
+        let mut rhs = a.complement();
+        rhs.or_assign(&b.complement());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let m = Bitmask::from_fn(200, |i| i % 7 == 2);
+        let ones: Vec<usize> = m.iter_ones().collect();
+        let expected: Vec<usize> = (0..200).filter(|i| i % 7 == 2).collect();
+        assert_eq!(ones, expected);
+    }
+
+    #[test]
+    fn selectivity() {
+        let m = Bitmask::from_fn(10, |i| i < 3);
+        assert!((m.selectivity() - 0.3).abs() < 1e-12);
+        assert!(Bitmask::zeros(0).selectivity().is_nan());
+    }
+
+    #[test]
+    fn complement_partitions_rows() {
+        let m = Bitmask::from_fn(97, |i| i % 2 == 0);
+        let c = m.complement();
+        assert_eq!(m.count_ones() + c.count_ones(), 97);
+        let mut overlap = m.clone();
+        overlap.and_assign(&c);
+        assert_eq!(overlap.count_ones(), 0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Recursive-descent parser for the predicate language.
+//!
+//! Grammar (standard precedence: `NOT` > `AND` > `OR`):
+//!
+//! ```text
+//! expr      := or
+//! or        := and (OR and)*
+//! and       := unary (AND unary)*
+//! unary     := NOT unary | primary
+//! primary   := '(' expr ')' | TRUE | FALSE | predicate
+//! predicate := column cmpop literal
+//!            | column [NOT] IN '(' literal (',' literal)* ')'
+//!            | column [NOT] BETWEEN number AND number
+//!            | column IS [NOT] NULL
+//! ```
+
+use crate::error::{Result, StoreError};
+use crate::expr::{CmpOp, Expr, Literal};
+use crate::lex::{tokenize, Token, TokenKind};
+
+/// Parses predicate text into an [`Expr`].
+pub fn parse_predicate(input: &str) -> Result<Expr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let e = p.parse_or()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error_here("unexpected trailing input"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, message: &str) -> StoreError {
+        let position = self
+            .tokens
+            .get(self.pos)
+            .map(|t| t.position)
+            .unwrap_or(self.input_len);
+        StoreError::Parse {
+            position,
+            message: message.to_string(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        match self.peek() {
+            Some(k) if k == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.error_here(&format!("expected {what}"))),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while matches!(self.peek(), Some(TokenKind::Or)) {
+            self.pos += 1;
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        while matches!(self.peek(), Some(TokenKind::And)) {
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), Some(TokenKind::Not)) {
+            self.pos += 1;
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(TokenKind::LParen) => {
+                self.pos += 1;
+                let inner = self.parse_or()?;
+                self.expect(&TokenKind::RParen, "closing ')'")?;
+                Ok(inner)
+            }
+            Some(TokenKind::True) => {
+                self.pos += 1;
+                Ok(Expr::Const(true))
+            }
+            Some(TokenKind::False) => {
+                self.pos += 1;
+                Ok(Expr::Const(false))
+            }
+            Some(TokenKind::Ident(_)) => self.parse_column_predicate(),
+            _ => Err(self.error_here("expected a predicate, '(' , TRUE or FALSE")),
+        }
+    }
+
+    fn parse_column_predicate(&mut self) -> Result<Expr> {
+        let column = match self.advance().map(|t| t.kind.clone()) {
+            Some(TokenKind::Ident(name)) => name,
+            _ => return Err(self.error_here("expected a column name")),
+        };
+        // Optional NOT before IN / BETWEEN.
+        let negated = if matches!(self.peek(), Some(TokenKind::Not)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        match self.peek() {
+            Some(TokenKind::In) => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen, "'(' after IN")?;
+                let mut values = vec![self.parse_literal()?];
+                while matches!(self.peek(), Some(TokenKind::Comma)) {
+                    self.pos += 1;
+                    values.push(self.parse_literal()?);
+                }
+                self.expect(&TokenKind::RParen, "closing ')' of IN list")?;
+                Ok(Expr::InList {
+                    column,
+                    values,
+                    negated,
+                })
+            }
+            Some(TokenKind::Between) => {
+                self.pos += 1;
+                let lo = self.parse_number()?;
+                self.expect(&TokenKind::And, "AND between the BETWEEN bounds")?;
+                let hi = self.parse_number()?;
+                if lo > hi {
+                    return Err(self.error_here("BETWEEN bounds out of order (lo > hi)"));
+                }
+                Ok(Expr::Between {
+                    column,
+                    lo,
+                    hi,
+                    negated,
+                })
+            }
+            Some(TokenKind::Is) if !negated => {
+                self.pos += 1;
+                let negated = if matches!(self.peek(), Some(TokenKind::Not)) {
+                    self.pos += 1;
+                    true
+                } else {
+                    false
+                };
+                self.expect(&TokenKind::Null, "NULL after IS [NOT]")?;
+                Ok(Expr::IsNull { column, negated })
+            }
+            Some(k) if !negated => {
+                let op = match k {
+                    TokenKind::Lt => CmpOp::Lt,
+                    TokenKind::Le => CmpOp::Le,
+                    TokenKind::Gt => CmpOp::Gt,
+                    TokenKind::Ge => CmpOp::Ge,
+                    TokenKind::Eq => CmpOp::Eq,
+                    TokenKind::Ne => CmpOp::Ne,
+                    _ => {
+                        return Err(
+                            self.error_here("expected a comparison operator, IN, BETWEEN or IS")
+                        )
+                    }
+                };
+                self.pos += 1;
+                let value = self.parse_literal()?;
+                Ok(Expr::Cmp { column, op, value })
+            }
+            _ => Err(self.error_here("expected IN or BETWEEN after NOT")),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal> {
+        match self.advance().map(|t| t.kind.clone()) {
+            Some(TokenKind::Number(n)) => Ok(Literal::Number(n)),
+            Some(TokenKind::Str(s)) => Ok(Literal::Str(s)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error_here("expected a literal"))
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64> {
+        match self.advance().map(|t| t.kind.clone()) {
+            Some(TokenKind::Number(n)) => Ok(n),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error_here("expected a number"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_comparison() {
+        let e = parse_predicate("crime >= 0.8").unwrap();
+        assert_eq!(
+            e,
+            Expr::Cmp {
+                column: "crime".into(),
+                op: CmpOp::Ge,
+                value: Literal::Number(0.8)
+            }
+        );
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        // a OR b AND c parses as a OR (b AND c).
+        let e = parse_predicate("a = 1 OR b = 2 AND c = 3").unwrap();
+        match e {
+            Expr::Or(_, right) => assert!(matches!(*right, Expr::And(_, _))),
+            other => panic!("expected OR at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let e = parse_predicate("(a = 1 OR b = 2) AND c = 3").unwrap();
+        match e {
+            Expr::And(left, _) => assert!(matches!(*left, Expr::Or(_, _))),
+            other => panic!("expected AND at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_binds_tighter_than_and() {
+        let e = parse_predicate("NOT a = 1 AND b = 2").unwrap();
+        match e {
+            Expr::And(left, _) => assert!(matches!(*left, Expr::Not(_))),
+            other => panic!("expected AND at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_list_with_strings_and_numbers() {
+        let e = parse_predicate("state IN ('CA', 'NY')").unwrap();
+        assert_eq!(
+            e,
+            Expr::InList {
+                column: "state".into(),
+                values: vec![Literal::Str("CA".into()), Literal::Str("NY".into())],
+                negated: false
+            }
+        );
+        let e = parse_predicate("code NOT IN (1, 2, 3)").unwrap();
+        assert!(matches!(e, Expr::InList { negated: true, .. }));
+    }
+
+    #[test]
+    fn between_and_not_between() {
+        let e = parse_predicate("x BETWEEN 1 AND 5").unwrap();
+        assert_eq!(
+            e,
+            Expr::Between {
+                column: "x".into(),
+                lo: 1.0,
+                hi: 5.0,
+                negated: false
+            }
+        );
+        let e = parse_predicate("x NOT BETWEEN -2 AND 2").unwrap();
+        assert_eq!(
+            e,
+            Expr::Between {
+                column: "x".into(),
+                lo: -2.0,
+                hi: 2.0,
+                negated: true
+            }
+        );
+        assert!(parse_predicate("x BETWEEN 5 AND 1").is_err());
+    }
+
+    #[test]
+    fn is_null_variants() {
+        assert_eq!(
+            parse_predicate("x IS NULL").unwrap(),
+            Expr::IsNull {
+                column: "x".into(),
+                negated: false
+            }
+        );
+        assert_eq!(
+            parse_predicate("x IS NOT NULL").unwrap(),
+            Expr::IsNull {
+                column: "x".into(),
+                negated: true
+            }
+        );
+    }
+
+    #[test]
+    fn quoted_identifier_predicate() {
+        let e = parse_predicate("`% Home Owners` < 0.3").unwrap();
+        assert!(matches!(e, Expr::Cmp { ref column, .. } if column == "% Home Owners"));
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(parse_predicate("TRUE").unwrap(), Expr::Const(true));
+        assert_eq!(
+            parse_predicate("NOT FALSE").unwrap(),
+            Expr::Not(Box::new(Expr::Const(false)))
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        for bad in [
+            "",
+            "x >",
+            "x > AND",
+            "(x > 1",
+            "x IN ()",
+            "x IN (1,)",
+            "x BETWEEN 1",
+            "x IS",
+            "x IS MAYBE NULL",
+            "x > 1 extra",
+            "AND x > 1",
+            "x NOT > 1",
+        ] {
+            assert!(
+                matches!(parse_predicate(bad), Err(StoreError::Parse { .. })),
+                "expected parse error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for src in [
+            "crime >= 0.8",
+            "x BETWEEN 1 AND 5",
+            "state IN ('CA', 'NY')",
+            "x IS NOT NULL",
+            "(a = 1 AND b = 2)",
+        ] {
+            let e = parse_predicate(src).unwrap();
+            let reparsed = parse_predicate(&e.to_string()).unwrap();
+            assert_eq!(e, reparsed, "display round trip failed for {src}");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Table schemas: column names, types, and name→index resolution.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, StoreError};
+
+/// Logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// Continuous numeric data stored as `f64` (NaN encodes NULL).
+    Numeric,
+    /// Dictionary-encoded categorical data.
+    Categorical,
+}
+
+impl ColumnType {
+    /// Human-readable name used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Numeric => "numeric",
+            ColumnType::Categorical => "categorical",
+        }
+    }
+}
+
+/// Metadata for one column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Logical type.
+    pub ctype: ColumnType,
+}
+
+/// An ordered set of column metadata with constant-time name lookup.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnMeta>,
+    #[serde(skip)]
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema from column metadata, rejecting duplicates.
+    pub fn new(columns: Vec<ColumnMeta>) -> Result<Self> {
+        let mut by_name = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            if by_name.insert(c.name.clone(), i).is_some() {
+                return Err(StoreError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Self { columns, by_name })
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Metadata of column `i`.
+    pub fn column(&self, i: usize) -> Option<&ColumnMeta> {
+        self.columns.get(i)
+    }
+
+    /// All column metadata in declaration order.
+    pub fn columns(&self) -> &[ColumnMeta] {
+        &self.columns
+    }
+
+    /// Resolves a column name to its index.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StoreError::UnknownColumn(name.to_string()))
+    }
+
+    /// Name of column `i`; panics when out of range.
+    pub fn name(&self, i: usize) -> &str {
+        &self.columns[i].name
+    }
+
+    /// Indices of all columns of the given type.
+    pub fn indices_of_type(&self, ctype: ColumnType) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ctype == ctype)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Rebuilds the name lookup (needed after deserialization, since the
+    /// map is skipped by serde).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), i))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str, ctype: ColumnType) -> ColumnMeta {
+        ColumnMeta {
+            name: name.into(),
+            ctype,
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::new(vec![
+            meta("a", ColumnType::Numeric),
+            meta("b", ColumnType::Categorical),
+        ])
+        .unwrap();
+        assert_eq!(s.index_of("a").unwrap(), 0);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(matches!(s.index_of("c"), Err(StoreError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let r = Schema::new(vec![
+            meta("x", ColumnType::Numeric),
+            meta("x", ColumnType::Numeric),
+        ]);
+        assert!(matches!(r, Err(StoreError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn indices_by_type() {
+        let s = Schema::new(vec![
+            meta("n1", ColumnType::Numeric),
+            meta("c1", ColumnType::Categorical),
+            meta("n2", ColumnType::Numeric),
+        ])
+        .unwrap();
+        assert_eq!(s.indices_of_type(ColumnType::Numeric), vec![0, 2]);
+        assert_eq!(s.indices_of_type(ColumnType::Categorical), vec![1]);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_index() {
+        let s = Schema::new(vec![meta("a", ColumnType::Numeric)]).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let mut back: Schema = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.index_of("a").unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.column(0).is_none());
+    }
+}

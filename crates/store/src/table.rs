@@ -1,0 +1,345 @@
+//! Tables: a schema plus equally long columns, with typed accessors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::Column;
+use crate::error::{Result, StoreError};
+use crate::schema::{ColumnMeta, ColumnType, Schema};
+
+/// An immutable in-memory columnar table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Raw column `i`; panics when out of range.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Column index by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.schema.index_of(name)
+    }
+
+    /// Column name by index; panics when out of range.
+    pub fn name(&self, i: usize) -> &str {
+        self.schema.name(i)
+    }
+
+    /// Numeric data of column `i`, or a type error.
+    pub fn numeric(&self, i: usize) -> Result<&[f64]> {
+        self.columns[i]
+            .as_numeric()
+            .ok_or_else(|| StoreError::TypeMismatch {
+                column: self.schema.name(i).to_string(),
+                expected: "numeric",
+                actual: self.schema.column(i).map(|c| c.ctype.name()).unwrap_or("?"),
+            })
+    }
+
+    /// Categorical data `(codes, labels)` of column `i`, or a type error.
+    pub fn categorical(&self, i: usize) -> Result<(&[u32], &[String])> {
+        self.columns[i]
+            .as_categorical()
+            .ok_or_else(|| StoreError::TypeMismatch {
+                column: self.schema.name(i).to_string(),
+                expected: "categorical",
+                actual: self.schema.column(i).map(|c| c.ctype.name()).unwrap_or("?"),
+            })
+    }
+
+    /// Indices of all numeric columns.
+    pub fn numeric_indices(&self) -> Vec<usize> {
+        self.schema.indices_of_type(ColumnType::Numeric)
+    }
+
+    /// Indices of all categorical columns.
+    pub fn categorical_indices(&self) -> Vec<usize> {
+        self.schema.indices_of_type(ColumnType::Categorical)
+    }
+
+    /// Rebuilds internal lookup structures after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.schema.rebuild_index();
+    }
+}
+
+/// Incremental [`Table`] constructor.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    metas: Vec<ColumnMeta>,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a numeric column (NaN encodes NULL).
+    pub fn add_numeric(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        self.metas.push(ColumnMeta {
+            name: name.into(),
+            ctype: ColumnType::Numeric,
+        });
+        self.columns.push(Column::Numeric(values));
+        self
+    }
+
+    /// Adds a numeric column from optional values (`None` = NULL).
+    pub fn add_numeric_opt(
+        &mut self,
+        name: impl Into<String>,
+        values: Vec<Option<f64>>,
+    ) -> &mut Self {
+        self.add_numeric(
+            name,
+            values.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect(),
+        )
+    }
+
+    /// Adds a categorical column from string values (`None` = NULL).
+    pub fn add_categorical<S: AsRef<str>>(
+        &mut self,
+        name: impl Into<String>,
+        values: Vec<Option<S>>,
+    ) -> &mut Self {
+        self.metas.push(ColumnMeta {
+            name: name.into(),
+            ctype: ColumnType::Categorical,
+        });
+        self.columns.push(Column::categorical_from(values));
+        self
+    }
+
+    /// Adds a pre-built column with explicit metadata.
+    pub fn add_column(&mut self, meta: ColumnMeta, column: Column) -> &mut Self {
+        self.metas.push(meta);
+        self.columns.push(column);
+        self
+    }
+
+    /// Validates lengths and names and produces the table.
+    pub fn build(&mut self) -> Result<Table> {
+        if self.columns.is_empty() {
+            return Err(StoreError::EmptyTable);
+        }
+        let n_rows = self.columns[0].len();
+        for (meta, col) in self.metas.iter().zip(&self.columns) {
+            if col.len() != n_rows {
+                return Err(StoreError::LengthMismatch {
+                    column: meta.name.clone(),
+                    got: col.len(),
+                    expected: n_rows,
+                });
+            }
+        }
+        let schema = Schema::new(std::mem::take(&mut self.metas))?;
+        Ok(Table {
+            schema,
+            columns: std::mem::take(&mut self.columns),
+            n_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut b = TableBuilder::new();
+        b.add_numeric("age", vec![21.0, 35.0, 62.0]);
+        b.add_categorical("city", vec![Some("ams"), Some("rtm"), Some("ams")]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let t = sample();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.name(0), "age");
+        assert_eq!(t.index_of("city").unwrap(), 1);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let t = sample();
+        assert_eq!(t.numeric(0).unwrap(), &[21.0, 35.0, 62.0]);
+        let (codes, labels) = t.categorical(1).unwrap();
+        assert_eq!(codes, &[0, 1, 0]);
+        assert_eq!(labels.len(), 2);
+        // Type mismatches are errors, not panics.
+        assert!(matches!(t.numeric(1), Err(StoreError::TypeMismatch { .. })));
+        assert!(matches!(
+            t.categorical(0),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn type_index_lists() {
+        let t = sample();
+        assert_eq!(t.numeric_indices(), vec![0]);
+        assert_eq!(t.categorical_indices(), vec![1]);
+    }
+
+    #[test]
+    fn build_rejects_mismatched_lengths() {
+        let mut b = TableBuilder::new();
+        b.add_numeric("a", vec![1.0, 2.0]);
+        b.add_numeric("b", vec![1.0]);
+        assert!(matches!(b.build(), Err(StoreError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn build_rejects_empty_and_duplicates() {
+        assert!(matches!(
+            TableBuilder::new().build(),
+            Err(StoreError::EmptyTable)
+        ));
+        let mut b = TableBuilder::new();
+        b.add_numeric("a", vec![1.0]);
+        b.add_numeric("a", vec![2.0]);
+        assert!(matches!(b.build(), Err(StoreError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn numeric_opt_encodes_null_as_nan() {
+        let mut b = TableBuilder::new();
+        b.add_numeric_opt("x", vec![Some(1.0), None, Some(3.0)]);
+        let t = b.build().unwrap();
+        let v = t.numeric(0).unwrap();
+        assert!(v[1].is_nan());
+        assert_eq!(t.column(0).null_count(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: Table = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.index_of("age").unwrap(), 0);
+    }
+}
+
+/// Sampling support: the exploration-systems the paper cites include
+/// BlinkDB, which trades exactness for latency by querying samples. The
+/// same trade works for characterization: run Ziggy on a row sample and
+/// the effect sizes stay consistent (their SEs widen as 1/√frac).
+impl Table {
+    /// Returns a deterministic row sample of approximately
+    /// `frac · n_rows` rows (splitmix64 hash per row — stable across
+    /// calls and platforms). `frac` is clamped to `(0, 1]`.
+    pub fn sample_rows(&self, frac: f64, seed: u64) -> Table {
+        let frac = frac.clamp(f64::MIN_POSITIVE, 1.0);
+        let keep: Vec<usize> = (0..self.n_rows)
+            .filter(|&i| {
+                let mut h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed;
+                h ^= h >> 30;
+                h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                h ^= h >> 27;
+                h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+                h ^= h >> 31;
+                (h as f64 / u64::MAX as f64) < frac
+            })
+            .collect();
+        let columns: Vec<Column> = self
+            .columns
+            .iter()
+            .map(|col| match col {
+                Column::Numeric(v) => Column::Numeric(keep.iter().map(|&i| v[i]).collect()),
+                Column::Categorical { codes, labels } => Column::Categorical {
+                    codes: keep.iter().map(|&i| codes[i]).collect(),
+                    labels: labels.clone(),
+                },
+            })
+            .collect();
+        Table {
+            schema: self.schema.clone(),
+            columns,
+            n_rows: keep.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod sampling_tests {
+    use super::*;
+
+    fn wide_table(n: usize) -> Table {
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", (0..n).map(|i| i as f64).collect());
+        b.add_categorical("c", (0..n).map(|i| Some(["a", "b"][i % 2])).collect());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sample_size_tracks_fraction() {
+        let t = wide_table(10_000);
+        let s = t.sample_rows(0.2, 7);
+        let frac = s.n_rows() as f64 / 10_000.0;
+        assert!((frac - 0.2).abs() < 0.02, "sampled fraction {frac}");
+        assert_eq!(s.n_cols(), 2);
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let t = wide_table(1_000);
+        let a = t.sample_rows(0.3, 11);
+        let b = t.sample_rows(0.3, 11);
+        assert_eq!(a.numeric(0).unwrap(), b.numeric(0).unwrap());
+        let c = t.sample_rows(0.3, 12);
+        assert_ne!(a.numeric(0).unwrap(), c.numeric(0).unwrap());
+    }
+
+    #[test]
+    fn frac_one_keeps_everything() {
+        let t = wide_table(100);
+        let s = t.sample_rows(1.0, 5);
+        assert_eq!(s.n_rows(), 100);
+    }
+
+    #[test]
+    fn sample_preserves_statistics_approximately() {
+        let t = wide_table(50_000);
+        let s = t.sample_rows(0.1, 3);
+        let full_mean = ziggy_stats::UniMoments::from_slice(t.numeric(0).unwrap()).mean();
+        let samp_mean = ziggy_stats::UniMoments::from_slice(s.numeric(0).unwrap()).mean();
+        assert!(
+            (full_mean - samp_mean).abs() / full_mean < 0.02,
+            "{full_mean} vs {samp_mean}"
+        );
+    }
+
+    #[test]
+    fn dictionary_shared_after_sampling() {
+        let t = wide_table(1_000);
+        let s = t.sample_rows(0.5, 9);
+        let (_, labels) = s.categorical(1).unwrap();
+        assert_eq!(labels.len(), 2);
+    }
+}

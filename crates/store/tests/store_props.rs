@@ -1,0 +1,112 @@
+//! Property-based tests for the store: CSV round trips with mixed
+//! content, predicate/complement laws, cache subtraction under hostile
+//! masks.
+
+use proptest::prelude::*;
+use ziggy_store::csv::{read_csv_str, write_csv_string, CsvOptions};
+use ziggy_store::{eval, masked_uni, parse_predicate, Bitmask, StatsCache, TableBuilder};
+
+/// Strings that are CSV-hostile: commas, quotes, newlines, unicode.
+fn hostile_label() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "plain".to_string(),
+        "with,comma".to_string(),
+        "with \"quote\"".to_string(),
+        "multi\nline".to_string(),
+        "ünïcödé".to_string(),
+        "  padded  ".to_string(),
+        "'single'".to_string(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSV round trip survives hostile categorical content.
+    #[test]
+    fn csv_round_trip_hostile_labels(
+        labels in prop::collection::vec(hostile_label(), 3..25),
+        values in prop::collection::vec(-1e5..1e5f64, 3..25)
+    ) {
+        let n = labels.len().min(values.len());
+        let mut b = TableBuilder::new();
+        b.add_numeric("v", values[..n].to_vec());
+        b.add_categorical("c", labels[..n].iter().map(|s| Some(s.clone())).collect());
+        let t = b.build().unwrap();
+        let text = write_csv_string(&t, ',');
+        let back = read_csv_str(&text, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(back.n_rows(), n);
+        // Labels round-trip modulo the documented trim of unquoted
+        // whitespace; quoted fields preserve exactly, so compare decoded
+        // row values trimmed.
+        let (codes_a, labels_a) = t.categorical(1).unwrap();
+        let (codes_b, labels_b) = back.categorical(1).unwrap();
+        for i in 0..n {
+            let orig = labels_a[codes_a[i] as usize].trim();
+            let got = labels_b[codes_b[i] as usize].trim();
+            prop_assert_eq!(orig, got);
+        }
+    }
+
+    /// Complement law at the predicate level: rows(P) ∪ rows(NOT P) =
+    /// all rows, disjointly — for NULL-free columns.
+    #[test]
+    fn predicate_complement_partition(values in prop::collection::vec(-100.0..100.0f64, 10..80), t in -100.0..100.0f64) {
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", values.clone());
+        let table = b.build().unwrap();
+        let p = eval::select(&table, &format!("x <= {t}")).unwrap();
+        let np = eval::select(&table, &format!("NOT x <= {t}")).unwrap();
+        let mut union = p.clone();
+        union.or_assign(&np);
+        prop_assert_eq!(union.count_ones(), values.len());
+        let mut inter = p.clone();
+        inter.and_assign(&np);
+        prop_assert_eq!(inter.count_ones(), 0);
+    }
+
+    /// BETWEEN equals the conjunction of its bounds.
+    #[test]
+    fn between_equals_conjunction(values in prop::collection::vec(-100.0..100.0f64, 10..60), a in -100.0..100.0f64, b in -100.0..100.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut builder = TableBuilder::new();
+        builder.add_numeric("x", values);
+        let table = builder.build().unwrap();
+        let between = eval::select(&table, &format!("x BETWEEN {lo} AND {hi}")).unwrap();
+        let conj = eval::select(&table, &format!("x >= {lo} AND x <= {hi}")).unwrap();
+        prop_assert_eq!(between, conj);
+    }
+
+    /// Cache complement subtraction matches a direct scan for arbitrary
+    /// masks, including all-set and all-clear.
+    #[test]
+    fn cache_subtraction_arbitrary_masks(
+        values in prop::collection::vec(-1e4..1e4f64, 10..100),
+        bits in prop::collection::vec(any::<bool>(), 10..100)
+    ) {
+        let n = values.len().min(bits.len());
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", values[..n].to_vec());
+        let table = b.build().unwrap();
+        let cache = StatsCache::new(&table);
+        for mask in [
+            Bitmask::from_fn(n, |i| bits[i]),
+            Bitmask::zeros(n),
+            Bitmask::ones(n),
+        ] {
+            let inside = masked_uni(&table, 0, &mask).unwrap();
+            let derived = cache.uni_complement(0, &inside).unwrap();
+            let direct = masked_uni(&table, 0, &mask.complement()).unwrap();
+            prop_assert_eq!(derived.count(), direct.count());
+            if direct.count() > 0 {
+                prop_assert!((derived.mean() - direct.mean()).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// The parser never panics on arbitrary short inputs (fuzz-lite).
+    #[test]
+    fn parser_never_panics(input in "[ -~]{0,40}") {
+        let _ = parse_predicate(&input);
+    }
+}

@@ -1,0 +1,157 @@
+//! Cholesky factorization — used to impose explicit correlation matrices
+//! on generated column blocks.
+
+/// Errors from the factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CholeskyError {
+    /// The input was not square.
+    NotSquare,
+    /// The matrix is not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Pivot index where the failure occurred.
+        pivot: usize,
+    },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotSquare => write!(f, "matrix is not square"),
+            CholeskyError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Computes the lower-triangular Cholesky factor `L` with `L·Lᵀ = A`.
+/// `A` is given row-major; only the lower triangle is read.
+#[allow(clippy::needless_range_loop)] // index symmetry mirrors the textbook formulation
+pub fn cholesky(a: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CholeskyError> {
+    let n = a.len();
+    if a.iter().any(|row| row.len() != n) {
+        return Err(CholeskyError::NotSquare);
+    }
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(CholeskyError::NotPositiveDefinite { pivot: i });
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Builds an equicorrelation matrix (`1` on the diagonal, `rho` off it).
+/// Positive definite for `rho ∈ (−1/(n−1), 1)`.
+pub fn equicorrelation(n: usize, rho: f64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 1.0 } else { rho }).collect())
+        .collect()
+}
+
+/// Applies the factor to a vector of iid standard normals, producing a
+/// vector with covariance `A`.
+pub fn correlate(l: &[Vec<f64>], z: &[f64]) -> Vec<f64> {
+    let n = l.len();
+    (0..n)
+        .map(|i| (0..=i).map(|k| l[i][k] * z[k]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn identity_factorizes_to_identity() {
+        let id = equicorrelation(3, 0.0);
+        let l = cholesky(&id).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                close(l[i][j], if i == j { 1.0 } else { 0.0 }, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn reconstruction() {
+        let a = vec![
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ];
+        let l = cholesky(&a).unwrap();
+        // L·Lᵀ = A.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l[i][k] * l[j][k];
+                }
+                close(s, a[i][j], 1e-10);
+            }
+        }
+        // Lower triangular.
+        assert_eq!(l[0][1], 0.0);
+        assert_eq!(l[0][2], 0.0);
+        assert_eq!(l[1][2], 0.0);
+    }
+
+    #[test]
+    fn rejects_non_spd_and_non_square() {
+        let not_spd = vec![vec![1.0, 2.0], vec![2.0, 1.0]]; // eigenvalue −1.
+        assert!(matches!(
+            cholesky(&not_spd),
+            Err(CholeskyError::NotPositiveDefinite { .. })
+        ));
+        let ragged = vec![vec![1.0, 0.0], vec![0.0]];
+        assert_eq!(cholesky(&ragged), Err(CholeskyError::NotSquare));
+    }
+
+    #[test]
+    fn equicorrelation_bounds() {
+        // rho = 0.9 with n = 4 is PD; rho = −0.5 with n = 4 is not
+        // (−1/(n−1) = −1/3).
+        assert!(cholesky(&equicorrelation(4, 0.9)).is_ok());
+        assert!(cholesky(&equicorrelation(4, -0.5)).is_err());
+    }
+
+    #[test]
+    fn correlate_produces_target_correlation() {
+        use crate::rng::SynthRng;
+        let rho = 0.8;
+        let l = cholesky(&equicorrelation(2, rho)).unwrap();
+        let mut rng = SynthRng::seed_from_u64(11);
+        let n = 20_000;
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let z = [rng.standard_normal(), rng.standard_normal()];
+            let v = correlate(&l, &z);
+            xs.push(v[0]);
+            ys.push(v[1]);
+        }
+        let r = ziggy_stats::pearson(&xs, &ys).unwrap();
+        close(r, rho, 0.02);
+    }
+}

@@ -1,0 +1,430 @@
+//! The three paper twins (§4.2) plus a parametric family for scaling
+//! studies.
+//!
+//! | Twin | Paper shape | Planted ground truth |
+//! |---|---|---|
+//! | [`box_office`] | 900 × 12 | production spend + reception scores |
+//! | [`us_crime`] | 1994 × 128 | the four Figure-1 themes + the "boarded windows" surprise predictor |
+//! | [`oecd_innovation`] | 6823 × 519 | six innovation-indicator themes |
+
+use crate::generate::{generate, SyntheticDataset};
+use crate::spec::{CatSpec, DatasetSpec, ThemeSpec};
+
+fn theme(name: &str, columns: &[&str], intra_r: f64, shift: f64, scale: f64) -> ThemeSpec {
+    ThemeSpec {
+        name: name.into(),
+        columns: columns.iter().map(|s| s.to_string()).collect(),
+        intra_r,
+        mean_shift: shift,
+        scale,
+    }
+}
+
+/// Hollywood movies twin: 900 rows × 12 columns. The selection —
+/// top-grossing movies — has high production budgets/marketing and high
+/// reception scores, with genre skewed toward action.
+pub fn box_office(seed: u64) -> SyntheticDataset {
+    let spec = DatasetSpec {
+        name: "box_office".into(),
+        n_rows: 900,
+        driver: "gross_revenue".into(),
+        selection_frac: 0.15,
+        themes: vec![
+            theme("production", &["budget", "marketing_spend"], 0.75, 1.6, 0.8),
+            theme(
+                "reception",
+                &["critic_score", "audience_score"],
+                0.7,
+                1.1,
+                0.9,
+            ),
+            theme(
+                "exposure",
+                &["opening_theaters", "trailer_views"],
+                0.65,
+                0.0,
+                1.0,
+            ),
+        ],
+        noise_columns: vec![
+            "runtime_minutes".into(),
+            "release_week".into(),
+            "sequel_rank".into(),
+        ],
+        categoricals: vec![
+            CatSpec {
+                name: "genre".into(),
+                labels: vec![
+                    "action".into(),
+                    "drama".into(),
+                    "comedy".into(),
+                    "horror".into(),
+                ],
+                base_probs: vec![0.25, 0.35, 0.25, 0.15],
+                selection_probs: Some(vec![0.6, 0.1, 0.25, 0.05]),
+            },
+            CatSpec {
+                name: "studio".into(),
+                labels: vec!["major".into(), "indie".into()],
+                base_probs: vec![0.5, 0.5],
+                selection_probs: None,
+            },
+        ],
+        seed,
+    };
+    generate(&spec)
+}
+
+/// US Crime twin: 1994 rows × 128 columns, mirroring the UCI
+/// Communities-and-Crime shape. The selection — cities with the highest
+/// violent-crime index — realizes the paper's Figure 1:
+///
+/// * high population size and density (`urban_scale`),
+/// * low college education and salaries (`education`),
+/// * low rents and home ownership (`housing`),
+/// * young populations with many mono-parental families (`youth`),
+///
+/// plus the §4.2 surprise predictor: the share of boarded-up windows.
+pub fn us_crime(seed: u64) -> SyntheticDataset {
+    let mut themes = vec![
+        theme(
+            "urban_scale",
+            &["population_size", "population_density"],
+            0.8,
+            1.8,
+            0.6,
+        ),
+        theme(
+            "education",
+            &["pct_college_educated", "average_salary"],
+            0.75,
+            -1.5,
+            0.8,
+        ),
+        theme(
+            "housing",
+            &["average_rent", "pct_home_owners"],
+            0.7,
+            -1.4,
+            0.8,
+        ),
+        theme(
+            "youth",
+            &["pct_under_25", "pct_monoparental_families"],
+            0.7,
+            1.6,
+            0.8,
+        ),
+        theme("blight", &["pct_boarded_windows"], 0.9, 2.2, 0.7),
+    ];
+    // 26 unplanted socio-economic filler groups of 4 columns each.
+    let stems = [
+        "employment",
+        "income",
+        "poverty",
+        "welfare",
+        "immigration",
+        "language",
+        "households",
+        "age_structure",
+        "commute",
+        "labor_force",
+        "occupation",
+        "industry",
+        "rent_burden",
+        "vacancy",
+        "migration",
+        "family_size",
+        "veterans",
+        "disability",
+        "insurance",
+        "transport",
+        "density_land",
+        "housing_age",
+        "tax_base",
+        "schooling",
+        "recreation",
+        "health",
+    ];
+    for (g, stem) in stems.iter().enumerate() {
+        let cols: Vec<String> = (0..4).map(|k| format!("{stem}_ind_{k}")).collect();
+        let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+        themes.push(theme(
+            &format!("filler_{stem}"),
+            &col_refs,
+            0.55 + 0.3 * ((g % 5) as f64 / 5.0),
+            0.0,
+            1.0,
+        ));
+    }
+    let noise: Vec<String> = (0..12).map(|k| format!("misc_indicator_{k}")).collect();
+    let spec = DatasetSpec {
+        name: "us_crime".into(),
+        n_rows: 1994,
+        driver: "violent_crime_rate".into(),
+        selection_frac: 0.1,
+        themes,
+        noise_columns: noise,
+        categoricals: vec![
+            CatSpec {
+                name: "community_type".into(),
+                labels: vec!["urban".into(), "suburban".into(), "rural".into()],
+                base_probs: vec![0.3, 0.4, 0.3],
+                selection_probs: Some(vec![0.75, 0.2, 0.05]),
+            },
+            CatSpec {
+                name: "census_region".into(),
+                labels: vec![
+                    "northeast".into(),
+                    "midwest".into(),
+                    "south".into(),
+                    "west".into(),
+                ],
+                base_probs: vec![0.2, 0.25, 0.35, 0.2],
+                selection_probs: None,
+            },
+        ],
+        seed,
+    };
+    let d = generate(&spec);
+    debug_assert_eq!(d.table.n_cols(), 128);
+    d
+}
+
+/// OECD Countries & Innovation twin: 6823 rows × 519 columns. The
+/// selection — regions with the most patent applications — scores high on
+/// six innovation-indicator themes.
+pub fn oecd_innovation(seed: u64) -> SyntheticDataset {
+    let mut themes = vec![
+        theme(
+            "rnd_spending",
+            &[
+                "rnd_expenditure_gdp",
+                "rnd_business_share",
+                "rnd_public_share",
+            ],
+            0.75,
+            1.7,
+            0.8,
+        ),
+        theme(
+            "tertiary_education",
+            &["tertiary_attainment", "stem_graduates", "phd_density"],
+            0.7,
+            1.4,
+            0.85,
+        ),
+        theme(
+            "researchers",
+            &[
+                "researchers_per_1000",
+                "research_institutions",
+                "intl_coauthorship",
+            ],
+            0.7,
+            1.5,
+            0.8,
+        ),
+        theme(
+            "digital",
+            &["broadband_penetration", "ict_investment", "internet_users"],
+            0.65,
+            1.2,
+            0.9,
+        ),
+        theme(
+            "economy",
+            &["gdp_per_capita", "labour_productivity", "capital_formation"],
+            0.7,
+            1.0,
+            0.9,
+        ),
+        theme(
+            "urbanisation",
+            &[
+                "urban_population_share",
+                "metro_gdp_share",
+                "population_density_region",
+            ],
+            0.65,
+            0.9,
+            0.9,
+        ),
+    ];
+    // 119 unplanted indicator groups of 4 → 476 columns.
+    let stems = [
+        "trade",
+        "energy",
+        "environment",
+        "health",
+        "taxation",
+        "employment",
+        "migration",
+        "tourism",
+        "agriculture",
+        "transport",
+        "finance",
+        "construction",
+        "manufacturing",
+        "services",
+        "mining",
+        "fisheries",
+        "forestry",
+        "telecom",
+        "retail",
+        "wholesale",
+        "logistics",
+        "insurance",
+        "realestate",
+        "utilities",
+        "water",
+        "waste",
+        "culture",
+        "sport",
+        "media",
+        "justice",
+        "safety",
+        "defence",
+        "pensions",
+    ];
+    for g in 0..119 {
+        let stem = stems[g % stems.len()];
+        let cols: Vec<String> = (0..4)
+            .map(|k| format!("{stem}_{:02}_{k}", g / stems.len()))
+            .collect();
+        let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+        themes.push(theme(
+            &format!("filler_{stem}_{g}"),
+            &col_refs,
+            0.5 + 0.35 * ((g % 7) as f64 / 7.0),
+            0.0,
+            1.0,
+        ));
+    }
+    // 519 = 1 driver + 18 planted + 476 filler + 3 cats + 21 noise.
+    let noise: Vec<String> = (0..21).map(|k| format!("aux_series_{k}")).collect();
+    let spec = DatasetSpec {
+        name: "oecd_innovation".into(),
+        n_rows: 6823,
+        driver: "patent_applications_pc".into(),
+        selection_frac: 0.1,
+        themes,
+        noise_columns: noise,
+        categoricals: vec![
+            CatSpec {
+                name: "income_group".into(),
+                labels: vec!["high".into(), "upper_middle".into(), "lower_middle".into()],
+                base_probs: vec![0.4, 0.35, 0.25],
+                selection_probs: Some(vec![0.85, 0.12, 0.03]),
+            },
+            CatSpec {
+                name: "continent".into(),
+                labels: vec!["europe".into(), "americas".into(), "asia_pacific".into()],
+                base_probs: vec![0.45, 0.25, 0.3],
+                selection_probs: None,
+            },
+            CatSpec {
+                name: "reporting_basis".into(),
+                labels: vec!["national".into(), "regional".into()],
+                base_probs: vec![0.35, 0.65],
+                selection_probs: None,
+            },
+        ],
+        seed,
+    };
+    let d = generate(&spec);
+    debug_assert_eq!(d.table.n_cols(), 519);
+    d
+}
+
+/// Parametric twin for scaling studies: `n_cols` total columns (≥ 8) and
+/// `n_rows` rows, with two planted pairs and the rest split between
+/// correlated filler groups of 4 and independent noise.
+pub fn scaling_dataset(n_rows: usize, n_cols: usize, seed: u64) -> SyntheticDataset {
+    assert!(n_cols >= 8, "scaling dataset needs at least 8 columns");
+    let mut themes = vec![
+        theme("planted_a", &["planted_a0", "planted_a1"], 0.8, 1.8, 0.7),
+        theme("planted_b", &["planted_b0", "planted_b1"], 0.75, -1.4, 0.85),
+    ];
+    // Budget: n_cols − 1 (driver) − 4 (planted) remaining.
+    let mut remaining = n_cols - 5;
+    let mut g = 0;
+    while remaining >= 4 && g < (n_cols / 6) {
+        let cols: Vec<String> = (0..4).map(|k| format!("group_{g}_{k}")).collect();
+        let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+        themes.push(theme(&format!("filler_{g}"), &col_refs, 0.6, 0.0, 1.0));
+        remaining -= 4;
+        g += 1;
+    }
+    let noise: Vec<String> = (0..remaining).map(|k| format!("noise_{k}")).collect();
+    let spec = DatasetSpec {
+        name: format!("scaling_{n_rows}x{n_cols}"),
+        n_rows,
+        driver: "driver".into(),
+        selection_frac: 0.1,
+        themes,
+        noise_columns: noise,
+        categoricals: vec![],
+        seed,
+    };
+    let d = generate(&spec);
+    debug_assert_eq!(d.table.n_cols(), n_cols);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_office_shape() {
+        let d = box_office(1);
+        assert_eq!(d.table.n_rows(), 900);
+        assert_eq!(d.table.n_cols(), 12);
+        assert_eq!(d.planted.len(), 3); // production, reception, genre.
+        assert!(d.table.index_of("budget").is_ok());
+    }
+
+    #[test]
+    fn us_crime_shape_and_figure1_themes() {
+        let d = us_crime(1);
+        assert_eq!(d.table.n_rows(), 1994);
+        assert_eq!(d.table.n_cols(), 128);
+        // The four Figure-1 themes + blight + community_type.
+        assert_eq!(d.planted.len(), 6);
+        for col in [
+            "population_size",
+            "population_density",
+            "pct_college_educated",
+            "average_rent",
+            "pct_under_25",
+            "pct_boarded_windows",
+        ] {
+            assert!(d.table.index_of(col).is_ok(), "missing {col}");
+        }
+    }
+
+    #[test]
+    fn oecd_shape() {
+        let d = oecd_innovation(1);
+        assert_eq!(d.table.n_rows(), 6823);
+        assert_eq!(d.table.n_cols(), 519);
+        assert_eq!(d.planted.len(), 7); // 6 themes + income_group.
+    }
+
+    #[test]
+    fn scaling_family_counts() {
+        for cols in [8, 16, 64, 128] {
+            let d = scaling_dataset(500, cols, 3);
+            assert_eq!(d.table.n_cols(), cols, "n_cols mismatch for {cols}");
+            assert_eq!(d.table.n_rows(), 500);
+        }
+    }
+
+    #[test]
+    fn selection_fraction_approximate() {
+        let d = us_crime(2);
+        let frac = d.n_selected() as f64 / d.table.n_rows() as f64;
+        assert!((frac - 0.1).abs() < 0.02, "selectivity {frac}");
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Synthetic dataset twins with planted characteristic views.
+//!
+//! The demo's real datasets (Box Office, UCI Communities-and-Crime, OECD
+//! Countries & Innovation) are not redistributable, so this crate builds
+//! *statistical twins*: tables with the papers' shapes (900×12, 1994×128,
+//! 6823×519), realistic column names, correlated column groups, and —
+//! crucially — *planted* characteristic views whose ground truth is known,
+//! making recovery quality measurable (something the real data would not
+//! even permit).
+//!
+//! * [`rng`] — seeded normal/uniform sampling (Box–Muller on `rand`).
+//! * [`cholesky`] — Cholesky factorization for explicit correlation
+//!   structures.
+//! * [`spec`] — declarative dataset specifications (themes, plants,
+//!   categoricals).
+//! * [`mod@generate`] — spec → [`ziggy_store::Table`] + ground truth.
+//! * [`datasets`] — the three paper twins plus parametric families for
+//!   scaling studies.
+//! * [`quality`] — precision/recall/F1 of discovered views against the
+//!   planted ground truth.
+
+pub mod cholesky;
+pub mod datasets;
+pub mod generate;
+pub mod quality;
+pub mod rng;
+pub mod spec;
+
+pub use datasets::{box_office, oecd_innovation, scaling_dataset, us_crime};
+pub use generate::{generate, SyntheticDataset};
+pub use quality::{evaluate_recovery, RecoveryQuality};
+pub use spec::{CatSpec, DatasetSpec, PlantedView, ThemeSpec};

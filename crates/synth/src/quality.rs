@@ -1,0 +1,169 @@
+//! Recovery quality: how well a set of discovered views matches the
+//! planted ground truth. Used by the quality tables (experiment T1) and
+//! by the integration tests.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::PlantedView;
+
+/// Precision/recall of view discovery against planted ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryQuality {
+    /// Fraction of discovered columns that were planted.
+    pub column_precision: f64,
+    /// Fraction of planted columns that were discovered.
+    pub column_recall: f64,
+    /// Harmonic mean of column precision and recall.
+    pub column_f1: f64,
+    /// Fraction of planted views matched by some discovered view with
+    /// Jaccard similarity at or above the threshold.
+    pub view_recall: f64,
+    /// Number of matched planted views.
+    pub matched_views: usize,
+    /// Number of planted views.
+    pub total_planted: usize,
+}
+
+fn jaccard(a: &HashSet<&str>, b: &HashSet<&str>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    inter / union
+}
+
+/// Evaluates discovered views (as column-name sets) against the planted
+/// ground truth. `jaccard_threshold` controls how exact a view match must
+/// be (0.5 = at least half of the union shared).
+pub fn evaluate_recovery(
+    discovered: &[Vec<String>],
+    planted: &[PlantedView],
+    jaccard_threshold: f64,
+) -> RecoveryQuality {
+    let discovered_cols: HashSet<&str> = discovered.iter().flatten().map(|s| s.as_str()).collect();
+    let planted_cols: HashSet<&str> = planted
+        .iter()
+        .flat_map(|p| &p.columns)
+        .map(|s| s.as_str())
+        .collect();
+
+    let inter = discovered_cols.intersection(&planted_cols).count() as f64;
+    let column_precision = if discovered_cols.is_empty() {
+        0.0
+    } else {
+        inter / discovered_cols.len() as f64
+    };
+    let column_recall = if planted_cols.is_empty() {
+        0.0
+    } else {
+        inter / planted_cols.len() as f64
+    };
+    let column_f1 = if column_precision + column_recall > 0.0 {
+        2.0 * column_precision * column_recall / (column_precision + column_recall)
+    } else {
+        0.0
+    };
+
+    let mut matched_views = 0;
+    for p in planted {
+        let pset: HashSet<&str> = p.columns.iter().map(|s| s.as_str()).collect();
+        let matched = discovered.iter().any(|d| {
+            let dset: HashSet<&str> = d.iter().map(|s| s.as_str()).collect();
+            jaccard(&pset, &dset) >= jaccard_threshold
+        });
+        if matched {
+            matched_views += 1;
+        }
+    }
+    let view_recall = if planted.is_empty() {
+        0.0
+    } else {
+        matched_views as f64 / planted.len() as f64
+    };
+
+    RecoveryQuality {
+        column_precision,
+        column_recall,
+        column_f1,
+        view_recall,
+        matched_views,
+        total_planted: planted.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted(views: &[&[&str]]) -> Vec<PlantedView> {
+        views
+            .iter()
+            .enumerate()
+            .map(|(i, cols)| PlantedView {
+                name: format!("p{i}"),
+                columns: cols.iter().map(|s| s.to_string()).collect(),
+            })
+            .collect()
+    }
+
+    fn views(vs: &[&[&str]]) -> Vec<Vec<String>> {
+        vs.iter()
+            .map(|cols| cols.iter().map(|s| s.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn perfect_recovery() {
+        let p = planted(&[&["a", "b"], &["c"]]);
+        let d = views(&[&["a", "b"], &["c"]]);
+        let q = evaluate_recovery(&d, &p, 0.5);
+        assert_eq!(q.column_precision, 1.0);
+        assert_eq!(q.column_recall, 1.0);
+        assert_eq!(q.column_f1, 1.0);
+        assert_eq!(q.view_recall, 1.0);
+        assert_eq!(q.matched_views, 2);
+    }
+
+    #[test]
+    fn partial_recovery() {
+        let p = planted(&[&["a", "b"], &["c", "d"]]);
+        let d = views(&[&["a", "b"], &["x", "y"]]);
+        let q = evaluate_recovery(&d, &p, 0.5);
+        assert!((q.column_precision - 0.5).abs() < 1e-12);
+        assert!((q.column_recall - 0.5).abs() < 1e-12);
+        assert!((q.view_recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_threshold_controls_view_match() {
+        let p = planted(&[&["a", "b", "c", "d"]]);
+        // Discovered shares 2 of 4 → Jaccard 2/4 = 0.5.
+        let d = views(&[&["a", "b"]]);
+        assert_eq!(evaluate_recovery(&d, &p, 0.5).matched_views, 1);
+        assert_eq!(evaluate_recovery(&d, &p, 0.6).matched_views, 0);
+    }
+
+    #[test]
+    fn no_discoveries() {
+        let p = planted(&[&["a"]]);
+        let q = evaluate_recovery(&[], &p, 0.5);
+        assert_eq!(q.column_precision, 0.0);
+        assert_eq!(q.column_recall, 0.0);
+        assert_eq!(q.column_f1, 0.0);
+        assert_eq!(q.view_recall, 0.0);
+    }
+
+    #[test]
+    fn superset_discovery_hurts_precision_only() {
+        let p = planted(&[&["a", "b"]]);
+        let d = views(&[&["a", "b", "z", "w"]]);
+        let q = evaluate_recovery(&d, &p, 0.5);
+        assert!((q.column_precision - 0.5).abs() < 1e-12);
+        assert_eq!(q.column_recall, 1.0);
+        // Jaccard 2/4 = 0.5 still matches at the default threshold.
+        assert_eq!(q.matched_views, 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Seeded random sampling helpers (the sanctioned `rand` crate provides
+//! uniform bits; normal deviates come from our own Box–Muller transform).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded generator with the distributions the synthesizer needs.
+pub struct SynthRng {
+    rng: StdRng,
+    /// Spare normal deviate from the last Box–Muller pair.
+    spare: Option<f64>,
+}
+
+impl SynthRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Standard normal deviate via Box–Muller (polar-free, two uniforms).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Guard against ln(0).
+        let u1 = self.uniform().max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.standard_normal()
+    }
+
+    /// Samples a category index from a probability vector (assumed to sum
+    /// to ~1; the last index absorbs rounding).
+    pub fn categorical(&mut self, probs: &[f64]) -> usize {
+        let u = self.uniform();
+        let mut acc = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        probs.len().saturating_sub(1)
+    }
+
+    /// Bernoulli draw.
+    pub fn flip(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = SynthRng::seed_from_u64(7);
+        let mut b = SynthRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SynthRng::seed_from_u64(1);
+        let mut b = SynthRng::seed_from_u64(2);
+        let va: Vec<f64> = (0..10).map(|_| a.uniform()).collect();
+        let vb: Vec<f64> = (0..10).map(|_| b.uniform()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = SynthRng::seed_from_u64(42);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.standard_normal()).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn normal_location_scale() {
+        let mut r = SynthRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 3.0)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn categorical_respects_probabilities() {
+        let mut r = SynthRng::seed_from_u64(3);
+        let probs = [0.7, 0.2, 0.1];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.categorical(&probs)] += 1;
+        }
+        assert!((counts[0] as f64 / 10_000.0 - 0.7).abs() < 0.03);
+        assert!((counts[2] as f64 / 10_000.0 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = SynthRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = r.uniform_in(-3.0, 7.0);
+            assert!((-3.0..7.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Declarative dataset specifications.
+//!
+//! A dataset is a *driver* column (whose top quantile defines the
+//! exploration selection), a set of *themes* (correlated column groups,
+//! some of which are *planted*: their distribution changes inside the
+//! selection), standalone noise columns, and categorical columns (also
+//! optionally planted).
+
+use serde::{Deserialize, Serialize};
+
+/// A correlated group of numeric columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThemeSpec {
+    /// Group name (for ground-truth reporting).
+    pub name: String,
+    /// Column names (≥ 1).
+    pub columns: Vec<String>,
+    /// Pairwise latent correlation within the group, in `(0, 1)`.
+    pub intra_r: f64,
+    /// Standardized mean shift applied to selection rows (0 = not
+    /// planted). Positive = the selection sits high on these columns.
+    pub mean_shift: f64,
+    /// Dispersion multiplier applied to selection rows (1 = unchanged;
+    /// < 1 = the selection is tighter).
+    pub scale: f64,
+}
+
+impl ThemeSpec {
+    /// True when the theme's distribution differs inside the selection.
+    pub fn is_planted(&self) -> bool {
+        self.mean_shift != 0.0 || self.scale != 1.0
+    }
+}
+
+/// A categorical column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatSpec {
+    /// Column name.
+    pub name: String,
+    /// Category labels.
+    pub labels: Vec<String>,
+    /// Base (outside-selection) category probabilities.
+    pub base_probs: Vec<f64>,
+    /// Probabilities inside the selection; `None` = same as base (not
+    /// planted).
+    pub selection_probs: Option<Vec<f64>>,
+}
+
+impl CatSpec {
+    /// True when the selection has a different category mix.
+    pub fn is_planted(&self) -> bool {
+        self.selection_probs.is_some()
+    }
+}
+
+/// Full dataset specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name (for reports).
+    pub name: String,
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Name of the driver column (always generated, numeric).
+    pub driver: String,
+    /// Fraction of rows in the selection (top quantile of the driver).
+    pub selection_frac: f64,
+    /// Correlated numeric groups.
+    pub themes: Vec<ThemeSpec>,
+    /// Names of independent noise columns.
+    pub noise_columns: Vec<String>,
+    /// Categorical columns.
+    pub categoricals: Vec<CatSpec>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Total number of columns the generated table will have.
+    pub fn n_cols(&self) -> usize {
+        1 + self.themes.iter().map(|t| t.columns.len()).sum::<usize>()
+            + self.noise_columns.len()
+            + self.categoricals.len()
+    }
+
+    /// Sanity-checks the specification.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_rows < 10 {
+            return Err("n_rows must be at least 10".into());
+        }
+        if !(0.01..=0.9).contains(&self.selection_frac) {
+            return Err(format!(
+                "selection_frac {} outside [0.01, 0.9]",
+                self.selection_frac
+            ));
+        }
+        for t in &self.themes {
+            if t.columns.is_empty() {
+                return Err(format!("theme {} has no columns", t.name));
+            }
+            if !(0.0..1.0).contains(&t.intra_r) {
+                return Err(format!(
+                    "theme {}: intra_r {} outside [0, 1)",
+                    t.name, t.intra_r
+                ));
+            }
+            if t.scale <= 0.0 {
+                return Err(format!("theme {}: scale must be positive", t.name));
+            }
+        }
+        for c in &self.categoricals {
+            if c.labels.len() < 2 {
+                return Err(format!("categorical {} needs >= 2 labels", c.name));
+            }
+            if c.labels.len() != c.base_probs.len() {
+                return Err(format!("categorical {}: labels/probs mismatch", c.name));
+            }
+            let sum: f64 = c.base_probs.iter().sum();
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(format!("categorical {}: base probs sum to {sum}", c.name));
+            }
+            if let Some(sel) = &c.selection_probs {
+                if sel.len() != c.labels.len() {
+                    return Err(format!("categorical {}: selection probs mismatch", c.name));
+                }
+                let sum: f64 = sel.iter().sum();
+                if (sum - 1.0).abs() > 1e-6 {
+                    return Err(format!(
+                        "categorical {}: selection probs sum to {sum}",
+                        c.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One ground-truth planted view: a set of columns whose joint
+/// distribution is known to differ inside the selection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlantedView {
+    /// Theme or categorical name.
+    pub name: String,
+    /// The planted column names.
+    pub columns: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theme(name: &str, cols: &[&str], shift: f64, scale: f64) -> ThemeSpec {
+        ThemeSpec {
+            name: name.into(),
+            columns: cols.iter().map(|s| s.to_string()).collect(),
+            intra_r: 0.8,
+            mean_shift: shift,
+            scale,
+        }
+    }
+
+    fn spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "t".into(),
+            n_rows: 100,
+            driver: "d".into(),
+            selection_frac: 0.2,
+            themes: vec![
+                theme("a", &["x", "y"], 1.5, 0.7),
+                theme("b", &["u"], 0.0, 1.0),
+            ],
+            noise_columns: vec!["n1".into()],
+            categoricals: vec![CatSpec {
+                name: "c".into(),
+                labels: vec!["p".into(), "q".into()],
+                base_probs: vec![0.5, 0.5],
+                selection_probs: Some(vec![0.9, 0.1]),
+            }],
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn planted_flags() {
+        let s = spec();
+        assert!(s.themes[0].is_planted());
+        assert!(!s.themes[1].is_planted());
+        assert!(s.categoricals[0].is_planted());
+    }
+
+    #[test]
+    fn column_count() {
+        assert_eq!(spec().n_cols(), 1 + 3 + 1 + 1);
+    }
+
+    #[test]
+    fn validation_catches_mistakes() {
+        assert!(spec().validate().is_ok());
+        let mut bad = spec();
+        bad.n_rows = 5;
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.selection_frac = 0.95;
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.themes[0].intra_r = 1.0;
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.categoricals[0].base_probs = vec![0.5, 0.6];
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.categoricals[0].selection_probs = Some(vec![1.0]);
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.themes[0].scale = 0.0;
+        assert!(bad.validate().is_err());
+    }
+}

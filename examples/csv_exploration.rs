@@ -1,0 +1,62 @@
+//! Bring-your-own-data: load a CSV, pick a predicate, get views.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release --example csv_exploration -- data.csv "price > 100"
+//! ```
+//! Without arguments, writes a demo CSV to a temp file and explores it —
+//! exercising the full path a downstream user would take: CSV → type
+//! inference → predicate → characteristic views → interface snapshot.
+
+use ziggy::core::render::render_interface;
+use ziggy::prelude::*;
+use ziggy::store::csv::{read_csv_path, write_csv_string, CsvOptions};
+use ziggy::store::eval::select;
+use ziggy::synth::box_office;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (path, query) = if args.len() >= 3 {
+        (args[1].clone(), args[2].clone())
+    } else {
+        // No input given: materialize the Box Office twin as a CSV so the
+        // example is runnable out of the box.
+        let d = box_office(7);
+        let csv = write_csv_string(&d.table, ',');
+        let path = std::env::temp_dir().join("ziggy_box_office_demo.csv");
+        std::fs::write(&path, csv).expect("demo CSV written");
+        println!(
+            "(no arguments — wrote a demo dataset to {})\n",
+            path.display()
+        );
+        (path.display().to_string(), d.predicate)
+    };
+
+    let table = match read_csv_path(&path, &CsvOptions::default()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "loaded {}: {} rows, {} columns ({} numeric, {} categorical)\n",
+        path,
+        table.n_rows(),
+        table.n_cols(),
+        table.numeric_indices().len(),
+        table.categorical_indices().len()
+    );
+
+    let engine = Ziggy::new(&table, ZiggyConfig::default());
+    match engine.characterize(&query) {
+        Ok(report) => {
+            let mask = select(&table, &query).expect("query already validated");
+            print!("{}", render_interface(&table, &mask, &report));
+        }
+        Err(e) => {
+            eprintln!("characterization failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

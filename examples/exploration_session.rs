@@ -1,0 +1,68 @@
+//! Trial-and-error exploration with session diffs.
+//!
+//! The paper's loop — "write a query, inspect the results and refine the
+//! specifications accordingly" — driven through the ExplorationSession
+//! API: each refinement reports what changed relative to the previous
+//! step, and the engine's caches make the follow-up queries cheaper.
+//!
+//! Run with: `cargo run --release --example exploration_session`
+
+use ziggy::core::ExplorationSession;
+use ziggy::prelude::*;
+use ziggy::synth::us_crime;
+
+fn main() {
+    let dataset = us_crime(7);
+    // Work on a 50% sample first — the BlinkDB-style latency trade.
+    let sample = dataset.table.sample_rows(0.5, 42);
+    println!(
+        "exploring a {}-row sample of the {}-row crime twin\n",
+        sample.n_rows(),
+        dataset.table.n_rows()
+    );
+
+    let engine = Ziggy::new(
+        &sample,
+        ZiggyConfig {
+            max_views: 4,
+            ..Default::default()
+        },
+    );
+    let mut session = ExplorationSession::new(engine);
+
+    // Derive refinement thresholds from the data itself.
+    let quantile_of = |col: &str, q: f64| -> f64 {
+        let idx = sample.index_of(col).expect("column exists");
+        ziggy::stats::describe::quantile(sample.numeric(idx).expect("numeric"), q)
+            .expect("quantile computable")
+    };
+    let pop_median = quantile_of("population_size", 0.5);
+    let boarded_q90 = quantile_of("pct_boarded_windows", 0.9);
+    let queries = [
+        // Step 1: the paper's seed query — top crime communities.
+        dataset.predicate.clone(),
+        // Step 2: refine — only the larger communities among them.
+        format!("{} AND population_size >= {pop_median}", dataset.predicate),
+        // Step 3: pivot to the surprise predictor's own top decile.
+        format!("pct_boarded_windows >= {boarded_q90}"),
+    ];
+    for (step, query) in queries.iter().enumerate() {
+        match session.explore(query) {
+            Ok((report, diff)) => {
+                println!("step {} — {}", step + 1, report.query);
+                for v in report.views.iter().take(3) {
+                    println!(
+                        "   {}  score={:.3}  p={:.1e}",
+                        v.view, v.score, v.robustness_p
+                    );
+                }
+                if let Some(diff) = diff {
+                    println!("   vs previous step: {diff}");
+                }
+                println!();
+            }
+            Err(e) => println!("step {} failed: {e}\n", step + 1),
+        }
+    }
+    println!("history: {} successful steps recorded", session.len());
+}

@@ -1,0 +1,77 @@
+//! Quickstart: build a small table, run one query through Ziggy, and
+//! print the characteristic views with their explanations.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ziggy::prelude::*;
+
+fn main() {
+    // A toy "cities" table: the first three columns form two correlated
+    // themes; `rainfall` is unrelated noise.
+    let n = 500usize;
+    let noise = |i: usize, k: usize| ((i * (13 + 7 * k)) % 17) as f64 * 0.4;
+    let is_big = |i: usize| i >= 400;
+
+    let mut b = TableBuilder::new();
+    b.add_numeric(
+        "crime_index",
+        (0..n)
+            .map(|i| if is_big(i) { 80.0 } else { 20.0 } + noise(i, 0))
+            .collect::<Vec<_>>(),
+    );
+    b.add_numeric(
+        "population",
+        (0..n)
+            .map(|i| if is_big(i) { 900.0 } else { 200.0 } + noise(i, 1) * 30.0)
+            .collect::<Vec<_>>(),
+    );
+    b.add_numeric(
+        "density",
+        (0..n)
+            .map(|i| {
+                let pop = if is_big(i) { 900.0 } else { 200.0 } + noise(i, 1) * 30.0;
+                pop * 2.1 + noise(i, 2)
+            })
+            .collect::<Vec<_>>(),
+    );
+    b.add_numeric(
+        "rainfall",
+        (0..n)
+            .map(|i| ((i * 7919) % 100) as f64)
+            .collect::<Vec<_>>(),
+    );
+    b.add_categorical(
+        "coastal",
+        (0..n)
+            .map(|i| Some(if is_big(i) || i % 4 == 0 { "yes" } else { "no" }))
+            .collect::<Vec<_>>(),
+    );
+    let table = b.build().expect("table builds");
+
+    // Ask Ziggy why the high-crime cities are special.
+    let engine = Ziggy::new(&table, ZiggyConfig::default());
+    let report = engine
+        .characterize("crime_index >= 50")
+        .expect("characterization succeeds");
+
+    println!("query      : {}", report.query);
+    println!(
+        "selection  : {} of {} rows ({:.0}%)\n",
+        report.n_inside,
+        report.n_inside + report.n_outside,
+        report.selectivity() * 100.0
+    );
+    for (rank, v) in report.views.iter().enumerate() {
+        println!(
+            "#{} view {}  score={:.3}  robustness p={:.1e}",
+            rank + 1,
+            v.view,
+            v.score,
+            v.robustness_p
+        );
+        for sentence in &v.explanation.sentences {
+            println!("   {sentence}");
+        }
+        println!();
+    }
+}

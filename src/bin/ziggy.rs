@@ -1,0 +1,40 @@
+//! Interactive Ziggy REPL — the terminal counterpart of the paper's demo.
+//!
+//! ```text
+//! cargo run --release --bin ziggy
+//! ziggy> demo crime
+//! ziggy> query violent_crime_rate >= 75
+//! ziggy> show 1
+//! ```
+
+use std::io::{BufRead, Write};
+
+use ziggy::repl::{ReplAction, ReplState};
+
+fn main() {
+    println!("Ziggy — characterizing query results for data explorers");
+    println!("type `help` for commands, `demo crime` for a dataset.\n");
+    let mut state = ReplState::new();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("ziggy> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF.
+            Ok(_) => match state.handle(&line) {
+                ReplAction::Continue(out) => {
+                    if !out.is_empty() {
+                        println!("{out}");
+                    }
+                }
+                ReplAction::Quit => break,
+            },
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+#![doc = include_str!("../README.md")]
+
+//! # Ziggy — characterizing query results for data explorers
+//!
+//! Facade crate re-exporting the whole Ziggy workspace, a from-scratch Rust
+//! reproduction of *Ziggy: Characterizing Query Results for Data Explorers*
+//! (Sellam & Kersten, PVLDB 9(13), 2016).
+//!
+//! Given a selection query over a wide table, Ziggy finds *characteristic
+//! views*: small, tight, mutually disjoint sets of columns on which the
+//! selected tuples look most different from the rest of the data — and
+//! explains *why* in plain language.
+//!
+//! ```
+//! use ziggy::prelude::*;
+//!
+//! // A tiny table: two correlated columns plus noise.
+//! let mut b = TableBuilder::new();
+//! b.add_numeric("population", (0..200).map(|i| i as f64).collect::<Vec<_>>());
+//! b.add_numeric("density", (0..200).map(|i| (i * 2) as f64).collect::<Vec<_>>());
+//! b.add_numeric("noise", (0..200).map(|i| ((i * 7919) % 100) as f64).collect::<Vec<_>>());
+//! let table = b.build().unwrap();
+//!
+//! // Characterize the top quarter of the population range.
+//! let config = ZiggyConfig::default();
+//! let engine = Ziggy::new(&table, config);
+//! let report = engine.characterize("population >= 150").unwrap();
+//! assert!(!report.views.is_empty());
+//! ```
+
+pub mod repl;
+
+pub use ziggy_baselines as baselines;
+pub use ziggy_cluster as cluster;
+pub use ziggy_core as core;
+pub use ziggy_stats as stats;
+pub use ziggy_store as store;
+pub use ziggy_synth as synth;
+
+/// Convenience re-exports covering the common workflow: build or load a
+/// table, configure the engine, characterize a query, render the report.
+pub mod prelude {
+    pub use ziggy_core::{
+        CharacterizationReport, Explanation, View, ViewReport, Weights, Ziggy, ZiggyConfig,
+    };
+    pub use ziggy_store::{Column, ColumnType, Schema, Table, TableBuilder};
+    pub use ziggy_synth::{DatasetSpec, SyntheticDataset};
+}

@@ -1,0 +1,140 @@
+//! Integration tests pitting the baselines against the engine on planted
+//! data — the code paths behind experiment T1, at debug-friendly scale.
+
+use ziggy::baselines::clique::maximal_cliques;
+use ziggy::baselines::exhaustive::{exhaustive_search, subset_count};
+use ziggy::baselines::kl::{gaussian_kl_1d, kl_search};
+use ziggy::baselines::pca::pca;
+use ziggy::prelude::*;
+use ziggy::store::eval::select;
+use ziggy::store::StatsCache;
+use ziggy_core::config::DependenceKind;
+use ziggy_core::graph::{usable_columns, DependencyGraph};
+use ziggy_core::prepare::prepare;
+use ziggy_core::search::search;
+use ziggy_stats::UniMoments;
+use ziggy_synth::{evaluate_recovery, scaling_dataset};
+
+#[test]
+fn ziggy_dominates_pca_on_planted_data() {
+    let d = scaling_dataset(800, 24, 5);
+    let engine = Ziggy::new(&d.table, ZiggyConfig { max_views: 4, ..Default::default() });
+    let report = engine.characterize(&d.predicate).unwrap();
+    let ziggy_views: Vec<Vec<String>> =
+        report.views.iter().map(|v| v.view.names.clone()).collect();
+    let p = pca(&d.table);
+    let pca_views: Vec<Vec<String>> = (0..4)
+        .map(|k| {
+            p.top_loading_columns(k, 2)
+                .into_iter()
+                .map(|c| d.table.name(c).to_string())
+                .collect()
+        })
+        .collect();
+    let zq = evaluate_recovery(&ziggy_views, &d.planted, 0.5);
+    let pq = evaluate_recovery(&pca_views, &d.planted, 0.5);
+    assert!(
+        zq.column_f1 >= pq.column_f1,
+        "ziggy {zq:?} must dominate selection-blind pca {pq:?}"
+    );
+    assert!(zq.view_recall >= 0.5, "{zq:?}");
+}
+
+#[test]
+fn kl_finds_the_same_hot_columns_but_no_explanation() {
+    let d = scaling_dataset(800, 16, 9);
+    let mask = select(&d.table, &d.predicate).unwrap();
+    let cache = StatsCache::new(&d.table);
+    let kl_views = kl_search(&d.table, &cache, &mask, 4, true);
+    assert!(!kl_views.is_empty());
+    // The top KL view involves at least one planted column.
+    let planted_cols: Vec<usize> = d
+        .planted
+        .iter()
+        .flat_map(|p| &p.columns)
+        .filter_map(|name| d.table.index_of(name).ok())
+        .collect();
+    assert!(
+        kl_views[0].columns.iter().any(|c| planted_cols.contains(c))
+            || kl_views[0].columns.contains(&0), // driver also legitimate.
+        "top KL view {:?} misses the signal",
+        kl_views[0]
+    );
+}
+
+#[test]
+fn clique_candidates_plug_into_the_engine_search() {
+    let d = scaling_dataset(600, 16, 3);
+    let cache = StatsCache::new(&d.table);
+    let mask = select(&d.table, &d.predicate).unwrap();
+    let usable = usable_columns(&d.table);
+    let graph =
+        DependencyGraph::build(&cache, usable.clone(), DependenceKind::Pearson, 8).unwrap();
+    let config = ZiggyConfig::default();
+    let prepared = prepare(&cache, &mask, &usable, &config).unwrap();
+    let cliques = maximal_cliques(&graph, config.min_tightness, 100_000).unwrap();
+    assert!(!cliques.is_empty());
+    let views = search(cliques, &prepared, &config);
+    assert!(!views.is_empty());
+    // Clique-sourced views obey the same disjointness contract.
+    let mut seen: Vec<usize> = Vec::new();
+    for v in &views {
+        for c in &v.columns {
+            assert!(!seen.contains(c));
+            seen.push(*c);
+        }
+    }
+}
+
+#[test]
+fn exhaustive_agrees_with_engine_on_tiny_tables() {
+    // At 8 columns and D = 2 the exhaustive search is exact; the engine's
+    // clustering-pruned result must involve the same strongest signal.
+    let d = scaling_dataset(500, 8, 11);
+    let cache = StatsCache::new(&d.table);
+    let mask = select(&d.table, &d.predicate).unwrap();
+    assert!(subset_count(8, 2) <= 100);
+    let exact = exhaustive_search(&d.table, &cache, &mask, 2, 1, 10_000).unwrap();
+    let engine = Ziggy::new(&d.table, ZiggyConfig::default());
+    let report = engine.characterize(&d.predicate).unwrap();
+    let engine_cols: Vec<usize> =
+        report.views.iter().flat_map(|v| v.view.columns.clone()).collect();
+    // The exhaustive optimum's columns appear among the engine's views.
+    let covered = exact[0].columns.iter().filter(|c| engine_cols.contains(c)).count();
+    assert!(
+        covered >= 1,
+        "engine views {engine_cols:?} miss the exhaustive optimum {:?}",
+        exact[0]
+    );
+}
+
+#[test]
+fn kl_divergence_consistent_with_effect_sizes() {
+    // Both KL and Hedges' g must rank a strong shift above a weak one.
+    let base: Vec<f64> = (0..500).map(|i| ((i * 13) % 41) as f64).collect();
+    let weak: Vec<f64> = base.iter().map(|v| v + 3.0).collect();
+    let strong: Vec<f64> = base.iter().map(|v| v + 30.0).collect();
+    let mb = UniMoments::from_slice(&base);
+    let mw = UniMoments::from_slice(&weak);
+    let ms = UniMoments::from_slice(&strong);
+    let kl_weak = gaussian_kl_1d(&mw, &mb).unwrap();
+    let kl_strong = gaussian_kl_1d(&ms, &mb).unwrap();
+    assert!(kl_strong > kl_weak);
+    let g_weak = ziggy_stats::hedges_g(&mw, &mb).unwrap().value;
+    let g_strong = ziggy_stats::hedges_g(&ms, &mb).unwrap().value;
+    assert!(g_strong > g_weak);
+}
+
+#[test]
+fn sampled_table_preserves_the_verdict() {
+    // BlinkDB-style: the same top view should win on a 50% sample.
+    let d = scaling_dataset(2_000, 16, 21);
+    let full_engine = Ziggy::new(&d.table, ZiggyConfig::default());
+    let full = full_engine.characterize(&d.predicate).unwrap();
+    let sample = d.table.sample_rows(0.5, 99);
+    let sample_engine = Ziggy::new(&sample, ZiggyConfig::default());
+    let sampled = sample_engine.characterize(&d.predicate).unwrap();
+    let top_full = &full.best_view().unwrap().view.names;
+    let top_sampled = &sampled.best_view().unwrap().view.names;
+    assert_eq!(top_full, top_sampled, "sampling flipped the top view");
+}

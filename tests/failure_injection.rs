@@ -1,0 +1,209 @@
+//! Failure injection: the pipeline must degrade with typed errors, never
+//! panics, on hostile inputs.
+
+use ziggy::prelude::*;
+use ziggy::store::csv::{read_csv_str, CsvOptions};
+use ziggy_core::ZiggyError;
+use ziggy_store::StoreError;
+
+fn tiny_table() -> Table {
+    let mut b = TableBuilder::new();
+    b.add_numeric("x", (0..50).map(|i| i as f64).collect::<Vec<_>>());
+    b.add_numeric("y", (0..50).map(|i| (i * 2) as f64).collect::<Vec<_>>());
+    b.build().unwrap()
+}
+
+#[test]
+fn malformed_csv_variants() {
+    for (label, text) in [
+        ("empty", ""),
+        ("ragged", "a,b\n1,2\n3\n"),
+        ("unterminated quote", "a\n\"x\n"),
+        ("stray quote", "a\nab\"c\n"),
+    ] {
+        let r = read_csv_str(text, &CsvOptions::default());
+        assert!(
+            matches!(r, Err(StoreError::Csv { .. })),
+            "{label} should fail as Csv error"
+        );
+    }
+}
+
+#[test]
+fn unparsable_predicates() {
+    let t = tiny_table();
+    let z = Ziggy::new(&t, ZiggyConfig::default());
+    for bad in [
+        "x >>> 1",
+        "x >",
+        "(x > 1",
+        "x BETWEEN 1",
+        "x IN ()",
+        "1 > x",
+        "x NOT = 1",
+    ] {
+        match z.characterize(bad) {
+            Err(ZiggyError::Store(StoreError::Parse { .. })) => {}
+            other => panic!("{bad:?} produced {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unknown_and_mistyped_columns() {
+    let t = tiny_table();
+    let z = Ziggy::new(&t, ZiggyConfig::default());
+    assert!(matches!(
+        z.characterize("nope > 1"),
+        Err(ZiggyError::Store(StoreError::UnknownColumn(_)))
+    ));
+    assert!(matches!(
+        z.characterize("x = 'text'"),
+        Err(ZiggyError::Store(StoreError::TypeMismatch { .. }))
+    ));
+}
+
+#[test]
+fn degenerate_selections_are_typed_errors() {
+    let t = tiny_table();
+    let z = Ziggy::new(&t, ZiggyConfig::default());
+    for query in ["x < 0", "x >= 0", "x < 3"] {
+        match z.characterize(query) {
+            Err(ZiggyError::DegenerateSelection { .. }) => {}
+            other => panic!("{query:?} produced {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn all_constant_table_has_no_usable_columns() {
+    let mut b = TableBuilder::new();
+    b.add_numeric("c1", vec![5.0; 60]);
+    b.add_numeric("c2", vec![7.0; 60]);
+    b.add_numeric("key", (0..60).map(|i| i as f64).collect::<Vec<_>>());
+    let t = b.build().unwrap();
+    let z = Ziggy::new(&t, ZiggyConfig::default());
+    // key is usable, the constants are not; the run succeeds and only
+    // involves key.
+    let report = z.characterize("key >= 40").unwrap();
+    for v in &report.views {
+        assert_eq!(v.view.names, vec!["key".to_string()]);
+    }
+}
+
+#[test]
+fn nan_heavy_columns_are_tolerated() {
+    let mut b = TableBuilder::new();
+    b.add_numeric("key", (0..200).map(|i| i as f64).collect::<Vec<_>>());
+    // 90% NULLs, but the remaining values still split informatively.
+    b.add_numeric(
+        "sparse",
+        (0..200)
+            .map(|i| {
+                if i % 10 == 0 {
+                    if i >= 150 {
+                        100.0
+                    } else {
+                        1.0
+                    }
+                } else {
+                    f64::NAN
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    b.add_numeric(
+        "dense",
+        (0..200).map(|i| ((i * 13) % 29) as f64).collect::<Vec<_>>(),
+    );
+    let t = b.build().unwrap();
+    let z = Ziggy::new(&t, ZiggyConfig::default());
+    let report = z.characterize("key >= 150").unwrap();
+    assert!(!report.views.is_empty());
+}
+
+#[test]
+fn all_null_column_is_skipped_not_fatal() {
+    let mut b = TableBuilder::new();
+    b.add_numeric("key", (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    b.add_numeric("void", vec![f64::NAN; 100]);
+    b.add_numeric(
+        "ok",
+        (0..100).map(|i| ((i * 7) % 13) as f64).collect::<Vec<_>>(),
+    );
+    let t = b.build().unwrap();
+    let z = Ziggy::new(&t, ZiggyConfig::default());
+    let report = z.characterize("key >= 80").unwrap();
+    for v in &report.views {
+        assert!(
+            !v.view.names.contains(&"void".to_string()),
+            "all-NULL column leaked into a view"
+        );
+    }
+}
+
+#[test]
+fn single_numeric_column_table() {
+    let mut b = TableBuilder::new();
+    b.add_numeric("only", (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    let t = b.build().unwrap();
+    let z = Ziggy::new(&t, ZiggyConfig::default());
+    let report = z.characterize("only >= 50").unwrap();
+    assert_eq!(report.views.len(), 1);
+    assert_eq!(report.views[0].view.names, vec!["only".to_string()]);
+}
+
+#[test]
+fn invalid_configs_rejected_before_work() {
+    let t = tiny_table();
+    for config in [
+        ZiggyConfig {
+            max_view_size: 0,
+            ..Default::default()
+        },
+        ZiggyConfig {
+            min_tightness: 2.0,
+            ..Default::default()
+        },
+        ZiggyConfig {
+            alpha: 0.0,
+            ..Default::default()
+        },
+        ZiggyConfig {
+            weights: Weights {
+                mean: -1.0,
+                ..Weights::default()
+            },
+            ..Default::default()
+        },
+    ] {
+        let z = Ziggy::new(&t, config);
+        assert!(matches!(
+            z.characterize("x >= 25"),
+            Err(ZiggyError::InvalidConfig(_))
+        ));
+    }
+}
+
+#[test]
+fn categorical_only_table_works() {
+    let mut b = TableBuilder::new();
+    b.add_categorical(
+        "group",
+        (0..120)
+            .map(|i| Some(if i >= 90 { "hot" } else { "cold" }))
+            .collect::<Vec<_>>(),
+    );
+    b.add_categorical(
+        "other",
+        (0..120)
+            .map(|i| Some(["a", "b", "c"][i % 3]))
+            .collect::<Vec<_>>(),
+    );
+    let t = b.build().unwrap();
+    let z = Ziggy::new(&t, ZiggyConfig::default());
+    let report = z.characterize("group = 'hot'").unwrap();
+    assert!(!report.views.is_empty());
+    let top = report.best_view().unwrap();
+    assert!(top.view.names.contains(&"group".to_string()));
+}

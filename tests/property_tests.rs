@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use proptest::prelude::*;
+use ziggy::prelude::*;
+use ziggy::store::csv::{read_csv_str, write_csv_string, CsvOptions};
+use ziggy::store::eval::{evaluate, select};
+use ziggy::store::{Bitmask, Expr};
+use ziggy_stats::{PairMoments, UniMoments};
+
+fn small_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e4..1e4f64, 30..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Complement derivation by subtraction equals a direct scan, for any
+    /// data and any mask.
+    #[test]
+    fn complement_identity_uni(values in small_values(), mask_bits in prop::collection::vec(any::<bool>(), 30..120)) {
+        let n = values.len().min(mask_bits.len());
+        let values = &values[..n];
+        let whole = UniMoments::from_slice(values);
+        let inside = UniMoments::from_masked(values, |i| mask_bits[i]);
+        let derived = whole.subtract(&inside).unwrap();
+        let direct = UniMoments::from_masked(values, |i| !mask_bits[i]);
+        prop_assert_eq!(derived.count(), direct.count());
+        if direct.count() > 0 {
+            prop_assert!((derived.mean() - direct.mean()).abs() < 1e-6);
+        }
+        if direct.count() > 1 {
+            prop_assert!(
+                (derived.variance().unwrap() - direct.variance().unwrap()).abs() < 1e-5
+            );
+        }
+    }
+
+    /// Pair-moment subtraction identity.
+    #[test]
+    fn complement_identity_pair(
+        xs in small_values(),
+        ys in small_values(),
+        mask_bits in prop::collection::vec(any::<bool>(), 30..120)
+    ) {
+        let n = xs.len().min(ys.len()).min(mask_bits.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let whole = PairMoments::from_slices(xs, ys).unwrap();
+        let inside = PairMoments::from_masked(xs, ys, |i| mask_bits[i]).unwrap();
+        let derived = whole.subtract(&inside).unwrap();
+        let direct = PairMoments::from_masked(xs, ys, |i| !mask_bits[i]).unwrap();
+        prop_assert_eq!(derived.count(), direct.count());
+        if direct.count() > 1 {
+            prop_assert!((derived.covariance().unwrap() - direct.covariance().unwrap()).abs() < 1e-4);
+        }
+    }
+
+    /// Bitmask boolean algebra: De Morgan and double complement.
+    #[test]
+    fn mask_algebra(a_bits in prop::collection::vec(any::<bool>(), 1..300), b_bits in prop::collection::vec(any::<bool>(), 1..300)) {
+        let n = a_bits.len().min(b_bits.len());
+        let a = Bitmask::from_fn(n, |i| a_bits[i]);
+        let b = Bitmask::from_fn(n, |i| b_bits[i]);
+        // ¬¬a = a.
+        prop_assert_eq!(a.complement().complement(), a.clone());
+        // ¬(a ∨ b) = ¬a ∧ ¬b.
+        let mut lhs = a.clone();
+        lhs.or_assign(&b);
+        lhs.not_assign();
+        let mut rhs = a.complement();
+        rhs.and_assign(&b.complement());
+        prop_assert_eq!(lhs, rhs);
+        // Partition: |a| + |¬a| = n.
+        prop_assert_eq!(a.count_ones() + a.complement().count_ones(), n);
+    }
+
+    /// Predicate evaluation respects boolean structure on random tables:
+    /// NOT inverts, AND intersects, OR unions.
+    #[test]
+    fn predicate_boolean_structure(values in small_values(), threshold in -1e4..1e4f64) {
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", values.clone());
+        let t = b.build().unwrap();
+        let base = select(&t, &format!("x > {threshold}")).unwrap();
+        let negated = select(&t, &format!("NOT x > {threshold}")).unwrap();
+        prop_assert_eq!(negated, base.complement());
+        let anded = select(&t, &format!("x > {threshold} AND x > {threshold}")).unwrap();
+        prop_assert_eq!(&anded, &base);
+        let ored = select(&t, &format!("x > {threshold} OR x > {threshold}")).unwrap();
+        prop_assert_eq!(&ored, &base);
+    }
+
+    /// Expr::Display output reparses to the same AST (parser/printer
+    /// round trip) for generated comparison trees.
+    #[test]
+    fn expr_display_round_trip(
+        col in "[a-z]{1,6}",
+        op_idx in 0usize..6,
+        v in -1e3..1e3f64,
+        lo in -1e3..0.0f64,
+        hi in 0.0..1e3f64
+    ) {
+        use ziggy::store::{CmpOp, Literal};
+        let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne];
+        let exprs = vec![
+            Expr::Cmp { column: col.clone(), op: ops[op_idx], value: Literal::Number(v) },
+            Expr::Between { column: col.clone(), lo, hi, negated: op_idx % 2 == 0 },
+            Expr::IsNull { column: col.clone(), negated: op_idx % 2 == 1 },
+        ];
+        for e in exprs {
+            let text = e.to_string();
+            let back = ziggy::store::parse_predicate(&text).unwrap();
+            prop_assert_eq!(back, e);
+        }
+    }
+
+    /// CSV round trip preserves numeric content (modulo float printing)
+    /// and shape.
+    #[test]
+    fn csv_round_trip(values in prop::collection::vec(-1e6..1e6f64, 5..60)) {
+        let mut b = TableBuilder::new();
+        b.add_numeric("v", values.clone());
+        let t = b.build().unwrap();
+        let text = write_csv_string(&t, ',');
+        let back = read_csv_str(&text, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        let original = t.numeric(0).unwrap();
+        let recovered = back.numeric(0).unwrap();
+        for (a, b) in original.iter().zip(recovered) {
+            prop_assert!((a - b).abs() <= a.abs() * 1e-12);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The engine's output invariants hold on randomized planted data:
+    /// ranked order, disjointness, size and tightness bounds.
+    #[test]
+    fn engine_invariants_on_random_data(seed in 0u64..500, selectivity in 0.1f64..0.4) {
+        let spec = ziggy_synth::spec::DatasetSpec {
+            name: "prop".into(),
+            n_rows: 400,
+            driver: "driver".into(),
+            selection_frac: selectivity,
+            themes: vec![
+                ziggy_synth::spec::ThemeSpec {
+                    name: "p".into(),
+                    columns: vec!["p0".into(), "p1".into()],
+                    intra_r: 0.7,
+                    mean_shift: 1.5,
+                    scale: 0.8,
+                },
+                ziggy_synth::spec::ThemeSpec {
+                    name: "f".into(),
+                    columns: vec!["f0".into(), "f1".into(), "f2".into()],
+                    intra_r: 0.6,
+                    mean_shift: 0.0,
+                    scale: 1.0,
+                },
+            ],
+            noise_columns: vec!["n0".into(), "n1".into()],
+            categoricals: vec![],
+            seed,
+        };
+        let d = ziggy_synth::generate(&spec);
+        let config = ZiggyConfig { max_view_size: 3, ..ZiggyConfig::default() };
+        let z = Ziggy::new(&d.table, config.clone());
+        let report = z.characterize(&d.predicate).unwrap();
+        // Ranked descending.
+        for w in report.views.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        // Disjoint, bounded, tight.
+        let mut used: Vec<usize> = Vec::new();
+        for v in &report.views {
+            prop_assert!(v.view.len() <= config.max_view_size);
+            prop_assert!(v.tightness >= config.min_tightness - 1e-9);
+            prop_assert!((0.0..=1.0).contains(&v.robustness_p) || v.robustness_p.is_nan());
+            for c in &v.view.columns {
+                prop_assert!(!used.contains(c));
+                used.push(*c);
+            }
+        }
+    }
+
+    /// Evaluating a random expression tree never panics and always
+    /// produces a mask of the right length.
+    #[test]
+    fn random_expression_trees_evaluate(ops in prop::collection::vec(0usize..5, 1..8)) {
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", (0..100).map(|i| i as f64).collect::<Vec<_>>());
+        b.add_categorical("c", (0..100).map(|i| Some(["p", "q"][i % 2])).collect::<Vec<_>>());
+        let t = b.build().unwrap();
+        use ziggy::store::{CmpOp, Literal};
+        let mut e = Expr::Cmp { column: "x".into(), op: CmpOp::Gt, value: Literal::Number(50.0) };
+        for &op in &ops {
+            e = match op {
+                0 => Expr::Not(Box::new(e)),
+                1 => Expr::And(Box::new(e), Box::new(Expr::Cmp {
+                    column: "c".into(), op: CmpOp::Eq, value: Literal::Str("p".into()),
+                })),
+                2 => Expr::Or(Box::new(e), Box::new(Expr::IsNull { column: "x".into(), negated: false })),
+                3 => Expr::And(Box::new(e), Box::new(Expr::Const(true))),
+                _ => Expr::Or(Box::new(e), Box::new(Expr::Between {
+                    column: "x".into(), lo: 10.0, hi: 20.0, negated: false,
+                })),
+            };
+        }
+        let mask = evaluate(&e, &t).unwrap();
+        prop_assert_eq!(mask.len(), 100);
+    }
+}

@@ -1,0 +1,22 @@
+//! End-to-end smoke test: Ziggy recovers the planted Figure-1 themes on
+//! the US Crime twin.
+
+use ziggy::prelude::*;
+use ziggy_synth::{evaluate_recovery, us_crime};
+
+#[test]
+fn crime_twin_views_recovered() {
+    let d = us_crime(7);
+    let config = ZiggyConfig {
+        max_views: 8,
+        ..ZiggyConfig::default()
+    };
+    let z = Ziggy::new(&d.table, config);
+    let report = z.characterize(&d.predicate).unwrap();
+    assert!(!report.views.is_empty());
+    let discovered: Vec<Vec<String>> = report.views.iter().map(|v| v.view.names.clone()).collect();
+    let q = evaluate_recovery(&discovered, &d.planted, 0.5);
+    eprintln!("discovered: {discovered:?}");
+    eprintln!("quality: {q:?}");
+    assert!(q.view_recall >= 0.5, "view recall too low: {q:?}");
+}
