@@ -13,7 +13,7 @@ use crate::{rank_and_select_disjoint, BaselineView};
 /// ranking.
 pub fn beam_search(
     table: &Table,
-    cache: &StatsCache<'_>,
+    cache: &StatsCache,
     mask: &Bitmask,
     max_size: usize,
     beam_width: usize,

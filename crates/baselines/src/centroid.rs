@@ -10,7 +10,7 @@ use crate::{rank_and_select_disjoint, BaselineView};
 /// whole-table dispersion is degenerate contribute 0.
 pub fn centroid_distance(
     table: &Table,
-    cache: &StatsCache<'_>,
+    cache: &StatsCache,
     mask: &Bitmask,
     columns: &[usize],
 ) -> f64 {
@@ -40,7 +40,7 @@ pub fn centroid_distance(
 /// `pairwise`) every pair, scored by standardized centroid distance.
 pub fn centroid_search(
     table: &Table,
-    cache: &StatsCache<'_>,
+    cache: &StatsCache,
     mask: &Bitmask,
     max_views: usize,
     pairwise: bool,

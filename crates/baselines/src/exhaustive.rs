@@ -49,7 +49,7 @@ pub fn subset_count(n: usize, max_size: usize) -> u128 {
 /// top disjoint `max_views`. Refuses to run past `budget` subsets.
 pub fn exhaustive_search(
     table: &Table,
-    cache: &StatsCache<'_>,
+    cache: &StatsCache,
     mask: &Bitmask,
     max_size: usize,
     max_views: usize,

@@ -90,7 +90,7 @@ pub fn histogram_kl(inside: &[f64], outside: &[f64], bins: usize) -> Option<f64>
 /// black-box straw man.
 pub fn kl_search(
     table: &Table,
-    cache: &StatsCache<'_>,
+    cache: &StatsCache,
     mask: &Bitmask,
     max_views: usize,
     pairwise: bool,

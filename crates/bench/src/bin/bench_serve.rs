@@ -1,0 +1,123 @@
+//! Serving-layer throughput microbenchmark.
+//!
+//! Starts an in-process `ziggy-serve` server, loads the US-crime
+//! synthetic twin (1994×128, the paper's heaviest interactive dataset),
+//! and measures characterization requests/second under concurrent
+//! keep-alive clients. Emits `BENCH_serve.json` so later PRs can track
+//! the serving-path trajectory.
+//!
+//! ```text
+//! cargo run --release -p ziggy-bench --bin bench_serve [-- --clients 8 --requests 64]
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use serde_json::{Number, Value};
+use ziggy_serve::http::Client;
+use ziggy_serve::{serve, ServeOptions};
+
+fn arg(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn num_u(n: u64) -> Value {
+    Value::Number(Number::U(n))
+}
+
+fn num_f(x: f64) -> Value {
+    Value::Number(Number::F(x))
+}
+
+fn main() {
+    let clients = arg("--clients", 8).max(1);
+    let requests_per_client = arg("--requests", 64).max(1) / clients.max(1);
+    let requests_per_client = requests_per_client.max(1);
+
+    let twin = ziggy_synth::us_crime(7);
+    let (n_rows, n_cols) = (twin.table.n_rows(), twin.table.n_cols());
+    let query_body = format!(r#"{{"query":"{}"}}"#, twin.predicate.replace('"', "\\\""));
+
+    let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    server
+        .state()
+        .registry
+        .insert_table("crime", twin.table, server.state().config.clone())
+        .unwrap();
+
+    // Cold request: pays the whole-table statistics + dependency graph.
+    let t_cold = Instant::now();
+    let mut warmup = Client::connect(addr).unwrap();
+    let (status, body) = warmup
+        .request("POST", "/tables/crime/characterize", Some(&query_body))
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let cold_ms = t_cold.elapsed().as_secs_f64() * 1e3;
+    drop(warmup);
+
+    // Warm phase: all clients hammer the shared engine concurrently.
+    let total_requests = clients * requests_per_client;
+    let t_warm = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let query_body = &query_body;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..requests_per_client {
+                    let (status, body) = client
+                        .request("POST", "/tables/crime/characterize", Some(query_body))
+                        .unwrap();
+                    assert_eq!(status, 200, "{body}");
+                }
+            });
+        }
+    });
+    let elapsed = t_warm.elapsed().as_secs_f64();
+    let rps = total_requests as f64 / elapsed;
+
+    let counters = server
+        .state()
+        .registry
+        .get("crime")
+        .unwrap()
+        .cache()
+        .counters();
+
+    let result = Value::Object(vec![
+        ("benchmark".into(), Value::String("serve_throughput".into())),
+        ("dataset".into(), Value::String("us_crime_twin".into())),
+        ("n_rows".into(), num_u(n_rows as u64)),
+        ("n_cols".into(), num_u(n_cols as u64)),
+        ("client_threads".into(), num_u(clients as u64)),
+        ("warm_requests".into(), num_u(total_requests as u64)),
+        ("cold_first_request_ms".into(), num_f(cold_ms)),
+        ("warm_elapsed_s".into(), num_f(elapsed)),
+        ("warm_requests_per_sec".into(), num_f(rps)),
+        (
+            "warm_mean_latency_ms".into(),
+            num_f(elapsed * 1e3 * clients as f64 / total_requests as f64),
+        ),
+        (
+            "cache".into(),
+            Value::Object(vec![
+                ("hits".into(), num_u(counters.hits)),
+                ("misses".into(), num_u(counters.misses)),
+            ]),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&result).unwrap();
+    println!("{rendered}");
+    let mut f = std::fs::File::create("BENCH_serve.json").expect("create BENCH_serve.json");
+    f.write_all(rendered.as_bytes()).unwrap();
+    f.write_all(b"\n").unwrap();
+    eprintln!(
+        "wrote BENCH_serve.json ({total_requests} requests, {rps:.1} req/s, cache {counters:?})"
+    );
+    server.shutdown();
+}

@@ -83,7 +83,7 @@ pub fn usable_columns(table: &Table) -> Vec<usize> {
 }
 
 fn pair_similarity(
-    cache: &StatsCache<'_>,
+    cache: &StatsCache,
     a: usize,
     b: usize,
     kind: DependenceKind,
@@ -147,7 +147,7 @@ impl DependencyGraph {
     /// pairs (constant margins and the like) get similarity 0 rather than
     /// failing the whole graph.
     pub fn build(
-        cache: &StatsCache<'_>,
+        cache: &StatsCache,
         columns: Vec<usize>,
         kind: DependenceKind,
         mi_bins: usize,

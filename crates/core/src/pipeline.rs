@@ -1,6 +1,7 @@
 //! The three-stage pipeline (paper Figure 4): preparation → view search →
 //! post-processing.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ziggy_store::{eval, parse_predicate, Bitmask, StatsCache, Table};
@@ -20,9 +21,15 @@ use crate::search::search;
 /// Holds the whole-table statistics cache, so successive queries against
 /// the same table share the expensive moment computations (the paper's
 /// between-query optimization).
-pub struct Ziggy<'t> {
-    table: &'t Table,
-    cache: StatsCache<'t>,
+///
+/// The engine owns its table through an `Arc` and all interior state is
+/// lock-protected, so a single `Ziggy` is `Send + Sync`: one engine per
+/// table can serve many threads (and, through `ziggy-serve`, many
+/// clients) concurrently, extending the paper's between-*query* sharing
+/// to between-*client* sharing.
+pub struct Ziggy {
+    table: Arc<Table>,
+    cache: StatsCache,
     config: ZiggyConfig,
     /// Dependency graph is query-independent; memoized after first use.
     graph: parking_lot::Mutex<Option<DependencyGraph>>,
@@ -31,13 +38,20 @@ pub struct Ziggy<'t> {
 // parking_lot re-export via ziggy-store's dependency is not public; the
 // engine takes its own direct dependency (see Cargo.toml).
 
-impl<'t> Ziggy<'t> {
-    /// Creates an engine over `table` with the given configuration.
-    /// Configuration problems surface on the first characterization.
-    pub fn new(table: &'t Table, config: ZiggyConfig) -> Self {
+impl Ziggy {
+    /// Creates an engine over a copy of `table` with the given
+    /// configuration. Configuration problems surface on the first
+    /// characterization. When the table is already behind an `Arc` (the
+    /// serving path), use [`Ziggy::shared`] to avoid the deep copy.
+    pub fn new(table: &Table, config: ZiggyConfig) -> Self {
+        Self::shared(Arc::new(table.clone()), config)
+    }
+
+    /// Creates an engine sharing ownership of `table` (no copy).
+    pub fn shared(table: Arc<Table>, config: ZiggyConfig) -> Self {
         Self {
+            cache: StatsCache::shared(Arc::clone(&table)),
             table,
-            cache: StatsCache::new(table),
             config,
             graph: parking_lot::Mutex::new(None),
         }
@@ -49,12 +63,17 @@ impl<'t> Ziggy<'t> {
     }
 
     /// The underlying table.
-    pub fn table(&self) -> &'t Table {
-        self.table
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Shared handle to the underlying table.
+    pub fn table_arc(&self) -> Arc<Table> {
+        Arc::clone(&self.table)
     }
 
     /// The whole-table statistics cache (shared across queries).
-    pub fn cache(&self) -> &StatsCache<'t> {
+    pub fn cache(&self) -> &StatsCache {
         &self.cache
     }
 
@@ -63,7 +82,7 @@ impl<'t> Ziggy<'t> {
         if let Some(g) = slot.as_ref() {
             return Ok(g.clone());
         }
-        let usable = usable_columns(self.table);
+        let usable = usable_columns(&self.table);
         if usable.is_empty() {
             return Err(ZiggyError::NoUsableColumns);
         }
@@ -100,7 +119,7 @@ impl<'t> Ziggy<'t> {
     /// [`Ziggy::characterize_mask`]).
     pub fn characterize(&self, query: &str) -> Result<CharacterizationReport> {
         let expr = parse_predicate(query)?;
-        let mask = eval::evaluate(&expr, self.table)?;
+        let mask = eval::evaluate(&expr, &self.table)?;
         self.characterize_mask(&mask, query)
     }
 
@@ -143,8 +162,13 @@ impl<'t> Ziggy<'t> {
             if self.config.filter_insignificant && robustness_p >= self.config.alpha {
                 continue;
             }
-            let explanation =
-                explain::generate(self.table, mask, &sv.columns, &comp_refs, self.config.alpha);
+            let explanation = explain::generate(
+                &self.table,
+                mask,
+                &sv.columns,
+                &comp_refs,
+                self.config.alpha,
+            );
             let positions: Vec<usize> = sv
                 .columns
                 .iter()

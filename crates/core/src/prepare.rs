@@ -63,7 +63,7 @@ impl PreparedStats {
 
 /// Runs the preparation stage over the selection `mask`.
 pub fn prepare(
-    cache: &StatsCache<'_>,
+    cache: &StatsCache,
     mask: &Bitmask,
     usable: &[usize],
     config: &ZiggyConfig,
@@ -156,12 +156,7 @@ pub fn prepare(
     })
 }
 
-fn compute_pair(
-    cache: &StatsCache<'_>,
-    rows: &[usize],
-    a: usize,
-    b: usize,
-) -> Option<ZigComponent> {
+fn compute_pair(cache: &StatsCache, rows: &[usize], a: usize, b: usize) -> Option<ZigComponent> {
     let table = cache.table();
     let xs = table.numeric(a).ok()?;
     let ys = table.numeric(b).ok()?;
@@ -174,7 +169,7 @@ fn compute_pair(
 }
 
 fn compute_pairs_serial(
-    cache: &StatsCache<'_>,
+    cache: &StatsCache,
     rows: &[usize],
     pairs: &[(usize, usize)],
 ) -> Vec<ZigComponent> {
@@ -185,7 +180,7 @@ fn compute_pairs_serial(
 }
 
 fn compute_pairs_parallel(
-    cache: &StatsCache<'_>,
+    cache: &StatsCache,
     rows: &[usize],
     pairs: &[(usize, usize)],
 ) -> Vec<ZigComponent> {
@@ -195,11 +190,11 @@ fn compute_pairs_parallel(
         .min(16);
     let chunk = pairs.len().div_ceil(threads);
     let mut out: Vec<ZigComponent> = Vec::with_capacity(pairs.len());
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = pairs
             .chunks(chunk)
             .map(|slice| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     slice
                         .iter()
                         .filter_map(|&(a, b)| compute_pair(cache, rows, a, b))
@@ -210,8 +205,7 @@ fn compute_pairs_parallel(
         for h in handles {
             out.extend(h.join().expect("pairwise worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     out
 }
 

@@ -88,14 +88,18 @@ pub fn diff_reports(
 }
 
 /// A stateful exploration session over one table.
-pub struct ExplorationSession<'t> {
-    engine: Ziggy<'t>,
+///
+/// Owns its engine (no borrowed lifetime), so sessions can be stored in
+/// registries and moved across threads — the integration surface the
+/// `ziggy-serve` session endpoints build on.
+pub struct ExplorationSession {
+    engine: Ziggy,
     history: Vec<CharacterizationReport>,
 }
 
-impl<'t> ExplorationSession<'t> {
+impl ExplorationSession {
     /// Wraps an engine into a session.
-    pub fn new(engine: Ziggy<'t>) -> Self {
+    pub fn new(engine: Ziggy) -> Self {
         Self {
             engine,
             history: Vec::new(),
@@ -103,7 +107,7 @@ impl<'t> ExplorationSession<'t> {
     }
 
     /// The underlying engine (for dendrograms, cache inspection, …).
-    pub fn engine(&self) -> &Ziggy<'t> {
+    pub fn engine(&self) -> &Ziggy {
         &self.engine
     }
 

@@ -1,0 +1,642 @@
+//! A dependency-light threaded HTTP/1.1 server (and matching client)
+//! over `std::net`.
+//!
+//! Scope: exactly what a JSON API needs — request line, headers,
+//! `Content-Length` bodies, keep-alive, bounded header/body sizes, a
+//! fixed worker pool, and clean shutdown. No TLS, chunked encoding, or
+//! HTTP/2; the service sits behind whatever terminates those.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body (CSV ingest needs room).
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+/// Socket timeout while actively reading or writing a request.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long a worker waits on the dispatch queue before rechecking the
+/// stop flag.
+const DISPATCH_TIMEOUT: Duration = Duration::from_millis(50);
+/// Consecutive idle probes after which a worker naps, so cycling a
+/// queue of quiet connections doesn't spin a core.
+const IDLE_STREAK_NAP: u32 = 16;
+/// Length of that nap; also the latency ceiling it adds to a request
+/// arriving on a quiet server.
+const IDLE_NAP: Duration = Duration::from_millis(2);
+/// Maximum connections resident in the dispatch queue.
+const MAX_CONNS: usize = 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component, query string stripped.
+    pub path: String,
+    /// Lower-cased header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (case-insensitive) header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response (always `application/json` — this is a JSON API).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body text.
+    pub body: String,
+}
+
+impl Response {
+    /// A response with the given status and JSON body text.
+    pub fn new(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            body: body.into(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// The application callback invoked per request.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Handles to every live connection, so shutdown can interrupt workers
+/// blocked reading idle keep-alive sockets.
+#[derive(Default)]
+struct ConnTracker {
+    next_id: AtomicU64,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnTracker {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let handle = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.conns.lock().expect("conn tracker").insert(id, handle);
+        Some(id)
+    }
+
+    fn unregister(&self, id: u64) {
+        self.conns.lock().expect("conn tracker").remove(&id);
+    }
+
+    fn shutdown_all(&self) {
+        for stream in self.conns.lock().expect("conn tracker").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// One accepted connection with its buffered read state.
+///
+/// Connections cycle through the dispatch queue between requests, so a
+/// small worker pool multiplexes arbitrarily many keep-alive clients: a
+/// worker holds a connection for the length of an in-flight request or
+/// a non-blocking readiness probe (one `peek` syscall), never while it
+/// sits idle.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    tracker_id: Option<u64>,
+    tracker: Arc<ConnTracker>,
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        if let Some(id) = self.tracker_id {
+            self.tracker.unregister(id);
+        }
+    }
+}
+
+/// What a worker decides after probing a connection.
+enum Probe {
+    /// Bytes are waiting (or already buffered): serve a request now.
+    Ready,
+    /// No bytes yet; put the connection back in the queue.
+    Idle,
+    /// Peer closed or the socket failed: drop the connection.
+    Dead,
+}
+
+fn probe(conn: &mut Conn) -> Probe {
+    // Pipelined bytes may already sit in the BufReader; the socket peek
+    // would miss them.
+    if !conn.reader.buffer().is_empty() {
+        return Probe::Ready;
+    }
+    if conn.writer.set_nonblocking(true).is_err() {
+        return Probe::Dead;
+    }
+    let mut byte = [0u8; 1];
+    let verdict = match conn.writer.peek(&mut byte) {
+        Ok(0) => Probe::Dead, // Orderly shutdown by the peer.
+        Ok(_) => Probe::Ready,
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Probe::Idle
+        }
+        Err(_) => Probe::Dead,
+    };
+    if conn.writer.set_nonblocking(false).is_err() {
+        return Probe::Dead;
+    }
+    verdict
+}
+
+/// A running server; shuts down when dropped (or via
+/// [`Server::shutdown`]).
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    tracker: Arc<ConnTracker>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop plus `threads` workers.
+    pub fn start(addr: impl ToSocketAddrs, threads: usize, handler: Handler) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let threads = threads.max(1);
+
+        let (tx, rx): (Sender<Conn>, Receiver<Conn>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let tracker = Arc::new(ConnTracker::default());
+
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let tx = tx.clone();
+                let handler = Arc::clone(&handler);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("ziggy-serve-worker-{i}"))
+                    .spawn(move || {
+                        // Consecutive idle probes; cycling only quiet
+                        // connections earns a nap instead of a spin.
+                        let mut idle_streak: u32 = 0;
+                        loop {
+                            let recv = rx
+                                .lock()
+                                .expect("worker queue")
+                                .recv_timeout(DISPATCH_TIMEOUT);
+                            let mut conn = match recv {
+                                Ok(c) => c,
+                                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                                    if stop.load(Ordering::SeqCst) {
+                                        return;
+                                    }
+                                    idle_streak = 0;
+                                    continue;
+                                }
+                                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+                            };
+                            if stop.load(Ordering::SeqCst) {
+                                continue; // Drop the connection; drain the queue.
+                            }
+                            match probe(&mut conn) {
+                                Probe::Dead => {
+                                    idle_streak = 0;
+                                }
+                                Probe::Idle => {
+                                    let _ = tx.send(conn);
+                                    idle_streak += 1;
+                                    if idle_streak >= IDLE_STREAK_NAP {
+                                        std::thread::sleep(IDLE_NAP);
+                                        idle_streak = 0;
+                                    }
+                                }
+                                Probe::Ready => {
+                                    idle_streak = 0;
+                                    if serve_one(&mut conn, &handler) {
+                                        let _ = tx.send(conn);
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let tracker = Arc::clone(&tracker);
+            std::thread::Builder::new()
+                .name("ziggy-serve-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break; // Workers exit via the stop flag.
+                        }
+                        if let Ok(stream) = stream {
+                            if tracker.conns.lock().expect("conn tracker").len() >= MAX_CONNS {
+                                continue; // Over capacity: refuse by dropping.
+                            }
+                            let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+                            let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                            let _ = stream.set_nodelay(true);
+                            let Ok(reader_half) = stream.try_clone() else {
+                                continue;
+                            };
+                            let conn = Conn {
+                                reader: BufReader::new(reader_half),
+                                tracker_id: tracker.register(&stream),
+                                writer: stream,
+                                tracker: Arc::clone(&tracker),
+                            };
+                            if tx.send(conn).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(Self {
+            local_addr,
+            stop,
+            tracker,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains workers, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept`.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Interrupt workers parked on idle keep-alive connections.
+        self.tracker.shutdown_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Serves exactly one request on a ready connection. Returns `true` when
+/// the connection should be requeued for more requests.
+fn serve_one(conn: &mut Conn, handler: &Handler) -> bool {
+    let request = match read_request(&mut conn.reader) {
+        Ok(Some(r)) => r,
+        Ok(None) => return false, // EOF raced the readiness probe.
+        Err(e) => {
+            // Malformed request: answer 400 once, then drop.
+            let resp = Response::new(400, format!("{{\"error\":\"{e}\"}}"));
+            let _ = write_response(&mut conn.writer, &resp, true);
+            return false;
+        }
+    };
+    let close = request
+        .header("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+    let response = catch_unwind(AssertUnwindSafe(|| handler(&request))).unwrap_or_else(|_| {
+        Response::new(500, "{\"error\":\"internal server error\"}".to_string())
+    });
+    if write_response(&mut conn.writer, &response, close).is_err() {
+        return false;
+    }
+    !close
+}
+
+/// Reads one line with a hard byte cap, so a peer streaming an endless
+/// newline-free head cannot grow memory (`read_line` alone buffers the
+/// whole "line" before any caller-side length check could run).
+/// Returns the line without its terminator; `Ok(None)` on clean EOF.
+fn read_line_bounded<R: BufRead>(reader: &mut R, max_bytes: usize) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take(max_bytes as u64 + 1)
+        .read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') && n > max_bytes {
+        return Err(bad("request head too large"));
+    }
+    while line.ends_with(['\n', '\r']) {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Reads one request; `Ok(None)` on immediate EOF (client closed a
+/// keep-alive connection).
+fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let Some(line) = read_line_bounded(reader, MAX_HEAD_BYTES)? else {
+        return Ok(None);
+    };
+    let mut head_budget = MAX_HEAD_BYTES.saturating_sub(line.len());
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1") => (m.to_ascii_uppercase(), t),
+        _ => return Err(bad("malformed request line")),
+    };
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(h) = read_line_bounded(reader, head_budget)? else {
+            return Err(bad("eof in headers"));
+        };
+        head_budget = head_budget
+            .checked_sub(h.len() + 1)
+            .ok_or_else(|| bad("request head too large"))?;
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>().map_err(|_| bad("bad content-length")))
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn write_response<W: Write>(writer: &mut W, response: &Response, close: bool) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(response.body.as_bytes())?;
+    writer.flush()
+}
+
+// --------------------------------------------------------------------
+// Client
+// --------------------------------------------------------------------
+
+/// A keep-alive HTTP/1.1 client for one server, used by integration
+/// tests, benchmarks and the `ziggy` CLI's smoke checks.
+pub struct Client {
+    stream: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the `(status, body)` response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: ziggy\r\nContent-Length: {}\r\n\r\n",
+            body.len(),
+        );
+        let stream = self.stream.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let mut line = String::new();
+        if self.stream.read_line(&mut line)? == 0 {
+            return Err(bad("server closed connection"));
+        }
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            if self.stream.read_line(&mut h)? == 0 {
+                return Err(bad("eof in response headers"));
+            }
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = h.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().map_err(|_| bad("bad content-length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.stream.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|b| (status, b))
+            .map_err(|_| bad("non-UTF-8 response body"))
+    }
+}
+
+/// One-shot convenience: connect, send, read, close.
+pub fn request_once(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    Client::connect(addr)?.request(method, path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> Server {
+        let handler: Handler = Arc::new(|req: &Request| {
+            Response::new(
+                200,
+                format!(
+                    "{{\"method\":\"{}\",\"path\":\"{}\",\"len\":{}}}",
+                    req.method,
+                    req.path,
+                    req.body.len()
+                ),
+            )
+        });
+        Server::start("127.0.0.1:0", 2, handler).unwrap()
+    }
+
+    #[test]
+    fn round_trip_and_keep_alive() {
+        let server = echo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for i in 0..3 {
+            let (status, body) = client
+                .request("POST", "/echo", Some(&"x".repeat(i * 10)))
+                .unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains(&format!("\"len\":{}", i * 10)), "{body}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_strings_are_stripped() {
+        let server = echo_server();
+        let (_, body) = request_once(server.local_addr(), "GET", "/a/b?x=1", None).unwrap();
+        assert!(body.contains("\"path\":\"/a/b\""), "{body}");
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+    }
+
+    #[test]
+    fn endless_header_line_is_cut_off() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"GET / HTTP/1.1\r\n").unwrap();
+        // A single header "line" growing far past the head cap, never
+        // terminated: the server must reject it instead of buffering.
+        let chunk = [b'A'; 4096];
+        let mut sent = 0usize;
+        while sent < MAX_HEAD_BYTES * 4 {
+            if stream.write_all(&chunk).is_err() {
+                break; // Server already hung up: that's the point.
+            }
+            sent += chunk.len();
+        }
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(
+            out.starts_with("HTTP/1.1 400") || out.is_empty(),
+            "expected rejection, got: {}",
+            &out[..out.len().min(80)]
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn handler_panic_becomes_500() {
+        let handler: Handler = Arc::new(|req: &Request| {
+            if req.path == "/boom" {
+                panic!("handler exploded");
+            }
+            Response::new(200, "{}")
+        });
+        let server = Server::start("127.0.0.1:0", 2, handler).unwrap();
+        let (status, body) = request_once(server.local_addr(), "GET", "/boom", None).unwrap();
+        assert_eq!(status, 500);
+        assert!(body.contains("internal server error"));
+        // The worker survives for the next request.
+        let (status, _) = request_once(server.local_addr(), "GET", "/fine", None).unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let server = echo_server();
+        let addr = server.local_addr();
+        request_once(addr, "GET", "/x", None).unwrap();
+        server.shutdown();
+        // New connections are no longer served.
+        let refused = request_once(addr, "GET", "/x", None).is_err();
+        assert!(refused);
+    }
+}

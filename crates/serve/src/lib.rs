@@ -1,0 +1,138 @@
+#![warn(missing_docs)]
+
+//! `ziggy-serve` — the concurrent characterization service.
+//!
+//! The paper positions Ziggy "as a library, to be included into external
+//! exploration systems" behind an interactive front-end (Figure 5). This
+//! crate is that serving layer: a dependency-light, multi-threaded
+//! HTTP/1.1 JSON API over the shared-ownership engine core. One
+//! [`ziggy_core::Ziggy`] engine per ingested table is shared across all
+//! worker threads and all clients, so whole-table statistics and the
+//! column dependency graph are computed **once per table** — the paper's
+//! between-query cache promoted to a between-client cache.
+//!
+//! # API contract
+//!
+//! All bodies are JSON (`Content-Type: application/json`); errors are
+//! `{"error": "<message>"}` with the status codes noted below.
+//!
+//! | Route | Body | Response |
+//! |-------|------|----------|
+//! | `GET /healthz` | — | `200` `{"status":"ok"}` |
+//! | `GET /metrics` | — | `200` request counters, cumulative stage timings (µs), and per-table cache hit/miss/entry counts |
+//! | `POST /tables` | `{"name": "crime", "csv": "<csv text>"}` | `201` `{"name","n_rows","n_cols"}` — `400` invalid name/JSON, `409` duplicate name or registry full, `422` CSV rejected |
+//! | `GET /tables` | — | `200` `{"tables":[{"name","n_rows","n_cols"},…]}` |
+//! | `POST /tables/{name}/characterize` | `{"query": "<predicate>"}` | `200` a full [`ziggy_core::CharacterizationReport`] — `404` unknown table, `422` engine rejection (parse error, degenerate selection) |
+//! | `POST /sessions` | `{"table": "crime"}` | `201` `{"session_id", "table"}` — `404` unknown table |
+//! | `POST /sessions/{id}/step` | `{"query": "<predicate>"}` | `200` `{"step", "report", "diff"}` where `diff` is a [`ziggy_core::ReportDiff`] against the previous step (`null` on the first) — `404` unknown session, `422` engine rejection |
+//!
+//! Characterize responses are byte-for-byte the engine's serialized
+//! report: apart from wall-clock stage timings, a server round trip and
+//! an in-process `serde_json::to_string(&engine.characterize(q)?)`
+//! produce identical bytes.
+//!
+//! Failed session steps (`4xx`/`422`) do not enter the session history,
+//! matching [`ziggy_core::ExplorationSession`] semantics.
+//!
+//! # Concurrency model
+//!
+//! * A fixed worker-thread pool serves keep-alive connections from a
+//!   blocking accept loop ([`http::Server`]); no async runtime.
+//! * [`registry::TableRegistry`] and [`sessions::SessionManager`] use
+//!   `parking_lot::RwLock` maps of `Arc` entries: lookups take shared
+//!   read locks, and the engine itself is only `&self` — concurrent
+//!   characterizations of one table proceed in parallel, sharing the
+//!   per-table [`ziggy_store::StatsCache`].
+//! * Session steps lock only their own session's history; the engine
+//!   call happens outside that lock.
+//!
+//! # Example
+//!
+//! ```
+//! use ziggy_serve::{serve, ServeOptions};
+//! use ziggy_serve::http::request_once;
+//!
+//! let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+//! let (status, body) =
+//!     request_once(server.local_addr(), "GET", "/healthz", None).unwrap();
+//! assert_eq!((status, body.as_str()), (200, r#"{"status":"ok"}"#));
+//! server.shutdown();
+//! ```
+
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod router;
+pub mod sessions;
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+
+use ziggy_core::ZiggyConfig;
+
+pub use http::{Client, Request, Response, Server};
+pub use json::ApiError;
+pub use metrics::Metrics;
+pub use registry::{TableEntry, TableRegistry};
+pub use router::{route, ServeState};
+pub use sessions::{SessionManager, StepOutcome};
+
+/// Options for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads (default: available parallelism, at least 2 so a
+    /// slow characterization cannot head-of-line-block health checks).
+    pub threads: usize,
+    /// Engine configuration applied to every ingested table.
+    pub config: ZiggyConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(2),
+            config: ZiggyConfig::default(),
+        }
+    }
+}
+
+/// A running characterization service.
+pub struct ServerHandle {
+    server: Server,
+    state: Arc<ServeState>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The shared state, for in-process inspection (tests, benchmarks)
+    /// or pre-loading tables before traffic arrives.
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Stops the server and joins its threads.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+/// Binds `addr` and starts serving the characterization API.
+pub fn serve(addr: impl ToSocketAddrs, options: ServeOptions) -> io::Result<ServerHandle> {
+    let state = Arc::new(ServeState::with_config(options.config));
+    let handler_state = Arc::clone(&state);
+    let server = Server::start(
+        addr,
+        options.threads,
+        Arc::new(move |req: &Request| route(&handler_state, req)),
+    )?;
+    Ok(ServerHandle { server, state })
+}

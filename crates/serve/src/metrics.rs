@@ -1,0 +1,124 @@
+//! Request counters and stage-timing accumulators for `/metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde_json::Value;
+use ziggy_core::StageTimings;
+
+fn num(n: u64) -> Value {
+    Value::Number(serde_json::Number::U(n))
+}
+
+/// One monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Server-wide metrics, shared by all worker threads.
+///
+/// Everything is a relaxed atomic: the numbers are operational telemetry,
+/// not synchronization.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests that parsed and reached the router. (Requests so
+    /// malformed the HTTP layer rejected them with 400 never get here.)
+    pub requests_total: Counter,
+    /// Routed requests answered with a 4xx/5xx status.
+    pub errors_total: Counter,
+    /// `POST /tables` requests that created a table.
+    pub tables_created: Counter,
+    /// `GET /tables` listings served.
+    pub tables_listed: Counter,
+    /// Characterizations served (direct and via session steps).
+    pub characterizations: Counter,
+    /// Sessions created.
+    pub sessions_created: Counter,
+    /// Session steps served.
+    pub session_steps: Counter,
+    /// Sum of the preparation stage over all characterizations (µs).
+    pub preparation_us: Counter,
+    /// Sum of the view-search stage over all characterizations (µs).
+    pub view_search_us: Counter,
+    /// Sum of the post-processing stage over all characterizations (µs).
+    pub post_processing_us: Counter,
+}
+
+impl Metrics {
+    /// Folds one characterization's stage timings into the totals.
+    pub fn record_characterization(&self, t: &StageTimings) {
+        self.characterizations.inc();
+        self.preparation_us.add(t.preparation_us);
+        self.view_search_us.add(t.view_search_us);
+        self.post_processing_us.add(t.post_processing_us);
+    }
+
+    /// Renders the counters as the `/metrics` JSON body (the `tables`
+    /// section with per-table cache counters is appended by the router,
+    /// which owns the registry).
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            (
+                "requests".into(),
+                Value::Object(vec![
+                    ("total".into(), num(self.requests_total.get())),
+                    ("errors".into(), num(self.errors_total.get())),
+                    ("tables_created".into(), num(self.tables_created.get())),
+                    ("tables_listed".into(), num(self.tables_listed.get())),
+                    (
+                        "characterizations".into(),
+                        num(self.characterizations.get()),
+                    ),
+                    ("sessions_created".into(), num(self.sessions_created.get())),
+                    ("session_steps".into(), num(self.session_steps.get())),
+                ]),
+            ),
+            (
+                "stage_timings_us".into(),
+                Value::Object(vec![
+                    ("preparation".into(), num(self.preparation_us.get())),
+                    ("view_search".into(), num(self.view_search_us.get())),
+                    ("post_processing".into(), num(self.post_processing_us.get())),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::default();
+        m.requests_total.inc();
+        m.requests_total.inc();
+        m.record_characterization(&StageTimings {
+            preparation_us: 10,
+            view_search_us: 20,
+            post_processing_us: 30,
+        });
+        assert_eq!(m.requests_total.get(), 2);
+        assert_eq!(m.characterizations.get(), 1);
+        assert_eq!(m.preparation_us.get(), 10);
+        let json = serde_json::to_string(&m.to_json()).unwrap();
+        assert!(json.contains("\"total\":2"), "{json}");
+        assert!(json.contains("\"preparation\":10"), "{json}");
+    }
+}

@@ -1,0 +1,277 @@
+//! The table registry: one shared engine per ingested table.
+//!
+//! Each [`TableEntry`] owns a [`Ziggy`] engine built over an
+//! `Arc<Table>`. Because the engine (and its [`StatsCache`]) is shared by
+//! every worker thread and every client, whole-table statistics and the
+//! dependency graph are computed once per *table*, not once per request —
+//! the paper's between-query sharing promoted to between-client sharing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde_json::Value;
+use ziggy_core::{Ziggy, ZiggyConfig};
+use ziggy_store::csv::{read_csv_str, CsvOptions};
+use ziggy_store::{StatsCache, Table};
+
+use crate::json::ApiError;
+
+/// Upper bound on resident tables; ingest beyond it is refused (409).
+pub const MAX_TABLES: usize = 256;
+
+/// A registered table with its shared engine.
+pub struct TableEntry {
+    name: String,
+    engine: Ziggy,
+}
+
+impl std::fmt::Debug for TableEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableEntry")
+            .field("name", &self.name)
+            .field("n_rows", &self.table().n_rows())
+            .field("n_cols", &self.table().n_cols())
+            .finish()
+    }
+}
+
+impl TableEntry {
+    /// The table's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared engine (thread-safe; characterize directly on it).
+    pub fn engine(&self) -> &Ziggy {
+        &self.engine
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Table {
+        self.engine.table()
+    }
+
+    /// The engine's statistics cache (for `/metrics`).
+    pub fn cache(&self) -> &StatsCache {
+        self.engine.cache()
+    }
+
+    /// The `{name, n_rows, n_cols}` summary object.
+    pub fn summary(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), Value::String(self.name.clone())),
+            (
+                "n_rows".into(),
+                Value::Number(serde_json::Number::U(self.table().n_rows() as u64)),
+            ),
+            (
+                "n_cols".into(),
+                Value::Number(serde_json::Number::U(self.table().n_cols() as u64)),
+            ),
+        ])
+    }
+}
+
+/// Thread-safe name → [`TableEntry`] map.
+#[derive(Default)]
+pub struct TableRegistry {
+    tables: RwLock<HashMap<String, Arc<TableEntry>>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+impl TableRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests CSV text as a new named table, building its shared engine.
+    pub fn insert_csv(
+        &self,
+        name: &str,
+        csv: &str,
+        config: ZiggyConfig,
+    ) -> Result<Arc<TableEntry>, ApiError> {
+        if !valid_name(name) {
+            return Err(ApiError::bad_request(
+                "table name must be 1-64 chars of [A-Za-z0-9_-]",
+            ));
+        }
+        let table = read_csv_str(csv, &CsvOptions::default())
+            .map_err(|e| ApiError::unprocessable(format!("CSV rejected: {e}")))?;
+        self.insert_table(name, table, config)
+    }
+
+    /// Registers an already-built table (used by `ziggy serve --demo` and
+    /// in-process benchmarks).
+    pub fn insert_table(
+        &self,
+        name: &str,
+        table: Table,
+        config: ZiggyConfig,
+    ) -> Result<Arc<TableEntry>, ApiError> {
+        if !valid_name(name) {
+            return Err(ApiError::bad_request(
+                "table name must be 1-64 chars of [A-Za-z0-9_-]",
+            ));
+        }
+        let entry = Arc::new(TableEntry {
+            name: name.to_string(),
+            engine: Ziggy::shared(Arc::new(table), config),
+        });
+        let mut tables = self.tables.write();
+        if tables.len() >= MAX_TABLES {
+            return Err(ApiError::conflict(format!(
+                "registry full ({MAX_TABLES} tables)"
+            )));
+        }
+        if tables.contains_key(name) {
+            return Err(ApiError::conflict(format!("table `{name}` already exists")));
+        }
+        tables.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks up a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<TableEntry>, ApiError> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ApiError::not_found(format!("no table named `{name}`")))
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.read().is_empty()
+    }
+
+    /// Summaries of all tables, sorted by name for stable output.
+    pub fn summaries(&self) -> Vec<Value> {
+        let mut entries: Vec<Arc<TableEntry>> = self.tables.read().values().cloned().collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries.iter().map(|e| e.summary()).collect()
+    }
+
+    /// Per-table cache counters for `/metrics`, sorted by name.
+    pub fn cache_stats(&self) -> Vec<Value> {
+        let mut entries: Vec<Arc<TableEntry>> = self.tables.read().values().cloned().collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+            .iter()
+            .map(|e| {
+                let c = e.cache().counters();
+                let (uni, pair, freq) = e.cache().sizes();
+                Value::Object(vec![
+                    ("name".into(), Value::String(e.name.clone())),
+                    (
+                        "cache".into(),
+                        Value::Object(vec![
+                            ("hits".into(), Value::Number(serde_json::Number::U(c.hits))),
+                            (
+                                "misses".into(),
+                                Value::Number(serde_json::Number::U(c.misses)),
+                            ),
+                            (
+                                "entries".into(),
+                                Value::Number(serde_json::Number::U((uni + pair + freq) as u64)),
+                            ),
+                        ]),
+                    ),
+                ])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "x,y\n1,2\n3,4\n5,6\n";
+
+    #[test]
+    fn ingest_and_lookup() {
+        let r = TableRegistry::new();
+        let e = r.insert_csv("t1", CSV, ZiggyConfig::default()).unwrap();
+        assert_eq!(e.table().n_rows(), 3);
+        assert_eq!(r.get("t1").unwrap().name(), "t1");
+        assert_eq!(r.len(), 1);
+        assert!(r.get("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_conflict() {
+        let r = TableRegistry::new();
+        r.insert_csv("t", CSV, ZiggyConfig::default()).unwrap();
+        let err = r.insert_csv("t", CSV, ZiggyConfig::default()).unwrap_err();
+        assert_eq!(err.status, 409);
+    }
+
+    #[test]
+    fn names_validated() {
+        let r = TableRegistry::new();
+        for bad in ["", "has space", "a/b", "x".repeat(65).as_str()] {
+            assert_eq!(
+                r.insert_csv(bad, CSV, ZiggyConfig::default())
+                    .unwrap_err()
+                    .status,
+                400,
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_csv_rejected() {
+        let r = TableRegistry::new();
+        let err = r.insert_csv("t", "", ZiggyConfig::default()).unwrap_err();
+        assert_eq!(err.status, 422);
+    }
+
+    #[test]
+    fn summaries_sorted() {
+        let r = TableRegistry::new();
+        r.insert_csv("b", CSV, ZiggyConfig::default()).unwrap();
+        r.insert_csv("a", CSV, ZiggyConfig::default()).unwrap();
+        let names: Vec<String> = r
+            .summaries()
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn engine_shared_across_clones() {
+        let r = TableRegistry::new();
+        r.insert_csv("t", "x,y\nz", ZiggyConfig::default()).ok();
+        let big: String = {
+            let mut s = String::from("a,b\n");
+            for i in 0..300 {
+                s.push_str(&format!("{},{}\n", i, i * 2));
+            }
+            s
+        };
+        r.insert_csv("big", &big, ZiggyConfig::default()).unwrap();
+        let e1 = r.get("big").unwrap();
+        let e2 = r.get("big").unwrap();
+        e1.engine().cache().uni(0).unwrap();
+        // Same engine: the second handle sees the first's cache entry.
+        assert_eq!(e2.engine().cache().sizes().0, 1);
+        assert_eq!(e2.engine().cache().counters().misses, 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! Dispatches parsed HTTP requests to the API handlers.
+
+use serde_json::Value;
+use ziggy_core::ZiggyConfig;
+
+use crate::http::{Request, Response};
+use crate::json::{parse_object, required_str, ApiError};
+use crate::metrics::Metrics;
+use crate::registry::TableRegistry;
+use crate::sessions::SessionManager;
+
+/// Shared server state: registry, sessions, metrics, engine defaults.
+#[derive(Default)]
+pub struct ServeState {
+    /// Ingested tables, one shared engine each.
+    pub registry: TableRegistry,
+    /// Live exploration sessions.
+    pub sessions: SessionManager,
+    /// Request/timing counters.
+    pub metrics: Metrics,
+    /// Engine configuration applied to every ingested table.
+    pub config: ZiggyConfig,
+}
+
+impl ServeState {
+    /// State with the given engine configuration.
+    pub fn with_config(config: ZiggyConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+}
+
+fn json_response(status: u16, value: &Value) -> Response {
+    Response::new(
+        status,
+        serde_json::to_string(value).expect("value trees always render"),
+    )
+}
+
+/// Routes one request; this is the server's single entry point.
+pub fn route(state: &ServeState, req: &Request) -> Response {
+    state.metrics.requests_total.inc();
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let result = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => handle_healthz(),
+        ("GET", ["metrics"]) => handle_metrics(state),
+        ("POST", ["tables"]) => handle_create_table(state, &req.body),
+        ("GET", ["tables"]) => handle_list_tables(state),
+        ("POST", ["tables", name, "characterize"]) => handle_characterize(state, name, &req.body),
+        ("POST", ["sessions"]) => handle_create_session(state, &req.body),
+        ("POST", ["sessions", id, "step"]) => handle_session_step(state, id, &req.body),
+        (
+            _,
+            ["healthz"]
+            | ["metrics"]
+            | ["tables"]
+            | ["tables", _, "characterize"]
+            | ["sessions"]
+            | ["sessions", _, "step"],
+        ) => Err(ApiError::method_not_allowed()),
+        _ => Err(ApiError::not_found(format!("no route for {}", req.path))),
+    };
+    match result {
+        Ok(response) => response,
+        Err(e) => {
+            state.metrics.errors_total.inc();
+            json_response(e.status, &e.body())
+        }
+    }
+}
+
+fn handle_healthz() -> Result<Response, ApiError> {
+    Ok(json_response(
+        200,
+        &Value::Object(vec![("status".into(), Value::String("ok".into()))]),
+    ))
+}
+
+fn handle_metrics(state: &ServeState) -> Result<Response, ApiError> {
+    let mut body = match state.metrics.to_json() {
+        Value::Object(pairs) => pairs,
+        _ => unreachable!("metrics render as an object"),
+    };
+    body.push(("tables".into(), Value::Array(state.registry.cache_stats())));
+    Ok(json_response(200, &Value::Object(body)))
+}
+
+fn handle_create_table(state: &ServeState, body: &[u8]) -> Result<Response, ApiError> {
+    let parsed = parse_object(body)?;
+    let name = required_str(&parsed, "name")?;
+    let csv = required_str(&parsed, "csv")?;
+    let entry = state.registry.insert_csv(name, csv, state.config.clone())?;
+    state.metrics.tables_created.inc();
+    Ok(json_response(201, &entry.summary()))
+}
+
+fn handle_list_tables(state: &ServeState) -> Result<Response, ApiError> {
+    state.metrics.tables_listed.inc();
+    Ok(json_response(
+        200,
+        &Value::Object(vec![(
+            "tables".into(),
+            Value::Array(state.registry.summaries()),
+        )]),
+    ))
+}
+
+fn handle_characterize(state: &ServeState, name: &str, body: &[u8]) -> Result<Response, ApiError> {
+    let parsed = parse_object(body)?;
+    let query = required_str(&parsed, "query")?;
+    let entry = state.registry.get(name)?;
+    let report = entry.engine().characterize(query)?;
+    state.metrics.record_characterization(&report.timings);
+    // The body is exactly the serialized report — the same bytes an
+    // in-process `serde_json::to_string(&report)` produces.
+    Ok(Response::new(
+        200,
+        serde_json::to_string(&report).expect("reports always render"),
+    ))
+}
+
+fn handle_create_session(state: &ServeState, body: &[u8]) -> Result<Response, ApiError> {
+    let parsed = parse_object(body)?;
+    let table = required_str(&parsed, "table")?;
+    let entry = state.registry.get(table)?;
+    let id = state.sessions.create(entry)?;
+    state.metrics.sessions_created.inc();
+    Ok(json_response(
+        201,
+        &Value::Object(vec![
+            (
+                "session_id".into(),
+                Value::Number(serde_json::Number::U(id)),
+            ),
+            ("table".into(), Value::String(table.to_string())),
+        ]),
+    ))
+}
+
+fn handle_session_step(state: &ServeState, id: &str, body: &[u8]) -> Result<Response, ApiError> {
+    let id: u64 = id
+        .parse()
+        .map_err(|_| ApiError::bad_request("session id must be an integer"))?;
+    let parsed = parse_object(body)?;
+    let query = required_str(&parsed, "query")?;
+    let outcome = state.sessions.step(id, query)?;
+    state
+        .metrics
+        .record_characterization(&outcome.report.timings);
+    state.metrics.session_steps.inc();
+    let diff = match &outcome.diff {
+        Some(d) => serde_json::to_value(d).expect("diffs always render"),
+        None => Value::Null,
+    };
+    Ok(json_response(
+        200,
+        &Value::Object(vec![
+            (
+                "step".into(),
+                Value::Number(serde_json::Number::U(outcome.step as u64)),
+            ),
+            (
+                "report".into(),
+                serde_json::to_value(&outcome.report).expect("reports always render"),
+            ),
+            ("diff".into(), diff),
+        ]),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn demo_csv() -> String {
+        let mut csv = String::from("key,hot,cold\n");
+        for i in 0..200 {
+            csv.push_str(&format!(
+                "{},{},{}\n",
+                i,
+                if i >= 150 { 25 } else { 0 } + (i * 13) % 7,
+                (i * 7919) % 31
+            ));
+        }
+        csv
+    }
+
+    fn state_with_table(name: &str) -> ServeState {
+        let state = ServeState::default();
+        state
+            .registry
+            .insert_csv(name, &demo_csv(), ZiggyConfig::default())
+            .unwrap();
+        state
+    }
+
+    #[test]
+    fn healthz_ok() {
+        let state = ServeState::default();
+        let r = route(&state, &request("GET", "/healthz", ""));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, r#"{"status":"ok"}"#);
+    }
+
+    #[test]
+    fn full_table_flow() {
+        let state = ServeState::default();
+        let body = serde_json::to_string(&serde_json::Value::Object(vec![
+            ("name".into(), Value::String("demo".into())),
+            ("csv".into(), Value::String(demo_csv())),
+        ]))
+        .unwrap();
+        let r = route(&state, &request("POST", "/tables", &body));
+        assert_eq!(r.status, 201, "{}", r.body);
+        assert!(r.body.contains("\"n_rows\":200"), "{}", r.body);
+
+        let r = route(&state, &request("GET", "/tables", ""));
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"demo\""));
+
+        let r = route(
+            &state,
+            &request(
+                "POST",
+                "/tables/demo/characterize",
+                r#"{"query": "key >= 150"}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"views\""), "{}", r.body);
+        assert_eq!(state.metrics.characterizations.get(), 1);
+    }
+
+    #[test]
+    fn session_flow_with_diff() {
+        let state = state_with_table("t");
+        let r = route(&state, &request("POST", "/sessions", r#"{"table":"t"}"#));
+        assert_eq!(r.status, 201, "{}", r.body);
+        assert!(r.body.contains("\"session_id\":1"), "{}", r.body);
+
+        let r = route(
+            &state,
+            &request("POST", "/sessions/1/step", r#"{"query":"key >= 150"}"#),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"step\":1"), "{}", r.body);
+        assert!(r.body.contains("\"diff\":null"), "{}", r.body);
+
+        let r = route(
+            &state,
+            &request("POST", "/sessions/1/step", r#"{"query":"key >= 150"}"#),
+        );
+        assert!(r.body.contains("\"step\":2"), "{}", r.body);
+        assert!(r.body.contains("\"persisted\""), "{}", r.body);
+    }
+
+    #[test]
+    fn errors_map_to_statuses() {
+        let state = state_with_table("t");
+        for (method, path, body, want) in [
+            ("GET", "/nope", "", 404),
+            ("DELETE", "/tables", "", 405),
+            ("POST", "/tables", "not json", 400),
+            ("POST", "/tables", r#"{"name":"t2"}"#, 400),
+            (
+                "POST",
+                "/tables/absent/characterize",
+                r#"{"query":"x>1"}"#,
+                404,
+            ),
+            (
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key >>> 1"}"#,
+                422,
+            ),
+            (
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key < -5"}"#,
+                422,
+            ),
+            ("POST", "/sessions", r#"{"table":"absent"}"#, 404),
+            (
+                "POST",
+                "/sessions/99/step",
+                r#"{"query":"key >= 150"}"#,
+                404,
+            ),
+            (
+                "POST",
+                "/sessions/zzz/step",
+                r#"{"query":"key >= 150"}"#,
+                400,
+            ),
+        ] {
+            let r = route(&state, &request(method, path, body));
+            assert_eq!(r.status, want, "{method} {path}: {}", r.body);
+        }
+        assert_eq!(state.metrics.errors_total.get(), 10);
+    }
+
+    #[test]
+    fn metrics_include_cache_counters() {
+        let state = state_with_table("t");
+        route(
+            &state,
+            &request(
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key >= 150"}"#,
+            ),
+        );
+        let r = route(&state, &request("GET", "/metrics", ""));
+        assert_eq!(r.status, 200);
+        let v = serde_json::from_str_value(&r.body).unwrap();
+        let tables = v.get("tables").unwrap().as_array().unwrap();
+        assert_eq!(tables.len(), 1);
+        let cache = tables[0].get("cache").unwrap();
+        assert!(cache.get("misses").unwrap().as_u64().unwrap() > 0);
+        assert!(v
+            .get("stage_timings_us")
+            .unwrap()
+            .get("preparation")
+            .unwrap()
+            .as_u64()
+            .is_some());
+    }
+}

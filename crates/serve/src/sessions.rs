@@ -1,0 +1,228 @@
+//! Server-side exploration sessions.
+//!
+//! A session pins a table and accumulates its report history so each step
+//! can be diffed against the previous one ([`ziggy_core::diff_reports`]),
+//! mirroring the library's `ExplorationSession` across the network
+//! boundary. Sessions do **not** own an engine: they borrow the table's
+//! shared engine from the registry, so session traffic enjoys the same
+//! once-per-table statistics as direct characterizations.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use ziggy_core::{diff_reports, CharacterizationReport, ReportDiff};
+
+use crate::json::ApiError;
+use crate::registry::TableEntry;
+
+/// Upper bound on live sessions; creation beyond it is refused (409).
+pub const MAX_SESSIONS: usize = 4096;
+
+/// Cap on per-session history length; older reports are dropped so
+/// long-lived sessions cannot grow without bound.
+const MAX_HISTORY: usize = 64;
+
+/// One client's exploration state.
+pub struct Session {
+    table: Arc<TableEntry>,
+    history: Vec<CharacterizationReport>,
+    /// Successful steps taken over the session's lifetime (monotonic —
+    /// unlike `history.len()`, which is capped at [`MAX_HISTORY`]).
+    steps_taken: usize,
+}
+
+impl Session {
+    /// The table this session explores.
+    pub fn table(&self) -> &Arc<TableEntry> {
+        &self.table
+    }
+
+    /// Steps taken so far.
+    pub fn len(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// True before the first step.
+    pub fn is_empty(&self) -> bool {
+        self.steps_taken == 0
+    }
+}
+
+/// The outcome of one session step.
+#[derive(Debug)]
+pub struct StepOutcome {
+    /// 1-based index of this step in the session.
+    pub step: usize,
+    /// The fresh report.
+    pub report: CharacterizationReport,
+    /// Diff against the previous step (`None` on the first step).
+    pub diff: Option<ReportDiff>,
+}
+
+/// Thread-safe id → [`Session`] map.
+#[derive(Default)]
+pub struct SessionManager {
+    next_id: AtomicU64,
+    sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>,
+}
+
+impl SessionManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a session over `table`, returning its id.
+    pub fn create(&self, table: Arc<TableEntry>) -> Result<u64, ApiError> {
+        let mut sessions = self.sessions.write();
+        if sessions.len() >= MAX_SESSIONS {
+            return Err(ApiError::conflict(format!(
+                "session limit reached ({MAX_SESSIONS})"
+            )));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        sessions.insert(
+            id,
+            Arc::new(Mutex::new(Session {
+                table,
+                history: Vec::new(),
+                steps_taken: 0,
+            })),
+        );
+        Ok(id)
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// True when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.read().is_empty()
+    }
+
+    /// Runs one step: characterize `query` on the session's shared
+    /// engine, diff against the previous report, append to history.
+    ///
+    /// Only the history bookkeeping holds the session lock; the engine
+    /// call itself is lock-free with respect to other sessions, so
+    /// concurrent clients on different sessions (even on the same table)
+    /// proceed in parallel.
+    pub fn step(&self, id: u64, query: &str) -> Result<StepOutcome, ApiError> {
+        let session = self
+            .sessions
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))?;
+
+        // Characterize outside the session lock: failed steps must not
+        // pollute history (matching `ExplorationSession::explore`).
+        let table = session.lock().table.clone();
+        let report = table.engine().characterize(query)?;
+
+        let mut s = session.lock();
+        let diff = s.history.last().map(|prev| diff_reports(prev, &report));
+        s.history.push(report.clone());
+        if s.history.len() > MAX_HISTORY {
+            s.history.remove(0);
+        }
+        s.steps_taken += 1;
+        Ok(StepOutcome {
+            step: s.steps_taken,
+            report,
+            diff,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::TableRegistry;
+    use ziggy_core::ZiggyConfig;
+
+    fn registry_with_table() -> (TableRegistry, Arc<TableEntry>) {
+        let mut csv = String::from("key,hot,cold\n");
+        for i in 0..200 {
+            csv.push_str(&format!(
+                "{},{},{}\n",
+                i,
+                if i >= 150 { 25 } else { 0 } + (i * 13) % 7,
+                (i * 7919) % 31
+            ));
+        }
+        let r = TableRegistry::new();
+        let e = r.insert_csv("t", &csv, ZiggyConfig::default()).unwrap();
+        (r, e)
+    }
+
+    #[test]
+    fn first_step_has_no_diff() {
+        let (_r, entry) = registry_with_table();
+        let m = SessionManager::new();
+        let id = m.create(entry).unwrap();
+        let out = m.step(id, "key >= 150").unwrap();
+        assert_eq!(out.step, 1);
+        assert!(out.diff.is_none());
+        assert!(!out.report.views.is_empty());
+    }
+
+    #[test]
+    fn identical_steps_are_stable() {
+        let (_r, entry) = registry_with_table();
+        let m = SessionManager::new();
+        let id = m.create(entry).unwrap();
+        m.step(id, "key >= 150").unwrap();
+        let out = m.step(id, "key >= 150").unwrap();
+        assert_eq!(out.step, 2);
+        assert!(out.diff.unwrap().is_stable());
+    }
+
+    #[test]
+    fn failed_steps_do_not_pollute_history() {
+        let (_r, entry) = registry_with_table();
+        let m = SessionManager::new();
+        let id = m.create(entry).unwrap();
+        m.step(id, "key >= 150").unwrap();
+        assert_eq!(m.step(id, "nonsense >>>").unwrap_err().status, 422);
+        let out = m.step(id, "key >= 150").unwrap();
+        assert_eq!(out.step, 2);
+    }
+
+    #[test]
+    fn step_counter_survives_history_truncation() {
+        let (_r, entry) = registry_with_table();
+        let m = SessionManager::new();
+        let id = m.create(entry).unwrap();
+        let mut last = 0;
+        for _ in 0..(super::MAX_HISTORY + 3) {
+            last = m.step(id, "key >= 150").unwrap().step;
+        }
+        assert_eq!(last, super::MAX_HISTORY + 3, "step must stay monotonic");
+    }
+
+    #[test]
+    fn unknown_session_404s() {
+        let m = SessionManager::new();
+        assert_eq!(m.step(99, "x > 1").unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn sessions_share_the_table_engine() {
+        let (r, entry) = registry_with_table();
+        let m = SessionManager::new();
+        let a = m.create(Arc::clone(&entry)).unwrap();
+        let b = m.create(entry).unwrap();
+        m.step(a, "key >= 150").unwrap();
+        let misses_after_first = r.get("t").unwrap().cache().counters().misses;
+        m.step(b, "key >= 150").unwrap();
+        let misses_after_second = r.get("t").unwrap().cache().counters().misses;
+        // The second session's identical query is fully served from the
+        // shared cache: no new whole-table scans.
+        assert_eq!(misses_after_first, misses_after_second);
+    }
+}

@@ -1,0 +1,354 @@
+//! Continuous probability distributions backing the hypothesis tests.
+//!
+//! Four classical distributions — [`Normal`], [`StudentT`], [`ChiSquared`]
+//! and [`FisherF`] — unified behind [`ContinuousDistribution`]. CDFs are
+//! computed from the regularized special functions in [`crate::special`];
+//! quantiles invert the CDF (closed-form with Newton polish for the
+//! normal, bracketed bisection elsewhere, which is plenty fast for the
+//! engine's per-view significance tests).
+
+use crate::error::{Result, StatsError};
+use crate::special::{erfc, inverse_normal_cdf, reg_gamma_p, reg_gamma_q, reg_inc_beta};
+
+const SQRT_2: f64 = std::f64::consts::SQRT_2;
+
+/// A continuous distribution with a cumulative distribution function.
+pub trait ContinuousDistribution {
+    /// `P(X <= x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Survival function `P(X > x)`; override when a direct computation
+    /// is more accurate in the upper tail.
+    fn sf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Inverse CDF at probability `p ∈ (0, 1)`.
+    fn quantile(&self, p: f64) -> Result<f64>;
+}
+
+fn check_probability(p: f64) -> Result<()> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "p",
+            value: p,
+            expected: "a probability in (0, 1)",
+        });
+    }
+    Ok(())
+}
+
+fn check_positive(name: &'static str, value: f64) -> Result<()> {
+    if value <= 0.0 || value.is_nan() || !value.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name,
+            value,
+            expected: "a finite positive number",
+        });
+    }
+    Ok(())
+}
+
+/// Inverts a monotone CDF by bracketed bisection. `lo`/`hi` must bracket
+/// the target probability; both are finite.
+fn bisect_quantile(cdf: impl Fn(f64) -> f64, mut lo: f64, mut hi: f64, p: f64) -> f64 {
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break; // No representable midpoint left.
+        }
+        if cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Expands `hi` geometrically until `cdf(hi) >= p` (support `[0, ∞)`).
+fn upper_bracket(cdf: impl Fn(f64) -> f64, p: f64, start: f64) -> f64 {
+    let mut hi = start.max(1.0);
+    for _ in 0..200 {
+        if cdf(hi) >= p {
+            return hi;
+        }
+        hi *= 2.0;
+    }
+    hi
+}
+
+// --------------------------------------------------------------------
+// Normal
+// --------------------------------------------------------------------
+
+/// The normal distribution `N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// A normal with the given mean and standard deviation (`sigma > 0`).
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        check_positive("sigma", sigma)?;
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mu",
+                value: mu,
+                expected: "a finite number",
+            });
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self {
+            mu: 0.0,
+            sigma: 1.0,
+        }
+    }
+
+    /// Two-sided p-value of a standard-normal statistic `z`:
+    /// `P(|Z| >= |z|)`.
+    pub fn two_sided_p(z: f64) -> f64 {
+        erfc(z.abs() / SQRT_2).min(1.0)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn cdf(&self, x: f64) -> f64 {
+        0.5 * erfc(-(x - self.mu) / (self.sigma * SQRT_2))
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        0.5 * erfc((x - self.mu) / (self.sigma * SQRT_2))
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        let mut x = self.mu + self.sigma * inverse_normal_cdf(p)?;
+        // Two Newton polish steps push the closed-form approximation to
+        // full double precision.
+        for _ in 0..2 {
+            let density = self.pdf(x);
+            if density > 0.0 {
+                x -= (self.cdf(x) - p) / density;
+            }
+        }
+        Ok(x)
+    }
+}
+
+// --------------------------------------------------------------------
+// Student's t
+// --------------------------------------------------------------------
+
+/// Student's t distribution with `df > 0` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    df: f64,
+}
+
+impl StudentT {
+    /// A t distribution with `df` degrees of freedom.
+    pub fn new(df: f64) -> Result<Self> {
+        check_positive("df", df)?;
+        Ok(Self { df })
+    }
+
+    /// Two-sided p-value of a t statistic: `P(|T| >= |t|)`.
+    pub fn two_sided_p(&self, t: f64) -> f64 {
+        if t == 0.0 {
+            return 1.0;
+        }
+        let x = self.df / (self.df + t * t);
+        reg_inc_beta(0.5 * self.df, 0.5, x).unwrap_or(1.0).min(1.0)
+    }
+}
+
+impl ContinuousDistribution for StudentT {
+    fn cdf(&self, x: f64) -> f64 {
+        // One-sided tail from the two-sided mass, mirrored for x < 0 so
+        // the symmetry cdf(-x) = 1 - cdf(x) holds exactly.
+        let half_tail = 0.5 * self.two_sided_p(x);
+        if x >= 0.0 {
+            1.0 - half_tail
+        } else {
+            half_tail
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        // Mirror onto the upper half for a one-sided bracket.
+        if p < 0.5 {
+            return Ok(-self.quantile(1.0 - p)?);
+        }
+        let hi = upper_bracket(|x| self.cdf(x), p, 1.0);
+        Ok(bisect_quantile(|x| self.cdf(x), 0.0, hi, p))
+    }
+}
+
+// --------------------------------------------------------------------
+// Chi-squared
+// --------------------------------------------------------------------
+
+/// The chi-squared distribution with `df > 0` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    df: f64,
+}
+
+impl ChiSquared {
+    /// A chi-squared distribution with `df` degrees of freedom.
+    pub fn new(df: f64) -> Result<Self> {
+        check_positive("df", df)?;
+        Ok(Self { df })
+    }
+}
+
+impl ContinuousDistribution for ChiSquared {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        reg_gamma_p(0.5 * self.df, 0.5 * x).unwrap_or(1.0)
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        reg_gamma_q(0.5 * self.df, 0.5 * x).unwrap_or(0.0)
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        let hi = upper_bracket(|x| self.cdf(x), p, self.df.max(1.0) * 2.0);
+        Ok(bisect_quantile(|x| self.cdf(x), 0.0, hi, p))
+    }
+}
+
+// --------------------------------------------------------------------
+// Fisher's F
+// --------------------------------------------------------------------
+
+/// The F distribution with `d1 > 0` and `d2 > 0` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FisherF {
+    d1: f64,
+    d2: f64,
+}
+
+impl FisherF {
+    /// An F distribution with numerator/denominator degrees of freedom.
+    pub fn new(d1: f64, d2: f64) -> Result<Self> {
+        check_positive("d1", d1)?;
+        check_positive("d2", d2)?;
+        Ok(Self { d1, d2 })
+    }
+}
+
+impl ContinuousDistribution for FisherF {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = self.d1 * x / (self.d1 * x + self.d2);
+        reg_inc_beta(0.5 * self.d1, 0.5 * self.d2, z).unwrap_or(1.0)
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        // Upper tail via the mirrored incomplete beta for accuracy.
+        let z = self.d2 / (self.d1 * x + self.d2);
+        reg_inc_beta(0.5 * self.d2, 0.5 * self.d1, z).unwrap_or(0.0)
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        let hi = upper_bracket(|x| self.cdf(x), p, 2.0);
+        Ok(bisect_quantile(|x| self.cdf(x), 0.0, hi, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn normal_known_values() {
+        let n = Normal::standard();
+        close(n.cdf(0.0), 0.5, 1e-12);
+        close(n.cdf(1.959_963_984_540_054), 0.975, 1e-9);
+        close(n.quantile(0.975).unwrap(), 1.959_963_984_540_054, 1e-9);
+        close(Normal::two_sided_p(1.959_963_984_540_054), 0.05, 1e-9);
+    }
+
+    #[test]
+    fn shifted_normal() {
+        let n = Normal::new(10.0, 2.0).unwrap();
+        close(n.cdf(10.0), 0.5, 1e-12);
+        close(n.cdf(12.0), Normal::standard().cdf(1.0), 1e-12);
+        close(n.quantile(0.5).unwrap(), 10.0, 1e-9);
+    }
+
+    #[test]
+    fn t_known_values() {
+        // R: pt(2.0, df = 10) = 0.9633060
+        let t = StudentT::new(10.0).unwrap();
+        close(t.cdf(2.0), 0.963_306_0, 1e-6);
+        // R: qt(0.975, df = 10) = 2.228139
+        close(t.quantile(0.975).unwrap(), 2.228_139, 1e-5);
+        close(t.two_sided_p(2.228_139), 0.05, 1e-5);
+    }
+
+    #[test]
+    fn chi2_known_values() {
+        // R: pchisq(3.84, df = 1) = 0.9499565
+        let c = ChiSquared::new(1.0).unwrap();
+        close(c.cdf(3.84), 0.949_956_5, 1e-6);
+        // R: qchisq(0.95, df = 5) = 11.0705
+        let c5 = ChiSquared::new(5.0).unwrap();
+        close(c5.quantile(0.95).unwrap(), 11.070_5, 1e-4);
+        close(c5.cdf(11.0705) + c5.sf(11.0705), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn f_known_values() {
+        // At x = 3, z = d1*x/(d1*x + d2) = 1/2 and I_0.5(2, 6) is the
+        // binomial sum P(Bin(7, 1/2) >= 2) = 120/128 exactly.
+        let f = FisherF::new(4.0, 12.0).unwrap();
+        close(f.cdf(3.0), 120.0 / 128.0, 1e-10);
+        // Equal degrees of freedom: the median is exactly 1.
+        let sym = FisherF::new(6.0, 6.0).unwrap();
+        close(sym.cdf(1.0), 0.5, 1e-10);
+        close(sym.quantile(0.5).unwrap(), 1.0, 1e-9);
+        close(f.sf(3.0) + f.cdf(3.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(StudentT::new(-1.0).is_err());
+        assert!(ChiSquared::new(0.0).is_err());
+        assert!(FisherF::new(1.0, f64::INFINITY).is_err());
+        assert!(Normal::standard().quantile(0.0).is_err());
+        assert!(Normal::standard().quantile(1.5).is_err());
+    }
+}

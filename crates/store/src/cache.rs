@@ -16,8 +16,16 @@
 //! [`StatsCache`] memoizes whole-table [`UniMoments`], [`PairMoments`] and
 //! [`FrequencyTable`]s behind `parking_lot` RwLocks, making it shareable
 //! across threads and across successive queries.
+//!
+//! The cache *owns* its table through an [`Arc`], so engines built on it
+//! have no borrowed lifetime and can be shared freely between worker
+//! threads (the serving layer shares one cache per table between
+//! clients). Hit/miss counters expose the shared-computation win to
+//! instrumentation such as `ziggy-serve`'s `/metrics` endpoint.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 use ziggy_stats::{FrequencyTable, PairMoments, UniMoments};
@@ -26,40 +34,94 @@ use crate::error::{Result, StoreError};
 use crate::mask::Bitmask;
 use crate::table::Table;
 
+/// Snapshot of a cache's hit/miss counters (see
+/// [`StatsCache::counters`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups answered from a memoized entry.
+    pub hits: u64,
+    /// Lookups that had to scan the table.
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Total lookups observed.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
 /// Memoized whole-table statistics for one [`Table`].
 ///
-/// The cache borrows the table, guaranteeing the statistics always refer
-/// to the data they were computed from.
-pub struct StatsCache<'t> {
-    table: &'t Table,
+/// The cache holds the table via `Arc`, guaranteeing the statistics
+/// always refer to the data they were computed from while remaining
+/// shareable across threads without a borrowed lifetime.
+pub struct StatsCache {
+    table: Arc<Table>,
     uni: RwLock<HashMap<usize, UniMoments>>,
     pair: RwLock<HashMap<(usize, usize), PairMoments>>,
     freq: RwLock<HashMap<usize, FrequencyTable>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
-impl<'t> StatsCache<'t> {
-    /// Creates an empty cache over `table`.
-    pub fn new(table: &'t Table) -> Self {
+impl StatsCache {
+    /// Creates an empty cache over a copy of `table`. When the table is
+    /// already behind an `Arc` (the serving path), use
+    /// [`StatsCache::shared`] to avoid the deep copy.
+    pub fn new(table: &Table) -> Self {
+        Self::shared(Arc::new(table.clone()))
+    }
+
+    /// Creates an empty cache sharing ownership of `table` (no copy).
+    pub fn shared(table: Arc<Table>) -> Self {
         Self {
             table,
             uni: RwLock::new(HashMap::new()),
             pair: RwLock::new(HashMap::new()),
             freq: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
     /// The table this cache serves.
-    pub fn table(&self) -> &'t Table {
-        self.table
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Shared handle to the table this cache serves.
+    pub fn table_arc(&self) -> Arc<Table> {
+        Arc::clone(&self.table)
+    }
+
+    /// Hit/miss counters accumulated since construction. A miss is a
+    /// lookup that paid a full-table scan; everything else was shared
+    /// computation.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Whole-table univariate moments of numeric column `col` (cached).
     pub fn uni(&self, col: usize) -> Result<UniMoments> {
         if let Some(m) = self.uni.read().get(&col) {
+            self.record(true);
             return Ok(*m);
         }
         let data = self.table.numeric(col)?;
         let m = UniMoments::from_slice(data);
+        self.record(false);
         self.uni.write().insert(col, m);
         Ok(m)
     }
@@ -69,11 +131,13 @@ impl<'t> StatsCache<'t> {
     pub fn pair(&self, a: usize, b: usize) -> Result<PairMoments> {
         let key = (a.min(b), a.max(b));
         if let Some(m) = self.pair.read().get(&key) {
+            self.record(true);
             return Ok(*m);
         }
         let xs = self.table.numeric(key.0)?;
         let ys = self.table.numeric(key.1)?;
         let m = PairMoments::from_slices(xs, ys)?;
+        self.record(false);
         self.pair.write().insert(key, m);
         Ok(m)
     }
@@ -81,6 +145,7 @@ impl<'t> StatsCache<'t> {
     /// Whole-table frequency table of categorical column `col` (cached).
     pub fn freq(&self, col: usize) -> Result<FrequencyTable> {
         if let Some(t) = self.freq.read().get(&col) {
+            self.record(true);
             return Ok(t.clone());
         }
         let (codes, labels) = self.table.categorical(col)?;
@@ -94,6 +159,7 @@ impl<'t> StatsCache<'t> {
             }),
             labels.len(),
         );
+        self.record(false);
         self.freq.write().insert(col, t.clone());
         Ok(t)
     }
@@ -310,6 +376,34 @@ mod tests {
         let inside = masked_uni(&t, 0, &empty).unwrap();
         let derived = cache.uni_complement(0, &inside).unwrap();
         assert_eq!(derived.count(), cache.uni(0).unwrap().count());
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        assert_eq!(cache.counters(), CacheCounters::default());
+        cache.uni(0).unwrap();
+        cache.uni(0).unwrap();
+        cache.pair(0, 1).unwrap();
+        cache.freq(2).unwrap();
+        cache.freq(2).unwrap();
+        let c = cache.counters();
+        assert_eq!(c.misses, 3, "{c:?}");
+        assert_eq!(c.hits, 2, "{c:?}");
+        assert_eq!(c.total(), 5);
+        // Errors count as neither.
+        assert!(cache.uni(2).is_err());
+        assert_eq!(cache.counters().total(), 5);
+    }
+
+    #[test]
+    fn shared_cache_has_no_copy() {
+        let t = Arc::new(sample());
+        let cache = StatsCache::shared(Arc::clone(&t));
+        assert!(Arc::ptr_eq(&t, &cache.table_arc()));
+        cache.uni(0).unwrap();
+        assert_eq!(cache.sizes().0, 1);
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API subset the
+//! Ziggy benches use: [`Criterion::bench_function`],
+//! [`Criterion::bench_with_input`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark warms up briefly, then
+//! times batches until enough wall-clock signal accumulates, printing
+//! `name: time/iter` lines. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark label, possibly parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Label from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Runs closures under timing; passed to bench bodies as `b`.
+pub struct Bencher {
+    /// Nanoseconds per iteration, measured by the last [`Bencher::iter`].
+    pub(crate) ns_per_iter: f64,
+    pub(crate) min_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly and records the mean cost per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-call estimate.
+        let t0 = Instant::now();
+        black_box(f());
+        let single = t0.elapsed();
+
+        let budget = self.min_time;
+        let mut iters: u64 = if single.is_zero() {
+            1024
+        } else {
+            (budget.as_nanos() / single.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let mut total = Duration::ZERO;
+        let mut done: u64 = 0;
+        while total < budget && done < 10_000_000 {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            total += t.elapsed();
+            done += iters;
+            iters = iters.saturating_mul(2).min(1_000_000);
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / done.max(1) as f64;
+    }
+}
+
+fn run_one(label: &str, min_time: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        ns_per_iter: f64::NAN,
+        min_time,
+    };
+    f(&mut b);
+    if b.ns_per_iter.is_nan() {
+        println!("bench {label}: <no iter() call>");
+    } else {
+        println!("bench {label}: {}", format_ns(b.ns_per_iter));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns/iter")
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    min_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            min_time: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors real criterion's CLI hook; accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benches a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id.label, self.min_time, |b| f(b));
+        self
+    }
+
+    /// Benches a function against one input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id.label, self.min_time, |b| f(b, input));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            min_time: self.min_time,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    min_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Mirrors criterion's sample-size knob; scales the time budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Fewer samples in real criterion means the caller expects slow
+        // iterations; keep the budget modest either way.
+        self.min_time = Duration::from_millis((n as u64).clamp(10, 100));
+        self
+    }
+
+    /// Mirrors criterion's measurement-time knob.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.min_time = d.min(Duration::from_millis(200));
+        self
+    }
+
+    /// Benches a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.min_time, |b| {
+            f(b)
+        });
+        self
+    }
+
+    /// Benches a function against one input within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.min_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            min_time: Duration::from_millis(2),
+        };
+        c.bench_function("smoke", |b| b.iter(|| black_box((0..100u64).sum::<u64>())));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("in", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,22 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy drawing uniformly from a fixed list.
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.items[rng.usize_in(0, self.items.len())].clone()
+    }
+}
+
+/// Uniform choice among `items` (must be non-empty).
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires at least one item");
+    Select { items }
+}

@@ -1,0 +1,39 @@
+//! Deserialization errors for the `serde` shim.
+
+use crate::value::Value;
+
+/// A deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// A required field was absent from the object.
+    pub fn missing_field(type_name: &str, field: &str) -> Self {
+        Self::new(format!("missing field `{field}` for `{type_name}`"))
+    }
+
+    /// The value had the wrong JSON type.
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        Self::new(format!("expected {expected}, got {}", got.type_name()))
+    }
+
+    /// No enum variant matched the value.
+    pub fn unknown_variant(type_name: &str, got: &str) -> Self {
+        Self::new(format!("unknown variant `{got}` for enum `{type_name}`"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

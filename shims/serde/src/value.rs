@@ -1,0 +1,163 @@
+//! The JSON-shaped value tree shared by the `serde` and `serde_json`
+//! shims.
+
+/// A JSON number, kept in its narrowest faithful representation so `u64`
+/// timings survive round trips that `f64` could not represent exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    I(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U(u64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy above 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::I(i) => i as f64,
+            Number::U(u) => u as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// The value as `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::I(i) if i >= 0 => Some(i as u64),
+            Number::U(u) => Some(u),
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I(i) => Some(i),
+            Number::U(u) if u <= i64::MAX as u64 => Some(u as i64),
+            Number::F(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Range-checked integer conversion used by the primitive
+    /// `Deserialize` impls.
+    pub fn to_int<T>(&self, type_name: &str) -> Result<T, crate::de::Error>
+    where
+        T: TryFrom<i64> + TryFrom<u64>,
+    {
+        if let Some(u) = self.as_u64() {
+            if let Ok(x) = T::try_from(u) {
+                return Ok(x);
+            }
+        }
+        if let Some(i) = self.as_i64() {
+            if let Ok(x) = T::try_from(i) {
+                return Ok(x);
+            }
+        }
+        Err(crate::de::Error::new(format!(
+            "number {self:?} out of range for {type_name}"
+        )))
+    }
+}
+
+/// A JSON value tree. Objects preserve insertion order (a `Vec` of
+/// pairs), which keeps serialized output deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An ordered set of key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object's pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup on objects (first match wins); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|pairs| find(pairs, key))
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Linear key lookup in an object's pair list (objects are small).
+pub fn find<'a>(pairs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}

@@ -1,0 +1,521 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize, Deserialize)]` against the value-tree
+//! traits of the sibling `serde` shim, parsing the item's token stream by
+//! hand (no `syn`/`quote`, which are unavailable offline).
+//!
+//! Supported shapes: structs with named fields, tuple structs (newtypes
+//! serialize transparently, wider tuples as arrays), unit structs, and
+//! enums with unit / tuple / struct variants (externally tagged, like
+//! real serde). Supported field attributes: `#[serde(skip)]`,
+//! `#[serde(default)]`, `#[serde(default = "path")]`. Generics are not
+//! supported and produce a compile error naming the offending type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+    /// `Some(None)` for `#[serde(default)]`, `Some(Some(path))` for
+    /// `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+    is_option: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// --------------------------------------------------------------------
+// Parsing
+// --------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    // Outer attributes and visibility.
+    skip_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kw = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde shim derive: enum `{name}` has no body"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Consumes leading `#[...]` attribute groups, returning the raw streams.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Vec<TokenStream> {
+    let mut attrs = Vec::new();
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                attrs.push(g.stream());
+                *pos += 1;
+            }
+            _ => panic!("serde shim derive: malformed attribute"),
+        }
+    }
+    attrs
+}
+
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) {
+    let _ = take_attrs(tokens, pos);
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parses `serde(...)` options out of one field's attributes.
+fn serde_options(attrs: &[TokenStream]) -> (bool, Option<Option<String>>) {
+    let mut skip = false;
+    let mut default = None;
+    for attr in attrs {
+        let toks: Vec<TokenTree> = attr.clone().into_iter().collect();
+        match toks.first() {
+            Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+            _ => continue,
+        }
+        let inner = match toks.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            _ => continue,
+        };
+        let inner: Vec<TokenTree> = inner.into_iter().collect();
+        let mut i = 0;
+        while i < inner.len() {
+            match &inner[i] {
+                TokenTree::Ident(id) => match id.to_string().as_str() {
+                    "skip" | "skip_serializing" | "skip_deserializing" => {
+                        skip = true;
+                        i += 1;
+                    }
+                    "default" => {
+                        if matches!(inner.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+                        {
+                            let lit = match inner.get(i + 2) {
+                                Some(TokenTree::Literal(l)) => l.to_string(),
+                                other => panic!(
+                                    "serde shim derive: expected string after default =, got {other:?}"
+                                ),
+                            };
+                            default = Some(Some(lit.trim_matches('"').to_string()));
+                            i += 3;
+                        } else {
+                            default = Some(None);
+                            i += 1;
+                        }
+                    }
+                    other => panic!("serde shim derive: unsupported serde attribute `{other}`"),
+                },
+                TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                other => panic!("serde shim derive: unexpected token in serde(...): {other:?}"),
+            }
+        }
+    }
+    (skip, default)
+}
+
+/// Parses named fields `a: T, #[serde(skip)] b: U, ...`.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Collect the type tokens up to the next top-level comma, tracking
+        // angle-bracket depth (commas inside `HashMap<K, V>` don't split).
+        let mut angle_depth = 0i32;
+        let mut type_tokens: Vec<String> = Vec::new();
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            type_tokens.push(tokens[pos].to_string());
+            pos += 1;
+        }
+        let is_option = type_is_option(&type_tokens);
+        let (skip, default) = serde_options(&attrs);
+        fields.push(Field {
+            name,
+            skip,
+            default,
+            is_option,
+        });
+    }
+    fields
+}
+
+/// True when the type's head (ignoring leading path segments) is `Option`.
+fn type_is_option(type_tokens: &[String]) -> bool {
+    let mut last_ident: Option<&str> = None;
+    for t in type_tokens {
+        if t == "<" {
+            break;
+        }
+        if t != ":" {
+            last_ident = Some(t.as_str());
+        }
+    }
+    last_ident == Some("Option")
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut count = 1;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma would overcount by one.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde shim derive: explicit discriminants are not supported");
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// --------------------------------------------------------------------
+// Code generation (string-built, then reparsed)
+// --------------------------------------------------------------------
+
+const VALUE: &str = "::serde::value::Value";
+
+/// `push` lines serializing `fields` reachable through `accessor` (either
+/// `&self.name` for structs or `name` for bound variant fields).
+fn ser_named_fields(fields: &[Field], accessor: impl Fn(&Field) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        out.push_str(&format!(
+            "__pairs.push((\"{n}\".to_string(), ::serde::Serialize::to_value({a})));\n",
+            n = f.name,
+            a = accessor(f)
+        ));
+    }
+    out
+}
+
+/// Struct-literal field initializers deserializing `fields` from the
+/// object pairs bound to `__pairs`.
+fn de_named_fields(type_name: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.skip {
+            "::std::default::Default::default()".to_string()
+        } else {
+            match &f.default {
+                Some(None) => "::std::default::Default::default()".to_string(),
+                Some(Some(path)) => format!("{path}()"),
+                None if f.is_option => "::std::option::Option::None".to_string(),
+                None => format!(
+                    "return ::std::result::Result::Err(::serde::de::Error::missing_field(\"{type_name}\", \"{n}\"))",
+                    n = f.name
+                ),
+            }
+        };
+        if f.skip {
+            out.push_str(&format!("{n}: {missing},\n", n = f.name));
+        } else {
+            out.push_str(&format!(
+                "{n}: match ::serde::value::find(__pairs, \"{n}\") {{\n\
+                 ::std::option::Option::Some(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+                 ::std::option::Option::None => {missing},\n\
+                 }},\n",
+                n = f.name
+            ));
+        }
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => format!(
+            "let mut __pairs: ::std::vec::Vec<(::std::string::String, {VALUE})> = ::std::vec::Vec::new();\n\
+             {push}\
+             {VALUE}::Object(__pairs)",
+            push = ser_named_fields(fields, |f| format!("&self.{}", f.name)),
+        ),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("{VALUE}::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => format!("{VALUE}::Null"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => {VALUE}::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => {VALUE}::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {VALUE}::Object(vec![(\"{vn}\".to_string(), {VALUE}::Array(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut __pairs: ::std::vec::Vec<(::std::string::String, {VALUE})> = ::std::vec::Vec::new();\n\
+                             {push}\
+                             {VALUE}::Object(vec![(\"{vn}\".to_string(), {VALUE}::Object(__pairs))])\n\
+                             }},\n",
+                            binds = binds.join(", "),
+                            push = ser_named_fields(fields, |f| f.name.clone()),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> {VALUE} {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => format!(
+            "let __pairs = __v.as_object().ok_or_else(|| ::serde::de::Error::type_mismatch(\"object ({name})\", __v))?;\n\
+             let _ = __pairs;\n\
+             ::std::result::Result::Ok({name} {{\n{fields}}})",
+            fields = de_named_fields(name, fields),
+        ),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::de::Error::type_mismatch(\"array ({name})\", __v))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::de::Error::new(format!(\"expected {n} elements for {name}, got {{}}\", __items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = __inner.as_array().ok_or_else(|| ::serde::de::Error::type_mismatch(\"array ({name}::{vn})\", __inner))?;\n\
+                             if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::de::Error::new(format!(\"expected {n} elements for {name}::{vn}, got {{}}\", __items.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({items}))\n\
+                             }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let __pairs = __inner.as_object().ok_or_else(|| ::serde::de::Error::type_mismatch(\"object ({name}::{vn})\", __inner))?;\n\
+                         let _ = __pairs;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{\n{fields}}})\n\
+                         }},\n",
+                        fields = de_named_fields(name, fields),
+                    )),
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 {VALUE}::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::unknown_variant(\"{name}\", __other)),\n\
+                 }},\n\
+                 {VALUE}::Object(__payload_pairs) if __payload_pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__payload_pairs[0];\n\
+                 let _ = __inner;\n\
+                 match __tag.as_str() {{\n\
+                 {payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::unknown_variant(\"{name}\", __other)),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::type_mismatch(\"enum {name}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &{VALUE}) -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

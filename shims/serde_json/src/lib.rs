@@ -1,0 +1,165 @@
+//! Offline shim for `serde_json`.
+//!
+//! Renders and parses JSON against the `serde` shim's [`Value`] tree.
+//! Covers the API subset Ziggy uses: [`to_string`], [`to_string_pretty`],
+//! [`from_str`], [`to_value`], [`from_value`], and the [`Value`] type
+//! itself (re-exported). The parser is a recursive-descent implementation
+//! with a nesting-depth cap so untrusted request bodies (the `ziggy-serve`
+//! HTTP API) cannot overflow the stack.
+
+pub use serde::value::{Number, Value};
+
+mod parse;
+mod write;
+
+pub use parse::from_str_value;
+
+/// Errors from JSON rendering or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write_compact(&value.to_value()))
+}
+
+/// Serializes `value` to an indented JSON string (two spaces).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write_pretty(&value.to_value()))
+}
+
+/// Parses a `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse::from_str_value(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a `T` from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(v: &Value) -> Result<T, Error> {
+    Ok(T::from_value(v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(Number::I(1))),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::String("x\"y\n".into())),
+        ]);
+        let s = write::write_compact(&v);
+        assert_eq!(s, r#"{"a":1,"b":[true,null],"c":"x\"y\n"}"#);
+        assert_eq!(from_str_value(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let xs = vec![1.5f64, -2.0, 3.25];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<f64> = from_str(&s).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn float_stays_float() {
+        let s = to_string(&2.0f64).unwrap();
+        assert_eq!(s, "2.0");
+        let back: f64 = from_str(&s).unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let big = u64::MAX - 3;
+        let back: u64 = from_str(&to_string(&big).unwrap()).unwrap();
+        assert_eq!(back, big);
+    }
+
+    #[test]
+    fn extreme_floats_use_scientific_notation() {
+        for x in [6.7644e-184, -3.2e-9, 1.5e25, f64::MIN_POSITIVE] {
+            let s = to_string(&x).unwrap();
+            assert!(
+                s.contains('e') && s.len() < 32,
+                "{x} rendered as {s:?} (len {})",
+                s.len()
+            );
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, x, "{s}");
+        }
+        // Ordinary magnitudes stay in plain notation.
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+        assert_eq!(to_string(&0.0f64).unwrap(), "0.0");
+        assert_eq!(to_string(&-12.5f64).unwrap(), "-12.5");
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: String = from_str(r#""aé😀b""#).unwrap();
+        assert_eq!(v, "aé😀b");
+    }
+
+    #[test]
+    fn pretty_is_indented() {
+        let v = Value::Object(vec![(
+            "k".into(),
+            Value::Array(vec![Value::Number(Number::I(1))]),
+        )]);
+        let s = write::write_pretty(&v);
+        assert!(s.contains("\n  \"k\": [\n    1\n  ]\n"), "{s}");
+    }
+
+    #[test]
+    fn depth_cap_rejects_bombs() {
+        let bomb = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(from_str_value(&bomb).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(from_str_value("{\"a\":}").is_err());
+        assert!(from_str_value("[1,]").is_err());
+        assert!(from_str_value("tru").is_err());
+        assert!(from_str_value("1 2").is_err());
+        assert!(from_str_value("").is_err());
+    }
+}

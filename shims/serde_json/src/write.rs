@@ -1,0 +1,119 @@
+//! JSON rendering (compact and pretty).
+
+use serde::value::{Number, Value};
+
+pub fn write_compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+pub fn write_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::I(i) => out.push_str(&i.to_string()),
+        Number::U(u) => out.push_str(&u.to_string()),
+        Number::F(f) => {
+            if !f.is_finite() {
+                // serde_json behavior: non-finite floats render as null.
+                out.push_str("null");
+                return;
+            }
+            // Extreme magnitudes in scientific notation: a p-value like
+            // 6.7e-184 must not render as 180 zeros. Rust's `{e}` output
+            // is shortest-round-trip, so parsing returns the same f64.
+            let abs = f.abs();
+            if abs != 0.0 && !(1e-6..1e21).contains(&abs) {
+                out.push_str(&format!("{f:e}"));
+                return;
+            }
+            let s = format!("{f}");
+            out.push_str(&s);
+            // Keep the JSON type float so round trips preserve it.
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                out.push_str(".0");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,17 +1,46 @@
-//! Interactive Ziggy REPL — the terminal counterpart of the paper's demo.
+//! The `ziggy` binary: interactive REPL (default) or HTTP service.
 //!
 //! ```text
-//! cargo run --release --bin ziggy
-//! ziggy> demo crime
-//! ziggy> query violent_crime_rate >= 75
-//! ziggy> show 1
+//! ziggy                  # REPL, the terminal counterpart of the demo
+//! ziggy repl             # same, explicitly
+//! ziggy serve            # HTTP JSON API on 127.0.0.1:8080
+//! ziggy serve --addr 0.0.0.0:9000 --threads 8 --demo
 //! ```
 
 use std::io::{BufRead, Write};
 
 use ziggy::repl::{ReplAction, ReplState};
+use ziggy::serve::{serve, ServeOptions};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("repl") => run_repl(),
+        Some("serve") => run_serve(&args[1..]),
+        Some("help") | Some("-h") | Some("--help") => print_usage(),
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: ziggy [COMMAND]\n\n\
+         commands:\n  \
+         repl                     interactive exploration REPL (default)\n  \
+         serve [OPTIONS]          run the HTTP characterization service\n  \
+         help                     this text\n\n\
+         serve options:\n  \
+         --addr ADDR              bind address (default 127.0.0.1:8080)\n  \
+         --threads N              worker threads (default: available parallelism)\n  \
+         --demo                   preload the crime synthetic twin as table `crime`"
+    );
+}
+
+fn run_repl() {
     println!("Ziggy — characterizing query results for data explorers");
     println!("type `help` for commands, `demo crime` for a dataset.\n");
     let mut state = ReplState::new();
@@ -37,4 +66,57 @@ fn main() {
             }
         }
     }
+}
+
+fn run_serve(args: &[String]) {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut options = ServeOptions::default();
+    let mut demo = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => die("--addr needs a value"),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => options.threads = n,
+                _ => die("--threads needs a positive integer"),
+            },
+            "--demo" => demo = true,
+            other => die(&format!("unknown serve option: {other}")),
+        }
+    }
+
+    let server = match serve(&addr[..], options) {
+        Ok(s) => s,
+        Err(e) => die(&format!("cannot bind {addr}: {e}")),
+    };
+    if demo {
+        let twin = ziggy::synth::us_crime(7);
+        match server.state().registry.insert_table(
+            "crime",
+            twin.table,
+            server.state().config.clone(),
+        ) {
+            Ok(entry) => println!(
+                "preloaded table `crime` ({} rows x {} cols); try: {}",
+                entry.table().n_rows(),
+                entry.table().n_cols(),
+                twin.predicate
+            ),
+            Err(e) => eprintln!("demo preload failed: {e}"),
+        }
+    }
+    println!("ziggy-serve listening on http://{}", server.local_addr());
+    println!("endpoints: /healthz /metrics /tables /tables/{{name}}/characterize /sessions /sessions/{{id}}/step");
+    // Serve until the process is terminated.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
 }

@@ -21,14 +21,23 @@
 //! quit                     exit
 //! ```
 
+use std::sync::Arc;
+
 use ziggy_core::render::{ascii_scatter, render_interface};
 use ziggy_core::{CharacterizationReport, Ziggy, ZiggyConfig};
 use ziggy_store::csv::{read_csv_path, CsvOptions};
 use ziggy_store::{eval, Bitmask, Table};
 
 /// The REPL's mutable state.
+///
+/// The engine is built lazily and kept across queries, so the REPL
+/// enjoys the paper's between-query sharing: whole-table statistics and
+/// the dependency graph are computed once per loaded table, not once per
+/// `query` command. Loading a new table or changing configuration drops
+/// the engine (a stale cache would describe the wrong data).
 pub struct ReplState {
-    table: Option<Table>,
+    table: Option<Arc<Table>>,
+    engine: Option<Ziggy>,
     config: ZiggyConfig,
     last_report: Option<CharacterizationReport>,
     last_mask: Option<Bitmask>,
@@ -54,6 +63,7 @@ impl ReplState {
     pub fn new() -> Self {
         Self {
             table: None,
+            engine: None,
             config: ZiggyConfig::default(),
             last_report: None,
             last_mask: None,
@@ -67,13 +77,33 @@ impl ReplState {
 
     /// The loaded table, if any.
     pub fn table(&self) -> Option<&Table> {
-        self.table.as_ref()
+        self.table.as_deref()
     }
 
     fn require_table(&self) -> Result<&Table, String> {
         self.table
-            .as_ref()
+            .as_deref()
             .ok_or_else(|| "no dataset loaded — use `load` or `demo`".to_string())
+    }
+
+    /// The engine over the loaded table, built on first use and reused
+    /// (with its caches) until the table or configuration changes.
+    fn engine(&mut self) -> Result<&Ziggy, String> {
+        if self.engine.is_none() {
+            let table = self
+                .table
+                .clone()
+                .ok_or_else(|| "no dataset loaded — use `load` or `demo`".to_string())?;
+            self.engine = Some(Ziggy::shared(table, self.config.clone()));
+        }
+        Ok(self.engine.as_ref().expect("just built"))
+    }
+
+    fn set_table(&mut self, table: Table) {
+        self.table = Some(Arc::new(table));
+        self.engine = None;
+        self.last_report = None;
+        self.last_mask = None;
     }
 
     fn require_report(&self) -> Result<(&CharacterizationReport, &Bitmask), String> {
@@ -124,9 +154,7 @@ impl ReplState {
             table.numeric_indices().len(),
             table.categorical_indices().len()
         );
-        self.table = Some(table);
-        self.last_report = None;
-        self.last_mask = None;
+        self.set_table(table);
         Ok(msg)
     }
 
@@ -144,9 +172,7 @@ impl ReplState {
             d.table.n_cols(),
             d.predicate
         );
-        self.table = Some(d.table);
-        self.last_report = None;
-        self.last_mask = None;
+        self.set_table(d.table);
         Ok(msg)
     }
 
@@ -154,11 +180,14 @@ impl ReplState {
         if predicate.is_empty() {
             return Err("usage: query <predicate>".into());
         }
-        let table = self.require_table()?;
-        let engine = Ziggy::new(table, self.config.clone());
-        let report = engine.characterize(predicate).map_err(|e| e.to_string())?;
-        let mask = eval::select(table, predicate).map_err(|e| e.to_string())?;
-        let ui = render_interface(table, &mask, &report);
+        let engine = self.engine()?;
+        // One parse + one table scan: the mask feeds both the engine and
+        // the interface rendering.
+        let mask = eval::select(engine.table(), predicate).map_err(|e| e.to_string())?;
+        let report = engine
+            .characterize_mask(&mask, predicate)
+            .map_err(|e| e.to_string())?;
+        let ui = render_interface(engine.table(), &mask, &report);
         self.last_report = Some(report);
         self.last_mask = Some(mask);
         Ok(ui)
@@ -219,10 +248,10 @@ impl ReplState {
         Ok(report.views[idx].explanation.to_string())
     }
 
-    fn cmd_dendrogram(&self) -> Result<String, String> {
-        let table = self.require_table()?;
-        let engine = Ziggy::new(table, self.config.clone());
-        engine.dependency_dendrogram().map_err(|e| e.to_string())
+    fn cmd_dendrogram(&mut self) -> Result<String, String> {
+        self.engine()?
+            .dependency_dendrogram()
+            .map_err(|e| e.to_string())
     }
 
     fn cmd_set(&mut self, rest: &str) -> Result<String, String> {
@@ -252,6 +281,8 @@ impl ReplState {
             other => return Err(format!("unknown parameter: {other}")),
         }
         self.config.validate().map_err(|e| e.to_string())?;
+        // The engine bakes in its config; rebuild lazily on next use.
+        self.engine = None;
         Ok(format!("{key} = {value}"))
     }
 
@@ -266,9 +297,7 @@ impl ReplState {
         let table = self.require_table()?;
         let sampled = table.sample_rows(frac, 0xCAFE);
         let msg = format!("sampled down to {} rows", sampled.n_rows());
-        self.table = Some(sampled);
-        self.last_report = None;
-        self.last_mask = None;
+        self.set_table(sampled);
         Ok(msg)
     }
 

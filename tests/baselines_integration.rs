@@ -18,10 +18,15 @@ use ziggy_synth::{evaluate_recovery, scaling_dataset};
 #[test]
 fn ziggy_dominates_pca_on_planted_data() {
     let d = scaling_dataset(800, 24, 5);
-    let engine = Ziggy::new(&d.table, ZiggyConfig { max_views: 4, ..Default::default() });
+    let engine = Ziggy::new(
+        &d.table,
+        ZiggyConfig {
+            max_views: 4,
+            ..Default::default()
+        },
+    );
     let report = engine.characterize(&d.predicate).unwrap();
-    let ziggy_views: Vec<Vec<String>> =
-        report.views.iter().map(|v| v.view.names.clone()).collect();
+    let ziggy_views: Vec<Vec<String>> = report.views.iter().map(|v| v.view.names.clone()).collect();
     let p = pca(&d.table);
     let pca_views: Vec<Vec<String>> = (0..4)
         .map(|k| {
@@ -68,8 +73,7 @@ fn clique_candidates_plug_into_the_engine_search() {
     let cache = StatsCache::new(&d.table);
     let mask = select(&d.table, &d.predicate).unwrap();
     let usable = usable_columns(&d.table);
-    let graph =
-        DependencyGraph::build(&cache, usable.clone(), DependenceKind::Pearson, 8).unwrap();
+    let graph = DependencyGraph::build(&cache, usable.clone(), DependenceKind::Pearson, 8).unwrap();
     let config = ZiggyConfig::default();
     let prepared = prepare(&cache, &mask, &usable, &config).unwrap();
     let cliques = maximal_cliques(&graph, config.min_tightness, 100_000).unwrap();
@@ -97,10 +101,17 @@ fn exhaustive_agrees_with_engine_on_tiny_tables() {
     let exact = exhaustive_search(&d.table, &cache, &mask, 2, 1, 10_000).unwrap();
     let engine = Ziggy::new(&d.table, ZiggyConfig::default());
     let report = engine.characterize(&d.predicate).unwrap();
-    let engine_cols: Vec<usize> =
-        report.views.iter().flat_map(|v| v.view.columns.clone()).collect();
+    let engine_cols: Vec<usize> = report
+        .views
+        .iter()
+        .flat_map(|v| v.view.columns.clone())
+        .collect();
     // The exhaustive optimum's columns appear among the engine's views.
-    let covered = exact[0].columns.iter().filter(|c| engine_cols.contains(c)).count();
+    let covered = exact[0]
+        .columns
+        .iter()
+        .filter(|c| engine_cols.contains(c))
+        .count();
     assert!(
         covered >= 1,
         "engine views {engine_cols:?} miss the exhaustive optimum {:?}",

@@ -1,0 +1,229 @@
+//! End-to-end tests of `ziggy serve`: a real server on an ephemeral
+//! port, real TCP clients, and ≥8 concurrent characterizations whose
+//! responses must match the in-process engine byte for byte (modulo
+//! wall-clock stage timings, which are zeroed before comparison).
+
+use std::sync::Arc;
+
+use ziggy::core::{CharacterizationReport, StageTimings, Ziggy, ZiggyConfig};
+use ziggy::serve::http::{request_once, Client};
+use ziggy::serve::{serve, ServeOptions};
+use ziggy::store::csv::{read_csv_str, write_csv_string, CsvOptions};
+
+const CONCURRENT_CLIENTS: usize = 8;
+
+/// The box-office synthetic twin (900×12) rendered to CSV, exactly as a
+/// client would upload it.
+fn twin_csv_and_query() -> (String, String) {
+    let twin = ziggy::synth::box_office(7);
+    (write_csv_string(&twin.table, ','), twin.predicate)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Serializes a report with timings zeroed, the canonical form for
+/// byte-identity comparisons.
+fn canonical(report_json: &str) -> String {
+    let mut report: CharacterizationReport =
+        serde_json::from_str(report_json).expect("response must parse as a report");
+    report.timings = StageTimings::default();
+    serde_json::to_string(&report).unwrap()
+}
+
+#[test]
+fn concurrent_clients_get_identical_reports_and_stats_compute_once() {
+    let (csv, query) = twin_csv_and_query();
+
+    // In-process reference: an engine over the table as the server will
+    // parse it (same CSV bytes through the same reader).
+    let table = read_csv_str(&csv, &CsvOptions::default()).unwrap();
+    let reference_engine = Ziggy::new(&table, ZiggyConfig::default());
+    let reference = {
+        let mut r = reference_engine.characterize(&query).unwrap();
+        r.timings = StageTimings::default();
+        serde_json::to_string(&r).unwrap()
+    };
+    let reference_misses = reference_engine.cache().counters().misses;
+
+    let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Ingest.
+    let body = format!(r#"{{"name":"boxoffice","csv":"{}"}}"#, json_escape(&csv));
+    let (status, resp) = request_once(addr, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+    assert!(resp.contains("\"n_rows\":900"), "{resp}");
+
+    // ≥8 concurrent clients characterize the same selection.
+    let query_body = format!(r#"{{"query":"{}"}}"#, json_escape(&query));
+    let responses: Vec<(u16, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CONCURRENT_CLIENTS)
+            .map(|_| {
+                let query_body = query_body.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client
+                        .request("POST", "/tables/boxoffice/characterize", Some(&query_body))
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (status, body) in &responses {
+        assert_eq!(*status, 200, "{body}");
+        assert_eq!(
+            canonical(body),
+            reference,
+            "server report must be byte-identical to the in-process engine"
+        );
+    }
+
+    // The shared engine computed whole-table statistics once per table:
+    // the server's miss count equals a single in-process engine's, no
+    // matter how many clients asked.
+    let (status, metrics) = request_once(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let m = serde_json::from_str::<serde_json::Value>(&metrics).unwrap();
+    let tables = m.get("tables").unwrap().as_array().unwrap();
+    assert_eq!(tables.len(), 1);
+    let cache = tables[0].get("cache").unwrap();
+    let misses = cache.get("misses").unwrap().as_u64().unwrap();
+    let hits = cache.get("hits").unwrap().as_u64().unwrap();
+    assert_eq!(
+        misses, reference_misses,
+        "whole-table stats must be computed once per table, not per request"
+    );
+    assert!(
+        hits >= misses * (CONCURRENT_CLIENTS as u64 - 1),
+        "repeat clients must be served from the shared cache (hits={hits}, misses={misses})"
+    );
+    let characterizations = m
+        .get("requests")
+        .unwrap()
+        .get("characterizations")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(characterizations, CONCURRENT_CLIENTS as u64);
+
+    // Nothing is poisoned or blocked: the server still answers promptly.
+    let (status, body) = request_once(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!((status, body.as_str()), (200, r#"{"status":"ok"}"#));
+    let (status, _) = request_once(
+        addr,
+        "POST",
+        "/tables/boxoffice/characterize",
+        Some(&query_body),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_ingest_and_sessions() {
+    let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+
+    // 8 clients each ingest their own table concurrently.
+    std::thread::scope(|s| {
+        for i in 0..CONCURRENT_CLIENTS {
+            s.spawn(move || {
+                let mut csv = String::from("key,val\n");
+                for r in 0..120 {
+                    csv.push_str(&format!("{r},{}\n", (r * (i + 3)) % 17));
+                }
+                let body = format!(r#"{{"name":"t{i}","csv":"{}"}}"#, json_escape(&csv));
+                let (status, resp) = request_once(addr, "POST", "/tables", Some(&body)).unwrap();
+                assert_eq!(status, 201, "{resp}");
+            });
+        }
+    });
+    let (_, listing) = request_once(addr, "GET", "/tables", None).unwrap();
+    for i in 0..CONCURRENT_CLIENTS {
+        assert!(listing.contains(&format!("\"t{i}\"")), "{listing}");
+    }
+
+    // One session per client, stepped concurrently; identical consecutive
+    // steps must be stable diffs.
+    let session_ids: Vec<u64> = (0..CONCURRENT_CLIENTS)
+        .map(|i| {
+            let (status, resp) = request_once(
+                addr,
+                "POST",
+                "/sessions",
+                Some(&format!(r#"{{"table":"t{i}"}}"#)),
+            )
+            .unwrap();
+            assert_eq!(status, 201, "{resp}");
+            let v = serde_json::from_str::<serde_json::Value>(&resp).unwrap();
+            v.get("session_id").unwrap().as_u64().unwrap()
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for &id in &session_ids {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let step = |c: &mut Client| {
+                    c.request(
+                        "POST",
+                        &format!("/sessions/{id}/step"),
+                        Some(r#"{"query":"key >= 90"}"#),
+                    )
+                    .unwrap()
+                };
+                let (status, first) = step(&mut client);
+                assert_eq!(status, 200, "{first}");
+                assert!(first.contains("\"step\":1"), "{first}");
+                assert!(first.contains("\"diff\":null"), "{first}");
+                let (status, second) = step(&mut client);
+                assert_eq!(status, 200, "{second}");
+                assert!(second.contains("\"step\":2"), "{second}");
+                assert!(second.contains("\"persisted\""), "{second}");
+            });
+        }
+    });
+
+    server.shutdown();
+}
+
+#[test]
+fn shared_engine_outperforms_per_request_engines() {
+    // Not a wall-clock benchmark (too flaky for CI) — a work-count
+    // assertion: N sequential server requests trigger exactly one
+    // engine's worth of whole-table scans, where N per-request engines
+    // would pay N times that.
+    let (csv, query) = twin_csv_and_query();
+    let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    let body = format!(r#"{{"name":"b","csv":"{}"}}"#, json_escape(&csv));
+    let (status, _) = request_once(addr, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201);
+
+    let query_body = format!(r#"{{"query":"{}"}}"#, json_escape(&query));
+    let mut client = Client::connect(addr).unwrap();
+    for _ in 0..4 {
+        let (status, _) = client
+            .request("POST", "/tables/b/characterize", Some(&query_body))
+            .unwrap();
+        assert_eq!(status, 200);
+    }
+
+    let entry = Arc::clone(server.state()).registry.get("b").unwrap();
+    let counters = entry.cache().counters();
+    let per_request_cost = counters.misses * 4;
+    assert!(
+        counters.total() < per_request_cost * 2,
+        "cache should amortize scans: {counters:?}"
+    );
+    assert!(counters.hits > 0, "{counters:?}");
+    server.shutdown();
+}
