@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use ziggy_baselines::beam::beam_search;
 use ziggy_baselines::centroid::centroid_search;
@@ -19,8 +20,9 @@ fn methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines_compare");
     group.sample_size(10);
     group.bench_function("ziggy_cold", |b| {
+        let table = Arc::new(d.table.clone());
         b.iter(|| {
-            let z = Ziggy::new(&d.table, ZiggyConfig::default());
+            let z = Ziggy::shared(Arc::clone(&table), ZiggyConfig::default());
             black_box(z.characterize(&d.predicate).unwrap())
         })
     });

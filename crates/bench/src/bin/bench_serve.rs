@@ -41,7 +41,11 @@ fn main() {
 
     let twin = ziggy_synth::us_crime(7);
     let (n_rows, n_cols) = (twin.table.n_rows(), twin.table.n_cols());
-    let query_body = format!(r#"{{"query":"{}"}}"#, twin.predicate.replace('"', "\\\""));
+    let query_body = serde_json::to_string(&serde_json::Value::Object(vec![(
+        "query".to_string(),
+        serde_json::Value::String(twin.predicate.clone()),
+    )]))
+    .unwrap();
 
     let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
     let addr = server.local_addr();

@@ -9,7 +9,7 @@
 //!   subtraction (one masked scan per query instead of two full scans) —
 //!   the reproduction of the full paper's shared-computation strategy;
 //! * pairwise components are computed on worker threads via
-//!   `crossbeam::scope` when [`ZiggyConfig::parallel`] is set.
+//!   `std::thread::scope` when [`ZiggyConfig::parallel`] is set.
 
 use std::collections::HashMap;
 

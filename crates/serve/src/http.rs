@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -22,6 +22,16 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 /// Socket timeout while actively reading or writing a request.
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// Wall-clock ceiling on reading one complete request (head + body).
+/// `IO_TIMEOUT` alone is per-read: a peer trickling one byte per
+/// ~29s would pin a worker forever. Generous enough for a
+/// [`MAX_BODY_BYTES`] upload on a slow link.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(120);
+/// How long a keep-alive connection may sit idle between requests
+/// before it is dropped. Half-open peers that vanished without a FIN
+/// probe as `Idle` forever; without this deadline they would pin
+/// tracker slots (and [`MAX_CONNS`] capacity) indefinitely.
+const KEEP_ALIVE_TIMEOUT: Duration = Duration::from_secs(60);
 /// How long a worker waits on the dispatch queue before rechecking the
 /// stop flag.
 const DISPATCH_TIMEOUT: Duration = Duration::from_millis(50);
@@ -88,6 +98,7 @@ fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -122,6 +133,41 @@ impl ConnTracker {
     }
 }
 
+/// A `TcpStream` whose reads respect a resettable wall-clock deadline:
+/// every read clamps the socket timeout to the time remaining, so many
+/// small reads cannot stretch past the deadline the way a fixed
+/// per-read timeout can.
+struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Instant,
+    /// Whether the socket timeout currently equals [`IO_TIMEOUT`], so
+    /// the hot path skips the per-read `setsockopt` until the deadline
+    /// draws within one timeout of expiring.
+    timeout_at_max: bool,
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request deadline exceeded",
+            ));
+        }
+        if remaining >= IO_TIMEOUT {
+            if !self.timeout_at_max {
+                self.stream.set_read_timeout(Some(IO_TIMEOUT))?;
+                self.timeout_at_max = true;
+            }
+        } else {
+            self.stream.set_read_timeout(Some(remaining))?;
+            self.timeout_at_max = false;
+        }
+        self.stream.read(buf)
+    }
+}
+
 /// One accepted connection with its buffered read state.
 ///
 /// Connections cycle through the dispatch queue between requests, so a
@@ -130,10 +176,19 @@ impl ConnTracker {
 /// a non-blocking readiness probe (one `peek` syscall), never while it
 /// sits idle.
 struct Conn {
-    reader: BufReader<TcpStream>,
+    reader: BufReader<DeadlineStream>,
     writer: TcpStream,
     tracker_id: Option<u64>,
     tracker: Arc<ConnTracker>,
+    /// When the connection last finished a request (or was accepted);
+    /// idle longer than [`KEEP_ALIVE_TIMEOUT`] means drop on probe.
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn idle_expired(&self) -> bool {
+        self.last_activity.elapsed() >= KEEP_ALIVE_TIMEOUT
+    }
 }
 
 impl Drop for Conn {
@@ -242,6 +297,14 @@ impl Server {
                                     idle_streak = 0;
                                 }
                                 Probe::Idle => {
+                                    if conn.idle_expired() {
+                                        // Keep-alive deadline passed:
+                                        // drop instead of requeueing, so
+                                        // half-open peers cannot occupy
+                                        // tracker slots forever.
+                                        idle_streak = 0;
+                                        continue;
+                                    }
                                     let _ = tx.send(conn);
                                     idle_streak += 1;
                                     if idle_streak >= IDLE_STREAK_NAP {
@@ -252,6 +315,7 @@ impl Server {
                                 Probe::Ready => {
                                     idle_streak = 0;
                                     if serve_one(&mut conn, &handler) {
+                                        conn.last_activity = Instant::now();
                                         let _ = tx.send(conn);
                                     }
                                 }
@@ -274,19 +338,27 @@ impl Server {
                         }
                         if let Ok(stream) = stream {
                             if tracker.conns.lock().expect("conn tracker").len() >= MAX_CONNS {
-                                continue; // Over capacity: refuse by dropping.
+                                refuse_overloaded(stream, "server at connection capacity");
+                                continue;
                             }
                             let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
                             let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
                             let _ = stream.set_nodelay(true);
                             let Ok(reader_half) = stream.try_clone() else {
+                                refuse_overloaded(stream, "connection setup failed");
                                 continue;
                             };
                             let conn = Conn {
-                                reader: BufReader::new(reader_half),
+                                reader: BufReader::new(DeadlineStream {
+                                    stream: reader_half,
+                                    // Per-request; serve_one resets it.
+                                    deadline: Instant::now() + REQUEST_DEADLINE,
+                                    timeout_at_max: false,
+                                }),
                                 tracker_id: tracker.register(&stream),
                                 writer: stream,
                                 tracker: Arc::clone(&tracker),
+                                last_activity: Instant::now(),
                             };
                             if tx.send(conn).is_err() {
                                 break;
@@ -339,16 +411,89 @@ impl Drop for Server {
     }
 }
 
+/// Concurrent refusal threads; beyond this, over-capacity connections
+/// are dropped silently so a refusal flood cannot itself exhaust the
+/// process.
+const MAX_REFUSAL_THREADS: usize = 32;
+/// Hard wall-clock bound on the pre-close drain, so a peer trickling
+/// bytes cannot keep the draining thread alive indefinitely.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(2);
+
+static ACTIVE_REFUSALS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Tells a client the server cannot take its connection (over
+/// [`MAX_CONNS`], or the stream could not be set up) before hanging up,
+/// instead of an unexplained reset. Runs on a short-lived, capped,
+/// deadline-bounded thread so neither a slow peer nor a refusal flood
+/// can stall the acceptor or pile up resources.
+fn refuse_overloaded(stream: TcpStream, reason: &'static str) {
+    if ACTIVE_REFUSALS.fetch_add(1, Ordering::Relaxed) >= MAX_REFUSAL_THREADS {
+        ACTIVE_REFUSALS.fetch_sub(1, Ordering::Relaxed);
+        return; // Refusal flood: fall back to dropping silently.
+    }
+    let spawned = std::thread::Builder::new()
+        .name("ziggy-serve-refuse".into())
+        .spawn(move || {
+            refuse_overloaded_blocking(stream, reason);
+            ACTIVE_REFUSALS.fetch_sub(1, Ordering::Relaxed);
+        });
+    if spawned.is_err() {
+        ACTIVE_REFUSALS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn refuse_overloaded_blocking(mut stream: TcpStream, reason: &'static str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let resp = Response::new(503, format!("{{\"error\":\"{reason}\"}}"));
+    let _ = write_response(&mut stream, &resp, true);
+    let _ = stream.shutdown(Shutdown::Write);
+    drain_briefly(&mut stream);
+}
+
+/// Consumes whatever the peer already sent — bounded in bytes AND
+/// wall-clock — before a connection carrying a just-written error
+/// response is dropped. Closing with unread bytes queued makes the
+/// kernel RST, which can discard that response from the peer's receive
+/// buffer; draining first keeps the close orderly. The caller must have
+/// bounded the read timeout (short socket timeout or deadline).
+fn drain_briefly<R: Read>(reader: &mut R) {
+    let deadline = Instant::now() + DRAIN_DEADLINE;
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    while Instant::now() < deadline {
+        match reader.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                drained += n;
+                // A rejected upload can have a whole body in flight; the
+                // wall-clock deadline is the real bound, the byte cap
+                // only guards against a pathological firehose.
+                if drained > MAX_BODY_BYTES {
+                    break;
+                }
+            }
+        }
+    }
+}
+
 /// Serves exactly one request on a ready connection. Returns `true` when
 /// the connection should be requeued for more requests.
 fn serve_one(conn: &mut Conn, handler: &Handler) -> bool {
+    conn.reader.get_mut().deadline = Instant::now() + REQUEST_DEADLINE;
     let request = match read_request(&mut conn.reader) {
         Ok(Some(r)) => r,
         Ok(None) => return false, // EOF raced the readiness probe.
         Err(e) => {
-            // Malformed request: answer 400 once, then drop.
+            // Malformed request: answer 400 once, then drop — draining
+            // the unread remainder first so the close does not RST the
+            // 400 away (same hazard as the over-capacity 503). The
+            // deadline reset bounds each drain read.
             let resp = Response::new(400, format!("{{\"error\":\"{e}\"}}"));
             let _ = write_response(&mut conn.writer, &resp, true);
+            let _ = conn.writer.shutdown(Shutdown::Write);
+            conn.reader.get_mut().deadline = Instant::now() + DRAIN_DEADLINE;
+            drain_briefly(&mut conn.reader);
             return false;
         }
     };
@@ -416,12 +561,28 @@ fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         }
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>().map_err(|_| bad("bad content-length")))
-        .transpose()?
-        .unwrap_or(0);
+    // Only Content-Length framing is supported. Silently ignoring a
+    // chunked body would desync the connection: the chunk stream would
+    // parse as the next request line. Reject instead.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(bad("transfer-encoding is not supported"));
+    }
+    let mut content_length: Option<usize> = None;
+    for (k, v) in &headers {
+        if k == "content-length" {
+            // RFC 9110: DIGITs only. usize::parse alone would also
+            // accept "+5", which intermediaries may frame differently.
+            if !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad("bad content-length"));
+            }
+            let n = v.parse::<usize>().map_err(|_| bad("bad content-length"))?;
+            if content_length.is_some_and(|prev| prev != n) {
+                return Err(bad("conflicting content-length headers"));
+            }
+            content_length = Some(n);
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(bad("request body too large"));
     }
@@ -584,6 +745,53 @@ mod tests {
         let mut out = String::new();
         let _ = stream.read_to_string(&mut out);
         assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+    }
+
+    #[test]
+    fn deadline_stream_cuts_off_expired_reads() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut ds = DeadlineStream {
+            stream: server_side,
+            deadline: Instant::now(), // Already expired.
+            timeout_at_max: false,
+        };
+        let mut buf = [0u8; 8];
+        let err = ds.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn unsupported_framing_is_rejected() {
+        let server = echo_server();
+        for head in [
+            // Chunked framing: the body would desync the connection.
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            // Smuggling-style conflicting lengths.
+            "POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 7\r\n\r\nabc",
+            // Non-canonical length (sign accepted by usize::parse).
+            "POST /x HTTP/1.1\r\nContent-Length: +2\r\n\r\nhi",
+        ] {
+            let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+            stream.write_all(head.as_bytes()).unwrap();
+            let mut out = String::new();
+            let _ = stream.read_to_string(&mut out);
+            assert!(out.starts_with("HTTP/1.1 400"), "{head:?} -> {out}");
+        }
+        // Duplicate but *agreeing* lengths are fine.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(
+                b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\
+                  Connection: close\r\n\r\nhi",
+            )
+            .unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        server.shutdown();
     }
 
     #[test]

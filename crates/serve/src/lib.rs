@@ -23,8 +23,15 @@
 //! | `POST /tables` | `{"name": "crime", "csv": "<csv text>"}` | `201` `{"name","n_rows","n_cols"}` — `400` invalid name/JSON, `409` duplicate name or registry full, `422` CSV rejected |
 //! | `GET /tables` | — | `200` `{"tables":[{"name","n_rows","n_cols"},…]}` |
 //! | `POST /tables/{name}/characterize` | `{"query": "<predicate>"}` | `200` a full [`ziggy_core::CharacterizationReport`] — `404` unknown table, `422` engine rejection (parse error, degenerate selection) |
+//! | `DELETE /tables/{name}` | — | `200` `{"deleted": "<name>", "sessions_closed": <n>}` — `404` unknown table. Frees the name and the registry slot immediately and closes the table's sessions (cascade), so the engine's memory is not pinned by abandoned clients; in-flight requests finish normally |
 //! | `POST /sessions` | `{"table": "crime"}` | `201` `{"session_id", "table"}` — `404` unknown table |
 //! | `POST /sessions/{id}/step` | `{"query": "<predicate>"}` | `200` `{"step", "report", "diff"}` where `diff` is a [`ziggy_core::ReportDiff`] against the previous step (`null` on the first) — `404` unknown session, `422` engine rejection |
+//! | `DELETE /sessions/{id}` | — | `200` `{"deleted": <id>}` — `404` unknown session. Frees the session slot and releases its table pin |
+//!
+//! Table and session counts are capped
+//! ([`registry::MAX_TABLES`], [`sessions::MAX_SESSIONS`]; `409` beyond
+//! them). The caps bound *live* state: the DELETE routes free slots, so
+//! long-running servers do not exhaust them from lifetime churn.
 //!
 //! Characterize responses are byte-for-byte the engine's serialized
 //! report: apart from wall-clock stage timings, a server round trip and

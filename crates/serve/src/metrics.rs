@@ -45,12 +45,17 @@ pub struct Metrics {
     pub tables_created: Counter,
     /// `GET /tables` listings served.
     pub tables_listed: Counter,
+    /// `DELETE /tables/{name}` requests that dropped a table.
+    pub tables_deleted: Counter,
     /// Characterizations served (direct and via session steps).
     pub characterizations: Counter,
     /// Sessions created.
     pub sessions_created: Counter,
     /// Session steps served.
     pub session_steps: Counter,
+    /// Sessions closed — explicitly via `DELETE /sessions/{id}` or
+    /// cascaded from `DELETE /tables/{name}`.
+    pub sessions_deleted: Counter,
     /// Sum of the preparation stage over all characterizations (µs).
     pub preparation_us: Counter,
     /// Sum of the view-search stage over all characterizations (µs).
@@ -80,12 +85,14 @@ impl Metrics {
                     ("errors".into(), num(self.errors_total.get())),
                     ("tables_created".into(), num(self.tables_created.get())),
                     ("tables_listed".into(), num(self.tables_listed.get())),
+                    ("tables_deleted".into(), num(self.tables_deleted.get())),
                     (
                         "characterizations".into(),
                         num(self.characterizations.get()),
                     ),
                     ("sessions_created".into(), num(self.sessions_created.get())),
                     ("session_steps".into(), num(self.session_steps.get())),
+                    ("sessions_deleted".into(), num(self.sessions_deleted.get())),
                 ]),
             ),
             (

@@ -18,6 +18,8 @@ use ziggy_store::{StatsCache, Table};
 use crate::json::ApiError;
 
 /// Upper bound on resident tables; ingest beyond it is refused (409).
+/// The cap bounds *live* state: dropping a table (`DELETE
+/// /tables/{name}`) frees its slot and its name.
 pub const MAX_TABLES: usize = 256;
 
 /// A registered table with its shared engine.
@@ -79,6 +81,14 @@ pub struct TableRegistry {
     tables: RwLock<HashMap<String, Arc<TableEntry>>>,
 }
 
+fn err_duplicate(name: &str) -> ApiError {
+    ApiError::conflict(format!("table `{name}` already exists"))
+}
+
+fn err_full() -> ApiError {
+    ApiError::conflict(format!("registry full ({MAX_TABLES} tables)"))
+}
+
 fn valid_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= 64
@@ -105,6 +115,19 @@ impl TableRegistry {
                 "table name must be 1-64 chars of [A-Za-z0-9_-]",
             ));
         }
+        // Cheap pre-check so a duplicate name or a full registry fails
+        // before the CSV parse and engine build, not after. The
+        // authoritative re-check stays in `insert_table` under the write
+        // lock (a racing ingest may take the slot in between).
+        {
+            let tables = self.tables.read();
+            if tables.contains_key(name) {
+                return Err(err_duplicate(name));
+            }
+            if tables.len() >= MAX_TABLES {
+                return Err(err_full());
+            }
+        }
         let table = read_csv_str(csv, &CsvOptions::default())
             .map_err(|e| ApiError::unprocessable(format!("CSV rejected: {e}")))?;
         self.insert_table(name, table, config)
@@ -129,12 +152,10 @@ impl TableRegistry {
         });
         let mut tables = self.tables.write();
         if tables.len() >= MAX_TABLES {
-            return Err(ApiError::conflict(format!(
-                "registry full ({MAX_TABLES} tables)"
-            )));
+            return Err(err_full());
         }
         if tables.contains_key(name) {
-            return Err(ApiError::conflict(format!("table `{name}` already exists")));
+            return Err(err_duplicate(name));
         }
         tables.insert(name.to_string(), Arc::clone(&entry));
         Ok(entry)
@@ -146,6 +167,18 @@ impl TableRegistry {
             .read()
             .get(name)
             .cloned()
+            .ok_or_else(|| ApiError::not_found(format!("no table named `{name}`")))
+    }
+
+    /// Drops a table, freeing its slot under [`MAX_TABLES`] and its name
+    /// for reuse, and returns the removed entry so the caller can release
+    /// whatever else pins it (the router closes the table's sessions).
+    /// In-flight requests holding the `Arc` finish normally; the memory
+    /// frees when the last holder drops.
+    pub fn remove(&self, name: &str) -> Result<Arc<TableEntry>, ApiError> {
+        self.tables
+            .write()
+            .remove(name)
             .ok_or_else(|| ApiError::not_found(format!("no table named `{name}`")))
     }
 
@@ -233,6 +266,21 @@ mod tests {
                 "{bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn remove_frees_name_and_slot() {
+        let r = TableRegistry::new();
+        let pinned = r.insert_csv("t", CSV, ZiggyConfig::default()).unwrap();
+        r.remove("t").unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.remove("t").unwrap_err().status, 404);
+        // The name is reusable, and the old pinned entry stays usable for
+        // whoever still holds its Arc.
+        r.insert_csv("t", CSV, ZiggyConfig::default()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(pinned.table().n_rows(), 3);
+        pinned.engine().cache().uni(0).unwrap();
     }
 
     #[test]

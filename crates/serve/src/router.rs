@@ -49,15 +49,19 @@ pub fn route(state: &ServeState, req: &Request) -> Response {
         ("POST", ["tables"]) => handle_create_table(state, &req.body),
         ("GET", ["tables"]) => handle_list_tables(state),
         ("POST", ["tables", name, "characterize"]) => handle_characterize(state, name, &req.body),
+        ("DELETE", ["tables", name]) => handle_delete_table(state, name),
         ("POST", ["sessions"]) => handle_create_session(state, &req.body),
         ("POST", ["sessions", id, "step"]) => handle_session_step(state, id, &req.body),
+        ("DELETE", ["sessions", id]) => handle_delete_session(state, id),
         (
             _,
             ["healthz"]
             | ["metrics"]
             | ["tables"]
+            | ["tables", _]
             | ["tables", _, "characterize"]
             | ["sessions"]
+            | ["sessions", _]
             | ["sessions", _, "step"],
         ) => Err(ApiError::method_not_allowed()),
         _ => Err(ApiError::not_found(format!("no route for {}", req.path))),
@@ -121,12 +125,66 @@ fn handle_characterize(state: &ServeState, name: &str, body: &[u8]) -> Result<Re
     ))
 }
 
+fn handle_delete_table(state: &ServeState, name: &str) -> Result<Response, ApiError> {
+    let entry = state.registry.remove(name)?;
+    // Cascade: close the table's sessions so the dropped engine's memory
+    // actually frees instead of staying pinned behind abandoned clients.
+    let sessions_closed = state.sessions.remove_for_table(&entry);
+    state.metrics.tables_deleted.inc();
+    state.metrics.sessions_deleted.add(sessions_closed as u64);
+    Ok(json_response(
+        200,
+        &Value::Object(vec![
+            ("deleted".into(), Value::String(name.to_string())),
+            (
+                "sessions_closed".into(),
+                Value::Number(serde_json::Number::U(sessions_closed as u64)),
+            ),
+        ]),
+    ))
+}
+
+fn parse_session_id(id: &str) -> Result<u64, ApiError> {
+    id.parse()
+        .map_err(|_| ApiError::bad_request("session id must be an integer"))
+}
+
+fn handle_delete_session(state: &ServeState, id: &str) -> Result<Response, ApiError> {
+    let id = parse_session_id(id)?;
+    state.sessions.remove(id)?;
+    state.metrics.sessions_deleted.inc();
+    Ok(json_response(
+        200,
+        &Value::Object(vec![(
+            "deleted".into(),
+            Value::Number(serde_json::Number::U(id)),
+        )]),
+    ))
+}
+
 fn handle_create_session(state: &ServeState, body: &[u8]) -> Result<Response, ApiError> {
     let parsed = parse_object(body)?;
     let table = required_str(&parsed, "table")?;
     let entry = state.registry.get(table)?;
-    let id = state.sessions.create(entry)?;
+    let id = state.sessions.create(std::sync::Arc::clone(&entry))?;
+    // Count the creation before the re-validation below, so a session
+    // the delete cascade closes (counted in sessions_deleted) always
+    // has a matching creation and created - deleted stays >= 0.
     state.metrics.sessions_created.inc();
+    // Re-validate after the insert: a DELETE /tables/{name} racing
+    // between the lookup above and the insert runs its session cascade
+    // too early to see this session, which would then pin the dropped
+    // engine forever. If the entry is no longer registered, undo.
+    match state.registry.get(table) {
+        Ok(current) if std::sync::Arc::ptr_eq(&current, &entry) => {}
+        _ => {
+            if state.sessions.remove(id).is_ok() {
+                // The cascade missed it, so it wasn't counted there.
+                state.metrics.sessions_deleted.inc();
+            }
+            return Err(ApiError::not_found(format!("no table named `{table}`")));
+        }
+    }
     Ok(json_response(
         201,
         &Value::Object(vec![
@@ -140,9 +198,7 @@ fn handle_create_session(state: &ServeState, body: &[u8]) -> Result<Response, Ap
 }
 
 fn handle_session_step(state: &ServeState, id: &str, body: &[u8]) -> Result<Response, ApiError> {
-    let id: u64 = id
-        .parse()
-        .map_err(|_| ApiError::bad_request("session id must be an integer"))?;
+    let id = parse_session_id(id)?;
     let parsed = parse_object(body)?;
     let query = required_str(&parsed, "query")?;
     let outcome = state.sessions.step(id, query)?;
@@ -304,11 +360,69 @@ mod tests {
                 r#"{"query":"key >= 150"}"#,
                 400,
             ),
+            ("DELETE", "/tables/absent", "", 404),
+            ("PUT", "/tables/t", "", 405),
+            ("DELETE", "/sessions/99", "", 404),
+            ("DELETE", "/sessions/zzz", "", 400),
+            ("GET", "/sessions/99", "", 405),
         ] {
             let r = route(&state, &request(method, path, body));
             assert_eq!(r.status, want, "{method} {path}: {}", r.body);
         }
-        assert_eq!(state.metrics.errors_total.get(), 10);
+        assert_eq!(state.metrics.errors_total.get(), 15);
+    }
+
+    #[test]
+    fn delete_table_and_session_lifecycle() {
+        let state = state_with_table("t");
+        let r = route(&state, &request("POST", "/sessions", r#"{"table":"t"}"#));
+        assert_eq!(r.status, 201, "{}", r.body);
+
+        // Drop the table: the name frees immediately and its sessions
+        // close with it (the engine's memory must not stay pinned).
+        let r = route(&state, &request("DELETE", "/tables/t", ""));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, r#"{"deleted":"t","sessions_closed":1}"#);
+        assert!(state.registry.is_empty());
+        assert!(state.sessions.is_empty());
+        let r = route(
+            &state,
+            &request(
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key >= 150"}"#,
+            ),
+        );
+        assert_eq!(r.status, 404, "{}", r.body);
+        let r = route(
+            &state,
+            &request("POST", "/sessions/1/step", r#"{"query":"key >= 150"}"#),
+        );
+        assert_eq!(r.status, 404, "{}", r.body);
+
+        // The freed name is reusable, and new sessions work on it.
+        state
+            .registry
+            .insert_csv("t", &demo_csv(), ZiggyConfig::default())
+            .unwrap();
+        let r = route(&state, &request("POST", "/sessions", r#"{"table":"t"}"#));
+        assert_eq!(r.status, 201, "{}", r.body);
+        assert!(r.body.contains("\"session_id\":2"), "{}", r.body);
+
+        // Deleting a session explicitly frees its slot and forgets the id.
+        let r = route(&state, &request("DELETE", "/sessions/2", ""));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, r#"{"deleted":2}"#);
+        assert!(state.sessions.is_empty());
+        let r = route(
+            &state,
+            &request("POST", "/sessions/2/step", r#"{"query":"key >= 150"}"#),
+        );
+        assert_eq!(r.status, 404, "{}", r.body);
+
+        assert_eq!(state.metrics.tables_deleted.get(), 1);
+        // One cascaded close + one explicit delete.
+        assert_eq!(state.metrics.sessions_deleted.get(), 2);
     }
 
     #[test]

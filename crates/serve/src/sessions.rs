@@ -18,6 +18,8 @@ use crate::json::ApiError;
 use crate::registry::TableEntry;
 
 /// Upper bound on live sessions; creation beyond it is refused (409).
+/// The cap bounds *live* state: deleting a session (`DELETE
+/// /sessions/{id}`) frees its slot and releases its table pin.
 pub const MAX_SESSIONS: usize = 4096;
 
 /// Cap on per-session history length; older reports are dropped so
@@ -92,6 +94,27 @@ impl SessionManager {
             })),
         );
         Ok(id)
+    }
+
+    /// Closes a session, freeing its slot under [`MAX_SESSIONS`] and
+    /// dropping its pin on the table entry. A step racing the delete on
+    /// another thread finishes normally on its own `Arc`.
+    pub fn remove(&self, id: u64) -> Result<(), ApiError> {
+        self.sessions
+            .write()
+            .remove(&id)
+            .map(|_| ())
+            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))
+    }
+
+    /// Closes every session pinned to `entry`, returning how many were
+    /// closed. Called when a table is dropped, so deleted tables cannot
+    /// stay resident behind abandoned sessions.
+    pub fn remove_for_table(&self, entry: &Arc<TableEntry>) -> usize {
+        let mut sessions = self.sessions.write();
+        let before = sessions.len();
+        sessions.retain(|_, s| !Arc::ptr_eq(&s.lock().table, entry));
+        before - sessions.len()
     }
 
     /// Number of live sessions.
@@ -209,6 +232,37 @@ mod tests {
     fn unknown_session_404s() {
         let m = SessionManager::new();
         assert_eq!(m.step(99, "x > 1").unwrap_err().status, 404);
+        assert_eq!(m.remove(99).unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn remove_for_table_closes_only_that_tables_sessions() {
+        let (r, entry) = registry_with_table();
+        let other = r
+            .insert_csv("u", "a,b\n1,2\n3,4\n", ZiggyConfig::default())
+            .unwrap();
+        let m = SessionManager::new();
+        m.create(Arc::clone(&entry)).unwrap();
+        m.create(Arc::clone(&entry)).unwrap();
+        let kept = m.create(other).unwrap();
+        assert_eq!(m.remove_for_table(&entry), 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove_for_table(&entry), 0);
+        m.remove(kept).unwrap();
+    }
+
+    #[test]
+    fn remove_frees_slot_without_reusing_ids() {
+        let (_r, entry) = registry_with_table();
+        let m = SessionManager::new();
+        let id = m.create(Arc::clone(&entry)).unwrap();
+        m.step(id, "key >= 150").unwrap();
+        assert_eq!(m.len(), 1);
+        m.remove(id).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.step(id, "key >= 150").unwrap_err().status, 404);
+        let id2 = m.create(entry).unwrap();
+        assert_ne!(id, id2, "ids must stay unique across removals");
     }
 
     #[test]

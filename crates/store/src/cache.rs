@@ -14,8 +14,10 @@
 //! small) instead of two full scans.
 //!
 //! [`StatsCache`] memoizes whole-table [`UniMoments`], [`PairMoments`] and
-//! [`FrequencyTable`]s behind `parking_lot` RwLocks, making it shareable
-//! across threads and across successive queries.
+//! [`FrequencyTable`]s in per-key once-cells behind `parking_lot`
+//! RwLocks, making it shareable across threads and across successive
+//! queries: each key is scanned exactly once no matter how many threads
+//! ask, and distinct keys never serialize on each other.
 //!
 //! The cache *owns* its table through an [`Arc`], so engines built on it
 //! have no borrowed lifetime and can be shared freely between worker
@@ -24,8 +26,9 @@
 //! instrumentation such as `ziggy-serve`'s `/metrics` endpoint.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 use ziggy_stats::{FrequencyTable, PairMoments, UniMoments};
@@ -51,16 +54,42 @@ impl CacheCounters {
     }
 }
 
+/// One per-key memoization slot. The map's RwLock guards only slot
+/// *lookup*; the scan itself runs under the slot's `OnceLock`, so a
+/// cold key is computed exactly once without blocking other keys.
+type Slot<T> = Arc<OnceLock<T>>;
+
+/// Finds or creates the slot for `key`, holding the map lock only for
+/// the lookup — never during a table scan.
+fn slot_for<K: Eq + Hash + Copy, V>(map: &RwLock<HashMap<K, Slot<V>>>, key: K) -> Slot<V> {
+    if let Some(s) = map.read().get(&key) {
+        return Arc::clone(s);
+    }
+    Arc::clone(map.write().entry(key).or_default())
+}
+
+/// Memoized entries (slots whose computation completed).
+fn initialized<K, V>(map: &RwLock<HashMap<K, Slot<V>>>) -> usize {
+    map.read().values().filter(|s| s.get().is_some()).count()
+}
+
 /// Memoized whole-table statistics for one [`Table`].
 ///
 /// The cache holds the table via `Arc`, guaranteeing the statistics
 /// always refer to the data they were computed from while remaining
 /// shareable across threads without a borrowed lifetime.
+///
+/// Concurrency: each key memoizes into its own [`OnceLock`] slot, so
+/// concurrent cold lookups of the *same* key collapse to one scan (the
+/// losers block on that slot and record hits), while cold scans of
+/// *different* keys — e.g. the preparation stage's parallel pair sweep —
+/// proceed fully in parallel. Hit/miss counters are exact, not
+/// best-effort: one miss per computed key, everything else a hit.
 pub struct StatsCache {
     table: Arc<Table>,
-    uni: RwLock<HashMap<usize, UniMoments>>,
-    pair: RwLock<HashMap<(usize, usize), PairMoments>>,
-    freq: RwLock<HashMap<usize, FrequencyTable>>,
+    uni: RwLock<HashMap<usize, Slot<UniMoments>>>,
+    pair: RwLock<HashMap<(usize, usize), Slot<PairMoments>>>,
+    freq: RwLock<HashMap<usize, Slot<FrequencyTable>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -115,14 +144,18 @@ impl StatsCache {
 
     /// Whole-table univariate moments of numeric column `col` (cached).
     pub fn uni(&self, col: usize) -> Result<UniMoments> {
-        if let Some(m) = self.uni.read().get(&col) {
+        let slot = slot_for(&self.uni, col);
+        if let Some(m) = slot.get() {
             self.record(true);
             return Ok(*m);
         }
         let data = self.table.numeric(col)?;
-        let m = UniMoments::from_slice(data);
-        self.record(false);
-        self.uni.write().insert(col, m);
+        let mut scanned = false;
+        let m = *slot.get_or_init(|| {
+            scanned = true;
+            UniMoments::from_slice(data)
+        });
+        self.record(!scanned);
         Ok(m)
     }
 
@@ -130,47 +163,67 @@ impl StatsCache {
     /// symmetric — `(b, a)` hits the same entry).
     pub fn pair(&self, a: usize, b: usize) -> Result<PairMoments> {
         let key = (a.min(b), a.max(b));
-        if let Some(m) = self.pair.read().get(&key) {
+        let slot = slot_for(&self.pair, key);
+        if let Some(m) = slot.get() {
             self.record(true);
             return Ok(*m);
         }
         let xs = self.table.numeric(key.0)?;
         let ys = self.table.numeric(key.1)?;
-        let m = PairMoments::from_slices(xs, ys)?;
-        self.record(false);
-        self.pair.write().insert(key, m);
+        // TableBuilder enforces equal column lengths, but a deserialized
+        // table may not have passed through it — keep the Err contract.
+        if xs.len() != ys.len() {
+            return Err(ziggy_stats::StatsError::LengthMismatch {
+                left: xs.len(),
+                right: ys.len(),
+            }
+            .into());
+        }
+        let mut scanned = false;
+        let m = *slot.get_or_init(|| {
+            scanned = true;
+            PairMoments::from_slices(xs, ys).expect("lengths checked above")
+        });
+        self.record(!scanned);
         Ok(m)
     }
 
     /// Whole-table frequency table of categorical column `col` (cached).
     pub fn freq(&self, col: usize) -> Result<FrequencyTable> {
-        if let Some(t) = self.freq.read().get(&col) {
+        let slot = slot_for(&self.freq, col);
+        if let Some(t) = slot.get() {
             self.record(true);
             return Ok(t.clone());
         }
         let (codes, labels) = self.table.categorical(col)?;
-        let t = FrequencyTable::from_codes(
-            codes.iter().map(|&c| {
-                if c == crate::column::NULL_CODE {
-                    None
-                } else {
-                    Some(c)
-                }
-            }),
-            labels.len(),
-        );
-        self.record(false);
-        self.freq.write().insert(col, t.clone());
+        let mut scanned = false;
+        let t = slot
+            .get_or_init(|| {
+                scanned = true;
+                FrequencyTable::from_codes(
+                    codes.iter().map(|&c| {
+                        if c == crate::column::NULL_CODE {
+                            None
+                        } else {
+                            Some(c)
+                        }
+                    }),
+                    labels.len(),
+                )
+            })
+            .clone();
+        self.record(!scanned);
         Ok(t)
     }
 
     /// Number of memoized entries `(uni, pair, freq)` — mostly for tests
-    /// and instrumentation.
+    /// and instrumentation. Counts completed computations only, not
+    /// slots whose lookup errored (wrong column type) before scanning.
     pub fn sizes(&self) -> (usize, usize, usize) {
         (
-            self.uni.read().len(),
-            self.pair.read().len(),
-            self.freq.read().len(),
+            initialized(&self.uni),
+            initialized(&self.pair),
+            initialized(&self.freq),
         )
     }
 
@@ -417,11 +470,19 @@ mod tests {
                         cache.uni(col).unwrap();
                     }
                     cache.pair(0, 1).unwrap();
+                    cache.freq(2).unwrap();
                 });
             }
         });
-        let (u, p, _) = cache.sizes();
+        let (u, p, f) = cache.sizes();
         assert_eq!(u, 2);
         assert_eq!(p, 1);
+        assert_eq!(f, 1);
+        // Concurrent cold lookups of the same key must collapse to ONE
+        // scan each: exactly one miss per distinct key, every other
+        // lookup a hit — the counters are exact, not best-effort.
+        let c = cache.counters();
+        assert_eq!(c.misses, 4, "{c:?}");
+        assert_eq!(c.hits, 4 * 4 - 4, "{c:?}");
     }
 }

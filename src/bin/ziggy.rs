@@ -109,7 +109,7 @@ fn run_serve(args: &[String]) {
         }
     }
     println!("ziggy-serve listening on http://{}", server.local_addr());
-    println!("endpoints: /healthz /metrics /tables /tables/{{name}}/characterize /sessions /sessions/{{id}}/step");
+    println!("endpoints: /healthz /metrics /tables /tables/{{name}}[/characterize] /sessions /sessions/{{id}}[/step]");
     // Serve until the process is terminated.
     loop {
         std::thread::park();

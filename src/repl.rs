@@ -269,18 +269,22 @@ impl ReplState {
                 .parse::<usize>()
                 .map_err(|_| format!("not an integer: {value}"))
         };
+        // Mutate a scratch copy so a rejected value leaves the live
+        // config (and the engine cached from it) untouched.
+        let mut config = self.config.clone();
         match key {
-            "max_views" => self.config.max_views = parse_u()?,
-            "max_view_size" => self.config.max_view_size = parse_u()?,
-            "min_tightness" => self.config.min_tightness = parse_f()?,
-            "alpha" => self.config.alpha = parse_f()?,
-            "w_mean" => self.config.weights.mean = parse_f()?,
-            "w_dispersion" => self.config.weights.dispersion = parse_f()?,
-            "w_correlation" => self.config.weights.correlation = parse_f()?,
-            "w_frequency" => self.config.weights.frequency = parse_f()?,
+            "max_views" => config.max_views = parse_u()?,
+            "max_view_size" => config.max_view_size = parse_u()?,
+            "min_tightness" => config.min_tightness = parse_f()?,
+            "alpha" => config.alpha = parse_f()?,
+            "w_mean" => config.weights.mean = parse_f()?,
+            "w_dispersion" => config.weights.dispersion = parse_f()?,
+            "w_correlation" => config.weights.correlation = parse_f()?,
+            "w_frequency" => config.weights.frequency = parse_f()?,
             other => return Err(format!("unknown parameter: {other}")),
         }
-        self.config.validate().map_err(|e| e.to_string())?;
+        config.validate().map_err(|e| e.to_string())?;
+        self.config = config;
         // The engine bakes in its config; rebuild lazily on next use.
         self.engine = None;
         Ok(format!("{key} = {value}"))
@@ -410,13 +414,12 @@ mod tests {
         let mut s = ReplState::new();
         assert_eq!(text(s.handle("set max_views 7")), "max_views = 7");
         assert_eq!(s.config().max_views, 7);
-        // Invalid values are rejected with a message (state may hold the
-        // raw value but the next query would fail validation — the REPL
-        // surfaces it immediately instead).
-        assert!(
-            text(s.handle("set min_tightness 5")).contains("error")
-                || text(s.handle("info")).contains("min_tightness")
-        );
+        // Invalid values are rejected AND leave the live config
+        // untouched, so later sets are not poisoned by the bad value.
+        let before = s.config().min_tightness;
+        assert!(text(s.handle("set min_tightness 5")).contains("error"));
+        assert_eq!(s.config().min_tightness, before);
+        assert_eq!(text(s.handle("set max_views 9")), "max_views = 9");
     }
 
     #[test]

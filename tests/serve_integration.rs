@@ -19,10 +19,22 @@ fn twin_csv_and_query() -> (String, String) {
     (write_csv_string(&twin.table, ','), twin.predicate)
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\")
-        .replace('"', "\\\"")
-        .replace('\n', "\\n")
+/// Builds a JSON object body from string fields via the same serializer
+/// the server uses — no hand-rolled (and inevitably incomplete)
+/// escaping.
+fn json_body(fields: &[(&str, &str)]) -> String {
+    serde_json::to_string(&serde_json::Value::Object(
+        fields
+            .iter()
+            .map(|(k, v)| {
+                (
+                    (*k).to_string(),
+                    serde_json::Value::String((*v).to_string()),
+                )
+            })
+            .collect(),
+    ))
+    .unwrap()
 }
 
 /// Serializes a report with timings zeroed, the canonical form for
@@ -53,13 +65,13 @@ fn concurrent_clients_get_identical_reports_and_stats_compute_once() {
     let addr = server.local_addr();
 
     // Ingest.
-    let body = format!(r#"{{"name":"boxoffice","csv":"{}"}}"#, json_escape(&csv));
+    let body = json_body(&[("name", "boxoffice"), ("csv", &csv)]);
     let (status, resp) = request_once(addr, "POST", "/tables", Some(&body)).unwrap();
     assert_eq!(status, 201, "{resp}");
     assert!(resp.contains("\"n_rows\":900"), "{resp}");
 
     // ≥8 concurrent clients characterize the same selection.
-    let query_body = format!(r#"{{"query":"{}"}}"#, json_escape(&query));
+    let query_body = json_body(&[("query", &query)]);
     let responses: Vec<(u16, String)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..CONCURRENT_CLIENTS)
             .map(|_| {
@@ -140,7 +152,7 @@ fn concurrent_ingest_and_sessions() {
                 for r in 0..120 {
                     csv.push_str(&format!("{r},{}\n", (r * (i + 3)) % 17));
                 }
-                let body = format!(r#"{{"name":"t{i}","csv":"{}"}}"#, json_escape(&csv));
+                let body = json_body(&[("name", &format!("t{i}")), ("csv", &csv)]);
                 let (status, resp) = request_once(addr, "POST", "/tables", Some(&body)).unwrap();
                 assert_eq!(status, 201, "{resp}");
             });
@@ -192,6 +204,22 @@ fn concurrent_ingest_and_sessions() {
         }
     });
 
+    // Clean up over the wire: sessions first, then their tables. The
+    // caps bound live state, so every slot frees.
+    for &id in &session_ids {
+        let (status, resp) =
+            request_once(addr, "DELETE", &format!("/sessions/{id}"), None).unwrap();
+        assert_eq!(status, 200, "{resp}");
+    }
+    for i in 0..CONCURRENT_CLIENTS {
+        let (status, resp) = request_once(addr, "DELETE", &format!("/tables/t{i}"), None).unwrap();
+        assert_eq!(status, 200, "{resp}");
+    }
+    let (_, listing) = request_once(addr, "GET", "/tables", None).unwrap();
+    assert_eq!(listing, r#"{"tables":[]}"#);
+    let (status, _) = request_once(addr, "DELETE", "/tables/t0", None).unwrap();
+    assert_eq!(status, 404);
+
     server.shutdown();
 }
 
@@ -204,11 +232,11 @@ fn shared_engine_outperforms_per_request_engines() {
     let (csv, query) = twin_csv_and_query();
     let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
     let addr = server.local_addr();
-    let body = format!(r#"{{"name":"b","csv":"{}"}}"#, json_escape(&csv));
+    let body = json_body(&[("name", "b"), ("csv", &csv)]);
     let (status, _) = request_once(addr, "POST", "/tables", Some(&body)).unwrap();
     assert_eq!(status, 201);
 
-    let query_body = format!(r#"{{"query":"{}"}}"#, json_escape(&query));
+    let query_body = json_body(&[("query", &query)]);
     let mut client = Client::connect(addr).unwrap();
     for _ in 0..4 {
         let (status, _) = client
