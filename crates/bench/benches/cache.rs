@@ -1,10 +1,12 @@
 //! Criterion bench for experiment T5: the shared-computation
 //! optimization. Complement statistics by moment-cache subtraction vs a
-//! direct second scan over the complement rows.
+//! direct second scan over the complement rows, plus the word-wise
+//! masked kernels vs the naive per-row loops they replaced.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use ziggy_stats::{PairMoments, UniMoments};
 use ziggy_store::{eval::select, masked_pair, masked_uni, StatsCache};
 use ziggy_synth::scaling_dataset;
 
@@ -77,5 +79,42 @@ fn complement_pair(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, complement_uni, complement_pair);
+/// Word-wise masked kernels vs the naive per-row loops: the per-query
+/// selection-side scan that remains after both cache levels.
+fn masked_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masked_kernels");
+    for rows in [5_000usize, 50_000] {
+        let d = scaling_dataset(rows, 16, 11);
+        let mask = select(&d.table, &d.predicate).expect("predicate evaluates");
+        let cols: Vec<usize> = d.table.numeric_indices();
+        group.bench_with_input(BenchmarkId::new("uni_wordwise", rows), &rows, |b, _| {
+            b.iter(|| {
+                for &col in &cols {
+                    let data = d.table.numeric(col).unwrap();
+                    black_box(UniMoments::from_mask_words(data, mask.words()));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("uni_naive", rows), &rows, |b, _| {
+            b.iter(|| {
+                for &col in &cols {
+                    let data = d.table.numeric(col).unwrap();
+                    black_box(UniMoments::from_masked(data, |i| mask.get(i)));
+                }
+            })
+        });
+        let (xa, xb) = (cols[0], cols[1]);
+        let xs = d.table.numeric(xa).unwrap();
+        let ys = d.table.numeric(xb).unwrap();
+        group.bench_with_input(BenchmarkId::new("pair_wordwise", rows), &rows, |b, _| {
+            b.iter(|| black_box(PairMoments::from_mask_words(xs, ys, mask.words()).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("pair_naive", rows), &rows, |b, _| {
+            b.iter(|| black_box(PairMoments::from_masked(xs, ys, |i| mask.get(i)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, complement_uni, complement_pair, masked_kernels);
 criterion_main!(benches);

@@ -85,13 +85,9 @@ fn main() {
     let elapsed = t_warm.elapsed().as_secs_f64();
     let rps = total_requests as f64 / elapsed;
 
-    let counters = server
-        .state()
-        .registry
-        .get("crime")
-        .unwrap()
-        .cache()
-        .counters();
+    let entry = server.state().registry.get("crime").unwrap();
+    let counters = entry.cache().counters();
+    let prepared = entry.engine().prepared_cache().counters();
 
     let result = Value::Object(vec![
         ("benchmark".into(), Value::String("serve_throughput".into())),
@@ -112,6 +108,14 @@ fn main() {
             Value::Object(vec![
                 ("hits".into(), num_u(counters.hits)),
                 ("misses".into(), num_u(counters.misses)),
+            ]),
+        ),
+        (
+            "prepared".into(),
+            Value::Object(vec![
+                ("hits".into(), num_u(prepared.hits)),
+                ("misses".into(), num_u(prepared.misses)),
+                ("evictions".into(), num_u(prepared.evictions)),
             ]),
         ),
     ]);

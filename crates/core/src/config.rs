@@ -59,6 +59,18 @@ pub struct ZiggyConfig {
     /// processing times" (KS needs a sort per column per query).
     #[serde(default)]
     pub extended_components: bool,
+    /// Capacity of the per-query `PreparedStats` cache (distinct
+    /// selection masks memoized per engine, LRU-evicted). Repeated or
+    /// shared predicates skip the preparation stage entirely; `0`
+    /// disables the cache. Default 64 — also for deserialized configs
+    /// that predate the field (a bare `#[serde(default)]` would turn
+    /// the cache *off* for them).
+    #[serde(default = "default_prepared_cache_capacity")]
+    pub prepared_cache_capacity: usize,
+}
+
+fn default_prepared_cache_capacity() -> usize {
+    64
 }
 
 impl Default for ZiggyConfig {
@@ -77,6 +89,7 @@ impl Default for ZiggyConfig {
             parallel: true,
             pairwise_components: true,
             extended_components: false,
+            prepared_cache_capacity: 64,
         }
     }
 }
@@ -170,6 +183,19 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn missing_prepared_cache_capacity_defaults_to_enabled() {
+        // Configs serialized before the field existed must not silently
+        // disable the cache (0 = off; the default is 64).
+        let mut json = serde_json::to_value(&ZiggyConfig::default()).unwrap();
+        if let serde_json::Value::Object(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "prepared_cache_capacity");
+        }
+        let back: ZiggyConfig =
+            serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
+        assert_eq!(back.prepared_cache_capacity, 64);
     }
 
     #[test]

@@ -4,23 +4,26 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use ziggy_store::{eval, parse_predicate, Bitmask, StatsCache, Table};
+use ziggy_store::{eval, parse_predicate, Bitmask, PreparedCache, StatsCache, Table};
 
 use crate::candidates::generate_candidates;
 use crate::config::ZiggyConfig;
 use crate::error::{Result, ZiggyError};
 use crate::explain;
 use crate::graph::{usable_columns, DependencyGraph};
-use crate::prepare::prepare;
+use crate::prepare::{prepare, PreparedStats};
 use crate::report::{CharacterizationReport, StageTimings, View, ViewReport};
 use crate::robust::view_robustness;
 use crate::search::search;
 
 /// The Ziggy engine bound to one table.
 ///
-/// Holds the whole-table statistics cache, so successive queries against
-/// the same table share the expensive moment computations (the paper's
-/// between-query optimization).
+/// Holds both levels of the reuse strategy: the whole-table statistics
+/// cache (successive queries share the expensive moment computations —
+/// the paper's between-query optimization) and the per-query
+/// [`PreparedCache`] of finished [`PreparedStats`], keyed by the
+/// selection mask, so *repeated* queries skip the preparation stage
+/// entirely.
 ///
 /// The engine owns its table through an `Arc` and all interior state is
 /// lock-protected, so a single `Ziggy` is `Send + Sync`: one engine per
@@ -33,6 +36,8 @@ pub struct Ziggy {
     config: ZiggyConfig,
     /// Dependency graph is query-independent; memoized after first use.
     graph: parking_lot::Mutex<Option<DependencyGraph>>,
+    /// Per-query `PreparedStats`, memoized against the selection mask.
+    prepared: PreparedCache<Arc<PreparedStats>>,
 }
 
 // parking_lot re-export via ziggy-store's dependency is not public; the
@@ -52,6 +57,9 @@ impl Ziggy {
         Self {
             cache: StatsCache::shared(Arc::clone(&table)),
             table,
+            // Capacity 0 disables the cache at lookup time; the clamp to 1
+            // inside `PreparedCache::new` only keeps the struct well-formed.
+            prepared: PreparedCache::new(config.prepared_cache_capacity),
             config,
             graph: parking_lot::Mutex::new(None),
         }
@@ -75,6 +83,13 @@ impl Ziggy {
     /// The whole-table statistics cache (shared across queries).
     pub fn cache(&self) -> &StatsCache {
         &self.cache
+    }
+
+    /// The per-query `PreparedStats` cache (shared across queries,
+    /// sessions, and clients of this engine; inspect its counters for
+    /// the once-per-predicate guarantee).
+    pub fn prepared_cache(&self) -> &PreparedCache<Arc<PreparedStats>> {
+        &self.prepared
     }
 
     fn graph(&self) -> Result<DependencyGraph> {
@@ -131,6 +146,16 @@ impl Ziggy {
         query_label: &str,
     ) -> Result<CharacterizationReport> {
         self.config.validate()?;
+        // The word-wise kernels index columns by mask word; a mask built
+        // for a different table must fail up front as an Err, not as a
+        // kernel panic (or an n_outside underflow) deep in preparation.
+        if mask.len() != self.table.n_rows() {
+            return Err(ZiggyError::Store(ziggy_store::StoreError::LengthMismatch {
+                column: "<mask>".to_string(),
+                got: mask.len(),
+                expected: self.table.n_rows(),
+            }));
+        }
         let n_inside = mask.count_ones();
         let n_outside = self.table.n_rows() - n_inside;
         if n_inside < self.config.min_side_rows || n_outside < self.config.min_side_rows {
@@ -142,9 +167,20 @@ impl Ziggy {
         }
 
         // --- Stage 1: preparation. --------------------------------------
+        // Two-level reuse: a mask already prepared on this engine (by any
+        // thread, session, or client) is served from the PreparedCache in
+        // O(mask words); only genuinely new selections pay the masked
+        // scans, which themselves run word-wise and derive complement
+        // statistics from the whole-table StatsCache by subtraction.
         let t0 = Instant::now();
         let graph = self.graph()?;
-        let prepared = prepare(&self.cache, mask, graph.columns(), &self.config)?;
+        let prepared: Arc<PreparedStats> = if self.config.prepared_cache_capacity == 0 {
+            Arc::new(prepare(&self.cache, mask, graph.columns(), &self.config)?)
+        } else {
+            self.prepared.get_or_build(mask, || {
+                prepare(&self.cache, mask, graph.columns(), &self.config).map(Arc::new)
+            })?
+        };
         let preparation_us = t0.elapsed().as_micros() as u64;
 
         // --- Stage 2: view search. --------------------------------------
@@ -394,6 +430,85 @@ mod tests {
         let art = z.dependency_dendrogram().unwrap();
         assert!(art.contains("pop"));
         assert!(art.contains("height"));
+    }
+
+    #[test]
+    fn repeated_query_served_from_prepared_cache() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        let first = z.characterize("crime >= 50").unwrap();
+        let c = z.prepared_cache().counters();
+        assert_eq!((c.hits, c.misses), (0, 1), "{c:?}");
+        // Same predicate again: preparation is skipped entirely…
+        let second = z.characterize("crime >= 50").unwrap();
+        let c = z.prepared_cache().counters();
+        assert_eq!((c.hits, c.misses), (1, 1), "{c:?}");
+        // …and the report is identical.
+        assert_eq!(first.views.len(), second.views.len());
+        for (a, b) in first.views.iter().zip(&second.views) {
+            assert_eq!(a.view, b.view);
+            assert!((a.score - b.score).abs() < 1e-15);
+        }
+        // A *semantically* equal predicate spelled differently also hits:
+        // the cache keys on the selection mask, not the query text.
+        z.characterize("NOT crime < 50").unwrap();
+        let c = z.prepared_cache().counters();
+        assert_eq!((c.hits, c.misses), (2, 1), "{c:?}");
+        // A different selection builds its own entry. (Note "pop >= 50"
+        // would *hit*: it selects the same rows as "crime >= 50" in this
+        // fixture, and the cache keys on rows, not query text.)
+        z.characterize("rain >= 50").unwrap();
+        let c = z.prepared_cache().counters();
+        assert_eq!((c.hits, c.misses), (2, 2), "{c:?}");
+        assert_eq!(z.prepared_cache().len(), 2);
+    }
+
+    #[test]
+    fn prepared_cache_capacity_zero_disables() {
+        let t = crime_like();
+        let z = Ziggy::new(
+            &t,
+            ZiggyConfig {
+                prepared_cache_capacity: 0,
+                ..Default::default()
+            },
+        );
+        z.characterize("crime >= 50").unwrap();
+        z.characterize("crime >= 50").unwrap();
+        let c = z.prepared_cache().counters();
+        assert_eq!(
+            (c.hits, c.misses),
+            (0, 0),
+            "disabled cache must not be touched"
+        );
+        assert!(z.prepared_cache().is_empty());
+    }
+
+    #[test]
+    fn wrong_length_mask_is_an_error_not_a_panic() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        for bad_len in [10usize, t.n_rows() + 64] {
+            let mask = ziggy_store::Bitmask::ones(bad_len);
+            assert!(
+                matches!(
+                    z.characterize_mask(&mask, "bad"),
+                    Err(ZiggyError::Store(
+                        ziggy_store::StoreError::LengthMismatch { .. }
+                    ))
+                ),
+                "len {bad_len}"
+            );
+        }
+        // Direct prepare() callers get the same contract.
+        let usable = crate::graph::usable_columns(&t);
+        assert!(crate::prepare::prepare(
+            z.cache(),
+            &ziggy_store::Bitmask::ones(10),
+            &usable,
+            z.config()
+        )
+        .is_err());
     }
 
     #[test]

@@ -3,13 +3,24 @@
 //! "During the preparation step, Ziggy executes the user's query, loads
 //! the results, and computes the Zig-Components associated to each column
 //! and each couple of columns. This is often the most time consuming
-//! step." (§3.) Costs are kept down two ways:
+//! step." (§3.) Costs are kept down three ways — a two-level reuse
+//! strategy plus fast kernels for whatever still has to be scanned:
 //!
-//! * complement statistics come from the whole-table moment cache by
+//! * **whole-table complement cache** ([`StatsCache`]): complement
+//!   statistics come from the memoized whole-table moments by
 //!   subtraction (one masked scan per query instead of two full scans) —
 //!   the reproduction of the full paper's shared-computation strategy;
-//! * pairwise components are computed on worker threads via
-//!   `std::thread::scope` when [`ZiggyConfig::parallel`] is set.
+//! * **per-query `PreparedStats` cache** (`ziggy_store::PreparedCache`,
+//!   threaded through [`crate::pipeline::Ziggy`]): the finished
+//!   [`PreparedStats`] is memoized against the selection mask, so a
+//!   repeated or shared predicate — REPL refinement loops, exploration
+//!   sessions, concurrent HTTP clients — skips this stage entirely;
+//! * **word-wise masked kernels** (`UniMoments::from_mask_words` and
+//!   friends): the selection-side scans that do run process 64 rows per
+//!   packed mask word with per-word accumulation, instead of paying a
+//!   branch and an indirection per selected row. Pairwise components
+//!   additionally fan out over worker threads via `std::thread::scope`
+//!   when [`ZiggyConfig::parallel`] is set.
 
 use std::collections::HashMap;
 
@@ -69,23 +80,29 @@ pub fn prepare(
     config: &ZiggyConfig,
 ) -> Result<PreparedStats> {
     let table = cache.table();
+    // Guard the kernels' packed-word contract: a wrong-length mask must
+    // be an Err for direct callers too, not an assertion or underflow.
+    if mask.len() != table.n_rows() {
+        return Err(ziggy_store::StoreError::LengthMismatch {
+            column: "<mask>".to_string(),
+            got: mask.len(),
+            expected: table.n_rows(),
+        }
+        .into());
+    }
     let n_inside = mask.count_ones();
     let n_outside = table.n_rows() - n_inside;
-    let rows: Vec<usize> = mask.iter_ones().collect();
 
     let mut components: Vec<ZigComponent> = Vec::new();
 
-    // --- Univariate components, one pass per usable column. ------------
+    // --- Univariate components, one word-wise pass per usable column. --
     let mut numeric_cols: Vec<usize> = Vec::new();
     let mut inside_uni: HashMap<usize, UniMoments> = HashMap::new();
     for &col in usable {
         match table.schema().column(col).map(|c| c.ctype) {
             Some(ColumnType::Numeric) => {
                 let data = table.numeric(col)?;
-                let mut inside = UniMoments::new();
-                for &r in &rows {
-                    inside.push(data[r]);
-                }
+                let inside = UniMoments::from_mask_words(data, mask.words());
                 let outside = cache.uni_complement(col, &inside)?;
                 if let Ok(c) = ZigComponent::mean_shift(col, &inside, &outside) {
                     components.push(c);
@@ -97,9 +114,9 @@ pub fn prepare(
                     // Raw-sample component: needs the actual values, not
                     // just moments (hence the extra per-query cost the
                     // paper warns about).
-                    let inside_vals: Vec<f64> = rows
-                        .iter()
-                        .map(|&r| data[r])
+                    let inside_vals: Vec<f64> = mask
+                        .iter_ones()
+                        .map(|r| data[r])
                         .filter(|v| v.is_finite())
                         .collect();
                     let outside_vals: Vec<f64> = data
@@ -135,9 +152,9 @@ pub fn prepare(
             }
         }
         let pair_components = if config.parallel && pairs.len() >= 64 {
-            compute_pairs_parallel(cache, &rows, &pairs)
+            compute_pairs_parallel(cache, mask, &pairs)
         } else {
-            compute_pairs_serial(cache, &rows, &pairs)
+            compute_pairs_serial(cache, mask, &pairs)
         };
         components.extend(pair_components);
     }
@@ -156,32 +173,29 @@ pub fn prepare(
     })
 }
 
-fn compute_pair(cache: &StatsCache, rows: &[usize], a: usize, b: usize) -> Option<ZigComponent> {
+fn compute_pair(cache: &StatsCache, mask: &Bitmask, a: usize, b: usize) -> Option<ZigComponent> {
     let table = cache.table();
     let xs = table.numeric(a).ok()?;
     let ys = table.numeric(b).ok()?;
-    let mut inside = PairMoments::new();
-    for &r in rows {
-        inside.push(xs[r], ys[r]);
-    }
+    let inside = PairMoments::from_mask_words(xs, ys, mask.words()).ok()?;
     let outside = cache.pair_complement(a, b, &inside).ok()?;
     ZigComponent::correlation_shift(a, b, &inside, &outside).ok()
 }
 
 fn compute_pairs_serial(
     cache: &StatsCache,
-    rows: &[usize],
+    mask: &Bitmask,
     pairs: &[(usize, usize)],
 ) -> Vec<ZigComponent> {
     pairs
         .iter()
-        .filter_map(|&(a, b)| compute_pair(cache, rows, a, b))
+        .filter_map(|&(a, b)| compute_pair(cache, mask, a, b))
         .collect()
 }
 
 fn compute_pairs_parallel(
     cache: &StatsCache,
-    rows: &[usize],
+    mask: &Bitmask,
     pairs: &[(usize, usize)],
 ) -> Vec<ZigComponent> {
     let threads = std::thread::available_parallelism()
@@ -197,7 +211,7 @@ fn compute_pairs_parallel(
                 s.spawn(move || {
                     slice
                         .iter()
-                        .filter_map(|&(a, b)| compute_pair(cache, rows, a, b))
+                        .filter_map(|&(a, b)| compute_pair(cache, mask, a, b))
                         .collect::<Vec<_>>()
                 })
             })

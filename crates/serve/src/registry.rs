@@ -199,7 +199,11 @@ impl TableRegistry {
         entries.iter().map(|e| e.summary()).collect()
     }
 
-    /// Per-table cache counters for `/metrics`, sorted by name.
+    /// Per-table cache counters for `/metrics`, sorted by name. Each
+    /// table reports both reuse levels: `cache` is the whole-table
+    /// moment/frequency cache, `prepared` the per-query `PreparedStats`
+    /// cache (its `misses` count exactly how many times the preparation
+    /// stage actually ran on this engine).
     pub fn cache_stats(&self) -> Vec<Value> {
         let mut entries: Vec<Arc<TableEntry>> = self.tables.read().values().cloned().collect();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
@@ -208,6 +212,7 @@ impl TableRegistry {
             .map(|e| {
                 let c = e.cache().counters();
                 let (uni, pair, freq) = e.cache().sizes();
+                let p = e.engine().prepared_cache().counters();
                 Value::Object(vec![
                     ("name".into(), Value::String(e.name.clone())),
                     (
@@ -221,6 +226,26 @@ impl TableRegistry {
                             (
                                 "entries".into(),
                                 Value::Number(serde_json::Number::U((uni + pair + freq) as u64)),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "prepared".into(),
+                        Value::Object(vec![
+                            ("hits".into(), Value::Number(serde_json::Number::U(p.hits))),
+                            (
+                                "misses".into(),
+                                Value::Number(serde_json::Number::U(p.misses)),
+                            ),
+                            (
+                                "evictions".into(),
+                                Value::Number(serde_json::Number::U(p.evictions)),
+                            ),
+                            (
+                                "entries".into(),
+                                Value::Number(serde_json::Number::U(
+                                    e.engine().prepared_cache().len() as u64,
+                                )),
                             ),
                         ]),
                     ),

@@ -130,6 +130,10 @@ fn handle_delete_table(state: &ServeState, name: &str) -> Result<Response, ApiEr
     // Cascade: close the table's sessions so the dropped engine's memory
     // actually frees instead of staying pinned behind abandoned clients.
     let sessions_closed = state.sessions.remove_for_table(&entry);
+    // Invalidate the per-query PreparedStats cache eagerly: even while
+    // in-flight requests pin the engine Arc, the memoized per-mask
+    // artifacts (the bulk of the engine's mutable footprint) free now.
+    entry.engine().prepared_cache().clear();
     state.metrics.tables_deleted.inc();
     state.metrics.sessions_deleted.add(sessions_closed as u64);
     Ok(json_response(
@@ -443,6 +447,28 @@ mod tests {
         assert_eq!(tables.len(), 1);
         let cache = tables[0].get("cache").unwrap();
         assert!(cache.get("misses").unwrap().as_u64().unwrap() > 0);
+        // The per-query PreparedStats cache reports alongside: one
+        // characterization so far = one build, no hits yet.
+        let prepared = tables[0].get("prepared").unwrap();
+        assert_eq!(prepared.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(prepared.get("hits").unwrap().as_u64(), Some(0));
+        assert_eq!(prepared.get("entries").unwrap().as_u64(), Some(1));
+        // A repeat of the same predicate is a pure cache hit.
+        route(
+            &state,
+            &request(
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key >= 150"}"#,
+            ),
+        );
+        let r = route(&state, &request("GET", "/metrics", ""));
+        let v = serde_json::from_str_value(&r.body).unwrap();
+        let prepared = v.get("tables").unwrap().as_array().unwrap()[0]
+            .get("prepared")
+            .unwrap();
+        assert_eq!(prepared.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(prepared.get("hits").unwrap().as_u64(), Some(1));
         assert!(v
             .get("stage_timings_us")
             .unwrap()

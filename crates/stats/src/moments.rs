@@ -61,12 +61,72 @@ impl UniMoments {
 
     /// Builds a sketch over the masked subset of a column: row `i`
     /// contributes iff `mask(i)` is true.
+    ///
+    /// This is the naive per-row reference; hot paths use the word-wise
+    /// [`UniMoments::from_mask_words`] kernel instead.
     pub fn from_masked(values: &[f64], mask: impl Fn(usize) -> bool) -> Self {
         let mut m = Self::new();
         for (i, &v) in values.iter().enumerate() {
             if mask(i) {
                 m.push(v);
             }
+        }
+        m
+    }
+
+    /// Word-wise masked kernel: builds the sketch from packed mask words
+    /// (64 rows per word, LSB-first; row `wi * 64 + bit` is selected when
+    /// bit `bit` of `words[wi]` is set). Bits at positions `>= values.len()`
+    /// must be zero — `ziggy-store`'s `Bitmask` guarantees this.
+    ///
+    /// All-zero words are skipped in one compare, full words take a
+    /// straight-line loop over the 64-row block, and partial words walk
+    /// set bits with `trailing_zeros` — no per-row closure call, bounds
+    /// check, or branch on a `Vec<usize>` of row ids. Accumulation is
+    /// per-word into plain partial sums folded into the Kahan totals once
+    /// per word, so the result matches the per-row reference to floating
+    /// round-off (property-tested in `tests/property_tests.rs`).
+    pub fn from_mask_words(values: &[f64], words: &[u64]) -> Self {
+        assert!(
+            words.len() >= values.len().div_ceil(64),
+            "mask words too short: {} words for {} values",
+            words.len(),
+            values.len()
+        );
+        let mut m = Self::new();
+        for (wi, &word) in words.iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            let base = wi * 64;
+            let chunk = &values[base..values.len().min(base + 64)];
+            let mut n = 0u64;
+            let mut sum = 0.0f64;
+            let mut sum_sq = 0.0f64;
+            if word == u64::MAX && chunk.len() == 64 {
+                for &v in chunk {
+                    let keep = v.is_finite();
+                    n += keep as u64;
+                    let v = if keep { v } else { 0.0 };
+                    sum += v;
+                    sum_sq += v * v;
+                }
+            } else {
+                let mut bits = word;
+                while bits != 0 {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let v = chunk[tz];
+                    if v.is_finite() {
+                        n += 1;
+                        sum += v;
+                        sum_sq += v * v;
+                    }
+                }
+            }
+            m.n += n;
+            m.sum.add(sum);
+            m.sum_sq.add(sum_sq);
         }
         m
     }
@@ -196,6 +256,9 @@ impl PairMoments {
     }
 
     /// Builds a sketch over the masked subset of two parallel columns.
+    ///
+    /// This is the naive per-row reference; hot paths use the word-wise
+    /// [`PairMoments::from_mask_words`] kernel instead.
     pub fn from_masked(xs: &[f64], ys: &[f64], mask: impl Fn(usize) -> bool) -> Result<Self> {
         if xs.len() != ys.len() {
             return Err(StatsError::LengthMismatch {
@@ -208,6 +271,65 @@ impl PairMoments {
             if mask(i) {
                 m.push(xs[i], ys[i]);
             }
+        }
+        Ok(m)
+    }
+
+    /// Word-wise masked kernel over two parallel columns; the bivariate
+    /// analogue of [`UniMoments::from_mask_words`] (same packed-word
+    /// contract, same per-word accumulation scheme). Rows count only when
+    /// both coordinates are finite, exactly like [`PairMoments::push`].
+    pub fn from_mask_words(xs: &[f64], ys: &[f64], words: &[u64]) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch {
+                left: xs.len(),
+                right: ys.len(),
+            });
+        }
+        assert!(
+            words.len() >= xs.len().div_ceil(64),
+            "mask words too short: {} words for {} values",
+            words.len(),
+            xs.len()
+        );
+        let mut m = Self::new();
+        for (wi, &word) in words.iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            let base = wi * 64;
+            let end = xs.len().min(base + 64);
+            let (cx, cy) = (&xs[base..end], &ys[base..end]);
+            let mut n = 0u64;
+            let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            let mut fold = |x: f64, y: f64| {
+                let keep = x.is_finite() && y.is_finite();
+                n += keep as u64;
+                let (x, y) = if keep { (x, y) } else { (0.0, 0.0) };
+                sx += x;
+                sy += y;
+                sxx += x * x;
+                syy += y * y;
+                sxy += x * y;
+            };
+            if word == u64::MAX && cx.len() == 64 {
+                for (&x, &y) in cx.iter().zip(cy) {
+                    fold(x, y);
+                }
+            } else {
+                let mut bits = word;
+                while bits != 0 {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    fold(cx[tz], cy[tz]);
+                }
+            }
+            m.n += n;
+            m.sum_x.add(sx);
+            m.sum_y.add(sy);
+            m.sum_xx.add(sxx);
+            m.sum_yy.add(syy);
+            m.sum_xy.add(sxy);
         }
         Ok(m)
     }
@@ -413,6 +535,80 @@ mod tests {
     fn uni_constant_variance_zero() {
         let m = UniMoments::from_slice(&[7.0; 50]);
         close(m.variance().unwrap(), 0.0, 1e-12);
+    }
+
+    /// Packs a predicate into LSB-first mask words (test-local stand-in
+    /// for ziggy-store's Bitmask, which this crate cannot depend on).
+    fn pack(len: usize, f: impl Fn(usize) -> bool) -> Vec<u64> {
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for i in (0..len).filter(|&i| f(i)) {
+            words[i / 64] |= 1 << (i % 64);
+        }
+        words
+    }
+
+    #[test]
+    fn uni_word_kernel_matches_naive() {
+        let values: Vec<f64> = (0..200)
+            .map(|i| {
+                if i % 17 == 0 {
+                    f64::NAN
+                } else {
+                    (i as f64 * 0.73).sin() * 50.0
+                }
+            })
+            .collect();
+        for pred in [
+            |_: usize| true,
+            |_: usize| false,
+            |i: usize| i.is_multiple_of(3),
+            |i: usize| i >= 150, // tail-word heavy (200 % 64 != 0)
+        ] {
+            let kernel = UniMoments::from_mask_words(&values, &pack(values.len(), pred));
+            let naive = UniMoments::from_masked(&values, pred);
+            assert_eq!(kernel.count(), naive.count());
+            close(kernel.sum(), naive.sum(), 1e-9);
+            close(kernel.sum_sq(), naive.sum_sq(), 1e-6);
+        }
+    }
+
+    #[test]
+    fn pair_word_kernel_matches_naive() {
+        let xs: Vec<f64> = (0..130)
+            .map(|i| if i == 7 { f64::NAN } else { i as f64 * 0.3 })
+            .collect();
+        let ys: Vec<f64> = (0..130)
+            .map(|i| {
+                if i == 99 {
+                    f64::INFINITY
+                } else {
+                    (i * i) as f64 * 0.01
+                }
+            })
+            .collect();
+        for pred in [|_: usize| true, |i: usize| i % 5 < 2, |i: usize| i > 120] {
+            let kernel = PairMoments::from_mask_words(&xs, &ys, &pack(xs.len(), pred)).unwrap();
+            let naive = PairMoments::from_masked(&xs, &ys, pred).unwrap();
+            assert_eq!(kernel.count(), naive.count());
+            if kernel.count() >= 2 {
+                close(
+                    kernel.covariance().unwrap(),
+                    naive.covariance().unwrap(),
+                    1e-9,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_word_kernel_checks_lengths() {
+        assert!(PairMoments::from_mask_words(&[1.0], &[1.0, 2.0], &[1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "mask words too short")]
+    fn uni_word_kernel_rejects_short_words() {
+        UniMoments::from_mask_words(&[1.0; 65], &[u64::MAX]);
     }
 
     #[test]

@@ -24,13 +24,22 @@
 //! threads (the serving layer shares one cache per table between
 //! clients). Hit/miss counters expose the shared-computation win to
 //! instrumentation such as `ziggy-serve`'s `/metrics` endpoint.
+//!
+//! [`StatsCache`] is the *whole-table* level of a two-level reuse
+//! strategy. The second level is [`PreparedCache`]: a bounded LRU keyed
+//! by the selection mask itself, memoizing whatever per-query artifact
+//! the engine derives from a mask (in `ziggy-core`, the full
+//! `PreparedStats`), so a repeated or shared predicate skips the masked
+//! scans entirely. The masked scans that remain run word-wise
+//! ([`masked_uni`], [`masked_pair`], [`masked_freq`]): 64 rows per mask
+//! word instead of one `iter_ones` round trip per row.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use ziggy_stats::{FrequencyTable, PairMoments, UniMoments};
 
 use crate::error::{Result, StoreError};
@@ -245,31 +254,48 @@ impl StatsCache {
 }
 
 /// Univariate moments of a numeric column restricted to the mask's set
-/// rows (the selection side `Cᴵ`).
+/// rows (the selection side `Cᴵ`). Runs the word-wise kernel: 64 rows per
+/// mask word, zero words skipped in one compare.
 pub fn masked_uni(table: &Table, col: usize, mask: &Bitmask) -> Result<UniMoments> {
     let data = table.numeric(col)?;
     check_mask(table, mask)?;
-    let mut m = UniMoments::new();
-    for i in mask.iter_ones() {
-        m.push(data[i]);
-    }
-    Ok(m)
+    Ok(UniMoments::from_mask_words(data, mask.words()))
 }
 
-/// Pair moments of two numeric columns restricted to the mask's set rows.
+/// Pair moments of two numeric columns restricted to the mask's set rows
+/// (word-wise kernel).
 pub fn masked_pair(table: &Table, a: usize, b: usize, mask: &Bitmask) -> Result<PairMoments> {
     let xs = table.numeric(a)?;
     let ys = table.numeric(b)?;
     check_mask(table, mask)?;
-    let mut m = PairMoments::new();
-    for i in mask.iter_ones() {
-        m.push(xs[i], ys[i]);
-    }
-    Ok(m)
+    Ok(PairMoments::from_mask_words(xs, ys, mask.words())?)
 }
 
-/// Frequency table of a categorical column restricted to the mask.
+/// Frequency table of a categorical column restricted to the mask,
+/// counted block-wise over the mask's non-empty words.
 pub fn masked_freq(table: &Table, col: usize, mask: &Bitmask) -> Result<FrequencyTable> {
+    let (codes, labels) = table.categorical(col)?;
+    check_mask(table, mask)?;
+    let mut t = FrequencyTable::new(labels.len());
+    for (base, word) in mask.blocks() {
+        let chunk = &codes[base..codes.len().min(base + 64)];
+        let mut bits = word;
+        while bits != 0 {
+            let tz = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let c = chunk[tz];
+            if c != crate::column::NULL_CODE {
+                t.push(c);
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// Frequency table of a categorical column restricted to the mask via the
+/// naive per-row loop — the reference implementation the property tests
+/// hold [`masked_freq`]'s block-wise kernel against.
+pub fn masked_freq_naive(table: &Table, col: usize, mask: &Bitmask) -> Result<FrequencyTable> {
     let (codes, labels) = table.categorical(col)?;
     check_mask(table, mask)?;
     let mut t = FrequencyTable::new(labels.len());
@@ -280,6 +306,161 @@ pub fn masked_freq(table: &Table, col: usize, mask: &Bitmask) -> Result<Frequenc
         }
     }
     Ok(t)
+}
+
+/// Snapshot of a [`PreparedCache`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PreparedCounters {
+    /// Lookups answered from a memoized per-query artifact.
+    pub hits: u64,
+    /// Lookups that had to run the builder.
+    pub misses: u64,
+    /// Entries dropped under capacity pressure (LRU policy).
+    pub evictions: u64,
+}
+
+/// One memoization slot. The slot's mutex serializes builders of the
+/// *same* mask — concurrent lookups of one predicate collapse to exactly
+/// one build, with the losers blocking on the winner and recording hits —
+/// while distinct masks never contend (the outer map lock is held only
+/// for slot lookup, never during a build).
+struct PreparedEntry<V> {
+    slot: Arc<Mutex<Option<V>>>,
+    last_used: u64,
+}
+
+/// A bounded, thread-safe LRU cache of per-query derived artifacts,
+/// keyed by the selection [`Bitmask`].
+///
+/// This is the second level of the two-level reuse strategy (the first
+/// is [`StatsCache`]'s whole-table moments): where `StatsCache` removes
+/// the *complement* scan from every query, `PreparedCache` removes the
+/// *selection* scan from every repeated query. `ziggy-core` stores an
+/// `Arc<PreparedStats>` per mask, so REPL refinement loops, exploration
+/// sessions, and HTTP clients issuing the same predicate — byte-equal or
+/// not, masks are compared by *rows selected* — skip preparation
+/// entirely.
+///
+/// Keys hash by [`Bitmask::fingerprint`] (length + word hash) but are
+/// confirmed by full word equality, so fingerprint collisions can cost a
+/// probe, never a wrong answer. Entries are evicted least-recently-used
+/// when the map reaches `capacity`. Hit/miss/eviction counters are
+/// exact, exposed for `/metrics`.
+pub struct PreparedCache<V> {
+    capacity: usize,
+    tick: AtomicU64,
+    map: Mutex<HashMap<Bitmask, PreparedEntry<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> PreparedCache<V> {
+    /// An empty cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the artifact for `mask`, running `build` exactly once per
+    /// resident mask no matter how many threads ask concurrently. A
+    /// failed build caches nothing: the entry is removed and the error
+    /// propagates, so the next lookup retries.
+    pub fn get_or_build<E>(
+        &self,
+        mask: &Bitmask,
+        build: impl FnOnce() -> std::result::Result<V, E>,
+    ) -> std::result::Result<V, E> {
+        let slot = {
+            let mut map = self.map.lock();
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(e) = map.get_mut(mask) {
+                e.last_used = tick;
+                Arc::clone(&e.slot)
+            } else {
+                if map.len() >= self.capacity {
+                    let victim = map
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone());
+                    if let Some(victim) = victim {
+                        map.remove(&victim);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let slot = Arc::new(Mutex::new(None));
+                map.insert(
+                    mask.clone(),
+                    PreparedEntry {
+                        slot: Arc::clone(&slot),
+                        last_used: tick,
+                    },
+                );
+                slot
+            }
+        };
+        let mut guard = slot.lock();
+        if let Some(v) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match build() {
+            Ok(v) => {
+                *guard = Some(v.clone());
+                Ok(v)
+            }
+            Err(e) => {
+                // Drop the placeholder (only if it is still ours — a
+                // concurrent eviction plus re-insert may have replaced it).
+                let mut map = self.map.lock();
+                if map
+                    .get(mask)
+                    .is_some_and(|entry| Arc::ptr_eq(&entry.slot, &slot))
+                {
+                    map.remove(mask);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of resident entries (including ones mid-build).
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+
+    /// Maximum number of resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every entry (used when the underlying table is deleted);
+    /// counters are preserved. In-flight builds finish against their own
+    /// slot Arcs but are no longer findable.
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+
+    /// Exact hit/miss/eviction counters since construction.
+    pub fn counters(&self) -> PreparedCounters {
+        PreparedCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
 }
 
 fn check_mask(table: &Table, mask: &Bitmask) -> Result<()> {
@@ -457,6 +638,123 @@ mod tests {
         assert!(Arc::ptr_eq(&t, &cache.table_arc()));
         cache.uni(0).unwrap();
         assert_eq!(cache.sizes().0, 1);
+    }
+
+    #[test]
+    fn masked_freq_blockwise_matches_naive() {
+        let t = sample();
+        for query in ["x < 1", "x >= 0", "x BETWEEN 37 AND 240", "x < 0"] {
+            let mask = select(&t, query).unwrap();
+            let fast = masked_freq(&t, 2, &mask).unwrap();
+            let naive = masked_freq_naive(&t, 2, &mask).unwrap();
+            assert_eq!(fast.counts(), naive.counts(), "{query}");
+            assert_eq!(fast.total(), naive.total(), "{query}");
+        }
+    }
+
+    #[test]
+    fn prepared_cache_memoizes_and_counts() {
+        let cache: PreparedCache<Arc<Vec<usize>>> = PreparedCache::new(8);
+        let mask = Bitmask::from_fn(100, |i| i % 2 == 0);
+        let mut builds = 0usize;
+        for _ in 0..3 {
+            let v = cache
+                .get_or_build(&mask, || {
+                    builds += 1;
+                    Ok::<_, ()>(Arc::new(mask.iter_ones().collect()))
+                })
+                .unwrap();
+            assert_eq!(v.len(), 50);
+        }
+        assert_eq!(builds, 1, "same mask must build once");
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.evictions), (2, 1, 0));
+        // An equal mask built independently hits the same entry.
+        let same = Bitmask::from_fn(100, |i| i % 2 == 0);
+        cache
+            .get_or_build(&same, || -> std::result::Result<_, ()> {
+                panic!("equal mask must not rebuild")
+            })
+            .unwrap();
+        // A different mask with the same popcount gets its own entry.
+        let other = Bitmask::from_fn(100, |i| i % 2 == 1);
+        cache
+            .get_or_build(&other, || {
+                Ok::<_, ()>(Arc::new(other.iter_ones().collect()))
+            })
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters().misses, 2);
+    }
+
+    #[test]
+    fn prepared_cache_evicts_lru() {
+        let cache: PreparedCache<u32> = PreparedCache::new(2);
+        let masks: Vec<Bitmask> = (0..3).map(|k| Bitmask::from_fn(64, |i| i == k)).collect();
+        cache.get_or_build(&masks[0], || Ok::<_, ()>(0)).unwrap();
+        cache.get_or_build(&masks[1], || Ok::<_, ()>(1)).unwrap();
+        // Touch mask 0 so mask 1 is the LRU victim.
+        cache.get_or_build(&masks[0], || Ok::<_, ()>(99)).unwrap();
+        cache.get_or_build(&masks[2], || Ok::<_, ()>(2)).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters().evictions, 1);
+        // Mask 0 survived; mask 1 was evicted and rebuilds.
+        let mut rebuilt = false;
+        cache
+            .get_or_build(&masks[0], || -> std::result::Result<u32, ()> {
+                panic!("mask 0 must still be resident")
+            })
+            .unwrap();
+        cache
+            .get_or_build(&masks[1], || {
+                rebuilt = true;
+                Ok::<_, ()>(1)
+            })
+            .unwrap();
+        assert!(rebuilt);
+    }
+
+    #[test]
+    fn prepared_cache_does_not_cache_errors() {
+        let cache: PreparedCache<u32> = PreparedCache::new(4);
+        let mask = Bitmask::ones(10);
+        assert_eq!(
+            cache.get_or_build(&mask, || Err::<u32, _>("boom")),
+            Err("boom")
+        );
+        assert!(
+            cache.is_empty(),
+            "failed build must not leave a placeholder"
+        );
+        // The next lookup retries and succeeds.
+        assert_eq!(cache.get_or_build(&mask, || Ok::<_, ()>(7)), Ok(7));
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (0, 2));
+    }
+
+    #[test]
+    fn prepared_cache_concurrent_same_mask_builds_once() {
+        let cache: PreparedCache<u64> = PreparedCache::new(4);
+        let mask = Bitmask::from_fn(256, |i| i % 7 == 0);
+        let builds = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let v = cache
+                        .get_or_build(&mask, || {
+                            builds.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window.
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            Ok::<_, ()>(42)
+                        })
+                        .unwrap();
+                    assert_eq!(v, 42);
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (7, 1));
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod parse;
 pub mod schema;
 pub mod table;
 
-pub use cache::{masked_freq, masked_pair, masked_uni, StatsCache};
+pub use cache::{
+    masked_freq, masked_freq_naive, masked_pair, masked_uni, PreparedCache, PreparedCounters,
+    StatsCache,
+};
 pub use column::Column;
 pub use error::StoreError;
 pub use expr::{CmpOp, Expr, Literal};

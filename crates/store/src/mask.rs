@@ -4,6 +4,15 @@
 //! set when the row belongs to the user's selection. This is the concrete
 //! realization of the paper's `Cᴵ` / `Cᴼ` split — the selection is the set
 //! bits, the complement the clear bits.
+//!
+//! The packed `u64` words are exposed directly ([`Bitmask::words`],
+//! [`Bitmask::blocks`]) so statistics kernels can process 64 rows per
+//! word instead of walking set bits one row at a time. Invariant relied
+//! on throughout: bits at positions `>= len` in the last word are always
+//! zero, so the words are a canonical representation — equality, hashing
+//! and the word-wise kernels never see ghost tail bits.
+
+use std::hash::{Hash, Hasher};
 
 use serde::{Deserialize, Serialize};
 
@@ -44,10 +53,25 @@ impl Bitmask {
         m
     }
 
-    /// Builds a mask from an iterator of booleans.
+    /// Builds a mask from an iterator of booleans in a single pass: bits
+    /// are packed into words as they stream in, with no intermediate
+    /// `Vec<bool>` and no per-bit index arithmetic.
     pub fn from_bools(bools: impl IntoIterator<Item = bool>) -> Self {
-        let bools: Vec<bool> = bools.into_iter().collect();
-        Self::from_fn(bools.len(), |i| bools[i])
+        let mut words: Vec<u64> = Vec::new();
+        let mut current = 0u64;
+        let mut len = 0usize;
+        for b in bools {
+            current |= (b as u64) << (len % 64);
+            len += 1;
+            if len.is_multiple_of(64) {
+                words.push(current);
+                current = 0;
+            }
+        }
+        if !len.is_multiple_of(64) {
+            words.push(current);
+        }
+        Self { words, len }
     }
 
     fn clear_tail(&mut self) {
@@ -129,6 +153,50 @@ impl Bitmask {
         m
     }
 
+    /// The packed words, 64 rows per word, least-significant bit first.
+    /// Bits at positions `>= len` in the last word are guaranteed zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates over `(word_index, word)` pairs — the raw word stream for
+    /// word-wise kernels. Row `word_index * 64 + bit` is selected when
+    /// `word >> bit & 1` is set.
+    pub fn iter_words(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.words.iter().copied().enumerate()
+    }
+
+    /// Iterates over the *non-empty* blocks of the mask as
+    /// `(base_row, word)` pairs: 64 rows starting at `base_row`, with
+    /// all-zero words skipped. This is the sparse-friendly entry point for
+    /// masked scans — a selective predicate visits only the blocks it
+    /// touches.
+    pub fn blocks(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.iter_words()
+            .filter(|&(_, w)| w != 0)
+            .map(|(wi, w)| (wi * 64, w))
+    }
+
+    /// A 64-bit fingerprint of the mask: its length mixed with every
+    /// word. Equal masks always have equal fingerprints; the converse
+    /// holds only probabilistically, so callers keying storage by
+    /// fingerprint must confirm with full equality (see
+    /// [`crate::cache::PreparedCache`]).
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the words, seeded with the length. The tail-word
+        // invariant (bits >= len are zero) makes this canonical.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (self.len as u64);
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Final avalanche so single-bit mask differences diffuse.
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+
     /// Iterates over the indices of set bits in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, &w)| {
@@ -152,6 +220,15 @@ impl Bitmask {
         } else {
             self.count_ones() as f64 / self.len as f64
         }
+    }
+}
+
+// Hashes the canonical word representation, consistent with the derived
+// `PartialEq`/`Eq` (same words + same len ⇔ equal). Lets masks key hash
+// maps directly, e.g. the per-query `PreparedCache`.
+impl Hash for Bitmask {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint());
     }
 }
 
@@ -240,6 +317,75 @@ mod tests {
         let m = Bitmask::from_fn(10, |i| i < 3);
         assert!((m.selectivity() - 0.3).abs() < 1e-12);
         assert!(Bitmask::zeros(0).selectivity().is_nan());
+    }
+
+    /// Tail bits beyond `len` must stay zero through every constructor
+    /// and mutator — the word-wise kernels and the fingerprint both rely
+    /// on the canonical representation.
+    #[test]
+    fn tail_bits_stay_clear_after_set_and_ones() {
+        for len in [1usize, 3, 63, 65, 70, 127, 130] {
+            let tail_clean = |m: &Bitmask| {
+                let rem = len % 64;
+                rem == 0 || m.words().last().unwrap() >> rem == 0
+            };
+            let o = Bitmask::ones(len);
+            assert!(tail_clean(&o), "ones({len}) leaked tail bits");
+            let mut m = Bitmask::zeros(len);
+            for i in 0..len {
+                m.set(i, true);
+            }
+            assert!(tail_clean(&m), "set-all({len}) leaked tail bits");
+            assert_eq!(m, o, "set-all must equal ones for len {len}");
+            m.set(len - 1, false);
+            m.not_assign();
+            assert!(tail_clean(&m), "not_assign({len}) leaked tail bits");
+            assert_eq!(m.count_ones(), 1);
+            let b = Bitmask::from_bools((0..len).map(|_| true));
+            assert!(tail_clean(&b), "from_bools({len}) leaked tail bits");
+            assert_eq!(b, o);
+        }
+    }
+
+    #[test]
+    fn from_bools_single_pass_matches_from_fn() {
+        for len in [0usize, 1, 64, 65, 100, 200] {
+            let pattern = |i: usize| (i * 31 + 7) % 5 < 2;
+            let via_bools = Bitmask::from_bools((0..len).map(pattern));
+            let via_fn = Bitmask::from_fn(len, pattern);
+            assert_eq!(via_bools, via_fn, "len {len}");
+            assert_eq!(via_bools.len(), len);
+        }
+    }
+
+    #[test]
+    fn words_and_blocks_expose_packed_bits() {
+        let m = Bitmask::from_fn(130, |i| i == 1 || i == 64 || i == 129);
+        assert_eq!(m.words(), &[2u64, 1, 2]);
+        let words: Vec<(usize, u64)> = m.iter_words().collect();
+        assert_eq!(words, vec![(0, 2u64), (1, 1), (2, 2)]);
+        // blocks() skips all-zero words and reports base rows.
+        let sparse = Bitmask::from_fn(300, |i| i == 170);
+        let blocks: Vec<(usize, u64)> = sparse.blocks().collect();
+        assert_eq!(blocks, vec![(128, 1u64 << 42)]);
+        assert!(Bitmask::zeros(500).blocks().next().is_none());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_masks() {
+        // Equal masks agree…
+        let a = Bitmask::from_fn(200, |i| i % 3 == 0);
+        let b = Bitmask::from_fn(200, |i| i % 3 == 0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // …different masks with the same popcount differ (the
+        // fingerprint must see *which* rows, not just how many)…
+        let shifted = Bitmask::from_fn(200, |i| i % 3 == 1);
+        assert_eq!(a.count_ones(), shifted.count_ones());
+        assert_ne!(a.fingerprint(), shifted.fingerprint());
+        // …and length participates even when the words are identical.
+        let m64 = Bitmask::zeros(64);
+        let m65 = Bitmask::zeros(65);
+        assert_ne!(m64.fingerprint(), m65.fingerprint());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! dendrogram               column-dependency dendrogram (MIN_tight aid)
 //! set <param> <value>      max_views | max_view_size | min_tightness |
 //!                          alpha | w_mean | w_dispersion | w_correlation |
-//!                          w_frequency
+//!                          w_frequency | prepared_cache_capacity
 //! sample <frac>            continue on a row sample (BlinkDB-style)
 //! info                     table shape and config
 //! help                     this text
@@ -281,6 +281,7 @@ impl ReplState {
             "w_dispersion" => config.weights.dispersion = parse_f()?,
             "w_correlation" => config.weights.correlation = parse_f()?,
             "w_frequency" => config.weights.frequency = parse_f()?,
+            "prepared_cache_capacity" => config.prepared_cache_capacity = parse_u()?,
             other => return Err(format!("unknown parameter: {other}")),
         }
         config.validate().map_err(|e| e.to_string())?;
@@ -326,6 +327,28 @@ impl ReplState {
             self.config.weights.correlation,
             self.config.weights.frequency,
         ));
+        if let Some(engine) = &self.engine {
+            let c = engine.cache().counters();
+            out.push_str(&format!(
+                "\ncaches: whole-table hits={} misses={}; prepared ",
+                c.hits, c.misses
+            ));
+            if self.config.prepared_cache_capacity == 0 {
+                // The engine bypasses the cache entirely at capacity 0;
+                // don't present the clamped placeholder as live.
+                out.push_str("disabled");
+            } else {
+                let p = engine.prepared_cache().counters();
+                out.push_str(&format!(
+                    "hits={} misses={} evictions={} entries={}/{}",
+                    p.hits,
+                    p.misses,
+                    p.evictions,
+                    engine.prepared_cache().len(),
+                    engine.prepared_cache().capacity(),
+                ));
+            }
+        }
         Ok(out)
     }
 }
@@ -340,7 +363,8 @@ commands:
   explain <k>         explanations of view k
   dendrogram          dependency dendrogram (helps choose min_tightness)
   set <param> <value> tune max_views / max_view_size / min_tightness /
-                      alpha / w_mean / w_dispersion / w_correlation / w_frequency
+                      alpha / w_mean / w_dispersion / w_correlation /
+                      w_frequency / prepared_cache_capacity
   sample <frac>       continue on a row sample
   info                table shape and config
   quit                exit";

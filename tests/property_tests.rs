@@ -11,6 +11,20 @@ fn small_values() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e4..1e4f64, 30..120)
 }
 
+/// Injects NaN (the NULL encoding) every `nan_every` rows, so kernels
+/// are exercised against non-finite values too.
+fn with_nans(values: &[f64], nan_every: usize) -> Vec<f64> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| if i % nan_every == 0 { f64::NAN } else { v })
+        .collect()
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -52,6 +66,77 @@ proptest! {
         if direct.count() > 1 {
             prop_assert!((derived.covariance().unwrap() - direct.covariance().unwrap()).abs() < 1e-4);
         }
+    }
+
+    /// The word-wise univariate kernel equals the naive per-row loop for
+    /// random tables and masks (within floating round-off), including
+    /// NULL-encoded (NaN) rows and tail words (len % 64 != 0).
+    #[test]
+    fn uni_kernel_matches_naive(
+        values in small_values(),
+        nan_every in 2usize..20,
+        mask_bits in prop::collection::vec(any::<bool>(), 30..120)
+    ) {
+        let n = values.len().min(mask_bits.len());
+        let values = with_nans(&values[..n], nan_every);
+        let mask = Bitmask::from_bools(mask_bits[..n].iter().copied());
+        let kernel = UniMoments::from_mask_words(&values, mask.words());
+        let naive = UniMoments::from_masked(&values, |i| mask.get(i));
+        prop_assert_eq!(kernel.count(), naive.count());
+        prop_assert!(rel_close(kernel.sum(), naive.sum(), 1e-9), "{} vs {}", kernel.sum(), naive.sum());
+        prop_assert!(rel_close(kernel.sum_sq(), naive.sum_sq(), 1e-9));
+        if naive.count() > 0 {
+            prop_assert!(rel_close(kernel.mean(), naive.mean(), 1e-9));
+        }
+        if naive.count() > 1 {
+            prop_assert!((kernel.variance().unwrap() - naive.variance().unwrap()).abs()
+                <= 1e-9 * naive.sum_sq().max(1.0));
+        }
+    }
+
+    /// The word-wise pair kernel equals the naive per-row loop, with
+    /// jointly-finite filtering intact.
+    #[test]
+    fn pair_kernel_matches_naive(
+        xs in small_values(),
+        ys in small_values(),
+        nan_every in 2usize..20,
+        mask_bits in prop::collection::vec(any::<bool>(), 30..120)
+    ) {
+        let n = xs.len().min(ys.len()).min(mask_bits.len());
+        let xs = with_nans(&xs[..n], nan_every);
+        let ys = with_nans(&ys[..n], nan_every + 1);
+        let mask = Bitmask::from_bools(mask_bits[..n].iter().copied());
+        let kernel = PairMoments::from_mask_words(&xs, &ys, mask.words()).unwrap();
+        let naive = PairMoments::from_masked(&xs, &ys, |i| mask.get(i)).unwrap();
+        prop_assert_eq!(kernel.count(), naive.count());
+        prop_assert!(rel_close(kernel.mean_x(), naive.mean_x(), 1e-9) || naive.count() == 0);
+        prop_assert!(rel_close(kernel.mean_y(), naive.mean_y(), 1e-9) || naive.count() == 0);
+        if naive.count() > 1 {
+            prop_assert!((kernel.covariance().unwrap() - naive.covariance().unwrap()).abs() < 1e-4);
+        }
+    }
+
+    /// The block-wise masked frequency count equals the naive per-row
+    /// loop exactly (integer counts) on random categorical columns.
+    #[test]
+    fn freq_kernel_matches_naive(
+        codes in prop::collection::vec(0usize..4, 30..200),
+        mask_bits in prop::collection::vec(any::<bool>(), 30..200)
+    ) {
+        let n = codes.len().min(mask_bits.len());
+        let labels = ["a", "b", "c"];
+        let mut b = TableBuilder::new();
+        b.add_categorical(
+            "cat",
+            codes[..n].iter().map(|&c| labels.get(c).copied()).collect(),
+        );
+        let t = b.build().unwrap();
+        let mask = Bitmask::from_bools(mask_bits[..n].iter().copied());
+        let fast = ziggy::store::masked_freq(&t, 0, &mask).unwrap();
+        let naive = ziggy::store::masked_freq_naive(&t, 0, &mask).unwrap();
+        prop_assert_eq!(fast.counts(), naive.counts());
+        prop_assert_eq!(fast.total(), naive.total());
     }
 
     /// Bitmask boolean algebra: De Morgan and double complement.
@@ -181,6 +266,36 @@ proptest! {
                 prop_assert!(!used.contains(c));
                 used.push(*c);
             }
+        }
+    }
+
+    /// Kernel/naive equivalence at the mask extremes, swept over lengths
+    /// chosen to hit word boundaries: all-zeros, all-ones, and masks whose
+    /// last word is partial (len % 64 != 0).
+    #[test]
+    fn kernel_edge_masks(len_seed in 0usize..6, nan_every in 2usize..9) {
+        let len = [1usize, 63, 64, 65, 128, 190][len_seed];
+        let values: Vec<f64> = with_nans(
+            &(0..len).map(|i| (i as f64 * 0.37).sin() * 100.0).collect::<Vec<_>>(),
+            nan_every,
+        );
+        let ys: Vec<f64> = values.iter().rev().copied().collect();
+        let masks = [
+            Bitmask::zeros(len),
+            Bitmask::ones(len),
+            Bitmask::from_fn(len, |i| i % 64 >= 32), // straddles every word
+            Bitmask::from_fn(len, |i| i == len - 1), // lone tail bit
+        ];
+        for mask in &masks {
+            let k = UniMoments::from_mask_words(&values, mask.words());
+            let n = UniMoments::from_masked(&values, |i| mask.get(i));
+            prop_assert_eq!(k.count(), n.count());
+            prop_assert!(rel_close(k.sum(), n.sum(), 1e-12));
+            prop_assert!(rel_close(k.sum_sq(), n.sum_sq(), 1e-12));
+            let kp = PairMoments::from_mask_words(&values, &ys, mask.words()).unwrap();
+            let np = PairMoments::from_masked(&values, &ys, |i| mask.get(i)).unwrap();
+            prop_assert_eq!(kp.count(), np.count());
+            prop_assert!(rel_close(kp.mean_x(), np.mean_x(), 1e-12) || np.count() == 0);
         }
     }
 
