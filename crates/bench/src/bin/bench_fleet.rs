@@ -1,0 +1,264 @@
+//! Fleet scaling microbenchmark: warm characterize throughput through
+//! the router for 1, 2 and 4 backends.
+//!
+//! Each set spawns N backends with replication = N (the crime twin
+//! fully replicated), so the read path spreads across all N engines —
+//! the fleet's read-scaling story. Backends run as separate *processes*
+//! when the sibling `ziggy` binary is present next to this one (built
+//! by `cargo build --release`), else as in-process servers; the mode is
+//! recorded in the output so the numbers are never compared across
+//! modes by accident. Emits `BENCH_fleet.json` for the perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p ziggy-bench --bin bench_fleet [-- --clients 8 --requests 64 --sets 1,2,4]
+//! ```
+
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use serde_json::{Number, Value};
+use ziggy_fleet::{start_fleet, BackendProcess, FleetOptions};
+use ziggy_serve::http::{request_once, Client};
+use ziggy_serve::{serve, ServeOptions, ServerHandle};
+
+fn arg(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_sets() -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--sets")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4])
+}
+
+fn num_u(n: u64) -> Value {
+    Value::Number(Number::U(n))
+}
+
+fn num_f(x: f64) -> Value {
+    Value::Number(Number::F(x))
+}
+
+/// Backends for one set: real processes when the `ziggy` binary sits
+/// next to this bench, in-process servers otherwise.
+enum Backends {
+    Processes(Vec<BackendProcess>),
+    Threads(Vec<ServerHandle>),
+}
+
+impl Backends {
+    fn spawn(n: usize) -> (Self, Vec<(String, SocketAddr)>, &'static str) {
+        let sibling = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("ziggy")))
+            .filter(|p| p.is_file());
+        if let Some(binary) = sibling {
+            let mut children = Vec::with_capacity(n);
+            let mut ok = true;
+            for i in 0..n {
+                match BackendProcess::spawn(&binary, format!("shard-{i}"), &[]) {
+                    Ok(c) => children.push(c),
+                    Err(e) => {
+                        eprintln!("process backend spawn failed ({e}); using threads");
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                let addrs = children
+                    .iter()
+                    .map(|c| (c.id().to_string(), c.addr()))
+                    .collect();
+                return (Self::Processes(children), addrs, "processes");
+            }
+        }
+        let handles: Vec<ServerHandle> = (0..n)
+            .map(|_| serve("127.0.0.1:0", ServeOptions::default()).unwrap())
+            .collect();
+        let addrs = handles
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (format!("shard-{i}"), h.local_addr()))
+            .collect();
+        (Self::Threads(handles), addrs, "threads")
+    }
+
+    fn shutdown(self) {
+        match self {
+            Self::Processes(mut children) => children.iter_mut().for_each(|c| c.kill()),
+            Self::Threads(handles) => handles.into_iter().for_each(|h| h.shutdown()),
+        }
+    }
+}
+
+struct SetResult {
+    backends: usize,
+    mode: &'static str,
+    ingest_ms: f64,
+    warm_rps: f64,
+    warm_elapsed_s: f64,
+    total_requests: usize,
+    failovers: u64,
+}
+
+fn run_set(
+    n_backends: usize,
+    clients: usize,
+    requests_per_client: usize,
+    ingest_body: &str,
+    query_body: &str,
+) -> SetResult {
+    let (backends, addrs, mode) = Backends::spawn(n_backends);
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            // Full replication: every backend serves the one hot table,
+            // so throughput measures the read-scaling curve.
+            replication: n_backends,
+            probe_interval: Duration::from_millis(500),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    let t_ingest = Instant::now();
+    let (status, resp) = request_once(router, "POST", "/tables", Some(ingest_body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+    let ingest_ms = t_ingest.elapsed().as_secs_f64() * 1e3;
+
+    // Warm every replica: reads rotate round-robin, so 2N requests give
+    // each backend its cold build (stats cache + PreparedStats).
+    let mut warm = Client::connect(router).unwrap();
+    for _ in 0..(2 * n_backends) {
+        let (status, body) = warm
+            .request("POST", "/tables/crime/characterize", Some(query_body))
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+    drop(warm);
+
+    let total_requests = clients * requests_per_client;
+    let t_warm = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(move || {
+                let mut client = Client::connect(router).unwrap();
+                for _ in 0..requests_per_client {
+                    let (status, body) = client
+                        .request("POST", "/tables/crime/characterize", Some(query_body))
+                        .unwrap();
+                    assert_eq!(status, 200, "{body}");
+                }
+            });
+        }
+    });
+    let warm_elapsed_s = t_warm.elapsed().as_secs_f64();
+    let failovers = fleet.state().metrics.failovers_total.get();
+
+    fleet.shutdown();
+    backends.shutdown();
+    SetResult {
+        backends: n_backends,
+        mode,
+        ingest_ms,
+        warm_rps: total_requests as f64 / warm_elapsed_s,
+        warm_elapsed_s,
+        total_requests,
+        failovers,
+    }
+}
+
+fn main() {
+    let clients = arg("--clients", 8).max(1);
+    let requests_per_client = (arg("--requests", 64).max(1) / clients).max(1);
+    let sets = arg_sets();
+
+    let twin = ziggy_synth::us_crime(7);
+    let (n_rows, n_cols) = (twin.table.n_rows(), twin.table.n_cols());
+    let csv = ziggy_store::csv::write_csv_string(&twin.table, ',');
+    let ingest_body = serde_json::to_string(&Value::Object(vec![
+        ("name".into(), Value::String("crime".into())),
+        ("csv".into(), Value::String(csv)),
+    ]))
+    .unwrap();
+    let query_body = serde_json::to_string(&Value::Object(vec![(
+        "query".into(),
+        Value::String(twin.predicate.clone()),
+    )]))
+    .unwrap();
+
+    let mut results = Vec::new();
+    for &n in &sets {
+        eprintln!("--- fleet set: {n} backend(s), {clients} clients ---");
+        let r = run_set(n, clients, requests_per_client, &ingest_body, &query_body);
+        eprintln!(
+            "    {} req in {:.2}s = {:.1} req/s ({} mode, {} failovers)",
+            r.total_requests, r.warm_elapsed_s, r.warm_rps, r.mode, r.failovers
+        );
+        results.push(r);
+    }
+
+    let baseline = results.first().map(|r| r.warm_rps).unwrap_or(1.0);
+    let result = Value::Object(vec![
+        ("benchmark".into(), Value::String("fleet_scaling".into())),
+        ("dataset".into(), Value::String("us_crime_twin".into())),
+        ("n_rows".into(), num_u(n_rows as u64)),
+        ("n_cols".into(), num_u(n_cols as u64)),
+        ("client_threads".into(), num_u(clients as u64)),
+        (
+            "requests_per_set".into(),
+            num_u((clients * requests_per_client) as u64),
+        ),
+        // The scaling curve is only meaningful relative to the host's
+        // parallelism: on a 1-core container every set is CPU-bound at
+        // the single-backend rate; the fleet's scaling shows up with
+        // cores (or boxes) to spread across.
+        (
+            "host_parallelism".into(),
+            num_u(
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(0),
+            ),
+        ),
+        (
+            "results".into(),
+            Value::Array(
+                results
+                    .iter()
+                    .map(|r| {
+                        Value::Object(vec![
+                            ("backends".into(), num_u(r.backends as u64)),
+                            ("replication".into(), num_u(r.backends as u64)),
+                            ("mode".into(), Value::String(r.mode.into())),
+                            ("ingest_ms".into(), num_f(r.ingest_ms)),
+                            ("warm_requests_per_sec".into(), num_f(r.warm_rps)),
+                            ("warm_elapsed_s".into(), num_f(r.warm_elapsed_s)),
+                            ("speedup_vs_1".into(), num_f(r.warm_rps / baseline)),
+                            ("failovers".into(), num_u(r.failovers)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&result).unwrap();
+    println!("{rendered}");
+    let mut f = std::fs::File::create("BENCH_fleet.json").expect("create BENCH_fleet.json");
+    f.write_all(rendered.as_bytes()).unwrap();
+    f.write_all(b"\n").unwrap();
+    eprintln!("wrote BENCH_fleet.json");
+}

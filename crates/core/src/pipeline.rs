@@ -32,7 +32,9 @@ use crate::search::search;
 /// to between-*client* sharing.
 pub struct Ziggy {
     table: Arc<Table>,
-    cache: StatsCache,
+    /// Shared so [`Ziggy::with_config`] forks reuse the whole-table
+    /// statistics instead of recomputing them per configuration.
+    cache: Arc<StatsCache>,
     config: ZiggyConfig,
     /// Dependency graph is query-independent; memoized after first use.
     graph: parking_lot::Mutex<Option<DependencyGraph>>,
@@ -55,13 +57,40 @@ impl Ziggy {
     /// Creates an engine sharing ownership of `table` (no copy).
     pub fn shared(table: Arc<Table>, config: ZiggyConfig) -> Self {
         Self {
-            cache: StatsCache::shared(Arc::clone(&table)),
+            cache: Arc::new(StatsCache::shared(Arc::clone(&table))),
             table,
             // Capacity 0 disables the cache at lookup time; the clamp to 1
             // inside `PreparedCache::new` only keeps the struct well-formed.
             prepared: PreparedCache::new(config.prepared_cache_capacity),
             config,
             graph: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// An engine over the same table — and the same whole-table
+    /// [`StatsCache`] — but a different configuration. This is the
+    /// per-request override path: the expensive table-level moments and
+    /// frequencies stay shared, while everything configuration-dependent
+    /// (the per-mask [`PreparedCache`], and the dependency graph when the
+    /// dependence measure changed) is fresh, so an override can never be
+    /// served a cached artifact built under different parameters.
+    pub fn with_config(&self, config: ZiggyConfig) -> Ziggy {
+        // The dependency graph only depends on the dependence measure and
+        // its binning; when those match, seed the fork with the memoized
+        // graph so an override request skips that rebuild too.
+        let graph = if config.dependence == self.config.dependence
+            && config.mi_bins == self.config.mi_bins
+        {
+            self.graph.lock().clone()
+        } else {
+            None
+        };
+        Ziggy {
+            table: Arc::clone(&self.table),
+            cache: Arc::clone(&self.cache),
+            prepared: PreparedCache::new(config.prepared_cache_capacity),
+            config,
+            graph: parking_lot::Mutex::new(graph),
         }
     }
 
@@ -379,6 +408,32 @@ mod tests {
             z.characterize("crime >= 50"),
             Err(ZiggyError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn with_config_shares_stats_but_honors_overrides() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        let base = z.characterize("crime >= 50").unwrap();
+        let misses_after_base = z.cache().counters().misses;
+
+        // A fork asking for fewer views sees the override...
+        let fork = z.with_config(ZiggyConfig {
+            max_views: 1,
+            ..ZiggyConfig::default()
+        });
+        let overridden = fork.characterize("crime >= 50").unwrap();
+        assert!(overridden.views.len() <= 1);
+        assert!(base.views.len() > overridden.views.len());
+        // ...while the whole-table statistics stay shared: the fork's
+        // preparation re-ran (fresh PreparedCache) but added no new
+        // whole-table scans.
+        assert_eq!(z.cache().counters().misses, misses_after_base);
+        assert_eq!(fork.prepared_cache().counters().misses, 1);
+
+        // The base engine's own config is untouched.
+        let again = z.characterize("crime >= 50").unwrap();
+        assert_eq!(again.views.len(), base.views.len());
     }
 
     #[test]

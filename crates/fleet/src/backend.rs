@@ -1,0 +1,244 @@
+//! Backend descriptors, health state, and the ring prober.
+//!
+//! Health is a hybrid of *active* probing (a background thread polling
+//! each backend's `GET /healthz` — the endpoint is a constant-time
+//! handler precisely so this stays cheap) and *passive* observation
+//! (the proxy records connect/IO failures seen while forwarding real
+//! traffic). A backend goes unhealthy after
+//! [`FAILURE_THRESHOLD`] consecutive failures and recovers on the first
+//! successful probe, so a single dropped packet cannot flap the ring
+//! while a killed process is detected within one probe interval.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::proxy::BackendPool;
+
+/// Consecutive failures (probe or proxy) before a backend is marked
+/// unhealthy and routed around.
+pub const FAILURE_THRESHOLD: u32 = 2;
+
+/// How often the prober polls each backend's `/healthz`.
+pub const DEFAULT_PROBE_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Connect/read budget for one probe; a live-but-slow backend keeps its
+/// health (requests will just queue), a dead one fails in well under an
+/// interval.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// One `ziggy-serve` process the fleet routes to.
+pub struct Backend {
+    id: String,
+    addr: SocketAddr,
+    healthy: AtomicBool,
+    consecutive_failures: AtomicU32,
+    /// Lifetime failure observations (probe and proxy), for `/metrics`.
+    failures_total: AtomicU64,
+    pool: BackendPool,
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backend")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .field("healthy", &self.is_healthy())
+            .finish()
+    }
+}
+
+impl Backend {
+    /// A backend assumed healthy until observed otherwise (the fleet
+    /// starter waits for readiness before building the router, and an
+    /// optimistic start means the first real request never 503s just
+    /// because the prober hasn't completed a round yet).
+    pub fn new(id: impl Into<String>, addr: SocketAddr) -> Self {
+        Self {
+            id: id.into(),
+            addr,
+            healthy: AtomicBool::new(true),
+            consecutive_failures: AtomicU32::new(0),
+            failures_total: AtomicU64::new(0),
+            pool: BackendPool::new(addr),
+        }
+    }
+
+    /// The backend's fleet-unique id (e.g. `shard-2`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The backend's listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The keep-alive connection pool to this backend.
+    pub fn pool(&self) -> &BackendPool {
+        &self.pool
+    }
+
+    /// Whether the backend is currently considered routable.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime failure observations.
+    pub fn failures_total(&self) -> u64 {
+        self.failures_total.load(Ordering::Relaxed)
+    }
+
+    /// Records a successful probe or proxied request: one success is
+    /// enough to restore health.
+    pub fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.healthy.store(true, Ordering::Relaxed);
+    }
+
+    /// Records a failed probe or proxied request; past
+    /// [`FAILURE_THRESHOLD`] consecutive failures the backend goes
+    /// unhealthy. The pool is drained so a restarted process is not
+    /// greeted with stale keep-alive sockets.
+    pub fn record_failure(&self) {
+        self.failures_total.fetch_add(1, Ordering::Relaxed);
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if failures >= FAILURE_THRESHOLD {
+            self.healthy.store(false, Ordering::Relaxed);
+            self.pool.drain();
+        }
+    }
+
+    /// One active health probe: `GET /healthz` under [`PROBE_TIMEOUT`].
+    pub fn probe(&self) -> bool {
+        let ok = self.probe_inner().is_some();
+        if ok {
+            self.record_success();
+        } else {
+            self.record_failure();
+        }
+        ok
+    }
+
+    fn probe_inner(&self) -> Option<()> {
+        let mut client =
+            ziggy_serve::http::Client::connect_with_timeout(self.addr, PROBE_TIMEOUT).ok()?;
+        client.set_read_timeout(PROBE_TIMEOUT).ok()?;
+        let (status, _) = client.request("GET", "/healthz", None).ok()?;
+        (status == 200).then_some(())
+    }
+}
+
+/// A running prober thread; stops (and joins) on [`Prober::stop`] or
+/// drop.
+pub struct Prober {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Prober {
+    /// Starts probing `backends` every `interval`.
+    pub fn start(backends: Vec<Arc<Backend>>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ziggy-fleet-prober".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    for backend in &backends {
+                        if stop_flag.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        backend.probe();
+                    }
+                    // Sleep in slices so shutdown never waits out a
+                    // long probe interval.
+                    let deadline = std::time::Instant::now() + interval;
+                    while std::time::Instant::now() < deadline {
+                        if stop_flag.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(20).min(interval));
+                    }
+                }
+            })
+            .expect("spawn prober");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the prober and joins its thread.
+    pub fn stop(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Prober {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dead_addr() -> SocketAddr {
+        // Bind-then-drop: the port was just free, so connecting fails
+        // fast instead of timing out.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    }
+
+    #[test]
+    fn failures_accumulate_then_trip_then_recover() {
+        let b = Backend::new("s0", dead_addr());
+        assert!(b.is_healthy());
+        b.record_failure();
+        assert!(b.is_healthy(), "one failure must not trip the breaker");
+        b.record_failure();
+        assert!(!b.is_healthy());
+        assert_eq!(b.failures_total(), 2);
+        b.record_success();
+        assert!(b.is_healthy());
+    }
+
+    #[test]
+    fn probing_a_dead_backend_marks_it_down() {
+        let b = Arc::new(Backend::new("s0", dead_addr()));
+        for _ in 0..FAILURE_THRESHOLD {
+            assert!(!b.probe());
+        }
+        assert!(!b.is_healthy());
+    }
+
+    #[test]
+    fn prober_detects_live_server() {
+        let server =
+            ziggy_serve::serve("127.0.0.1:0", ziggy_serve::ServeOptions::default()).unwrap();
+        let b = Arc::new(Backend::new("s0", server.local_addr()));
+        // Poison the state so only the prober can restore it.
+        b.record_failure();
+        b.record_failure();
+        assert!(!b.is_healthy());
+        let prober = Prober::start(vec![Arc::clone(&b)], Duration::from_millis(10));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !b.is_healthy() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(b.is_healthy(), "prober must restore a live backend");
+        prober.stop();
+        server.shutdown();
+    }
+}

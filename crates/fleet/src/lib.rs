@@ -1,0 +1,204 @@
+#![warn(missing_docs)]
+
+//! `ziggy-fleet` — consistent-hash sharding and read-replica routing
+//! across multiple `ziggy-serve` processes.
+//!
+//! The characterization workload is embarrassingly partitionable: every
+//! table is an independent read-mostly engine. This crate exploits that
+//! with the classic storage/serving decomposition — a thin routing
+//! front-end over N independent single-node backends:
+//!
+//! ```text
+//!                        ┌──────────────┐
+//!             clients ──▶│ fleet router │   consistent-hash ring,
+//!                        └──┬───┬───┬───┘   R-way replication
+//!              ┌────────────┘   │   └────────────┐
+//!              ▼                ▼                ▼
+//!        ┌───────────┐   ┌───────────┐   ┌───────────┐
+//!        │ serve #0  │   │ serve #1  │   │ serve #2  │  …
+//!        └───────────┘   └───────────┘   └───────────┘
+//! ```
+//!
+//! * **Placement** — a table's name hashes onto a [`ring::HashRing`]
+//!   (virtual nodes, deterministic across routers); its R replicas are
+//!   the next R distinct backends in ring order.
+//! * **Ingest** — one client upload fans out as the idempotent
+//!   `PUT /tables/{name}` replicate path to all R replicas.
+//! * **Reads** — characterize traffic rotates across the healthy
+//!   replicas; transport failures mark the backend and fail over to the
+//!   next replica transparently ([`router::proxy`-level retry, plus an
+//!   active `/healthz` prober]).
+//! * **Scatter-gather** — `GET /tables` and `GET /metrics` query every
+//!   backend in parallel and merge per-shard sections into one
+//!   document.
+//! * **Sessions** — sticky to the backend that created them (their
+//!   history lives in that process); a dead replica means 503 and a
+//!   fresh session, not silent history loss.
+//!
+//! The fleet speaks exactly the single-node API, so a client cannot
+//! tell a router from a lone `ziggy serve` — characterize responses are
+//! byte-identical (the router forwards backend bytes verbatim).
+//!
+//! Use [`start_fleet`] over running backends, or `ziggy fleet` from the
+//! CLI to spawn N local backends plus the router in one command
+//! ([`spawn::BackendProcess`] supervises the children).
+
+pub mod backend;
+pub mod proxy;
+pub mod ring;
+pub mod router;
+pub mod spawn;
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ziggy_serve::http::{Request, Server};
+use ziggy_serve::{AccessLog, RateLimiter, Response};
+
+pub use backend::{Backend, Prober};
+pub use ring::HashRing;
+pub use router::{route_fleet, FleetState};
+pub use spawn::BackendProcess;
+
+/// Options for [`start_fleet`].
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Replicas per table (clamped to the fleet size). Default 2.
+    pub replication: usize,
+    /// Virtual nodes per backend on the ring.
+    pub vnodes: usize,
+    /// Router worker threads.
+    pub threads: usize,
+    /// Emit one structured JSON access-log line per request (with the
+    /// backend id for proxied requests) to stderr.
+    pub access_log: bool,
+    /// Per-client token-bucket rate limit at the router edge;
+    /// `None` disables. `GET /healthz` is exempt.
+    pub rate_limit: Option<u32>,
+    /// How often the prober polls each backend's `/healthz`.
+    pub probe_interval: Duration,
+    /// Idle TTL for the router's session mappings (backends expire
+    /// their own halves independently); `None` disables sweeping.
+    /// Defaults to one hour, matching the single-node server.
+    pub session_ttl: Option<Duration>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            replication: 2,
+            vnodes: ring::DEFAULT_VNODES,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(2),
+            access_log: false,
+            rate_limit: None,
+            probe_interval: backend::DEFAULT_PROBE_INTERVAL,
+            session_ttl: Some(Duration::from_secs(3600)),
+        }
+    }
+}
+
+/// A running fleet router (plus its health prober).
+pub struct FleetHandle {
+    server: Server,
+    state: Arc<FleetState>,
+    prober: Option<Prober>,
+}
+
+impl FleetHandle {
+    /// The router's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The shared router state, for inspection (tests, benchmarks).
+    pub fn state(&self) -> &Arc<FleetState> {
+        &self.state
+    }
+
+    /// Stops the prober and the router, joining all threads. Backend
+    /// processes are not touched — the router does not own them.
+    pub fn shutdown(mut self) {
+        if let Some(p) = self.prober.take() {
+            p.stop();
+        }
+        self.server.shutdown();
+    }
+}
+
+/// Binds `addr` and starts routing over `backends`
+/// (`(id, address)` pairs of already-running `ziggy-serve` processes).
+pub fn start_fleet(
+    addr: impl ToSocketAddrs,
+    backends: Vec<(String, SocketAddr)>,
+    options: FleetOptions,
+) -> io::Result<FleetHandle> {
+    let backends: Vec<Arc<Backend>> = backends
+        .into_iter()
+        .map(|(id, addr)| Arc::new(Backend::new(id, addr)))
+        .collect();
+    let state = Arc::new(FleetState::new(
+        backends.clone(),
+        options.replication,
+        options.vnodes,
+        options.session_ttl,
+    ));
+    let prober = Prober::start(backends, options.probe_interval);
+    let limiter = options.rate_limit.map(RateLimiter::new);
+    let log = Arc::new(if options.access_log {
+        AccessLog::stderr()
+    } else {
+        AccessLog::disabled()
+    });
+    let handler_state = Arc::clone(&state);
+    let server = Server::start(
+        addr,
+        options.threads,
+        Arc::new(move |req: &Request| {
+            let started = Instant::now();
+            let (response, backend) = match throttle(&handler_state, limiter.as_ref(), req) {
+                Some(resp) => (resp, None),
+                None => route_fleet(&handler_state, req),
+            };
+            log.log(
+                &req.method,
+                &req.path,
+                response.status,
+                started.elapsed().as_secs_f64() * 1e3,
+                backend.as_deref(),
+            );
+            response
+        }),
+    )?;
+    Ok(FleetHandle {
+        server,
+        state,
+        prober: Some(prober),
+    })
+}
+
+/// The router-edge rate limit (same bucket semantics as the single-node
+/// server; health checks exempt).
+fn throttle(state: &FleetState, limiter: Option<&RateLimiter>, req: &Request) -> Option<Response> {
+    let limiter = limiter?;
+    if req.path == "/healthz" {
+        return None;
+    }
+    let client = req
+        .peer
+        .map_or(ziggy_serve::limit::ANONYMOUS_CLIENT, |p| p.ip());
+    match limiter.try_acquire(client) {
+        Ok(()) => None,
+        Err(retry_after) => {
+            state.metrics.rate_limited.inc();
+            Some(
+                Response::new(429, r#"{"error":"rate limit exceeded"}"#)
+                    .with_header("Retry-After", retry_after.to_string()),
+            )
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The keep-alive connection pool the router uses to talk to one
+//! backend.
+//!
+//! Workers check a connection out, run one request, and return it; a
+//! request that finds the pool empty pays one TCP connect. For
+//! *idempotent* requests, IO errors on a pooled connection are retried
+//! once on a *fresh* connection before being reported — a backend
+//! restart or keep-alive timeout otherwise shows up as a spurious
+//! failure for every connection the pool had cached. Non-idempotent
+//! requests skip the pool entirely (see [`BackendPool::request`]).
+//! Connect errors are never retried here: that is the router's failover
+//! decision (try the next replica), not the pool's.
+
+use std::io;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use ziggy_serve::http::Client;
+
+/// Max idle connections kept per backend; beyond this, returned
+/// connections are simply closed.
+const POOL_SIZE: usize = 16;
+
+/// Connect budget for one proxy hop. Short: a dead backend must fail
+/// over to the next replica within a fraction of a client's patience,
+/// not after an OS default connect timeout.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A pool of keep-alive [`Client`] connections to one backend address.
+pub struct BackendPool {
+    addr: SocketAddr,
+    idle: Mutex<Vec<Client>>,
+}
+
+impl BackendPool {
+    /// An empty pool for `addr` (connections are made on demand).
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Closes all idle connections (called when the backend trips
+    /// unhealthy, so a later recovery starts from fresh sockets).
+    pub fn drain(&self) {
+        self.idle.lock().clear();
+    }
+
+    /// Idle connections currently pooled.
+    pub fn idle_len(&self) -> usize {
+        self.idle.lock().len()
+    }
+
+    /// Sends one request over a pooled (or fresh) connection and returns
+    /// the backend's `(status, body)`.
+    ///
+    /// `idempotent` declares whether the request may be transparently
+    /// re-sent: a failure on a pooled connection is ambiguous (the
+    /// backend may have already executed the request before the socket
+    /// died), so only requests the caller marks idempotent take the
+    /// pooled-socket fast path with its retry-on-fresh-connection
+    /// recovery. Non-idempotent requests (session create/step) always
+    /// use a fresh connection — one connect's latency buys the guarantee
+    /// that this layer never executes them twice.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        idempotent: bool,
+    ) -> io::Result<(u16, String)> {
+        if idempotent {
+            // Pop in its own statement: an `if let` scrutinee would keep
+            // the lock guard alive across the body, and `put_back`
+            // re-locks.
+            let pooled = self.idle.lock().pop();
+            if let Some(mut client) = pooled {
+                // On error the socket was a stale keep-alive (backend
+                // restarted, or its idle timeout closed us): fall
+                // through to a fresh connection rather than reporting a
+                // failure.
+                if let Ok(response) = client.request(method, path, body) {
+                    self.put_back(client);
+                    return Ok(response);
+                }
+            }
+        }
+        let mut client = Client::connect_with_timeout(self.addr, CONNECT_TIMEOUT)?;
+        let response = client.request(method, path, body)?;
+        self.put_back(client);
+        Ok(response)
+    }
+
+    fn put_back(&self, client: Client) {
+        let mut idle = self.idle.lock();
+        if idle.len() < POOL_SIZE {
+            idle.push(client);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziggy_serve::{serve, ServeOptions};
+
+    #[test]
+    fn pools_reuse_connections() {
+        let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let pool = BackendPool::new(server.local_addr());
+        for _ in 0..3 {
+            let (status, body) = pool.request("GET", "/healthz", None, true).unwrap();
+            assert_eq!((status, body.as_str()), (200, r#"{"status":"ok"}"#));
+        }
+        assert_eq!(pool.idle_len(), 1, "sequential requests share one conn");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stale_pooled_connections_retry_on_fresh_socket() {
+        // First server dies after priming the pool...
+        let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let addr = server.local_addr();
+        let pool = BackendPool::new(addr);
+        pool.request("GET", "/healthz", None, true).unwrap();
+        assert_eq!(pool.idle_len(), 1);
+        server.shutdown();
+        // ...and a replacement binds the same port (retry loop: the OS
+        // may briefly hold the port).
+        let replacement = (0..50).find_map(|_| {
+            std::thread::sleep(Duration::from_millis(20));
+            serve(addr, ServeOptions::default()).ok()
+        });
+        let Some(replacement) = replacement else {
+            // Port was re-taken by another process: nothing to assert.
+            return;
+        };
+        let (status, _) = pool
+            .request("GET", "/healthz", None, true)
+            .expect("stale socket must be retried on a fresh connection");
+        assert_eq!(status, 200);
+        replacement.shutdown();
+    }
+
+    #[test]
+    fn connect_errors_surface_to_the_caller() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead = listener.local_addr().unwrap();
+        drop(listener);
+        let pool = BackendPool::new(dead);
+        assert!(pool.request("GET", "/healthz", None, true).is_err());
+    }
+}

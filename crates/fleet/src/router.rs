@@ -1,0 +1,786 @@
+//! The fleet's request router: placement, replication, failover,
+//! scatter-gather.
+//!
+//! Every table-addressed request hashes the table name onto the
+//! [`HashRing`] to get its replica set (R backends in deterministic
+//! failover order). Reads (`characterize`) try replicas healthy-first,
+//! rotated per-request so load spreads across the replica set; a connect
+//! or IO error marks the backend and fails over to the next replica
+//! without the client noticing. Writes (ingest, delete) fan out to the
+//! whole replica set. Fleet-wide reads (`GET /tables`, `GET /metrics`)
+//! scatter to every backend in parallel and gather one merged document.
+//!
+//! Sessions are *sticky*: a session is created on one replica and its
+//! steps always route there, because session history lives in that
+//! backend's memory. If the replica dies, steps answer 503 and the
+//! client re-creates the session (cross-shard session replication is
+//! future work — see ROADMAP).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use serde_json::Value;
+use ziggy_serve::http::{Request, Response};
+use ziggy_serve::json::{parse_object, required_str};
+use ziggy_serve::metrics::Counter;
+
+use crate::backend::Backend;
+use crate::ring::HashRing;
+
+fn num_u(n: u64) -> Value {
+    Value::Number(serde_json::Number::U(n))
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::new(
+        status,
+        serde_json::to_string(&Value::Object(vec![(
+            "error".into(),
+            Value::String(message.into()),
+        )]))
+        .expect("error bodies always render"),
+    )
+}
+
+/// Router-level counters (backend `/metrics` are gathered separately).
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    /// Requests that reached the fleet router.
+    pub requests_total: Counter,
+    /// Requests answered with 4xx/5xx by the router itself.
+    pub errors_total: Counter,
+    /// Requests forwarded to a backend (including fan-out legs).
+    pub proxied_total: Counter,
+    /// Failovers: a replica attempt failed at the transport level and
+    /// the request moved on to the next replica.
+    pub failovers_total: Counter,
+    /// Requests refused with 429 by the router's rate limiter.
+    pub rate_limited: Counter,
+}
+
+impl FleetMetrics {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("requests_total".into(), num_u(self.requests_total.get())),
+            ("errors_total".into(), num_u(self.errors_total.get())),
+            ("proxied_total".into(), num_u(self.proxied_total.get())),
+            ("failovers_total".into(), num_u(self.failovers_total.get())),
+            ("rate_limited".into(), num_u(self.rate_limited.get())),
+        ])
+    }
+}
+
+/// Upper bound on live fleet→backend session mappings; creation beyond
+/// it is refused (409). Mirrors the single-node `MAX_SESSIONS` so the
+/// router cannot be grown without bound by abandoned clients.
+pub const MAX_FLEET_SESSIONS: usize = 4096;
+
+/// A fleet session: which backend holds the real session, under what id.
+struct FleetSession {
+    backend: usize,
+    backend_session: u64,
+    table: String,
+    /// Last create/step activity; mappings idle past the TTL are swept
+    /// (their backend sessions expire independently on the backend).
+    last_used: Instant,
+}
+
+/// Shared router state: the ring, the backends, the session map.
+pub struct FleetState {
+    backends: Vec<Arc<Backend>>,
+    ring: HashRing,
+    replication: usize,
+    sessions: RwLock<HashMap<u64, FleetSession>>,
+    next_session: AtomicU64,
+    /// Idle TTL for session mappings; `None` disables sweeping (the
+    /// [`MAX_FLEET_SESSIONS`] cap still bounds the map).
+    session_ttl: Option<Duration>,
+    /// Last sweep time, for throttling (see
+    /// [`FleetState::sweep_sessions`]).
+    last_session_sweep: Mutex<Option<Instant>>,
+    /// Per-request rotation so reads spread over a table's replica set.
+    round_robin: AtomicUsize,
+    /// Router-level counters.
+    pub metrics: FleetMetrics,
+}
+
+impl FleetState {
+    /// Builds the router state over `backends` with `replication`
+    /// replicas per table (clamped to the fleet size), `vnodes` virtual
+    /// nodes per backend, and an idle TTL for session mappings.
+    pub fn new(
+        backends: Vec<Arc<Backend>>,
+        replication: usize,
+        vnodes: usize,
+        session_ttl: Option<Duration>,
+    ) -> Self {
+        let ids: Vec<String> = backends.iter().map(|b| b.id().to_string()).collect();
+        Self {
+            ring: HashRing::build(&ids, vnodes),
+            replication: replication.clamp(1, backends.len().max(1)),
+            backends,
+            sessions: RwLock::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            session_ttl,
+            last_session_sweep: Mutex::new(None),
+            round_robin: AtomicUsize::new(0),
+            metrics: FleetMetrics::default(),
+        }
+    }
+
+    /// Drops session mappings idle past the TTL. Abandoned sessions
+    /// would otherwise accumulate forever: the backend's own TTL reaps
+    /// *its* half, but the router only notices on an explicit DELETE or
+    /// a step that happens to see the backend's 404. Throttled to ~8
+    /// sweeps per TTL so the step path stays O(1).
+    fn sweep_sessions(&self) {
+        let Some(ttl) = self.session_ttl else { return };
+        let interval = (ttl / 8).max(Duration::from_millis(10));
+        {
+            let mut last = self.last_session_sweep.lock();
+            let now = Instant::now();
+            match *last {
+                Some(prev) if now.duration_since(prev) < interval => return,
+                _ => *last = Some(now),
+            }
+        }
+        let now = Instant::now();
+        self.sessions
+            .write()
+            .retain(|_, s| now.duration_since(s.last_used) < ttl);
+    }
+
+    /// The backends, in ring index order.
+    pub fn backends(&self) -> &[Arc<Backend>] {
+        &self.backends
+    }
+
+    /// The consistent-hash ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Replicas per table.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The replica set for `table`, in ring (failover) order.
+    pub fn replicas_for(&self, table: &str) -> Vec<usize> {
+        self.ring.replicas_for(table, self.replication)
+    }
+
+    /// The replica set for `table` in *routing* order for a read:
+    /// healthy backends first, rotated by a per-request counter so
+    /// repeated reads of one table spread across its replicas; unhealthy
+    /// backends trail as a last resort (the prober may lag reality, and
+    /// a desperate try beats a guaranteed 503).
+    fn read_order(&self, table: &str) -> Vec<usize> {
+        let replicas = self.replicas_for(table);
+        if replicas.is_empty() {
+            return replicas;
+        }
+        let rotation = self.round_robin.fetch_add(1, Ordering::Relaxed) % replicas.len();
+        let mut ordered: Vec<usize> = Vec::with_capacity(replicas.len());
+        for healthy_pass in [true, false] {
+            for offset in 0..replicas.len() {
+                let idx = replicas[(rotation + offset) % replicas.len()];
+                if self.backends[idx].is_healthy() == healthy_pass && !ordered.contains(&idx) {
+                    ordered.push(idx);
+                }
+            }
+        }
+        ordered
+    }
+}
+
+/// Routes one request. Returns the response plus the id of the backend
+/// that served it, when exactly one did (for the access log).
+pub fn route_fleet(state: &FleetState, req: &Request) -> (Response, Option<String>) {
+    state.metrics.requests_total.inc();
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let (response, backend) = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => (handle_healthz(state), None),
+        ("GET", ["metrics"]) => (handle_metrics(state), None),
+        ("GET", ["tables"]) => (handle_list_tables(state), None),
+        ("POST", ["tables"]) => (handle_create_table(state, &req.body), None),
+        ("POST", ["tables", name, "characterize"]) => handle_characterize(state, name, &req.body),
+        ("DELETE", ["tables", name]) => (handle_delete_table(state, name), None),
+        ("POST", ["sessions"]) => handle_create_session(state, &req.body),
+        ("POST", ["sessions", id, "step"]) => handle_session_step(state, id, &req.body),
+        ("DELETE", ["sessions", id]) => handle_delete_session(state, id),
+        (
+            _,
+            ["healthz"]
+            | ["metrics"]
+            | ["tables"]
+            | ["tables", _]
+            | ["tables", _, "characterize"]
+            | ["sessions"]
+            | ["sessions", _]
+            | ["sessions", _, "step"],
+        ) => (error_response(405, "method not allowed"), None),
+        _ => (
+            error_response(404, &format!("no route for {}", req.path)),
+            None,
+        ),
+    };
+    if response.status >= 400 {
+        state.metrics.errors_total.inc();
+    }
+    (response, backend)
+}
+
+/// Whether a forwarded request may be transparently re-sent by the
+/// connection pool. GET/PUT/DELETE are idempotent by contract (the
+/// replicate path is *designed* to converge on retry), and POST
+/// characterize is a pure read; POST session create/step mutate backend
+/// state, so a duplicate would orphan a session or double-advance a
+/// history.
+fn retry_safe(method: &str, path: &str) -> bool {
+    method != "POST" || path.ends_with("/characterize")
+}
+
+/// One forwarded request leg, with passive health bookkeeping.
+fn forward(
+    state: &FleetState,
+    backend: usize,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    state.metrics.proxied_total.inc();
+    let b = &state.backends[backend];
+    match b
+        .pool()
+        .request(method, path, body, retry_safe(method, path))
+    {
+        Ok(response) => {
+            b.record_success();
+            Ok(response)
+        }
+        Err(e) => {
+            b.record_failure();
+            Err(e)
+        }
+    }
+}
+
+fn utf8_body(body: &[u8]) -> Result<&str, Response> {
+    std::str::from_utf8(body).map_err(|_| error_response(400, "request body is not UTF-8"))
+}
+
+fn handle_healthz(state: &FleetState) -> Response {
+    let backends: Vec<Value> = state
+        .backends
+        .iter()
+        .map(|b| {
+            Value::Object(vec![
+                ("id".into(), Value::String(b.id().to_string())),
+                ("addr".into(), Value::String(b.addr().to_string())),
+                ("healthy".into(), Value::Bool(b.is_healthy())),
+            ])
+        })
+        .collect();
+    let any_healthy = state.backends.iter().any(|b| b.is_healthy());
+    let body = Value::Object(vec![
+        (
+            "status".into(),
+            Value::String(if any_healthy { "ok" } else { "degraded" }.into()),
+        ),
+        ("replication".into(), num_u(state.replication as u64)),
+        ("backends".into(), Value::Array(backends)),
+    ]);
+    Response::new(
+        if any_healthy { 200 } else { 503 },
+        serde_json::to_string(&body).expect("health bodies always render"),
+    )
+}
+
+/// Scatter one GET to every backend in parallel; gather
+/// `(backend index, io::Result<(status, body)>)` in index order.
+fn scatter_get(state: &FleetState, path: &str) -> Vec<std::io::Result<(u16, String)>> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..state.backends.len())
+            .map(|i| s.spawn(move || forward(state, i, "GET", path, None)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scatter thread panicked"))
+            .collect()
+    })
+}
+
+fn handle_metrics(state: &FleetState) -> Response {
+    let gathered = scatter_get(state, "/metrics");
+    let shards: Vec<Value> = state
+        .backends
+        .iter()
+        .zip(gathered)
+        .map(|(b, result)| {
+            let metrics = match result {
+                Ok((200, body)) => serde_json::from_str_value(&body).unwrap_or(Value::Null),
+                _ => Value::Null,
+            };
+            Value::Object(vec![
+                ("id".into(), Value::String(b.id().to_string())),
+                ("addr".into(), Value::String(b.addr().to_string())),
+                ("healthy".into(), Value::Bool(b.is_healthy())),
+                ("failures_total".into(), num_u(b.failures_total())),
+                ("metrics".into(), metrics),
+            ])
+        })
+        .collect();
+    let body = Value::Object(vec![
+        ("router".into(), state.metrics.to_json()),
+        ("replication".into(), num_u(state.replication as u64)),
+        ("shards".into(), Value::Array(shards)),
+    ]);
+    Response::new(
+        200,
+        serde_json::to_string(&body).expect("metrics bodies always render"),
+    )
+}
+
+fn handle_list_tables(state: &FleetState) -> Response {
+    let gathered = scatter_get(state, "/tables");
+    // name -> (n_rows, n_cols, live replica count)
+    let mut merged: HashMap<String, (u64, u64, u64)> = HashMap::new();
+    for result in gathered {
+        let Ok((200, body)) = result else { continue };
+        let Ok(v) = serde_json::from_str_value(&body) else {
+            continue;
+        };
+        let Some(tables) = v.get("tables").and_then(Value::as_array) else {
+            continue;
+        };
+        for t in tables {
+            let (Some(name), Some(rows), Some(cols)) = (
+                t.get("name").and_then(Value::as_str),
+                t.get("n_rows").and_then(Value::as_u64),
+                t.get("n_cols").and_then(Value::as_u64),
+            ) else {
+                continue;
+            };
+            let entry = merged.entry(name.to_string()).or_insert((rows, cols, 0));
+            entry.2 += 1;
+        }
+    }
+    let mut names: Vec<&String> = merged.keys().collect();
+    names.sort();
+    let tables: Vec<Value> = names
+        .iter()
+        .map(|name| {
+            let (rows, cols, replicas) = merged[*name];
+            Value::Object(vec![
+                ("name".into(), Value::String((*name).clone())),
+                ("n_rows".into(), num_u(rows)),
+                ("n_cols".into(), num_u(cols)),
+                ("replicas".into(), num_u(replicas)),
+            ])
+        })
+        .collect();
+    Response::new(
+        200,
+        serde_json::to_string(&Value::Object(vec![(
+            "tables".into(),
+            Value::Array(tables),
+        )]))
+        .expect("table listings always render"),
+    )
+}
+
+fn handle_create_table(state: &FleetState, body: &[u8]) -> Response {
+    let parsed = match parse_object(body) {
+        Ok(v) => v,
+        Err(e) => return error_response(e.status, &e.message),
+    };
+    let name = match required_str(&parsed, "name") {
+        Ok(n) => n.to_string(),
+        Err(e) => return error_response(e.status, &e.message),
+    };
+    // Validate *here*, not just on the backend: this name is about to be
+    // interpolated into proxied request lines, where whitespace or CRLF
+    // from a hostile JSON body would corrupt the framing of (or smuggle
+    // a second request onto) a pooled backend connection.
+    if !ziggy_serve::valid_table_name(&name) {
+        return error_response(400, "table name must be 1-64 chars of [A-Za-z0-9_-]");
+    }
+    if required_str(&parsed, "csv").is_err() {
+        return error_response(400, "missing string field `csv`");
+    }
+    let replicas = state.replicas_for(&name);
+    if replicas.is_empty() {
+        return error_response(503, "fleet has no backends");
+    }
+    // Re-frame the upload as the idempotent replicate body so a retried
+    // ingest (or a racing duplicate from another client) converges
+    // instead of flapping 409.
+    let replicate_body = serde_json::to_string(&Value::Object(vec![(
+        "csv".into(),
+        parsed.get("csv").expect("checked above").clone(),
+    )]))
+    .expect("replicate bodies always render");
+    let path = format!("/tables/{name}");
+
+    let results: Vec<std::io::Result<(u16, String)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = replicas
+            .iter()
+            .map(|&i| {
+                let replicate_body = replicate_body.as_str();
+                let path = path.as_str();
+                s.spawn(move || forward(state, i, "PUT", path, Some(replicate_body)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ingest fan-out thread panicked"))
+            .collect()
+    });
+
+    let mut placement: Vec<Value> = Vec::with_capacity(replicas.len());
+    let mut first_success: Option<String> = None;
+    let mut first_client_error: Option<(u16, String)> = None;
+    let mut placed = 0u64;
+    for (&i, result) in replicas.iter().zip(&results) {
+        let backend = &state.backends[i];
+        let status = match result {
+            Ok((status, body)) => {
+                if (200..300).contains(status) {
+                    placed += 1;
+                    if first_success.is_none() {
+                        first_success = Some(body.clone());
+                    }
+                } else if (400..500).contains(status) && first_client_error.is_none() {
+                    first_client_error = Some((*status, body.clone()));
+                }
+                num_u(u64::from(*status))
+            }
+            Err(_) => Value::Null,
+        };
+        placement.push(Value::Object(vec![
+            ("backend".into(), Value::String(backend.id().to_string())),
+            ("status".into(), status),
+        ]));
+    }
+
+    let Some(success_body) = first_success else {
+        // Nothing materialized. A deterministic client error (bad CSV,
+        // name conflict) beats a vague 503.
+        return match first_client_error {
+            Some((status, body)) => Response::new(status, body),
+            None => error_response(503, "no replica accepted the table"),
+        };
+    };
+    let summary = serde_json::from_str_value(&success_body).unwrap_or(Value::Null);
+    let body = Value::Object(vec![
+        ("name".into(), Value::String(name)),
+        (
+            "n_rows".into(),
+            summary.get("n_rows").cloned().unwrap_or(Value::Null),
+        ),
+        (
+            "n_cols".into(),
+            summary.get("n_cols").cloned().unwrap_or(Value::Null),
+        ),
+        ("placed".into(), num_u(placed)),
+        ("replicas".into(), Value::Array(placement)),
+    ]);
+    Response::new(
+        201,
+        serde_json::to_string(&body).expect("placements always render"),
+    )
+}
+
+/// Forwards a read to `table`'s replicas in routing order, failing over
+/// on transport errors and 5xx; 404 is remembered but the other
+/// replicas still get a chance (one replica may have missed the
+/// materialization). Returns the winning backend id for logging.
+fn proxy_read_with_failover(
+    state: &FleetState,
+    table: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (Response, Option<String>) {
+    let order = state.read_order(table);
+    if order.is_empty() {
+        return (error_response(503, "fleet has no backends"), None);
+    }
+    let mut fallback: Option<(u16, String)> = None;
+    for (attempt, backend) in order.into_iter().enumerate() {
+        if attempt > 0 {
+            state.metrics.failovers_total.inc();
+        }
+        match forward(state, backend, method, path, body) {
+            Ok((status, resp_body)) => {
+                if status == 404 || (500..600).contains(&status) {
+                    if fallback.is_none() || status != 404 {
+                        fallback = Some((status, resp_body));
+                    }
+                    continue;
+                }
+                // Verbatim: characterize responses must stay
+                // byte-identical to a single-node serve.
+                return (
+                    Response::new(status, resp_body),
+                    Some(state.backends[backend].id().to_string()),
+                );
+            }
+            Err(_) => continue,
+        }
+    }
+    match fallback {
+        Some((status, body)) => (Response::new(status, body), None),
+        None => (
+            error_response(503, &format!("no live replica for table `{table}`")),
+            None,
+        ),
+    }
+}
+
+fn handle_characterize(state: &FleetState, name: &str, body: &[u8]) -> (Response, Option<String>) {
+    let body = match utf8_body(body) {
+        Ok(b) => b,
+        Err(resp) => return (resp, None),
+    };
+    let path = format!("/tables/{name}/characterize");
+    proxy_read_with_failover(state, name, "POST", &path, Some(body))
+}
+
+fn handle_delete_table(state: &FleetState, name: &str) -> Response {
+    let replicas = state.replicas_for(name);
+    if replicas.is_empty() {
+        return error_response(503, "fleet has no backends");
+    }
+    let path = format!("/tables/{name}");
+    let mut statuses: Vec<Value> = Vec::with_capacity(replicas.len());
+    let mut any_deleted = false;
+    let mut all_404 = true;
+    for &i in &replicas {
+        match forward(state, i, "DELETE", &path, None) {
+            Ok((status, _)) => {
+                any_deleted |= (200..300).contains(&status);
+                all_404 &= status == 404;
+                statuses.push(Value::Object(vec![
+                    (
+                        "backend".into(),
+                        Value::String(state.backends[i].id().to_string()),
+                    ),
+                    ("status".into(), num_u(u64::from(status))),
+                ]));
+            }
+            Err(_) => {
+                all_404 = false;
+                statuses.push(Value::Object(vec![
+                    (
+                        "backend".into(),
+                        Value::String(state.backends[i].id().to_string()),
+                    ),
+                    ("status".into(), Value::Null),
+                ]));
+            }
+        }
+    }
+    if any_deleted {
+        // Cascade only on an actual delete: a failed fan-out (every
+        // replica unreachable) must not wipe live sessions on a table
+        // that still exists everywhere.
+        state.sessions.write().retain(|_, s| s.table != name);
+        Response::new(
+            200,
+            serde_json::to_string(&Value::Object(vec![
+                ("deleted".into(), Value::String(name.to_string())),
+                ("replicas".into(), Value::Array(statuses)),
+            ]))
+            .expect("delete bodies always render"),
+        )
+    } else if all_404 {
+        error_response(404, &format!("no table named `{name}`"))
+    } else {
+        error_response(503, &format!("no live replica for table `{name}`"))
+    }
+}
+
+fn handle_create_session(state: &FleetState, body: &[u8]) -> (Response, Option<String>) {
+    let parsed = match parse_object(body) {
+        Ok(v) => v,
+        Err(e) => return (error_response(e.status, &e.message), None),
+    };
+    let table = match required_str(&parsed, "table") {
+        Ok(t) => t.to_string(),
+        Err(e) => return (error_response(e.status, &e.message), None),
+    };
+    let body = match utf8_body(body) {
+        Ok(b) => b,
+        Err(resp) => return (resp, None),
+    };
+    state.sweep_sessions();
+    if state.sessions.read().len() >= MAX_FLEET_SESSIONS {
+        return (
+            error_response(
+                409,
+                &format!("session limit reached ({MAX_FLEET_SESSIONS})"),
+            ),
+            None,
+        );
+    }
+    let order = state.read_order(&table);
+    if order.is_empty() {
+        return (error_response(503, "fleet has no backends"), None);
+    }
+    let mut fallback: Option<(u16, String)> = None;
+    for backend in order {
+        match forward(state, backend, "POST", "/sessions", Some(body)) {
+            Ok((201, resp_body)) => {
+                let Some(backend_session) = serde_json::from_str_value(&resp_body)
+                    .ok()
+                    .as_ref()
+                    .and_then(|v| v.get("session_id"))
+                    .and_then(Value::as_u64)
+                else {
+                    fallback = Some((
+                        502,
+                        r#"{"error":"backend returned a malformed session"}"#.into(),
+                    ));
+                    continue;
+                };
+                let id = state.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+                {
+                    // Authoritative cap check under the write lock: the
+                    // read-lock pre-check above races concurrent
+                    // creates, and the bound must actually hold.
+                    let mut sessions = state.sessions.write();
+                    if sessions.len() >= MAX_FLEET_SESSIONS {
+                        drop(sessions);
+                        // Undo the backend half so it does not linger
+                        // until its TTL.
+                        let path = format!("/sessions/{backend_session}");
+                        let _ = forward(state, backend, "DELETE", &path, None);
+                        return (
+                            error_response(
+                                409,
+                                &format!("session limit reached ({MAX_FLEET_SESSIONS})"),
+                            ),
+                            None,
+                        );
+                    }
+                    sessions.insert(
+                        id,
+                        FleetSession {
+                            backend,
+                            backend_session,
+                            table: table.clone(),
+                            last_used: Instant::now(),
+                        },
+                    );
+                }
+                let backend_id = state.backends[backend].id().to_string();
+                let resp = Value::Object(vec![
+                    ("session_id".into(), num_u(id)),
+                    ("table".into(), Value::String(table)),
+                    ("backend".into(), Value::String(backend_id.clone())),
+                ]);
+                return (
+                    Response::new(
+                        201,
+                        serde_json::to_string(&resp).expect("session bodies always render"),
+                    ),
+                    Some(backend_id),
+                );
+            }
+            Ok((status, resp_body)) => {
+                if fallback.is_none() || status != 404 {
+                    fallback = Some((status, resp_body));
+                }
+                continue;
+            }
+            Err(_) => {
+                state.metrics.failovers_total.inc();
+                continue;
+            }
+        }
+    }
+    match fallback {
+        Some((status, body)) => (Response::new(status, body), None),
+        None => (
+            error_response(503, &format!("no live replica for table `{table}`")),
+            None,
+        ),
+    }
+}
+
+fn parse_fleet_session_id(id: &str) -> Result<u64, Response> {
+    id.parse()
+        .map_err(|_| error_response(400, "session id must be an integer"))
+}
+
+fn handle_session_step(state: &FleetState, id: &str, body: &[u8]) -> (Response, Option<String>) {
+    let id = match parse_fleet_session_id(id) {
+        Ok(id) => id,
+        Err(resp) => return (resp, None),
+    };
+    let body = match utf8_body(body) {
+        Ok(b) => b,
+        Err(resp) => return (resp, None),
+    };
+    state.sweep_sessions();
+    let (backend, backend_session) = {
+        let sessions = state.sessions.read();
+        match sessions.get(&id) {
+            Some(s) => (s.backend, s.backend_session),
+            None => return (error_response(404, &format!("no session {id}")), None),
+        }
+    };
+    let path = format!("/sessions/{backend_session}/step");
+    match forward(state, backend, "POST", &path, Some(body)) {
+        Ok((404, resp_body)) => {
+            // The backend forgot the session (TTL expiry, table delete):
+            // the fleet mapping is stale too.
+            state.sessions.write().remove(&id);
+            (Response::new(404, resp_body), None)
+        }
+        Ok((status, resp_body)) => {
+            if let Some(s) = state.sessions.write().get_mut(&id) {
+                s.last_used = Instant::now();
+            }
+            (
+                Response::new(status, resp_body),
+                Some(state.backends[backend].id().to_string()),
+            )
+        }
+        // Sticky by design: the session's history lives on that backend.
+        Err(_) => (
+            error_response(
+                503,
+                "session replica unavailable; create a new session to continue",
+            ),
+            None,
+        ),
+    }
+}
+
+fn handle_delete_session(state: &FleetState, id: &str) -> (Response, Option<String>) {
+    let id = match parse_fleet_session_id(id) {
+        Ok(id) => id,
+        Err(resp) => return (resp, None),
+    };
+    let Some(session) = state.sessions.write().remove(&id) else {
+        return (error_response(404, &format!("no session {id}")), None);
+    };
+    // Best effort downstream: if the backend is unreachable its own TTL
+    // sweep will reap the session; the fleet id is gone either way.
+    let path = format!("/sessions/{}", session.backend_session);
+    let _ = forward(state, session.backend, "DELETE", &path, None);
+    (
+        Response::new(
+            200,
+            serde_json::to_string(&Value::Object(vec![("deleted".into(), num_u(id))]))
+                .expect("delete bodies always render"),
+        ),
+        Some(state.backends[session.backend].id().to_string()),
+    )
+}

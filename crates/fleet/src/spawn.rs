@@ -1,0 +1,141 @@
+//! Local backend process supervision for dev fleets and tests.
+//!
+//! Spawns a `ziggy serve` child on an ephemeral port and learns the
+//! bound address through a `--port-file` handshake: the child writes
+//! `host:port` to a temp file once its listener is up, which is both
+//! race-free (no guessing free ports) and parser-free (no scraping
+//! stdout). Children are killed (and reaped) on drop so a panicking
+//! test cannot leak server processes.
+
+use std::io;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How long to wait for a spawned backend to write its port file.
+const SPAWN_DEADLINE: Duration = Duration::from_secs(30);
+
+static SPAWN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A supervised local `ziggy serve` process.
+pub struct BackendProcess {
+    id: String,
+    addr: SocketAddr,
+    child: Child,
+}
+
+impl std::fmt::Debug for BackendProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendProcess")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .field("pid", &self.child.id())
+            .finish()
+    }
+}
+
+impl BackendProcess {
+    /// Spawns `binary serve --addr 127.0.0.1:0 --port-file <tmp>` plus
+    /// `extra_args`, and waits for the handshake. `id` becomes the
+    /// backend's fleet id.
+    pub fn spawn(binary: &Path, id: impl Into<String>, extra_args: &[&str]) -> io::Result<Self> {
+        let id = id.into();
+        let port_file = port_file_path(&id);
+        let _ = std::fs::remove_file(&port_file);
+        let mut child = Command::new(binary)
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(["--port-file", &port_file.to_string_lossy()])
+            .args(extra_args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        match wait_for_port_file(&port_file, &mut child) {
+            Ok(addr) => {
+                let _ = std::fs::remove_file(&port_file);
+                Ok(Self { id, addr, child })
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                let _ = std::fs::remove_file(&port_file);
+                Err(e)
+            }
+        }
+    }
+
+    /// The backend's fleet id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The child's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The child's OS pid.
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Whether the process is still running (reaps it if it exited).
+    pub fn is_alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+
+    /// Kills and reaps the process (idempotent).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for BackendProcess {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn port_file_path(id: &str) -> PathBuf {
+    // pid + sequence makes the name unique across concurrent tests even
+    // when they reuse backend ids.
+    let seq = SPAWN_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "ziggy-fleet-{}-{seq}-{id}.port",
+        std::process::id()
+    ))
+}
+
+fn wait_for_port_file(path: &Path, child: &mut Child) -> io::Result<SocketAddr> {
+    let deadline = Instant::now() + SPAWN_DEADLINE;
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let text = text.trim();
+            if !text.is_empty() {
+                return text.parse().map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("malformed port file: {text:?}"),
+                    )
+                });
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("backend exited during startup: {status}"),
+            ));
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "backend did not write its port file in time",
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,375 @@
+//! In-process fleet tests: real TCP between router and backends, but
+//! backends as in-process servers so the suite stays fast. The
+//! multi-process supervision path is covered by the workspace-level
+//! `tests/fleet_integration.rs`.
+
+use std::time::Duration;
+
+use ziggy_fleet::{start_fleet, FleetOptions};
+use ziggy_serve::http::{request_once, Client};
+use ziggy_serve::{serve, ServeOptions, ServerHandle};
+
+fn demo_csv() -> String {
+    let mut csv = String::from("key,hot,cold\n");
+    for i in 0..200 {
+        csv.push_str(&format!(
+            "{},{},{}\n",
+            i,
+            if i >= 150 { 25 } else { 0 } + (i * 13) % 7,
+            (i * 7919) % 31
+        ));
+    }
+    csv
+}
+
+fn json_body(fields: &[(&str, &str)]) -> String {
+    serde_json::to_string(&serde_json::Value::Object(
+        fields
+            .iter()
+            .map(|(k, v)| {
+                (
+                    (*k).to_string(),
+                    serde_json::Value::String((*v).to_string()),
+                )
+            })
+            .collect(),
+    ))
+    .unwrap()
+}
+
+fn spawn_backends(n: usize) -> (Vec<ServerHandle>, Vec<(String, std::net::SocketAddr)>) {
+    let handles: Vec<ServerHandle> = (0..n)
+        .map(|_| serve("127.0.0.1:0", ServeOptions::default()).unwrap())
+        .collect();
+    let addrs = handles
+        .iter()
+        .enumerate()
+        .map(|(i, h)| (format!("shard-{i}"), h.local_addr()))
+        .collect();
+    (handles, addrs)
+}
+
+#[test]
+fn ingest_replicates_and_reads_fail_over() {
+    let (mut backends, addrs) = spawn_backends(3);
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 2,
+            // Deliberately glacial: this test exercises the *passive*
+            // failure path (transport errors during real traffic mark
+            // the backend and retry the next replica). Active probing
+            // has its own unit test.
+            probe_interval: Duration::from_secs(60),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    // Ingest through the router: placed on exactly R=2 backends.
+    let body = json_body(&[("name", "demo"), ("csv", &demo_csv())]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+    let v = serde_json::from_str_value(&resp).unwrap();
+    assert_eq!(v.get("placed").unwrap().as_u64(), Some(2), "{resp}");
+    assert_eq!(v.get("n_rows").unwrap().as_u64(), Some(200), "{resp}");
+
+    // The backends really hold it: exactly 2 of the 3 list the table.
+    let holders: Vec<usize> = backends
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| {
+            let (s, body) = request_once(b.local_addr(), "GET", "/tables", None).unwrap();
+            assert_eq!(s, 200);
+            body.contains("\"demo\"")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(holders.len(), 2, "replication factor must be honored");
+
+    // Scatter-gather listing dedups replicas into one entry.
+    let (status, listing) = request_once(router, "GET", "/tables", None).unwrap();
+    assert_eq!(status, 200);
+    let v = serde_json::from_str_value(&listing).unwrap();
+    let tables = v.get("tables").unwrap().as_array().unwrap();
+    assert_eq!(tables.len(), 1, "{listing}");
+    assert_eq!(tables[0].get("replicas").unwrap().as_u64(), Some(2));
+
+    // Characterize through the router; responses must be byte-identical
+    // to asking a holding backend directly.
+    let query_body = json_body(&[("query", "key >= 150")]);
+    let (status, via_router) = request_once(
+        router,
+        "POST",
+        "/tables/demo/characterize",
+        Some(&query_body),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{via_router}");
+    let (_, direct) = request_once(
+        backends[holders[0]].local_addr(),
+        "POST",
+        "/tables/demo/characterize",
+        Some(&query_body),
+    )
+    .unwrap();
+    let zero_timings = |s: &str| {
+        let mut r: ziggy_core::CharacterizationReport = serde_json::from_str(s).unwrap();
+        r.timings = ziggy_core::StageTimings::default();
+        serde_json::to_string(&r).unwrap()
+    };
+    assert_eq!(zero_timings(&via_router), zero_timings(&direct));
+
+    // Kill one replica; reads keep succeeding through failover.
+    let victim = holders[0];
+    backends.remove(victim).shutdown();
+    let mut client = Client::connect(router).unwrap();
+    for _ in 0..6 {
+        let (status, body) = client
+            .request("POST", "/tables/demo/characterize", Some(&query_body))
+            .unwrap();
+        assert_eq!(status, 200, "failover must hide a dead replica: {body}");
+        assert_eq!(zero_timings(&body), zero_timings(&direct));
+    }
+    // Passive health: the transport failures observed while failing
+    // over marked the victim unhealthy without any probe's help.
+    let (_, health) = request_once(router, "GET", "/healthz", None).unwrap();
+    let v = serde_json::from_str_value(&health).unwrap();
+    let down = v
+        .get("backends")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|b| b.get("healthy").unwrap().as_bool() == Some(false))
+        .count();
+    assert_eq!(down, 1, "proxy failures must mark the backend: {health}");
+
+    let failovers = fleet.state().metrics.failovers_total.get();
+    assert!(failovers > 0, "failover counter must move");
+    fleet.shutdown();
+}
+
+#[test]
+fn sessions_are_sticky_and_survive_other_replicas_dying() {
+    let (mut backends, addrs) = spawn_backends(3);
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 3,
+            probe_interval: Duration::from_millis(50),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    let body = json_body(&[("name", "t"), ("csv", &demo_csv())]);
+    let (status, _) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201);
+
+    let (status, created) = request_once(
+        router,
+        "POST",
+        "/sessions",
+        Some(&json_body(&[("table", "t")])),
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{created}");
+    let v = serde_json::from_str_value(&created).unwrap();
+    let sid = v.get("session_id").unwrap().as_u64().unwrap();
+    let home = v.get("backend").unwrap().as_str().unwrap().to_string();
+
+    let step_body = json_body(&[("query", "key >= 150")]);
+    let step_path = format!("/sessions/{sid}/step");
+    let (status, step1) = request_once(router, "POST", &step_path, Some(&step_body)).unwrap();
+    assert_eq!(status, 200, "{step1}");
+    assert!(step1.contains("\"step\":1"), "{step1}");
+
+    // Kill a *different* replica: the sticky session keeps stepping.
+    let victim = backends
+        .iter()
+        .position(|b| {
+            let idx = home
+                .strip_prefix("shard-")
+                .unwrap()
+                .parse::<usize>()
+                .unwrap();
+            b.local_addr() != fleet.state().backends()[idx].addr()
+        })
+        .unwrap();
+    backends.remove(victim).shutdown();
+    let (status, step2) = request_once(router, "POST", &step_path, Some(&step_body)).unwrap();
+    assert_eq!(status, 200, "{step2}");
+    assert!(step2.contains("\"step\":2"), "{step2}");
+
+    // Kill the session's home backend: steps answer 503 (sticky by
+    // design), and a fresh session lands on a surviving replica.
+    let home_idx = home
+        .strip_prefix("shard-")
+        .unwrap()
+        .parse::<usize>()
+        .unwrap();
+    let home_addr = fleet.state().backends()[home_idx].addr();
+    let victim = backends
+        .iter()
+        .position(|b| b.local_addr() == home_addr)
+        .unwrap();
+    backends.remove(victim).shutdown();
+    let (status, dead_step) = request_once(router, "POST", &step_path, Some(&step_body)).unwrap();
+    assert_eq!(status, 503, "{dead_step}");
+    let (status, recreated) = request_once(
+        router,
+        "POST",
+        "/sessions",
+        Some(&json_body(&[("table", "t")])),
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{recreated}");
+    assert_ne!(
+        serde_json::from_str_value(&recreated)
+            .unwrap()
+            .get("backend")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        home
+    );
+    fleet.shutdown();
+}
+
+#[test]
+fn metrics_scatter_gather_and_router_edge_limits() {
+    let (backends, addrs) = spawn_backends(2);
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 1,
+            rate_limit: Some(3),
+            probe_interval: Duration::from_millis(100),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    // /metrics aggregates one section per shard.
+    let mut client = Client::connect(router).unwrap();
+    let (status, metrics) = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let v = serde_json::from_str_value(&metrics).unwrap();
+    let shards = v.get("shards").unwrap().as_array().unwrap();
+    assert_eq!(shards.len(), 2, "{metrics}");
+    for shard in shards {
+        assert!(shard.get("metrics").unwrap().get("requests").is_some());
+        assert_eq!(shard.get("healthy").unwrap().as_bool(), Some(true));
+    }
+    assert!(v.get("router").unwrap().get("requests_total").is_some());
+
+    // The router edge throttles like a single node; /healthz is exempt.
+    let mut saw_429 = false;
+    for _ in 0..10 {
+        let (status, _) = client.request("GET", "/tables", None).unwrap();
+        if status == 429 {
+            saw_429 = true;
+            break;
+        }
+    }
+    assert!(saw_429, "router edge must rate limit");
+    let (status, _) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(fleet.state().metrics.rate_limited.get() >= 1);
+
+    fleet.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+#[test]
+fn hostile_table_names_are_rejected_at_the_router() {
+    let (backends, addrs) = spawn_backends(1);
+    let fleet = start_fleet("127.0.0.1:0", addrs, FleetOptions::default()).unwrap();
+    let router = fleet.local_addr();
+    // A body-supplied name reaches proxied request lines; CRLF or
+    // whitespace there would corrupt (or smuggle a request onto) the
+    // pooled backend connection, so the router must refuse it outright.
+    for hostile in [
+        "x HTTP/1.1\r\nContent-Length: 0\r\n\r\nDELETE /tables/y",
+        "has space",
+        "new\nline",
+        "",
+        "way-too-long-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+    ] {
+        let body = json_body(&[("name", hostile), ("csv", "a,b\n1,2\n")]);
+        let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+        assert_eq!(status, 400, "{hostile:?} -> {resp}");
+    }
+    // Nothing leaked through to the backend.
+    let (_, listing) = request_once(backends[0].local_addr(), "GET", "/tables", None).unwrap();
+    assert_eq!(listing, r#"{"tables":[]}"#);
+    fleet.shutdown();
+    backends.into_iter().for_each(|b| b.shutdown());
+}
+
+#[test]
+fn stale_fleet_session_mappings_are_swept() {
+    let (backends, addrs) = spawn_backends(1);
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 1,
+            session_ttl: Some(Duration::from_millis(40)),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+    let body = json_body(&[("name", "t"), ("csv", &demo_csv())]);
+    let (status, _) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201);
+
+    let (status, created) = request_once(
+        router,
+        "POST",
+        "/sessions",
+        Some(&json_body(&[("table", "t")])),
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{created}");
+    let sid = serde_json::from_str_value(&created)
+        .unwrap()
+        .get("session_id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+
+    // Abandon the session past the TTL: the next session op sweeps the
+    // stale router mapping, so a later step 404s at the router (not via
+    // a backend round trip — the mapping itself is gone).
+    std::thread::sleep(Duration::from_millis(80));
+    let (status, _) = request_once(
+        router,
+        "POST",
+        "/sessions",
+        Some(&json_body(&[("table", "t")])),
+    )
+    .unwrap();
+    assert_eq!(status, 201);
+    let step_body = json_body(&[("query", "key >= 150")]);
+    let (status, resp) = request_once(
+        router,
+        "POST",
+        &format!("/sessions/{sid}/step"),
+        Some(&step_body),
+    )
+    .unwrap();
+    assert_eq!(status, 404, "{resp}");
+    fleet.shutdown();
+    backends.into_iter().for_each(|b| b.shutdown());
+}

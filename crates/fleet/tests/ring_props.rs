@@ -1,0 +1,139 @@
+//! Property tests for the consistent-hash ring: balance within a
+//! tolerance, and bounded remapping on membership change — the two
+//! properties the fleet's placement correctness and cache-friendliness
+//! rest on.
+
+use proptest::prelude::*;
+use ziggy_fleet::HashRing;
+
+const VNODES: usize = 128;
+
+fn ids(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("shard-{i}")).collect()
+}
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("table-{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Key ownership is balanced: with 128 vnodes, every backend's share
+    /// of 4000 keys stays within a constant factor of fair. (The
+    /// expected relative spread is ~1/sqrt(vnodes) ≈ 9%; the 2.2x/0.3x
+    /// envelope leaves room for unlucky draws without ever letting a
+    /// pathological ring through.)
+    #[test]
+    fn distribution_is_balanced(n_backends in 2usize..9) {
+        let ring = HashRing::build(&ids(n_backends), VNODES);
+        let mut counts = vec![0usize; n_backends];
+        let n_keys = 4000usize;
+        for key in keys(n_keys) {
+            counts[ring.primary_for(&key).unwrap()] += 1;
+        }
+        let fair = n_keys as f64 / n_backends as f64;
+        for (backend, &count) in counts.iter().enumerate() {
+            prop_assert!(
+                (count as f64) < fair * 2.2,
+                "backend {backend} overloaded: {count} keys, fair share {fair:.0}"
+            );
+            prop_assert!(
+                (count as f64) > fair * 0.3,
+                "backend {backend} starved: {count} keys, fair share {fair:.0}"
+            );
+        }
+    }
+
+    /// Removing one backend is *exactly* minimal: every key whose
+    /// primary was not the removed backend keeps its primary, so the
+    /// moved fraction equals the removed backend's share (~1/N).
+    #[test]
+    fn removing_a_backend_only_moves_its_own_keys(n_backends in 3usize..9) {
+        let full = ids(n_backends);
+        let ring = HashRing::build(&full, VNODES);
+        // Remove the last backend so surviving indices are unchanged
+        // (0..n-1 name the same ids in both rings).
+        let removed = n_backends - 1;
+        let shrunk = HashRing::build(&full[..removed], VNODES);
+        let mut moved = 0usize;
+        let n_keys = 2000usize;
+        for key in keys(n_keys) {
+            let before = ring.primary_for(&key).unwrap();
+            let after = shrunk.primary_for(&key).unwrap();
+            if before == removed {
+                moved += 1;
+            } else {
+                prop_assert_eq!(
+                    before, after,
+                    "key {} moved although its owner survived", key
+                );
+            }
+        }
+        // The removed backend's share should be ~1/N of keys.
+        let share = moved as f64 / n_keys as f64;
+        prop_assert!(
+            share < 2.2 / n_backends as f64,
+            "removal remapped {share:.3} of keys, expected ~{:.3}",
+            1.0 / n_backends as f64
+        );
+    }
+
+    /// Adding one backend only moves keys *onto the newcomer*: every
+    /// other key keeps its primary, and the newcomer takes ~1/(N+1).
+    #[test]
+    fn adding_a_backend_only_steals_keys(n_backends in 2usize..8) {
+        let before_ids = ids(n_backends);
+        let mut after_ids = before_ids.clone();
+        after_ids.push("shard-new".to_string());
+        let ring = HashRing::build(&before_ids, VNODES);
+        let grown = HashRing::build(&after_ids, VNODES);
+        let newcomer = n_backends; // index of shard-new
+        let mut stolen = 0usize;
+        let n_keys = 2000usize;
+        for key in keys(n_keys) {
+            let before = ring.primary_for(&key).unwrap();
+            let after = grown.primary_for(&key).unwrap();
+            if after == newcomer {
+                stolen += 1;
+            } else {
+                prop_assert_eq!(
+                    before, after,
+                    "key {} moved between surviving backends", key
+                );
+            }
+        }
+        let share = stolen as f64 / n_keys as f64;
+        prop_assert!(
+            share < 2.2 / (n_backends + 1) as f64,
+            "addition remapped {share:.3} of keys, expected ~{:.3}",
+            1.0 / (n_backends + 1) as f64
+        );
+        prop_assert!(stolen > 0, "the newcomer must own something");
+    }
+
+    /// Replica sets degrade minimally too: after removing one backend,
+    /// a key's surviving replicas stay in its new replica set (the
+    /// failover order may compact, but no data placement is lost).
+    #[test]
+    fn replica_sets_survive_membership_change(n_backends in 3usize..8) {
+        let full = ids(n_backends);
+        let ring = HashRing::build(&full, VNODES);
+        let removed = n_backends - 1;
+        let shrunk = HashRing::build(&full[..removed], VNODES);
+        for key in keys(300) {
+            let before: Vec<usize> = ring
+                .replicas_for(&key, 2)
+                .into_iter()
+                .filter(|&b| b != removed)
+                .collect();
+            let after = shrunk.replicas_for(&key, 2);
+            for b in before {
+                prop_assert!(
+                    after.contains(&b),
+                    "backend {} lost its replica of {} on shrink", b, key
+                );
+            }
+        }
+    }
+}

@@ -55,6 +55,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Raw body bytes.
     pub body: Vec<u8>,
+    /// Peer address, when served over a socket (`None` for requests
+    /// built in-process, e.g. unit tests). Rate limiting keys on it.
+    pub peer: Option<SocketAddr>,
 }
 
 impl Request {
@@ -75,6 +78,10 @@ pub struct Response {
     pub status: u16,
     /// Body text.
     pub body: String,
+    /// Extra response headers (e.g. `Retry-After` on 429). The framing
+    /// headers (`Content-Type`, `Content-Length`, `Connection`) are
+    /// always emitted by the server and must not appear here.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -83,7 +90,14 @@ impl Response {
         Self {
             status,
             body: body.into(),
+            headers: Vec::new(),
         }
+    }
+
+    /// Adds an extra response header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 }
 
@@ -97,6 +111,7 @@ fn reason(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -482,7 +497,10 @@ fn drain_briefly<R: Read>(reader: &mut R) {
 fn serve_one(conn: &mut Conn, handler: &Handler) -> bool {
     conn.reader.get_mut().deadline = Instant::now() + REQUEST_DEADLINE;
     let request = match read_request(&mut conn.reader) {
-        Ok(Some(r)) => r,
+        Ok(Some(mut r)) => {
+            r.peer = conn.writer.peer_addr().ok();
+            r
+        }
         Ok(None) => return false, // EOF raced the readiness probe.
         Err(e) => {
             // Malformed request: answer 400 once, then drop — draining
@@ -593,6 +611,7 @@ fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         path,
         headers,
         body,
+        peer: None,
     }))
 }
 
@@ -601,13 +620,20 @@ fn bad(msg: &str) -> io::Error {
 }
 
 fn write_response<W: Write>(writer: &mut W, response: &Response, close: bool) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
         response.body.len(),
         if close { "close" } else { "keep-alive" },
     );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     writer.write_all(head.as_bytes())?;
     writer.write_all(response.body.as_bytes())?;
     writer.flush()
@@ -632,6 +658,23 @@ impl Client {
         Ok(Self {
             stream: BufReader::new(stream),
         })
+    }
+
+    /// Connects with a bounded connect timeout (health probes and proxy
+    /// hops must fail fast when a backend is down, not after the OS
+    /// connect timeout).
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream: BufReader::new(stream),
+        })
+    }
+
+    /// Overrides the read timeout (default [`IO_TIMEOUT`]).
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.stream.get_ref().set_read_timeout(Some(timeout))
     }
 
     /// Sends one request and reads the `(status, body)` response.

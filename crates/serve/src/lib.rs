@@ -22,7 +22,8 @@
 //! | `GET /metrics` | — | `200` request counters, cumulative stage timings (µs), and per-table cache hit/miss/entry counts |
 //! | `POST /tables` | `{"name": "crime", "csv": "<csv text>"}` | `201` `{"name","n_rows","n_cols"}` — `400` invalid name/JSON, `409` duplicate name or registry full, `422` CSV rejected |
 //! | `GET /tables` | — | `200` `{"tables":[{"name","n_rows","n_cols"},…]}` |
-//! | `POST /tables/{name}/characterize` | `{"query": "<predicate>"}` | `200` a full [`ziggy_core::CharacterizationReport`] — `404` unknown table, `422` engine rejection (parse error, degenerate selection) |
+//! | `POST /tables/{name}/characterize` | `{"query": "<predicate>", "config": {…}?}` | `200` a full [`ziggy_core::CharacterizationReport`] — `404` unknown table, `422` engine rejection (parse error, degenerate selection). The optional `config` object overlays [`ZiggyConfig`] fields onto the server default for this request only (`400` on unknown fields); overridden requests share the whole-table statistics but re-prepare, so they are slower than default-config ones |
+//! | `PUT /tables/{name}` | `{"csv": "<csv text>"}` | idempotent ingest (the fleet's replicate path): `201` created, `200` the identical table (by CSV fingerprint) was already resident, `409` the name is taken by different content |
 //! | `DELETE /tables/{name}` | — | `200` `{"deleted": "<name>", "sessions_closed": <n>}` — `404` unknown table. Frees the name and the registry slot immediately and closes the table's sessions (cascade), so the engine's memory is not pinned by abandoned clients; in-flight requests finish normally |
 //! | `POST /sessions` | `{"table": "crime"}` | `201` `{"session_id", "table"}` — `404` unknown table |
 //! | `POST /sessions/{id}/step` | `{"query": "<predicate>"}` | `200` `{"step", "report", "diff"}` where `diff` is a [`ziggy_core::ReportDiff`] against the previous step (`null` on the first) — `404` unknown session, `422` engine rejection |
@@ -31,7 +32,15 @@
 //! Table and session counts are capped
 //! ([`registry::MAX_TABLES`], [`sessions::MAX_SESSIONS`]; `409` beyond
 //! them). The caps bound *live* state: the DELETE routes free slots, so
-//! long-running servers do not exhaust them from lifetime churn.
+//! long-running servers do not exhaust them from lifetime churn, and
+//! sessions idle past [`ServeOptions::session_ttl`] are evicted (counted
+//! as `sessions_expired` in `/metrics`).
+//!
+//! With [`ServeOptions::rate_limit`] set, each client IP gets a token
+//! bucket of that many requests/second (equal burst); beyond it requests
+//! are answered `429` with a `Retry-After` header. `GET /healthz` is
+//! exempt. With [`ServeOptions::access_log`] set, every request emits one
+//! structured JSON line to stderr ([`logging::AccessLog`]).
 //!
 //! Characterize responses are byte-for-byte the engine's serialized
 //! report: apart from wall-clock stage timings, a server round trip and
@@ -68,6 +77,8 @@
 
 pub mod http;
 pub mod json;
+pub mod limit;
+pub mod logging;
 pub mod metrics;
 pub mod registry;
 pub mod router;
@@ -76,13 +87,16 @@ pub mod sessions;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ziggy_core::ZiggyConfig;
 
 pub use http::{Client, Request, Response, Server};
 pub use json::ApiError;
+pub use limit::RateLimiter;
+pub use logging::AccessLog;
 pub use metrics::Metrics;
-pub use registry::{TableEntry, TableRegistry};
+pub use registry::{fnv1a_64, valid_table_name, TableEntry, TableRegistry};
 pub use router::{route, ServeState};
 pub use sessions::{SessionManager, StepOutcome};
 
@@ -92,8 +106,18 @@ pub struct ServeOptions {
     /// Worker threads (default: available parallelism, at least 2 so a
     /// slow characterization cannot head-of-line-block health checks).
     pub threads: usize,
-    /// Engine configuration applied to every ingested table.
+    /// Engine configuration applied to every ingested table (a request
+    /// may override it per characterization via its `config` field).
     pub config: ZiggyConfig,
+    /// Emit one structured JSON access-log line per request to stderr.
+    pub access_log: bool,
+    /// Per-client token-bucket rate limit (sustained requests/second,
+    /// equal burst); `None` disables limiting. `GET /healthz` is always
+    /// exempt so fleet health probes cannot be throttled.
+    pub rate_limit: Option<u32>,
+    /// Idle TTL for exploration sessions; `None` keeps them until
+    /// explicitly deleted. Defaults to one hour.
+    pub session_ttl: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -104,6 +128,9 @@ impl Default for ServeOptions {
                 .unwrap_or(4)
                 .max(2),
             config: ZiggyConfig::default(),
+            access_log: false,
+            rate_limit: None,
+            session_ttl: Some(Duration::from_secs(3600)),
         }
     }
 }
@@ -135,11 +162,51 @@ impl ServerHandle {
 /// Binds `addr` and starts serving the characterization API.
 pub fn serve(addr: impl ToSocketAddrs, options: ServeOptions) -> io::Result<ServerHandle> {
     let state = Arc::new(ServeState::with_config(options.config));
+    state.sessions.set_ttl(options.session_ttl);
+    let limiter = options.rate_limit.map(RateLimiter::new);
+    let log = Arc::new(if options.access_log {
+        AccessLog::stderr()
+    } else {
+        AccessLog::disabled()
+    });
     let handler_state = Arc::clone(&state);
     let server = Server::start(
         addr,
         options.threads,
-        Arc::new(move |req: &Request| route(&handler_state, req)),
+        Arc::new(move |req: &Request| {
+            let started = Instant::now();
+            let response = throttle(&handler_state, limiter.as_ref(), req)
+                .unwrap_or_else(|| route(&handler_state, req));
+            log.log(
+                &req.method,
+                &req.path,
+                response.status,
+                started.elapsed().as_secs_f64() * 1e3,
+                None,
+            );
+            response
+        }),
     )?;
     Ok(ServerHandle { server, state })
+}
+
+/// Applies the per-client rate limit, returning the 429 to send when the
+/// client is over budget. Health checks are exempt: a throttled client
+/// must still look *alive* to the fleet's ring prober, just busy.
+fn throttle(state: &ServeState, limiter: Option<&RateLimiter>, req: &Request) -> Option<Response> {
+    let limiter = limiter?;
+    if req.path == "/healthz" {
+        return None;
+    }
+    let client = req.peer.map_or(limit::ANONYMOUS_CLIENT, |p| p.ip());
+    match limiter.try_acquire(client) {
+        Ok(()) => None,
+        Err(retry_after) => {
+            state.metrics.rate_limited.inc();
+            Some(
+                Response::new(429, r#"{"error":"rate limit exceeded"}"#)
+                    .with_header("Retry-After", retry_after.to_string()),
+            )
+        }
+    }
 }

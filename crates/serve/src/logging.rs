@@ -1,0 +1,159 @@
+//! Structured access logging: one JSON line per served request.
+//!
+//! Both the single-node server (`ziggy serve --access-log`) and the
+//! fleet router share this sink; the router additionally records which
+//! backend a proxied request landed on. The format is one JSON object
+//! per line so the log is greppable *and* machine-parseable:
+//!
+//! ```text
+//! {"ts_ms":1721930000123,"method":"POST","path":"/tables/crime/characterize","status":200,"latency_ms":11.42,"backend":"shard-1"}
+//! ```
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde_json::Value;
+
+/// A line-oriented access log. Disabled by default (zero cost beyond a
+/// branch); enable with [`AccessLog::stderr`] or point it at any writer
+/// with [`AccessLog::to_writer`] (tests capture a buffer this way).
+pub struct AccessLog {
+    sink: Option<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for AccessLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccessLog")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Default for AccessLog {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl AccessLog {
+    /// A log that drops everything.
+    pub fn disabled() -> Self {
+        Self { sink: None }
+    }
+
+    /// A log writing to stderr (stdout stays clean for the REPL and the
+    /// fleet supervisor's own status lines).
+    pub fn stderr() -> Self {
+        Self::to_writer(Box::new(std::io::stderr()))
+    }
+
+    /// A log writing to an arbitrary sink.
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            sink: Some(Mutex::new(writer)),
+        }
+    }
+
+    /// Whether lines are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records one request. `backend` is the shard id a proxied request
+    /// was forwarded to (`None` for requests served locally).
+    pub fn log(
+        &self,
+        method: &str,
+        path: &str,
+        status: u16,
+        latency_ms: f64,
+        backend: Option<&str>,
+    ) {
+        let Some(sink) = &self.sink else { return };
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        // Two-decimal latency keeps lines stable for tests and diffs.
+        let latency_ms = (latency_ms * 100.0).round() / 100.0;
+        let mut pairs = vec![
+            (
+                "ts_ms".to_string(),
+                Value::Number(serde_json::Number::U(ts_ms)),
+            ),
+            ("method".to_string(), Value::String(method.to_string())),
+            ("path".to_string(), Value::String(path.to_string())),
+            (
+                "status".to_string(),
+                Value::Number(serde_json::Number::U(status as u64)),
+            ),
+            (
+                "latency_ms".to_string(),
+                Value::Number(serde_json::Number::F(latency_ms)),
+            ),
+        ];
+        if let Some(b) = backend {
+            pairs.push(("backend".to_string(), Value::String(b.to_string())));
+        }
+        let line = serde_json::to_string(&Value::Object(pairs)).expect("log lines always render");
+        // A poisoned or failing sink must never take the server down;
+        // logging is best-effort by design.
+        if let Ok(mut w) = sink.lock() {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A writer whose buffer the test can read back.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn lines_are_json_with_expected_fields() {
+        let buf = SharedBuf::default();
+        let log = AccessLog::to_writer(Box::new(buf.clone()));
+        assert!(log.enabled());
+        log.log("GET", "/healthz", 200, 0.1234, None);
+        log.log(
+            "POST",
+            "/tables/crime/characterize",
+            200,
+            12.5,
+            Some("shard-1"),
+        );
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = serde_json::from_str_value(lines[0]).unwrap();
+        assert_eq!(first.get("method").unwrap().as_str(), Some("GET"));
+        assert_eq!(first.get("status").unwrap().as_u64(), Some(200));
+        assert!(first.get("ts_ms").unwrap().as_u64().is_some());
+        assert!(first.get("backend").is_none());
+        let second = serde_json::from_str_value(lines[1]).unwrap();
+        assert_eq!(second.get("backend").unwrap().as_str(), Some("shard-1"));
+        assert_eq!(second.get("latency_ms").unwrap().as_f64(), Some(12.5));
+    }
+
+    #[test]
+    fn disabled_log_is_inert() {
+        let log = AccessLog::disabled();
+        assert!(!log.enabled());
+        log.log("GET", "/x", 200, 1.0, None); // Must not panic.
+    }
+}

@@ -56,6 +56,9 @@ pub struct Metrics {
     /// Sessions closed — explicitly via `DELETE /sessions/{id}` or
     /// cascaded from `DELETE /tables/{name}`.
     pub sessions_deleted: Counter,
+    /// Requests refused with 429 by the per-client rate limiter (these
+    /// never reach the router, so they are not in `requests_total`).
+    pub rate_limited: Counter,
     /// Sum of the preparation stage over all characterizations (µs).
     pub preparation_us: Counter,
     /// Sum of the view-search stage over all characterizations (µs).
@@ -93,6 +96,7 @@ impl Metrics {
                     ("sessions_created".into(), num(self.sessions_created.get())),
                     ("session_steps".into(), num(self.session_steps.get())),
                     ("sessions_deleted".into(), num(self.sessions_deleted.get())),
+                    ("rate_limited".into(), num(self.rate_limited.get())),
                 ]),
             ),
             (

@@ -22,10 +22,28 @@ use crate::json::ApiError;
 /// /tables/{name}`) frees its slot and its name.
 pub const MAX_TABLES: usize = 256;
 
+/// FNV-1a 64-bit hash — the stable, dependency-free hash shared by the
+/// registry's ingest fingerprints and the fleet's consistent-hash ring
+/// (both need determinism across processes, which `DefaultHasher` does
+/// not promise).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// A registered table with its shared engine.
 pub struct TableEntry {
     name: String,
     engine: Ziggy,
+    /// FNV-1a of the source CSV bytes, when the table was ingested from
+    /// CSV. The fleet's replicate path compares fingerprints so a retried
+    /// or replicated upload of the *same* table is idempotent while a
+    /// name collision with *different* content stays a conflict.
+    fingerprint: Option<u64>,
 }
 
 impl std::fmt::Debug for TableEntry {
@@ -59,6 +77,12 @@ impl TableEntry {
         self.engine.cache()
     }
 
+    /// FNV-1a fingerprint of the source CSV (None for tables registered
+    /// in-process via [`TableRegistry::insert_table`]).
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
     /// The `{name, n_rows, n_cols}` summary object.
     pub fn summary(&self) -> Value {
         Value::Object(vec![
@@ -89,7 +113,13 @@ fn err_full() -> ApiError {
     ApiError::conflict(format!("registry full ({MAX_TABLES} tables)"))
 }
 
-fn valid_name(name: &str) -> bool {
+/// Whether `name` is a legal table name (1-64 chars of
+/// `[A-Za-z0-9_-]`). Public because the fleet router must validate
+/// names *before* interpolating them into proxied request lines — a
+/// body-supplied name containing CRLF or whitespace would otherwise
+/// corrupt (or smuggle a second request onto) a pooled backend
+/// connection.
+pub fn valid_table_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= 64
         && name
@@ -110,7 +140,7 @@ impl TableRegistry {
         csv: &str,
         config: ZiggyConfig,
     ) -> Result<Arc<TableEntry>, ApiError> {
-        if !valid_name(name) {
+        if !valid_table_name(name) {
             return Err(ApiError::bad_request(
                 "table name must be 1-64 chars of [A-Za-z0-9_-]",
             ));
@@ -130,7 +160,41 @@ impl TableRegistry {
         }
         let table = read_csv_str(csv, &CsvOptions::default())
             .map_err(|e| ApiError::unprocessable(format!("CSV rejected: {e}")))?;
-        self.insert_table(name, table, config)
+        self.register(name, table, config, Some(fnv1a_64(csv.as_bytes())))
+    }
+
+    /// Idempotent CSV ingest — the fleet's replicate path. Returns the
+    /// entry plus whether it was created by this call: re-uploading a CSV
+    /// that fingerprints identically to the resident table succeeds
+    /// without rebuilding anything (so the router can retry a replica
+    /// materialization safely), while a name collision with different
+    /// content is still a 409.
+    pub fn replicate_csv(
+        &self,
+        name: &str,
+        csv: &str,
+        config: ZiggyConfig,
+    ) -> Result<(Arc<TableEntry>, bool), ApiError> {
+        let fingerprint = fnv1a_64(csv.as_bytes());
+        let same_table = |entry: &Arc<TableEntry>| entry.fingerprint == Some(fingerprint);
+        if let Ok(existing) = self.get(name) {
+            return if same_table(&existing) {
+                Ok((existing, false))
+            } else {
+                Err(err_duplicate(name))
+            };
+        }
+        match self.insert_csv(name, csv, config) {
+            Ok(entry) => Ok((entry, true)),
+            // A racing replicate of the same upload may have taken the
+            // slot between the lookup and the insert; that's idempotent
+            // success, not a conflict.
+            Err(e) if e.status == 409 => match self.get(name) {
+                Ok(existing) if same_table(&existing) => Ok((existing, false)),
+                _ => Err(e),
+            },
+            Err(e) => Err(e),
+        }
     }
 
     /// Registers an already-built table (used by `ziggy serve --demo` and
@@ -141,7 +205,17 @@ impl TableRegistry {
         table: Table,
         config: ZiggyConfig,
     ) -> Result<Arc<TableEntry>, ApiError> {
-        if !valid_name(name) {
+        self.register(name, table, config, None)
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        table: Table,
+        config: ZiggyConfig,
+        fingerprint: Option<u64>,
+    ) -> Result<Arc<TableEntry>, ApiError> {
+        if !valid_table_name(name) {
             return Err(ApiError::bad_request(
                 "table name must be 1-64 chars of [A-Za-z0-9_-]",
             ));
@@ -149,6 +223,7 @@ impl TableRegistry {
         let entry = Arc::new(TableEntry {
             name: name.to_string(),
             engine: Ziggy::shared(Arc::new(table), config),
+            fingerprint,
         });
         let mut tables = self.tables.write();
         if tables.len() >= MAX_TABLES {
@@ -326,6 +401,41 @@ mod tests {
             .map(|s| s.get("name").unwrap().as_str().unwrap().to_string())
             .collect();
         assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_spreads() {
+        // Known-answer vectors keep the hash stable across refactors —
+        // ring placement and replicate idempotency both depend on it.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a_64(b"table-0"), fnv1a_64(b"table-1"));
+    }
+
+    #[test]
+    fn replicate_is_idempotent_for_identical_csv() {
+        let r = TableRegistry::new();
+        let (e1, created) = r.replicate_csv("t", CSV, ZiggyConfig::default()).unwrap();
+        assert!(created);
+        let (e2, created) = r.replicate_csv("t", CSV, ZiggyConfig::default()).unwrap();
+        assert!(!created, "identical re-upload must be a no-op");
+        assert!(Arc::ptr_eq(&e1, &e2), "must reuse the resident engine");
+        assert_eq!(r.len(), 1);
+        // Different content under the same name is still a conflict.
+        let err = r
+            .replicate_csv("t", "x,y\n9,9\n8,8\n7,7\n", ZiggyConfig::default())
+            .unwrap_err();
+        assert_eq!(err.status, 409);
+        // A table registered without CSV provenance never matches.
+        let table = ziggy_store::csv::read_csv_str(CSV, &CsvOptions::default()).unwrap();
+        r.insert_table("demo", table, ZiggyConfig::default())
+            .unwrap();
+        assert_eq!(
+            r.replicate_csv("demo", CSV, ZiggyConfig::default())
+                .unwrap_err()
+                .status,
+            409
+        );
     }
 
     #[test]

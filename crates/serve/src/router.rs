@@ -49,6 +49,7 @@ pub fn route(state: &ServeState, req: &Request) -> Response {
         ("POST", ["tables"]) => handle_create_table(state, &req.body),
         ("GET", ["tables"]) => handle_list_tables(state),
         ("POST", ["tables", name, "characterize"]) => handle_characterize(state, name, &req.body),
+        ("PUT", ["tables", name]) => handle_replicate_table(state, name, &req.body),
         ("DELETE", ["tables", name]) => handle_delete_table(state, name),
         ("POST", ["sessions"]) => handle_create_session(state, &req.body),
         ("POST", ["sessions", id, "step"]) => handle_session_step(state, id, &req.body),
@@ -83,10 +84,19 @@ fn handle_healthz() -> Result<Response, ApiError> {
 }
 
 fn handle_metrics(state: &ServeState) -> Result<Response, ApiError> {
+    // Sweep first so `sessions_expired` reflects idle sessions even on a
+    // server receiving no session traffic.
+    state.sessions.sweep_expired();
     let mut body = match state.metrics.to_json() {
         Value::Object(pairs) => pairs,
         _ => unreachable!("metrics render as an object"),
     };
+    if let Some((_, Value::Object(requests))) = body.iter_mut().find(|(k, _)| k == "requests") {
+        requests.push((
+            "sessions_expired".into(),
+            Value::Number(serde_json::Number::U(state.sessions.expired_total())),
+        ));
+    }
     body.push(("tables".into(), Value::Array(state.registry.cache_stats())));
     Ok(json_response(200, &Value::Object(body)))
 }
@@ -111,17 +121,80 @@ fn handle_list_tables(state: &ServeState) -> Result<Response, ApiError> {
     ))
 }
 
+/// Overlays the request's `config` object onto the engine's base
+/// configuration. Only known `ZiggyConfig` fields may appear — a typo'd
+/// key is a 400, not a silently applied default.
+fn merged_config(base: &ZiggyConfig, overrides: &Value) -> Result<ZiggyConfig, ApiError> {
+    let Some(fields) = overrides.as_object() else {
+        return Err(ApiError::bad_request("`config` must be a JSON object"));
+    };
+    let mut pairs = match serde_json::to_value(base) {
+        Ok(Value::Object(pairs)) => pairs,
+        _ => unreachable!("configs serialize as objects"),
+    };
+    for (key, value) in fields {
+        match pairs.iter_mut().find(|(base_key, _)| base_key == key) {
+            Some(slot) => slot.1 = value.clone(),
+            None => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown config field `{key}`"
+                )))
+            }
+        }
+    }
+    serde_json::from_value(&Value::Object(pairs))
+        .map_err(|e| ApiError::bad_request(format!("invalid config override: {e}")))
+}
+
 fn handle_characterize(state: &ServeState, name: &str, body: &[u8]) -> Result<Response, ApiError> {
     let parsed = parse_object(body)?;
     let query = required_str(&parsed, "query")?;
     let entry = state.registry.get(name)?;
-    let report = entry.engine().characterize(query)?;
+    let report = match parsed.get("config").filter(|v| !v.is_null()) {
+        None => entry.engine().characterize(query)?,
+        Some(overrides) => {
+            let config = merged_config(entry.engine().config(), overrides)?;
+            if config == *entry.engine().config() {
+                // A no-op override keeps the fully-cached fast path.
+                entry.engine().characterize(query)?
+            } else {
+                // A forked engine shares the whole-table statistics but
+                // prepares fresh under the override, so cached artifacts
+                // built under other parameters can never leak in.
+                entry.engine().with_config(config).characterize(query)?
+            }
+        }
+    };
     state.metrics.record_characterization(&report.timings);
     // The body is exactly the serialized report — the same bytes an
     // in-process `serde_json::to_string(&report)` produces.
     Ok(Response::new(
         200,
         serde_json::to_string(&report).expect("reports always render"),
+    ))
+}
+
+fn handle_replicate_table(
+    state: &ServeState,
+    name: &str,
+    body: &[u8],
+) -> Result<Response, ApiError> {
+    let parsed = parse_object(body)?;
+    let csv = required_str(&parsed, "csv")?;
+    let (entry, created) = state
+        .registry
+        .replicate_csv(name, csv, state.config.clone())?;
+    if created {
+        state.metrics.tables_created.inc();
+    }
+    let mut summary = match entry.summary() {
+        Value::Object(pairs) => pairs,
+        _ => unreachable!("summaries render as objects"),
+    };
+    summary.push(("created".into(), Value::Bool(created)));
+    Ok(json_response(
+        if created { 201 } else { 200 },
+        &Value::Object(summary),
     ))
 }
 
@@ -240,6 +313,7 @@ mod tests {
             path: path.into(),
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
+            peer: None,
         }
     }
 
@@ -365,7 +439,11 @@ mod tests {
                 400,
             ),
             ("DELETE", "/tables/absent", "", 404),
-            ("PUT", "/tables/t", "", 405),
+            ("PATCH", "/tables/t", "", 405),
+            // PUT is the replicate path now, not a 405: bad bodies 400,
+            // and replicating different content onto a live name is 409.
+            ("PUT", "/tables/t", "", 400),
+            ("PUT", "/tables/t", r#"{"csv":"a,b\n1,2\n3,4\n"}"#, 409),
             ("DELETE", "/sessions/99", "", 404),
             ("DELETE", "/sessions/zzz", "", 400),
             ("GET", "/sessions/99", "", 405),
@@ -373,7 +451,7 @@ mod tests {
             let r = route(&state, &request(method, path, body));
             assert_eq!(r.status, want, "{method} {path}: {}", r.body);
         }
-        assert_eq!(state.metrics.errors_total.get(), 15);
+        assert_eq!(state.metrics.errors_total.get(), 17);
     }
 
     #[test]
@@ -427,6 +505,120 @@ mod tests {
         assert_eq!(state.metrics.tables_deleted.get(), 1);
         // One cascaded close + one explicit delete.
         assert_eq!(state.metrics.sessions_deleted.get(), 2);
+    }
+
+    #[test]
+    fn characterize_honors_per_request_config_override() {
+        let state = state_with_table("t");
+        let base = route(
+            &state,
+            &request(
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key >= 150"}"#,
+            ),
+        );
+        assert_eq!(base.status, 200, "{}", base.body);
+        let base_views = serde_json::from_str_value(&base.body)
+            .unwrap()
+            .get("views")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .len();
+        assert!(base_views > 1, "need >1 base views for the override test");
+
+        let r = route(
+            &state,
+            &request(
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key >= 150","config":{"max_views":1}}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let overridden_views = serde_json::from_str_value(&r.body)
+            .unwrap()
+            .get("views")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .len();
+        assert_eq!(overridden_views, 1);
+
+        // The override is per-request: the default config still applies.
+        let again = route(
+            &state,
+            &request(
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key >= 150"}"#,
+            ),
+        );
+        assert_eq!(
+            serde_json::from_str_value(&again.body)
+                .unwrap()
+                .get("views")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            base_views
+        );
+
+        // Unknown fields and invalid values are client errors.
+        for (body, want) in [
+            (r#"{"query":"key >= 150","config":{"max_wiews":1}}"#, 400),
+            (r#"{"query":"key >= 150","config":7}"#, 400),
+            (r#"{"query":"key >= 150","config":{"max_views":0}}"#, 422),
+        ] {
+            let r = route(&state, &request("POST", "/tables/t/characterize", body));
+            assert_eq!(r.status, want, "{body}: {}", r.body);
+        }
+        // A null config is the same as no config.
+        let r = route(
+            &state,
+            &request(
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key >= 150","config":null}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+
+    #[test]
+    fn replicate_route_is_idempotent() {
+        let state = ServeState::default();
+        let body = serde_json::to_string(&Value::Object(vec![(
+            "csv".into(),
+            Value::String(demo_csv()),
+        )]))
+        .unwrap();
+        let r = route(&state, &request("PUT", "/tables/rep", &body));
+        assert_eq!(r.status, 201, "{}", r.body);
+        assert!(r.body.contains("\"created\":true"), "{}", r.body);
+        let r = route(&state, &request("PUT", "/tables/rep", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"created\":false"), "{}", r.body);
+        assert_eq!(state.metrics.tables_created.get(), 1);
+        assert_eq!(state.registry.len(), 1);
+    }
+
+    #[test]
+    fn metrics_report_expired_sessions() {
+        let state = state_with_table("t");
+        state
+            .sessions
+            .set_ttl(Some(std::time::Duration::from_millis(20)));
+        let r = route(&state, &request("POST", "/sessions", r#"{"table":"t"}"#));
+        assert_eq!(r.status, 201, "{}", r.body);
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let r = route(&state, &request("GET", "/metrics", ""));
+        let v = serde_json::from_str_value(&r.body).unwrap();
+        let requests = v.get("requests").unwrap();
+        assert_eq!(requests.get("sessions_expired").unwrap().as_u64(), Some(1));
+        assert!(state.sessions.is_empty());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use ziggy_core::{diff_reports, CharacterizationReport, ReportDiff};
@@ -19,7 +20,8 @@ use crate::registry::TableEntry;
 
 /// Upper bound on live sessions; creation beyond it is refused (409).
 /// The cap bounds *live* state: deleting a session (`DELETE
-/// /sessions/{id}`) frees its slot and releases its table pin.
+/// /sessions/{id}`) frees its slot and releases its table pin, and
+/// sessions idle past the manager's TTL are evicted on sweep.
 pub const MAX_SESSIONS: usize = 4096;
 
 /// Cap on per-session history length; older reports are dropped so
@@ -33,6 +35,9 @@ pub struct Session {
     /// Successful steps taken over the session's lifetime (monotonic —
     /// unlike `history.len()`, which is capped at [`MAX_HISTORY`]).
     steps_taken: usize,
+    /// Last creation/step activity; sessions idle past the manager's TTL
+    /// are evicted by [`SessionManager::sweep_expired`].
+    last_used: Instant,
 }
 
 impl Session {
@@ -63,21 +68,89 @@ pub struct StepOutcome {
     pub diff: Option<ReportDiff>,
 }
 
-/// Thread-safe id → [`Session`] map.
+/// Thread-safe id → [`Session`] map with optional idle-TTL eviction.
 #[derive(Default)]
 pub struct SessionManager {
     next_id: AtomicU64,
     sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>,
+    /// Idle TTL in milliseconds; 0 disables expiry. Atomic so the serve
+    /// layer can configure it on the shared state after construction.
+    ttl_ms: AtomicU64,
+    /// Sessions evicted by TTL sweeps (reported as `sessions_expired`).
+    expired: AtomicU64,
+    /// When the last sweep ran (`None` = never); sweeps are throttled so
+    /// the hot step path does not pay an O(sessions) exclusive-lock scan
+    /// per request.
+    last_sweep: Mutex<Option<Instant>>,
 }
 
 impl SessionManager {
-    /// An empty manager.
+    /// An empty manager (expiry disabled until [`Self::set_ttl`]).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Sets (or, with `None`, disables) the idle TTL. Sub-millisecond
+    /// TTLs clamp up to 1ms so "enabled" is never silently rounded to
+    /// disabled.
+    pub fn set_ttl(&self, ttl: Option<Duration>) {
+        let ms = ttl.map_or(0, |d| (d.as_millis() as u64).max(1));
+        self.ttl_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// The configured idle TTL, if any.
+    pub fn ttl(&self) -> Option<Duration> {
+        match self.ttl_ms.load(Ordering::Relaxed) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
+    }
+
+    /// Total sessions evicted by TTL sweeps over the manager's lifetime.
+    pub fn expired_total(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Evicts every session idle past the TTL, returning how many were
+    /// dropped. Runs lazily from `create`/`step` (and `/metrics`), so no
+    /// background thread is needed: an idle server holds at most a
+    /// sweep's worth of stale sessions until the next request.
+    ///
+    /// Sweeps are throttled to ~8 per TTL (at least 10ms apart): a full
+    /// sweep takes the map write lock and locks every session, which
+    /// must not be paid per step on a busy server. The skipped calls
+    /// return 0; expiry granularity is the throttle interval, which is
+    /// negligible against any real TTL.
+    pub fn sweep_expired(&self) -> usize {
+        let Some(ttl) = self.ttl() else { return 0 };
+        let interval = (ttl / 8).max(Duration::from_millis(10));
+        {
+            let mut last = self.last_sweep.lock();
+            let now = Instant::now();
+            match *last {
+                Some(prev) if now.duration_since(prev) < interval => return 0,
+                _ => *last = Some(now),
+            }
+        }
+        let now = Instant::now();
+        let mut sessions = self.sessions.write();
+        let before = sessions.len();
+        // try_lock, never lock: blocking on a session's mutex here —
+        // while holding the map write lock — would stall every other
+        // session behind one slow step. A locked session is in use
+        // right now, which is the opposite of idle: keep it.
+        sessions.retain(|_, s| match s.try_lock() {
+            Some(session) => now.duration_since(session.last_used) < ttl,
+            None => true,
+        });
+        let dropped = before - sessions.len();
+        self.expired.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
     /// Opens a session over `table`, returning its id.
     pub fn create(&self, table: Arc<TableEntry>) -> Result<u64, ApiError> {
+        self.sweep_expired();
         let mut sessions = self.sessions.write();
         if sessions.len() >= MAX_SESSIONS {
             return Err(ApiError::conflict(format!(
@@ -91,6 +164,7 @@ impl SessionManager {
                 table,
                 history: Vec::new(),
                 steps_taken: 0,
+                last_used: Instant::now(),
             })),
         );
         Ok(id)
@@ -135,6 +209,7 @@ impl SessionManager {
     /// concurrent clients on different sessions (even on the same table)
     /// proceed in parallel.
     pub fn step(&self, id: u64, query: &str) -> Result<StepOutcome, ApiError> {
+        self.sweep_expired();
         let session = self
             .sessions
             .read()
@@ -154,6 +229,7 @@ impl SessionManager {
             s.history.remove(0);
         }
         s.steps_taken += 1;
+        s.last_used = Instant::now();
         Ok(StepOutcome {
             step: s.steps_taken,
             report,
@@ -263,6 +339,37 @@ mod tests {
         assert_eq!(m.step(id, "key >= 150").unwrap_err().status, 404);
         let id2 = m.create(entry).unwrap();
         assert_ne!(id, id2, "ids must stay unique across removals");
+    }
+
+    #[test]
+    fn idle_sessions_expire_past_ttl() {
+        let (_r, entry) = registry_with_table();
+        let m = SessionManager::new();
+        m.set_ttl(Some(Duration::from_millis(30)));
+        let stale = m.create(Arc::clone(&entry)).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        // A fresh session created now survives the sweep the creation
+        // itself triggers; the stale one is evicted by it.
+        let fresh = m.create(Arc::clone(&entry)).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.expired_total(), 1);
+        assert_eq!(m.step(stale, "key >= 150").unwrap_err().status, 404);
+        // Stepping refreshes the idle clock.
+        std::thread::sleep(Duration::from_millis(20));
+        m.step(fresh, "key >= 150").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        m.step(fresh, "key >= 150").unwrap();
+        assert_eq!(m.expired_total(), 1, "active sessions must not expire");
+    }
+
+    #[test]
+    fn expiry_disabled_by_default() {
+        let (_r, entry) = registry_with_table();
+        let m = SessionManager::new();
+        assert!(m.ttl().is_none());
+        m.create(entry).unwrap();
+        assert_eq!(m.sweep_expired(), 0);
+        assert_eq!(m.len(), 1);
     }
 
     #[test]

@@ -1,14 +1,17 @@
-//! The `ziggy` binary: interactive REPL (default) or HTTP service.
+//! The `ziggy` binary: interactive REPL (default), HTTP service, or a
+//! local sharded fleet.
 //!
 //! ```text
 //! ziggy                  # REPL, the terminal counterpart of the demo
 //! ziggy repl             # same, explicitly
 //! ziggy serve            # HTTP JSON API on 127.0.0.1:8080
-//! ziggy serve --addr 0.0.0.0:9000 --threads 8 --demo
+//! ziggy serve --addr 0.0.0.0:9000 --threads 8 --demo --access-log
+//! ziggy fleet --backends 4 --replication 2   # router + 4 local shards
 //! ```
 
 use std::io::{BufRead, Write};
 
+use ziggy::fleet::{start_fleet, BackendProcess, FleetOptions};
 use ziggy::repl::{ReplAction, ReplState};
 use ziggy::serve::{serve, ServeOptions};
 
@@ -17,6 +20,7 @@ fn main() {
     match args.first().map(String::as_str) {
         None | Some("repl") => run_repl(),
         Some("serve") => run_serve(&args[1..]),
+        Some("fleet") => run_fleet(&args[1..]),
         Some("help") | Some("-h") | Some("--help") => print_usage(),
         Some(other) => {
             eprintln!("unknown command: {other}\n");
@@ -32,10 +36,23 @@ fn print_usage() {
          commands:\n  \
          repl                     interactive exploration REPL (default)\n  \
          serve [OPTIONS]          run the HTTP characterization service\n  \
+         fleet [OPTIONS]          spawn N local backends plus a sharding router\n  \
          help                     this text\n\n\
          serve options:\n  \
          --addr ADDR              bind address (default 127.0.0.1:8080)\n  \
          --threads N              worker threads (default: available parallelism)\n  \
+         --demo                   preload the crime synthetic twin as table `crime`\n  \
+         --access-log             one JSON access-log line per request on stderr\n  \
+         --rate-limit N           per-client token bucket: N req/s (default: off)\n  \
+         --session-ttl SECS       evict sessions idle past SECS (default 3600, 0 = off)\n  \
+         --port-file PATH         write the bound address to PATH once listening\n\n\
+         fleet options:\n  \
+         --addr ADDR              router bind address (default 127.0.0.1:8080)\n  \
+         --backends N             local ziggy-serve processes to spawn (default 2)\n  \
+         --replication R          replicas per table (default 2, clamped to N)\n  \
+         --threads N              router worker threads\n  \
+         --access-log             access log (with backend ids) on stderr\n  \
+         --rate-limit N           per-client rate limit at the router edge\n  \
          --demo                   preload the crime synthetic twin as table `crime`"
     );
 }
@@ -72,6 +89,7 @@ fn run_serve(args: &[String]) {
     let mut addr = "127.0.0.1:8080".to_string();
     let mut options = ServeOptions::default();
     let mut demo = false;
+    let mut port_file: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -84,6 +102,20 @@ fn run_serve(args: &[String]) {
                 _ => die("--threads needs a positive integer"),
             },
             "--demo" => demo = true,
+            "--access-log" => options.access_log = true,
+            "--rate-limit" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n > 0 => options.rate_limit = Some(n),
+                _ => die("--rate-limit needs a positive integer (requests/second)"),
+            },
+            "--session-ttl" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(0) => options.session_ttl = None,
+                Some(secs) => options.session_ttl = Some(std::time::Duration::from_secs(secs)),
+                None => die("--session-ttl needs a number of seconds (0 disables)"),
+            },
+            "--port-file" => match it.next() {
+                Some(p) => port_file = Some(p.clone()),
+                None => die("--port-file needs a path"),
+            },
             other => die(&format!("unknown serve option: {other}")),
         }
     }
@@ -93,19 +125,14 @@ fn run_serve(args: &[String]) {
         Err(e) => die(&format!("cannot bind {addr}: {e}")),
     };
     if demo {
-        let twin = ziggy::synth::us_crime(7);
-        match server.state().registry.insert_table(
-            "crime",
-            twin.table,
-            server.state().config.clone(),
-        ) {
-            Ok(entry) => println!(
-                "preloaded table `crime` ({} rows x {} cols); try: {}",
-                entry.table().n_rows(),
-                entry.table().n_cols(),
-                twin.predicate
-            ),
-            Err(e) => eprintln!("demo preload failed: {e}"),
+        preload_demo(server.state());
+    }
+    if let Some(path) = port_file {
+        // The handshake the fleet supervisor (and tests) wait on; write
+        // only after the listener is live so a reader can connect
+        // immediately.
+        if let Err(e) = std::fs::write(&path, server.local_addr().to_string()) {
+            die(&format!("cannot write port file {path}: {e}"));
         }
     }
     println!("ziggy-serve listening on http://{}", server.local_addr());
@@ -113,6 +140,134 @@ fn run_serve(args: &[String]) {
     // Serve until the process is terminated.
     loop {
         std::thread::park();
+    }
+}
+
+fn preload_demo(state: &ziggy::serve::ServeState) {
+    let twin = ziggy::synth::us_crime(7);
+    match state
+        .registry
+        .insert_table("crime", twin.table, state.config.clone())
+    {
+        Ok(entry) => println!(
+            "preloaded table `crime` ({} rows x {} cols); try: {}",
+            entry.table().n_rows(),
+            entry.table().n_cols(),
+            twin.predicate
+        ),
+        Err(e) => eprintln!("demo preload failed: {e}"),
+    }
+}
+
+fn run_fleet(args: &[String]) {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut backends = 2usize;
+    let mut options = FleetOptions::default();
+    let mut demo = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => die("--addr needs a value"),
+            },
+            "--backends" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => backends = n,
+                _ => die("--backends needs a positive integer"),
+            },
+            "--replication" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(r) if r > 0 => options.replication = r,
+                _ => die("--replication needs a positive integer"),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => options.threads = n,
+                _ => die("--threads needs a positive integer"),
+            },
+            "--access-log" => options.access_log = true,
+            "--rate-limit" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n > 0 => options.rate_limit = Some(n),
+                _ => die("--rate-limit needs a positive integer (requests/second)"),
+            },
+            "--demo" => demo = true,
+            other => die(&format!("unknown fleet option: {other}")),
+        }
+    }
+
+    // Each backend is this same binary running `serve` on an ephemeral
+    // port; the --port-file handshake reports where it landed.
+    let binary = match std::env::current_exe() {
+        Ok(b) => b,
+        Err(e) => die(&format!("cannot locate own binary: {e}")),
+    };
+    let mut children: Vec<BackendProcess> = Vec::with_capacity(backends);
+    for i in 0..backends {
+        let id = format!("shard-{i}");
+        match BackendProcess::spawn(&binary, &id, &[]) {
+            Ok(child) => {
+                println!(
+                    "spawned backend {id} (pid {}) on {}",
+                    child.pid(),
+                    child.addr()
+                );
+                children.push(child);
+            }
+            Err(e) => die(&format!("cannot spawn backend {id}: {e}")),
+        }
+    }
+
+    let backend_addrs: Vec<(String, std::net::SocketAddr)> = children
+        .iter()
+        .map(|c| (c.id().to_string(), c.addr()))
+        .collect();
+    let fleet = match start_fleet(&addr[..], backend_addrs, options) {
+        Ok(f) => f,
+        Err(e) => die(&format!("cannot bind {addr}: {e}")),
+    };
+    if demo {
+        preload_fleet_demo(fleet.local_addr());
+    }
+    println!(
+        "ziggy-fleet router on http://{} over {} backends (replication {})",
+        fleet.local_addr(),
+        children.len(),
+        fleet.state().replication()
+    );
+    println!("same API as ziggy serve; /metrics and /tables aggregate all shards");
+
+    // Supervise: a backend that dies is reported once (the health
+    // prober routes around it); restart-with-rejoin is future work
+    // (ROADMAP).
+    let mut reported = vec![false; children.len()];
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        for (child, reported) in children.iter_mut().zip(reported.iter_mut()) {
+            if !*reported && !child.is_alive() {
+                *reported = true;
+                eprintln!(
+                    "backend {} (pid {}) exited; traffic fails over to its replicas",
+                    child.id(),
+                    child.pid()
+                );
+            }
+        }
+    }
+}
+
+fn preload_fleet_demo(router: std::net::SocketAddr) {
+    let twin = ziggy::synth::us_crime(7);
+    let csv = ziggy::store::csv::write_csv_string(&twin.table, ',');
+    let body = serde_json::to_string(&serde_json::Value::Object(vec![
+        (
+            "name".to_string(),
+            serde_json::Value::String("crime".to_string()),
+        ),
+        ("csv".to_string(), serde_json::Value::String(csv)),
+    ]))
+    .expect("demo bodies always render");
+    match ziggy::serve::http::request_once(router, "POST", "/tables", Some(&body)) {
+        Ok((201, resp)) => println!("preloaded table `crime` across the fleet: {resp}"),
+        Ok((status, resp)) => eprintln!("demo preload failed ({status}): {resp}"),
+        Err(e) => eprintln!("demo preload failed: {e}"),
     }
 }
 

@@ -1,0 +1,282 @@
+//! Multi-process fleet integration: real `ziggy serve` child processes
+//! (2 shards × 2 replicas = 4 backends, replication 2) behind an
+//! in-process router, exercising the acceptance criteria end to end:
+//!
+//! 1. characterize reports through the router are byte-identical to a
+//!    single-node serve (modulo wall-clock stage timings, zeroed the
+//!    same way `serve_integration` does);
+//! 2. requests keep succeeding after one replica *process* is killed;
+//! 3. scatter-gather (`GET /tables`, `GET /metrics`) merges per-shard
+//!    sections into one document.
+
+use std::path::Path;
+use std::time::Duration;
+
+use ziggy::core::{CharacterizationReport, StageTimings, Ziggy, ZiggyConfig};
+use ziggy::fleet::{start_fleet, BackendProcess, FleetOptions};
+use ziggy::serve::http::{request_once, Client};
+use ziggy::store::csv::{read_csv_str, write_csv_string, CsvOptions};
+
+/// The number of backend processes (2 shards × 2 replicas).
+const BACKENDS: usize = 4;
+const REPLICATION: usize = 2;
+
+fn json_body(fields: &[(&str, &str)]) -> String {
+    serde_json::to_string(&serde_json::Value::Object(
+        fields
+            .iter()
+            .map(|(k, v)| {
+                (
+                    (*k).to_string(),
+                    serde_json::Value::String((*v).to_string()),
+                )
+            })
+            .collect(),
+    ))
+    .unwrap()
+}
+
+/// Serializes a report with timings zeroed — the canonical form for
+/// byte-identity comparisons across processes.
+fn canonical(report_json: &str) -> String {
+    let mut report: CharacterizationReport =
+        serde_json::from_str(report_json).expect("response must parse as a report");
+    report.timings = StageTimings::default();
+    serde_json::to_string(&report).unwrap()
+}
+
+#[test]
+fn fleet_of_processes_matches_single_node_and_survives_a_kill() {
+    let binary = Path::new(env!("CARGO_BIN_EXE_ziggy"));
+    let twin = ziggy::synth::box_office(7);
+    let csv = write_csv_string(&twin.table, ',');
+    let query = twin.predicate.clone();
+
+    // Single-node reference: the same CSV bytes through the same
+    // reader, characterized in-process.
+    let reference = {
+        let table = read_csv_str(&csv, &CsvOptions::default()).unwrap();
+        let engine = Ziggy::new(&table, ZiggyConfig::default());
+        let mut r = engine.characterize(&query).unwrap();
+        r.timings = StageTimings::default();
+        serde_json::to_string(&r).unwrap()
+    };
+
+    // 4 real ziggy-serve processes.
+    let mut children: Vec<BackendProcess> = (0..BACKENDS)
+        .map(|i| {
+            BackendProcess::spawn(binary, format!("shard-{i}"), &[])
+                .expect("backend process must start")
+        })
+        .collect();
+    let addrs = children
+        .iter()
+        .map(|c| (c.id().to_string(), c.addr()))
+        .collect();
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: REPLICATION,
+            probe_interval: Duration::from_millis(100),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    // One upload materializes the table on R backends.
+    let body = json_body(&[("name", "boxoffice"), ("csv", &csv)]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+    let placed = serde_json::from_str_value(&resp)
+        .unwrap()
+        .get("placed")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(placed, REPLICATION as u64, "{resp}");
+
+    // Which processes actually hold it?
+    let holders: Vec<usize> = children
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            let (s, body) = request_once(c.addr(), "GET", "/tables", None).unwrap();
+            assert_eq!(s, 200);
+            body.contains("\"boxoffice\"")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(holders.len(), REPLICATION);
+
+    // Byte-identity through the router (and across both replicas, since
+    // reads rotate).
+    let query_body = json_body(&[("query", &query)]);
+    for _ in 0..4 {
+        let (status, via_router) = request_once(
+            router,
+            "POST",
+            "/tables/boxoffice/characterize",
+            Some(&query_body),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{via_router}");
+        assert_eq!(
+            canonical(&via_router),
+            reference,
+            "router responses must be byte-identical to single-node serve"
+        );
+    }
+
+    // Kill one replica *process*; traffic keeps flowing (failover may
+    // retry, but the client only ever sees 200s).
+    children[holders[0]].kill();
+    assert!(!children[holders[0]].is_alive());
+    let mut client = Client::connect(router).unwrap();
+    for _ in 0..8 {
+        let (status, body) = client
+            .request("POST", "/tables/boxoffice/characterize", Some(&query_body))
+            .unwrap();
+        assert_eq!(status, 200, "must survive a dead replica: {body}");
+        assert_eq!(canonical(&body), reference);
+    }
+
+    // The prober (or the passive failures above) reports the dead
+    // process within a few intervals.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, health) = request_once(router, "GET", "/healthz", None).unwrap();
+        let v = serde_json::from_str_value(&health).unwrap();
+        let down = v
+            .get("backends")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|b| b.get("healthy").unwrap().as_bool() == Some(false))
+            .count();
+        if down == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "dead process never reported: {health}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Scatter-gather: /tables still lists the table once (now with one
+    // live replica), /metrics aggregates one section per shard with the
+    // dead one nulled out.
+    let (status, listing) = request_once(router, "GET", "/tables", None).unwrap();
+    assert_eq!(status, 200);
+    let v = serde_json::from_str_value(&listing).unwrap();
+    let tables = v.get("tables").unwrap().as_array().unwrap();
+    assert_eq!(tables.len(), 1, "{listing}");
+    assert_eq!(tables[0].get("name").unwrap().as_str(), Some("boxoffice"));
+    assert_eq!(tables[0].get("replicas").unwrap().as_u64(), Some(1));
+
+    let (status, metrics) = request_once(router, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let v = serde_json::from_str_value(&metrics).unwrap();
+    let shards = v.get("shards").unwrap().as_array().unwrap();
+    assert_eq!(shards.len(), BACKENDS, "{metrics}");
+    let nulled = shards
+        .iter()
+        .filter(|s| s.get("metrics").unwrap().is_null())
+        .count();
+    assert_eq!(nulled, 1, "exactly the dead shard has no metrics");
+    let live_chars: u64 = shards
+        .iter()
+        .filter_map(|s| {
+            s.get("metrics")
+                .unwrap()
+                .get("requests")
+                .and_then(|r| r.get("characterizations"))
+                .and_then(|c| c.as_u64())
+        })
+        .sum();
+    assert!(
+        live_chars >= 8,
+        "surviving replicas served the characterize traffic: {metrics}"
+    );
+
+    // Sessions ride the same processes: create, step twice, delete.
+    let (status, created) = request_once(
+        router,
+        "POST",
+        "/sessions",
+        Some(&json_body(&[("table", "boxoffice")])),
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{created}");
+    let sid = serde_json::from_str_value(&created)
+        .unwrap()
+        .get("session_id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let step_path = format!("/sessions/{sid}/step");
+    let (status, step1) = request_once(router, "POST", &step_path, Some(&query_body)).unwrap();
+    assert_eq!(status, 200, "{step1}");
+    assert!(step1.contains("\"diff\":null"), "{step1}");
+    let (status, step2) = request_once(router, "POST", &step_path, Some(&query_body)).unwrap();
+    assert_eq!(status, 200, "{step2}");
+    assert!(step2.contains("\"step\":2"), "{step2}");
+    let (status, _) = request_once(router, "DELETE", &format!("/sessions/{sid}"), None).unwrap();
+    assert_eq!(status, 200);
+
+    fleet.shutdown();
+    // Children are killed on drop; make it explicit for the log.
+    for mut c in children {
+        c.kill();
+    }
+}
+
+#[test]
+fn replicated_ingest_is_idempotent_across_retries() {
+    let binary = Path::new(env!("CARGO_BIN_EXE_ziggy"));
+    let children: Vec<BackendProcess> = (0..2)
+        .map(|i| BackendProcess::spawn(binary, format!("shard-{i}"), &[]).unwrap())
+        .collect();
+    let addrs = children
+        .iter()
+        .map(|c| (c.id().to_string(), c.addr()))
+        .collect();
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 2,
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    let csv = "x,y\n1,2\n3,4\n5,6\n7,8\n9,10\n11,12\n13,14\n15,16\n17,18\n19,20\n";
+    let body = json_body(&[("name", "tiny"), ("csv", csv)]);
+    // A client retrying its upload (timeout, crash, …) must converge,
+    // not flap 409: the router re-frames ingest as the idempotent
+    // replicate path.
+    for round in 0..3 {
+        let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+        assert_eq!(status, 201, "round {round}: {resp}");
+        assert_eq!(
+            serde_json::from_str_value(&resp)
+                .unwrap()
+                .get("placed")
+                .unwrap()
+                .as_u64(),
+            Some(2),
+            "round {round}: {resp}"
+        );
+    }
+    // Different content under the same name is still refused.
+    let conflicting = json_body(&[("name", "tiny"), ("csv", "x,y\n9,9\n8,8\n7,7\n")]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&conflicting)).unwrap();
+    assert_eq!(status, 409, "{resp}");
+
+    fleet.shutdown();
+}

@@ -362,3 +362,116 @@ fn shared_engine_outperforms_per_request_engines() {
     assert!(counters.hits > 0, "{counters:?}");
     server.shutdown();
 }
+
+#[test]
+fn rate_limited_clients_get_429_with_retry_after() {
+    use std::io::{Read, Write};
+
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            rate_limit: Some(3),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Burn the burst through the keep-alive client, then expect a 429.
+    let mut client = Client::connect(addr).unwrap();
+    let mut saw_429 = false;
+    for _ in 0..10 {
+        let (status, body) = client.request("GET", "/tables", None).unwrap();
+        if status == 429 {
+            assert!(body.contains("rate limit"), "{body}");
+            saw_429 = true;
+            break;
+        }
+        assert_eq!(status, 200, "{body}");
+    }
+    assert!(saw_429, "burst of 3 must not survive 10 rapid requests");
+
+    // Health checks are exempt even for a throttled client.
+    let (status, _) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+
+    // The 429 carries a whole-second Retry-After header (raw socket:
+    // the convenience client only exposes status and body).
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    let mut out = String::new();
+    let mut throttled_response = String::new();
+    for _ in 0..10 {
+        raw.write_all(b"GET /tables HTTP/1.1\r\nHost: z\r\nContent-Length: 0\r\n\r\n")
+            .unwrap();
+        out.clear();
+        let mut buf = [0u8; 4096];
+        let n = raw.read(&mut buf).unwrap();
+        out.push_str(std::str::from_utf8(&buf[..n]).unwrap());
+        if out.starts_with("HTTP/1.1 429") {
+            throttled_response = out.clone();
+            break;
+        }
+    }
+    let retry_after = throttled_response
+        .lines()
+        .find_map(|l| l.strip_prefix("Retry-After: "))
+        .expect("429 must carry Retry-After");
+    assert!(retry_after.trim().parse::<u64>().unwrap() >= 1);
+
+    let rate_limited = server.state().metrics.rate_limited.get();
+    assert!(rate_limited >= 2, "metrics must count 429s: {rate_limited}");
+    server.shutdown();
+}
+
+#[test]
+fn per_request_config_override_round_trips_over_http() {
+    let (csv, query) = twin_csv_and_query();
+    let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    let body = json_body(&[("name", "cfg"), ("csv", &csv)]);
+    let (status, _) = request_once(addr, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201);
+
+    let override_body = format!(
+        "{{\"query\":{},\"config\":{{\"max_views\":1}}}}",
+        serde_json::to_string(&serde_json::Value::String(query.clone())).unwrap()
+    );
+    let (status, overridden) = request_once(
+        addr,
+        "POST",
+        "/tables/cfg/characterize",
+        Some(&override_body),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{overridden}");
+    let views = serde_json::from_str_value(&overridden)
+        .unwrap()
+        .get("views")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .len();
+    assert_eq!(views, 1);
+
+    // The default-config path is untouched by the fork.
+    let (status, default_resp) = request_once(
+        addr,
+        "POST",
+        "/tables/cfg/characterize",
+        Some(&json_body(&[("query", &query)])),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    let default_views = serde_json::from_str_value(&default_resp)
+        .unwrap()
+        .get("views")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .len();
+    assert!(
+        default_views > 1,
+        "default config should keep several views"
+    );
+    server.shutdown();
+}
