@@ -230,7 +230,7 @@ mod tests {
         )
         .unwrap();
         let cliques = maximal_cliques(&g, 0.5, 10_000).unwrap();
-        let views = search(cliques, &prepared, &ZiggyConfig::default());
+        let views = search(&cliques, &prepared, &ZiggyConfig::default());
         assert!(!views.is_empty());
         // Disjointness still enforced downstream.
         let mut seen = Vec::new();

@@ -34,12 +34,12 @@ fn pipeline_stages(c: &mut Criterion) {
     group.bench_function("stage2_view_search", |b| {
         b.iter(|| {
             let candidates = generate_candidates(black_box(&graph), &config).unwrap();
-            search(candidates, black_box(&prepared), &config)
+            search(&candidates, black_box(&prepared), &config)
         })
     });
     group.bench_function("stage3_post_processing", |b| {
         let candidates = generate_candidates(&graph, &config).unwrap();
-        let selected = search(candidates, &prepared, &config);
+        let selected = search(&candidates, &prepared, &config);
         b.iter(|| {
             for sv in &selected {
                 let refs = prepared.components_for_view(&sv.columns);

@@ -3,12 +3,21 @@
 //! Starts an in-process `ziggy-serve` server, loads the US-crime
 //! synthetic twin (1994×128, the paper's heaviest interactive dataset),
 //! and measures characterization requests/second under concurrent
-//! keep-alive clients. Emits `BENCH_serve.json` so later PRs can track
-//! the serving-path trajectory.
+//! keep-alive clients issuing a *repeated* query — the exploratory warm
+//! path all three reuse levels target. The warm phase reports the
+//! report-cache counters so the step change from byte-level reuse is
+//! visible in `BENCH_serve.json`, and a final conditional phase measures
+//! the `If-None-Match`/`304` revalidation rate. Emits
+//! `BENCH_serve.json` so later PRs can track the serving-path
+//! trajectory.
 //!
 //! ```text
-//! cargo run --release -p ziggy-bench --bin bench_serve [-- --clients 8 --requests 64]
+//! cargo run --release -p ziggy-bench --bin bench_serve \
+//!     [-- --clients 8 --requests 64 --assert-report-hits]
 //! ```
+//!
+//! `--assert-report-hits` exits nonzero unless the warm phase recorded
+//! report-cache hits (the CI smoke job pins the fast path with it).
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -24,6 +33,10 @@ fn arg(name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 fn num_u(n: u64) -> Value {
@@ -85,9 +98,39 @@ fn main() {
     let elapsed = t_warm.elapsed().as_secs_f64();
     let rps = total_requests as f64 / elapsed;
 
+    // Revalidation phase: warm clients holding the ETag revalidate with
+    // If-None-Match and get bodyless 304s.
+    let mut reval = Client::connect(addr).unwrap();
+    let (_, headers, _) = reval
+        .request_with_headers("POST", "/tables/crime/characterize", &[], Some(&query_body))
+        .unwrap();
+    let etag = headers
+        .iter()
+        .find(|(k, _)| k == "etag")
+        .map(|(_, v)| v.clone())
+        .expect("characterize must carry an ETag");
+    let t_reval = Instant::now();
+    let mut not_modified = 0usize;
+    for _ in 0..total_requests {
+        let (status, _, _) = reval
+            .request_with_headers(
+                "POST",
+                "/tables/crime/characterize",
+                &[("If-None-Match", &etag)],
+                Some(&query_body),
+            )
+            .unwrap();
+        if status == 304 {
+            not_modified += 1;
+        }
+    }
+    let reval_elapsed = t_reval.elapsed().as_secs_f64();
+    let reval_rps = total_requests as f64 / reval_elapsed;
+
     let entry = server.state().registry.get("crime").unwrap();
     let counters = entry.cache().counters();
     let prepared = entry.engine().prepared_cache().counters();
+    let reports = entry.engine().report_cache().counters();
 
     let result = Value::Object(vec![
         ("benchmark".into(), Value::String("serve_throughput".into())),
@@ -118,6 +161,22 @@ fn main() {
                 ("evictions".into(), num_u(prepared.evictions)),
             ]),
         ),
+        (
+            "reports".into(),
+            Value::Object(vec![
+                ("hits".into(), num_u(reports.hits)),
+                ("misses".into(), num_u(reports.misses)),
+                ("evictions".into(), num_u(reports.evictions)),
+            ]),
+        ),
+        (
+            "revalidation".into(),
+            Value::Object(vec![
+                ("requests".into(), num_u(total_requests as u64)),
+                ("not_modified".into(), num_u(not_modified as u64)),
+                ("requests_per_sec".into(), num_f(reval_rps)),
+            ]),
+        ),
     ]);
     let rendered = serde_json::to_string_pretty(&result).unwrap();
     println!("{rendered}");
@@ -125,7 +184,12 @@ fn main() {
     f.write_all(rendered.as_bytes()).unwrap();
     f.write_all(b"\n").unwrap();
     eprintln!(
-        "wrote BENCH_serve.json ({total_requests} requests, {rps:.1} req/s, cache {counters:?})"
+        "wrote BENCH_serve.json ({total_requests} requests, {rps:.1} req/s warm, \
+         {reval_rps:.1} req/s revalidating, cache {counters:?}, reports {reports:?})"
     );
+    if flag("--assert-report-hits") && reports.hits == 0 {
+        eprintln!("FAIL: warm repeated-query phase recorded zero report-cache hits");
+        std::process::exit(1);
+    }
     server.shutdown();
 }

@@ -56,7 +56,7 @@ pub fn sweep(thresholds: &[f64], seed: u64, max_view_size: usize) -> Vec<Tightne
             let mean_size = candidates.iter().map(|c| c.len()).sum::<usize>() as f64
                 / n_candidates.max(1) as f64;
             let max_size = candidates.iter().map(|c| c.len()).max().unwrap_or(0);
-            let views = search(candidates, &prepared, &config);
+            let views = search(&candidates, &prepared, &config);
             let top_score = views.first().map(|v| v.score).unwrap_or(0.0);
             TightnessPoint {
                 min_tight,

@@ -67,10 +67,23 @@ pub struct ZiggyConfig {
     /// the cache *off* for them).
     #[serde(default = "default_prepared_cache_capacity")]
     pub prepared_cache_capacity: usize,
+    /// Capacity of the finished-report cache (distinct `(selection
+    /// mask, configuration, query label)` triples memoized per engine,
+    /// LRU-evicted). A repeated query skips the *entire* pipeline —
+    /// view search, post-processing, and report serialization — and is
+    /// served memoized bytes; `0` disables the cache. Default 128 (a
+    /// finished report is far smaller than a `PreparedStats`, so the
+    /// report level can afford to remember more history).
+    #[serde(default = "default_report_cache_capacity")]
+    pub report_cache_capacity: usize,
 }
 
 fn default_prepared_cache_capacity() -> usize {
     64
+}
+
+fn default_report_cache_capacity() -> usize {
+    128
 }
 
 impl Default for ZiggyConfig {
@@ -90,11 +103,36 @@ impl Default for ZiggyConfig {
             pairwise_components: true,
             extended_components: false,
             prepared_cache_capacity: 64,
+            report_cache_capacity: 128,
         }
     }
 }
 
 impl ZiggyConfig {
+    /// The canonical JSON rendering of the whole configuration. Equal
+    /// configurations render identically, distinct ones differently (the
+    /// rendering is injective: serde emits every field, in declaration
+    /// order); the report cache keys on this string so artifacts built
+    /// under one configuration can never be served under another (the
+    /// per-request override path forks engines that share one report
+    /// cache — see `Ziggy::with_config`). A string key, not a hash:
+    /// clients choose override configurations freely, so a colliding
+    /// fingerprint would let one configuration poison another's entries.
+    /// Over-keying is deliberate: fields that cannot change a report
+    /// (cache capacities) still participate, trading a few spurious
+    /// misses for zero risk of a stale hit when fields are added later.
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("configs always render")
+    }
+
+    /// A stable 64-bit FNV-1a fingerprint of [`Self::canonical_json`].
+    /// Equal configurations always fingerprint equal; the converse holds
+    /// only probabilistically, so use it for telemetry and cheap
+    /// comparisons, never as a cache key on its own.
+    pub fn fingerprint(&self) -> u64 {
+        ziggy_store::fnv1a_64(self.canonical_json().as_bytes())
+    }
+
     /// Validates all parameters.
     pub fn validate(&self) -> Result<()> {
         if self.max_view_size == 0 {
@@ -196,6 +234,32 @@ mod tests {
         let back: ZiggyConfig =
             serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
         assert_eq!(back.prepared_cache_capacity, 64);
+    }
+
+    #[test]
+    fn missing_report_cache_capacity_defaults_to_enabled() {
+        let mut json = serde_json::to_value(&ZiggyConfig::default()).unwrap();
+        if let serde_json::Value::Object(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "report_cache_capacity");
+        }
+        let back: ZiggyConfig =
+            serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
+        assert_eq!(back.report_cache_capacity, 128);
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let base = ZiggyConfig::default();
+        assert_eq!(base.fingerprint(), ZiggyConfig::default().fingerprint());
+        let overridden = ZiggyConfig {
+            max_views: 1,
+            ..base.clone()
+        };
+        assert_ne!(
+            base.fingerprint(),
+            overridden.fingerprint(),
+            "a per-request override must key report-cache entries apart"
+        );
     }
 
     #[test]

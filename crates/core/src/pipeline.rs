@@ -1,10 +1,25 @@
 //! The three-stage pipeline (paper Figure 4): preparation → view search →
-//! post-processing.
+//! post-processing — staged behind three levels of reuse.
+//!
+//! A characterization is decomposed into an explicit *plan* whose
+//! query-independent stages are memoized per engine:
+//!
+//! 1. the [`DependencyGraph`] **and** the candidate views generated from
+//!    it ([`generate_candidates`] over the usable columns) depend only on
+//!    the table and the configuration, so both are computed once per
+//!    engine and reused by every query;
+//! 2. [`PreparedStats`] are memoized per selection mask (the
+//!    [`PreparedCache`]), so a repeated predicate skips the masked scans;
+//! 3. the finished [`CharacterizationReport`] *and its serialized JSON
+//!    bytes* are memoized per `(mask, configuration, query label)`
+//!    (the report cache), so a repeated query skips view search,
+//!    post-processing, and serde entirely — the serving layer answers it
+//!    with memoized bytes and an `ETag`.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use ziggy_store::{eval, parse_predicate, Bitmask, PreparedCache, StatsCache, Table};
+use ziggy_store::{eval, parse_predicate, Bitmask, KeyedCache, PreparedCache, StatsCache, Table};
 
 use crate::candidates::generate_candidates;
 use crate::config::ZiggyConfig;
@@ -16,14 +31,84 @@ use crate::report::{CharacterizationReport, StageTimings, View, ViewReport};
 use crate::robust::view_robustness;
 use crate::search::search;
 
+/// Key of one report-cache entry: the selection mask (hashed by
+/// fingerprint, confirmed by full word equality), the configuration's
+/// canonical JSON ([`ZiggyConfig::canonical_json`] — forked engines
+/// share one cache, so artifacts built under an override must key apart
+/// from the default configuration's; the full string, compared by
+/// equality, because clients choose override configurations and a mere
+/// hash could be made to collide), and the query label (the label is
+/// embedded in the report, so two spellings of the same selection may
+/// share [`PreparedStats`] but never report bytes).
+pub type ReportKey = (Bitmask, Arc<str>, String);
+
+/// The report cache: finished reports plus their serialized bytes,
+/// shared by all configuration forks of one engine.
+pub type ReportCache = KeyedCache<ReportKey, Arc<CachedReport>>;
+
+/// A finished characterization in both forms the system serves: the
+/// structured report and its canonical JSON bytes. The bytes are exactly
+/// `serde_json::to_string(&report)`, so a byte-level consumer (the HTTP
+/// handler) and a struct-level consumer (sessions, the REPL) can never
+/// disagree.
+#[derive(Debug, Clone)]
+pub struct CachedReport {
+    /// The structured report.
+    pub report: CharacterizationReport,
+    /// Its serialized JSON — what `ziggy-serve` writes on the wire.
+    /// Behind an `Arc` so the serving layer's warm path hands the same
+    /// allocation to every response instead of copying it per request.
+    pub bytes: Arc<str>,
+    /// FNV-1a fingerprint of `bytes` — the `ETag` source. It identifies
+    /// one *build* of the report (the bytes embed the build's stage
+    /// timings), so two replicas that computed the same report
+    /// independently carry different tags; revalidation against a
+    /// different replica re-transfers, never serves stale bytes.
+    pub fingerprint: u64,
+}
+
+impl CachedReport {
+    fn build(report: CharacterizationReport) -> Self {
+        let bytes: Arc<str> =
+            Arc::from(serde_json::to_string(&report).expect("reports always render"));
+        let fingerprint = ziggy_store::fnv1a_64(bytes.as_bytes());
+        Self {
+            report,
+            bytes,
+            fingerprint,
+        }
+    }
+
+    /// The strong HTTP entity tag for this report (quoted hex
+    /// fingerprint), used for `ETag` / `If-None-Match` revalidation.
+    pub fn etag(&self) -> String {
+        format!("\"{:016x}\"", self.fingerprint)
+    }
+}
+
+/// What a cache-aware characterization returns: the (possibly shared)
+/// cached artifact plus whether this call actually ran the pipeline.
+/// Callers that meter work (the serving layer's stage-timing metrics)
+/// must only count `fresh` outcomes — a cached report's embedded
+/// timings describe the original build, not this request.
+pub struct CharacterizeOutcome {
+    /// The report and its bytes.
+    pub cached: Arc<CachedReport>,
+    /// True when this call built the report; false when it was served
+    /// from the report cache.
+    pub fresh: bool,
+}
+
 /// The Ziggy engine bound to one table.
 ///
-/// Holds both levels of the reuse strategy: the whole-table statistics
+/// Holds every level of the reuse strategy: the whole-table statistics
 /// cache (successive queries share the expensive moment computations —
-/// the paper's between-query optimization) and the per-query
-/// [`PreparedCache`] of finished [`PreparedStats`], keyed by the
-/// selection mask, so *repeated* queries skip the preparation stage
-/// entirely.
+/// the paper's between-query optimization), the memoized search plan
+/// (dependency graph + candidate views, query-independent), the
+/// per-query [`PreparedCache`] of finished [`PreparedStats`] keyed by
+/// the selection mask, and the report cache of finished
+/// [`CachedReport`]s keyed by `(mask, config, label)` so *repeated*
+/// queries skip the entire pipeline.
 ///
 /// The engine owns its table through an `Arc` and all interior state is
 /// lock-protected, so a single `Ziggy` is `Send + Sync`: one engine per
@@ -36,10 +121,19 @@ pub struct Ziggy {
     /// statistics instead of recomputing them per configuration.
     cache: Arc<StatsCache>,
     config: ZiggyConfig,
+    /// Memoized [`ZiggyConfig::canonical_json`] — part of every report
+    /// key (shared, not re-rendered, per lookup).
+    config_key: Arc<str>,
     /// Dependency graph is query-independent; memoized after first use.
     graph: parking_lot::Mutex<Option<DependencyGraph>>,
+    /// Candidate views are query-independent too (they derive from the
+    /// graph and the search parameters alone); memoized alongside it.
+    candidates: parking_lot::Mutex<Option<Arc<Vec<Vec<usize>>>>>,
     /// Per-query `PreparedStats`, memoized against the selection mask.
     prepared: PreparedCache<Arc<PreparedStats>>,
+    /// Finished reports + serialized bytes, shared across configuration
+    /// forks (the `Arc`), keyed by `(mask, canonical config, label)`.
+    reports: Arc<ReportCache>,
 }
 
 // parking_lot re-export via ziggy-store's dependency is not public; the
@@ -59,38 +153,64 @@ impl Ziggy {
         Self {
             cache: Arc::new(StatsCache::shared(Arc::clone(&table))),
             table,
-            // Capacity 0 disables the cache at lookup time; the clamp to 1
-            // inside `PreparedCache::new` only keeps the struct well-formed.
+            // Capacity 0 disables a cache at lookup time; the clamp to 1
+            // inside `KeyedCache::new` only keeps the structs well-formed.
             prepared: PreparedCache::new(config.prepared_cache_capacity),
+            reports: Arc::new(ReportCache::new(config.report_cache_capacity)),
+            config_key: Arc::from(config.canonical_json()),
             config,
             graph: parking_lot::Mutex::new(None),
+            candidates: parking_lot::Mutex::new(None),
         }
     }
 
     /// An engine over the same table — and the same whole-table
-    /// [`StatsCache`] — but a different configuration. This is the
-    /// per-request override path: the expensive table-level moments and
-    /// frequencies stay shared, while everything configuration-dependent
-    /// (the per-mask [`PreparedCache`], and the dependency graph when the
-    /// dependence measure changed) is fresh, so an override can never be
-    /// served a cached artifact built under different parameters.
+    /// [`StatsCache`] and report cache — but a different configuration.
+    /// This is the per-request override path: the expensive table-level
+    /// moments and frequencies stay shared, while everything the new
+    /// configuration could change is either re-keyed (report entries
+    /// carry the configuration fingerprint, so a fork can never be
+    /// served — or poison — another configuration's reports) or fresh
+    /// (the per-mask [`PreparedCache`]). The memoized search plan
+    /// carries over piecewise: the dependency graph when the dependence
+    /// measure and binning match, the candidate views only when the
+    /// search parameters (`min_tightness`, `max_view_size`) match too —
+    /// a search-relevant change invalidates the candidate memo.
     pub fn with_config(&self, config: ZiggyConfig) -> Ziggy {
-        // The dependency graph only depends on the dependence measure and
-        // its binning; when those match, seed the fork with the memoized
-        // graph so an override request skips that rebuild too.
-        let graph = if config.dependence == self.config.dependence
-            && config.mi_bins == self.config.mi_bins
-        {
+        let graph_compatible =
+            config.dependence == self.config.dependence && config.mi_bins == self.config.mi_bins;
+        let graph = if graph_compatible {
             self.graph.lock().clone()
         } else {
             None
+        };
+        let candidates = if graph_compatible
+            && config.min_tightness == self.config.min_tightness
+            && config.max_view_size == self.config.max_view_size
+        {
+            self.candidates.lock().clone()
+        } else {
+            None
+        };
+        // One report cache serves all forks (entries key on the config
+        // fingerprint), so a repeated override request is as warm as a
+        // repeated default one. A changed capacity opts the fork out
+        // into its own cache — capacity is a property of the instance,
+        // not of an entry.
+        let reports = if config.report_cache_capacity == self.config.report_cache_capacity {
+            Arc::clone(&self.reports)
+        } else {
+            Arc::new(ReportCache::new(config.report_cache_capacity))
         };
         Ziggy {
             table: Arc::clone(&self.table),
             cache: Arc::clone(&self.cache),
             prepared: PreparedCache::new(config.prepared_cache_capacity),
+            reports,
+            config_key: Arc::from(config.canonical_json()),
             config,
             graph: parking_lot::Mutex::new(graph),
+            candidates: parking_lot::Mutex::new(candidates),
         }
     }
 
@@ -121,6 +241,25 @@ impl Ziggy {
         &self.prepared
     }
 
+    /// The finished-report cache (shared across queries, clients, *and*
+    /// configuration forks of this engine; its hit counter is exactly
+    /// the number of characterizations that skipped the pipeline).
+    pub fn report_cache(&self) -> &ReportCache {
+        &self.reports
+    }
+
+    /// Whether the dependency graph is memoized (instrumentation).
+    pub fn graph_memoized(&self) -> bool {
+        self.graph.lock().is_some()
+    }
+
+    /// Whether the candidate views are memoized (instrumentation; a
+    /// `with_config` fork that changed a search-relevant parameter
+    /// starts with this false).
+    pub fn candidates_memoized(&self) -> bool {
+        self.candidates.lock().is_some()
+    }
+
     fn graph(&self) -> Result<DependencyGraph> {
         let mut slot = self.graph.lock();
         if let Some(g) = slot.as_ref() {
@@ -138,6 +277,19 @@ impl Ziggy {
         )?;
         *slot = Some(g.clone());
         Ok(g)
+    }
+
+    /// The memoized candidate views for `graph` (query-independent:
+    /// they derive from the graph and the search parameters alone, so
+    /// they are generated once per engine, not once per request).
+    fn candidates(&self, graph: &DependencyGraph) -> Result<Arc<Vec<Vec<usize>>>> {
+        let mut slot = self.candidates.lock();
+        if let Some(c) = slot.as_ref() {
+            return Ok(Arc::clone(c));
+        }
+        let c = Arc::new(generate_candidates(graph, &self.config)?);
+        *slot = Some(Arc::clone(&c));
+        Ok(c)
     }
 
     /// ASCII dendrogram of the column dependency graph — the "visual
@@ -167,13 +319,21 @@ impl Ziggy {
         self.characterize_mask(&mask, query)
     }
 
-    /// Characterizes an arbitrary selection mask (`query_label` is used
-    /// for reporting only).
-    pub fn characterize_mask(
-        &self,
-        mask: &Bitmask,
-        query_label: &str,
-    ) -> Result<CharacterizationReport> {
+    /// Cache-aware characterization of a predicate query: returns the
+    /// shared [`CachedReport`] (report + serialized bytes + fingerprint)
+    /// and whether this call actually ran the pipeline. The serving
+    /// layer's fast path — a repeated query costs one parse, one
+    /// predicate evaluation, and a cache probe.
+    pub fn characterize_cached(&self, query: &str) -> Result<CharacterizeOutcome> {
+        let expr = parse_predicate(query)?;
+        let mask = eval::evaluate(&expr, &self.table)?;
+        self.characterize_mask_cached(&mask, query)
+    }
+
+    /// Validation + degeneracy checks shared by every characterize entry
+    /// point; returns `(n_inside, n_outside)`. These always run, so an
+    /// invalid request can never be masked by a cached artifact.
+    fn validated_sides(&self, mask: &Bitmask) -> Result<(usize, usize)> {
         self.config.validate()?;
         // The word-wise kernels index columns by mask word; a mask built
         // for a different table must fail up front as an Err, not as a
@@ -194,13 +354,77 @@ impl Ziggy {
                 needed: self.config.min_side_rows,
             });
         }
+        Ok((n_inside, n_outside))
+    }
 
+    /// Characterizes an arbitrary selection mask (`query_label` is used
+    /// for reporting only).
+    pub fn characterize_mask(
+        &self,
+        mask: &Bitmask,
+        query_label: &str,
+    ) -> Result<CharacterizationReport> {
+        if self.config.report_cache_capacity == 0 {
+            // Struct-only caller with the report cache disabled: run the
+            // pipeline directly, paying no serialization at all.
+            let (n_inside, n_outside) = self.validated_sides(mask)?;
+            return self.run_pipeline(mask, query_label, n_inside, n_outside);
+        }
+        Ok(self
+            .characterize_mask_cached(mask, query_label)?
+            .cached
+            .report
+            .clone())
+    }
+
+    /// Cache-aware characterization of an arbitrary selection mask: the
+    /// report cache is probed with `(mask, canonical config, label)`,
+    /// and only a miss runs the staged pipeline (concurrent identical
+    /// requests collapse to exactly one run — the losers block on the
+    /// winner's slot and share its artifact). Failed runs are never
+    /// cached.
+    pub fn characterize_mask_cached(
+        &self,
+        mask: &Bitmask,
+        query_label: &str,
+    ) -> Result<CharacterizeOutcome> {
+        let (n_inside, n_outside) = self.validated_sides(mask)?;
+        if self.config.report_cache_capacity == 0 {
+            let report = self.run_pipeline(mask, query_label, n_inside, n_outside)?;
+            return Ok(CharacterizeOutcome {
+                cached: Arc::new(CachedReport::build(report)),
+                fresh: true,
+            });
+        }
+        let key: ReportKey = (
+            mask.clone(),
+            Arc::clone(&self.config_key),
+            query_label.to_string(),
+        );
+        let mut fresh = false;
+        let cached = self.reports.get_or_build(&key, || {
+            fresh = true;
+            self.run_pipeline(mask, query_label, n_inside, n_outside)
+                .map(|report| Arc::new(CachedReport::build(report)))
+        })?;
+        Ok(CharacterizeOutcome { cached, fresh })
+    }
+
+    /// Runs the three pipeline stages for one genuinely new request.
+    fn run_pipeline(
+        &self,
+        mask: &Bitmask,
+        query_label: &str,
+        n_inside: usize,
+        n_outside: usize,
+    ) -> Result<CharacterizationReport> {
         // --- Stage 1: preparation. --------------------------------------
-        // Two-level reuse: a mask already prepared on this engine (by any
-        // thread, session, or client) is served from the PreparedCache in
-        // O(mask words); only genuinely new selections pay the masked
-        // scans, which themselves run word-wise and derive complement
-        // statistics from the whole-table StatsCache by subtraction.
+        // Reuse on top of reuse: a mask already prepared on this engine
+        // (by any thread, session, or client) is served from the
+        // PreparedCache in O(mask words); only genuinely new selections
+        // pay the masked scans, which themselves run word-wise and derive
+        // complement statistics from the whole-table StatsCache by
+        // subtraction.
         let t0 = Instant::now();
         let graph = self.graph()?;
         let prepared: Arc<PreparedStats> = if self.config.prepared_cache_capacity == 0 {
@@ -213,9 +437,12 @@ impl Ziggy {
         let preparation_us = t0.elapsed().as_micros() as u64;
 
         // --- Stage 2: view search. --------------------------------------
+        // Candidate views are part of the memoized plan: they depend on
+        // the graph and the search parameters, not on the query, so only
+        // the first request on this engine generates them.
         let t1 = Instant::now();
-        let candidates = generate_candidates(&graph, &self.config)?;
-        let selected = search(candidates, &prepared, &self.config);
+        let candidates = self.candidates(&graph)?;
+        let selected = search(&candidates, &prepared, &self.config);
         let view_search_us = t1.elapsed().as_micros() as u64;
 
         // --- Stage 3: post-processing. ----------------------------------
@@ -490,7 +717,16 @@ mod tests {
     #[test]
     fn repeated_query_served_from_prepared_cache() {
         let t = crime_like();
-        let z = Ziggy::new(&t, ZiggyConfig::default());
+        // Disable the report level so this test observes the prepared
+        // level in isolation (with reports on, a repeated identical
+        // query never reaches the prepared cache at all).
+        let z = Ziggy::new(
+            &t,
+            ZiggyConfig {
+                report_cache_capacity: 0,
+                ..Default::default()
+            },
+        );
         let first = z.characterize("crime >= 50").unwrap();
         let c = z.prepared_cache().counters();
         assert_eq!((c.hits, c.misses), (0, 1), "{c:?}");
@@ -564,6 +800,171 @@ mod tests {
             z.config()
         )
         .is_err());
+    }
+
+    #[test]
+    fn report_cache_serves_repeated_queries_byte_identically() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        let first = z.characterize_cached("crime >= 50").unwrap();
+        assert!(first.fresh);
+        let c = z.report_cache().counters();
+        assert_eq!((c.hits, c.misses), (0, 1), "{c:?}");
+
+        // The repeat is the same artifact — same Arc, same bytes, same
+        // timings, same ETag — with no pipeline work at all: neither the
+        // prepared cache nor the stats cache sees another lookup.
+        let stats_before = z.cache().counters();
+        let prepared_before = z.prepared_cache().counters();
+        let second = z.characterize_cached("crime >= 50").unwrap();
+        assert!(!second.fresh);
+        assert!(Arc::ptr_eq(&first.cached, &second.cached));
+        assert_eq!(first.cached.bytes, second.cached.bytes);
+        assert_eq!(first.cached.etag(), second.cached.etag());
+        assert_eq!(z.cache().counters(), stats_before);
+        assert_eq!(z.prepared_cache().counters(), prepared_before);
+        let c = z.report_cache().counters();
+        assert_eq!((c.hits, c.misses), (1, 1), "{c:?}");
+
+        // The bytes are the canonical serialization of the report.
+        assert_eq!(
+            &*first.cached.bytes,
+            serde_json::to_string(&first.cached.report).unwrap()
+        );
+
+        // A different spelling of the same selection shares the
+        // PreparedStats (same mask) but not the report (the label is in
+        // the key, because it is embedded in the report body).
+        let respelled = z.characterize_cached("NOT crime < 50").unwrap();
+        assert!(respelled.fresh);
+        assert_eq!(respelled.cached.report.query, "NOT crime < 50");
+        assert_eq!(z.prepared_cache().counters().hits, 1);
+        assert_eq!(z.report_cache().len(), 2);
+
+        // A different selection is its own entry with different bytes.
+        let other = z.characterize_cached("rain >= 50").unwrap();
+        assert!(other.fresh);
+        assert_ne!(other.cached.fingerprint, first.cached.fingerprint);
+    }
+
+    #[test]
+    fn report_cache_capacity_zero_disables() {
+        let t = crime_like();
+        let z = Ziggy::new(
+            &t,
+            ZiggyConfig {
+                report_cache_capacity: 0,
+                ..Default::default()
+            },
+        );
+        let first = z.characterize_cached("crime >= 50").unwrap();
+        let second = z.characterize_cached("crime >= 50").unwrap();
+        assert!(first.fresh && second.fresh, "disabled cache never serves");
+        let c = z.report_cache().counters();
+        assert_eq!((c.hits, c.misses), (0, 0), "disabled cache is untouched");
+        assert!(z.report_cache().is_empty());
+        // The prepared level still absorbs the repeat.
+        let p = z.prepared_cache().counters();
+        assert_eq!((p.hits, p.misses), (1, 1), "{p:?}");
+    }
+
+    #[test]
+    fn config_forks_share_report_cache_without_poisoning() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        let base = z.characterize_cached("crime >= 50").unwrap();
+        assert!(base.cached.report.views.len() > 1);
+
+        // An override fork builds its own entry (distinct configuration
+        // fingerprint) in the *shared* cache…
+        let fork = z.with_config(ZiggyConfig {
+            max_views: 1,
+            ..ZiggyConfig::default()
+        });
+        let overridden = fork.characterize_cached("crime >= 50").unwrap();
+        assert!(overridden.fresh, "override must not be served base bytes");
+        assert_eq!(overridden.cached.report.views.len(), 1);
+        assert_eq!(fork.report_cache().len(), 2, "one shared cache, two keys");
+
+        // …and the base entry is intact: the default-config repeat is a
+        // hit with the full view list — the regression this test pins is
+        // an override poisoning the default entry.
+        let again = z.characterize_cached("crime >= 50").unwrap();
+        assert!(!again.fresh);
+        assert_eq!(
+            again.cached.report.views.len(),
+            base.cached.report.views.len()
+        );
+        assert!(Arc::ptr_eq(&again.cached, &base.cached));
+
+        // A second identical override fork re-uses the first's entry:
+        // repeated override requests are as warm as default ones.
+        let fork2 = z.with_config(ZiggyConfig {
+            max_views: 1,
+            ..ZiggyConfig::default()
+        });
+        let warm = fork2.characterize_cached("crime >= 50").unwrap();
+        assert!(!warm.fresh);
+        assert!(Arc::ptr_eq(&warm.cached, &overridden.cached));
+    }
+
+    #[test]
+    fn search_plan_memoized_and_selectively_carried_by_forks() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        assert!(!z.graph_memoized() && !z.candidates_memoized());
+        z.characterize("crime >= 50").unwrap();
+        assert!(z.graph_memoized() && z.candidates_memoized());
+
+        // A fork that changes nothing search-relevant inherits the whole
+        // plan…
+        let same_plan = z.with_config(ZiggyConfig {
+            alpha: 0.01,
+            ..ZiggyConfig::default()
+        });
+        assert!(same_plan.graph_memoized() && same_plan.candidates_memoized());
+
+        // …a search-parameter change keeps the graph but invalidates the
+        // candidate memo…
+        let new_search = z.with_config(ZiggyConfig {
+            min_tightness: 0.5,
+            ..ZiggyConfig::default()
+        });
+        assert!(new_search.graph_memoized());
+        assert!(!new_search.candidates_memoized());
+        let report = new_search.characterize("crime >= 50").unwrap();
+        assert!(new_search.candidates_memoized());
+        assert!(!report.views.is_empty());
+
+        // …and a dependence-measure change drops both.
+        let new_graph = z.with_config(ZiggyConfig {
+            dependence: crate::config::DependenceKind::Spearman,
+            ..ZiggyConfig::default()
+        });
+        assert!(!new_graph.graph_memoized());
+        assert!(!new_graph.candidates_memoized());
+    }
+
+    #[test]
+    fn concurrent_identical_requests_collapse_to_one_pipeline_run() {
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        let outcomes: Vec<CharacterizeOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| z.characterize_cached("crime >= 50").unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let fresh = outcomes.iter().filter(|o| o.fresh).count();
+        assert_eq!(fresh, 1, "exactly one thread runs the pipeline");
+        for o in &outcomes {
+            assert!(Arc::ptr_eq(&o.cached, &outcomes[0].cached));
+        }
+        let c = z.report_cache().counters();
+        assert_eq!((c.hits, c.misses), (7, 1), "{c:?}");
+        // The single run did a single preparation.
+        let p = z.prepared_cache().counters();
+        assert_eq!((p.hits, p.misses), (0, 1), "{p:?}");
     }
 
     #[test]

@@ -21,15 +21,17 @@ pub struct ScoredView {
 }
 
 /// Scores and ranks candidates (descending score, lexicographic columns
-/// as the deterministic tie-break).
+/// as the deterministic tie-break). Borrows the candidate list — it is
+/// the engine's memoized plan, shared across every query on the engine.
 pub fn rank_candidates(
-    candidates: Vec<Vec<usize>>,
+    candidates: &[Vec<usize>],
     prepared: &PreparedStats,
     config: &ZiggyConfig,
 ) -> Vec<ScoredView> {
     let mut scored: Vec<ScoredView> = candidates
-        .into_iter()
-        .map(|mut columns| {
+        .iter()
+        .map(|candidate| {
+            let mut columns = candidate.clone();
             columns.sort_unstable();
             let score = view_score(&columns, prepared, &config.weights);
             ScoredView { columns, score }
@@ -64,7 +66,7 @@ pub fn select_disjoint(ranked: Vec<ScoredView>, max_views: usize) -> Vec<ScoredV
 
 /// Full view-search stage: rank then select.
 pub fn search(
-    candidates: Vec<Vec<usize>>,
+    candidates: &[Vec<usize>],
     prepared: &PreparedStats,
     config: &ZiggyConfig,
 ) -> Vec<ScoredView> {
@@ -116,7 +118,7 @@ mod tests {
         let warm = t.index_of("warm").unwrap();
         let cold = t.index_of("cold").unwrap();
         let ranked = rank_candidates(
-            vec![vec![cold], vec![hot], vec![warm]],
+            &[vec![cold], vec![hot], vec![warm]],
             &p,
             &ZiggyConfig::default(),
         );
@@ -139,7 +141,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let ranked = rank_candidates(vec![vec![3], vec![1]], &p, &config);
+        let ranked = rank_candidates(&[vec![3], vec![1]], &p, &config);
         assert_eq!(ranked[0].columns, vec![1], "lexicographic tie-break");
     }
 
@@ -182,7 +184,7 @@ mod tests {
         let p = prepared_for(&t);
         let candidates: Vec<Vec<usize>> =
             vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0], vec![3]];
-        let picked = search(candidates, &p, &ZiggyConfig::default());
+        let picked = search(&candidates, &p, &ZiggyConfig::default());
         for (i, a) in picked.iter().enumerate() {
             for b in &picked[i + 1..] {
                 assert!(

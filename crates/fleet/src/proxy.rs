@@ -71,6 +71,23 @@ impl BackendPool {
         body: Option<&str>,
         idempotent: bool,
     ) -> io::Result<(u16, String)> {
+        let (status, _, body) = self.request_with_headers(method, path, &[], body, idempotent)?;
+        Ok((status, body))
+    }
+
+    /// [`BackendPool::request`] carrying extra request headers and
+    /// returning the backend's response headers (lower-cased names) —
+    /// the conditional-request proxy path: the router forwards the
+    /// client's `If-None-Match` and relays the backend's `ETag` (and a
+    /// `304`) unchanged.
+    pub fn request_with_headers(
+        &self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: Option<&str>,
+        idempotent: bool,
+    ) -> io::Result<ziggy_serve::http::FullResponse> {
         if idempotent {
             // Pop in its own statement: an `if let` scrutinee would keep
             // the lock guard alive across the body, and `put_back`
@@ -81,14 +98,15 @@ impl BackendPool {
                 // restarted, or its idle timeout closed us): fall
                 // through to a fresh connection rather than reporting a
                 // failure.
-                if let Ok(response) = client.request(method, path, body) {
+                if let Ok(response) = client.request_with_headers(method, path, extra_headers, body)
+                {
                     self.put_back(client);
                     return Ok(response);
                 }
             }
         }
         let mut client = Client::connect_with_timeout(self.addr, CONNECT_TIMEOUT)?;
-        let response = client.request(method, path, body)?;
+        let response = client.request_with_headers(method, path, extra_headers, body)?;
         self.put_back(client);
         Ok(response)
     }

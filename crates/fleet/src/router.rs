@@ -207,7 +207,7 @@ pub fn route_fleet(state: &FleetState, req: &Request) -> (Response, Option<Strin
         ("GET", ["metrics"]) => (handle_metrics(state), None),
         ("GET", ["tables"]) => (handle_list_tables(state), None),
         ("POST", ["tables"]) => (handle_create_table(state, &req.body), None),
-        ("POST", ["tables", name, "characterize"]) => handle_characterize(state, name, &req.body),
+        ("POST", ["tables", name, "characterize"]) => handle_characterize(state, name, req),
         ("DELETE", ["tables", name]) => (handle_delete_table(state, name), None),
         ("POST", ["sessions"]) => handle_create_session(state, &req.body),
         ("POST", ["sessions", id, "step"]) => handle_session_step(state, id, &req.body),
@@ -252,11 +252,26 @@ fn forward(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
+    let (status, _, body) = forward_with_headers(state, backend, method, path, &[], body)?;
+    Ok((status, body))
+}
+
+/// [`forward`] carrying extra request headers and returning the
+/// backend's response headers — the conditional-request leg of the
+/// characterize proxy path.
+fn forward_with_headers(
+    state: &FleetState,
+    backend: usize,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> std::io::Result<ziggy_serve::http::FullResponse> {
     state.metrics.proxied_total.inc();
     let b = &state.backends[backend];
     match b
         .pool()
-        .request(method, path, body, retry_safe(method, path))
+        .request_with_headers(method, path, extra_headers, body, retry_safe(method, path))
     {
         Ok(response) => {
             b.record_success();
@@ -498,12 +513,21 @@ fn handle_create_table(state: &FleetState, body: &[u8]) -> Response {
 /// Forwards a read to `table`'s replicas in routing order, failing over
 /// on transport errors and 5xx; 404 is remembered but the other
 /// replicas still get a chance (one replica may have missed the
-/// materialization). Returns the winning backend id for logging.
+/// materialization). `extra_headers` are forwarded on every leg (the
+/// characterize path sends the client's `If-None-Match` so a replica
+/// can answer `304` without shipping the body), and the winning
+/// backend's `ETag` is relayed to the client verbatim. The tag
+/// fingerprints one replica's cached bytes (stage timings included), so
+/// after a rotation or failover to a replica that built its own copy a
+/// conditional request may be answered `200` with that replica's bytes
+/// instead of `304` — a re-transfer, never a stale or wrong report.
+/// Returns the winning backend id for logging.
 fn proxy_read_with_failover(
     state: &FleetState,
     table: &str,
     method: &str,
     path: &str,
+    extra_headers: &[(&str, &str)],
     body: Option<&str>,
 ) -> (Response, Option<String>) {
     let order = state.read_order(table);
@@ -515,20 +539,22 @@ fn proxy_read_with_failover(
         if attempt > 0 {
             state.metrics.failovers_total.inc();
         }
-        match forward(state, backend, method, path, body) {
-            Ok((status, resp_body)) => {
+        match forward_with_headers(state, backend, method, path, extra_headers, body) {
+            Ok((status, headers, resp_body)) => {
                 if status == 404 || (500..600).contains(&status) {
                     if fallback.is_none() || status != 404 {
                         fallback = Some((status, resp_body));
                     }
                     continue;
                 }
-                // Verbatim: characterize responses must stay
-                // byte-identical to a single-node serve.
-                return (
-                    Response::new(status, resp_body),
-                    Some(state.backends[backend].id().to_string()),
-                );
+                // Verbatim: characterize responses (bytes, 304s, and
+                // validators) must stay identical to a single-node
+                // serve.
+                let mut response = Response::new(status, resp_body);
+                if let Some((_, etag)) = headers.iter().find(|(k, _)| k == "etag") {
+                    response = response.with_header("ETag", etag.clone());
+                }
+                return (response, Some(state.backends[backend].id().to_string()));
             }
             Err(_) => continue,
         }
@@ -542,13 +568,23 @@ fn proxy_read_with_failover(
     }
 }
 
-fn handle_characterize(state: &FleetState, name: &str, body: &[u8]) -> (Response, Option<String>) {
-    let body = match utf8_body(body) {
+fn handle_characterize(
+    state: &FleetState,
+    name: &str,
+    req: &Request,
+) -> (Response, Option<String>) {
+    let body = match utf8_body(&req.body) {
         Ok(b) => b,
         Err(resp) => return (resp, None),
     };
+    // Forward the conditional header so the backend's report cache can
+    // answer 304 without shipping the body across either hop.
+    let conditional: Vec<(&str, &str)> = req
+        .header("if-none-match")
+        .map(|v| vec![("If-None-Match", v)])
+        .unwrap_or_default();
     let path = format!("/tables/{name}/characterize");
-    proxy_read_with_failover(state, name, "POST", &path, Some(body))
+    proxy_read_with_failover(state, name, "POST", &path, &conditional, Some(body))
 }
 
 fn handle_delete_table(state: &FleetState, name: &str) -> Response {

@@ -291,6 +291,94 @@ fn metrics_scatter_gather_and_router_edge_limits() {
 }
 
 #[test]
+fn etag_revalidation_passes_through_the_router() {
+    // Replication 1 over two backends: the table lives on exactly one
+    // replica, so every read routes there and the ETag is stable across
+    // requests (with R > 1, rotation can land a conditional request on
+    // a replica that built its own copy — still correct, but a 200).
+    let (backends, addrs) = spawn_backends(2);
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 1,
+            probe_interval: Duration::from_millis(100),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    let body = json_body(&[("name", "demo"), ("csv", &demo_csv())]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+
+    // First characterize: full body plus an ETag relayed from the
+    // backend.
+    let query = json_body(&[("query", "key >= 150")]);
+    let mut client = Client::connect(router).unwrap();
+    let (status, headers, first) = client
+        .request_with_headers("POST", "/tables/demo/characterize", &[], Some(&query))
+        .unwrap();
+    assert_eq!(status, 200, "{first}");
+    let etag = headers
+        .iter()
+        .find(|(k, _)| k == "etag")
+        .map(|(_, v)| v.clone())
+        .expect("router must relay the backend ETag");
+
+    // Conditional repeat: 304 through both hops, no body on either.
+    let (status, headers, empty) = client
+        .request_with_headers(
+            "POST",
+            "/tables/demo/characterize",
+            &[("If-None-Match", &etag)],
+            Some(&query),
+        )
+        .unwrap();
+    assert_eq!(status, 304, "{empty}");
+    assert!(empty.is_empty());
+    assert!(headers.iter().any(|(k, v)| k == "etag" && *v == etag));
+
+    // A stale validator still gets the full (byte-identical) report.
+    let (status, _, full) = client
+        .request_with_headers(
+            "POST",
+            "/tables/demo/characterize",
+            &[("If-None-Match", "\"0000000000000000\"")],
+            Some(&query),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(full, first, "warm repeats must be byte-identical");
+
+    // The scatter-gathered /metrics picks up the per-table `reports`
+    // section from whichever shard holds the table.
+    let (status, metrics) = request_once(router, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let v = serde_json::from_str_value(&metrics).unwrap();
+    let report_hits: u64 = v
+        .get("shards")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|s| s.get("metrics")?.get("tables")?.as_array())
+        .flatten()
+        .filter_map(|t| t.get("reports")?.get("hits")?.as_u64())
+        .sum();
+    assert!(
+        report_hits >= 2,
+        "both repeats must be report-cache hits: {metrics}"
+    );
+
+    fleet.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+#[test]
 fn hostile_table_names_are_rejected_at_the_router() {
     let (backends, addrs) = spawn_backends(1);
     let fleet = start_fleet("127.0.0.1:0", addrs, FleetOptions::default()).unwrap();

@@ -76,8 +76,10 @@ impl Request {
 pub struct Response {
     /// Status code.
     pub status: u16,
-    /// Body text.
-    pub body: String,
+    /// Body text. Shared, not owned: handlers serving memoized bytes
+    /// (the report cache's warm path) hand over an `Arc` clone instead
+    /// of copying the whole body per request.
+    pub body: Arc<str>,
     /// Extra response headers (e.g. `Retry-After` on 429). The framing
     /// headers (`Content-Type`, `Content-Length`, `Connection`) are
     /// always emitted by the server and must not appear here.
@@ -85,8 +87,10 @@ pub struct Response {
 }
 
 impl Response {
-    /// A response with the given status and JSON body text.
-    pub fn new(status: u16, body: impl Into<String>) -> Self {
+    /// A response with the given status and JSON body text (`String`,
+    /// `&str`, or a shared `Arc<str>` — cached bodies pass the latter
+    /// for a zero-copy send).
+    pub fn new(status: u16, body: impl Into<Arc<str>>) -> Self {
         Self {
             status,
             body: body.into(),
@@ -105,6 +109,7 @@ fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         201 => "Created",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -643,6 +648,10 @@ fn write_response<W: Write>(writer: &mut W, response: &Response, close: bool) ->
 // Client
 // --------------------------------------------------------------------
 
+/// A full client-side response: status, headers (lower-cased names),
+/// body.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
+
 /// A keep-alive HTTP/1.1 client for one server, used by integration
 /// tests, benchmarks and the `ziggy` CLI's smoke checks.
 pub struct Client {
@@ -684,11 +693,36 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<(u16, String)> {
+        let (status, _, body) = self.request_with_headers(method, path, &[], body)?;
+        Ok((status, body))
+    }
+
+    /// Sends one request carrying `extra_headers` (e.g. `If-None-Match`)
+    /// and reads the full `(status, headers, body)` response — header
+    /// names come back lower-cased. This is the proxy's entry point: the
+    /// fleet router forwards conditional headers to backends and relays
+    /// `ETag`s (and `304`s) to the client. Header values must be single
+    /// CRLF-free lines; the caller only forwards values that were parsed
+    /// out of a request head, which cannot contain line breaks.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> io::Result<FullResponse> {
         let body = body.unwrap_or("");
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: ziggy\r\nContent-Length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: ziggy\r\nContent-Length: {}\r\n",
             body.len(),
         );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         let stream = self.stream.get_mut();
         stream.write_all(head.as_bytes())?;
         stream.write_all(body.as_bytes())?;
@@ -696,7 +730,7 @@ impl Client {
         self.read_response()
     }
 
-    fn read_response(&mut self) -> io::Result<(u16, String)> {
+    fn read_response(&mut self) -> io::Result<FullResponse> {
         let mut line = String::new();
         if self.stream.read_line(&mut line)? == 0 {
             return Err(bad("server closed connection"));
@@ -707,6 +741,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("malformed status line"))?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         loop {
             let mut h = String::new();
             if self.stream.read_line(&mut h)? == 0 {
@@ -720,12 +755,13 @@ impl Client {
                 if k.trim().eq_ignore_ascii_case("content-length") {
                     content_length = v.trim().parse().map_err(|_| bad("bad content-length"))?;
                 }
+                headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
             }
         }
         let mut body = vec![0u8; content_length];
         self.stream.read_exact(&mut body)?;
         String::from_utf8(body)
-            .map(|b| (status, b))
+            .map(|b| (status, headers, b))
             .map_err(|_| bad("non-UTF-8 response body"))
     }
 }

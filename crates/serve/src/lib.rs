@@ -19,10 +19,10 @@
 //! | Route | Body | Response |
 //! |-------|------|----------|
 //! | `GET /healthz` | — | `200` `{"status":"ok"}` |
-//! | `GET /metrics` | — | `200` request counters, cumulative stage timings (µs), and per-table cache hit/miss/entry counts |
+//! | `GET /metrics` | — | `200` request counters, cumulative stage timings (µs), and per-table counters for all three reuse levels (`cache` = whole-table statistics, `prepared` = per-mask `PreparedStats`, `reports` = finished report bytes) |
 //! | `POST /tables` | `{"name": "crime", "csv": "<csv text>"}` | `201` `{"name","n_rows","n_cols"}` — `400` invalid name/JSON, `409` duplicate name or registry full, `422` CSV rejected |
 //! | `GET /tables` | — | `200` `{"tables":[{"name","n_rows","n_cols"},…]}` |
-//! | `POST /tables/{name}/characterize` | `{"query": "<predicate>", "config": {…}?}` | `200` a full [`ziggy_core::CharacterizationReport`] — `404` unknown table, `422` engine rejection (parse error, degenerate selection). The optional `config` object overlays [`ZiggyConfig`] fields onto the server default for this request only (`400` on unknown fields); overridden requests share the whole-table statistics but re-prepare, so they are slower than default-config ones |
+//! | `POST /tables/{name}/characterize` | `{"query": "<predicate>", "config": {…}?}` | `200` a full [`ziggy_core::CharacterizationReport`] — `404` unknown table, `422` engine rejection (parse error, degenerate selection). Every response carries an `ETag` (the report-byte fingerprint); a request whose `If-None-Match` matches is answered `304` with no body. A repeated `(query, config)` pair is served memoized bytes from the engine's report cache — no search, no post-processing, no serialization. The optional `config` object overlays [`ZiggyConfig`] fields onto the server default for this request only (`400` on unknown fields); overridden requests share the whole-table statistics and the report cache (entries are keyed by configuration fingerprint, so overrides can neither read nor poison the default configuration's entries) |
 //! | `PUT /tables/{name}` | `{"csv": "<csv text>"}` | idempotent ingest (the fleet's replicate path): `201` created, `200` the identical table (by CSV fingerprint) was already resident, `409` the name is taken by different content |
 //! | `DELETE /tables/{name}` | — | `200` `{"deleted": "<name>", "sessions_closed": <n>}` — `404` unknown table. Frees the name and the registry slot immediately and closes the table's sessions (cascade), so the engine's memory is not pinned by abandoned clients; in-flight requests finish normally |
 //! | `POST /sessions` | `{"table": "crime"}` | `201` `{"session_id", "table"}` — `404` unknown table |
@@ -45,7 +45,9 @@
 //! Characterize responses are byte-for-byte the engine's serialized
 //! report: apart from wall-clock stage timings, a server round trip and
 //! an in-process `serde_json::to_string(&engine.characterize(q)?)`
-//! produce identical bytes.
+//! produce identical bytes. Responses served from the report cache are
+//! byte-identical to the build they memoize — *including* its stage
+//! timings — which is what makes the `ETag` a strong validator.
 //!
 //! Failed session steps (`4xx`/`422`) do not enter the session history,
 //! matching [`ziggy_core::ExplorationSession`] semantics.

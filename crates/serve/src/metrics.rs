@@ -47,8 +47,17 @@ pub struct Metrics {
     pub tables_listed: Counter,
     /// `DELETE /tables/{name}` requests that dropped a table.
     pub tables_deleted: Counter,
-    /// Characterizations served (direct and via session steps).
+    /// Characterizations served (direct and via session steps),
+    /// including ones answered from the report cache.
     pub characterizations: Counter,
+    /// Characterizations answered from the report cache — no search, no
+    /// post-processing, no serialization (and no stage timings added to
+    /// the sums below, which only meter pipeline runs).
+    pub report_cache_hits: Counter,
+    /// Characterize requests answered `304 Not Modified` because the
+    /// client's `If-None-Match` matched the report's `ETag` (a subset of
+    /// `report_cache_hits` plus revalidations of fresh builds).
+    pub not_modified_total: Counter,
     /// Sessions created.
     pub sessions_created: Counter,
     /// Session steps served.
@@ -76,6 +85,15 @@ impl Metrics {
         self.post_processing_us.add(t.post_processing_us);
     }
 
+    /// Records a characterization served from the report cache. The
+    /// stage-timing sums are left alone on purpose: a cached report's
+    /// embedded timings describe the original build, and re-adding them
+    /// would misreport work the server never did.
+    pub fn record_cached_characterization(&self) {
+        self.characterizations.inc();
+        self.report_cache_hits.inc();
+    }
+
     /// Renders the counters as the `/metrics` JSON body (the `tables`
     /// section with per-table cache counters is appended by the router,
     /// which owns the registry).
@@ -93,6 +111,11 @@ impl Metrics {
                         "characterizations".into(),
                         num(self.characterizations.get()),
                     ),
+                    (
+                        "report_cache_hits".into(),
+                        num(self.report_cache_hits.get()),
+                    ),
+                    ("not_modified".into(), num(self.not_modified_total.get())),
                     ("sessions_created".into(), num(self.sessions_created.get())),
                     ("session_steps".into(), num(self.session_steps.get())),
                     ("sessions_deleted".into(), num(self.sessions_deleted.get())),

@@ -25,15 +25,10 @@ pub const MAX_TABLES: usize = 256;
 /// FNV-1a 64-bit hash — the stable, dependency-free hash shared by the
 /// registry's ingest fingerprints and the fleet's consistent-hash ring
 /// (both need determinism across processes, which `DefaultHasher` does
-/// not promise).
-pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// not promise). Now lives in `ziggy-store` (the engine's report cache
+/// and ETag fingerprints use it too); re-exported here so existing
+/// `ziggy_serve::fnv1a_64` callers keep working.
+pub use ziggy_store::fnv1a_64;
 
 /// A registered table with its shared engine.
 pub struct TableEntry {
@@ -275,10 +270,13 @@ impl TableRegistry {
     }
 
     /// Per-table cache counters for `/metrics`, sorted by name. Each
-    /// table reports both reuse levels: `cache` is the whole-table
+    /// table reports all three reuse levels: `cache` is the whole-table
     /// moment/frequency cache, `prepared` the per-query `PreparedStats`
     /// cache (its `misses` count exactly how many times the preparation
-    /// stage actually ran on this engine).
+    /// stage actually ran on this engine), and `reports` the
+    /// finished-report/byte cache (its `hits` count characterizations
+    /// that skipped view search, post-processing, and serialization
+    /// entirely).
     pub fn cache_stats(&self) -> Vec<Value> {
         let mut entries: Vec<Arc<TableEntry>> = self.tables.read().values().cloned().collect();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
@@ -288,6 +286,7 @@ impl TableRegistry {
                 let c = e.cache().counters();
                 let (uni, pair, freq) = e.cache().sizes();
                 let p = e.engine().prepared_cache().counters();
+                let r = e.engine().report_cache().counters();
                 Value::Object(vec![
                     ("name".into(), Value::String(e.name.clone())),
                     (
@@ -320,6 +319,26 @@ impl TableRegistry {
                                 "entries".into(),
                                 Value::Number(serde_json::Number::U(
                                     e.engine().prepared_cache().len() as u64,
+                                )),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "reports".into(),
+                        Value::Object(vec![
+                            ("hits".into(), Value::Number(serde_json::Number::U(r.hits))),
+                            (
+                                "misses".into(),
+                                Value::Number(serde_json::Number::U(r.misses)),
+                            ),
+                            (
+                                "evictions".into(),
+                                Value::Number(serde_json::Number::U(r.evictions)),
+                            ),
+                            (
+                                "entries".into(),
+                                Value::Number(serde_json::Number::U(
+                                    e.engine().report_cache().len() as u64,
                                 )),
                             ),
                         ]),

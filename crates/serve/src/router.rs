@@ -1,5 +1,7 @@
 //! Dispatches parsed HTTP requests to the API handlers.
 
+use std::sync::Arc;
+
 use serde_json::Value;
 use ziggy_core::ZiggyConfig;
 
@@ -48,7 +50,7 @@ pub fn route(state: &ServeState, req: &Request) -> Response {
         ("GET", ["metrics"]) => handle_metrics(state),
         ("POST", ["tables"]) => handle_create_table(state, &req.body),
         ("GET", ["tables"]) => handle_list_tables(state),
-        ("POST", ["tables", name, "characterize"]) => handle_characterize(state, name, &req.body),
+        ("POST", ["tables", name, "characterize"]) => handle_characterize(state, name, req),
         ("PUT", ["tables", name]) => handle_replicate_table(state, name, &req.body),
         ("DELETE", ["tables", name]) => handle_delete_table(state, name),
         ("POST", ["sessions"]) => handle_create_session(state, &req.body),
@@ -146,32 +148,66 @@ fn merged_config(base: &ZiggyConfig, overrides: &Value) -> Result<ZiggyConfig, A
         .map_err(|e| ApiError::bad_request(format!("invalid config override: {e}")))
 }
 
-fn handle_characterize(state: &ServeState, name: &str, body: &[u8]) -> Result<Response, ApiError> {
-    let parsed = parse_object(body)?;
+/// Whether the request's `If-None-Match` header matches `etag` (a quoted
+/// strong validator): comma-separated candidate list, `*` matches any
+/// entity, and a weak `W/"…"` prefix is ignored for the comparison
+/// (revalidating a byte cache with a weak match is safe — the weak form
+/// only loses information).
+fn if_none_match_matches(req: &Request, etag: &str) -> bool {
+    let Some(value) = req.header("if-none-match") else {
+        return false;
+    };
+    value.split(',').map(str::trim).any(|candidate| {
+        candidate == "*" || candidate.strip_prefix("W/").unwrap_or(candidate) == etag
+    })
+}
+
+fn handle_characterize(
+    state: &ServeState,
+    name: &str,
+    req: &Request,
+) -> Result<Response, ApiError> {
+    let parsed = parse_object(&req.body)?;
     let query = required_str(&parsed, "query")?;
     let entry = state.registry.get(name)?;
-    let report = match parsed.get("config").filter(|v| !v.is_null()) {
-        None => entry.engine().characterize(query)?,
+    let outcome = match parsed.get("config").filter(|v| !v.is_null()) {
+        None => entry.engine().characterize_cached(query)?,
         Some(overrides) => {
             let config = merged_config(entry.engine().config(), overrides)?;
             if config == *entry.engine().config() {
                 // A no-op override keeps the fully-cached fast path.
-                entry.engine().characterize(query)?
+                entry.engine().characterize_cached(query)?
             } else {
-                // A forked engine shares the whole-table statistics but
-                // prepares fresh under the override, so cached artifacts
-                // built under other parameters can never leak in.
-                entry.engine().with_config(config).characterize(query)?
+                // A forked engine shares the whole-table statistics and
+                // the report cache, but every report entry is keyed by
+                // its configuration fingerprint, so cached artifacts
+                // built under other parameters can never leak in (and
+                // the override can never poison the default's entry).
+                entry
+                    .engine()
+                    .with_config(config)
+                    .characterize_cached(query)?
             }
         }
     };
-    state.metrics.record_characterization(&report.timings);
-    // The body is exactly the serialized report — the same bytes an
-    // in-process `serde_json::to_string(&report)` produces.
-    Ok(Response::new(
-        200,
-        serde_json::to_string(&report).expect("reports always render"),
-    ))
+    if outcome.fresh {
+        state
+            .metrics
+            .record_characterization(&outcome.cached.report.timings);
+    } else {
+        state.metrics.record_cached_characterization();
+    }
+    // The ETag is the report-byte fingerprint: stable across requests,
+    // processes, and fleet replicas that built the same report.
+    let etag = outcome.cached.etag();
+    if if_none_match_matches(req, &etag) {
+        state.metrics.not_modified_total.inc();
+        return Ok(Response::new(304, "").with_header("ETag", etag));
+    }
+    // The body is exactly the memoized serialized report — the same
+    // bytes an in-process `serde_json::to_string(&report)` produces,
+    // shared (not copied) into the response on the warm path.
+    Ok(Response::new(200, Arc::clone(&outcome.cached.bytes)).with_header("ETag", etag))
 }
 
 fn handle_replicate_table(
@@ -203,10 +239,12 @@ fn handle_delete_table(state: &ServeState, name: &str) -> Result<Response, ApiEr
     // Cascade: close the table's sessions so the dropped engine's memory
     // actually frees instead of staying pinned behind abandoned clients.
     let sessions_closed = state.sessions.remove_for_table(&entry);
-    // Invalidate the per-query PreparedStats cache eagerly: even while
+    // Invalidate the derived-artifact caches eagerly: even while
     // in-flight requests pin the engine Arc, the memoized per-mask
-    // artifacts (the bulk of the engine's mutable footprint) free now.
+    // PreparedStats and the finished report bytes (the bulk of the
+    // engine's mutable footprint) free now.
     entry.engine().prepared_cache().clear();
+    entry.engine().report_cache().clear();
     state.metrics.tables_deleted.inc();
     state.metrics.sessions_deleted.add(sessions_closed as u64);
     Ok(json_response(
@@ -279,9 +317,13 @@ fn handle_session_step(state: &ServeState, id: &str, body: &[u8]) -> Result<Resp
     let parsed = parse_object(body)?;
     let query = required_str(&parsed, "query")?;
     let outcome = state.sessions.step(id, query)?;
-    state
-        .metrics
-        .record_characterization(&outcome.report.timings);
+    if outcome.fresh {
+        state
+            .metrics
+            .record_characterization(&outcome.report.timings);
+    } else {
+        state.metrics.record_cached_characterization();
+    }
     state.metrics.session_steps.inc();
     let diff = match &outcome.diff {
         Some(d) => serde_json::to_value(d).expect("diffs always render"),
@@ -308,10 +350,22 @@ mod tests {
     use super::*;
 
     fn request(method: &str, path: &str, body: &str) -> Request {
+        request_with_headers(method, path, &[], body)
+    }
+
+    fn request_with_headers(
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> Request {
         Request {
             method: method.into(),
             path: path.into(),
-            headers: Vec::new(),
+            headers: headers
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
             body: body.as_bytes().to_vec(),
             peer: None,
         }
@@ -344,7 +398,7 @@ mod tests {
         let state = ServeState::default();
         let r = route(&state, &request("GET", "/healthz", ""));
         assert_eq!(r.status, 200);
-        assert_eq!(r.body, r#"{"status":"ok"}"#);
+        assert_eq!(&*r.body, r#"{"status":"ok"}"#);
     }
 
     #[test]
@@ -464,7 +518,7 @@ mod tests {
         // close with it (the engine's memory must not stay pinned).
         let r = route(&state, &request("DELETE", "/tables/t", ""));
         assert_eq!(r.status, 200);
-        assert_eq!(r.body, r#"{"deleted":"t","sessions_closed":1}"#);
+        assert_eq!(&*r.body, r#"{"deleted":"t","sessions_closed":1}"#);
         assert!(state.registry.is_empty());
         assert!(state.sessions.is_empty());
         let r = route(
@@ -494,7 +548,7 @@ mod tests {
         // Deleting a session explicitly frees its slot and forgets the id.
         let r = route(&state, &request("DELETE", "/sessions/2", ""));
         assert_eq!(r.status, 200);
-        assert_eq!(r.body, r#"{"deleted":2}"#);
+        assert_eq!(&*r.body, r#"{"deleted":2}"#);
         assert!(state.sessions.is_empty());
         let r = route(
             &state,
@@ -588,6 +642,163 @@ mod tests {
     }
 
     #[test]
+    fn characterize_carries_etag_and_honors_if_none_match() {
+        let state = state_with_table("t");
+        let body = r#"{"query":"key >= 150"}"#;
+        let first = route(&state, &request("POST", "/tables/t/characterize", body));
+        assert_eq!(first.status, 200, "{}", first.body);
+        let etag = first
+            .headers
+            .iter()
+            .find(|(k, _)| k == "ETag")
+            .map(|(_, v)| v.clone())
+            .expect("characterize responses carry an ETag");
+        assert!(etag.starts_with('"') && etag.ends_with('"'), "{etag}");
+
+        // A conditional repeat revalidates without a body.
+        let not_modified = route(
+            &state,
+            &request_with_headers(
+                "POST",
+                "/tables/t/characterize",
+                &[("if-none-match", &etag)],
+                body,
+            ),
+        );
+        assert_eq!(not_modified.status, 304, "{}", not_modified.body);
+        assert!(not_modified.body.is_empty());
+        assert!(
+            not_modified
+                .headers
+                .iter()
+                .any(|(k, v)| k == "ETag" && *v == etag),
+            "304 must re-state the ETag"
+        );
+        assert_eq!(state.metrics.not_modified_total.get(), 1);
+
+        // List syntax and weak validators match; a stale tag does not.
+        let listed = route(
+            &state,
+            &request_with_headers(
+                "POST",
+                "/tables/t/characterize",
+                &[("if-none-match", &format!("\"stale\", W/{etag}"))],
+                body,
+            ),
+        );
+        assert_eq!(listed.status, 304);
+        let stale = route(
+            &state,
+            &request_with_headers(
+                "POST",
+                "/tables/t/characterize",
+                &[("if-none-match", "\"0000000000000000\"")],
+                body,
+            ),
+        );
+        assert_eq!(stale.status, 200);
+        assert_eq!(stale.body, first.body, "stale tag gets the full bytes");
+
+        // A different query gets a different ETag.
+        let other = route(
+            &state,
+            &request("POST", "/tables/t/characterize", r#"{"query":"key < 50"}"#),
+        );
+        let other_etag = other
+            .headers
+            .iter()
+            .find(|(k, _)| k == "ETag")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        assert_ne!(other_etag, etag);
+    }
+
+    #[test]
+    fn delete_table_clears_report_and_prepared_caches() {
+        let state = state_with_table("t");
+        let entry = state.registry.get("t").unwrap();
+        route(
+            &state,
+            &request(
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key >= 150"}"#,
+            ),
+        );
+        assert_eq!(entry.engine().report_cache().len(), 1);
+        assert_eq!(entry.engine().prepared_cache().len(), 1);
+        let r = route(&state, &request("DELETE", "/tables/t", ""));
+        assert_eq!(r.status, 200, "{}", r.body);
+        // The caches empty immediately, even though this test still pins
+        // the engine through its Arc.
+        assert!(entry.engine().report_cache().is_empty());
+        assert!(entry.engine().prepared_cache().is_empty());
+    }
+
+    #[test]
+    fn override_does_not_poison_default_report_cache() {
+        // Regression: the report cache is shared by configuration forks,
+        // so an override request must neither be served the default
+        // configuration's bytes nor overwrite them.
+        let state = state_with_table("t");
+        let default_body = r#"{"query":"key >= 150"}"#;
+        let base = route(
+            &state,
+            &request("POST", "/tables/t/characterize", default_body),
+        );
+        assert_eq!(base.status, 200, "{}", base.body);
+
+        let overridden = route(
+            &state,
+            &request(
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key >= 150","config":{"max_views":1}}"#,
+            ),
+        );
+        assert_eq!(overridden.status, 200, "{}", overridden.body);
+        assert_ne!(overridden.body, base.body);
+        assert_eq!(
+            serde_json::from_str_value(&overridden.body)
+                .unwrap()
+                .get("views")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            1
+        );
+
+        // The default entry is intact: byte-identical (timings included)
+        // and served from the cache.
+        let again = route(
+            &state,
+            &request("POST", "/tables/t/characterize", default_body),
+        );
+        assert_eq!(
+            again.body, base.body,
+            "default entry must survive the override"
+        );
+        let entry = state.registry.get("t").unwrap();
+        let c = entry.engine().report_cache().counters();
+        assert_eq!((c.hits, c.misses), (1, 2), "{c:?}");
+
+        // And a repeated override is itself warm: the fork re-keys into
+        // the same shared cache.
+        let warm = route(
+            &state,
+            &request(
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key >= 150","config":{"max_views":1}}"#,
+            ),
+        );
+        assert_eq!(warm.body, overridden.body);
+        let c = entry.engine().report_cache().counters();
+        assert_eq!((c.hits, c.misses), (2, 2), "{c:?}");
+    }
+
+    #[test]
     fn replicate_route_is_idempotent() {
         let state = ServeState::default();
         let body = serde_json::to_string(&Value::Object(vec![(
@@ -645,7 +856,14 @@ mod tests {
         assert_eq!(prepared.get("misses").unwrap().as_u64(), Some(1));
         assert_eq!(prepared.get("hits").unwrap().as_u64(), Some(0));
         assert_eq!(prepared.get("entries").unwrap().as_u64(), Some(1));
-        // A repeat of the same predicate is a pure cache hit.
+        // One characterization so far: one report build, no hits yet.
+        let reports = tables[0].get("reports").unwrap();
+        assert_eq!(reports.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(reports.get("hits").unwrap().as_u64(), Some(0));
+        assert_eq!(reports.get("entries").unwrap().as_u64(), Some(1));
+        // A repeat of the same predicate is absorbed at the *report*
+        // level: the prepared cache (and everything below it) is never
+        // consulted again.
         route(
             &state,
             &request(
@@ -656,11 +874,16 @@ mod tests {
         );
         let r = route(&state, &request("GET", "/metrics", ""));
         let v = serde_json::from_str_value(&r.body).unwrap();
-        let prepared = v.get("tables").unwrap().as_array().unwrap()[0]
-            .get("prepared")
-            .unwrap();
+        let table = &v.get("tables").unwrap().as_array().unwrap()[0];
+        let prepared = table.get("prepared").unwrap();
         assert_eq!(prepared.get("misses").unwrap().as_u64(), Some(1));
-        assert_eq!(prepared.get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(prepared.get("hits").unwrap().as_u64(), Some(0));
+        let reports = table.get("reports").unwrap();
+        assert_eq!(reports.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(reports.get("hits").unwrap().as_u64(), Some(1));
+        let requests = v.get("requests").unwrap();
+        assert_eq!(requests.get("characterizations").unwrap().as_u64(), Some(2));
+        assert_eq!(requests.get("report_cache_hits").unwrap().as_u64(), Some(1));
         assert!(v
             .get("stage_timings_us")
             .unwrap()

@@ -62,10 +62,14 @@ impl Session {
 pub struct StepOutcome {
     /// 1-based index of this step in the session.
     pub step: usize,
-    /// The fresh report.
+    /// The report for this step.
     pub report: CharacterizationReport,
     /// Diff against the previous step (`None` on the first step).
     pub diff: Option<ReportDiff>,
+    /// Whether the report was built by this step (false = served from
+    /// the engine's report cache); the router meters stage timings only
+    /// for fresh builds.
+    pub fresh: bool,
 }
 
 /// Thread-safe id → [`Session`] map with optional idle-TTL eviction.
@@ -219,8 +223,12 @@ impl SessionManager {
 
         // Characterize outside the session lock: failed steps must not
         // pollute history (matching `ExplorationSession::explore`).
+        // Session traffic rides the same report cache as direct
+        // characterizations, so a step repeating a predicate any client
+        // has asked before skips the pipeline.
         let table = session.lock().table.clone();
-        let report = table.engine().characterize(query)?;
+        let outcome = table.engine().characterize_cached(query)?;
+        let report = outcome.cached.report.clone();
 
         let mut s = session.lock();
         let diff = s.history.last().map(|prev| diff_reports(prev, &report));
@@ -234,6 +242,7 @@ impl SessionManager {
             step: s.steps_taken,
             report,
             diff,
+            fresh: outcome.fresh,
         })
     }
 }

@@ -308,7 +308,7 @@ pub fn masked_freq_naive(table: &Table, col: usize, mask: &Bitmask) -> Result<Fr
     Ok(t)
 }
 
-/// Snapshot of a [`PreparedCache`]'s counters.
+/// Snapshot of a [`KeyedCache`]'s counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PreparedCounters {
     /// Lookups answered from a memoized per-query artifact.
@@ -320,42 +320,52 @@ pub struct PreparedCounters {
 }
 
 /// One memoization slot. The slot's mutex serializes builders of the
-/// *same* mask — concurrent lookups of one predicate collapse to exactly
-/// one build, with the losers blocking on the winner and recording hits —
-/// while distinct masks never contend (the outer map lock is held only
+/// *same* key — concurrent lookups of one key collapse to exactly one
+/// build, with the losers blocking on the winner and recording hits —
+/// while distinct keys never contend (the outer map lock is held only
 /// for slot lookup, never during a build).
-struct PreparedEntry<V> {
+struct KeyedEntry<V> {
     slot: Arc<Mutex<Option<V>>>,
     last_used: u64,
 }
 
-/// A bounded, thread-safe LRU cache of per-query derived artifacts,
-/// keyed by the selection [`Bitmask`].
+/// A bounded, thread-safe LRU once-cache of derived artifacts, generic
+/// over the key.
 ///
-/// This is the second level of the two-level reuse strategy (the first
-/// is [`StatsCache`]'s whole-table moments): where `StatsCache` removes
-/// the *complement* scan from every query, `PreparedCache` removes the
-/// *selection* scan from every repeated query. `ziggy-core` stores an
-/// `Arc<PreparedStats>` per mask, so REPL refinement loops, exploration
-/// sessions, and HTTP clients issuing the same predicate — byte-equal or
-/// not, masks are compared by *rows selected* — skip preparation
-/// entirely.
+/// Two instantiations power the reuse ladder above [`StatsCache`]'s
+/// whole-table moments:
 ///
-/// Keys hash by [`Bitmask::fingerprint`] (length + word hash) but are
-/// confirmed by full word equality, so fingerprint collisions can cost a
-/// probe, never a wrong answer. Entries are evicted least-recently-used
-/// when the map reaches `capacity`. Hit/miss/eviction counters are
-/// exact, exposed for `/metrics`.
-pub struct PreparedCache<V> {
+/// * [`PreparedCache`] (keyed by the selection [`Bitmask`]) removes the
+///   *selection* scan from every repeated query — `ziggy-core` stores an
+///   `Arc<PreparedStats>` per mask, so REPL refinement loops, exploration
+///   sessions, and HTTP clients issuing the same predicate — byte-equal
+///   or not, masks are compared by *rows selected* — skip preparation
+///   entirely.
+/// * `ziggy-core`'s report cache (keyed by mask + configuration
+///   fingerprint + query label) removes *everything* from a repeated
+///   query: view search, post-processing, and report serialization are
+///   all served from one memoized `CachedReport`.
+///
+/// Keys hash however the key type hashes ([`Bitmask`] hashes by
+/// [`Bitmask::fingerprint`]) but are confirmed by full `Eq`, so hash
+/// collisions can cost a probe, never a wrong answer. Entries are
+/// evicted least-recently-used when the map reaches `capacity`.
+/// Hit/miss/eviction counters are exact, exposed for `/metrics`.
+pub struct KeyedCache<K, V> {
     capacity: usize,
     tick: AtomicU64,
-    map: Mutex<HashMap<Bitmask, PreparedEntry<V>>>,
+    map: Mutex<HashMap<K, KeyedEntry<V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
-impl<V: Clone> PreparedCache<V> {
+/// The per-query artifact cache, keyed by the selection [`Bitmask`] (the
+/// original [`KeyedCache`] instantiation; the name survives at the
+/// engine's preparation layer).
+pub type PreparedCache<V> = KeyedCache<Bitmask, V>;
+
+impl<K: Eq + Hash + Clone, V: Clone> KeyedCache<K, V> {
     /// An empty cache holding at most `capacity` entries (min 1).
     pub fn new(capacity: usize) -> Self {
         Self {
@@ -368,19 +378,19 @@ impl<V: Clone> PreparedCache<V> {
         }
     }
 
-    /// Returns the artifact for `mask`, running `build` exactly once per
-    /// resident mask no matter how many threads ask concurrently. A
+    /// Returns the artifact for `key`, running `build` exactly once per
+    /// resident key no matter how many threads ask concurrently. A
     /// failed build caches nothing: the entry is removed and the error
     /// propagates, so the next lookup retries.
     pub fn get_or_build<E>(
         &self,
-        mask: &Bitmask,
+        key: &K,
         build: impl FnOnce() -> std::result::Result<V, E>,
     ) -> std::result::Result<V, E> {
         let slot = {
             let mut map = self.map.lock();
             let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-            if let Some(e) = map.get_mut(mask) {
+            if let Some(e) = map.get_mut(key) {
                 e.last_used = tick;
                 Arc::clone(&e.slot)
             } else {
@@ -396,8 +406,8 @@ impl<V: Clone> PreparedCache<V> {
                 }
                 let slot = Arc::new(Mutex::new(None));
                 map.insert(
-                    mask.clone(),
-                    PreparedEntry {
+                    key.clone(),
+                    KeyedEntry {
                         slot: Arc::clone(&slot),
                         last_used: tick,
                     },
@@ -421,10 +431,10 @@ impl<V: Clone> PreparedCache<V> {
                 // concurrent eviction plus re-insert may have replaced it).
                 let mut map = self.map.lock();
                 if map
-                    .get(mask)
+                    .get(key)
                     .is_some_and(|entry| Arc::ptr_eq(&entry.slot, &slot))
                 {
-                    map.remove(mask);
+                    map.remove(key);
                 }
                 Err(e)
             }
@@ -446,7 +456,8 @@ impl<V: Clone> PreparedCache<V> {
         self.capacity
     }
 
-    /// Drops every entry (used when the underlying table is deleted);
+    /// Drops every entry (used when the underlying table is deleted, or
+    /// when a configuration change invalidates the keyed artifacts);
     /// counters are preserved. In-flight builds finish against their own
     /// slot Arcs but are no longer findable.
     pub fn clear(&self) {

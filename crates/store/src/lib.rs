@@ -25,6 +25,7 @@ pub mod csv;
 pub mod error;
 pub mod eval;
 pub mod expr;
+pub mod hash;
 pub mod lex;
 pub mod mask;
 pub mod parse;
@@ -32,12 +33,13 @@ pub mod schema;
 pub mod table;
 
 pub use cache::{
-    masked_freq, masked_freq_naive, masked_pair, masked_uni, PreparedCache, PreparedCounters,
-    StatsCache,
+    masked_freq, masked_freq_naive, masked_pair, masked_uni, KeyedCache, PreparedCache,
+    PreparedCounters, StatsCache,
 };
 pub use column::Column;
 pub use error::StoreError;
 pub use expr::{CmpOp, Expr, Literal};
+pub use hash::fnv1a_64;
 pub use mask::Bitmask;
 pub use parse::parse_predicate;
 pub use schema::{ColumnMeta, ColumnType, Schema};

@@ -14,7 +14,8 @@
 //! dendrogram               column-dependency dendrogram (MIN_tight aid)
 //! set <param> <value>      max_views | max_view_size | min_tightness |
 //!                          alpha | w_mean | w_dispersion | w_correlation |
-//!                          w_frequency | prepared_cache_capacity
+//!                          w_frequency | prepared_cache_capacity |
+//!                          report_cache_capacity
 //! sample <frac>            continue on a row sample (BlinkDB-style)
 //! info                     table shape and config
 //! help                     this text
@@ -31,10 +32,13 @@ use ziggy_store::{eval, Bitmask, Table};
 /// The REPL's mutable state.
 ///
 /// The engine is built lazily and kept across queries, so the REPL
-/// enjoys the paper's between-query sharing: whole-table statistics and
-/// the dependency graph are computed once per loaded table, not once per
-/// `query` command. Loading a new table or changing configuration drops
-/// the engine (a stale cache would describe the wrong data).
+/// enjoys the paper's between-query sharing: whole-table statistics,
+/// the dependency graph, and the candidate plan are computed once per
+/// loaded table, not once per `query` command, and repeated queries are
+/// served from the report cache. Loading a new table drops the engine
+/// (a stale cache would describe the wrong data); changing
+/// configuration *forks* it, keeping the whole-table statistics and
+/// invalidating exactly the memos the changed parameter affects.
 pub struct ReplState {
     table: Option<Arc<Table>>,
     engine: Option<Ziggy>,
@@ -282,12 +286,20 @@ impl ReplState {
             "w_correlation" => config.weights.correlation = parse_f()?,
             "w_frequency" => config.weights.frequency = parse_f()?,
             "prepared_cache_capacity" => config.prepared_cache_capacity = parse_u()?,
+            "report_cache_capacity" => config.report_cache_capacity = parse_u()?,
             other => return Err(format!("unknown parameter: {other}")),
         }
         config.validate().map_err(|e| e.to_string())?;
+        // Fork the live engine instead of dropping it: the whole-table
+        // statistics survive every `set`, and `with_config` itself
+        // decides what else carries over — a search-relevant parameter
+        // (min_tightness, max_view_size, the dependence measure)
+        // invalidates the memoized candidate plan, while report-cache
+        // entries re-key under the new configuration fingerprint.
+        if let Some(engine) = &self.engine {
+            self.engine = Some(engine.with_config(config.clone()));
+        }
         self.config = config;
-        // The engine bakes in its config; rebuild lazily on next use.
-        self.engine = None;
         Ok(format!("{key} = {value}"))
     }
 
@@ -328,14 +340,17 @@ impl ReplState {
             self.config.weights.frequency,
         ));
         if let Some(engine) = &self.engine {
+            // All three reuse levels, top down: whole-table statistics,
+            // per-mask PreparedStats, finished report bytes. Capacity 0
+            // means the engine bypasses that cache entirely; don't
+            // present the clamped placeholder as live.
             let c = engine.cache().counters();
             out.push_str(&format!(
-                "\ncaches: whole-table hits={} misses={}; prepared ",
+                "\ncaches:\n  stats:    hits={} misses={}",
                 c.hits, c.misses
             ));
+            out.push_str("\n  prepared: ");
             if self.config.prepared_cache_capacity == 0 {
-                // The engine bypasses the cache entirely at capacity 0;
-                // don't present the clamped placeholder as live.
                 out.push_str("disabled");
             } else {
                 let p = engine.prepared_cache().counters();
@@ -346,6 +361,20 @@ impl ReplState {
                     p.evictions,
                     engine.prepared_cache().len(),
                     engine.prepared_cache().capacity(),
+                ));
+            }
+            out.push_str("\n  reports:  ");
+            if self.config.report_cache_capacity == 0 {
+                out.push_str("disabled");
+            } else {
+                let r = engine.report_cache().counters();
+                out.push_str(&format!(
+                    "hits={} misses={} evictions={} entries={}/{}",
+                    r.hits,
+                    r.misses,
+                    r.evictions,
+                    engine.report_cache().len(),
+                    engine.report_cache().capacity(),
                 ));
             }
         }
@@ -364,7 +393,8 @@ commands:
   dendrogram          dependency dendrogram (helps choose min_tightness)
   set <param> <value> tune max_views / max_view_size / min_tightness /
                       alpha / w_mean / w_dispersion / w_correlation /
-                      w_frequency / prepared_cache_capacity
+                      w_frequency / prepared_cache_capacity /
+                      report_cache_capacity
   sample <frac>       continue on a row sample
   info                table shape and config
   quit                exit";
@@ -457,6 +487,63 @@ mod tests {
         assert!(rows < 200 && rows > 50, "{rows}");
         assert!(text(s.handle("sample 2.0")).contains("error"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn set_forks_engine_preserving_stats_and_invalidating_search_memos() {
+        let mut s = ReplState::new();
+        text(s.handle("demo boxoffice"));
+        let predicate = ziggy_synth::box_office(7).predicate;
+        let report = text(s.handle(&format!("query {predicate}")));
+        assert!(report.contains("VIEWS"), "{report}");
+        let engine = s.engine.as_ref().unwrap();
+        assert!(engine.graph_memoized() && engine.candidates_memoized());
+        let misses_before = engine.cache().counters().misses;
+
+        // A parameter that cannot change the search plan carries the
+        // whole memoized plan (and the stats cache) into the fork.
+        assert_eq!(text(s.handle("set alpha 0.01")), "alpha = 0.01");
+        let engine = s.engine.as_ref().unwrap();
+        assert!(engine.graph_memoized() && engine.candidates_memoized());
+        assert_eq!(engine.cache().counters().misses, misses_before);
+
+        // A search-relevant parameter invalidates the candidate memo
+        // but keeps the graph and the whole-table statistics.
+        assert_eq!(
+            text(s.handle("set min_tightness 0.4")),
+            "min_tightness = 0.4"
+        );
+        let engine = s.engine.as_ref().unwrap();
+        assert!(engine.graph_memoized());
+        assert!(!engine.candidates_memoized());
+        text(s.handle(&format!("query {predicate}")));
+        let engine = s.engine.as_ref().unwrap();
+        assert!(engine.candidates_memoized());
+        assert_eq!(
+            engine.cache().counters().misses,
+            misses_before,
+            "re-query after `set` must pay no new whole-table scans"
+        );
+    }
+
+    #[test]
+    fn info_shows_three_cache_levels() {
+        let mut s = ReplState::new();
+        text(s.handle("demo boxoffice"));
+        let predicate = ziggy_synth::box_office(7).predicate;
+        text(s.handle(&format!("query {predicate}")));
+        text(s.handle(&format!("query {predicate}")));
+        let info = text(s.handle("info"));
+        assert!(info.contains("stats:"), "{info}");
+        assert!(info.contains("prepared: hits=0 misses=1"), "{info}");
+        assert!(info.contains("reports:  hits=1 misses=1"), "{info}");
+
+        // Disabled levels say so instead of showing placeholder state.
+        text(s.handle("set report_cache_capacity 0"));
+        text(s.handle("set prepared_cache_capacity 0"));
+        let info = text(s.handle("info"));
+        assert!(info.contains("prepared: disabled"), "{info}");
+        assert!(info.contains("reports:  disabled"), "{info}");
     }
 
     #[test]

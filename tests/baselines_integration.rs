@@ -78,7 +78,7 @@ fn clique_candidates_plug_into_the_engine_search() {
     let prepared = prepare(&cache, &mask, &usable, &config).unwrap();
     let cliques = maximal_cliques(&graph, config.min_tightness, 100_000).unwrap();
     assert!(!cliques.is_empty());
-    let views = search(cliques, &prepared, &config);
+    let views = search(&cliques, &prepared, &config);
     assert!(!views.is_empty());
     // Clique-sourced views obey the same disjointness contract.
     let mut seen: Vec<usize> = Vec::new();

@@ -94,6 +94,13 @@ fn concurrent_clients_get_identical_reports_and_stats_compute_once() {
             reference,
             "server report must be byte-identical to the in-process engine"
         );
+        // Stronger: the report cache collapses the concurrent burst to
+        // one build, so the raw responses are byte-identical with *no*
+        // canonicalization — stage timings included.
+        assert_eq!(
+            *body, responses[0].1,
+            "cache hits must serve the build's exact bytes"
+        );
     }
 
     // The shared engine computed whole-table statistics once per table:
@@ -110,13 +117,17 @@ fn concurrent_clients_get_identical_reports_and_stats_compute_once() {
         misses, reference_misses,
         "whole-table stats must be computed once per table, not per request"
     );
-    // Repeat clients are absorbed one level up: the per-query
-    // PreparedStats cache serves every client after the first, so the
-    // whole-table cache sees exactly one engine's worth of traffic.
+    // Repeat clients are absorbed at the *top* level: the report cache
+    // serves every client after the first, so the prepared cache sees
+    // exactly one lookup and the whole-table cache one engine's worth
+    // of traffic.
     let prepared = tables[0].get("prepared").unwrap();
     assert_eq!(prepared.get("misses").unwrap().as_u64(), Some(1));
+    assert_eq!(prepared.get("hits").unwrap().as_u64(), Some(0));
+    let reports = tables[0].get("reports").unwrap();
+    assert_eq!(reports.get("misses").unwrap().as_u64(), Some(1));
     assert_eq!(
-        prepared.get("hits").unwrap().as_u64(),
+        reports.get("hits").unwrap().as_u64(),
         Some(CONCURRENT_CLIENTS as u64 - 1)
     );
     let characterizations = m
@@ -227,9 +238,9 @@ fn concurrent_ingest_and_sessions() {
     server.shutdown();
 }
 
-/// Reads the `prepared` counter object for table `name` out of a
-/// `/metrics` body.
-fn prepared_counters(addr: std::net::SocketAddr, name: &str) -> (u64, u64, u64) {
+/// Reads a cache-level counter object (`prepared` or `reports`) for
+/// table `name` out of a `/metrics` body as `(hits, misses, entries)`.
+fn level_counters(addr: std::net::SocketAddr, name: &str, level: &str) -> (u64, u64, u64) {
     let (status, metrics) = request_once(addr, "GET", "/metrics", None).unwrap();
     assert_eq!(status, 200);
     let m = serde_json::from_str::<serde_json::Value>(&metrics).unwrap();
@@ -241,12 +252,20 @@ fn prepared_counters(addr: std::net::SocketAddr, name: &str) -> (u64, u64, u64) 
         .iter()
         .find(|t| t.get("name").unwrap().as_str() == Some(name))
         .expect("table present in /metrics");
-    let p = table.get("prepared").unwrap();
+    let p = table.get(level).unwrap();
     (
         p.get("hits").unwrap().as_u64().unwrap(),
         p.get("misses").unwrap().as_u64().unwrap(),
         p.get("entries").unwrap().as_u64().unwrap(),
     )
+}
+
+fn prepared_counters(addr: std::net::SocketAddr, name: &str) -> (u64, u64, u64) {
+    level_counters(addr, name, "prepared")
+}
+
+fn report_counters(addr: std::net::SocketAddr, name: &str) -> (u64, u64, u64) {
+    level_counters(addr, name, "reports")
 }
 
 #[test]
@@ -288,13 +307,24 @@ fn prepared_stats_build_once_per_predicate_across_clients() {
     for (status, body) in &responses {
         assert_eq!(*status, 200, "{body}");
         assert_eq!(canonical(body), first, "reports must be byte-identical");
+        assert_eq!(
+            *body, responses[0].1,
+            "collapsed requests share the build's exact bytes"
+        );
     }
-    let (hits, misses, entries) = prepared_counters(addr, "p");
+    // The burst collapses at the report level to ONE pipeline run — one
+    // search, one post-processing, one serialization — which in turn
+    // did exactly one PreparedStats build.
+    let (hits, misses, entries) = report_counters(addr, "p");
     assert_eq!(
         misses, 1,
-        "N concurrent clients, one predicate => exactly one PreparedStats build"
+        "N concurrent clients, one predicate => exactly one pipeline run"
     );
     assert_eq!(hits, CONCURRENT_CLIENTS as u64 - 1);
+    assert_eq!(entries, 1);
+    let (hits, misses, entries) = prepared_counters(addr, "p");
+    assert_eq!(misses, 1, "the single run built PreparedStats once");
+    assert_eq!(hits, 0);
     assert_eq!(entries, 1);
 
     // A *distinct* predicate with the same popcount (100 rows selected,
@@ -317,15 +347,90 @@ fn prepared_stats_build_once_per_predicate_across_clients() {
         "distinct selections must not serve each other's reports"
     );
 
-    // And a re-spelling of the first predicate that selects the same rows
-    // is a pure hit — the cache keys on the selection, not the text.
+    // And a re-spelling of the first predicate that selects the same
+    // rows hits the *prepared* level (masks are compared by rows, not
+    // text) while building its own report (the label is embedded in the
+    // report body, so report entries key on it).
     let respelled = json_body(&[("query", "NOT key >= 100")]);
     let (status, body) =
         request_once(addr, "POST", "/tables/p/characterize", Some(&respelled)).unwrap();
     assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"query\":\"NOT key >= 100\""), "{body}");
     let (hits, misses, _) = prepared_counters(addr, "p");
     assert_eq!(misses, 2);
-    assert_eq!(hits, CONCURRENT_CLIENTS as u64);
+    assert_eq!(hits, 1, "re-spelled predicate reuses the PreparedStats");
+    let (_, misses, _) = report_counters(addr, "p");
+    assert_eq!(misses, 3, "but serializes its own report");
+
+    server.shutdown();
+}
+
+#[test]
+fn warm_repeats_are_byte_identical_with_etag_revalidation() {
+    let (csv, query) = twin_csv_and_query();
+    let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    let body = json_body(&[("name", "w"), ("csv", &csv)]);
+    let (status, _) = request_once(addr, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201);
+
+    // Cold request: 200 with an ETag.
+    let query_body = json_body(&[("query", &query)]);
+    let mut client = Client::connect(addr).unwrap();
+    let (status, headers, first) = client
+        .request_with_headers("POST", "/tables/w/characterize", &[], Some(&query_body))
+        .unwrap();
+    assert_eq!(status, 200, "{first}");
+    let etag = headers
+        .iter()
+        .find(|(k, _)| k == "etag")
+        .map(|(_, v)| v.clone())
+        .expect("characterize must carry an ETag");
+
+    // Unconditional warm repeat: the exact same bytes (timings and all)
+    // under the exact same ETag.
+    let (status, headers, second) = client
+        .request_with_headers("POST", "/tables/w/characterize", &[], Some(&query_body))
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(second, first, "cache hits must be byte-identical");
+    assert!(headers.iter().any(|(k, v)| k == "etag" && *v == etag));
+
+    // Conditional warm repeat: 304, no body at all.
+    let (status, headers, empty) = client
+        .request_with_headers(
+            "POST",
+            "/tables/w/characterize",
+            &[("If-None-Match", &etag)],
+            Some(&query_body),
+        )
+        .unwrap();
+    assert_eq!(status, 304, "{empty}");
+    assert!(empty.is_empty());
+    assert!(headers.iter().any(|(k, v)| k == "etag" && *v == etag));
+    let (hits, misses, _) = report_counters(addr, "w");
+    assert_eq!((hits, misses), (2, 1));
+
+    // DELETE clears the report cache; the engine object is observed
+    // directly because the registry entry (and its metrics section) is
+    // gone after the delete.
+    let entry = server.state().registry.get("w").unwrap();
+    assert_eq!(entry.engine().report_cache().len(), 1);
+    let (status, _) = request_once(addr, "DELETE", "/tables/w", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(entry.engine().report_cache().is_empty());
+    assert!(entry.engine().prepared_cache().is_empty());
+
+    // A re-ingest under the same name starts cold again and still
+    // answers — no stale artifact survives the delete.
+    let (status, _) = request_once(addr, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201);
+    let (status, fresh) =
+        request_once(addr, "POST", "/tables/w/characterize", Some(&query_body)).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(canonical(&fresh), canonical(&first));
+    let (hits, misses, _) = report_counters(addr, "w");
+    assert_eq!((hits, misses), (0, 1), "fresh engine, fresh cache");
 
     server.shutdown();
 }
