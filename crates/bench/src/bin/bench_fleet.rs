@@ -9,8 +9,16 @@
 //! recorded in the output so the numbers are never compared across
 //! modes by accident. Emits `BENCH_fleet.json` for the perf trajectory.
 //!
+//! With `--churn`, a membership-churn smoke phase follows the scaling
+//! sets: a spare backend joins the ring mid-traffic (`POST
+//! /admin/backends`), an original holder is drained out (`DELETE
+//! /admin/backends/{id}`), and the phase **asserts zero failed
+//! requests** (non-200, rate-limit 429s excluded) plus a converged
+//! `replicas` count once the repair loop has re-materialized the table.
+//! The phase is recorded under `"churn"` in `BENCH_fleet.json`.
+//!
 //! ```text
-//! cargo run --release -p ziggy-bench --bin bench_fleet [-- --clients 8 --requests 64 --sets 1,2,4]
+//! cargo run --release -p ziggy-bench --bin bench_fleet [-- --clients 8 --requests 64 --sets 1,2,4 --churn]
 //! ```
 
 use std::io::Write as _;
@@ -29,6 +37,10 @@ fn arg(name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 fn arg_sets() -> Vec<usize> {
@@ -181,6 +193,166 @@ fn run_set(
     }
 }
 
+struct ChurnResult {
+    backends: usize,
+    replication: usize,
+    requests: usize,
+    failed: usize,
+    epoch_end: u64,
+    converged_replicas: u64,
+    repairs: u64,
+    elapsed_s: f64,
+}
+
+/// The membership-churn smoke: live traffic over `n_backends` (+1 spare
+/// joining mid-run), one admin add, one admin remove of a table holder,
+/// zero tolerated failures, and convergence back to R live replicas.
+/// Requires `n_backends >= 2` so removing a holder never strands the
+/// only copy.
+fn run_churn(
+    n_backends: usize,
+    clients: usize,
+    ingest_body: &str,
+    query_body: &str,
+) -> ChurnResult {
+    assert!(n_backends >= 2, "churn needs at least two initial backends");
+    let (backends, mut addrs, _mode) = Backends::spawn(n_backends + 1);
+    let (spare_id, spare_addr) = addrs.pop().expect("spawned n+1 backends");
+    let replication = 2usize;
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication,
+            probe_interval: Duration::from_millis(100),
+            repair_interval: Some(Duration::from_millis(150)),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    let (status, resp) = request_once(router, "POST", "/tables", Some(ingest_body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+    // Which member holds the table? That's the one the churn drains.
+    let holder = {
+        let (status, resp) = request_once(router, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200, "{resp}");
+        let health = serde_json::from_str_value(&resp).unwrap();
+        let members: Vec<(String, String)> = health
+            .get("backends")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|b| {
+                (
+                    b.get("id").unwrap().as_str().unwrap().to_string(),
+                    b.get("addr").unwrap().as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        members
+            .into_iter()
+            .find(|(_, addr)| {
+                let addr: std::net::SocketAddr = addr.parse().unwrap();
+                let (s, listing) = request_once(addr, "GET", "/tables", None).unwrap();
+                s == 200 && listing.contains("\"crime\"")
+            })
+            .expect("a member holds the table")
+            .0
+    };
+
+    let t_start = Instant::now();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let spare_join = serde_json::to_string(&Value::Object(vec![
+        ("id".into(), Value::String(spare_id)),
+        ("addr".into(), Value::String(spare_addr.to_string())),
+    ]))
+    .unwrap();
+    let (requests, failed) = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..clients.max(1))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut requests = 0usize;
+                    let mut failed = 0usize;
+                    let mut client = Client::connect(router).unwrap();
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let (status, _) = client
+                            .request("POST", "/tables/crime/characterize", Some(query_body))
+                            .unwrap();
+                        requests += 1;
+                        // Rate-limit 429s would be client pushback, not
+                        // failures; everything else must be a 200.
+                        if status != 200 && status != 429 {
+                            failed += 1;
+                        }
+                    }
+                    (requests, failed)
+                })
+            })
+            .collect();
+        // Mid-run: grow the ring, then drain a holder out of it.
+        std::thread::sleep(Duration::from_millis(200));
+        let (status, resp) =
+            request_once(router, "POST", "/admin/backends", Some(&spare_join)).unwrap();
+        assert_eq!(status, 201, "join mid-run: {resp}");
+        std::thread::sleep(Duration::from_millis(400));
+        let (status, resp) =
+            request_once(router, "DELETE", &format!("/admin/backends/{holder}"), None).unwrap();
+        assert_eq!(status, 200, "drain mid-run: {resp}");
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        workers
+            .into_iter()
+            .map(|w| w.join().unwrap())
+            .fold((0, 0), |(r, f), (wr, wf)| (r + wr, f + wf))
+    });
+
+    // Convergence: the repair loop restores R live replicas among the
+    // post-churn members.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let converged_replicas = loop {
+        let (status, listing) = request_once(router, "GET", "/tables", None).unwrap();
+        assert_eq!(status, 200);
+        let v = serde_json::from_str_value(&listing).unwrap();
+        let replicas = v.get("tables").unwrap().as_array().unwrap()[0]
+            .get("replicas")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        if replicas >= replication as u64 {
+            break replicas;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "churn replication never converged: {listing}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let elapsed_s = t_start.elapsed().as_secs_f64();
+    let epoch_end = fleet.state().epoch();
+    let repairs = fleet.state().metrics.repairs_total.get();
+
+    assert_eq!(
+        failed, 0,
+        "membership churn must be invisible to clients ({failed}/{requests} failed)"
+    );
+
+    fleet.shutdown();
+    backends.shutdown();
+    ChurnResult {
+        backends: n_backends,
+        replication,
+        requests,
+        failed,
+        epoch_end,
+        converged_replicas,
+        repairs,
+        elapsed_s,
+    }
+}
+
 fn main() {
     let clients = arg("--clients", 8).max(1);
     let requests_per_client = (arg("--requests", 64).max(1) / clients).max(1);
@@ -211,9 +383,36 @@ fn main() {
         results.push(r);
     }
 
+    let churn = if flag("--churn") {
+        let n = sets.iter().copied().max().unwrap_or(2).max(2);
+        eprintln!("--- churn smoke: {n}+1 backends, join + drain mid-traffic ---");
+        let c = run_churn(n, clients, &ingest_body, &query_body);
+        eprintln!(
+            "    {} req, {} failed, epoch {} at end, {} repair(s), replicas {} (converged)",
+            c.requests, c.failed, c.epoch_end, c.repairs, c.converged_replicas
+        );
+        Some(c)
+    } else {
+        None
+    };
+
     let baseline = results.first().map(|r| r.warm_rps).unwrap_or(1.0);
+    let churn_json = match &churn {
+        None => Value::Null,
+        Some(c) => Value::Object(vec![
+            ("backends".into(), num_u(c.backends as u64)),
+            ("replication".into(), num_u(c.replication as u64)),
+            ("requests".into(), num_u(c.requests as u64)),
+            ("failed".into(), num_u(c.failed as u64)),
+            ("epoch_end".into(), num_u(c.epoch_end)),
+            ("converged_replicas".into(), num_u(c.converged_replicas)),
+            ("repairs".into(), num_u(c.repairs)),
+            ("elapsed_s".into(), num_f(c.elapsed_s)),
+        ]),
+    };
     let result = Value::Object(vec![
         ("benchmark".into(), Value::String("fleet_scaling".into())),
+        ("churn".into(), churn_json),
         ("dataset".into(), Value::String("us_crime_twin".into())),
         ("n_rows".into(), num_u(n_rows as u64)),
         ("n_cols".into(), num_u(n_cols as u64)),

@@ -47,30 +47,41 @@ pub type ReportKey = (Bitmask, Arc<str>, String);
 pub type ReportCache = KeyedCache<ReportKey, Arc<CachedReport>>;
 
 /// A finished characterization in both forms the system serves: the
-/// structured report and its canonical JSON bytes. The bytes are exactly
-/// `serde_json::to_string(&report)`, so a byte-level consumer (the HTTP
-/// handler) and a struct-level consumer (sessions, the REPL) can never
-/// disagree.
+/// structured report and its canonical JSON bytes. The bytes are
+/// `serde_json::to_string` of the report *with stage timings zeroed*:
+/// timings are wall-clock measurements of one build, so leaving them in
+/// the wire form would make two replicas that computed the identical
+/// report disagree byte-for-byte (and therefore tag-for-tag). They ride
+/// along as a side channel instead — [`CachedReport::report`] keeps the
+/// real values for struct-level consumers (sessions, `/metrics`, the
+/// REPL) — excluded from the fingerprint, so the `ETag` is a pure
+/// function of (table, configuration, query) and replicas revalidate
+/// each other's tags with `304`s.
 #[derive(Debug, Clone)]
 pub struct CachedReport {
-    /// The structured report.
+    /// The structured report, timings included (this build's wall-clock
+    /// cost — the one field the serialized `bytes` zero out).
     pub report: CharacterizationReport,
-    /// Its serialized JSON — what `ziggy-serve` writes on the wire.
-    /// Behind an `Arc` so the serving layer's warm path hands the same
-    /// allocation to every response instead of copying it per request.
+    /// Its serialized JSON (timings zeroed) — what `ziggy-serve` writes
+    /// on the wire. Behind an `Arc` so the serving layer's warm path
+    /// hands the same allocation to every response instead of copying it
+    /// per request.
     pub bytes: Arc<str>,
-    /// FNV-1a fingerprint of `bytes` — the `ETag` source. It identifies
-    /// one *build* of the report (the bytes embed the build's stage
-    /// timings), so two replicas that computed the same report
-    /// independently carry different tags; revalidation against a
-    /// different replica re-transfers, never serves stale bytes.
+    /// FNV-1a fingerprint of `bytes` — the `ETag` source. Deterministic
+    /// across processes and fleet replicas: any engine that computes the
+    /// same report under the same configuration produces the same tag.
     pub fingerprint: u64,
 }
 
 impl CachedReport {
-    fn build(report: CharacterizationReport) -> Self {
+    fn build(mut report: CharacterizationReport) -> Self {
+        // Zero the timings only for serialization; the struct keeps the
+        // real ones. `StageTimings` is `Copy`, so this is a swap, not a
+        // whole-report clone.
+        let timings = std::mem::take(&mut report.timings);
         let bytes: Arc<str> =
             Arc::from(serde_json::to_string(&report).expect("reports always render"));
+        report.timings = timings;
         let fingerprint = ziggy_store::fnv1a_64(bytes.as_bytes());
         Self {
             report,
@@ -812,8 +823,8 @@ mod tests {
         assert_eq!((c.hits, c.misses), (0, 1), "{c:?}");
 
         // The repeat is the same artifact — same Arc, same bytes, same
-        // timings, same ETag — with no pipeline work at all: neither the
-        // prepared cache nor the stats cache sees another lookup.
+        // ETag — with no pipeline work at all: neither the prepared
+        // cache nor the stats cache sees another lookup.
         let stats_before = z.cache().counters();
         let prepared_before = z.prepared_cache().counters();
         let second = z.characterize_cached("crime >= 50").unwrap();
@@ -826,11 +837,13 @@ mod tests {
         let c = z.report_cache().counters();
         assert_eq!((c.hits, c.misses), (1, 1), "{c:?}");
 
-        // The bytes are the canonical serialization of the report.
-        assert_eq!(
-            &*first.cached.bytes,
-            serde_json::to_string(&first.cached.report).unwrap()
-        );
+        // The bytes are the canonical serialization of the report with
+        // timings zeroed (the wire form is timing-free so it is
+        // deterministic across replicas); the struct keeps the real
+        // build cost as a side channel.
+        let mut wire = first.cached.report.clone();
+        wire.timings = StageTimings::default();
+        assert_eq!(&*first.cached.bytes, serde_json::to_string(&wire).unwrap());
 
         // A different spelling of the same selection shares the
         // PreparedStats (same mask) but not the report (the label is in
@@ -845,6 +858,34 @@ mod tests {
         let other = z.characterize_cached("rain >= 50").unwrap();
         assert!(other.fresh);
         assert_ne!(other.cached.fingerprint, first.cached.fingerprint);
+    }
+
+    #[test]
+    fn etags_are_deterministic_across_independent_engines() {
+        // Two engines built independently over the same table and
+        // configuration — the fleet's "two replicas of one shard" —
+        // must produce byte-identical wire reports and therefore the
+        // same fingerprint/ETag, even though their wall-clock stage
+        // timings differ. This is what lets a conditional request
+        // revalidate (304) against whichever replica rotation picks.
+        let t = crime_like();
+        let a = Ziggy::new(&t, ZiggyConfig::default());
+        let b = Ziggy::new(&t, ZiggyConfig::default());
+        let ra = a.characterize_cached("crime >= 50").unwrap();
+        let rb = b.characterize_cached("crime >= 50").unwrap();
+        assert_eq!(ra.cached.bytes, rb.cached.bytes);
+        assert_eq!(ra.cached.fingerprint, rb.cached.fingerprint);
+        assert_eq!(ra.cached.etag(), rb.cached.etag());
+        // The side-channel timings still describe each build (they are
+        // just not fingerprinted). At least one stage of a real build
+        // takes measurable time.
+        assert!(ra.cached.report.timings.total_us() > 0);
+        // And the wire form really is timing-free.
+        assert!(
+            ra.cached.bytes.contains(r#""preparation_us":0"#),
+            "{}",
+            ra.cached.bytes
+        );
     }
 
     #[test]

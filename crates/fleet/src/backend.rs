@@ -131,6 +131,13 @@ impl Backend {
     }
 }
 
+/// Supplies the prober (and any other long-lived fleet loop) with the
+/// backends of the *current* membership. A plain `Vec` would freeze the
+/// prober's world at startup; re-reading through the provider each round
+/// means a backend added at runtime is probed within one interval and a
+/// removed one stops being probed.
+pub type BackendsProvider = Arc<dyn Fn() -> Vec<Arc<Backend>> + Send + Sync>;
+
 /// A running prober thread; stops (and joins) on [`Prober::stop`] or
 /// drop.
 pub struct Prober {
@@ -139,15 +146,17 @@ pub struct Prober {
 }
 
 impl Prober {
-    /// Starts probing `backends` every `interval`.
-    pub fn start(backends: Vec<Arc<Backend>>, interval: Duration) -> Self {
+    /// Starts probing the backends returned by `backends` every
+    /// `interval` (the provider is re-consulted each round, so dynamic
+    /// membership changes take effect without restarting the prober).
+    pub fn start(backends: BackendsProvider, interval: Duration) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("ziggy-fleet-prober".into())
             .spawn(move || {
                 while !stop_flag.load(Ordering::Relaxed) {
-                    for backend in &backends {
+                    for backend in backends() {
                         if stop_flag.load(Ordering::Relaxed) {
                             return;
                         }
@@ -232,7 +241,11 @@ mod tests {
         b.record_failure();
         b.record_failure();
         assert!(!b.is_healthy());
-        let prober = Prober::start(vec![Arc::clone(&b)], Duration::from_millis(10));
+        let provider: BackendsProvider = {
+            let b = Arc::clone(&b);
+            Arc::new(move || vec![Arc::clone(&b)])
+        };
+        let prober = Prober::start(provider, Duration::from_millis(10));
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while !b.is_healthy() && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));

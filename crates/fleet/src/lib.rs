@@ -34,6 +34,17 @@
 //! * **Sessions** — sticky to the backend that created them (their
 //!   history lives in that process); a dead replica means 503 and a
 //!   fresh session, not silent history loss.
+//! * **Dynamic membership** — `POST /admin/backends` and `DELETE
+//!   /admin/backends/{id}` grow/shrink the ring at runtime under a
+//!   versioned epoch ([`router::Membership`]); in-flight requests drain
+//!   on the view they started with, and remapping is bounded by the
+//!   consistent-hash properties the ring suite pins.
+//! * **Self-healing** — a background [`repair::Repairer`] watches live
+//!   replica counts and re-materializes under-replicated tables onto
+//!   healthy backends via the idempotent replicate path; the `ziggy
+//!   fleet` supervisor restarts dead children and rejoins them
+//!   ([`spawn::restart_dead_children`]), after which repair re-ingests
+//!   their shard.
 //!
 //! The fleet speaks exactly the single-node API, so a client cannot
 //! tell a router from a lone `ziggy serve` — characterize responses are
@@ -45,6 +56,7 @@
 
 pub mod backend;
 pub mod proxy;
+pub mod repair;
 pub mod ring;
 pub mod router;
 pub mod spawn;
@@ -57,10 +69,11 @@ use std::time::{Duration, Instant};
 use ziggy_serve::http::{Request, Server};
 use ziggy_serve::{AccessLog, RateLimiter, Response};
 
-pub use backend::{Backend, Prober};
+pub use backend::{Backend, BackendsProvider, Prober};
+pub use repair::{repair_round, RepairReport, Repairer};
 pub use ring::HashRing;
-pub use router::{route_fleet, FleetState};
-pub use spawn::BackendProcess;
+pub use router::{route_fleet, FleetState, Membership};
+pub use spawn::{restart_dead_children, BackendProcess};
 
 /// Options for [`start_fleet`].
 #[derive(Debug, Clone)]
@@ -83,6 +96,9 @@ pub struct FleetOptions {
     /// their own halves independently); `None` disables sweeping.
     /// Defaults to one hour, matching the single-node server.
     pub session_ttl: Option<Duration>,
+    /// How often the repair loop re-materializes under-replicated
+    /// tables onto healthy backends; `None` disables self-healing.
+    pub repair_interval: Option<Duration>,
 }
 
 impl Default for FleetOptions {
@@ -98,15 +114,17 @@ impl Default for FleetOptions {
             rate_limit: None,
             probe_interval: backend::DEFAULT_PROBE_INTERVAL,
             session_ttl: Some(Duration::from_secs(3600)),
+            repair_interval: Some(repair::DEFAULT_REPAIR_INTERVAL),
         }
     }
 }
 
-/// A running fleet router (plus its health prober).
+/// A running fleet router (plus its health prober and repair loop).
 pub struct FleetHandle {
     server: Server,
     state: Arc<FleetState>,
     prober: Option<Prober>,
+    repairer: Option<Repairer>,
 }
 
 impl FleetHandle {
@@ -120,9 +138,13 @@ impl FleetHandle {
         &self.state
     }
 
-    /// Stops the prober and the router, joining all threads. Backend
-    /// processes are not touched — the router does not own them.
+    /// Stops the repair loop, the prober, and the router, joining all
+    /// threads. Backend processes are not touched — the router does not
+    /// own them.
     pub fn shutdown(mut self) {
+        if let Some(r) = self.repairer.take() {
+            r.stop();
+        }
         if let Some(p) = self.prober.take() {
             p.stop();
         }
@@ -142,12 +164,21 @@ pub fn start_fleet(
         .map(|(id, addr)| Arc::new(Backend::new(id, addr)))
         .collect();
     let state = Arc::new(FleetState::new(
-        backends.clone(),
+        backends,
         options.replication,
         options.vnodes,
         options.session_ttl,
     ));
-    let prober = Prober::start(backends, options.probe_interval);
+    // The prober reads membership through the state each round, so
+    // backends added or removed at runtime are picked up within one
+    // interval.
+    let prober = {
+        let state = Arc::clone(&state);
+        Prober::start(Arc::new(move || state.backends()), options.probe_interval)
+    };
+    let repairer = options
+        .repair_interval
+        .map(|interval| Repairer::start(Arc::clone(&state), interval));
     let limiter = options.rate_limit.map(RateLimiter::new);
     let log = Arc::new(if options.access_log {
         AccessLog::stderr()
@@ -178,6 +209,7 @@ pub fn start_fleet(
         server,
         state,
         prober: Some(prober),
+        repairer,
     })
 }
 

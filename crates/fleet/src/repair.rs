@@ -1,0 +1,238 @@
+//! The self-healing repair loop: re-materializes under-replicated
+//! tables onto healthy backends.
+//!
+//! A dead process, a drained membership, or a freshly joined (empty)
+//! backend all leave some tables with fewer than R **live** replicas.
+//! Reads survive that through failover, but capacity and fault
+//! tolerance are lost until someone re-materializes the data. This
+//! module is that someone: a background thread that each round
+//!
+//! 1. asks every member backend what tables it holds (`GET /tables`,
+//!    per backend — the same endpoint the router scatter-gathers),
+//! 2. computes each table's *desired* holders: the first R **healthy**
+//!    backends walking the ring clockwise from the table's hash — the
+//!    same walk reads fail over along, so a repaired copy lands exactly
+//!    where the next failing-over read will look,
+//! 3. for each desired holder missing the table, exports the source CSV
+//!    from any current holder (`GET /tables/{name}/csv` — the original
+//!    upload bytes, verbatim) and replicates it over (`PUT
+//!    /tables/{name}`).
+//!
+//! Every leg is idempotent: the replicate path matches CSV fingerprints,
+//! so a repair racing a client retry, another router's repair loop, or a
+//! concurrent ingest converges on one copy instead of conflicting —
+//! repairing twice is merely wasted bandwidth, never wrong data. The
+//! loop therefore needs no coordination, no leases, and no leader.
+//!
+//! Copies stranded on backends outside a table's replica set (after the
+//! ring shifts under membership churn) are left in place: they cost
+//! memory but serve correct bytes if the ring ever walks back onto
+//! them. Garbage-collecting them is future work (ROADMAP).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde_json::Value;
+
+use crate::backend::Backend;
+use crate::router::{forward, FleetState};
+
+/// Default interval between repair rounds.
+pub const DEFAULT_REPAIR_INTERVAL: Duration = Duration::from_millis(500);
+
+/// What one repair round observed and did (for logging and tests).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Distinct tables seen across all member backends.
+    pub tables_seen: usize,
+    /// Tables that were missing at least one desired live replica at
+    /// the start of the round.
+    pub under_replicated: usize,
+    /// Successful re-materializations (one per table × backend pair).
+    pub repaired: usize,
+    /// Failed repair legs (source export or replicate refused/errored).
+    pub failed: usize,
+}
+
+/// Runs one repair round against the current membership and returns
+/// what it did. Exposed for tests and for callers that want to drive
+/// repair synchronously (e.g. right after an admin membership change)
+/// instead of waiting out the background interval.
+pub fn repair_round(state: &FleetState) -> RepairReport {
+    let view = state.membership();
+    let mut report = RepairReport::default();
+
+    // Who holds what, asking every member (even unhealthy ones — a
+    // backend the prober has marked down may still answer and serve as
+    // a repair *source*; it just won't be a repair *target*). Scattered
+    // in parallel, like the router's own scatter-gather: one wedged
+    // member costs the round its own timeout, not a serialized sum that
+    // would delay re-materialization of every other table.
+    let listings: Vec<std::io::Result<(u16, String)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = view
+            .backends()
+            .iter()
+            .map(|b| s.spawn(move || forward(state, b, "GET", "/tables", None)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("repair scatter thread panicked"))
+            .collect()
+    });
+    let mut holders: std::collections::HashMap<String, Vec<Arc<Backend>>> =
+        std::collections::HashMap::new();
+    for (backend, result) in view.backends().iter().zip(listings) {
+        let Ok((200, body)) = result else {
+            continue;
+        };
+        let Ok(v) = serde_json::from_str_value(&body) else {
+            continue;
+        };
+        let Some(tables) = v.get("tables").and_then(Value::as_array) else {
+            continue;
+        };
+        for t in tables {
+            if let Some(name) = t.get("name").and_then(Value::as_str) {
+                holders
+                    .entry(name.to_string())
+                    .or_default()
+                    .push(Arc::clone(backend));
+            }
+        }
+    }
+    report.tables_seen = holders.len();
+
+    for (table, holding) in &holders {
+        // Desired holders: first R distinct *healthy* backends clockwise
+        // from the table's hash. Walking the full ring (not just the
+        // nominal replica set) is what makes repair match read failover:
+        // with a dead nominal replica, reads spill onto the next healthy
+        // backend in ring order, and that is exactly where the copy is
+        // re-materialized.
+        let walk = view.replicas_for(table, view.backends().len());
+        let targets: Vec<&Arc<Backend>> = walk
+            .iter()
+            .filter(|b| b.is_healthy())
+            .take(state.replication())
+            .collect();
+        let missing: Vec<&Arc<Backend>> = targets
+            .into_iter()
+            .filter(|t| !holding.iter().any(|h| Arc::ptr_eq(h, t)))
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        report.under_replicated += 1;
+
+        // Export the source CSV from any current holder. Holders without
+        // CSV provenance (in-process registrations) answer 404; try the
+        // next one.
+        let csv_path = format!("/tables/{table}/csv");
+        let csv = holding.iter().find_map(|source| {
+            match forward(state, source, "GET", &csv_path, None) {
+                Ok((200, body)) => serde_json::from_str_value(&body)
+                    .ok()?
+                    .get("csv")?
+                    .as_str()
+                    .map(str::to_string),
+                _ => None,
+            }
+        });
+        let Some(csv) = csv else {
+            report.failed += missing.len();
+            state
+                .metrics
+                .repair_failures_total
+                .add(missing.len() as u64);
+            continue;
+        };
+        let replicate_body =
+            serde_json::to_string(&Value::Object(vec![("csv".into(), Value::String(csv))]))
+                .expect("replicate bodies always render");
+        let put_path = format!("/tables/{table}");
+        for target in missing {
+            match forward(state, target, "PUT", &put_path, Some(&replicate_body)) {
+                Ok((status, _)) if (200..300).contains(&status) => {
+                    report.repaired += 1;
+                    state.metrics.repairs_total.inc();
+                }
+                _ => {
+                    report.failed += 1;
+                    state.metrics.repair_failures_total.inc();
+                }
+            }
+        }
+    }
+    report
+}
+
+/// A running repair thread; stops (and joins) on [`Repairer::stop`] or
+/// drop.
+pub struct Repairer {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Repairer {
+    /// Starts a repair round against `state` every `interval`.
+    pub fn start(state: Arc<FleetState>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ziggy-fleet-repair".into())
+            .spawn(move || {
+                let mut last_report: Option<RepairReport> = None;
+                while !stop_flag.load(Ordering::Relaxed) {
+                    let report = repair_round(&state);
+                    // Log transitions, not steady states: a permanently
+                    // unrepairable table (e.g. an R=1 table whose only
+                    // holder died) fails identically every round, and
+                    // repeating that line twice a second would bury the
+                    // supervisor's stderr. The failure counters in
+                    // /metrics keep counting either way.
+                    let noteworthy = report.repaired > 0 || report.failed > 0;
+                    if noteworthy && last_report != Some(report) {
+                        eprintln!(
+                            "fleet repair: {} table(s) under-replicated, {} cop(y/ies) restored, {} leg(s) failed",
+                            report.under_replicated, report.repaired, report.failed
+                        );
+                    }
+                    last_report = Some(report);
+                    // Sleep in slices so shutdown never waits out a
+                    // long repair interval.
+                    let deadline = std::time::Instant::now() + interval;
+                    while std::time::Instant::now() < deadline {
+                        if stop_flag.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(20).min(interval));
+                    }
+                }
+            })
+            .expect("spawn repairer");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the repair loop and joins its thread.
+    pub fn stop(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Repairer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}

@@ -1,5 +1,5 @@
 //! The fleet's request router: placement, replication, failover,
-//! scatter-gather.
+//! scatter-gather, and runtime membership.
 //!
 //! Every table-addressed request hashes the table name onto the
 //! [`HashRing`] to get its replica set (R backends in deterministic
@@ -10,11 +10,29 @@
 //! whole replica set. Fleet-wide reads (`GET /tables`, `GET /metrics`)
 //! scatter to every backend in parallel and gather one merged document.
 //!
+//! # Dynamic membership
+//!
+//! Membership is no longer frozen at startup: the ring, the backend
+//! list, and a monotonically increasing **epoch** live together in one
+//! immutable [`Membership`] value behind an `RwLock<Arc<_>>`. Admin
+//! requests (`POST /admin/backends`, `DELETE /admin/backends/{id}`)
+//! build a *new* membership (rebuilding the ring — bounded remapping is
+//! the consistent-hash property the ring suite pins) and swap the `Arc`;
+//! every data-path request snapshots the `Arc` once on entry and runs
+//! entirely against that view, so in-flight requests **drain on the old
+//! view** — a backend removed mid-request keeps serving the requests
+//! already routed to it (the `Arc<Backend>` keeps its connection pool
+//! alive) while no *new* request can route to it. The epoch is reported
+//! on every response (`X-Fleet-Epoch`), in `/healthz`, and in
+//! `/metrics`, so clients and tests can observe membership changes.
+//!
 //! Sessions are *sticky*: a session is created on one replica and its
 //! steps always route there, because session history lives in that
-//! backend's memory. If the replica dies, steps answer 503 and the
-//! client re-creates the session (cross-shard session replication is
-//! future work — see ROADMAP).
+//! backend's memory. The mapping holds the backend by `Arc`, not by ring
+//! position, so membership churn never re-points a session; removing a
+//! session's home from the ring merely drains it. If the process dies,
+//! steps answer 503 and the client re-creates the session (cross-shard
+//! session replication is future work — see ROADMAP).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -59,6 +77,13 @@ pub struct FleetMetrics {
     pub failovers_total: Counter,
     /// Requests refused with 429 by the router's rate limiter.
     pub rate_limited: Counter,
+    /// Successful admin membership changes (adds + removes). Equals the
+    /// number of epoch bumps beyond the initial membership.
+    pub membership_changes: Counter,
+    /// Tables re-materialized onto a backend by the repair loop.
+    pub repairs_total: Counter,
+    /// Repair attempts that failed (source export or replicate leg).
+    pub repair_failures_total: Counter,
 }
 
 impl FleetMetrics {
@@ -69,6 +94,15 @@ impl FleetMetrics {
             ("proxied_total".into(), num_u(self.proxied_total.get())),
             ("failovers_total".into(), num_u(self.failovers_total.get())),
             ("rate_limited".into(), num_u(self.rate_limited.get())),
+            (
+                "membership_changes".into(),
+                num_u(self.membership_changes.get()),
+            ),
+            ("repairs_total".into(), num_u(self.repairs_total.get())),
+            (
+                "repair_failures_total".into(),
+                num_u(self.repair_failures_total.get()),
+            ),
         ])
     }
 }
@@ -79,8 +113,10 @@ impl FleetMetrics {
 pub const MAX_FLEET_SESSIONS: usize = 4096;
 
 /// A fleet session: which backend holds the real session, under what id.
+/// The backend is held by `Arc` — not by ring index — so membership
+/// changes can neither re-point the session nor dangle it.
 struct FleetSession {
-    backend: usize,
+    backend: Arc<Backend>,
     backend_session: u64,
     table: String,
     /// Last create/step activity; mappings idle past the TTL are swept
@@ -88,11 +124,63 @@ struct FleetSession {
     last_used: Instant,
 }
 
-/// Shared router state: the ring, the backends, the session map.
-pub struct FleetState {
+/// One immutable view of fleet membership: the backends, the ring built
+/// over them, and the epoch that versions this view. Data-path requests
+/// snapshot the enclosing `Arc` once and never observe a membership
+/// change mid-flight.
+pub struct Membership {
+    epoch: u64,
     backends: Vec<Arc<Backend>>,
     ring: HashRing,
+}
+
+impl Membership {
+    fn build(epoch: u64, backends: Vec<Arc<Backend>>, vnodes: usize) -> Self {
+        let ids: Vec<String> = backends.iter().map(|b| b.id().to_string()).collect();
+        Self {
+            epoch,
+            ring: HashRing::build(&ids, vnodes),
+            backends,
+        }
+    }
+
+    /// The membership version; bumps by one per admin add/remove.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The member backends, in membership order.
+    pub fn backends(&self) -> &[Arc<Backend>] {
+        &self.backends
+    }
+
+    /// The consistent-hash ring over this view's backends.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The replica set for `table` under this view, in ring (failover)
+    /// order.
+    pub fn replicas_for(&self, table: &str, r: usize) -> Vec<Arc<Backend>> {
+        self.ring
+            .replicas_for(table, r)
+            .into_iter()
+            .map(|i| Arc::clone(&self.backends[i]))
+            .collect()
+    }
+
+    /// The backend with the given id, if it is a member of this view.
+    pub fn backend(&self, id: &str) -> Option<&Arc<Backend>> {
+        self.backends.iter().find(|b| b.id() == id)
+    }
+}
+
+/// Shared router state: the versioned membership, the session map, the
+/// counters.
+pub struct FleetState {
+    membership: RwLock<Arc<Membership>>,
     replication: usize,
+    vnodes: usize,
     sessions: RwLock<HashMap<u64, FleetSession>>,
     next_session: AtomicU64,
     /// Idle TTL for session mappings; `None` disables sweeping (the
@@ -109,19 +197,20 @@ pub struct FleetState {
 
 impl FleetState {
     /// Builds the router state over `backends` with `replication`
-    /// replicas per table (clamped to the fleet size), `vnodes` virtual
-    /// nodes per backend, and an idle TTL for session mappings.
+    /// replicas per table (capped per lookup to the live fleet size),
+    /// `vnodes` virtual nodes per backend, and an idle TTL for session
+    /// mappings. The initial membership is epoch 1.
     pub fn new(
         backends: Vec<Arc<Backend>>,
         replication: usize,
         vnodes: usize,
         session_ttl: Option<Duration>,
     ) -> Self {
-        let ids: Vec<String> = backends.iter().map(|b| b.id().to_string()).collect();
+        let vnodes = vnodes.max(1);
         Self {
-            ring: HashRing::build(&ids, vnodes),
-            replication: replication.clamp(1, backends.len().max(1)),
-            backends,
+            membership: RwLock::new(Arc::new(Membership::build(1, backends, vnodes))),
+            replication: replication.max(1),
+            vnodes,
             sessions: RwLock::new(HashMap::new()),
             next_session: AtomicU64::new(0),
             session_ttl,
@@ -129,6 +218,62 @@ impl FleetState {
             round_robin: AtomicUsize::new(0),
             metrics: FleetMetrics::default(),
         }
+    }
+
+    /// Snapshots the current membership view. One snapshot per request:
+    /// everything the request does (placement, fan-out, failover) runs
+    /// against this immutable view, so a concurrent admin change cannot
+    /// tear a request between two rings.
+    pub fn membership(&self) -> Arc<Membership> {
+        Arc::clone(&self.membership.read())
+    }
+
+    /// The current membership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.membership.read().epoch
+    }
+
+    /// Adds a backend to the membership at runtime, bumping the epoch.
+    /// Fails when the id is already a member. Returns the backend plus
+    /// the epoch of the membership *this* add produced — captured under
+    /// the write lock, so a racing admin change cannot make the caller
+    /// report someone else's epoch. Tables whose replica set now
+    /// includes the newcomer are re-materialized by the repair loop,
+    /// not here — the admin call only changes routing.
+    pub fn add_backend(
+        &self,
+        id: impl Into<String>,
+        addr: std::net::SocketAddr,
+    ) -> Result<(Arc<Backend>, u64), String> {
+        let id = id.into();
+        let mut slot = self.membership.write();
+        if slot.backend(&id).is_some() {
+            return Err(format!("backend `{id}` is already a member"));
+        }
+        let backend = Arc::new(Backend::new(id, addr));
+        let mut backends = slot.backends.clone();
+        backends.push(Arc::clone(&backend));
+        let epoch = slot.epoch + 1;
+        *slot = Arc::new(Membership::build(epoch, backends, self.vnodes));
+        self.metrics.membership_changes.inc();
+        Ok((backend, epoch))
+    }
+
+    /// Removes a backend from the membership at runtime, bumping the
+    /// epoch; returns the removed backend (its `Arc` — and connection
+    /// pool — stays alive for requests already in flight on the old
+    /// view, which is what makes removal a *drain*, not a kill) plus the
+    /// epoch this removal produced (captured under the write lock, as on
+    /// the add path). Returns `None` when the id is not a member.
+    pub fn remove_backend(&self, id: &str) -> Option<(Arc<Backend>, u64)> {
+        let mut slot = self.membership.write();
+        let index = slot.backends.iter().position(|b| b.id() == id)?;
+        let mut backends = slot.backends.clone();
+        let removed = backends.remove(index);
+        let epoch = slot.epoch + 1;
+        *slot = Arc::new(Membership::build(epoch, backends, self.vnodes));
+        self.metrics.membership_changes.inc();
+        Some((removed, epoch))
     }
 
     /// Drops session mappings idle past the TTL. Abandoned sessions
@@ -153,43 +298,66 @@ impl FleetState {
             .retain(|_, s| now.duration_since(s.last_used) < ttl);
     }
 
-    /// The backends, in ring index order.
-    pub fn backends(&self) -> &[Arc<Backend>] {
-        &self.backends
+    /// A snapshot of the current member backends, in membership order.
+    pub fn backends(&self) -> Vec<Arc<Backend>> {
+        self.membership.read().backends.clone()
     }
 
-    /// The consistent-hash ring.
-    pub fn ring(&self) -> &HashRing {
-        &self.ring
-    }
-
-    /// Replicas per table.
+    /// Desired replicas per table (the effective count is capped by the
+    /// live membership size at each placement).
     pub fn replication(&self) -> usize {
         self.replication
     }
 
-    /// The replica set for `table`, in ring (failover) order.
-    pub fn replicas_for(&self, table: &str) -> Vec<usize> {
-        self.ring.replicas_for(table, self.replication)
+    /// The replica set for `table` under the current membership, in ring
+    /// (failover) order.
+    pub fn replicas_for(&self, table: &str) -> Vec<Arc<Backend>> {
+        self.membership().replicas_for(table, self.replication)
     }
 
-    /// The replica set for `table` in *routing* order for a read:
-    /// healthy backends first, rotated by a per-request counter so
-    /// repeated reads of one table spread across its replicas; unhealthy
-    /// backends trail as a last resort (the prober may lag reality, and
-    /// a desperate try beats a guaranteed 503).
-    fn read_order(&self, table: &str) -> Vec<usize> {
-        let replicas = self.replicas_for(table);
-        if replicas.is_empty() {
-            return replicas;
+    /// The backends to try for a read of `table`, in order:
+    ///
+    /// 1. the *healthy* nominal replicas, rotated by a per-request
+    ///    counter so repeated reads spread across the replica set;
+    /// 2. **only when some nominal replica is unhealthy**, the healthy
+    ///    backends *beyond* the nominal set, continuing the ring walk —
+    ///    exactly where the repair loop re-materializes a table whose
+    ///    nominal replica died, so a repaired copy serves reads even
+    ///    while the dead member is still on the ring (a backend there
+    ///    that never received the table answers 404 and the failover
+    ///    loop simply moves on);
+    /// 3. the unhealthy nominal replicas, as a last resort (the prober
+    ///    may lag reality, and a desperate try beats a guaranteed 503).
+    ///
+    /// With every nominal replica healthy the order is exactly the
+    /// nominal set, so a request for an *unknown* table still costs at
+    /// most R hops (each answering 404), never a full-fleet sweep.
+    fn read_order(&self, view: &Membership, table: &str) -> Vec<Arc<Backend>> {
+        let walk = view.replicas_for(table, view.backends().len());
+        if walk.is_empty() {
+            return walk;
         }
-        let rotation = self.round_robin.fetch_add(1, Ordering::Relaxed) % replicas.len();
-        let mut ordered: Vec<usize> = Vec::with_capacity(replicas.len());
-        for healthy_pass in [true, false] {
-            for offset in 0..replicas.len() {
-                let idx = replicas[(rotation + offset) % replicas.len()];
-                if self.backends[idx].is_healthy() == healthy_pass && !ordered.contains(&idx) {
-                    ordered.push(idx);
+        let nominal = self.replication.min(walk.len());
+        let replicas = &walk[..nominal];
+        let any_nominal_unhealthy = replicas.iter().any(|b| !b.is_healthy());
+        let rotation = self.round_robin.fetch_add(1, Ordering::Relaxed) % nominal;
+        let mut ordered: Vec<Arc<Backend>> = Vec::with_capacity(walk.len());
+        for offset in 0..nominal {
+            let candidate = &replicas[(rotation + offset) % nominal];
+            if candidate.is_healthy() {
+                ordered.push(Arc::clone(candidate));
+            }
+        }
+        if any_nominal_unhealthy {
+            for candidate in &walk[nominal..] {
+                if candidate.is_healthy() {
+                    ordered.push(Arc::clone(candidate));
+                }
+            }
+            for offset in 0..nominal {
+                let candidate = &replicas[(rotation + offset) % nominal];
+                if !candidate.is_healthy() {
+                    ordered.push(Arc::clone(candidate));
                 }
             }
         }
@@ -201,17 +369,25 @@ impl FleetState {
 /// that served it, when exactly one did (for the access log).
 pub fn route_fleet(state: &FleetState, req: &Request) -> (Response, Option<String>) {
     state.metrics.requests_total.inc();
+    // One membership snapshot per request: the whole request — placement,
+    // fan-out, failover — drains on this view even if an admin call swaps
+    // the membership mid-flight.
+    let view = state.membership();
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let (response, backend) = match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => (handle_healthz(state), None),
-        ("GET", ["metrics"]) => (handle_metrics(state), None),
-        ("GET", ["tables"]) => (handle_list_tables(state), None),
-        ("POST", ["tables"]) => (handle_create_table(state, &req.body), None),
-        ("POST", ["tables", name, "characterize"]) => handle_characterize(state, name, req),
-        ("DELETE", ["tables", name]) => (handle_delete_table(state, name), None),
-        ("POST", ["sessions"]) => handle_create_session(state, &req.body),
+        ("GET", ["healthz"]) => (handle_healthz(state, &view), None),
+        ("GET", ["metrics"]) => (handle_metrics(state, &view), None),
+        ("GET", ["tables"]) => (handle_list_tables(state, &view), None),
+        ("POST", ["tables"]) => (handle_create_table(state, &view, &req.body), None),
+        ("POST", ["tables", name, "characterize"]) => handle_characterize(state, &view, name, req),
+        ("GET", ["tables", name, "csv"]) => handle_export_csv(state, &view, name),
+        ("DELETE", ["tables", name]) => (handle_delete_table(state, &view, name), None),
+        ("POST", ["sessions"]) => handle_create_session(state, &view, &req.body),
         ("POST", ["sessions", id, "step"]) => handle_session_step(state, id, &req.body),
         ("DELETE", ["sessions", id]) => handle_delete_session(state, id),
+        ("GET", ["admin", "backends"]) => (handle_admin_list(&view), None),
+        ("POST", ["admin", "backends"]) => (handle_admin_add(state, &req.body), None),
+        ("DELETE", ["admin", "backends", id]) => (handle_admin_remove(state, id), None),
         (
             _,
             ["healthz"]
@@ -219,9 +395,12 @@ pub fn route_fleet(state: &FleetState, req: &Request) -> (Response, Option<Strin
             | ["tables"]
             | ["tables", _]
             | ["tables", _, "characterize"]
+            | ["tables", _, "csv"]
             | ["sessions"]
             | ["sessions", _]
-            | ["sessions", _, "step"],
+            | ["sessions", _, "step"]
+            | ["admin", "backends"]
+            | ["admin", "backends", _],
         ) => (error_response(405, "method not allowed"), None),
         _ => (
             error_response(404, &format!("no route for {}", req.path)),
@@ -231,6 +410,17 @@ pub fn route_fleet(state: &FleetState, req: &Request) -> (Response, Option<Strin
     if response.status >= 400 {
         state.metrics.errors_total.inc();
     }
+    // Every response reports the membership version it was routed under,
+    // so clients (and the churn smoke) can correlate responses with
+    // membership changes. Successful admin mutations already attached
+    // their *post-change* epoch (reporting the pre-change view there
+    // would tell a client its own accepted change hadn't happened);
+    // don't overwrite it.
+    let response = if response.headers.iter().any(|(k, _)| k == "X-Fleet-Epoch") {
+        response
+    } else {
+        response.with_header("X-Fleet-Epoch", view.epoch().to_string())
+    };
     (response, backend)
 }
 
@@ -245,9 +435,9 @@ fn retry_safe(method: &str, path: &str) -> bool {
 }
 
 /// One forwarded request leg, with passive health bookkeeping.
-fn forward(
+pub(crate) fn forward(
     state: &FleetState,
-    backend: usize,
+    backend: &Backend,
     method: &str,
     path: &str,
     body: Option<&str>,
@@ -261,24 +451,26 @@ fn forward(
 /// characterize proxy path.
 fn forward_with_headers(
     state: &FleetState,
-    backend: usize,
+    backend: &Backend,
     method: &str,
     path: &str,
     extra_headers: &[(&str, &str)],
     body: Option<&str>,
 ) -> std::io::Result<ziggy_serve::http::FullResponse> {
     state.metrics.proxied_total.inc();
-    let b = &state.backends[backend];
-    match b
-        .pool()
-        .request_with_headers(method, path, extra_headers, body, retry_safe(method, path))
-    {
+    match backend.pool().request_with_headers(
+        method,
+        path,
+        extra_headers,
+        body,
+        retry_safe(method, path),
+    ) {
         Ok(response) => {
-            b.record_success();
+            backend.record_success();
             Ok(response)
         }
         Err(e) => {
-            b.record_failure();
+            backend.record_failure();
             Err(e)
         }
     }
@@ -288,24 +480,23 @@ fn utf8_body(body: &[u8]) -> Result<&str, Response> {
     std::str::from_utf8(body).map_err(|_| error_response(400, "request body is not UTF-8"))
 }
 
-fn handle_healthz(state: &FleetState) -> Response {
-    let backends: Vec<Value> = state
-        .backends
-        .iter()
-        .map(|b| {
-            Value::Object(vec![
-                ("id".into(), Value::String(b.id().to_string())),
-                ("addr".into(), Value::String(b.addr().to_string())),
-                ("healthy".into(), Value::Bool(b.is_healthy())),
-            ])
-        })
-        .collect();
-    let any_healthy = state.backends.iter().any(|b| b.is_healthy());
+fn backend_summary(b: &Backend) -> Value {
+    Value::Object(vec![
+        ("id".into(), Value::String(b.id().to_string())),
+        ("addr".into(), Value::String(b.addr().to_string())),
+        ("healthy".into(), Value::Bool(b.is_healthy())),
+    ])
+}
+
+fn handle_healthz(state: &FleetState, view: &Membership) -> Response {
+    let backends: Vec<Value> = view.backends().iter().map(|b| backend_summary(b)).collect();
+    let any_healthy = view.backends().iter().any(|b| b.is_healthy());
     let body = Value::Object(vec![
         (
             "status".into(),
             Value::String(if any_healthy { "ok" } else { "degraded" }.into()),
         ),
+        ("epoch".into(), num_u(view.epoch())),
         ("replication".into(), num_u(state.replication as u64)),
         ("backends".into(), Value::Array(backends)),
     ]);
@@ -315,12 +506,101 @@ fn handle_healthz(state: &FleetState) -> Response {
     )
 }
 
-/// Scatter one GET to every backend in parallel; gather
-/// `(backend index, io::Result<(status, body)>)` in index order.
-fn scatter_get(state: &FleetState, path: &str) -> Vec<std::io::Result<(u16, String)>> {
+fn handle_admin_list(view: &Membership) -> Response {
+    let backends: Vec<Value> = view.backends().iter().map(|b| backend_summary(b)).collect();
+    Response::new(
+        200,
+        serde_json::to_string(&Value::Object(vec![
+            ("epoch".into(), num_u(view.epoch())),
+            ("backends".into(), Value::Array(backends)),
+        ]))
+        .expect("admin listings always render"),
+    )
+}
+
+/// `POST /admin/backends {"id": "...", "addr": "host:port"}` — grows the
+/// ring at runtime. The new backend joins with no tables; the repair
+/// loop re-materializes every table whose replica set now includes it
+/// (bounded remapping keeps that set small — ~K/N tables for a fleet of
+/// N), after which reads rotate onto it like any other replica.
+fn handle_admin_add(state: &FleetState, body: &[u8]) -> Response {
+    let parsed = match parse_object(body) {
+        Ok(v) => v,
+        Err(e) => return error_response(e.status, &e.message),
+    };
+    let id = match required_str(&parsed, "id") {
+        Ok(v) => v.to_string(),
+        Err(e) => return error_response(e.status, &e.message),
+    };
+    // Same alphabet as table names: the id is interpolated into log
+    // lines and JSON documents, and a whitespace/CRLF-bearing id has no
+    // legitimate use.
+    if !ziggy_serve::valid_table_name(&id) {
+        return error_response(400, "backend id must be 1-64 chars of [A-Za-z0-9_-]");
+    }
+    let addr = match required_str(&parsed, "addr") {
+        Ok(v) => v,
+        Err(e) => return error_response(e.status, &e.message),
+    };
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(_) => return error_response(400, "addr must be a host:port socket address"),
+    };
+    match state.add_backend(id.clone(), addr) {
+        Ok((backend, epoch)) => {
+            Response::new(
+                201,
+                serde_json::to_string(&Value::Object(vec![
+                    ("added".into(), Value::String(id)),
+                    ("addr".into(), Value::String(backend.addr().to_string())),
+                    ("epoch".into(), num_u(epoch)),
+                ]))
+                .expect("admin bodies always render"),
+            )
+            // The *post-change* epoch: this response acknowledges the
+            // new membership, not the view the request was routed under.
+            .with_header("X-Fleet-Epoch", epoch.to_string())
+        }
+        Err(message) => error_response(409, &message),
+    }
+}
+
+/// `DELETE /admin/backends/{id}` — shrinks the ring at runtime. This is
+/// a *drain*, not a kill: requests already routed to the backend finish
+/// on the old membership view, its sticky sessions keep stepping while
+/// the process lives, and only new placement/read decisions exclude it.
+/// Tables that drop below R live replicas are re-materialized onto the
+/// surviving members by the repair loop.
+fn handle_admin_remove(state: &FleetState, id: &str) -> Response {
+    match state.remove_backend(id) {
+        Some((_, epoch)) => {
+            Response::new(
+                200,
+                serde_json::to_string(&Value::Object(vec![
+                    ("removed".into(), Value::String(id.to_string())),
+                    ("epoch".into(), num_u(epoch)),
+                ]))
+                .expect("admin bodies always render"),
+            )
+            // Post-change epoch, as on the add path.
+            .with_header("X-Fleet-Epoch", epoch.to_string())
+        }
+        None => error_response(404, &format!("no backend `{id}` in the membership")),
+    }
+}
+
+/// Scatter one GET to every backend of `view` in parallel; gather
+/// `io::Result<(status, body)>` in membership order.
+fn scatter_get(
+    state: &FleetState,
+    view: &Membership,
+    path: &str,
+) -> Vec<std::io::Result<(u16, String)>> {
     std::thread::scope(|s| {
-        let handles: Vec<_> = (0..state.backends.len())
-            .map(|i| s.spawn(move || forward(state, i, "GET", path, None)))
+        let handles: Vec<_> = view
+            .backends()
+            .iter()
+            .map(|b| s.spawn(move || forward(state, b, "GET", path, None)))
             .collect();
         handles
             .into_iter()
@@ -329,10 +609,10 @@ fn scatter_get(state: &FleetState, path: &str) -> Vec<std::io::Result<(u16, Stri
     })
 }
 
-fn handle_metrics(state: &FleetState) -> Response {
-    let gathered = scatter_get(state, "/metrics");
-    let shards: Vec<Value> = state
-        .backends
+fn handle_metrics(state: &FleetState, view: &Membership) -> Response {
+    let gathered = scatter_get(state, view, "/metrics");
+    let shards: Vec<Value> = view
+        .backends()
         .iter()
         .zip(gathered)
         .map(|(b, result)| {
@@ -351,6 +631,7 @@ fn handle_metrics(state: &FleetState) -> Response {
         .collect();
     let body = Value::Object(vec![
         ("router".into(), state.metrics.to_json()),
+        ("epoch".into(), num_u(view.epoch())),
         ("replication".into(), num_u(state.replication as u64)),
         ("shards".into(), Value::Array(shards)),
     ]);
@@ -360,8 +641,8 @@ fn handle_metrics(state: &FleetState) -> Response {
     )
 }
 
-fn handle_list_tables(state: &FleetState) -> Response {
-    let gathered = scatter_get(state, "/tables");
+fn handle_list_tables(state: &FleetState, view: &Membership) -> Response {
+    let gathered = scatter_get(state, view, "/tables");
     // name -> (n_rows, n_cols, live replica count)
     let mut merged: HashMap<String, (u64, u64, u64)> = HashMap::new();
     for result in gathered {
@@ -408,7 +689,7 @@ fn handle_list_tables(state: &FleetState) -> Response {
     )
 }
 
-fn handle_create_table(state: &FleetState, body: &[u8]) -> Response {
+fn handle_create_table(state: &FleetState, view: &Membership, body: &[u8]) -> Response {
     let parsed = match parse_object(body) {
         Ok(v) => v,
         Err(e) => return error_response(e.status, &e.message),
@@ -427,7 +708,7 @@ fn handle_create_table(state: &FleetState, body: &[u8]) -> Response {
     if required_str(&parsed, "csv").is_err() {
         return error_response(400, "missing string field `csv`");
     }
-    let replicas = state.replicas_for(&name);
+    let replicas = view.replicas_for(&name, state.replication);
     if replicas.is_empty() {
         return error_response(503, "fleet has no backends");
     }
@@ -444,10 +725,10 @@ fn handle_create_table(state: &FleetState, body: &[u8]) -> Response {
     let results: Vec<std::io::Result<(u16, String)>> = std::thread::scope(|s| {
         let handles: Vec<_> = replicas
             .iter()
-            .map(|&i| {
+            .map(|b| {
                 let replicate_body = replicate_body.as_str();
                 let path = path.as_str();
-                s.spawn(move || forward(state, i, "PUT", path, Some(replicate_body)))
+                s.spawn(move || forward(state, b, "PUT", path, Some(replicate_body)))
             })
             .collect();
         handles
@@ -460,8 +741,7 @@ fn handle_create_table(state: &FleetState, body: &[u8]) -> Response {
     let mut first_success: Option<String> = None;
     let mut first_client_error: Option<(u16, String)> = None;
     let mut placed = 0u64;
-    for (&i, result) in replicas.iter().zip(&results) {
-        let backend = &state.backends[i];
+    for (backend, result) in replicas.iter().zip(&results) {
         let status = match result {
             Ok((status, body)) => {
                 if (200..300).contains(status) {
@@ -516,21 +796,20 @@ fn handle_create_table(state: &FleetState, body: &[u8]) -> Response {
 /// materialization). `extra_headers` are forwarded on every leg (the
 /// characterize path sends the client's `If-None-Match` so a replica
 /// can answer `304` without shipping the body), and the winning
-/// backend's `ETag` is relayed to the client verbatim. The tag
-/// fingerprints one replica's cached bytes (stage timings included), so
-/// after a rotation or failover to a replica that built its own copy a
-/// conditional request may be answered `200` with that replica's bytes
-/// instead of `304` — a re-transfer, never a stale or wrong report.
+/// backend's `ETag` is relayed to the client verbatim. Tags are
+/// deterministic across replicas (report bytes are timing-free), so
+/// rotation and failover revalidate each other's tags with `304`s.
 /// Returns the winning backend id for logging.
 fn proxy_read_with_failover(
     state: &FleetState,
+    view: &Membership,
     table: &str,
     method: &str,
     path: &str,
     extra_headers: &[(&str, &str)],
     body: Option<&str>,
 ) -> (Response, Option<String>) {
-    let order = state.read_order(table);
+    let order = state.read_order(view, table);
     if order.is_empty() {
         return (error_response(503, "fleet has no backends"), None);
     }
@@ -539,7 +818,7 @@ fn proxy_read_with_failover(
         if attempt > 0 {
             state.metrics.failovers_total.inc();
         }
-        match forward_with_headers(state, backend, method, path, extra_headers, body) {
+        match forward_with_headers(state, &backend, method, path, extra_headers, body) {
             Ok((status, headers, resp_body)) => {
                 if status == 404 || (500..600).contains(&status) {
                     if fallback.is_none() || status != 404 {
@@ -554,7 +833,7 @@ fn proxy_read_with_failover(
                 if let Some((_, etag)) = headers.iter().find(|(k, _)| k == "etag") {
                     response = response.with_header("ETag", etag.clone());
                 }
-                return (response, Some(state.backends[backend].id().to_string()));
+                return (response, Some(backend.id().to_string()));
             }
             Err(_) => continue,
         }
@@ -570,6 +849,7 @@ fn proxy_read_with_failover(
 
 fn handle_characterize(
     state: &FleetState,
+    view: &Membership,
     name: &str,
     req: &Request,
 ) -> (Response, Option<String>) {
@@ -584,38 +864,48 @@ fn handle_characterize(
         .map(|v| vec![("If-None-Match", v)])
         .unwrap_or_default();
     let path = format!("/tables/{name}/characterize");
-    proxy_read_with_failover(state, name, "POST", &path, &conditional, Some(body))
+    proxy_read_with_failover(state, view, name, "POST", &path, &conditional, Some(body))
 }
 
-fn handle_delete_table(state: &FleetState, name: &str) -> Response {
-    let replicas = state.replicas_for(name);
-    if replicas.is_empty() {
+fn handle_export_csv(
+    state: &FleetState,
+    view: &Membership,
+    name: &str,
+) -> (Response, Option<String>) {
+    let path = format!("/tables/{name}/csv");
+    proxy_read_with_failover(state, view, name, "GET", &path, &[], None)
+}
+
+/// Deletes a table from **every member**, not just its nominal replica
+/// set. Membership churn strands copies on backends the ring walked
+/// away from; a delete that missed them would leave the repair loop a
+/// live "holder" to faithfully re-materialize from — a deleted table
+/// resurrecting itself. Sweeping all members makes delete and repair
+/// agree. (A backend that is *outside the membership* at delete time
+/// and later rejoins can still bring a stale copy back — see ROADMAP.)
+fn handle_delete_table(state: &FleetState, view: &Membership, name: &str) -> Response {
+    let members = view.backends();
+    if members.is_empty() {
         return error_response(503, "fleet has no backends");
     }
     let path = format!("/tables/{name}");
-    let mut statuses: Vec<Value> = Vec::with_capacity(replicas.len());
+    let mut statuses: Vec<Value> = Vec::with_capacity(members.len());
     let mut any_deleted = false;
     let mut all_404 = true;
-    for &i in &replicas {
-        match forward(state, i, "DELETE", &path, None) {
+    for backend in members {
+        match forward(state, backend, "DELETE", &path, None) {
             Ok((status, _)) => {
                 any_deleted |= (200..300).contains(&status);
                 all_404 &= status == 404;
                 statuses.push(Value::Object(vec![
-                    (
-                        "backend".into(),
-                        Value::String(state.backends[i].id().to_string()),
-                    ),
+                    ("backend".into(), Value::String(backend.id().to_string())),
                     ("status".into(), num_u(u64::from(status))),
                 ]));
             }
             Err(_) => {
                 all_404 = false;
                 statuses.push(Value::Object(vec![
-                    (
-                        "backend".into(),
-                        Value::String(state.backends[i].id().to_string()),
-                    ),
+                    ("backend".into(), Value::String(backend.id().to_string())),
                     ("status".into(), Value::Null),
                 ]));
             }
@@ -641,7 +931,11 @@ fn handle_delete_table(state: &FleetState, name: &str) -> Response {
     }
 }
 
-fn handle_create_session(state: &FleetState, body: &[u8]) -> (Response, Option<String>) {
+fn handle_create_session(
+    state: &FleetState,
+    view: &Membership,
+    body: &[u8],
+) -> (Response, Option<String>) {
     let parsed = match parse_object(body) {
         Ok(v) => v,
         Err(e) => return (error_response(e.status, &e.message), None),
@@ -664,13 +958,13 @@ fn handle_create_session(state: &FleetState, body: &[u8]) -> (Response, Option<S
             None,
         );
     }
-    let order = state.read_order(&table);
+    let order = state.read_order(view, &table);
     if order.is_empty() {
         return (error_response(503, "fleet has no backends"), None);
     }
     let mut fallback: Option<(u16, String)> = None;
     for backend in order {
-        match forward(state, backend, "POST", "/sessions", Some(body)) {
+        match forward(state, &backend, "POST", "/sessions", Some(body)) {
             Ok((201, resp_body)) => {
                 let Some(backend_session) = serde_json::from_str_value(&resp_body)
                     .ok()
@@ -695,7 +989,7 @@ fn handle_create_session(state: &FleetState, body: &[u8]) -> (Response, Option<S
                         // Undo the backend half so it does not linger
                         // until its TTL.
                         let path = format!("/sessions/{backend_session}");
-                        let _ = forward(state, backend, "DELETE", &path, None);
+                        let _ = forward(state, &backend, "DELETE", &path, None);
                         return (
                             error_response(
                                 409,
@@ -707,14 +1001,14 @@ fn handle_create_session(state: &FleetState, body: &[u8]) -> (Response, Option<S
                     sessions.insert(
                         id,
                         FleetSession {
-                            backend,
+                            backend: Arc::clone(&backend),
                             backend_session,
                             table: table.clone(),
                             last_used: Instant::now(),
                         },
                     );
                 }
-                let backend_id = state.backends[backend].id().to_string();
+                let backend_id = backend.id().to_string();
                 let resp = Value::Object(vec![
                     ("session_id".into(), num_u(id)),
                     ("table".into(), Value::String(table)),
@@ -767,12 +1061,12 @@ fn handle_session_step(state: &FleetState, id: &str, body: &[u8]) -> (Response, 
     let (backend, backend_session) = {
         let sessions = state.sessions.read();
         match sessions.get(&id) {
-            Some(s) => (s.backend, s.backend_session),
+            Some(s) => (Arc::clone(&s.backend), s.backend_session),
             None => return (error_response(404, &format!("no session {id}")), None),
         }
     };
     let path = format!("/sessions/{backend_session}/step");
-    match forward(state, backend, "POST", &path, Some(body)) {
+    match forward(state, &backend, "POST", &path, Some(body)) {
         Ok((404, resp_body)) => {
             // The backend forgot the session (TTL expiry, table delete):
             // the fleet mapping is stale too.
@@ -785,7 +1079,7 @@ fn handle_session_step(state: &FleetState, id: &str, body: &[u8]) -> (Response, 
             }
             (
                 Response::new(status, resp_body),
-                Some(state.backends[backend].id().to_string()),
+                Some(backend.id().to_string()),
             )
         }
         // Sticky by design: the session's history lives on that backend.
@@ -810,13 +1104,13 @@ fn handle_delete_session(state: &FleetState, id: &str) -> (Response, Option<Stri
     // Best effort downstream: if the backend is unreachable its own TTL
     // sweep will reap the session; the fleet id is gone either way.
     let path = format!("/sessions/{}", session.backend_session);
-    let _ = forward(state, session.backend, "DELETE", &path, None);
+    let _ = forward(state, &session.backend, "DELETE", &path, None);
     (
         Response::new(
             200,
             serde_json::to_string(&Value::Object(vec![("deleted".into(), num_u(id))]))
                 .expect("delete bodies always render"),
         ),
-        Some(state.backends[session.backend].id().to_string()),
+        Some(session.backend.id().to_string()),
     )
 }

@@ -100,6 +100,60 @@ impl Drop for BackendProcess {
     }
 }
 
+/// One supervision round with **restart-with-rejoin**: every child that
+/// has exited is respawned under its old id on a fresh ephemeral port,
+/// the dead incarnation is dropped from the router's membership, and the
+/// new one is added (two epoch bumps). The respawned process comes up
+/// *empty*; the repair loop then re-ingests its shard — every table
+/// whose replica walk lands on it — from the surviving holders, so a
+/// crash-restart cycle converges back to R live replicas without any
+/// operator action. Returns the ids that were restarted.
+///
+/// Failures are contained: a child whose respawn fails stays dead in
+/// `children` (and out of the membership) and is retried on the next
+/// round.
+pub fn restart_dead_children(
+    binary: &Path,
+    children: &mut [BackendProcess],
+    state: &crate::router::FleetState,
+    extra_args: &[&str],
+) -> Vec<String> {
+    let mut restarted = Vec::new();
+    for child in children.iter_mut() {
+        if child.is_alive() {
+            continue;
+        }
+        let id = child.id().to_string();
+        match BackendProcess::spawn(binary, &id, extra_args) {
+            Ok(replacement) => {
+                // Remove-then-add under the same id: the dead
+                // incarnation's ring slots are re-pointed at the new
+                // address. (If an admin already removed the id, the
+                // remove is a no-op and the add re-joins it.)
+                state.remove_backend(&id);
+                match state.add_backend(&id, replacement.addr()) {
+                    Ok((_, epoch)) => {
+                        eprintln!(
+                            "backend {id} restarted (pid {}) on {}; rejoined the ring at epoch {epoch}",
+                            replacement.pid(),
+                            replacement.addr(),
+                        );
+                        *child = replacement;
+                        restarted.push(id);
+                    }
+                    Err(e) => {
+                        // Cannot happen after the remove above, but if
+                        // it ever does, don't leak the process.
+                        eprintln!("backend {id} restarted but could not rejoin: {e}");
+                    }
+                }
+            }
+            Err(e) => eprintln!("backend {id} exited and respawn failed: {e}"),
+        }
+    }
+    restarted
+}
+
 fn port_file_path(id: &str) -> PathBuf {
     // pid + sequence makes the name unique across concurrent tests even
     // when they reuse backend ids.

@@ -291,11 +291,422 @@ fn metrics_scatter_gather_and_router_edge_limits() {
 }
 
 #[test]
+fn admin_membership_lifecycle() {
+    // Fast repair/probe so the test observes self-healing promptly.
+    let (backends, addrs) = spawn_backends(3);
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 2,
+            probe_interval: Duration::from_millis(50),
+            repair_interval: Some(Duration::from_millis(75)),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    // Initial membership is epoch 1 and is reported on every response.
+    let mut client = Client::connect(router).unwrap();
+    let (status, headers, listing) = client
+        .request_with_headers("GET", "/admin/backends", &[], None)
+        .unwrap();
+    assert_eq!(status, 200, "{listing}");
+    let v = serde_json::from_str_value(&listing).unwrap();
+    assert_eq!(v.get("epoch").unwrap().as_u64(), Some(1), "{listing}");
+    assert_eq!(
+        v.get("backends").unwrap().as_array().unwrap().len(),
+        3,
+        "{listing}"
+    );
+    assert!(
+        headers
+            .iter()
+            .any(|(k, v)| k == "x-fleet-epoch" && v == "1"),
+        "every response must carry the epoch: {headers:?}"
+    );
+
+    // Ingest a table on R=2 of the 3 members.
+    let body = json_body(&[("name", "demo"), ("csv", &demo_csv())]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+
+    // Find a holder and remove it from the membership. This is a drain,
+    // not a kill: the process stays up, only routing changes.
+    let holder = backends
+        .iter()
+        .position(|b| {
+            let (_, listing) = request_once(b.local_addr(), "GET", "/tables", None).unwrap();
+            listing.contains("\"demo\"")
+        })
+        .expect("someone holds the table");
+    let holder_id = format!("shard-{holder}");
+    let (status, resp) = request_once(
+        router,
+        "DELETE",
+        &format!("/admin/backends/{holder_id}"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let v = serde_json::from_str_value(&resp).unwrap();
+    assert_eq!(v.get("epoch").unwrap().as_u64(), Some(2), "{resp}");
+
+    // Reads keep working off the surviving replica, and the repair loop
+    // restores R=2 live copies on the remaining members.
+    let query_body = json_body(&[("query", "key >= 150")]);
+    let (status, body_after) = request_once(
+        router,
+        "POST",
+        "/tables/demo/characterize",
+        Some(&query_body),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body_after}");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, listing) = request_once(router, "GET", "/tables", None).unwrap();
+        let v = serde_json::from_str_value(&listing).unwrap();
+        let replicas = v.get("tables").unwrap().as_array().unwrap()[0]
+            .get("replicas")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        if replicas >= 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "repair never restored replication: {listing}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        fleet.state().metrics.repairs_total.get() >= 1,
+        "the repair counter must move"
+    );
+
+    // Rejoin: the drained backend re-enters under its old id (its copy
+    // is intact, CSV-fingerprint matched — over-replication is
+    // harmless).
+    let rejoin_body = json_body(&[
+        ("id", holder_id.as_str()),
+        ("addr", &backends[holder].local_addr().to_string()),
+    ]);
+    let (status, headers, resp) = client
+        .request_with_headers("POST", "/admin/backends", &[], Some(&rejoin_body))
+        .unwrap();
+    assert_eq!(status, 201, "{resp}");
+    let v = serde_json::from_str_value(&resp).unwrap();
+    assert_eq!(v.get("epoch").unwrap().as_u64(), Some(3), "{resp}");
+    // A successful admin mutation reports its *post-change* epoch in the
+    // header (not the pre-change view it was routed under).
+    assert!(
+        headers
+            .iter()
+            .any(|(k, v)| k == "x-fleet-epoch" && v == "3"),
+        "admin responses must carry the new epoch: {headers:?}"
+    );
+    let (_, health) = request_once(router, "GET", "/healthz", None).unwrap();
+    let v = serde_json::from_str_value(&health).unwrap();
+    assert_eq!(
+        v.get("backends").unwrap().as_array().unwrap().len(),
+        3,
+        "{health}"
+    );
+
+    // Validation: duplicate id, hostile id, bad addr, unknown removal.
+    for (body, want) in [
+        (
+            json_body(&[("id", "shard-0"), ("addr", "127.0.0.1:1")]),
+            409,
+        ),
+        (
+            json_body(&[("id", "has space"), ("addr", "127.0.0.1:1")]),
+            400,
+        ),
+        (json_body(&[("id", "fresh"), ("addr", "not-an-addr")]), 400),
+        (json_body(&[("id", "fresh")]), 400),
+    ] {
+        let (status, resp) = request_once(router, "POST", "/admin/backends", Some(&body)).unwrap();
+        assert_eq!(status, want, "{body} -> {resp}");
+    }
+    let (status, _) = request_once(router, "DELETE", "/admin/backends/nobody", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = request_once(router, "PUT", "/admin/backends", None).unwrap();
+    assert_eq!(status, 405);
+
+    fleet.shutdown();
+    backends.into_iter().for_each(|b| b.shutdown());
+}
+
+#[test]
+fn removal_and_rejoin_under_load_sees_zero_5xx() {
+    // The acceptance criterion: an in-flight workload survives
+    // `DELETE /admin/backends/{id}` followed by a rejoin with zero 5xx
+    // responses, and the table converges back to R live replicas.
+    let (backends, addrs) = spawn_backends(3);
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 2,
+            probe_interval: Duration::from_millis(50),
+            repair_interval: Some(Duration::from_millis(75)),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+    let body = json_body(&[("name", "demo"), ("csv", &demo_csv())]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+    let holder = backends
+        .iter()
+        .position(|b| {
+            let (_, listing) = request_once(b.local_addr(), "GET", "/tables", None).unwrap();
+            listing.contains("\"demo\"")
+        })
+        .unwrap();
+    let holder_id = format!("shard-{holder}");
+    let holder_addr = backends[holder].local_addr().to_string();
+
+    // Reference bytes: deterministic across replicas (timings are out of
+    // the wire form), so every response during churn must equal them.
+    let query_body = json_body(&[("query", "key >= 150")]);
+    let (_, reference) = request_once(
+        router,
+        "POST",
+        "/tables/demo/characterize",
+        Some(&query_body),
+    )
+    .unwrap();
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let bad: Vec<(u16, String)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut bad = Vec::new();
+                    let mut client = Client::connect(router).unwrap();
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let (status, body) = client
+                            .request("POST", "/tables/demo/characterize", Some(&query_body))
+                            .unwrap();
+                        if status != 200 || body != reference {
+                            bad.push((status, body));
+                        }
+                    }
+                    bad
+                })
+            })
+            .collect();
+        // Mid-traffic: drain the holder, give repair a beat, rejoin it.
+        std::thread::sleep(Duration::from_millis(100));
+        let (status, resp) = request_once(
+            router,
+            "DELETE",
+            &format!("/admin/backends/{holder_id}"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{resp}");
+        std::thread::sleep(Duration::from_millis(300));
+        let rejoin = json_body(&[("id", holder_id.as_str()), ("addr", &holder_addr)]);
+        let (status, resp) =
+            request_once(router, "POST", "/admin/backends", Some(&rejoin)).unwrap();
+        assert_eq!(status, 201, "{resp}");
+        std::thread::sleep(Duration::from_millis(300));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect()
+    });
+    assert!(
+        bad.is_empty(),
+        "churn must be invisible to clients; saw {} bad responses, first: {:?}",
+        bad.len(),
+        bad.first()
+    );
+
+    // Convergence: the table ends with at least R live replicas.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, listing) = request_once(router, "GET", "/tables", None).unwrap();
+        let v = serde_json::from_str_value(&listing).unwrap();
+        let replicas = v.get("tables").unwrap().as_array().unwrap()[0]
+            .get("replicas")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        if replicas >= 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replication never converged: {listing}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    fleet.shutdown();
+    backends.into_iter().for_each(|b| b.shutdown());
+}
+
+#[test]
+fn delete_sweeps_stranded_copies_so_repair_cannot_resurrect() {
+    // Membership churn can strand a table copy on a member outside the
+    // table's nominal replica set. DELETE must sweep *every member* —
+    // a stranded survivor would be a live "holder" the repair loop
+    // faithfully re-materializes from, resurrecting the deleted table.
+    let (backends, addrs) = spawn_backends(3);
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 2,
+            probe_interval: Duration::from_millis(50),
+            repair_interval: Some(Duration::from_millis(75)),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+    let csv = demo_csv();
+    let body = json_body(&[("name", "demo"), ("csv", &csv)]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+
+    // Simulate the stranded copy: replicate the table directly onto the
+    // member that is NOT in the nominal set.
+    let outsider = backends
+        .iter()
+        .position(|b| {
+            let (_, listing) = request_once(b.local_addr(), "GET", "/tables", None).unwrap();
+            !listing.contains("\"demo\"")
+        })
+        .expect("R=2 of 3 leaves one non-holder");
+    let put_body = json_body(&[("csv", &csv)]);
+    let (status, resp) = request_once(
+        backends[outsider].local_addr(),
+        "PUT",
+        "/tables/demo",
+        Some(&put_body),
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{resp}");
+
+    // Delete through the router: the sweep must reach the outsider too.
+    let (status, resp) = request_once(router, "DELETE", "/tables/demo", None).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let (_, listing) =
+        request_once(backends[outsider].local_addr(), "GET", "/tables", None).unwrap();
+    assert_eq!(
+        listing, r#"{"tables":[]}"#,
+        "the stranded copy must be swept"
+    );
+
+    // And the table stays dead across several repair rounds.
+    std::thread::sleep(Duration::from_millis(300));
+    let (_, listing) = request_once(router, "GET", "/tables", None).unwrap();
+    assert_eq!(
+        listing, r#"{"tables":[]}"#,
+        "repair must not resurrect a deleted table"
+    );
+    assert_eq!(fleet.state().metrics.repairs_total.get(), 0);
+
+    fleet.shutdown();
+    backends.into_iter().for_each(|b| b.shutdown());
+}
+
+#[test]
+fn etag_revalidates_across_replica_rotation() {
+    // Two backends, R=2: reads rotate, so consecutive requests land on
+    // *different* replicas, each having built its own copy of the
+    // report. The wire bytes are timing-free, so both builds fingerprint
+    // identically and every conditional repeat must be answered 304 —
+    // the PR 4 caveat (rotation re-transferred a 200) is closed.
+    let (backends, addrs) = spawn_backends(2);
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 2,
+            probe_interval: Duration::from_millis(100),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+    let body = json_body(&[("name", "demo"), ("csv", &demo_csv())]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+
+    // Warm both replicas (rotation alternates) and pin byte identity
+    // across them.
+    let query = json_body(&[("query", "key >= 150")]);
+    let mut client = Client::connect(router).unwrap();
+    let mut first_etag: Option<String> = None;
+    for round in 0..4 {
+        let (status, headers, body) = client
+            .request_with_headers("POST", "/tables/demo/characterize", &[], Some(&query))
+            .unwrap();
+        assert_eq!(status, 200, "round {round}: {body}");
+        let etag = headers
+            .iter()
+            .find(|(k, _)| k == "etag")
+            .map(|(_, v)| v.clone())
+            .expect("characterize must carry an ETag");
+        match &first_etag {
+            None => first_etag = Some(etag),
+            Some(expected) => assert_eq!(
+                &etag, expected,
+                "round {round}: replicas must agree on the validator"
+            ),
+        }
+    }
+    let etag = first_etag.unwrap();
+
+    // Every conditional repeat is a 304, whichever replica rotation
+    // picks — and still after a failover (kill one replica).
+    for round in 0..4 {
+        let (status, _, empty) = client
+            .request_with_headers(
+                "POST",
+                "/tables/demo/characterize",
+                &[("If-None-Match", &etag)],
+                Some(&query),
+            )
+            .unwrap();
+        assert_eq!(status, 304, "round {round}: {empty}");
+        assert!(empty.is_empty());
+    }
+    let mut backends = backends;
+    backends.remove(0).shutdown();
+    for round in 0..3 {
+        let (status, _, empty) = client
+            .request_with_headers(
+                "POST",
+                "/tables/demo/characterize",
+                &[("If-None-Match", &etag)],
+                Some(&query),
+            )
+            .unwrap();
+        assert_eq!(status, 304, "post-failover round {round}: {empty}");
+    }
+
+    fleet.shutdown();
+    backends.into_iter().for_each(|b| b.shutdown());
+}
+
+#[test]
 fn etag_revalidation_passes_through_the_router() {
     // Replication 1 over two backends: the table lives on exactly one
-    // replica, so every read routes there and the ETag is stable across
-    // requests (with R > 1, rotation can land a conditional request on
-    // a replica that built its own copy — still correct, but a 200).
+    // replica, so every read routes there; this pins the ETag relay
+    // through the proxy hop (the R > 1 rotation case is
+    // `etag_revalidates_across_replica_rotation`).
     let (backends, addrs) = spawn_backends(2);
     let fleet = start_fleet(
         "127.0.0.1:0",

@@ -112,6 +112,106 @@ proptest! {
         prop_assert!(stolen > 0, "the newcomer must own something");
     }
 
+    /// Membership *churn*: a random sequence of adds and removes, with
+    /// the invariants checked at every epoch step (not just for a single
+    /// change from a pristine ring):
+    ///
+    /// * **never route to a removed backend** — every key's full replica
+    ///   walk maps only onto ids in the current membership, and a
+    ///   just-removed id owns nothing;
+    /// * **exactly minimal remapping** — on a remove, only keys whose
+    ///   primary was the removed backend change primary; on an add, a
+    ///   key either keeps its primary or moves onto the newcomer;
+    /// * **balance holds at every step** — primaries stay within a
+    ///   constant-factor envelope of the fair share whenever at least
+    ///   two backends remain.
+    #[test]
+    fn membership_churn_remaps_minimally_and_stays_balanced(
+        op_seeds in prop::collection::vec(0usize..1_000_000, 1..10)
+    ) {
+        let n_keys = 1500usize;
+        let test_keys = keys(n_keys);
+        let mut ids = ids(4);
+        let mut next_id = 4usize;
+        let mut ring = HashRing::build(&ids, VNODES);
+        // Ownership tracked by *id* (indices shift as members come and
+        // go; identities are what routing stability means).
+        let owner_of = |ring: &HashRing, ids: &[String], key: &str| -> String {
+            ids[ring.primary_for(key).unwrap()].clone()
+        };
+        for seed in op_seeds {
+            // Grow when small, shrink when large, otherwise flip a coin
+            // from the seed — keeps fleets between 2 and 9 members.
+            let add = ids.len() <= 2 || (ids.len() < 9 && seed % 2 == 0);
+            let before: Vec<String> = test_keys
+                .iter()
+                .map(|k| owner_of(&ring, &ids, k))
+                .collect();
+            let (newcomer, removed) = if add {
+                let id = format!("shard-{next_id}");
+                next_id += 1;
+                ids.push(id.clone());
+                (Some(id), None)
+            } else {
+                let victim = ids.remove(seed % ids.len());
+                (None, Some(victim))
+            };
+            ring = HashRing::build(&ids, VNODES);
+
+            for (key, old_owner) in test_keys.iter().zip(&before) {
+                let new_owner = owner_of(&ring, &ids, key);
+                // Never route to a removed backend — not as primary, not
+                // anywhere in the full failover walk.
+                if let Some(gone) = &removed {
+                    let walk: Vec<&String> = ring
+                        .replicas_for(key, ids.len())
+                        .into_iter()
+                        .map(|i| &ids[i])
+                        .collect();
+                    prop_assert!(
+                        !walk.contains(&gone),
+                        "key {} still walks onto removed {}", key, gone
+                    );
+                }
+                // Exactly minimal remapping per epoch step.
+                match (&newcomer, &removed) {
+                    (Some(new), None) => prop_assert!(
+                        new_owner == *old_owner || new_owner == *new,
+                        "add moved {} from {} to {} (not the newcomer {})",
+                        key, old_owner, new_owner, new
+                    ),
+                    (None, Some(gone)) => prop_assert!(
+                        new_owner == *old_owner || old_owner == gone,
+                        "remove of {} moved {} from surviving {} to {}",
+                        gone, key, old_owner, new_owner
+                    ),
+                    _ => unreachable!(),
+                }
+            }
+
+            // Balance at this epoch.
+            if ids.len() >= 2 {
+                let mut counts = vec![0usize; ids.len()];
+                for key in &test_keys {
+                    counts[ring.primary_for(key).unwrap()] += 1;
+                }
+                let fair = n_keys as f64 / ids.len() as f64;
+                for (backend, &count) in counts.iter().enumerate() {
+                    prop_assert!(
+                        (count as f64) < fair * 2.5,
+                        "backend {} overloaded after churn: {} keys, fair {:.0}",
+                        backend, count, fair
+                    );
+                    prop_assert!(
+                        (count as f64) > fair * 0.25,
+                        "backend {} starved after churn: {} keys, fair {:.0}",
+                        backend, count, fair
+                    );
+                }
+            }
+        }
+    }
+
     /// Replica sets degrade minimally too: after removing one backend,
     /// a key's surviving replicas stay in its new replica set (the
     /// failover order may compact, but no data placement is lost).

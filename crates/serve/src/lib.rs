@@ -24,10 +24,16 @@
 //! | `GET /tables` | — | `200` `{"tables":[{"name","n_rows","n_cols"},…]}` |
 //! | `POST /tables/{name}/characterize` | `{"query": "<predicate>", "config": {…}?}` | `200` a full [`ziggy_core::CharacterizationReport`] — `404` unknown table, `422` engine rejection (parse error, degenerate selection). Every response carries an `ETag` (the report-byte fingerprint); a request whose `If-None-Match` matches is answered `304` with no body. A repeated `(query, config)` pair is served memoized bytes from the engine's report cache — no search, no post-processing, no serialization. The optional `config` object overlays [`ZiggyConfig`] fields onto the server default for this request only (`400` on unknown fields); overridden requests share the whole-table statistics and the report cache (entries are keyed by configuration fingerprint, so overrides can neither read nor poison the default configuration's entries) |
 //! | `PUT /tables/{name}` | `{"csv": "<csv text>"}` | idempotent ingest (the fleet's replicate path): `201` created, `200` the identical table (by CSV fingerprint) was already resident, `409` the name is taken by different content |
+//! | `GET /tables/{name}/csv` | — | `200` `{"name","csv","fingerprint"}` — the original upload bytes, verbatim, so replicating the export elsewhere fingerprints identically (the fleet repair loop's read side); `404` unknown table or no CSV provenance (in-process registrations) |
 //! | `DELETE /tables/{name}` | — | `200` `{"deleted": "<name>", "sessions_closed": <n>}` — `404` unknown table. Frees the name and the registry slot immediately and closes the table's sessions (cascade), so the engine's memory is not pinned by abandoned clients; in-flight requests finish normally |
 //! | `POST /sessions` | `{"table": "crime"}` | `201` `{"session_id", "table"}` — `404` unknown table |
 //! | `POST /sessions/{id}/step` | `{"query": "<predicate>"}` | `200` `{"step", "report", "diff"}` where `diff` is a [`ziggy_core::ReportDiff`] against the previous step (`null` on the first) — `404` unknown session, `422` engine rejection |
 //! | `DELETE /sessions/{id}` | — | `200` `{"deleted": <id>}` — `404` unknown session. Frees the session slot and releases its table pin |
+//!
+//! CSV-ingested tables retain their source text in memory for the
+//! export route (the fleet repair loop replicates the *original* bytes
+//! so fingerprints match across replicas) — roughly doubling a table's
+//! footprint. Compressing or gating that retention is a ROADMAP item.
 //!
 //! Table and session counts are capped
 //! ([`registry::MAX_TABLES`], [`sessions::MAX_SESSIONS`]; `409` beyond
@@ -43,11 +49,14 @@
 //! structured JSON line to stderr ([`logging::AccessLog`]).
 //!
 //! Characterize responses are byte-for-byte the engine's serialized
-//! report: apart from wall-clock stage timings, a server round trip and
-//! an in-process `serde_json::to_string(&engine.characterize(q)?)`
-//! produce identical bytes. Responses served from the report cache are
-//! byte-identical to the build they memoize — *including* its stage
-//! timings — which is what makes the `ETag` a strong validator.
+//! report *with stage timings zeroed*: timings describe one build's
+//! wall clock, so they ride along as a side channel (the struct form,
+//! `/metrics`) instead of the wire bytes. The wire form is therefore a
+//! pure function of (table, configuration, query) — any server, any
+//! process, any fleet replica produces identical bytes and an identical
+//! `ETag`, which is what makes the tag a strong validator that survives
+//! replica rotation and failover (a conditional request revalidates
+//! `304` against whichever replica answers).
 //!
 //! Failed session steps (`4xx`/`422`) do not enter the session history,
 //! matching [`ziggy_core::ExplorationSession`] semantics.

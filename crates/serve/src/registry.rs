@@ -39,6 +39,12 @@ pub struct TableEntry {
     /// or replicated upload of the *same* table is idempotent while a
     /// name collision with *different* content stays a conflict.
     fingerprint: Option<u64>,
+    /// The source CSV text itself, retained so the table can be
+    /// exported (`GET /tables/{name}/csv`) and re-materialized onto
+    /// another replica byte-for-byte — the fleet's repair loop depends
+    /// on the export fingerprinting identically to the original upload,
+    /// which a re-serialization of the parsed table could not promise.
+    source_csv: Option<Arc<str>>,
 }
 
 impl std::fmt::Debug for TableEntry {
@@ -76,6 +82,12 @@ impl TableEntry {
     /// in-process via [`TableRegistry::insert_table`]).
     pub fn fingerprint(&self) -> Option<u64> {
         self.fingerprint
+    }
+
+    /// The source CSV text (None for tables registered in-process via
+    /// [`TableRegistry::insert_table`], which have no CSV provenance).
+    pub fn source_csv(&self) -> Option<&Arc<str>> {
+        self.source_csv.as_ref()
     }
 
     /// The `{name, n_rows, n_cols}` summary object.
@@ -155,7 +167,13 @@ impl TableRegistry {
         }
         let table = read_csv_str(csv, &CsvOptions::default())
             .map_err(|e| ApiError::unprocessable(format!("CSV rejected: {e}")))?;
-        self.register(name, table, config, Some(fnv1a_64(csv.as_bytes())))
+        self.register(
+            name,
+            table,
+            config,
+            Some(fnv1a_64(csv.as_bytes())),
+            Some(Arc::from(csv)),
+        )
     }
 
     /// Idempotent CSV ingest — the fleet's replicate path. Returns the
@@ -200,7 +218,7 @@ impl TableRegistry {
         table: Table,
         config: ZiggyConfig,
     ) -> Result<Arc<TableEntry>, ApiError> {
-        self.register(name, table, config, None)
+        self.register(name, table, config, None, None)
     }
 
     fn register(
@@ -209,6 +227,7 @@ impl TableRegistry {
         table: Table,
         config: ZiggyConfig,
         fingerprint: Option<u64>,
+        source_csv: Option<Arc<str>>,
     ) -> Result<Arc<TableEntry>, ApiError> {
         if !valid_table_name(name) {
             return Err(ApiError::bad_request(
@@ -219,6 +238,7 @@ impl TableRegistry {
             name: name.to_string(),
             engine: Ziggy::shared(Arc::new(table), config),
             fingerprint,
+            source_csv,
         });
         let mut tables = self.tables.write();
         if tables.len() >= MAX_TABLES {

@@ -51,6 +51,7 @@ pub fn route(state: &ServeState, req: &Request) -> Response {
         ("POST", ["tables"]) => handle_create_table(state, &req.body),
         ("GET", ["tables"]) => handle_list_tables(state),
         ("POST", ["tables", name, "characterize"]) => handle_characterize(state, name, req),
+        ("GET", ["tables", name, "csv"]) => handle_export_csv(state, name),
         ("PUT", ["tables", name]) => handle_replicate_table(state, name, &req.body),
         ("DELETE", ["tables", name]) => handle_delete_table(state, name),
         ("POST", ["sessions"]) => handle_create_session(state, &req.body),
@@ -63,6 +64,7 @@ pub fn route(state: &ServeState, req: &Request) -> Response {
             | ["tables"]
             | ["tables", _]
             | ["tables", _, "characterize"]
+            | ["tables", _, "csv"]
             | ["sessions"]
             | ["sessions", _]
             | ["sessions", _, "step"],
@@ -208,6 +210,33 @@ fn handle_characterize(
     // bytes an in-process `serde_json::to_string(&report)` produces,
     // shared (not copied) into the response on the warm path.
     Ok(Response::new(200, Arc::clone(&outcome.cached.bytes)).with_header("ETag", etag))
+}
+
+/// Exports a table's source CSV so another process can re-materialize
+/// the *identical* table (the fleet repair loop's read side). The
+/// response carries the original upload bytes verbatim inside JSON, so
+/// `PUT /tables/{name}` of the exported text fingerprints identically
+/// to the first ingest. Tables registered in-process (demo preloads)
+/// have no CSV provenance and answer 404.
+fn handle_export_csv(state: &ServeState, name: &str) -> Result<Response, ApiError> {
+    let entry = state.registry.get(name)?;
+    let Some(csv) = entry.source_csv() else {
+        return Err(ApiError::not_found(format!(
+            "table `{name}` has no CSV provenance to export"
+        )));
+    };
+    let fingerprint = entry
+        .fingerprint()
+        .map(|f| format!("{f:016x}"))
+        .unwrap_or_default();
+    Ok(json_response(
+        200,
+        &Value::Object(vec![
+            ("name".into(), Value::String(name.to_string())),
+            ("csv".into(), Value::String(csv.to_string())),
+            ("fingerprint".into(), Value::String(fingerprint)),
+        ]),
+    ))
 }
 
 fn handle_replicate_table(
@@ -796,6 +825,55 @@ mod tests {
         assert_eq!(warm.body, overridden.body);
         let c = entry.engine().report_cache().counters();
         assert_eq!((c.hits, c.misses), (2, 2), "{c:?}");
+    }
+
+    #[test]
+    fn csv_export_round_trips_through_replicate() {
+        let state = state_with_table("t");
+        let r = route(&state, &request("GET", "/tables/t/csv", ""));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = serde_json::from_str_value(&r.body).unwrap();
+        let csv = v.get("csv").unwrap().as_str().unwrap().to_string();
+        assert_eq!(csv, demo_csv(), "export must be the original bytes");
+        let fp = v.get("fingerprint").unwrap().as_str().unwrap();
+        assert_eq!(fp, format!("{:016x}", crate::fnv1a_64(csv.as_bytes())));
+
+        // The export replicates onto another server as the *same* table:
+        // idempotent against the original ingest's fingerprint.
+        let other = ServeState::default();
+        let put_body = serde_json::to_string(&Value::Object(vec![(
+            "csv".into(),
+            Value::String(csv.clone()),
+        )]))
+        .unwrap();
+        let r = route(&other, &request("PUT", "/tables/t", &put_body));
+        assert_eq!(r.status, 201, "{}", r.body);
+        let r = route(&other, &request("GET", "/tables/t/csv", ""));
+        assert_eq!(
+            serde_json::from_str_value(&r.body)
+                .unwrap()
+                .get("csv")
+                .unwrap()
+                .as_str(),
+            Some(csv.as_str()),
+            "replicated tables re-export the same bytes"
+        );
+
+        // Unknown tables and provenance-free registrations are 404; the
+        // path only speaks GET.
+        let r = route(&state, &request("GET", "/tables/absent/csv", ""));
+        assert_eq!(r.status, 404);
+        let table =
+            ziggy_store::csv::read_csv_str(&demo_csv(), &ziggy_store::csv::CsvOptions::default())
+                .unwrap();
+        state
+            .registry
+            .insert_table("inproc", table, ZiggyConfig::default())
+            .unwrap();
+        let r = route(&state, &request("GET", "/tables/inproc/csv", ""));
+        assert_eq!(r.status, 404, "{}", r.body);
+        let r = route(&state, &request("POST", "/tables/t/csv", ""));
+        assert_eq!(r.status, 405);
     }
 
     #[test]

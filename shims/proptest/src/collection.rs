@@ -8,7 +8,10 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
@@ -18,6 +21,33 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
             rng.usize_in(self.size.lo, self.size.hi)
         };
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // Length first — dropping elements simplifies more than any
+        // per-element change. Geometric ladder of truncations toward
+        // the minimum length: lo, lo + slack/2, …, len − 1.
+        let len = value.len();
+        if len > self.size.lo {
+            let slack = len - self.size.lo;
+            out.push(value[..self.size.lo].to_vec());
+            let mut delta = slack / 2;
+            while delta > 0 {
+                out.push(value[..len - delta].to_vec());
+                delta /= 2;
+            }
+        }
+        // Then element simplification: every candidate of every
+        // position, one position varied per candidate.
+        for (index, element) in value.iter().enumerate() {
+            for candidate in self.element.shrink(element) {
+                let mut simpler = value.clone();
+                simpler[index] = candidate;
+                out.push(simpler);
+            }
+        }
+        out
     }
 }
 

@@ -5,11 +5,15 @@
 //! `prop_filter`/`prop_map`, range strategies, [`collection::vec`],
 //! [`sample::select`], [`any`], and `prop_assert*` macros.
 //!
-//! Differences from real proptest: no shrinking (a failing case panics
-//! with the sampled inputs via the standard assertion message), and
-//! filters resample the whole value rather than locally rejecting.
-//! Sampling is seeded from the test function's name, so failures
-//! reproduce across runs.
+//! On failure the runner **shrinks**: each strategy proposes simpler
+//! candidate values ([`Strategy::shrink`] — binary-search style for
+//! numeric ranges, length/element reduction for vectors), the runner
+//! greedily accepts any candidate that still fails, and the final panic
+//! reports the *minimal* failing input alongside the originally sampled
+//! one. Differences from real proptest: filters resample the whole
+//! value rather than locally rejecting, and `prop_map`/regex strategies
+//! do not shrink (the mapping is not invertible). Sampling is seeded
+//! from the test function's name, so failures reproduce across runs.
 
 use std::ops::Range;
 
@@ -106,6 +110,17 @@ pub trait Strategy {
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly simpler variants of a failing `value`, most
+    /// aggressive first. The runner re-tests candidates in order and
+    /// greedily moves to the first one that still fails, repeating until
+    /// no candidate fails — so a geometric candidate ladder (all the way
+    /// down, half way down, quarter way, …, one step) gives
+    /// binary-search convergence toward the minimal counterexample.
+    /// The default proposes nothing (no shrinking).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Restricts the strategy to values satisfying `pred` (resamples on
     /// rejection; panics with `reason` if the filter looks unsatisfiable).
     fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
@@ -149,6 +164,17 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
         }
         panic!("prop_filter exhausted retries: {}", self.reason);
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        // Only candidates that still satisfy the filter are valid
+        // inputs; the rest are dropped, not resampled (shrinking must be
+        // deterministic).
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.pred)(v))
+            .collect()
+    }
 }
 
 /// See [`Strategy::prop_map`].
@@ -171,6 +197,23 @@ impl Strategy for Range<f64> {
     fn sample(&self, rng: &mut TestRng) -> f64 {
         self.start + (self.end - self.start) * rng.unit_f64()
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        // Geometric ladder toward the range start: all the way down,
+        // then half the distance, quarter, … — binary-search
+        // convergence under the runner's greedy accept.
+        let span = value - self.start;
+        if !span.is_finite() || span <= 0.0 {
+            return Vec::new();
+        }
+        let mut out = vec![self.start];
+        let mut delta = span / 2.0;
+        while delta.is_normal() && delta > span * 1e-9 {
+            out.push(value - delta);
+            delta /= 2.0;
+        }
+        out
+    }
 }
 
 macro_rules! int_range_strategy {
@@ -182,6 +225,22 @@ macro_rules! int_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 let offset = (rng.next_u64() as u128 % span) as i128;
                 (self.start as i128 + offset) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Geometric ladder toward the range start (see the f64
+                // impl): start, start + span/2, start + 3·span/4, …,
+                // value − 2, value − 1.
+                let span = (*value as i128) - (self.start as i128);
+                if span <= 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![self.start];
+                out.extend(
+                    shrink_deltas(span)
+                        .into_iter()
+                        .map(|d| ((*value as i128) - d) as $t),
+                );
+                out
             }
         }
     )*};
@@ -296,11 +355,51 @@ pub fn any<T: Arbitrary>() -> T::Strategy {
 #[derive(Debug, Clone, Copy)]
 pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
 
+/// The distances a shrinking integer steps back toward its minimum,
+/// most aggressive first: halvings of the full span, then an explicit
+/// −2/−1 tail. The tail matters under filters — a parity-style filter
+/// can reject every halving rung, and without single/double steps the
+/// greedy walk would stall far from the minimum.
+fn shrink_deltas(span: i128) -> Vec<i128> {
+    debug_assert!(span > 0);
+    let mut deltas = Vec::new();
+    let mut d = span / 2;
+    while d > 0 {
+        deltas.push(d);
+        d /= 2;
+    }
+    for tail in [2, 1] {
+        if tail < span && !deltas.contains(&tail) {
+            deltas.push(tail);
+        }
+    }
+    deltas.sort_unstable_by(|a, b| b.cmp(a));
+    deltas.dedup();
+    deltas
+}
+
+/// Geometric ladder toward zero for the signed/unsigned `any`
+/// strategies (zero, halfway to zero, …, one step toward zero).
+fn ladder_toward_zero_i128(value: i128) -> Vec<i128> {
+    if value == 0 {
+        return Vec::new();
+    }
+    let sign = value.signum();
+    let mut out = vec![0];
+    out.extend(
+        shrink_deltas(value.abs())
+            .into_iter()
+            .map(|d| value - sign * d),
+    );
+    out
+}
+
 macro_rules! any_primitive {
-    ($($t:ty => |$rng:ident| $e:expr),* $(,)?) => {$(
+    ($($t:ty => |$rng:ident| $e:expr, shrink |$v:ident| $s:expr),* $(,)?) => {$(
         impl Strategy for AnyPrimitive<$t> {
             type Value = $t;
             fn sample(&self, $rng: &mut TestRng) -> $t { $e }
+            fn shrink(&self, $v: &$t) -> Vec<$t> { $s }
         }
         impl Arbitrary for $t {
             type Strategy = AnyPrimitive<$t>;
@@ -309,16 +408,97 @@ macro_rules! any_primitive {
     )*};
 }
 
+macro_rules! int_ladder {
+    ($v:ident, $t:ty) => {
+        ladder_toward_zero_i128(*$v as i128)
+            .into_iter()
+            .map(|x| x as $t)
+            .collect()
+    };
+}
+
 any_primitive! {
     bool => |rng| rng.next_u64() & 1 == 1,
-    u8 => |rng| rng.next_u64() as u8,
-    u32 => |rng| rng.next_u64() as u32,
-    u64 => |rng| rng.next_u64(),
-    usize => |rng| rng.next_u64() as usize,
-    i32 => |rng| rng.next_u64() as i32,
-    i64 => |rng| rng.next_u64() as i64,
+        shrink |v| if *v { vec![false] } else { Vec::new() },
+    u8 => |rng| rng.next_u64() as u8, shrink |v| int_ladder!(v, u8),
+    u32 => |rng| rng.next_u64() as u32, shrink |v| int_ladder!(v, u32),
+    u64 => |rng| rng.next_u64(), shrink |v| int_ladder!(v, u64),
+    usize => |rng| rng.next_u64() as usize, shrink |v| int_ladder!(v, usize),
+    i32 => |rng| rng.next_u64() as i32, shrink |v| int_ladder!(v, i32),
+    i64 => |rng| rng.next_u64() as i64, shrink |v| int_ladder!(v, i64),
     f64 => |rng| rng.unit_f64() * 1e6 - 5e5,
+        shrink |v| {
+            if *v == 0.0 || !v.is_finite() { return Vec::new(); }
+            let mut out = vec![0.0];
+            let mut delta = *v / 2.0;
+            while delta.is_normal() && delta.abs() > v.abs() * 1e-9 {
+                out.push(*v - delta);
+                delta /= 2.0;
+            }
+            out
+        },
 }
+
+impl Strategy for () {
+    type Value = ();
+
+    fn sample(&self, _rng: &mut TestRng) -> Self::Value {}
+}
+
+macro_rules! tuple_strategy {
+    ($(($S:ident, $idx:tt)),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component varies per candidate; the runner's
+                // greedy loop alternates components across rounds.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut simpler = value.clone();
+                        simpler.$idx = candidate;
+                        out.push(simpler);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!((S0, 0));
+tuple_strategy!((S0, 0), (S1, 1));
+tuple_strategy!((S0, 0), (S1, 1), (S2, 2));
+tuple_strategy!((S0, 0), (S1, 1), (S2, 2), (S3, 3));
+tuple_strategy!((S0, 0), (S1, 1), (S2, 2), (S3, 3), (S4, 4));
+tuple_strategy!((S0, 0), (S1, 1), (S2, 2), (S3, 3), (S4, 4), (S5, 5));
+tuple_strategy!(
+    (S0, 0),
+    (S1, 1),
+    (S2, 2),
+    (S3, 3),
+    (S4, 4),
+    (S5, 5),
+    (S6, 6)
+);
+tuple_strategy!(
+    (S0, 0),
+    (S1, 1),
+    (S2, 2),
+    (S3, 3),
+    (S4, 4),
+    (S5, 5),
+    (S6, 6),
+    (S7, 7)
+);
 
 /// Inclusive-exclusive size bound for collection strategies.
 #[derive(Debug, Clone, Copy)]
@@ -342,6 +522,114 @@ impl From<Range<usize>> for SizeRange {
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
         Self { lo: n, hi: n + 1 }
+    }
+}
+
+/// Hard ceiling on candidate evaluations during one shrink (a property
+/// body can be expensive; shrinking is best-effort simplification, not
+/// an exhaustive search).
+const MAX_SHRINK_CHECKS: usize = 2000;
+
+thread_local! {
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static INSTALL_QUIET_HOOK: std::sync::Once = std::sync::Once::new();
+
+/// Chains a panic hook that suppresses the default backtrace printing
+/// while this thread is probing shrink candidates (each probe *expects*
+/// a panic; printing hundreds of them would bury the real report).
+/// Other threads' panics still reach the previous hook.
+fn install_quiet_hook() {
+    INSTALL_QUIET_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` with this thread's panic output suppressed (used by the
+/// shrink meta-tests, which intentionally provoke failures). Restores
+/// the *previous* flag value on exit, so nested scopes (and the probe
+/// calls inside [`run_cases`]) compose instead of clobbering each
+/// other.
+#[doc(hidden)]
+pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    install_quiet_hook();
+    let previous = QUIET_PANICS.with(|q| q.replace(true));
+    let result = f();
+    QUIET_PANICS.with(|q| q.set(previous));
+    result
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Evaluates the property on one value, quietly converting a panic into
+/// `Err(message)`.
+fn check_quietly<V, F: Fn(&V)>(check: &F, value: &V) -> Result<(), String> {
+    let result = with_quiet_panics(|| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(value)))
+    });
+    result.map_err(|p| panic_message(p.as_ref()))
+}
+
+/// The [`proptest!`] runner: samples `cfg.cases` inputs from `strategy`
+/// and runs `check` on each. On the first failure the input is
+/// **shrunk** — [`Strategy::shrink`] proposes simpler candidates (most
+/// aggressive first) and the runner greedily moves to the first
+/// candidate that still fails, restarting the proposal loop from there,
+/// until no candidate fails (a local minimum) or the check budget runs
+/// out. The panic then reports the minimal input, the originally
+/// sampled one, and the failure message at the minimum.
+#[doc(hidden)]
+pub fn run_cases<S, F>(name: &str, cfg: &ProptestConfig, strategy: &S, check: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(&S::Value),
+{
+    let mut rng = TestRng::deterministic(name);
+    for case in 0..cfg.cases {
+        let sampled = strategy.sample(&mut rng);
+        let Err(original_failure) = check_quietly(&check, &sampled) else {
+            continue;
+        };
+        let mut minimal = sampled.clone();
+        let mut failure = original_failure;
+        let mut steps = 0usize;
+        let mut checks = 0usize;
+        'shrinking: loop {
+            for candidate in strategy.shrink(&minimal) {
+                if checks >= MAX_SHRINK_CHECKS {
+                    break 'shrinking;
+                }
+                checks += 1;
+                if let Err(message) = check_quietly(&check, &candidate) {
+                    minimal = candidate;
+                    failure = message;
+                    steps += 1;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+        panic!(
+            "proptest case {case} of `{name}` failed.\n\
+             minimal failing input (after {steps} shrink step(s), {checks} probe(s)): {minimal:?}\n\
+             originally sampled input: {sampled:?}\n\
+             failure at the minimum: {failure}"
+        );
     }
 }
 
@@ -375,7 +663,9 @@ macro_rules! proptest {
     };
 }
 
-/// Implementation detail of [`proptest!`].
+/// Implementation detail of [`proptest!`]: each property becomes a
+/// function handing a tuple-of-strategies plus a closure over the body
+/// to [`run_cases`], which samples, checks, and shrinks on failure.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_fns {
@@ -384,11 +674,16 @@ macro_rules! __proptest_fns {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::ProptestConfig = $cfg;
-                let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..__cfg.cases {
-                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
-                    $body
-                }
+                let __strategy = ($($strat,)*);
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &__cfg,
+                    &__strategy,
+                    |__case: &_| {
+                        let ($($arg,)*) = ::std::clone::Clone::clone(__case);
+                        $body
+                    },
+                );
             }
         )*
     };
@@ -439,5 +734,91 @@ mod tests {
             let idx = if flag { 0 } else { xs.len() - 1 };
             prop_assert!((0.0..1.0).contains(&xs[idx]));
         }
+    }
+
+    /// Runs a failing property under [`run_cases`] and returns the
+    /// runner's final panic message.
+    fn failing_property_report<S>(name: &str, strategy: S, check: impl Fn(&S::Value)) -> String
+    where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+    {
+        let payload = with_quiet_panics(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_cases(name, &ProptestConfig::with_cases(32), &strategy, check);
+            }))
+        })
+        .expect_err("the property must fail");
+        panic_message(payload.as_ref())
+    }
+
+    #[test]
+    fn seeded_failure_shrinks_to_the_known_minimum() {
+        // The property "x < 50" over 0..1000 has exactly one minimal
+        // counterexample: 50. Whatever value the seeded rng happens to
+        // fail on first, binary-search shrinking must land exactly
+        // there — not merely somewhere smaller.
+        let report = failing_property_report("meta::shrinks_to_minimum", (0usize..1000,), |v| {
+            assert!(v.0 < 50, "{} must stay below 50", v.0);
+        });
+        assert!(
+            report.contains("minimal failing input"),
+            "report must label the minimum: {report}"
+        );
+        assert!(
+            report.contains("): (50,)"),
+            "must shrink exactly to 50: {report}"
+        );
+        assert!(
+            report.contains("originally sampled input"),
+            "report must keep the original sample: {report}"
+        );
+    }
+
+    #[test]
+    fn vectors_shrink_length_then_elements() {
+        // Failing whenever len >= 3: the minimum is three elements,
+        // each shrunk to the range start.
+        let report = failing_property_report(
+            "meta::vec_minimum",
+            (crate::collection::vec(0usize..100, 0..20),),
+            |v| {
+                assert!(v.0.len() < 3, "vectors of length >= 3 fail");
+            },
+        );
+        assert!(
+            report.contains("([0, 0, 0],)"),
+            "must shrink to the minimal 3-element zero vector: {report}"
+        );
+    }
+
+    #[test]
+    fn filtered_shrinks_respect_the_filter() {
+        // Shrinking an even-only strategy must propose only even values:
+        // the minimal failing even value above the threshold is 52, and
+        // 50/51 must never be reported even though the unfiltered ladder
+        // contains them.
+        let strategy = ((0usize..1000).prop_filter("even", |n| n % 2 == 0),);
+        let report = failing_property_report("meta::filtered_minimum", strategy, |v| {
+            assert_eq!(v.0 % 2, 0, "filter must hold during shrinking");
+            assert!(v.0 < 51, "{} must stay below 51", v.0);
+        });
+        assert!(
+            report.contains("): (52,)"),
+            "must shrink to the minimal *even* counterexample: {report}"
+        );
+    }
+
+    #[test]
+    fn passing_properties_never_invoke_shrinking() {
+        // Sanity: run_cases on a passing property completes silently.
+        run_cases(
+            "meta::passing",
+            &ProptestConfig::with_cases(16),
+            &(0usize..10, any::<bool>()),
+            |v: &(usize, bool)| {
+                assert!(v.0 < 10);
+            },
+        );
     }
 }

@@ -49,11 +49,15 @@ fn print_usage() {
          fleet options:\n  \
          --addr ADDR              router bind address (default 127.0.0.1:8080)\n  \
          --backends N             local ziggy-serve processes to spawn (default 2)\n  \
-         --replication R          replicas per table (default 2, clamped to N)\n  \
+         --replication R          replicas per table (default 2, capped to live members)\n  \
          --threads N              router worker threads\n  \
          --access-log             access log (with backend ids) on stderr\n  \
          --rate-limit N           per-client rate limit at the router edge\n  \
-         --demo                   preload the crime synthetic twin as table `crime`"
+         --repair-interval SECS   self-healing replication cadence (default 0.5, 0 = off)\n  \
+         --no-restart             report dead backends instead of restart-with-rejoin\n  \
+         --demo                   preload the crime synthetic twin as table `crime`\n\n\
+         the fleet router also serves POST /admin/backends {{\"id\",\"addr\"}} and\n\
+         DELETE /admin/backends/{{id}} to grow/shrink the ring at runtime."
     );
 }
 
@@ -164,6 +168,7 @@ fn run_fleet(args: &[String]) {
     let mut backends = 2usize;
     let mut options = FleetOptions::default();
     let mut demo = false;
+    let mut restart = true;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -188,6 +193,14 @@ fn run_fleet(args: &[String]) {
                 Some(n) if n > 0 => options.rate_limit = Some(n),
                 _ => die("--rate-limit needs a positive integer (requests/second)"),
             },
+            "--repair-interval" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(0.0) => options.repair_interval = None,
+                Some(secs) if secs > 0.0 => {
+                    options.repair_interval = Some(std::time::Duration::from_secs_f64(secs))
+                }
+                _ => die("--repair-interval needs a number of seconds (0 disables)"),
+            },
+            "--no-restart" => restart = false,
             "--demo" => demo = true,
             other => die(&format!("unknown fleet option: {other}")),
         }
@@ -233,21 +246,33 @@ fn run_fleet(args: &[String]) {
         fleet.state().replication()
     );
     println!("same API as ziggy serve; /metrics and /tables aggregate all shards");
+    println!("admin: POST /admin/backends {{\"id\",\"addr\"}} and DELETE /admin/backends/{{id}}");
 
-    // Supervise: a backend that dies is reported once (the health
-    // prober routes around it); restart-with-rejoin is future work
-    // (ROADMAP).
-    let mut reported = vec![false; children.len()];
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(1));
-        for (child, reported) in children.iter_mut().zip(reported.iter_mut()) {
-            if !*reported && !child.is_alive() {
-                *reported = true;
-                eprintln!(
-                    "backend {} (pid {}) exited; traffic fails over to its replicas",
-                    child.id(),
-                    child.pid()
-                );
+    if restart {
+        // Supervise with restart-with-rejoin: a dead child is respawned
+        // under its old id on a fresh port, swapped into the ring (two
+        // epoch bumps), and the repair loop re-ingests its shard from
+        // the surviving replicas.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(1));
+            ziggy::fleet::restart_dead_children(&binary, &mut children, fleet.state(), &[]);
+        }
+    } else {
+        // Report-only supervision: the health prober routes around the
+        // dead child and the repair loop restores replication on the
+        // survivors, but the capacity stays lost until an operator acts.
+        let mut reported = vec![false; children.len()];
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(1));
+            for (child, reported) in children.iter_mut().zip(reported.iter_mut()) {
+                if !*reported && !child.is_alive() {
+                    *reported = true;
+                    eprintln!(
+                        "backend {} (pid {}) exited; traffic fails over to its replicas",
+                        child.id(),
+                        child.pid()
+                    );
+                }
             }
         }
     }

@@ -79,6 +79,10 @@ fn fleet_of_processes_matches_single_node_and_survives_a_kill() {
         FleetOptions {
             replication: REPLICATION,
             probe_interval: Duration::from_millis(100),
+            // This test pins the *failover* semantics in isolation: a
+            // dead replica stays lost (`replicas` drops to 1). The
+            // self-healing path has its own chaos test below.
+            repair_interval: None,
             ..FleetOptions::default()
         },
     )
@@ -231,6 +235,201 @@ fn fleet_of_processes_matches_single_node_and_survives_a_kill() {
     // Children are killed on drop; make it explicit for the log.
     for mut c in children {
         c.kill();
+    }
+}
+
+/// Chaos: kill a replica *process* under live traffic, and assert the
+/// fleet self-heals — the repair loop restores `replicas` to R on every
+/// affected table, clients see zero non-200 responses and byte-identical
+/// reports throughout (wire bytes are timing-free, so even a freshly
+/// repaired replica's build revalidates the old ETag with a 304), and
+/// the supervisor's restart-with-rejoin brings the dead member back with
+/// its shard re-ingested.
+#[test]
+fn chaos_kill_mid_traffic_repairs_and_rejoins() {
+    let binary = Path::new(env!("CARGO_BIN_EXE_ziggy"));
+    let twin = ziggy::synth::box_office(7);
+    let csv = write_csv_string(&twin.table, ',');
+    let query_body = json_body(&[("query", &twin.predicate)]);
+
+    let mut children: Vec<BackendProcess> = (0..4)
+        .map(|i| BackendProcess::spawn(binary, format!("shard-{i}"), &[]).unwrap())
+        .collect();
+    let addrs = children
+        .iter()
+        .map(|c| (c.id().to_string(), c.addr()))
+        .collect();
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: REPLICATION,
+            probe_interval: Duration::from_millis(50),
+            repair_interval: Some(Duration::from_millis(150)),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    let body = json_body(&[("name", "boxoffice"), ("csv", &csv)]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+
+    // Baseline bytes + validator. Deterministic across every replica
+    // that will ever build this report, repaired copies included.
+    let mut client = Client::connect(router).unwrap();
+    let (status, headers, baseline) = client
+        .request_with_headers(
+            "POST",
+            "/tables/boxoffice/characterize",
+            &[],
+            Some(&query_body),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{baseline}");
+    let etag = headers
+        .iter()
+        .find(|(k, _)| k == "etag")
+        .map(|(_, v)| v.clone())
+        .expect("characterize must carry an ETag");
+
+    let holders: Vec<usize> = children
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            let (s, body) = request_once(c.addr(), "GET", "/tables", None).unwrap();
+            assert_eq!(s, 200);
+            body.contains("\"boxoffice\"")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(holders.len(), REPLICATION);
+
+    // Traffic threads hammer the table while the victim dies.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let victim = holders[0];
+    let bad: Vec<(u16, String)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut bad = Vec::new();
+                    let mut client = Client::connect(router).unwrap();
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let (status, body) = client
+                            .request("POST", "/tables/boxoffice/characterize", Some(&query_body))
+                            .unwrap();
+                        if status != 200 || body != baseline {
+                            bad.push((status, body));
+                        }
+                    }
+                    bad
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(150));
+        // SIGKILL mid-traffic.
+        children[victim].kill();
+        // Keep the load on until repair has had time to re-materialize.
+        std::thread::sleep(Duration::from_millis(600));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect()
+    });
+    assert!(
+        bad.is_empty(),
+        "a dying replica must be invisible: {} bad responses, first: {:?}",
+        bad.len(),
+        bad.first()
+    );
+
+    // The repair loop restores R *live* replicas (the dead process's
+    // copy no longer answers; a healthy backend received a new one).
+    wait_for_replicas(router, "boxoffice", REPLICATION as u64);
+    assert!(fleet.state().metrics.repairs_total.get() >= 1);
+
+    // Byte identity and revalidation across the repaired copy: every
+    // surviving read — wherever it routes — serves the baseline bytes,
+    // and the pre-kill validator still answers 304.
+    for _ in 0..4 {
+        let (status, body) = client
+            .request("POST", "/tables/boxoffice/characterize", Some(&query_body))
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            body, baseline,
+            "repaired replicas must serve identical bytes"
+        );
+        let (status, _, empty) = client
+            .request_with_headers(
+                "POST",
+                "/tables/boxoffice/characterize",
+                &[("If-None-Match", &etag)],
+                Some(&query_body),
+            )
+            .unwrap();
+        assert_eq!(status, 304, "{empty}");
+    }
+
+    // Supervisor restart-with-rejoin: the dead child respawns under its
+    // old id, rejoins the ring (two epoch bumps), and repair re-ingests
+    // its shard from the survivors.
+    let epoch_before = fleet.state().epoch();
+    let restarted = ziggy::fleet::restart_dead_children(binary, &mut children, fleet.state(), &[]);
+    assert_eq!(restarted, vec![format!("shard-{victim}")]);
+    assert_eq!(fleet.state().epoch(), epoch_before + 2);
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let (s, body) = request_once(children[victim].addr(), "GET", "/tables", None).unwrap();
+        if s == 200 && body.contains("\"boxoffice\"") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "repair never re-ingested the rejoined member's shard: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // And the rejoined member's own build answers the old validator.
+    let (status, body) = client
+        .request("POST", "/tables/boxoffice/characterize", Some(&query_body))
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, baseline);
+
+    fleet.shutdown();
+    for mut c in children {
+        c.kill();
+    }
+}
+
+/// Polls the router's scatter-gathered listing until `table` reports at
+/// least `want` live replicas.
+fn wait_for_replicas(router: std::net::SocketAddr, table: &str, want: u64) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let (status, listing) = request_once(router, "GET", "/tables", None).unwrap();
+        assert_eq!(status, 200);
+        let v = serde_json::from_str_value(&listing).unwrap();
+        let replicas = v
+            .get("tables")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|t| t.get("name").unwrap().as_str() == Some(table))
+            .and_then(|t| t.get("replicas").unwrap().as_u64())
+            .unwrap_or(0);
+        if replicas >= want {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replication never converged: {listing}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
     }
 }
 
