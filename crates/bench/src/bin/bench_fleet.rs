@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use serde_json::{Number, Value};
 use ziggy_fleet::{start_fleet, BackendProcess, FleetOptions};
+use ziggy_obs::Histogram;
 use ziggy_serve::http::{request_once, Client};
 use ziggy_serve::{serve, ServeOptions, ServerHandle};
 
@@ -120,6 +121,9 @@ struct SetResult {
     ingest_ms: f64,
     warm_rps: f64,
     warm_elapsed_s: f64,
+    warm_p50_ms: f64,
+    warm_p95_ms: f64,
+    warm_p99_ms: f64,
     total_requests: usize,
     failovers: u64,
 }
@@ -163,15 +167,21 @@ fn run_set(
     drop(warm);
 
     let total_requests = clients * requests_per_client;
+    // End-to-end (client → router → backend) latency percentiles, on
+    // the same log-linear ladder `/metrics` exposes.
+    let latency = Histogram::new();
     let t_warm = Instant::now();
     std::thread::scope(|s| {
         for _ in 0..clients {
+            let latency = &latency;
             s.spawn(move || {
                 let mut client = Client::connect(router).unwrap();
                 for _ in 0..requests_per_client {
+                    let t_req = Instant::now();
                     let (status, body) = client
                         .request("POST", "/tables/crime/characterize", Some(query_body))
                         .unwrap();
+                    latency.record(t_req.elapsed());
                     assert_eq!(status, 200, "{body}");
                 }
             });
@@ -179,6 +189,8 @@ fn run_set(
     });
     let warm_elapsed_s = t_warm.elapsed().as_secs_f64();
     let failovers = fleet.state().metrics.failovers_total.get();
+    let snap = latency.snapshot();
+    let pct_ms = |q: f64| snap.quantile_us(q).unwrap_or(0) as f64 / 1e3;
 
     fleet.shutdown();
     backends.shutdown();
@@ -188,6 +200,9 @@ fn run_set(
         ingest_ms,
         warm_rps: total_requests as f64 / warm_elapsed_s,
         warm_elapsed_s,
+        warm_p50_ms: pct_ms(0.50),
+        warm_p95_ms: pct_ms(0.95),
+        warm_p99_ms: pct_ms(0.99),
         total_requests,
         failovers,
     }
@@ -446,6 +461,9 @@ fn main() {
                             ("ingest_ms".into(), num_f(r.ingest_ms)),
                             ("warm_requests_per_sec".into(), num_f(r.warm_rps)),
                             ("warm_elapsed_s".into(), num_f(r.warm_elapsed_s)),
+                            ("warm_p50_latency_ms".into(), num_f(r.warm_p50_ms)),
+                            ("warm_p95_latency_ms".into(), num_f(r.warm_p95_ms)),
+                            ("warm_p99_latency_ms".into(), num_f(r.warm_p99_ms)),
                             ("speedup_vs_1".into(), num_f(r.warm_rps / baseline)),
                             ("failovers".into(), num_u(r.failovers)),
                         ])

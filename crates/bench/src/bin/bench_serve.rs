@@ -23,6 +23,7 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use serde_json::{Number, Value};
+use ziggy_obs::Histogram;
 use ziggy_serve::http::Client;
 use ziggy_serve::{serve, ServeOptions};
 
@@ -79,17 +80,24 @@ fn main() {
     drop(warmup);
 
     // Warm phase: all clients hammer the shared engine concurrently.
+    // Per-request latencies land in one shared lock-free histogram, the
+    // same log-linear ladder `/metrics` exposes, so the JSON reports
+    // tail percentiles instead of just a mean.
     let total_requests = clients * requests_per_client;
+    let latency = Histogram::new();
     let t_warm = Instant::now();
     std::thread::scope(|s| {
         for _ in 0..clients {
             let query_body = &query_body;
+            let latency = &latency;
             s.spawn(move || {
                 let mut client = Client::connect(addr).unwrap();
                 for _ in 0..requests_per_client {
+                    let t_req = Instant::now();
                     let (status, body) = client
                         .request("POST", "/tables/crime/characterize", Some(query_body))
                         .unwrap();
+                    latency.record(t_req.elapsed());
                     assert_eq!(status, 200, "{body}");
                 }
             });
@@ -97,6 +105,8 @@ fn main() {
     });
     let elapsed = t_warm.elapsed().as_secs_f64();
     let rps = total_requests as f64 / elapsed;
+    let snap = latency.snapshot();
+    let pct_ms = |q: f64| snap.quantile_us(q).unwrap_or(0) as f64 / 1e3;
 
     // Revalidation phase: warm clients holding the ETag revalidate with
     // If-None-Match and get bodyless 304s.
@@ -146,6 +156,9 @@ fn main() {
             "warm_mean_latency_ms".into(),
             num_f(elapsed * 1e3 * clients as f64 / total_requests as f64),
         ),
+        ("warm_p50_latency_ms".into(), num_f(pct_ms(0.50))),
+        ("warm_p95_latency_ms".into(), num_f(pct_ms(0.95))),
+        ("warm_p99_latency_ms".into(), num_f(pct_ms(0.99))),
         (
             "cache".into(),
             Value::Object(vec![

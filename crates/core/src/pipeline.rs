@@ -97,6 +97,31 @@ impl CachedReport {
     }
 }
 
+/// The deepest reuse level that answered a characterization — the
+/// engine's three-tier cache hierarchy, numbered shallow to deep. The
+/// serving layer surfaces it per response in the `Server-Timing`
+/// header so clients can see *why* a request was fast or slow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReuseLevel {
+    /// Level 1: the pipeline ran end to end; only the memoized search
+    /// plan (dependency graph + candidate views) and the whole-table
+    /// statistics were reused.
+    Plan = 1,
+    /// Level 2: the pipeline ran, but the per-mask [`PreparedStats`]
+    /// came from the prepared cache — the masked scans were skipped.
+    Prepared = 2,
+    /// Level 3: the finished report bytes came from the report cache;
+    /// no pipeline stage ran at all.
+    Report = 3,
+}
+
+impl ReuseLevel {
+    /// The numeric level (1..=3).
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+}
+
 /// What a cache-aware characterization returns: the (possibly shared)
 /// cached artifact plus whether this call actually ran the pipeline.
 /// Callers that meter work (the serving layer's stage-timing metrics)
@@ -108,6 +133,8 @@ pub struct CharacterizeOutcome {
     /// True when this call built the report; false when it was served
     /// from the report cache.
     pub fresh: bool,
+    /// The deepest cache level that answered this call.
+    pub reuse: ReuseLevel,
 }
 
 /// The Ziggy engine bound to one table.
@@ -379,7 +406,9 @@ impl Ziggy {
             // Struct-only caller with the report cache disabled: run the
             // pipeline directly, paying no serialization at all.
             let (n_inside, n_outside) = self.validated_sides(mask)?;
-            return self.run_pipeline(mask, query_label, n_inside, n_outside);
+            return self
+                .run_pipeline(mask, query_label, n_inside, n_outside)
+                .map(|(report, _)| report);
         }
         Ok(self
             .characterize_mask_cached(mask, query_label)?
@@ -401,10 +430,16 @@ impl Ziggy {
     ) -> Result<CharacterizeOutcome> {
         let (n_inside, n_outside) = self.validated_sides(mask)?;
         if self.config.report_cache_capacity == 0 {
-            let report = self.run_pipeline(mask, query_label, n_inside, n_outside)?;
+            let (report, prepared_hit) =
+                self.run_pipeline(mask, query_label, n_inside, n_outside)?;
             return Ok(CharacterizeOutcome {
                 cached: Arc::new(CachedReport::build(report)),
                 fresh: true,
+                reuse: if prepared_hit {
+                    ReuseLevel::Prepared
+                } else {
+                    ReuseLevel::Plan
+                },
             });
         }
         let key: ReportKey = (
@@ -413,22 +448,39 @@ impl Ziggy {
             query_label.to_string(),
         );
         let mut fresh = false;
+        let mut prepared_hit = false;
         let cached = self.reports.get_or_build(&key, || {
             fresh = true;
             self.run_pipeline(mask, query_label, n_inside, n_outside)
-                .map(|report| Arc::new(CachedReport::build(report)))
+                .map(|(report, hit)| {
+                    prepared_hit = hit;
+                    Arc::new(CachedReport::build(report))
+                })
         })?;
-        Ok(CharacterizeOutcome { cached, fresh })
+        // Losers of a concurrent collapse share the winner's artifact,
+        // which from their perspective is a report-cache hit.
+        let reuse = match (fresh, prepared_hit) {
+            (false, _) => ReuseLevel::Report,
+            (true, true) => ReuseLevel::Prepared,
+            (true, false) => ReuseLevel::Plan,
+        };
+        Ok(CharacterizeOutcome {
+            cached,
+            fresh,
+            reuse,
+        })
     }
 
     /// Runs the three pipeline stages for one genuinely new request.
+    /// Also reports whether stage 1 was answered by the prepared cache
+    /// (the reuse-level-2 signal).
     fn run_pipeline(
         &self,
         mask: &Bitmask,
         query_label: &str,
         n_inside: usize,
         n_outside: usize,
-    ) -> Result<CharacterizationReport> {
+    ) -> Result<(CharacterizationReport, bool)> {
         // --- Stage 1: preparation. --------------------------------------
         // Reuse on top of reuse: a mask already prepared on this engine
         // (by any thread, session, or client) is served from the
@@ -438,10 +490,13 @@ impl Ziggy {
         // subtraction.
         let t0 = Instant::now();
         let graph = self.graph()?;
+        let mut prepared_hit = true;
         let prepared: Arc<PreparedStats> = if self.config.prepared_cache_capacity == 0 {
+            prepared_hit = false;
             Arc::new(prepare(&self.cache, mask, graph.columns(), &self.config)?)
         } else {
             self.prepared.get_or_build(mask, || {
+                prepared_hit = false;
                 prepare(&self.cache, mask, graph.columns(), &self.config).map(Arc::new)
             })?
         };
@@ -497,17 +552,20 @@ impl Ziggy {
         }
         let post_processing_us = t2.elapsed().as_micros() as u64;
 
-        Ok(CharacterizationReport {
-            query: query_label.to_string(),
-            n_inside,
-            n_outside,
-            views,
-            timings: StageTimings {
-                preparation_us,
-                view_search_us,
-                post_processing_us,
+        Ok((
+            CharacterizationReport {
+                query: query_label.to_string(),
+                n_inside,
+                n_outside,
+                views,
+                timings: StageTimings {
+                    preparation_us,
+                    view_search_us,
+                    post_processing_us,
+                },
             },
-        })
+            prepared_hit,
+        ))
     }
 }
 

@@ -15,6 +15,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ziggy_obs::{Histogram, LoopStats};
+
 use crate::proxy::BackendPool;
 
 /// Consecutive failures (probe or proxy) before a backend is marked
@@ -37,6 +39,9 @@ pub struct Backend {
     consecutive_failures: AtomicU32,
     /// Lifetime failure observations (probe and proxy), for `/metrics`.
     failures_total: AtomicU64,
+    /// Latency of proxied request legs to this backend (router-observed
+    /// upstream time, connection setup included).
+    upstream: Histogram,
     pool: BackendPool,
 }
 
@@ -62,6 +67,7 @@ impl Backend {
             healthy: AtomicBool::new(true),
             consecutive_failures: AtomicU32::new(0),
             failures_total: AtomicU64::new(0),
+            upstream: Histogram::new(),
             pool: BackendPool::new(addr),
         }
     }
@@ -89,6 +95,16 @@ impl Backend {
     /// Lifetime failure observations.
     pub fn failures_total(&self) -> u64 {
         self.failures_total.load(Ordering::Relaxed)
+    }
+
+    /// The upstream-latency histogram of proxied legs to this backend.
+    pub fn upstream_latency(&self) -> &Histogram {
+        &self.upstream
+    }
+
+    /// Records one proxied leg's upstream duration.
+    pub fn record_upstream(&self, d: Duration) {
+        self.upstream.record(d);
     }
 
     /// Records a successful probe or proxied request: one success is
@@ -150,17 +166,33 @@ impl Prober {
     /// `interval` (the provider is re-consulted each round, so dynamic
     /// membership changes take effect without restarting the prober).
     pub fn start(backends: BackendsProvider, interval: Duration) -> Self {
+        Self::start_observed(backends, interval, None)
+    }
+
+    /// Like [`Prober::start`], recording each round's duration and
+    /// outcome (a round is *ok* when every probe succeeded) into
+    /// `stats` for `/metrics` exposition.
+    pub fn start_observed(
+        backends: BackendsProvider,
+        interval: Duration,
+        stats: Option<Arc<LoopStats>>,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("ziggy-fleet-prober".into())
             .spawn(move || {
                 while !stop_flag.load(Ordering::Relaxed) {
+                    let round_started = std::time::Instant::now();
+                    let mut all_ok = true;
                     for backend in backends() {
                         if stop_flag.load(Ordering::Relaxed) {
                             return;
                         }
-                        backend.probe();
+                        all_ok &= backend.probe();
+                    }
+                    if let Some(stats) = &stats {
+                        stats.record_round(round_started.elapsed(), all_ok);
                     }
                     // Sleep in slices so shutdown never waits out a
                     // long probe interval.

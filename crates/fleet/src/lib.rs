@@ -63,16 +63,20 @@ pub mod spawn;
 
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ziggy_serve::http::{Request, Server};
+use ziggy_obs::trace::{mint_trace_id, sanitize_trace_id, TRACE_HEADER};
+use ziggy_serve::http::{EdgeObserver, Request, Server};
 use ziggy_serve::{AccessLog, RateLimiter, Response};
 
 pub use backend::{Backend, BackendsProvider, Prober};
 pub use repair::{repair_round, RepairReport, Repairer};
 pub use ring::HashRing;
-pub use router::{route_fleet, FleetState, Membership};
+pub use router::{
+    fleet_route_key, route_fleet, route_fleet_traced, FleetState, Membership, FLEET_ROUTE_KEYS,
+};
 pub use spawn::{restart_dead_children, BackendProcess};
 
 /// Options for [`start_fleet`].
@@ -87,6 +91,9 @@ pub struct FleetOptions {
     /// Emit one structured JSON access-log line per request (with the
     /// backend id for proxied requests) to stderr.
     pub access_log: bool,
+    /// Append access-log lines to this file instead of stderr (implies
+    /// logging even when `access_log` is false).
+    pub access_log_path: Option<PathBuf>,
     /// Per-client token-bucket rate limit at the router edge;
     /// `None` disables. `GET /healthz` is exempt.
     pub rate_limit: Option<u32>,
@@ -111,6 +118,7 @@ impl Default for FleetOptions {
                 .unwrap_or(4)
                 .max(2),
             access_log: false,
+            access_log_path: None,
             rate_limit: None,
             probe_interval: backend::DEFAULT_PROBE_INTERVAL,
             session_ttl: Some(Duration::from_secs(3600)),
@@ -171,39 +179,68 @@ pub fn start_fleet(
     ));
     // The prober reads membership through the state each round, so
     // backends added or removed at runtime are picked up within one
-    // interval.
+    // interval. It shares the state's LoopStats so `/metrics` sees its
+    // round durations and failure streaks.
     let prober = {
-        let state = Arc::clone(&state);
-        Prober::start(Arc::new(move || state.backends()), options.probe_interval)
+        let provider_state = Arc::clone(&state);
+        Prober::start_observed(
+            Arc::new(move || provider_state.backends()),
+            options.probe_interval,
+            Some(Arc::clone(&state.probe_stats)),
+        )
     };
     let repairer = options
         .repair_interval
         .map(|interval| Repairer::start(Arc::clone(&state), interval));
     let limiter = options.rate_limit.map(RateLimiter::new);
-    let log = Arc::new(if options.access_log {
-        AccessLog::stderr()
-    } else {
-        AccessLog::disabled()
+    let log = Arc::new(match &options.access_log_path {
+        Some(path) => AccessLog::to_file(path)?,
+        None if options.access_log => AccessLog::stderr(),
+        None => AccessLog::disabled(),
     });
     let handler_state = Arc::clone(&state);
-    let server = Server::start(
+    let handler_log = Arc::clone(&log);
+    // Edge rejections (over-capacity 503, malformed 400) are written
+    // below the handler; the observer gets them into the same log.
+    let edge_log = Arc::clone(&log);
+    let edge: EdgeObserver = Arc::new(move |status: u16, trace: &str| {
+        edge_log.log("-", "-", status, 0.0, Some(trace), None);
+    });
+    let server = Server::start_observed(
         addr,
         options.threads,
         Arc::new(move |req: &Request| {
             let started = Instant::now();
+            // Honor a well-formed caller-supplied X-Request-Id (so a
+            // client can stitch its own traces); mint one otherwise.
+            // The id rides every proxied leg and comes back on the
+            // response, the router log line, and each backend log line.
+            let trace: String = req
+                .header(TRACE_HEADER)
+                .and_then(sanitize_trace_id)
+                .map(str::to_string)
+                .unwrap_or_else(mint_trace_id);
             let (response, backend) = match throttle(&handler_state, limiter.as_ref(), req) {
                 Some(resp) => (resp, None),
-                None => route_fleet(&handler_state, req),
+                None => route_fleet_traced(&handler_state, req, Some(&trace)),
             };
-            log.log(
+            let elapsed = started.elapsed();
+            handler_state
+                .route_latency
+                .record_us(fleet_route_key(&req.method, &req.path), {
+                    elapsed.as_micros().min(u64::MAX as u128) as u64
+                });
+            handler_log.log(
                 &req.method,
                 &req.path,
                 response.status,
-                started.elapsed().as_secs_f64() * 1e3,
+                elapsed.as_secs_f64() * 1e3,
+                Some(&trace),
                 backend.as_deref(),
             );
-            response
+            response.with_header(TRACE_HEADER, trace)
         }),
+        Some(edge),
     )?;
     Ok(FleetHandle {
         server,

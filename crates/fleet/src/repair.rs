@@ -61,6 +61,17 @@ pub struct RepairReport {
 /// repair synchronously (e.g. right after an admin membership change)
 /// instead of waiting out the background interval.
 pub fn repair_round(state: &FleetState) -> RepairReport {
+    let round_started = std::time::Instant::now();
+    let report = repair_round_inner(state);
+    // A round is *ok* when no repair leg failed; the stats feed the
+    // router's `/healthz` (last-round age) and Prometheus exposition.
+    state
+        .repair_stats
+        .record_round(round_started.elapsed(), report.failed == 0);
+    report
+}
+
+fn repair_round_inner(state: &FleetState) -> RepairReport {
     let view = state.membership();
     let mut report = RepairReport::default();
 

@@ -41,12 +41,38 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use serde_json::Value;
+use ziggy_obs::trace::TRACE_HEADER;
+use ziggy_obs::{LoopStats, PromDoc, RouteHistograms};
 use ziggy_serve::http::{Request, Response};
 use ziggy_serve::json::{parse_object, required_str};
 use ziggy_serve::metrics::Counter;
 
 use crate::backend::Backend;
 use crate::ring::HashRing;
+
+/// Route-label keys for the router's latency histograms: the single-node
+/// keys plus the fleet-only `admin` surface.
+pub const FLEET_ROUTE_KEYS: &[&str] = &[
+    "healthz",
+    "metrics",
+    "tables",
+    "characterize",
+    "csv",
+    "sessions",
+    "session_step",
+    "admin",
+    "other",
+];
+
+/// Maps a request to its route-label key (bounded cardinality; see
+/// [`ziggy_serve::metrics::route_key`]).
+pub fn fleet_route_key(method: &str, path: &str) -> &'static str {
+    if path == "/admin" || path.starts_with("/admin/") {
+        "admin"
+    } else {
+        ziggy_serve::metrics::route_key(method, path)
+    }
+}
 
 fn num_u(n: u64) -> Value {
     Value::Number(serde_json::Number::U(n))
@@ -193,6 +219,16 @@ pub struct FleetState {
     round_robin: AtomicUsize,
     /// Router-level counters.
     pub metrics: FleetMetrics,
+    /// Per-route request latency at the router edge, keyed by
+    /// [`FLEET_ROUTE_KEYS`].
+    pub route_latency: RouteHistograms,
+    /// Repair-loop round durations and outcomes.
+    pub repair_stats: LoopStats,
+    /// Prober round durations and outcomes (shared with the prober
+    /// thread).
+    pub probe_stats: Arc<LoopStats>,
+    /// Router start, for `/healthz` uptime and the uptime gauge.
+    pub started: Instant,
 }
 
 impl FleetState {
@@ -217,6 +253,10 @@ impl FleetState {
             last_session_sweep: Mutex::new(None),
             round_robin: AtomicUsize::new(0),
             metrics: FleetMetrics::default(),
+            route_latency: RouteHistograms::new(FLEET_ROUTE_KEYS),
+            repair_stats: LoopStats::new(),
+            probe_stats: Arc::new(LoopStats::new()),
+            started: Instant::now(),
         }
     }
 
@@ -367,7 +407,21 @@ impl FleetState {
 
 /// Routes one request. Returns the response plus the id of the backend
 /// that served it, when exactly one did (for the access log).
+/// Compatibility wrapper over [`route_fleet_traced`] for callers
+/// without a trace id (in-process tests and benchmarks).
 pub fn route_fleet(state: &FleetState, req: &Request) -> (Response, Option<String>) {
+    route_fleet_traced(state, req, None)
+}
+
+/// Routes one request, propagating `trace` (the request's
+/// `X-Request-Id`) on every proxied leg so backend access logs carry
+/// the same id as the router's. Returns the response plus the id of the
+/// backend that served it, when exactly one did (for the access log).
+pub fn route_fleet_traced(
+    state: &FleetState,
+    req: &Request,
+    trace: Option<&str>,
+) -> (Response, Option<String>) {
     state.metrics.requests_total.inc();
     // One membership snapshot per request: the whole request — placement,
     // fan-out, failover — drains on this view even if an admin call swaps
@@ -376,14 +430,16 @@ pub fn route_fleet(state: &FleetState, req: &Request) -> (Response, Option<Strin
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let (response, backend) = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => (handle_healthz(state, &view), None),
-        ("GET", ["metrics"]) => (handle_metrics(state, &view), None),
+        ("GET", ["metrics"]) => (handle_metrics(state, &view, req), None),
         ("GET", ["tables"]) => (handle_list_tables(state, &view), None),
         ("POST", ["tables"]) => (handle_create_table(state, &view, &req.body), None),
-        ("POST", ["tables", name, "characterize"]) => handle_characterize(state, &view, name, req),
-        ("GET", ["tables", name, "csv"]) => handle_export_csv(state, &view, name),
+        ("POST", ["tables", name, "characterize"]) => {
+            handle_characterize(state, &view, name, req, trace)
+        }
+        ("GET", ["tables", name, "csv"]) => handle_export_csv(state, &view, name, trace),
         ("DELETE", ["tables", name]) => (handle_delete_table(state, &view, name), None),
-        ("POST", ["sessions"]) => handle_create_session(state, &view, &req.body),
-        ("POST", ["sessions", id, "step"]) => handle_session_step(state, id, &req.body),
+        ("POST", ["sessions"]) => handle_create_session(state, &view, &req.body, trace),
+        ("POST", ["sessions", id, "step"]) => handle_session_step(state, id, &req.body, trace),
         ("DELETE", ["sessions", id]) => handle_delete_session(state, id),
         ("GET", ["admin", "backends"]) => (handle_admin_list(&view), None),
         ("POST", ["admin", "backends"]) => (handle_admin_add(state, &req.body), None),
@@ -458,6 +514,7 @@ fn forward_with_headers(
     body: Option<&str>,
 ) -> std::io::Result<ziggy_serve::http::FullResponse> {
     state.metrics.proxied_total.inc();
+    let started = Instant::now();
     match backend.pool().request_with_headers(
         method,
         path,
@@ -466,6 +523,7 @@ fn forward_with_headers(
         retry_safe(method, path),
     ) {
         Ok(response) => {
+            backend.record_upstream(started.elapsed());
             backend.record_success();
             Ok(response)
         }
@@ -474,6 +532,11 @@ fn forward_with_headers(
             Err(e)
         }
     }
+}
+
+/// The extra request headers carrying the trace id, when one exists.
+fn trace_headers(trace: Option<&str>) -> Vec<(&'static str, &str)> {
+    trace.map(|t| vec![(TRACE_HEADER, t)]).unwrap_or_default()
 }
 
 fn utf8_body(body: &[u8]) -> Result<&str, Response> {
@@ -491,6 +554,13 @@ fn backend_summary(b: &Backend) -> Value {
 fn handle_healthz(state: &FleetState, view: &Membership) -> Response {
     let backends: Vec<Value> = view.backends().iter().map(|b| backend_summary(b)).collect();
     let any_healthy = view.backends().iter().any(|b| b.is_healthy());
+    // Age of the last completed repair round; null until one has run
+    // (including when the repair loop is disabled).
+    let repair_age = state
+        .repair_stats
+        .last_round_age()
+        .map(|age| Value::Number(serde_json::Number::F(age.as_secs_f64())))
+        .unwrap_or(Value::Null);
     let body = Value::Object(vec![
         (
             "status".into(),
@@ -498,6 +568,12 @@ fn handle_healthz(state: &FleetState, view: &Membership) -> Response {
         ),
         ("epoch".into(), num_u(view.epoch())),
         ("replication".into(), num_u(state.replication as u64)),
+        ("uptime_s".into(), num_u(state.started.elapsed().as_secs())),
+        (
+            "version".into(),
+            Value::String(env!("CARGO_PKG_VERSION").into()),
+        ),
+        ("last_repair_round_age_s".into(), repair_age),
         ("backends".into(), Value::Array(backends)),
     ]);
     Response::new(
@@ -609,7 +685,129 @@ fn scatter_get(
     })
 }
 
-fn handle_metrics(state: &FleetState, view: &Membership) -> Response {
+/// The router's own metrics as a Prometheus document (`ziggy_fleet_`
+/// prefix, so scraping a router and a backend into one job cannot
+/// collide family names).
+fn router_prometheus(state: &FleetState, view: &Membership) -> PromDoc {
+    let mut doc = PromDoc::new();
+    for (name, counter) in [
+        ("ziggy_fleet_requests_total", &state.metrics.requests_total),
+        ("ziggy_fleet_errors_total", &state.metrics.errors_total),
+        ("ziggy_fleet_proxied_total", &state.metrics.proxied_total),
+        (
+            "ziggy_fleet_failovers_total",
+            &state.metrics.failovers_total,
+        ),
+        (
+            "ziggy_fleet_rate_limited_total",
+            &state.metrics.rate_limited,
+        ),
+        (
+            "ziggy_fleet_membership_changes_total",
+            &state.metrics.membership_changes,
+        ),
+        ("ziggy_fleet_repairs_total", &state.metrics.repairs_total),
+        (
+            "ziggy_fleet_repair_failures_total",
+            &state.metrics.repair_failures_total,
+        ),
+    ] {
+        doc.counter(name, &[], counter.get());
+    }
+    doc.gauge("ziggy_fleet_epoch", &[], view.epoch() as f64);
+    doc.gauge(
+        "ziggy_fleet_uptime_seconds",
+        &[],
+        state.started.elapsed().as_secs_f64(),
+    );
+    doc.gauge(
+        "ziggy_fleet_build_info",
+        &[("version", env!("CARGO_PKG_VERSION"))],
+        1.0,
+    );
+    doc.gauge("ziggy_fleet_backends", &[], view.backends().len() as f64);
+    doc.gauge(
+        "ziggy_fleet_backends_healthy",
+        &[],
+        view.backends().iter().filter(|b| b.is_healthy()).count() as f64,
+    );
+    for (route, hist) in state.route_latency.iter() {
+        if hist.count() > 0 {
+            doc.histogram_us(
+                "ziggy_fleet_request_duration_seconds",
+                &[("route", route)],
+                &hist.snapshot(),
+            );
+        }
+    }
+    for b in view.backends() {
+        if b.upstream_latency().count() > 0 {
+            doc.histogram_us(
+                "ziggy_fleet_upstream_duration_seconds",
+                &[("backend", b.id())],
+                &b.upstream_latency().snapshot(),
+            );
+        }
+    }
+    for (loop_name, stats) in [
+        ("repair", &state.repair_stats),
+        ("probe", &*state.probe_stats),
+    ] {
+        doc.counter(
+            "ziggy_fleet_loop_rounds_total",
+            &[("loop", loop_name)],
+            stats.rounds(),
+        );
+        doc.counter(
+            "ziggy_fleet_loop_round_failures_total",
+            &[("loop", loop_name)],
+            stats.failures(),
+        );
+        doc.gauge(
+            "ziggy_fleet_loop_consecutive_failures",
+            &[("loop", loop_name)],
+            stats.consecutive_failures() as f64,
+        );
+        if let Some(age) = stats.last_round_age() {
+            doc.gauge(
+                "ziggy_fleet_loop_last_round_age_seconds",
+                &[("loop", loop_name)],
+                age.as_secs_f64(),
+            );
+        }
+        if stats.durations().count() > 0 {
+            doc.histogram_us(
+                "ziggy_fleet_loop_round_duration_seconds",
+                &[("loop", loop_name)],
+                &stats.durations().snapshot(),
+            );
+        }
+    }
+    doc
+}
+
+/// `GET /metrics?format=prometheus`: the router's own families plus
+/// every backend's exposition scatter-gathered in parallel, each sample
+/// stamped with its `shard` label. A backend that fails to answer (or
+/// answers unparseable text) contributes nothing — the scrape must
+/// degrade, not 503.
+fn handle_metrics_prometheus(state: &FleetState, view: &Membership) -> Response {
+    let mut doc = router_prometheus(state, view);
+    let gathered = scatter_get(state, view, "/metrics?format=prometheus");
+    for (backend, result) in view.backends().iter().zip(gathered) {
+        if let Ok((200, body)) = result {
+            if let Ok(shard_doc) = PromDoc::parse(&body) {
+                doc.absorb(shard_doc, Some(("shard", backend.id())));
+            }
+        }
+    }
+    Response::new(200, doc.render()).with_header("Content-Type", "text/plain; version=0.0.4")
+}
+
+fn handle_metrics(state: &FleetState, view: &Membership, req: &Request) -> Response {
+    if req.query_param("format") == Some("prometheus") {
+        return handle_metrics_prometheus(state, view);
+    }
     let gathered = scatter_get(state, view, "/metrics");
     let shards: Vec<Value> = view
         .backends()
@@ -828,10 +1026,14 @@ fn proxy_read_with_failover(
                 }
                 // Verbatim: characterize responses (bytes, 304s, and
                 // validators) must stay identical to a single-node
-                // serve.
+                // serve. Server-Timing rides along so the client sees
+                // the winning replica's stage timings and reuse level.
                 let mut response = Response::new(status, resp_body);
                 if let Some((_, etag)) = headers.iter().find(|(k, _)| k == "etag") {
                     response = response.with_header("ETag", etag.clone());
+                }
+                if let Some((_, timing)) = headers.iter().find(|(k, _)| k == "server-timing") {
+                    response = response.with_header("Server-Timing", timing.clone());
                 }
                 return (response, Some(backend.id().to_string()));
             }
@@ -852,28 +1054,31 @@ fn handle_characterize(
     view: &Membership,
     name: &str,
     req: &Request,
+    trace: Option<&str>,
 ) -> (Response, Option<String>) {
     let body = match utf8_body(&req.body) {
         Ok(b) => b,
         Err(resp) => return (resp, None),
     };
     // Forward the conditional header so the backend's report cache can
-    // answer 304 without shipping the body across either hop.
-    let conditional: Vec<(&str, &str)> = req
-        .header("if-none-match")
-        .map(|v| vec![("If-None-Match", v)])
-        .unwrap_or_default();
+    // answer 304 without shipping the body across either hop, and the
+    // trace id so the backend's access log carries it.
+    let mut extra = trace_headers(trace);
+    if let Some(v) = req.header("if-none-match") {
+        extra.push(("If-None-Match", v));
+    }
     let path = format!("/tables/{name}/characterize");
-    proxy_read_with_failover(state, view, name, "POST", &path, &conditional, Some(body))
+    proxy_read_with_failover(state, view, name, "POST", &path, &extra, Some(body))
 }
 
 fn handle_export_csv(
     state: &FleetState,
     view: &Membership,
     name: &str,
+    trace: Option<&str>,
 ) -> (Response, Option<String>) {
     let path = format!("/tables/{name}/csv");
-    proxy_read_with_failover(state, view, name, "GET", &path, &[], None)
+    proxy_read_with_failover(state, view, name, "GET", &path, &trace_headers(trace), None)
 }
 
 /// Deletes a table from **every member**, not just its nominal replica
@@ -935,6 +1140,7 @@ fn handle_create_session(
     state: &FleetState,
     view: &Membership,
     body: &[u8],
+    trace: Option<&str>,
 ) -> (Response, Option<String>) {
     let parsed = match parse_object(body) {
         Ok(v) => v,
@@ -964,7 +1170,16 @@ fn handle_create_session(
     }
     let mut fallback: Option<(u16, String)> = None;
     for backend in order {
-        match forward(state, &backend, "POST", "/sessions", Some(body)) {
+        let leg = forward_with_headers(
+            state,
+            &backend,
+            "POST",
+            "/sessions",
+            &trace_headers(trace),
+            Some(body),
+        )
+        .map(|(status, _, resp_body)| (status, resp_body));
+        match leg {
             Ok((201, resp_body)) => {
                 let Some(backend_session) = serde_json::from_str_value(&resp_body)
                     .ok()
@@ -1048,7 +1263,12 @@ fn parse_fleet_session_id(id: &str) -> Result<u64, Response> {
         .map_err(|_| error_response(400, "session id must be an integer"))
 }
 
-fn handle_session_step(state: &FleetState, id: &str, body: &[u8]) -> (Response, Option<String>) {
+fn handle_session_step(
+    state: &FleetState,
+    id: &str,
+    body: &[u8],
+    trace: Option<&str>,
+) -> (Response, Option<String>) {
     let id = match parse_fleet_session_id(id) {
         Ok(id) => id,
         Err(resp) => return (resp, None),
@@ -1066,7 +1286,16 @@ fn handle_session_step(state: &FleetState, id: &str, body: &[u8]) -> (Response, 
         }
     };
     let path = format!("/sessions/{backend_session}/step");
-    match forward(state, &backend, "POST", &path, Some(body)) {
+    let leg = forward_with_headers(
+        state,
+        &backend,
+        "POST",
+        &path,
+        &trace_headers(trace),
+        Some(body),
+    )
+    .map(|(status, _, resp_body)| (status, resp_body));
+    match leg {
         Ok((404, resp_body)) => {
             // The backend forgot the session (TTL expiry, table delete):
             // the fleet mapping is stale too.

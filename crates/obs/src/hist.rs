@@ -1,0 +1,282 @@
+//! A mergeable log-linear latency histogram.
+//!
+//! The bucket ladder is **fixed**: sub-buckets {1..9} × 10^k µs for
+//! decades k = 0..=7 (1 µs … 90 s, 72 finite buckets) plus one overflow
+//! bucket. A fixed ladder buys two properties a tunable one cannot:
+//! histograms recorded by different threads, processes, or shards merge
+//! by plain bucket-wise addition, and an estimated quantile is provably
+//! within **one bucket width** of the exact sorted-sample quantile
+//! (both land in the same bucket by construction; the bucket in decade
+//! k is 10^k µs wide, ≈11% relative error).
+//!
+//! Recording is lock-free — one binary search over the const bound
+//! array plus four relaxed atomic adds — so it sits on the request hot
+//! path of every served response.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Decades covered by the finite buckets (10^0 … 10^7 µs).
+const DECADES: usize = 8;
+
+/// Number of finite buckets.
+pub const FINITE_BUCKETS: usize = DECADES * 9;
+
+/// Index of the overflow bucket (values above the last finite bound).
+pub const OVERFLOW_BUCKET: usize = FINITE_BUCKETS;
+
+const fn build_bounds() -> [u64; FINITE_BUCKETS] {
+    let mut out = [0u64; FINITE_BUCKETS];
+    let mut k = 0;
+    let mut scale = 1u64;
+    while k < DECADES {
+        let mut d = 1u64;
+        while d <= 9 {
+            out[k * 9 + (d as usize) - 1] = d * scale;
+            d += 1;
+        }
+        scale *= 10;
+        k += 1;
+    }
+    out
+}
+
+/// Inclusive upper bounds of the finite buckets, in µs:
+/// 1, 2, …, 9, 10, 20, …, 90, 100, …, 9×10^7.
+pub const BUCKET_BOUNDS_US: [u64; FINITE_BUCKETS] = build_bounds();
+
+/// The inclusive upper bounds of the finite buckets (µs).
+pub fn bucket_bounds_us() -> &'static [u64] {
+    &BUCKET_BOUNDS_US
+}
+
+/// Index of the bucket holding `us` (overflow index included).
+fn bucket_index(us: u64) -> usize {
+    BUCKET_BOUNDS_US
+        .partition_point(|&b| b < us)
+        .min(OVERFLOW_BUCKET)
+}
+
+/// Width (µs) of the finite bucket containing `value`; `u64::MAX` for
+/// values past the ladder (the overflow bucket is unbounded).
+pub fn bucket_width_us(value: u64) -> u64 {
+    let idx = BUCKET_BOUNDS_US.partition_point(|&b| b < value);
+    if idx >= FINITE_BUCKETS {
+        return u64::MAX;
+    }
+    let upper = BUCKET_BOUNDS_US[idx];
+    let lower = if idx == 0 {
+        0
+    } else {
+        BUCKET_BOUNDS_US[idx - 1]
+    };
+    upper - lower
+}
+
+/// A fixed-ladder log-linear histogram with atomic counters.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; FINITE_BUCKETS + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `us` microseconds (lock-free).
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Records one observed duration.
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (µs).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (µs); 0 when empty.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Folds `other` into `self` bucket-wise — the scatter-gather
+    /// primitive. Exact because both sides share the fixed ladder.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_us
+            .fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_us
+            .fetch_max(other.max_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters (buckets are read one by
+    /// one with relaxed loads; concurrent recording may be torn across
+    /// buckets, which is fine for telemetry).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum_us: self.sum_us(),
+            max_us: self.max_us(),
+        }
+    }
+
+    /// Estimated `q`-quantile in µs (see [`HistogramSnapshot::quantile_us`]).
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile_us(q)
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Raw (non-cumulative) per-bucket counts; the last entry is the
+    /// overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations (µs).
+    pub sum_us: u64,
+    /// Largest observation (µs); 0 when empty.
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile in µs, or `None` when empty.
+    ///
+    /// Rank rule: the ⌈q·n⌉-th smallest sample (clamped to [1, n]) —
+    /// the same rule the property tests apply to the exact sorted
+    /// samples. The estimate is the upper bound of the bucket holding
+    /// that rank (clamped to the observed max), so it is always ≥ the
+    /// exact quantile and within one bucket width of it.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(if i >= FINITE_BUCKETS {
+                    self.max_us
+                } else {
+                    BUCKET_BOUNDS_US[i].min(self.max_us)
+                });
+            }
+        }
+        // Unreachable when count matches the bucket sums; degrade to max.
+        Some(self.max_us)
+    }
+
+    /// Mean observation in µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_shape() {
+        assert_eq!(BUCKET_BOUNDS_US[0], 1);
+        assert_eq!(BUCKET_BOUNDS_US[8], 9);
+        assert_eq!(BUCKET_BOUNDS_US[9], 10);
+        assert_eq!(BUCKET_BOUNDS_US[FINITE_BUCKETS - 1], 90_000_000);
+        assert!(BUCKET_BOUNDS_US.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn record_places_values_in_the_right_bucket() {
+        let h = Histogram::new();
+        h.record_us(0); // ≤ 1 → first bucket.
+        h.record_us(1);
+        h.record_us(10);
+        h.record_us(11); // → bucket with bound 20.
+        h.record_us(100_000_000); // past the ladder → overflow.
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[9], 1);
+        assert_eq!(snap.buckets[10], 1);
+        assert_eq!(snap.buckets[OVERFLOW_BUCKET], 1);
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.max_us, 100_000_000);
+    }
+
+    #[test]
+    fn quantiles_of_known_samples() {
+        let h = Histogram::new();
+        for us in [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000] {
+            h.record_us(us);
+        }
+        // Exact values sit on bucket bounds, so estimates are exact.
+        assert_eq!(h.quantile_us(0.5), Some(500));
+        assert_eq!(h.quantile_us(0.95), Some(1000));
+        assert_eq!(h.quantile_us(1.0), Some(1000));
+        assert_eq!(h.quantile_us(0.0), Some(100));
+        assert_eq!(Histogram::new().quantile_us(0.5), None);
+    }
+
+    #[test]
+    fn quantile_of_overflow_values_is_the_max() {
+        let h = Histogram::new();
+        h.record_us(95_000_000);
+        h.record_us(120_000_000);
+        assert_eq!(h.quantile_us(1.0), Some(120_000_000));
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_the_max() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        a.record_us(10);
+        a.record_us(20);
+        b.record_us(30_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum_us(), 30_030);
+        assert_eq!(a.max_us(), 30_000);
+        assert_eq!(a.quantile_us(1.0), Some(30_000));
+    }
+}

@@ -1,0 +1,163 @@
+#![warn(missing_docs)]
+
+//! `ziggy-obs` — the observability substrate shared by serve, fleet,
+//! and bench.
+//!
+//! Everything here is dependency-free `std` so any crate in the
+//! workspace (including the HTTP layer, which deliberately has no
+//! external deps) can record telemetry without pulling anything in:
+//!
+//! * [`Histogram`] — a mergeable log-linear latency histogram with
+//!   lock-free recording (relaxed atomics) and quantile estimation.
+//!   The bucket ladder is fixed ({1..9}×10^k µs), so histograms filled
+//!   on different shards [`Histogram::merge`] exactly — the router can
+//!   scatter-gather per-backend distributions without resampling.
+//! * [`trace`] — request-trace ids: minting, and sanitizing
+//!   caller-supplied `X-Request-Id` values so they are header- and
+//!   log-safe.
+//! * [`prom`] — Prometheus text exposition: a [`prom::PromDoc`] that
+//!   renders counters / gauges / histograms, *parses* exposition text
+//!   back (so the router can relabel and re-serve backend scrapes, and
+//!   CI can lint the output), and a [`prom::PromDoc::lint`] validating
+//!   names, types, monotone bucket counts, and `_sum`/`_count`
+//!   consistency.
+//! * [`LoopStats`] — rounds / failure-streak / duration telemetry for
+//!   background loops (the fleet's repair loop and health prober).
+
+pub mod hist;
+pub mod prom;
+pub mod trace;
+
+pub use hist::{bucket_bounds_us, bucket_width_us, Histogram, HistogramSnapshot};
+pub use prom::{PromDoc, PromFamily, PromKind, PromSample};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A named set of histograms with a fixed, `'static` key space —
+/// per-route request latency, keyed by a route class the caller
+/// derives from the request. Lookups are a linear scan over a handful
+/// of entries; recording stays lock-free.
+#[derive(Debug)]
+pub struct RouteHistograms {
+    entries: Vec<(&'static str, Histogram)>,
+}
+
+impl RouteHistograms {
+    /// A histogram per key. Keys are the full, closed set of route
+    /// classes; [`RouteHistograms::record`] with an unknown key is a
+    /// silent no-op (telemetry must never panic the data path).
+    pub fn new(keys: &[&'static str]) -> Self {
+        Self {
+            entries: keys.iter().map(|&k| (k, Histogram::new())).collect(),
+        }
+    }
+
+    /// Records one observation under `key`.
+    pub fn record_us(&self, key: &str, us: u64) {
+        if let Some((_, h)) = self.entries.iter().find(|(k, _)| *k == key) {
+            h.record_us(us);
+        }
+    }
+
+    /// Iterates `(key, histogram)` pairs in construction order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.entries.iter().map(|(k, h)| (*k, h))
+    }
+}
+
+/// Telemetry for a background loop (repair, prober): round counts, the
+/// consecutive-failure streak, a duration histogram, and the time of
+/// the last completed round — enough for a probe to tell a wedged loop
+/// from an idle one.
+#[derive(Debug, Default)]
+pub struct LoopStats {
+    rounds: AtomicU64,
+    failures: AtomicU64,
+    consecutive_failures: AtomicU64,
+    durations: Histogram,
+    last_round: Mutex<Option<Instant>>,
+}
+
+impl LoopStats {
+    /// A fresh, all-zero stats block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed round: its duration and whether it
+    /// succeeded. A success resets the consecutive-failure streak.
+    pub fn record_round(&self, duration: Duration, ok: bool) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        if ok {
+            self.consecutive_failures.store(0, Ordering::Relaxed);
+        } else {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            self.consecutive_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.durations.record(duration);
+        if let Ok(mut last) = self.last_round.lock() {
+            *last = Some(Instant::now());
+        }
+    }
+
+    /// Total rounds recorded.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Total failed rounds.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Failed rounds since the last success (0 while healthy).
+    pub fn consecutive_failures(&self) -> u64 {
+        self.consecutive_failures.load(Ordering::Relaxed)
+    }
+
+    /// The per-round duration distribution.
+    pub fn durations(&self) -> &Histogram {
+        &self.durations
+    }
+
+    /// Time since the last completed round; `None` before the first.
+    pub fn last_round_age(&self) -> Option<Duration> {
+        self.last_round
+            .lock()
+            .ok()
+            .and_then(|last| last.map(|t| t.elapsed()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_histograms_record_by_key_and_ignore_unknown() {
+        let routes = RouteHistograms::new(&["a", "b"]);
+        routes.record_us("a", 100);
+        routes.record_us("a", 200);
+        routes.record_us("nope", 1); // Silent no-op.
+        let by_key: Vec<(&str, u64)> = routes.iter().map(|(k, h)| (k, h.count())).collect();
+        assert_eq!(by_key, vec![("a", 2), ("b", 0)]);
+    }
+
+    #[test]
+    fn loop_stats_track_streaks_and_age() {
+        let stats = LoopStats::new();
+        assert_eq!(stats.last_round_age(), None);
+        stats.record_round(Duration::from_millis(2), true);
+        stats.record_round(Duration::from_millis(3), false);
+        stats.record_round(Duration::from_millis(3), false);
+        assert_eq!(stats.rounds(), 3);
+        assert_eq!(stats.failures(), 2);
+        assert_eq!(stats.consecutive_failures(), 2);
+        stats.record_round(Duration::from_millis(1), true);
+        assert_eq!(stats.consecutive_failures(), 0);
+        assert!(stats.last_round_age().unwrap() < Duration::from_secs(5));
+        assert_eq!(stats.durations().count(), 4);
+    }
+}

@@ -1,0 +1,714 @@
+//! Prometheus text exposition (format 0.0.4): writer, parser, lint.
+//!
+//! One document type, [`PromDoc`], serves three roles:
+//!
+//! * **Writer** — serve and the fleet router build a `PromDoc` from
+//!   their counters and [`crate::Histogram`] snapshots and
+//!   [`PromDoc::render`] it as the `?format=prometheus` body.
+//! * **Parser** — the router [`PromDoc::parse`]s each backend's
+//!   exposition, [`PromDoc::absorb`]s it with a `shard="<id>"` label,
+//!   and re-renders the merged document — scatter-gather without any
+//!   knowledge of which metrics a backend exports.
+//! * **Lint** — CI scrapes a live server and [`PromDoc::lint`]s the
+//!   result: metric/label name syntax, counter sanity, monotone
+//!   cumulative bucket counts, `le="+Inf"` present and equal to
+//!   `_count`, `_sum` present.
+
+use crate::hist::{HistogramSnapshot, BUCKET_BOUNDS_US, FINITE_BUCKETS};
+
+/// Metric family type, as declared by a `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Cumulative bucket distribution (`_bucket`/`_sum`/`_count`).
+    Histogram,
+    /// No declared type.
+    Untyped,
+}
+
+impl PromKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+            PromKind::Histogram => "histogram",
+            PromKind::Untyped => "untyped",
+        }
+    }
+}
+
+/// One sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Sample name (for histograms: `<family>_bucket` / `_sum` / `_count`).
+    pub name: String,
+    /// Label pairs in emission order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One metric family: a `# TYPE` declaration plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// Family name.
+    pub name: String,
+    /// Declared type.
+    pub kind: PromKind,
+    /// Samples, in emission order.
+    pub samples: Vec<PromSample>,
+}
+
+/// A full exposition document. See the module docs for the three roles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PromDoc {
+    /// Families in emission order.
+    pub families: Vec<PromFamily>,
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats an `le` bound given in µs as seconds (shortest round-trip
+/// decimal, e.g. `0.005`).
+fn le_seconds(bound_us: u64) -> String {
+    format!("{}", bound_us as f64 / 1e6)
+}
+
+impl PromDoc {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The family named `name`, created with `kind` if absent.
+    pub fn family(&mut self, name: &str, kind: PromKind) -> &mut PromFamily {
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            return &mut self.families[i];
+        }
+        self.families.push(PromFamily {
+            name: name.to_string(),
+            kind,
+            samples: Vec::new(),
+        });
+        self.families.last_mut().expect("just pushed")
+    }
+
+    fn push_sample(&mut self, family: &str, kind: PromKind, sample: PromSample) {
+        self.family(family, kind).samples.push(sample);
+    }
+
+    /// Appends one counter sample.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.push_sample(
+            name,
+            PromKind::Counter,
+            PromSample {
+                name: name.to_string(),
+                labels: own_labels(labels),
+                value: value as f64,
+            },
+        );
+    }
+
+    /// Appends one gauge sample.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.push_sample(
+            name,
+            PromKind::Gauge,
+            PromSample {
+                name: name.to_string(),
+                labels: own_labels(labels),
+                value,
+            },
+        );
+    }
+
+    /// Appends one histogram labelset (`_bucket` lines in **seconds**,
+    /// `le="+Inf"`, `_sum`, `_count`) from a snapshot recorded in µs.
+    /// Finite buckets past the last non-empty one are elided — the
+    /// cumulative count has already reached its total, and `+Inf`
+    /// closes the set — keeping idle histograms to three lines.
+    pub fn histogram_us(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        let base = own_labels(labels);
+        let fam = self.family(name, PromKind::Histogram);
+        let last_used = snap.buckets[..FINITE_BUCKETS.min(snap.buckets.len())]
+            .iter()
+            .rposition(|&c| c != 0);
+        let mut cumulative = 0u64;
+        if let Some(last) = last_used {
+            for (i, &c) in snap.buckets[..=last].iter().enumerate() {
+                cumulative += c;
+                let mut labels = base.clone();
+                labels.push(("le".to_string(), le_seconds(BUCKET_BOUNDS_US[i])));
+                fam.samples.push(PromSample {
+                    name: format!("{name}_bucket"),
+                    labels,
+                    value: cumulative as f64,
+                });
+            }
+        }
+        let mut inf_labels = base.clone();
+        inf_labels.push(("le".to_string(), "+Inf".to_string()));
+        fam.samples.push(PromSample {
+            name: format!("{name}_bucket"),
+            labels: inf_labels,
+            value: snap.count as f64,
+        });
+        fam.samples.push(PromSample {
+            name: format!("{name}_sum"),
+            labels: base.clone(),
+            value: snap.sum_us as f64 / 1e6,
+        });
+        fam.samples.push(PromSample {
+            name: format!("{name}_count"),
+            labels: base,
+            value: snap.count as f64,
+        });
+    }
+
+    /// Merges `other` into `self`, optionally stamping every absorbed
+    /// sample with one extra label (the router adds `shard="<id>"`).
+    /// Families with the same name are combined; a declared kind wins
+    /// over `Untyped` when the two sides disagree that way.
+    pub fn absorb(&mut self, other: PromDoc, extra_label: Option<(&str, &str)>) {
+        for mut fam in other.families {
+            if let Some((k, v)) = extra_label {
+                for s in &mut fam.samples {
+                    s.labels.push((k.to_string(), v.to_string()));
+                }
+            }
+            if let Some(existing) = self.families.iter_mut().find(|f| f.name == fam.name) {
+                if existing.kind == PromKind::Untyped {
+                    existing.kind = fam.kind;
+                }
+                existing.samples.extend(fam.samples);
+            } else {
+                self.families.push(fam);
+            }
+        }
+    }
+
+    /// Renders the document as exposition text (one `# TYPE` line per
+    /// family, then its samples).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for fam in &self.families {
+            out.push_str("# TYPE ");
+            out.push_str(&fam.name);
+            out.push(' ');
+            out.push_str(fam.kind.as_str());
+            out.push('\n');
+            for s in &fam.samples {
+                out.push_str(&s.name);
+                if !s.labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in s.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(k);
+                        out.push_str("=\"");
+                        out.push_str(&escape_label_value(v));
+                        out.push('"');
+                    }
+                    out.push('}');
+                }
+                out.push(' ');
+                if s.value == s.value.trunc() && s.value.abs() < 1e15 {
+                    out.push_str(&format!("{}", s.value as i64));
+                } else {
+                    out.push_str(&format!("{}", s.value));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parses exposition text. Samples whose name matches no declared
+    /// family (directly, or as a histogram's `_bucket`/`_sum`/`_count`)
+    /// open an `untyped` family of their own name.
+    pub fn parse(text: &str) -> Result<PromDoc, String> {
+        let mut doc = PromDoc::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let fail = |msg: String| format!("line {}: {msg}", lineno + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it
+                    .next()
+                    .ok_or_else(|| fail("TYPE line without a name".into()))?;
+                let kind = match it.next() {
+                    Some("counter") => PromKind::Counter,
+                    Some("gauge") => PromKind::Gauge,
+                    Some("histogram") => PromKind::Histogram,
+                    Some("untyped") => PromKind::Untyped,
+                    other => return Err(fail(format!("bad TYPE kind {other:?}"))),
+                };
+                if doc.families.iter().any(|f| f.name == name) {
+                    return Err(fail(format!("duplicate TYPE for {name}")));
+                }
+                doc.families.push(PromFamily {
+                    name: name.to_string(),
+                    kind,
+                    samples: Vec::new(),
+                });
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // HELP and other comments.
+            }
+            let sample = parse_sample(line).map_err(fail)?;
+            let family = doc
+                .families
+                .iter_mut()
+                .find(|f| sample_belongs_to(f, &sample.name));
+            match family {
+                Some(f) => f.samples.push(sample),
+                None => {
+                    let name = sample.name.clone();
+                    doc.families.push(PromFamily {
+                        name,
+                        kind: PromKind::Untyped,
+                        samples: vec![sample],
+                    });
+                }
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Validates the document, returning one message per problem
+    /// (empty = clean). See the module docs for the checks.
+    pub fn lint(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for fam in &self.families {
+            if !valid_metric_name(&fam.name) {
+                problems.push(format!("family `{}`: invalid metric name", fam.name));
+            }
+            for s in &fam.samples {
+                if !valid_metric_name(&s.name) {
+                    problems.push(format!("sample `{}`: invalid metric name", s.name));
+                }
+                for (k, _) in &s.labels {
+                    if !valid_label_name(k) {
+                        problems.push(format!("sample `{}`: invalid label name `{k}`", s.name));
+                    }
+                }
+                if s.value.is_nan() {
+                    problems.push(format!("sample `{}`: NaN value", s.name));
+                }
+            }
+            match fam.kind {
+                PromKind::Counter | PromKind::Gauge | PromKind::Untyped => {
+                    for s in &fam.samples {
+                        if s.name != fam.name {
+                            problems.push(format!(
+                                "family `{}`: sample `{}` does not match the family name",
+                                fam.name, s.name
+                            ));
+                        }
+                        if fam.kind == PromKind::Counter && s.value < 0.0 {
+                            problems
+                                .push(format!("counter `{}`: negative value {}", s.name, s.value));
+                        }
+                    }
+                }
+                PromKind::Histogram => lint_histogram(fam, &mut problems),
+            }
+        }
+        problems
+    }
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn sample_belongs_to(fam: &PromFamily, sample_name: &str) -> bool {
+    if fam.name == sample_name {
+        return true;
+    }
+    fam.kind == PromKind::Histogram
+        && sample_name
+            .strip_prefix(fam.name.as_str())
+            .is_some_and(|suffix| matches!(suffix, "_bucket" | "_sum" | "_count"))
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    let Some(first) = bytes.next() else {
+        return false;
+    };
+    let head_ok = first.is_ascii_alphabetic() || first == b'_' || first == b':';
+    head_ok && bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    let Some(first) = bytes.next() else {
+        return false;
+    };
+    let head_ok = first.is_ascii_alphabetic() || first == b'_';
+    head_ok && bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Parses one sample line: `name[{k="v",...}] value [timestamp]`.
+fn parse_sample(line: &str) -> Result<PromSample, String> {
+    let (name, rest) = match line.find(['{', ' ', '\t']) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => return Err(format!("sample without a value: `{line}`")),
+    };
+    if name.is_empty() {
+        return Err(format!("sample without a name: `{line}`"));
+    }
+    let (labels, value_part) = if let Some(rest) = rest.strip_prefix('{') {
+        parse_labels(rest)?
+    } else {
+        (Vec::new(), rest)
+    };
+    let mut fields = value_part.split_whitespace();
+    let value_text = fields
+        .next()
+        .ok_or_else(|| format!("sample `{name}` has no value"))?;
+    let value = match value_text {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("sample `{name}`: bad value `{other}`"))?,
+    };
+    // An optional trailing timestamp is allowed and ignored.
+    Ok(PromSample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parsed labels plus the remainder after the closing brace.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parses `k="v",...}` (the opening brace already consumed), returning
+/// the labels and the remainder after the closing brace.
+fn parse_labels(mut rest: &str) -> Result<ParsedLabels<'_>, String> {
+    let mut labels = Vec::new();
+    loop {
+        rest = rest.trim_start_matches([' ', ',']);
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=`: `{rest}`"))?;
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label `{key}`: value not quoted"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("label `{key}`: bad escape {other:?}")),
+                },
+                '"' => {
+                    end = Some(i + 1);
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        let end = end.ok_or_else(|| format!("label `{key}`: unterminated value"))?;
+        labels.push((key, value));
+        rest = &rest[end..];
+    }
+}
+
+/// Histogram-specific lint: per labelset (excluding `le`) the
+/// cumulative bucket counts must be monotone over increasing `le`,
+/// `le="+Inf"` must be present and equal `_count`, and `_sum` /
+/// `_count` must each appear exactly once.
+fn lint_histogram(fam: &PromFamily, problems: &mut Vec<String>) {
+    use std::collections::BTreeMap;
+    #[derive(Default)]
+    struct Group {
+        buckets: Vec<(f64, f64)>, // (le, cumulative count)
+        inf: Option<f64>,
+        sum: Vec<f64>,
+        count: Vec<f64>,
+    }
+    let bucket_name = format!("{}_bucket", fam.name);
+    let sum_name = format!("{}_sum", fam.name);
+    let count_name = format!("{}_count", fam.name);
+    let mut groups: BTreeMap<String, Group> = BTreeMap::new();
+    for s in &fam.samples {
+        let mut key_labels: Vec<(&str, &str)> = s
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        key_labels.sort_unstable();
+        let key = key_labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let group = groups.entry(key.clone()).or_default();
+        let describe = |what: &str| {
+            if key.is_empty() {
+                format!("histogram `{}`: {what}", fam.name)
+            } else {
+                format!("histogram `{}` {{{key}}}: {what}", fam.name)
+            }
+        };
+        if s.name == bucket_name {
+            match s.label("le") {
+                Some("+Inf") => group.inf = Some(s.value),
+                Some(le) => match le.parse::<f64>() {
+                    Ok(le) => group.buckets.push((le, s.value)),
+                    Err(_) => problems.push(describe(&format!("unparseable le `{le}`"))),
+                },
+                None => problems.push(describe("bucket sample without an le label")),
+            }
+        } else if s.name == sum_name {
+            group.sum.push(s.value);
+        } else if s.name == count_name {
+            group.count.push(s.value);
+        } else {
+            problems.push(format!(
+                "histogram `{}`: unexpected sample name `{}`",
+                fam.name, s.name
+            ));
+        }
+    }
+    for (key, group) in &groups {
+        let describe = |what: &str| {
+            if key.is_empty() {
+                format!("histogram `{}`: {what}", fam.name)
+            } else {
+                format!("histogram `{}` {{{key}}}: {what}", fam.name)
+            }
+        };
+        let mut sorted = group.buckets.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in sorted.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                problems.push(describe(&format!("duplicate le {}", pair[0].0)));
+            }
+            if pair[1].1 < pair[0].1 {
+                problems.push(describe(&format!(
+                    "bucket counts not monotone: le {} has {} but le {} has {}",
+                    pair[0].0, pair[0].1, pair[1].0, pair[1].1
+                )));
+            }
+        }
+        let Some(inf) = group.inf else {
+            problems.push(describe("missing le=\"+Inf\" bucket"));
+            continue;
+        };
+        if let Some(last) = sorted.last() {
+            if inf < last.1 {
+                problems.push(describe("+Inf bucket below the last finite bucket"));
+            }
+        }
+        match group.count.as_slice() {
+            [count] => {
+                if *count != inf {
+                    problems.push(describe(&format!(
+                        "_count {count} does not match +Inf bucket {inf}"
+                    )));
+                }
+            }
+            [] => problems.push(describe("missing _count")),
+            _ => problems.push(describe("multiple _count samples")),
+        }
+        match group.sum.as_slice() {
+            [_] => {}
+            [] => problems.push(describe("missing _sum")),
+            _ => problems.push(describe("multiple _sum samples")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn doc_with_histogram(values_us: &[u64]) -> PromDoc {
+        let h = Histogram::new();
+        for &v in values_us {
+            h.record_us(v);
+        }
+        let mut doc = PromDoc::new();
+        doc.counter("ziggy_requests_total", &[("route", "characterize")], 7);
+        doc.gauge("ziggy_uptime_seconds", &[], 12.5);
+        doc.histogram_us(
+            "ziggy_request_duration_seconds",
+            &[("route", "characterize")],
+            &h.snapshot(),
+        );
+        doc
+    }
+
+    #[test]
+    fn render_parse_round_trip_preserves_structure() {
+        let doc = doc_with_histogram(&[150, 4_000, 4_000, 250_000]);
+        let text = doc.render();
+        let parsed = PromDoc::parse(&text).expect("parses");
+        assert_eq!(parsed, doc);
+        assert!(parsed.lint().is_empty(), "{:?}", parsed.lint());
+    }
+
+    #[test]
+    fn rendered_histogram_is_cumulative_in_seconds() {
+        let text = doc_with_histogram(&[1_500, 900_000]).render();
+        assert!(text.contains("# TYPE ziggy_request_duration_seconds histogram"));
+        // 1.5 ms lands in the (1ms, 2ms] bucket → le="0.002".
+        assert!(
+            text.contains(
+                r#"ziggy_request_duration_seconds_bucket{route="characterize",le="0.002"} 1"#
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                r#"ziggy_request_duration_seconds_bucket{route="characterize",le="+Inf"} 2"#
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"ziggy_request_duration_seconds_count{route="characterize"} 2"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_renders_only_inf_sum_count() {
+        let mut doc = PromDoc::new();
+        doc.histogram_us("idle_seconds", &[], &Histogram::new().snapshot());
+        let text = doc.render();
+        assert_eq!(text.lines().count(), 4, "{text}");
+        assert!(PromDoc::parse(&text).unwrap().lint().is_empty());
+    }
+
+    #[test]
+    fn absorb_adds_the_shard_label_and_merges_families() {
+        let mut router = PromDoc::new();
+        router.counter("ziggy_requests_total", &[], 1);
+        let backend = doc_with_histogram(&[100]);
+        router.absorb(backend, Some(("shard", "shard-0")));
+        let text = router.render();
+        assert_eq!(text.matches("# TYPE ziggy_requests_total").count(), 1);
+        assert!(
+            text.contains(r#"ziggy_requests_total{route="characterize",shard="shard-0"} 7"#),
+            "{text}"
+        );
+        let parsed = PromDoc::parse(&text).unwrap();
+        assert!(parsed.lint().is_empty(), "{:?}", parsed.lint());
+    }
+
+    #[test]
+    fn label_values_round_trip_escapes() {
+        let mut doc = PromDoc::new();
+        doc.gauge("g", &[("path", "a\"b\\c\nd")], 1.0);
+        let parsed = PromDoc::parse(&doc.render()).unwrap();
+        assert_eq!(
+            parsed.families[0].samples[0].label("path"),
+            Some("a\"b\\c\nd")
+        );
+    }
+
+    #[test]
+    fn lint_flags_broken_documents() {
+        let broken = "\
+# TYPE h histogram
+h_bucket{le=\"0.1\"} 5
+h_bucket{le=\"0.2\"} 3
+h_bucket{le=\"+Inf\"} 9
+h_sum 1.5
+h_count 8
+# TYPE c counter
+c -1
+";
+        let doc = PromDoc::parse(broken).unwrap();
+        let problems = doc.lint();
+        assert!(
+            problems.iter().any(|p| p.contains("not monotone")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("does not match +Inf")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("negative value")),
+            "{problems:?}"
+        );
+
+        let missing_inf = "# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_sum 1\nh_count 5\n";
+        let problems = PromDoc::parse(missing_inf).unwrap().lint();
+        assert!(problems.iter().any(|p| p.contains("+Inf")), "{problems:?}");
+
+        let bad_name = "bad-name 1\n";
+        let problems = PromDoc::parse(bad_name).unwrap().lint();
+        assert!(
+            problems.iter().any(|p| p.contains("invalid metric name")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(PromDoc::parse("# TYPE x teapot\n").is_err());
+        assert!(PromDoc::parse("# TYPE x counter\n# TYPE x counter\n").is_err());
+        assert!(PromDoc::parse("name{le=\"0.1\" 1\n").is_err());
+        assert!(PromDoc::parse("name notanumber\n").is_err());
+        assert!(PromDoc::parse("justaname\n").is_err());
+    }
+
+    #[test]
+    fn parse_tolerates_help_comments_and_timestamps() {
+        let text = "# HELP c requests\n# TYPE c counter\nc{a=\"b\"} 4 1721930000123\n";
+        let doc = PromDoc::parse(text).unwrap();
+        assert_eq!(doc.families.len(), 1);
+        assert_eq!(doc.families[0].samples[0].value, 4.0);
+        assert!(doc.lint().is_empty());
+    }
+}

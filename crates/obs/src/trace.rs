@@ -1,0 +1,81 @@
+//! Request-trace ids.
+//!
+//! The fleet router mints one id per request and propagates it to the
+//! backend via the `X-Request-Id` header; both processes echo it on
+//! the response and stamp it on their access-log lines, so one grep
+//! over the two logs reconstructs the full hop chain. Callers may
+//! supply their own id, which is honored after [`sanitize_trace_id`]
+//! confirms it is header- and log-safe.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The header carrying the trace id end to end.
+pub const TRACE_HEADER: &str = "X-Request-Id";
+
+static MINT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Mints a fresh 16-hex-char trace id. Uniqueness comes from mixing
+/// the wall clock (ns), the process id, and a process-local sequence
+/// number through FNV-1a — no RNG dependency, unique across the
+/// processes of one fleet and across restarts.
+pub fn mint_trace_id() -> String {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let pid = std::process::id() as u64;
+    let seq = MINT_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in [nanos, pid, seq] {
+        for b in chunk.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Validates a caller-supplied trace id: 1..=64 chars of
+/// `[A-Za-z0-9_-]` (after trimming whitespace), so it can be echoed
+/// into response headers and JSON log lines verbatim without any
+/// escaping or header-injection risk. Returns the trimmed id, or
+/// `None` when the value must be replaced with a minted one.
+pub fn sanitize_trace_id(raw: &str) -> Option<&str> {
+    let t = raw.trim();
+    let ok = !t.is_empty()
+        && t.len() <= 64
+        && t.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_');
+    ok.then_some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_distinct_hex() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert_ne!(a, b);
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 16);
+            assert!(id.bytes().all(|b| b.is_ascii_hexdigit()));
+            assert!(sanitize_trace_id(id).is_some());
+        }
+    }
+
+    #[test]
+    fn sanitize_accepts_safe_ids_and_rejects_hostile_ones() {
+        assert_eq!(sanitize_trace_id("abc-DEF_123"), Some("abc-DEF_123"));
+        assert_eq!(sanitize_trace_id("  padded  "), Some("padded"));
+        assert_eq!(sanitize_trace_id(""), None);
+        assert_eq!(sanitize_trace_id("   "), None);
+        assert_eq!(sanitize_trace_id("has space"), None);
+        assert_eq!(sanitize_trace_id("quote\"inject"), None);
+        assert_eq!(sanitize_trace_id("newline\r\nX-Evil: 1"), None);
+        assert_eq!(sanitize_trace_id(&"x".repeat(65)), None);
+        assert_eq!(sanitize_trace_id(&"x".repeat(64)).map(str::len), Some(64));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: histogram quantile estimates stay within one bucket
+//! width of the exact sorted-sample quantiles — including after
+//! `merge()` of independently-filled histograms.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use ziggy_obs::{bucket_width_us, Histogram};
+
+const QS: [f64; 6] = [0.0, 0.5, 0.9, 0.95, 0.99, 1.0];
+
+/// The exact `q`-quantile of `samples` under the same rank rule the
+/// histogram uses: the ⌈q·n⌉-th smallest sample, clamped to [1, n].
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+fn assert_quantiles_close(hist: &Histogram, samples: &[u64]) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    for q in QS {
+        let exact = exact_quantile(&sorted, q);
+        let est = hist.quantile_us(q).expect("non-empty histogram");
+        // The estimate is the upper bound of the bucket holding the
+        // exact quantile (clamped to the observed max), so it can never
+        // undershoot and overshoots by at most that bucket's width.
+        assert!(
+            est >= exact,
+            "q={q}: estimate {est} undershoots exact {exact}"
+        );
+        let width = bucket_width_us(exact);
+        assert!(
+            est - exact <= width,
+            "q={q}: |{est} - {exact}| exceeds bucket width {width}"
+        );
+    }
+}
+
+// Samples stay within the finite ladder (≤ 9×10^7 µs = 90 s) so every
+// bucket has a finite width; overflow behavior has its own unit tests.
+const MAX_US: u64 = 90_000_001;
+
+proptest! {
+    #[test]
+    fn quantiles_within_one_bucket_width(samples in vec(0u64..MAX_US, 1..300)) {
+        let hist = Histogram::new();
+        for &s in &samples {
+            hist.record_us(s);
+        }
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        assert_quantiles_close(&hist, &samples);
+    }
+
+    #[test]
+    fn merged_quantiles_within_one_bucket_width(
+        left in vec(0u64..MAX_US, 1..200),
+        right in vec(0u64..MAX_US, 1..200),
+    ) {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for &s in &left {
+            a.record_us(s);
+        }
+        for &s in &right {
+            b.record_us(s);
+        }
+        a.merge(&b);
+        let combined: Vec<u64> = left.iter().chain(right.iter()).copied().collect();
+        prop_assert_eq!(a.count(), combined.len() as u64);
+        prop_assert_eq!(
+            a.sum_us(),
+            combined.iter().sum::<u64>()
+        );
+        assert_quantiles_close(&a, &combined);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one(
+        left in vec(0u64..MAX_US, 0..100),
+        right in vec(0u64..MAX_US, 0..100),
+    ) {
+        let (a, b, reference) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &s in &left {
+            a.record_us(s);
+            reference.record_us(s);
+        }
+        for &s in &right {
+            b.record_us(s);
+            reference.record_us(s);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.snapshot(), reference.snapshot());
+    }
+}

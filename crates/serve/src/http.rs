@@ -51,6 +51,8 @@ pub struct Request {
     pub method: String,
     /// Path component, query string stripped.
     pub path: String,
+    /// Raw query string (text after `?`, empty when absent).
+    pub query: String,
     /// Lower-cased header name/value pairs.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes.
@@ -69,9 +71,19 @@ impl Request {
             .find(|(k, _)| *k == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// The value of query parameter `key` (`?key=value&…`); no
+    /// percent-decoding (the API's parameters are plain tokens).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
 }
 
-/// An HTTP response (always `application/json` — this is a JSON API).
+/// An HTTP response (`application/json` unless a handler overrides the
+/// content type — the Prometheus exposition route serves plain text).
 #[derive(Debug, Clone)]
 pub struct Response {
     /// Status code.
@@ -81,8 +93,9 @@ pub struct Response {
     /// of copying the whole body per request.
     pub body: Arc<str>,
     /// Extra response headers (e.g. `Retry-After` on 429). The framing
-    /// headers (`Content-Type`, `Content-Length`, `Connection`) are
-    /// always emitted by the server and must not appear here.
+    /// headers (`Content-Length`, `Connection`) are always emitted by
+    /// the server and must not appear here; a `Content-Type` here
+    /// replaces the JSON default.
     pub headers: Vec<(String, String)>,
 }
 
@@ -125,6 +138,13 @@ fn reason(status: u16) -> &'static str {
 
 /// The application callback invoked per request.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Observer for responses written *below* the handler — the
+/// over-capacity 503 and the malformed-request 400, which never reach
+/// the router. Called with `(status, trace_id)` so those edge
+/// rejections still make it into the access log with a trace id
+/// instead of silently bypassing it.
+pub type EdgeObserver = Arc<dyn Fn(u16, &str) + Send + Sync>;
 
 /// Handles to every live connection, so shutdown can interrupt workers
 /// blocked reading idle keep-alive sockets.
@@ -272,6 +292,18 @@ impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// starts the accept loop plus `threads` workers.
     pub fn start(addr: impl ToSocketAddrs, threads: usize, handler: Handler) -> io::Result<Self> {
+        Self::start_observed(addr, threads, handler, None)
+    }
+
+    /// Like [`Server::start`], with an [`EdgeObserver`] notified of the
+    /// rejections written below the handler (503 over-capacity, 400
+    /// malformed) so the caller's access log sees every response.
+    pub fn start_observed(
+        addr: impl ToSocketAddrs,
+        threads: usize,
+        handler: Handler,
+        observer: Option<EdgeObserver>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -287,6 +319,7 @@ impl Server {
                 let tx = tx.clone();
                 let handler = Arc::clone(&handler);
                 let stop = Arc::clone(&stop);
+                let observer = observer.clone();
                 std::thread::Builder::new()
                     .name(format!("ziggy-serve-worker-{i}"))
                     .spawn(move || {
@@ -334,7 +367,7 @@ impl Server {
                                 }
                                 Probe::Ready => {
                                     idle_streak = 0;
-                                    if serve_one(&mut conn, &handler) {
+                                    if serve_one(&mut conn, &handler, observer.as_ref()) {
                                         conn.last_activity = Instant::now();
                                         let _ = tx.send(conn);
                                     }
@@ -349,6 +382,7 @@ impl Server {
         let acceptor = {
             let stop = Arc::clone(&stop);
             let tracker = Arc::clone(&tracker);
+            let observer = observer.clone();
             std::thread::Builder::new()
                 .name("ziggy-serve-acceptor".into())
                 .spawn(move || {
@@ -358,14 +392,22 @@ impl Server {
                         }
                         if let Ok(stream) = stream {
                             if tracker.conns.lock().expect("conn tracker").len() >= MAX_CONNS {
-                                refuse_overloaded(stream, "server at connection capacity");
+                                refuse_overloaded(
+                                    stream,
+                                    "server at connection capacity",
+                                    observer.clone(),
+                                );
                                 continue;
                             }
                             let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
                             let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
                             let _ = stream.set_nodelay(true);
                             let Ok(reader_half) = stream.try_clone() else {
-                                refuse_overloaded(stream, "connection setup failed");
+                                refuse_overloaded(
+                                    stream,
+                                    "connection setup failed",
+                                    observer.clone(),
+                                );
                                 continue;
                             };
                             let conn = Conn {
@@ -446,7 +488,7 @@ static ACTIVE_REFUSALS: std::sync::atomic::AtomicUsize = std::sync::atomic::Atom
 /// instead of an unexplained reset. Runs on a short-lived, capped,
 /// deadline-bounded thread so neither a slow peer nor a refusal flood
 /// can stall the acceptor or pile up resources.
-fn refuse_overloaded(stream: TcpStream, reason: &'static str) {
+fn refuse_overloaded(stream: TcpStream, reason: &'static str, observer: Option<EdgeObserver>) {
     if ACTIVE_REFUSALS.fetch_add(1, Ordering::Relaxed) >= MAX_REFUSAL_THREADS {
         ACTIVE_REFUSALS.fetch_sub(1, Ordering::Relaxed);
         return; // Refusal flood: fall back to dropping silently.
@@ -454,7 +496,7 @@ fn refuse_overloaded(stream: TcpStream, reason: &'static str) {
     let spawned = std::thread::Builder::new()
         .name("ziggy-serve-refuse".into())
         .spawn(move || {
-            refuse_overloaded_blocking(stream, reason);
+            refuse_overloaded_blocking(stream, reason, observer);
             ACTIVE_REFUSALS.fetch_sub(1, Ordering::Relaxed);
         });
     if spawned.is_err() {
@@ -462,11 +504,20 @@ fn refuse_overloaded(stream: TcpStream, reason: &'static str) {
     }
 }
 
-fn refuse_overloaded_blocking(mut stream: TcpStream, reason: &'static str) {
+fn refuse_overloaded_blocking(
+    mut stream: TcpStream,
+    reason: &'static str,
+    observer: Option<EdgeObserver>,
+) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let resp = Response::new(503, format!("{{\"error\":\"{reason}\"}}"));
+    let trace = ziggy_obs::trace::mint_trace_id();
+    let resp = Response::new(503, format!("{{\"error\":\"{reason}\"}}"))
+        .with_header(ziggy_obs::trace::TRACE_HEADER, trace.clone());
     let _ = write_response(&mut stream, &resp, true);
+    if let Some(observe) = observer {
+        observe(503, &trace);
+    }
     let _ = stream.shutdown(Shutdown::Write);
     drain_briefly(&mut stream);
 }
@@ -499,7 +550,7 @@ fn drain_briefly<R: Read>(reader: &mut R) {
 
 /// Serves exactly one request on a ready connection. Returns `true` when
 /// the connection should be requeued for more requests.
-fn serve_one(conn: &mut Conn, handler: &Handler) -> bool {
+fn serve_one(conn: &mut Conn, handler: &Handler, observer: Option<&EdgeObserver>) -> bool {
     conn.reader.get_mut().deadline = Instant::now() + REQUEST_DEADLINE;
     let request = match read_request(&mut conn.reader) {
         Ok(Some(mut r)) => {
@@ -512,8 +563,13 @@ fn serve_one(conn: &mut Conn, handler: &Handler) -> bool {
             // the unread remainder first so the close does not RST the
             // 400 away (same hazard as the over-capacity 503). The
             // deadline reset bounds each drain read.
-            let resp = Response::new(400, format!("{{\"error\":\"{e}\"}}"));
+            let trace = ziggy_obs::trace::mint_trace_id();
+            let resp = Response::new(400, format!("{{\"error\":\"{e}\"}}"))
+                .with_header(ziggy_obs::trace::TRACE_HEADER, trace.clone());
             let _ = write_response(&mut conn.writer, &resp, true);
+            if let Some(observe) = observer {
+                observe(400, &trace);
+            }
             let _ = conn.writer.shutdown(Shutdown::Write);
             conn.reader.get_mut().deadline = Instant::now() + DRAIN_DEADLINE;
             drain_briefly(&mut conn.reader);
@@ -566,7 +622,10 @@ fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1") => (m.to_ascii_uppercase(), t),
         _ => return Err(bad("malformed request line")),
     };
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -614,6 +673,7 @@ fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
     Ok(Some(Request {
         method,
         path,
+        query,
         headers,
         body,
         peer: None,
@@ -625,13 +685,22 @@ fn bad(msg: &str) -> io::Error {
 }
 
 fn write_response<W: Write>(writer: &mut W, response: &Response, close: bool) -> io::Result<()> {
+    // Default to JSON, but let a handler override the content type (the
+    // Prometheus exposition route serves text/plain).
+    let has_content_type = response
+        .headers
+        .iter()
+        .any(|(k, _)| k.eq_ignore_ascii_case("content-type"));
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
         response.body.len(),
         if close { "close" } else { "keep-alive" },
     );
+    if !has_content_type {
+        head.push_str("Content-Type: application/json\r\n");
+    }
     for (name, value) in &response.headers {
         head.push_str(name);
         head.push_str(": ");

@@ -6,18 +6,24 @@
 //! per line so the log is greppable *and* machine-parseable:
 //!
 //! ```text
-//! {"ts_ms":1721930000123,"method":"POST","path":"/tables/crime/characterize","status":200,"latency_ms":11.42,"backend":"shard-1"}
+//! {"ts_ms":1721930000123,"method":"POST","path":"/tables/crime/characterize","status":200,"latency_ms":11.42,"trace_id":"9f86d081884c7d65","backend":"shard-1"}
 //! ```
+//!
+//! `trace_id` is the request's `X-Request-Id` (caller-supplied or
+//! minted at the first hop), so one id greps the router line and every
+//! backend line it fanned out to.
 
 use std::io::Write;
+use std::path::Path;
 use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use serde_json::Value;
 
 /// A line-oriented access log. Disabled by default (zero cost beyond a
-/// branch); enable with [`AccessLog::stderr`] or point it at any writer
-/// with [`AccessLog::to_writer`] (tests capture a buffer this way).
+/// branch); enable with [`AccessLog::stderr`], point it at a file with
+/// [`AccessLog::to_file`], or at any writer with
+/// [`AccessLog::to_writer`] (tests capture a buffer this way).
 pub struct AccessLog {
     sink: Option<Mutex<Box<dyn Write + Send>>>,
 }
@@ -48,6 +54,17 @@ impl AccessLog {
         Self::to_writer(Box::new(std::io::stderr()))
     }
 
+    /// A log appending to a file (created if absent). The fleet
+    /// integration tests point spawned backends here to assert on
+    /// trace-id propagation across processes.
+    pub fn to_file(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self::to_writer(Box::new(file)))
+    }
+
     /// A log writing to an arbitrary sink.
     pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
         Self {
@@ -60,14 +77,16 @@ impl AccessLog {
         self.sink.is_some()
     }
 
-    /// Records one request. `backend` is the shard id a proxied request
-    /// was forwarded to (`None` for requests served locally).
+    /// Records one request. `trace_id` is the request's `X-Request-Id`;
+    /// `backend` is the shard id a proxied request was forwarded to
+    /// (`None` for requests served locally).
     pub fn log(
         &self,
         method: &str,
         path: &str,
         status: u16,
         latency_ms: f64,
+        trace_id: Option<&str>,
         backend: Option<&str>,
     ) {
         let Some(sink) = &self.sink else { return };
@@ -93,12 +112,16 @@ impl AccessLog {
                 Value::Number(serde_json::Number::F(latency_ms)),
             ),
         ];
+        if let Some(t) = trace_id {
+            pairs.push(("trace_id".to_string(), Value::String(t.to_string())));
+        }
         if let Some(b) = backend {
             pairs.push(("backend".to_string(), Value::String(b.to_string())));
         }
         let line = serde_json::to_string(&Value::Object(pairs)).expect("log lines always render");
         // A poisoned or failing sink must never take the server down;
-        // logging is best-effort by design.
+        // logging is best-effort by design. The single `writeln!` under
+        // the lock is what keeps concurrent lines atomic.
         if let Ok(mut w) = sink.lock() {
             let _ = writeln!(w, "{line}");
         }
@@ -129,12 +152,13 @@ mod tests {
         let buf = SharedBuf::default();
         let log = AccessLog::to_writer(Box::new(buf.clone()));
         assert!(log.enabled());
-        log.log("GET", "/healthz", 200, 0.1234, None);
+        log.log("GET", "/healthz", 200, 0.1234, None, None);
         log.log(
             "POST",
             "/tables/crime/characterize",
             200,
             12.5,
+            Some("9f86d081884c7d65"),
             Some("shard-1"),
         );
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
@@ -145,15 +169,91 @@ mod tests {
         assert_eq!(first.get("status").unwrap().as_u64(), Some(200));
         assert!(first.get("ts_ms").unwrap().as_u64().is_some());
         assert!(first.get("backend").is_none());
+        assert!(first.get("trace_id").is_none());
         let second = serde_json::from_str_value(lines[1]).unwrap();
         assert_eq!(second.get("backend").unwrap().as_str(), Some("shard-1"));
         assert_eq!(second.get("latency_ms").unwrap().as_f64(), Some(12.5));
+        assert_eq!(
+            second.get("trace_id").unwrap().as_str(),
+            Some("9f86d081884c7d65")
+        );
     }
 
     #[test]
     fn disabled_log_is_inert() {
         let log = AccessLog::disabled();
         assert!(!log.enabled());
-        log.log("GET", "/x", 200, 1.0, None); // Must not panic.
+        log.log("GET", "/x", 200, 1.0, None, None); // Must not panic.
+    }
+
+    #[test]
+    fn concurrent_writers_produce_atomic_valid_json_lines() {
+        let buf = SharedBuf::default();
+        let log = Arc::new(AccessLog::to_writer(Box::new(buf.clone())));
+        const WRITERS: usize = 8;
+        const LINES_EACH: usize = 200;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let log = Arc::clone(&log);
+                scope.spawn(move || {
+                    let trace = format!("writer-{w}");
+                    for i in 0..LINES_EACH {
+                        log.log(
+                            "POST",
+                            &format!("/tables/t{i}/characterize"),
+                            200,
+                            i as f64 / 7.0,
+                            Some(&trace),
+                            Some("shard-0"),
+                        );
+                    }
+                });
+            }
+        });
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), WRITERS * LINES_EACH);
+        let mut per_writer = vec![0usize; WRITERS];
+        for line in lines {
+            // Every line parses on its own: no interleaved fragments.
+            let v = serde_json::from_str_value(line)
+                .unwrap_or_else(|e| panic!("unparseable line {line:?}: {e}"));
+            let trace = v.get("trace_id").unwrap().as_str().unwrap();
+            let w: usize = trace.strip_prefix("writer-").unwrap().parse().unwrap();
+            per_writer[w] += 1;
+            assert_eq!(v.get("status").unwrap().as_u64(), Some(200));
+        }
+        assert!(
+            per_writer.iter().all(|&n| n == LINES_EACH),
+            "{per_writer:?}"
+        );
+    }
+
+    #[test]
+    fn file_sink_appends_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "ziggy-log-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.log");
+        {
+            let log = AccessLog::to_file(&path).unwrap();
+            log.log("GET", "/healthz", 200, 0.5, Some("abc123"), None);
+        }
+        {
+            let log = AccessLog::to_file(&path).unwrap();
+            log.log("GET", "/metrics", 200, 0.7, Some("def456"), None);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("abc123"));
+        assert!(
+            lines[1].contains("def456"),
+            "reopen must append, not truncate"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

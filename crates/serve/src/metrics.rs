@@ -1,9 +1,41 @@
-//! Request counters and stage-timing accumulators for `/metrics`.
+//! Request counters, latency histograms, and stage-timing accumulators
+//! for `/metrics` (JSON and Prometheus exposition).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde_json::Value;
 use ziggy_core::StageTimings;
+use ziggy_obs::{Histogram, PromDoc, RouteHistograms};
+
+/// Route-label keys for the per-route latency histograms. Every request
+/// maps onto exactly one of these (bounded cardinality by construction —
+/// table and session names never become labels).
+pub const ROUTE_KEYS: &[&str] = &[
+    "healthz",
+    "metrics",
+    "tables",
+    "characterize",
+    "csv",
+    "sessions",
+    "session_step",
+    "other",
+];
+
+/// Maps a request to its route-label key. Unknown paths all collapse
+/// into `other` so hostile traffic cannot inflate label cardinality.
+pub fn route_key(method: &str, path: &str) -> &'static str {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (method, segments.as_slice()) {
+        (_, ["healthz"]) => "healthz",
+        (_, ["metrics"]) => "metrics",
+        (_, ["tables"]) | (_, ["tables", _]) => "tables",
+        (_, ["tables", _, "characterize"]) => "characterize",
+        (_, ["tables", _, "csv"]) => "csv",
+        (_, ["sessions"]) | (_, ["sessions", _]) => "sessions",
+        (_, ["sessions", _, "step"]) => "session_step",
+        _ => "other",
+    }
+}
 
 fn num(n: u64) -> Value {
     Value::Number(serde_json::Number::U(n))
@@ -34,7 +66,7 @@ impl Counter {
 ///
 /// Everything is a relaxed atomic: the numbers are operational telemetry,
 /// not synchronization.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// HTTP requests that parsed and reached the router. (Requests so
     /// malformed the HTTP layer rejected them with 400 never get here.)
@@ -74,15 +106,53 @@ pub struct Metrics {
     pub view_search_us: Counter,
     /// Sum of the post-processing stage over all characterizations (µs).
     pub post_processing_us: Counter,
+    /// Per-route request latency, keyed by [`ROUTE_KEYS`].
+    pub route_latency: RouteHistograms,
+    /// Distribution of the preparation stage over pipeline runs.
+    pub preparation_hist: Histogram,
+    /// Distribution of the view-search stage over pipeline runs.
+    pub view_search_hist: Histogram,
+    /// Distribution of the post-processing stage over pipeline runs.
+    pub post_processing_hist: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            requests_total: Counter::default(),
+            errors_total: Counter::default(),
+            tables_created: Counter::default(),
+            tables_listed: Counter::default(),
+            tables_deleted: Counter::default(),
+            characterizations: Counter::default(),
+            report_cache_hits: Counter::default(),
+            not_modified_total: Counter::default(),
+            sessions_created: Counter::default(),
+            session_steps: Counter::default(),
+            sessions_deleted: Counter::default(),
+            rate_limited: Counter::default(),
+            preparation_us: Counter::default(),
+            view_search_us: Counter::default(),
+            post_processing_us: Counter::default(),
+            route_latency: RouteHistograms::new(ROUTE_KEYS),
+            preparation_hist: Histogram::new(),
+            view_search_hist: Histogram::new(),
+            post_processing_hist: Histogram::new(),
+        }
+    }
 }
 
 impl Metrics {
-    /// Folds one characterization's stage timings into the totals.
+    /// Folds one characterization's stage timings into the totals and
+    /// the per-stage distributions.
     pub fn record_characterization(&self, t: &StageTimings) {
         self.characterizations.inc();
         self.preparation_us.add(t.preparation_us);
         self.view_search_us.add(t.view_search_us);
         self.post_processing_us.add(t.post_processing_us);
+        self.preparation_hist.record_us(t.preparation_us);
+        self.view_search_hist.record_us(t.view_search_us);
+        self.post_processing_hist.record_us(t.post_processing_us);
     }
 
     /// Records a characterization served from the report cache. The
@@ -92,6 +162,50 @@ impl Metrics {
     pub fn record_cached_characterization(&self) {
         self.characterizations.inc();
         self.report_cache_hits.inc();
+    }
+
+    /// Renders the counters and histograms as a Prometheus document.
+    /// Counter families carry a `ziggy_` prefix and `_total` suffix;
+    /// histogram buckets are cumulative and expressed in seconds.
+    pub fn to_prometheus(&self) -> PromDoc {
+        let mut doc = PromDoc::new();
+        for (name, counter) in [
+            ("ziggy_requests_total", &self.requests_total),
+            ("ziggy_errors_total", &self.errors_total),
+            ("ziggy_tables_created_total", &self.tables_created),
+            ("ziggy_tables_listed_total", &self.tables_listed),
+            ("ziggy_tables_deleted_total", &self.tables_deleted),
+            ("ziggy_characterizations_total", &self.characterizations),
+            ("ziggy_report_cache_hits_total", &self.report_cache_hits),
+            ("ziggy_not_modified_total", &self.not_modified_total),
+            ("ziggy_sessions_created_total", &self.sessions_created),
+            ("ziggy_session_steps_total", &self.session_steps),
+            ("ziggy_sessions_deleted_total", &self.sessions_deleted),
+            ("ziggy_rate_limited_total", &self.rate_limited),
+        ] {
+            doc.counter(name, &[], counter.get());
+        }
+        for (route, hist) in self.route_latency.iter() {
+            if hist.count() > 0 {
+                doc.histogram_us(
+                    "ziggy_request_duration_seconds",
+                    &[("route", route)],
+                    &hist.snapshot(),
+                );
+            }
+        }
+        for (stage, hist) in [
+            ("prepare", &self.preparation_hist),
+            ("view_search", &self.view_search_hist),
+            ("post_process", &self.post_processing_hist),
+        ] {
+            doc.histogram_us(
+                "ziggy_stage_duration_seconds",
+                &[("stage", stage)],
+                &hist.snapshot(),
+            );
+        }
+        doc
     }
 
     /// Renders the counters as the `/metrics` JSON body (the `tables`
@@ -154,5 +268,48 @@ mod tests {
         let json = serde_json::to_string(&m.to_json()).unwrap();
         assert!(json.contains("\"total\":2"), "{json}");
         assert!(json.contains("\"preparation\":10"), "{json}");
+    }
+
+    #[test]
+    fn route_keys_have_bounded_cardinality() {
+        for (method, path, want) in [
+            ("GET", "/healthz", "healthz"),
+            ("GET", "/metrics", "metrics"),
+            ("POST", "/tables", "tables"),
+            ("DELETE", "/tables/demo", "tables"),
+            ("POST", "/tables/demo/characterize", "characterize"),
+            ("GET", "/tables/demo/csv", "csv"),
+            ("POST", "/sessions", "sessions"),
+            ("POST", "/sessions/7/step", "session_step"),
+            ("GET", "/anything/else/at/all", "other"),
+        ] {
+            assert_eq!(route_key(method, path), want, "{method} {path}");
+            assert!(ROUTE_KEYS.contains(&route_key(method, path)));
+        }
+    }
+
+    #[test]
+    fn prometheus_document_is_lint_clean() {
+        let m = Metrics::default();
+        m.requests_total.inc();
+        m.route_latency.record_us("healthz", 1_250);
+        m.record_characterization(&StageTimings {
+            preparation_us: 10,
+            view_search_us: 20,
+            post_processing_us: 30,
+        });
+        let doc = m.to_prometheus();
+        let text = doc.render();
+        assert!(text.contains("ziggy_requests_total 1"), "{text}");
+        assert!(
+            text.contains("ziggy_request_duration_seconds_bucket{route=\"healthz\""),
+            "{text}"
+        );
+        assert!(
+            text.contains("ziggy_stage_duration_seconds_count{stage=\"prepare\"} 1"),
+            "{text}"
+        );
+        let reparsed = PromDoc::parse(&text).unwrap();
+        assert!(reparsed.lint().is_empty(), "{:?}", reparsed.lint());
     }
 }

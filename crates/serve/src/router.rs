@@ -1,9 +1,10 @@
 //! Dispatches parsed HTTP requests to the API handlers.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use serde_json::Value;
-use ziggy_core::ZiggyConfig;
+use ziggy_core::{StageTimings, ZiggyConfig};
 
 use crate::http::{Request, Response};
 use crate::json::{parse_object, required_str, ApiError};
@@ -12,7 +13,6 @@ use crate::registry::TableRegistry;
 use crate::sessions::SessionManager;
 
 /// Shared server state: registry, sessions, metrics, engine defaults.
-#[derive(Default)]
 pub struct ServeState {
     /// Ingested tables, one shared engine each.
     pub registry: TableRegistry,
@@ -22,6 +22,20 @@ pub struct ServeState {
     pub metrics: Metrics,
     /// Engine configuration applied to every ingested table.
     pub config: ZiggyConfig,
+    /// Process start, for the `/healthz` uptime and the uptime gauge.
+    pub started: Instant,
+}
+
+impl Default for ServeState {
+    fn default() -> Self {
+        Self {
+            registry: TableRegistry::default(),
+            sessions: SessionManager::default(),
+            metrics: Metrics::default(),
+            config: ZiggyConfig::default(),
+            started: Instant::now(),
+        }
+    }
 }
 
 impl ServeState {
@@ -46,8 +60,8 @@ pub fn route(state: &ServeState, req: &Request) -> Response {
     state.metrics.requests_total.inc();
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let result = match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => handle_healthz(),
-        ("GET", ["metrics"]) => handle_metrics(state),
+        ("GET", ["healthz"]) => handle_healthz(state),
+        ("GET", ["metrics"]) => handle_metrics(state, req),
         ("POST", ["tables"]) => handle_create_table(state, &req.body),
         ("GET", ["tables"]) => handle_list_tables(state),
         ("POST", ["tables", name, "characterize"]) => handle_characterize(state, name, req),
@@ -80,17 +94,47 @@ pub fn route(state: &ServeState, req: &Request) -> Response {
     }
 }
 
-fn handle_healthz() -> Result<Response, ApiError> {
+fn handle_healthz(state: &ServeState) -> Result<Response, ApiError> {
     Ok(json_response(
         200,
-        &Value::Object(vec![("status".into(), Value::String("ok".into()))]),
+        &Value::Object(vec![
+            ("status".into(), Value::String("ok".into())),
+            (
+                "uptime_s".into(),
+                Value::Number(serde_json::Number::U(state.started.elapsed().as_secs())),
+            ),
+            (
+                "version".into(),
+                Value::String(env!("CARGO_PKG_VERSION").into()),
+            ),
+        ]),
     ))
 }
 
-fn handle_metrics(state: &ServeState) -> Result<Response, ApiError> {
+fn handle_metrics(state: &ServeState, req: &Request) -> Result<Response, ApiError> {
     // Sweep first so `sessions_expired` reflects idle sessions even on a
     // server receiving no session traffic.
     state.sessions.sweep_expired();
+    if req.query_param("format") == Some("prometheus") {
+        let mut doc = state.metrics.to_prometheus();
+        doc.counter(
+            "ziggy_sessions_expired_total",
+            &[],
+            state.sessions.expired_total(),
+        );
+        doc.gauge(
+            "ziggy_uptime_seconds",
+            &[],
+            state.started.elapsed().as_secs_f64(),
+        );
+        doc.gauge(
+            "ziggy_build_info",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+            1.0,
+        );
+        return Ok(Response::new(200, doc.render())
+            .with_header("Content-Type", "text/plain; version=0.0.4"));
+    }
     let mut body = match state.metrics.to_json() {
         Value::Object(pairs) => pairs,
         _ => unreachable!("metrics render as an object"),
@@ -202,14 +246,33 @@ fn handle_characterize(
     // The ETag is the report-byte fingerprint: stable across requests,
     // processes, and fleet replicas that built the same report.
     let etag = outcome.cached.etag();
+    let timing = server_timing(&outcome.cached.report.timings, outcome.reuse.as_u8());
     if if_none_match_matches(req, &etag) {
         state.metrics.not_modified_total.inc();
-        return Ok(Response::new(304, "").with_header("ETag", etag));
+        return Ok(Response::new(304, "")
+            .with_header("ETag", etag)
+            .with_header("Server-Timing", timing));
     }
     // The body is exactly the memoized serialized report — the same
     // bytes an in-process `serde_json::to_string(&report)` produces,
     // shared (not copied) into the response on the warm path.
-    Ok(Response::new(200, Arc::clone(&outcome.cached.bytes)).with_header("ETag", etag))
+    Ok(Response::new(200, Arc::clone(&outcome.cached.bytes))
+        .with_header("ETag", etag)
+        .with_header("Server-Timing", timing))
+}
+
+/// Renders the `Server-Timing` value for a characterize response: the
+/// original build's stage durations (milliseconds, per the header's
+/// spec) plus the cache reuse level that answered this request
+/// (1 = plan only, 2 = prepared statistics, 3 = finished report bytes).
+fn server_timing(t: &StageTimings, reuse_level: u8) -> String {
+    format!(
+        "prepare;dur={:.3}, view_search;dur={:.3}, post_process;dur={:.3}, reuse;desc=\"level{}\"",
+        t.preparation_us as f64 / 1e3,
+        t.view_search_us as f64 / 1e3,
+        t.post_processing_us as f64 / 1e3,
+        reuse_level
+    )
 }
 
 /// Exports a table's source CSV so another process can re-materialize
@@ -388,9 +451,14 @@ mod tests {
         headers: &[(&str, &str)],
         body: &str,
     ) -> Request {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path, ""),
+        };
         Request {
             method: method.into(),
             path: path.into(),
+            query: query.into(),
             headers: headers
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -427,7 +495,77 @@ mod tests {
         let state = ServeState::default();
         let r = route(&state, &request("GET", "/healthz", ""));
         assert_eq!(r.status, 200);
-        assert_eq!(&*r.body, r#"{"status":"ok"}"#);
+        let v = serde_json::from_str_value(&r.body).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert!(v.get("uptime_s").unwrap().as_u64().is_some(), "{}", r.body);
+        assert_eq!(
+            v.get("version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+    }
+
+    #[test]
+    fn metrics_prometheus_exposition_parses_and_lints_clean() {
+        let state = state_with_table("t");
+        route(
+            &state,
+            &request(
+                "POST",
+                "/tables/t/characterize",
+                r#"{"query":"key >= 150"}"#,
+            ),
+        );
+        let r = route(&state, &request("GET", "/metrics?format=prometheus", ""));
+        assert_eq!(r.status, 200);
+        assert!(
+            r.headers
+                .iter()
+                .any(|(k, v)| k == "Content-Type" && v.starts_with("text/plain")),
+            "{:?}",
+            r.headers
+        );
+        let doc = ziggy_obs::PromDoc::parse(&r.body).unwrap();
+        assert!(doc.lint().is_empty(), "{:?}", doc.lint());
+        assert!(r.body.contains("ziggy_requests_total"), "{}", r.body);
+        assert!(r.body.contains("ziggy_build_info{version="), "{}", r.body);
+        assert!(r.body.contains("ziggy_uptime_seconds"), "{}", r.body);
+        assert!(
+            r.body
+                .contains("ziggy_stage_duration_seconds_count{stage=\"prepare\"} 1"),
+            "{}",
+            r.body
+        );
+        // The JSON body is still the default.
+        let r = route(&state, &request("GET", "/metrics", ""));
+        assert!(r.body.starts_with('{'), "{}", r.body);
+    }
+
+    #[test]
+    fn characterize_carries_server_timing_with_reuse_level() {
+        let state = state_with_table("t");
+        let body = r#"{"query":"key >= 150"}"#;
+        let timing_of = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(k, _)| k == "Server-Timing")
+                .map(|(_, v)| v.clone())
+                .expect("characterize responses carry Server-Timing")
+        };
+        let first = route(&state, &request("POST", "/tables/t/characterize", body));
+        assert_eq!(first.status, 200, "{}", first.body);
+        let t = timing_of(&first);
+        assert!(t.contains("prepare;dur="), "{t}");
+        assert!(t.contains("view_search;dur="), "{t}");
+        assert!(t.contains("post_process;dur="), "{t}");
+        // A cold build reuses at most the prepared level.
+        assert!(
+            t.ends_with("reuse;desc=\"level1\"") || t.ends_with("reuse;desc=\"level2\""),
+            "{t}"
+        );
+        // A repeat is answered from the report cache: level 3.
+        let again = route(&state, &request("POST", "/tables/t/characterize", body));
+        let t = timing_of(&again);
+        assert!(t.ends_with("reuse;desc=\"level3\""), "{t}");
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn print_usage() {
          --threads N              worker threads (default: available parallelism)\n  \
          --demo                   preload the crime synthetic twin as table `crime`\n  \
          --access-log             one JSON access-log line per request on stderr\n  \
+         --access-log-file PATH   append access-log lines to PATH instead of stderr\n  \
          --rate-limit N           per-client token bucket: N req/s (default: off)\n  \
          --session-ttl SECS       evict sessions idle past SECS (default 3600, 0 = off)\n  \
          --port-file PATH         write the bound address to PATH once listening\n\n\
@@ -52,6 +53,7 @@ fn print_usage() {
          --replication R          replicas per table (default 2, capped to live members)\n  \
          --threads N              router worker threads\n  \
          --access-log             access log (with backend ids) on stderr\n  \
+         --access-log-file PATH   append access-log lines to PATH instead of stderr\n  \
          --rate-limit N           per-client rate limit at the router edge\n  \
          --repair-interval SECS   self-healing replication cadence (default 0.5, 0 = off)\n  \
          --no-restart             report dead backends instead of restart-with-rejoin\n  \
@@ -107,6 +109,10 @@ fn run_serve(args: &[String]) {
             },
             "--demo" => demo = true,
             "--access-log" => options.access_log = true,
+            "--access-log-file" => match it.next() {
+                Some(p) => options.access_log_path = Some(std::path::PathBuf::from(p)),
+                None => die("--access-log-file needs a path"),
+            },
             "--rate-limit" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
                 Some(n) if n > 0 => options.rate_limit = Some(n),
                 _ => die("--rate-limit needs a positive integer (requests/second)"),
@@ -189,6 +195,10 @@ fn run_fleet(args: &[String]) {
                 _ => die("--threads needs a positive integer"),
             },
             "--access-log" => options.access_log = true,
+            "--access-log-file" => match it.next() {
+                Some(p) => options.access_log_path = Some(std::path::PathBuf::from(p)),
+                None => die("--access-log-file needs a path"),
+            },
             "--rate-limit" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
                 Some(n) if n > 0 => options.rate_limit = Some(n),
                 _ => die("--rate-limit needs a positive integer (requests/second)"),

@@ -35,6 +35,7 @@ pub use ziggy_baselines as baselines;
 pub use ziggy_cluster as cluster;
 pub use ziggy_core as core;
 pub use ziggy_fleet as fleet;
+pub use ziggy_obs as obs;
 pub use ziggy_serve as serve;
 pub use ziggy_stats as stats;
 pub use ziggy_store as store;

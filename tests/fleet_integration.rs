@@ -433,6 +433,151 @@ fn wait_for_replicas(router: std::net::SocketAddr, table: &str, want: u64) {
     }
 }
 
+/// Observability e2e: one `X-Request-Id` stitches the whole request
+/// path. The router honors a caller-supplied id, echoes it on the
+/// response, writes it on its own access-log line (with the backend it
+/// proxied to), and the backend *process* writes the same id on its
+/// line — asserted across real process boundaries via file log sinks.
+#[test]
+fn trace_id_spans_router_and_backend_processes() {
+    let binary = Path::new(env!("CARGO_BIN_EXE_ziggy"));
+    let dir = std::env::temp_dir().join(format!("ziggy-trace-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let backend_logs: Vec<std::path::PathBuf> = (0..2)
+        .map(|i| dir.join(format!("backend-{i}.log")))
+        .collect();
+    let children: Vec<BackendProcess> = (0..2)
+        .map(|i| {
+            BackendProcess::spawn(
+                binary,
+                format!("shard-{i}"),
+                &["--access-log-file", &backend_logs[i].to_string_lossy()],
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs = children
+        .iter()
+        .map(|c| (c.id().to_string(), c.addr()))
+        .collect();
+    let router_log = dir.join("router.log");
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 2,
+            access_log_path: Some(router_log.clone()),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    let twin = ziggy::synth::box_office(7);
+    let csv = write_csv_string(&twin.table, ',');
+    let body = json_body(&[("name", "boxoffice"), ("csv", &csv)]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+
+    // A client-supplied id must survive the proxy hop verbatim.
+    let trace = "e2e-trace-0042";
+    let query_body = json_body(&[("query", &twin.predicate)]);
+    let mut client = Client::connect(router).unwrap();
+    let (status, headers, resp_body) = client
+        .request_with_headers(
+            "POST",
+            "/tables/boxoffice/characterize",
+            &[("X-Request-Id", trace)],
+            Some(&query_body),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{resp_body}");
+    let echoed = headers
+        .iter()
+        .find(|(k, _)| k == "x-request-id")
+        .map(|(_, v)| v.as_str());
+    assert_eq!(echoed, Some(trace), "response must echo the request id");
+
+    // The router's log line for the characterize carries the id plus
+    // the backend it proxied to...
+    let router_line = wait_for_trace_line(&router_log, trace);
+    assert_eq!(
+        router_line.get("path").unwrap().as_str(),
+        Some("/tables/boxoffice/characterize")
+    );
+    let backend_id = router_line
+        .get("backend")
+        .expect("router line names the backend")
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    // ...and that backend process logged the same id on its own line.
+    let shard_index: usize = backend_id.strip_prefix("shard-").unwrap().parse().unwrap();
+    let backend_line = wait_for_trace_line(&backend_logs[shard_index], trace);
+    assert_eq!(
+        backend_line.get("path").unwrap().as_str(),
+        Some("/tables/boxoffice/characterize")
+    );
+    assert_eq!(backend_line.get("status").unwrap().as_u64(), Some(200));
+
+    // Without a caller-supplied id the router mints one (16 hex chars)
+    // and the same stitching holds.
+    let (status, headers, resp_body) = client
+        .request_with_headers(
+            "POST",
+            "/tables/boxoffice/characterize",
+            &[],
+            Some(&query_body),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{resp_body}");
+    let minted = headers
+        .iter()
+        .find(|(k, _)| k == "x-request-id")
+        .map(|(_, v)| v.clone())
+        .expect("router must mint an id when the caller sends none");
+    assert_eq!(minted.len(), 16, "minted ids are 16 hex chars: {minted}");
+    assert!(minted.chars().all(|c| c.is_ascii_hexdigit()), "{minted}");
+    let minted_line = wait_for_trace_line(&router_log, &minted);
+    let minted_backend = minted_line.get("backend").unwrap().as_str().unwrap();
+    let shard_index: usize = minted_backend
+        .strip_prefix("shard-")
+        .unwrap()
+        .parse()
+        .unwrap();
+    wait_for_trace_line(&backend_logs[shard_index], &minted);
+
+    fleet.shutdown();
+    for mut c in children {
+        c.kill();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Polls `path` until a JSON access-log line with `trace_id` appears
+/// (file sinks are unbuffered, but the write races the response).
+fn wait_for_trace_line(path: &Path, trace: &str) -> serde_json::Value {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        for line in text.lines() {
+            let Ok(v) = serde_json::from_str_value(line) else {
+                panic!("unparseable access-log line in {path:?}: {line:?}");
+            };
+            if v.get("trace_id").and_then(serde_json::Value::as_str) == Some(trace) {
+                return v;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no line with trace_id {trace:?} in {path:?}:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
 #[test]
 fn replicated_ingest_is_idempotent_across_retries() {
     let binary = Path::new(env!("CARGO_BIN_EXE_ziggy"));

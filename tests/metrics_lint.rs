@@ -1,0 +1,166 @@
+//! CI metrics-lint smoke: scrape `/metrics?format=prometheus` from a
+//! *live* single-node server and a *live* fleet router over real
+//! sockets, parse the exposition with the in-repo parser, and fail on
+//! any lint problem (invalid names, duplicate series, histogram
+//! bucket/count inconsistencies). This is the job that keeps the
+//! exposition scrapeable: a malformed line here is exactly what a real
+//! Prometheus server would reject.
+
+use std::time::Duration;
+
+use ziggy::fleet::{start_fleet, FleetOptions};
+use ziggy::obs::PromDoc;
+use ziggy::serve::http::request_once;
+use ziggy::serve::{serve, ServeOptions};
+
+fn json_body(fields: &[(&str, &str)]) -> String {
+    serde_json::to_string(&serde_json::Value::Object(
+        fields
+            .iter()
+            .map(|(k, v)| {
+                (
+                    (*k).to_string(),
+                    serde_json::Value::String((*v).to_string()),
+                )
+            })
+            .collect(),
+    ))
+    .unwrap()
+}
+
+/// A table big enough to characterize (the engine wants at least 8
+/// rows on each side of the selection).
+fn toy_csv() -> String {
+    let mut csv = String::from("x,y\n");
+    for i in 0..24 {
+        csv.push_str(&format!("{},{}\n", i, (i * 7) % 24));
+    }
+    csv
+}
+
+/// Scrapes `addr` and returns the parsed document, failing the test on
+/// parse errors or lint problems.
+fn scrape_clean(addr: std::net::SocketAddr) -> PromDoc {
+    let (status, text) = request_once(addr, "GET", "/metrics?format=prometheus", None).unwrap();
+    assert_eq!(status, 200, "{text}");
+    let doc =
+        PromDoc::parse(&text).unwrap_or_else(|e| panic!("exposition must parse: {e}\n{text}"));
+    let problems = doc.lint();
+    assert!(problems.is_empty(), "lint problems: {problems:?}\n{text}");
+    doc
+}
+
+#[test]
+fn serve_prometheus_exposition_is_lint_clean() {
+    let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Drive some traffic so counters and histograms carry real values.
+    let csv = toy_csv();
+    let (status, resp) = request_once(
+        addr,
+        "POST",
+        "/tables",
+        Some(&json_body(&[("name", "t"), ("csv", &csv)])),
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{resp}");
+    let query = json_body(&[("query", "x >= 12")]);
+    for _ in 0..3 {
+        let (status, resp) =
+            request_once(addr, "POST", "/tables/t/characterize", Some(&query)).unwrap();
+        assert_eq!(status, 200, "{resp}");
+    }
+    let _ = request_once(addr, "GET", "/healthz", None).unwrap();
+
+    let doc = scrape_clean(addr);
+    for family in [
+        "ziggy_requests_total",
+        "ziggy_characterizations_total",
+        "ziggy_request_duration_seconds",
+        "ziggy_stage_duration_seconds",
+        "ziggy_uptime_seconds",
+        "ziggy_build_info",
+    ] {
+        assert!(
+            doc.families.iter().any(|f| f.name == family),
+            "missing family {family}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn fleet_prometheus_exposition_is_lint_clean_with_shard_labels() {
+    // In-process backends are enough: the router scrapes them over real
+    // HTTP either way, which is the path this smoke pins.
+    let backends: Vec<_> = (0..2)
+        .map(|_| serve("127.0.0.1:0", ServeOptions::default()).unwrap())
+        .collect();
+    let addrs = backends
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (format!("shard-{i}"), b.local_addr()))
+        .collect();
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 2,
+            probe_interval: Duration::from_millis(100),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    let csv = toy_csv();
+    let (status, resp) = request_once(
+        router,
+        "POST",
+        "/tables",
+        Some(&json_body(&[("name", "t"), ("csv", &csv)])),
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{resp}");
+    let query = json_body(&[("query", "x >= 12")]);
+    for _ in 0..4 {
+        let (status, resp) =
+            request_once(router, "POST", "/tables/t/characterize", Some(&query)).unwrap();
+        assert_eq!(status, 200, "{resp}");
+    }
+
+    let doc = scrape_clean(router);
+    // Router-local families...
+    for family in [
+        "ziggy_fleet_requests_total",
+        "ziggy_fleet_proxied_total",
+        "ziggy_fleet_epoch",
+        "ziggy_fleet_backends",
+        "ziggy_fleet_request_duration_seconds",
+    ] {
+        assert!(
+            doc.families.iter().any(|f| f.name == family),
+            "missing family {family}"
+        );
+    }
+    // ...plus each backend's own series, scatter-gathered and stamped
+    // with the shard label.
+    let shards: std::collections::BTreeSet<&str> = doc
+        .families
+        .iter()
+        .filter(|f| f.name == "ziggy_requests_total")
+        .flat_map(|f| f.samples.iter())
+        .filter_map(|s| s.label("shard"))
+        .collect();
+    assert_eq!(
+        shards.into_iter().collect::<Vec<_>>(),
+        vec!["shard-0", "shard-1"],
+        "per-shard series must carry the shard label"
+    );
+
+    fleet.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
