@@ -1,0 +1,174 @@
+//! Durability-tier microbenchmark: what does each `--durability` mode
+//! cost, and how fast does a crashed process come back?
+//!
+//! For each mode (`fsync`, `batch`, `async`) the harness opens a fresh
+//! segmented log, appends session-step records from concurrent threads
+//! (the shape the serve layer writes on every mutating request),
+//! then drops and reopens the log to measure replay. Emits
+//! `BENCH_durability.json` so later PRs can track the write-path and
+//! recovery trajectory:
+//!
+//! * `appends_per_s` and the append-latency tail (p50/p99) — the tax a
+//!   mutating request pays before it is acknowledged;
+//! * `fsyncs` vs `group_commits` — how well batch mode amortizes the
+//!   disk flush across concurrent writers;
+//! * `replay_records_per_s` — how fast boot-time recovery re-reads the
+//!   tail after a SIGKILL.
+//!
+//! ```text
+//! cargo run --release -p ziggy-bench --bin bench_durability \
+//!     [-- --records 2000 --threads 4]
+//! ```
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use serde_json::{Number, Value};
+use ziggy_durable::{DurabilityMode, DurableLog, DurableOptions, Record};
+
+fn arg(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn num_u(n: u64) -> Value {
+    Value::Number(Number::U(n))
+}
+
+fn num_f(x: f64) -> Value {
+    Value::Number(Number::F(x))
+}
+
+fn bench_mode(mode: DurabilityMode, records: usize, threads: usize) -> Value {
+    let dir = std::env::temp_dir().join(format!(
+        "ziggy-bench-durability-{}-{mode:?}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Snapshots off: replay then re-reads every record, so the replay
+    // phase measures pure log-scan throughput over a known count.
+    let options = DurableOptions {
+        mode,
+        snapshot_every: 0,
+        ..DurableOptions::default()
+    };
+
+    // Append phase: concurrent writers, one session per thread. The
+    // query payload is ~100 bytes, the size of a realistic predicate.
+    let query = "Theft > 120 && State = 'Colorado' && Year >= 1994 && Population < 500000 \
+                 && Assault <= 42";
+    let appended = AtomicU64::new(0);
+    let per_thread = records.div_ceil(threads);
+    let (log, _) = DurableLog::open(&dir, options.clone()).expect("open log");
+    let t_append = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let log = &log;
+            let appended = &appended;
+            s.spawn(move || {
+                log.append(&Record::SessionCreate {
+                    id: t as u64 + 1,
+                    table: "crimes".into(),
+                })
+                .expect("append create");
+                appended.fetch_add(1, Ordering::Relaxed);
+                for i in 0..per_thread {
+                    let tag = (t * per_thread + i) as u64;
+                    log.append(&Record::SessionStep {
+                        id: t as u64 + 1,
+                        seq: i as u64 + 1,
+                        query: format!("{query} /* {tag} */"),
+                    })
+                    .expect("append step");
+                    appended.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let append_s = t_append.elapsed().as_secs_f64();
+    let appended = appended.load(Ordering::Relaxed);
+    let m = log.metrics();
+    let fsyncs = m.fsyncs.load(Ordering::Relaxed);
+    let group_commits = m.group_commits.load(Ordering::Relaxed);
+    let p50_us = m.append_latency.quantile_us(0.50).unwrap_or(0);
+    let p99_us = m.append_latency.quantile_us(0.99).unwrap_or(0);
+    let segments = log.segment_count();
+    // Drop = final sync + flusher join: everything is on disk, exactly
+    // like a clean shutdown. The SIGKILL case differs only by a torn
+    // tail record, which replay truncates.
+    drop(log);
+
+    // Replay phase: a cold open over the same directory, the boot path.
+    let t_replay = Instant::now();
+    let (reopened, outcome) = DurableLog::open(&dir, options).expect("reopen log");
+    let replay_s = t_replay.elapsed().as_secs_f64();
+    assert_eq!(
+        outcome.records, appended,
+        "replay must see every acknowledged append"
+    );
+    let replay_records = outcome.records;
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "  {mode:?}: {:.0} appends/s (p50 {p50_us}us, p99 {p99_us}us), \
+         {fsyncs} fsyncs, {group_commits} group commits, \
+         replayed {replay_records} records in {:.1}ms",
+        appended as f64 / append_s,
+        replay_s * 1e3,
+    );
+    Value::Object(vec![
+        ("records".into(), num_u(appended)),
+        ("appends_per_s".into(), num_f(appended as f64 / append_s)),
+        ("append_p50_us".into(), num_u(p50_us)),
+        ("append_p99_us".into(), num_u(p99_us)),
+        ("fsyncs".into(), num_u(fsyncs)),
+        ("group_commits".into(), num_u(group_commits)),
+        ("segments".into(), num_u(segments as u64)),
+        ("replay_records".into(), num_u(replay_records)),
+        (
+            "replay_records_per_s".into(),
+            num_f(replay_records as f64 / replay_s.max(1e-9)),
+        ),
+        ("replay_ms".into(), num_f(replay_s * 1e3)),
+    ])
+}
+
+fn main() {
+    let records = arg("--records", 2000).max(1);
+    let threads = arg("--threads", 4).max(1);
+    println!("bench_durability: {records} records x {threads} writer threads per mode");
+
+    let modes = [
+        ("fsync", DurabilityMode::Fsync),
+        ("batch", DurabilityMode::Batch),
+        ("async", DurabilityMode::Async),
+    ];
+    let results: Vec<(String, Value)> = modes
+        .iter()
+        .map(|(name, mode)| (name.to_string(), bench_mode(*mode, records, threads)))
+        .collect();
+
+    let doc = Value::Object(vec![
+        ("benchmark".into(), Value::String("durability".into())),
+        (
+            "config".into(),
+            Value::Object(vec![
+                ("records".into(), num_u(records as u64)),
+                ("threads".into(), num_u(threads as u64)),
+            ]),
+        ),
+        ("modes".into(), Value::Object(results)),
+    ]);
+    let mut f =
+        std::fs::File::create("BENCH_durability.json").expect("create BENCH_durability.json");
+    f.write_all(serde_json::to_string(&doc).unwrap().as_bytes())
+        .unwrap();
+    f.write_all(b"\n").unwrap();
+    println!("wrote BENCH_durability.json");
+}

@@ -32,8 +32,11 @@
 //!   backend in parallel and merge per-shard sections into one
 //!   document.
 //! * **Sessions** — sticky to the backend that created them (their
-//!   history lives in that process); a dead replica means 503 and a
-//!   fresh session, not silent history loss.
+//!   history lives in that process); if that process dies, the router
+//!   replays its query ledger onto another replica of the table and the
+//!   conversation continues there ([`router`] session failover). A 503
+//!   is reserved for the genuinely unrecoverable case: no other live
+//!   replica of the table.
 //! * **Dynamic membership** — `POST /admin/backends` and `DELETE
 //!   /admin/backends/{id}` grow/shrink the ring at runtime under a
 //!   versioned epoch ([`router::Membership`]); in-flight requests drain
@@ -44,7 +47,11 @@
 //!   healthy backends via the idempotent replicate path; the `ziggy
 //!   fleet` supervisor restarts dead children and rejoins them
 //!   ([`spawn::restart_dead_children`]), after which repair re-ingests
-//!   their shard.
+//!   their shard. Repair is tombstone-aware: a rejoiner whose WAL
+//!   replays a table that was deleted while it was away gets the delete
+//!   propagated to it instead of resurrecting the table fleet-wide, and
+//!   copies stranded outside their replica set are garbage-collected
+//!   after a grace period ([`repair::GC_GRACE_ROUNDS`]).
 //!
 //! The fleet speaks exactly the single-node API, so a client cannot
 //! tell a router from a lone `ziggy serve` — characterize responses are
@@ -77,7 +84,7 @@ pub use ring::HashRing;
 pub use router::{
     fleet_route_key, route_fleet, route_fleet_traced, FleetState, Membership, FLEET_ROUTE_KEYS,
 };
-pub use spawn::{restart_dead_children, BackendProcess};
+pub use spawn::{restart_dead_children, restart_dead_children_with, BackendProcess};
 
 /// Options for [`start_fleet`].
 #[derive(Debug, Clone)]

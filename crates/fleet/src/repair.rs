@@ -24,10 +24,42 @@
 //! repairing twice is merely wasted bandwidth, never wrong data. The
 //! loop therefore needs no coordination, no leases, and no leader.
 //!
-//! Copies stranded on backends outside a table's replica set (after the
-//! ring shifts under membership churn) are left in place: they cost
-//! memory but serve correct bytes if the ring ever walks back onto
-//! them. Garbage-collecting them is future work (ROADMAP).
+//! # Tombstones: deletes win over stale rejoiners
+//!
+//! Step 1 also gathers every member's `GET /tombstones` — the
+//! HLC-stamped delete markers the durable registry keeps. Before
+//! repairing a table the round compares the fleet-wide **max tombstone
+//! timestamp** against the **max live ingest timestamp** across its
+//! holders: when the tombstone is strictly newer, the table is
+//! *deleted*, and the stale copy (typically a backend that was absent —
+//! crashed, partitioned, drained — during the delete and rejoined with
+//! its WAL replayed) is itself deleted from every holder instead of
+//! being faithfully re-propagated back to R replicas. That closes the
+//! resurrection bug the pre-durability loop documented: delete now wins
+//! over rejoin, not the other way round. A table re-created *after* its
+//! delete has a newer ingest timestamp and replicates normally.
+//!
+//! # Stray-copy garbage collection
+//!
+//! Copies stranded on backends outside a table's desired replica set
+//! (after the ring shifts under membership churn, or after a repair
+//! spilled past a temporarily dead nominal holder) used to accumulate
+//! forever. They are now collected, carefully:
+//!
+//! * only after [`GC_GRACE_ROUNDS`] consecutive *clean* rounds (nothing
+//!   under-replicated, no failed legs, no deletes propagated, same
+//!   membership epoch) — so a mid-churn or mid-outage snapshot of the
+//!   ring never deletes a copy that failover reads still depend on;
+//! * only when every desired holder verifiably holds the table this
+//!   round;
+//! * via `DELETE /tables/{name}?stray=true`, which tombstones the copy
+//!   at its **own ingest timestamp** rather than a fresh one, and marks
+//!   the tombstone *stray*. A stray tombstone keeps the copy dead
+//!   locally (including across its next WAL replay) but is withheld
+//!   from `GET /tombstones` — replicated copies stamp independent local
+//!   timestamps, so a GC artifact could otherwise carry the fleet-wide
+//!   maximum and read, on the next round, as "this table was deleted
+//!   everywhere".
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -42,6 +74,12 @@ use crate::router::{forward, FleetState};
 /// Default interval between repair rounds.
 pub const DEFAULT_REPAIR_INTERVAL: Duration = Duration::from_millis(500);
 
+/// Consecutive clean repair rounds (fully replicated, no failures, no
+/// deletes propagated, stable membership) required before stranded
+/// copies are garbage-collected. The grace period keeps GC from acting
+/// on a mid-churn view of the ring.
+pub const GC_GRACE_ROUNDS: u64 = 3;
+
 /// What one repair round observed and did (for logging and tests).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RepairReport {
@@ -54,6 +92,12 @@ pub struct RepairReport {
     pub repaired: usize,
     /// Failed repair legs (source export or replicate refused/errored).
     pub failed: usize,
+    /// Stale copies deleted because a strictly newer tombstone proved
+    /// the table was deleted fleet-wide (one per table × holder pair).
+    pub deletes_propagated: usize,
+    /// Stranded copies garbage-collected from backends outside their
+    /// table's desired replica set.
+    pub strays_collected: usize,
 }
 
 /// Runs one repair round against the current membership and returns
@@ -75,47 +119,113 @@ fn repair_round_inner(state: &FleetState) -> RepairReport {
     let view = state.membership();
     let mut report = RepairReport::default();
 
-    // Who holds what, asking every member (even unhealthy ones — a
-    // backend the prober has marked down may still answer and serve as
-    // a repair *source*; it just won't be a repair *target*). Scattered
-    // in parallel, like the router's own scatter-gather: one wedged
-    // member costs the round its own timeout, not a serialized sum that
-    // would delay re-materialization of every other table.
-    let listings: Vec<std::io::Result<(u16, String)>> = std::thread::scope(|s| {
+    // Membership changed since the last round: every streak-based
+    // decision (stray GC) starts over against the new ring.
+    if state.repair_epoch.swap(view.epoch(), Ordering::Relaxed) != view.epoch() {
+        state.repair_clean_streak.store(0, Ordering::Relaxed);
+    }
+    let gc_armed = state.repair_clean_streak.load(Ordering::Relaxed) >= GC_GRACE_ROUNDS;
+
+    // Who holds what (with each copy's ingest timestamp) and who has
+    // buried what (delete tombstones), asking every member — even
+    // unhealthy ones: a backend the prober has marked down may still
+    // answer and serve as a repair *source*; it just won't be a repair
+    // *target*. Scattered in parallel, like the router's own
+    // scatter-gather: one wedged member costs the round its own
+    // timeout, not a serialized sum that would delay re-materialization
+    // of every other table.
+    type Gathered = (
+        std::io::Result<(u16, String)>,
+        std::io::Result<(u16, String)>,
+    );
+    let listings: Vec<Gathered> = std::thread::scope(|s| {
         let handles: Vec<_> = view
             .backends()
             .iter()
-            .map(|b| s.spawn(move || forward(state, b, "GET", "/tables", None)))
+            .map(|b| {
+                s.spawn(move || {
+                    (
+                        forward(state, b, "GET", "/tables", None),
+                        forward(state, b, "GET", "/tombstones", None),
+                    )
+                })
+            })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("repair scatter thread panicked"))
             .collect()
     });
-    let mut holders: std::collections::HashMap<String, Vec<Arc<Backend>>> =
+    let mut holders: std::collections::HashMap<String, Vec<(Arc<Backend>, u64)>> =
         std::collections::HashMap::new();
-    for (backend, result) in view.backends().iter().zip(listings) {
-        let Ok((200, body)) = result else {
-            continue;
-        };
-        let Ok(v) = serde_json::from_str_value(&body) else {
-            continue;
-        };
-        let Some(tables) = v.get("tables").and_then(Value::as_array) else {
-            continue;
-        };
-        for t in tables {
-            if let Some(name) = t.get("name").and_then(Value::as_str) {
-                holders
-                    .entry(name.to_string())
-                    .or_default()
-                    .push(Arc::clone(backend));
+    let mut buried: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for (backend, (tables_result, tombstones_result)) in view.backends().iter().zip(listings) {
+        if let Ok((200, body)) = tables_result {
+            if let Ok(v) = serde_json::from_str_value(&body) {
+                for t in v
+                    .get("tables")
+                    .and_then(Value::as_array)
+                    .unwrap_or_default()
+                {
+                    if let Some(name) = t.get("name").and_then(Value::as_str) {
+                        let ts = t.get("ts").and_then(Value::as_u64).unwrap_or(0);
+                        holders
+                            .entry(name.to_string())
+                            .or_default()
+                            .push((Arc::clone(backend), ts));
+                    }
+                }
+            }
+        }
+        if let Ok((200, body)) = tombstones_result {
+            if let Ok(v) = serde_json::from_str_value(&body) {
+                for t in v
+                    .get("tombstones")
+                    .and_then(Value::as_array)
+                    .unwrap_or_default()
+                {
+                    let (Some(name), Some(ts)) = (
+                        t.get("table").and_then(Value::as_str),
+                        t.get("ts").and_then(Value::as_u64),
+                    ) else {
+                        continue;
+                    };
+                    let slot = buried.entry(name.to_string()).or_insert(ts);
+                    *slot = (*slot).max(ts);
+                }
             }
         }
     }
     report.tables_seen = holders.len();
 
-    for (table, holding) in &holders {
+    for (table, holding) in &mut holders {
+        // Last writer wins, fleet-wide: a delete tombstone strictly
+        // newer than every live copy's ingest means the table was
+        // deleted and some holder (absent during the delete, rejoined
+        // with its WAL replayed) is trying to resurrect it. Propagate
+        // the delete to the stale holders instead of re-replicating
+        // their copy. A re-create *after* the delete carries a newer
+        // ingest timestamp and falls through to normal repair.
+        let live_max = holding.iter().map(|(_, ts)| *ts).max().unwrap_or(0);
+        if buried.get(table).copied().unwrap_or(0) > live_max {
+            let path = format!("/tables/{table}");
+            for (stale, _) in holding.iter() {
+                match forward(state, stale, "DELETE", &path, None) {
+                    Ok((status, _)) if (200..300).contains(&status) || status == 404 => {
+                        report.deletes_propagated += 1;
+                        state.metrics.deletes_propagated_total.inc();
+                    }
+                    _ => {
+                        report.failed += 1;
+                        state.metrics.repair_failures_total.inc();
+                    }
+                }
+            }
+            continue;
+        }
+        // Prefer the newest copy as the repair source (a stale-but-live
+        // holder must not win the export race against a fresher one).
+        holding.sort_by_key(|h| std::cmp::Reverse(h.1));
         // Desired holders: first R distinct *healthy* backends clockwise
         // from the table's hash. Walking the full ring (not just the
         // nominal replica set) is what makes repair match read failover:
@@ -129,19 +239,44 @@ fn repair_round_inner(state: &FleetState) -> RepairReport {
             .take(state.replication())
             .collect();
         let missing: Vec<&Arc<Backend>> = targets
-            .into_iter()
-            .filter(|t| !holding.iter().any(|h| Arc::ptr_eq(h, t)))
+            .iter()
+            .copied()
+            .filter(|t| !holding.iter().any(|(h, _)| Arc::ptr_eq(h, t)))
             .collect();
         if missing.is_empty() {
+            // Fully replicated on its desired set: any other holder is
+            // a stray the ring walked away from. Collect it only after
+            // the grace streak (see GC_GRACE_ROUNDS), and with the
+            // stray-delete variant whose tombstone cannot outrank the
+            // live copies.
+            if gc_armed {
+                let path = format!("/tables/{table}?stray=true");
+                for (stray, _) in holding
+                    .iter()
+                    .filter(|(h, _)| !targets.iter().any(|t| Arc::ptr_eq(h, t)))
+                {
+                    match forward(state, stray, "DELETE", &path, None) {
+                        Ok((status, _)) if (200..300).contains(&status) || status == 404 => {
+                            report.strays_collected += 1;
+                            state.metrics.strays_collected_total.inc();
+                        }
+                        _ => {
+                            report.failed += 1;
+                            state.metrics.repair_failures_total.inc();
+                        }
+                    }
+                }
+            }
             continue;
         }
         report.under_replicated += 1;
 
-        // Export the source CSV from any current holder. Holders without
-        // CSV provenance (in-process registrations) answer 404; try the
+        // Export the source CSV from the freshest current holder first
+        // (the list is sorted newest-first above). Holders without CSV
+        // provenance (in-process registrations) answer 404; try the
         // next one.
         let csv_path = format!("/tables/{table}/csv");
-        let csv = holding.iter().find_map(|source| {
+        let csv = holding.iter().find_map(|(source, _)| {
             match forward(state, source, "GET", &csv_path, None) {
                 Ok((200, body)) => serde_json::from_str_value(&body)
                     .ok()?
@@ -176,6 +311,17 @@ fn repair_round_inner(state: &FleetState) -> RepairReport {
             }
         }
     }
+
+    // Advance (or reset) the clean streak the stray GC is gated on. GC
+    // legs themselves don't dirty a round — collecting a stray is
+    // steady-state housekeeping, not instability.
+    let clean =
+        report.under_replicated == 0 && report.failed == 0 && report.deletes_propagated == 0;
+    if clean {
+        state.repair_clean_streak.fetch_add(1, Ordering::Relaxed);
+    } else {
+        state.repair_clean_streak.store(0, Ordering::Relaxed);
+    }
     report
 }
 
@@ -203,11 +349,18 @@ impl Repairer {
                     // repeating that line twice a second would bury the
                     // supervisor's stderr. The failure counters in
                     // /metrics keep counting either way.
-                    let noteworthy = report.repaired > 0 || report.failed > 0;
+                    let noteworthy = report.repaired > 0
+                        || report.failed > 0
+                        || report.deletes_propagated > 0
+                        || report.strays_collected > 0;
                     if noteworthy && last_report != Some(report) {
                         eprintln!(
-                            "fleet repair: {} table(s) under-replicated, {} cop(y/ies) restored, {} leg(s) failed",
-                            report.under_replicated, report.repaired, report.failed
+                            "fleet repair: {} table(s) under-replicated, {} cop(y/ies) restored, {} delete(s) propagated, {} stray(s) collected, {} leg(s) failed",
+                            report.under_replicated,
+                            report.repaired,
+                            report.deletes_propagated,
+                            report.strays_collected,
+                            report.failed
                         );
                     }
                     last_report = Some(report);

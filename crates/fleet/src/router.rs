@@ -26,13 +26,18 @@
 //! on every response (`X-Fleet-Epoch`), in `/healthz`, and in
 //! `/metrics`, so clients and tests can observe membership changes.
 //!
-//! Sessions are *sticky*: a session is created on one replica and its
-//! steps always route there, because session history lives in that
-//! backend's memory. The mapping holds the backend by `Arc`, not by ring
-//! position, so membership churn never re-points a session; removing a
-//! session's home from the ring merely drains it. If the process dies,
-//! steps answer 503 and the client re-creates the session (cross-shard
-//! session replication is future work — see ROADMAP).
+//! Sessions are *sticky first, recoverable second*: a session is
+//! created on one replica and its steps route there, because session
+//! history lives in that backend's memory. The mapping holds the
+//! backend by `Arc`, not by ring position, so membership churn never
+//! re-points a session; removing a session's home from the ring merely
+//! drains it. If the home *process dies*, the router no longer answers
+//! a blanket 503: it keeps a ledger of every query stepped through the
+//! session and rebuilds it on another healthy replica of the table —
+//! create, replay, then forward the interrupted step (reports are
+//! deterministic, so the rebuilt history matches the lost one). Only a
+//! session whose table has no other live replica is truly lost, and
+//! the 503 says so explicitly.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -110,6 +115,18 @@ pub struct FleetMetrics {
     pub repairs_total: Counter,
     /// Repair attempts that failed (source export or replicate leg).
     pub repair_failures_total: Counter,
+    /// Stale copies deleted by the repair loop because a strictly newer
+    /// tombstone proved the table deleted (resurrections prevented).
+    pub deletes_propagated_total: Counter,
+    /// Stranded copies garbage-collected from backends outside their
+    /// table's desired replica set.
+    pub strays_collected_total: Counter,
+    /// Sessions transparently rebuilt on another replica after their
+    /// home backend died mid-conversation.
+    pub session_failovers_total: Counter,
+    /// Solely-held tables copied off a backend by the pre-drain safety
+    /// check before its removal was allowed.
+    pub drain_copyouts_total: Counter,
 }
 
 impl FleetMetrics {
@@ -129,6 +146,22 @@ impl FleetMetrics {
                 "repair_failures_total".into(),
                 num_u(self.repair_failures_total.get()),
             ),
+            (
+                "deletes_propagated_total".into(),
+                num_u(self.deletes_propagated_total.get()),
+            ),
+            (
+                "strays_collected_total".into(),
+                num_u(self.strays_collected_total.get()),
+            ),
+            (
+                "session_failovers_total".into(),
+                num_u(self.session_failovers_total.get()),
+            ),
+            (
+                "drain_copyouts_total".into(),
+                num_u(self.drain_copyouts_total.get()),
+            ),
         ])
     }
 }
@@ -145,6 +178,13 @@ struct FleetSession {
     backend: Arc<Backend>,
     backend_session: u64,
     table: String,
+    /// Every query stepped through this session so far, in order,
+    /// capped at [`ziggy_serve::sessions::MAX_HISTORY`] (mirroring the
+    /// backend's own history cap). This is the failover ledger: when
+    /// the home backend dies, the session is rebuilt on another replica
+    /// by replaying these queries — reports are deterministic, so the
+    /// rebuilt history step-for-step matches the lost one.
+    queries: Vec<String>,
     /// Last create/step activity; mappings idle past the TTL are swept
     /// (their backend sessions expire independently on the backend).
     last_used: Instant,
@@ -227,6 +267,12 @@ pub struct FleetState {
     /// Prober round durations and outcomes (shared with the prober
     /// thread).
     pub probe_stats: Arc<LoopStats>,
+    /// Consecutive clean repair rounds (the stray-GC grace counter; see
+    /// [`crate::repair::GC_GRACE_ROUNDS`]).
+    pub(crate) repair_clean_streak: AtomicU64,
+    /// Membership epoch the last repair round ran under; a change
+    /// resets the clean streak.
+    pub(crate) repair_epoch: AtomicU64,
     /// Router start, for `/healthz` uptime and the uptime gauge.
     pub started: Instant,
 }
@@ -256,6 +302,8 @@ impl FleetState {
             route_latency: RouteHistograms::new(FLEET_ROUTE_KEYS),
             repair_stats: LoopStats::new(),
             probe_stats: Arc::new(LoopStats::new()),
+            repair_clean_streak: AtomicU64::new(0),
+            repair_epoch: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -443,7 +491,7 @@ pub fn route_fleet_traced(
         ("DELETE", ["sessions", id]) => handle_delete_session(state, id),
         ("GET", ["admin", "backends"]) => (handle_admin_list(&view), None),
         ("POST", ["admin", "backends"]) => (handle_admin_add(state, &req.body), None),
-        ("DELETE", ["admin", "backends", id]) => (handle_admin_remove(state, id), None),
+        ("DELETE", ["admin", "backends", id]) => (handle_admin_remove(state, &view, id, req), None),
         (
             _,
             ["healthz"]
@@ -647,13 +695,55 @@ fn handle_admin_add(state: &FleetState, body: &[u8]) -> Response {
 /// the process lives, and only new placement/read decisions exclude it.
 /// Tables that drop below R live replicas are re-materialized onto the
 /// surviving members by the repair loop.
-fn handle_admin_remove(state: &FleetState, id: &str) -> Response {
+///
+/// **Pre-drain safety**: removing the *only* holder of a table (R=1, or
+/// every other replica already lost) would leave the repair loop no
+/// source to re-materialize from — silent data loss by admin action. So
+/// before the membership changes, the handler finds every table solely
+/// held by the leaving backend and copies it out to the next healthy
+/// ring holder. Only if a copy-out fails does the request refuse with
+/// `409` and the stranded table list; `?force=true` skips the check
+/// (the operator accepting the loss, e.g. removing a corrupt member).
+fn handle_admin_remove(state: &FleetState, view: &Membership, id: &str, req: &Request) -> Response {
+    let force = req.query_param("force") == Some("true");
+    let mut copied_out: Vec<Value> = Vec::new();
+    if !force {
+        if let Some(doomed) = view.backend(id) {
+            match copy_out_solely_held(state, view, doomed) {
+                Ok(copied) => {
+                    copied_out = copied.into_iter().map(Value::String).collect();
+                }
+                Err(stranded) => {
+                    let body = Value::Object(vec![
+                        (
+                            "error".into(),
+                            Value::String(format!(
+                                "backend `{id}` solely holds {} table(s) that could not be \
+                                 copied out; removing it would lose them (retry, or use \
+                                 ?force=true to accept the loss)",
+                                stranded.len()
+                            )),
+                        ),
+                        (
+                            "solely_held".into(),
+                            Value::Array(stranded.into_iter().map(Value::String).collect()),
+                        ),
+                    ]);
+                    return Response::new(
+                        409,
+                        serde_json::to_string(&body).expect("admin bodies always render"),
+                    );
+                }
+            }
+        }
+    }
     match state.remove_backend(id) {
         Some((_, epoch)) => {
             Response::new(
                 200,
                 serde_json::to_string(&Value::Object(vec![
                     ("removed".into(), Value::String(id.to_string())),
+                    ("copied_out".into(), Value::Array(copied_out)),
                     ("epoch".into(), num_u(epoch)),
                 ]))
                 .expect("admin bodies always render"),
@@ -662,6 +752,107 @@ fn handle_admin_remove(state: &FleetState, id: &str) -> Response {
             .with_header("X-Fleet-Epoch", epoch.to_string())
         }
         None => error_response(404, &format!("no backend `{id}` in the membership")),
+    }
+}
+
+/// Finds every table held *only* by `doomed` (no other member lists it)
+/// and replicates each to the first healthy ring holder that isn't
+/// `doomed`. Returns the copied table names, or — when any leg fails —
+/// the names still stranded on the backend. A `doomed` that cannot even
+/// list its tables is treated as holding nothing: its data is already
+/// unreachable, and blocking the drain would not bring it back.
+fn copy_out_solely_held(
+    state: &FleetState,
+    view: &Membership,
+    doomed: &Arc<Backend>,
+) -> Result<Vec<String>, Vec<String>> {
+    let table_names = |body: &str| -> Vec<String> {
+        serde_json::from_str_value(body)
+            .ok()
+            .and_then(|v| {
+                v.get("tables").and_then(Value::as_array).map(|tables| {
+                    tables
+                        .iter()
+                        .filter_map(|t| t.get("name").and_then(Value::as_str).map(str::to_string))
+                        .collect()
+                })
+            })
+            .unwrap_or_default()
+    };
+    let held: Vec<String> = match forward(state, doomed, "GET", "/tables", None) {
+        Ok((200, body)) => table_names(&body),
+        _ => return Ok(Vec::new()),
+    };
+    if held.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Who else holds what, asked in parallel. A member that fails to
+    // answer contributes nothing — conservatively, that makes more
+    // tables look solely-held, which errs toward copying.
+    let others: Vec<&Arc<Backend>> = view
+        .backends()
+        .iter()
+        .filter(|b| !Arc::ptr_eq(b, doomed))
+        .collect();
+    let listings: Vec<std::io::Result<(u16, String)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = others
+            .iter()
+            .map(|b| s.spawn(move || forward(state, b, "GET", "/tables", None)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("drain scatter thread panicked"))
+            .collect()
+    });
+    let mut elsewhere: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for result in listings {
+        if let Ok((200, body)) = result {
+            elsewhere.extend(table_names(&body));
+        }
+    }
+    let solely_held: Vec<String> = held
+        .into_iter()
+        .filter(|t| !elsewhere.contains(t))
+        .collect();
+    let mut copied = Vec::new();
+    let mut stranded = Vec::new();
+    for table in solely_held {
+        let exported = match forward(state, doomed, "GET", &format!("/tables/{table}/csv"), None) {
+            Ok((200, body)) => serde_json::from_str_value(&body)
+                .ok()
+                .and_then(|v| v.get("csv").and_then(Value::as_str).map(str::to_string)),
+            _ => None,
+        };
+        // Target: the first healthy backend walking the ring from the
+        // table's hash, skipping the leaving member — exactly where the
+        // repair loop and failover reads will look for it afterwards.
+        let target = view
+            .replicas_for(&table, view.backends().len())
+            .into_iter()
+            .find(|b| !Arc::ptr_eq(b, doomed) && b.is_healthy());
+        let ok = match (exported, target) {
+            (Some(csv), Some(target)) => {
+                let body =
+                    serde_json::to_string(&Value::Object(vec![("csv".into(), Value::String(csv))]))
+                        .expect("replicate bodies always render");
+                matches!(
+                    forward(state, &target, "PUT", &format!("/tables/{table}"), Some(&body)),
+                    Ok((status, _)) if (200..300).contains(&status)
+                )
+            }
+            _ => false,
+        };
+        if ok {
+            state.metrics.drain_copyouts_total.inc();
+            copied.push(table);
+        } else {
+            stranded.push(table);
+        }
+    }
+    if stranded.is_empty() {
+        Ok(copied)
+    } else {
+        Err(stranded)
     }
 }
 
@@ -711,9 +902,30 @@ fn router_prometheus(state: &FleetState, view: &Membership) -> PromDoc {
             "ziggy_fleet_repair_failures_total",
             &state.metrics.repair_failures_total,
         ),
+        (
+            "ziggy_fleet_deletes_propagated_total",
+            &state.metrics.deletes_propagated_total,
+        ),
+        (
+            "ziggy_fleet_strays_collected_total",
+            &state.metrics.strays_collected_total,
+        ),
+        (
+            "ziggy_fleet_session_failovers_total",
+            &state.metrics.session_failovers_total,
+        ),
+        (
+            "ziggy_fleet_drain_copyouts_total",
+            &state.metrics.drain_copyouts_total,
+        ),
     ] {
         doc.counter(name, &[], counter.get());
     }
+    doc.gauge(
+        "ziggy_fleet_repair_clean_streak",
+        &[],
+        state.repair_clean_streak.load(Ordering::Relaxed) as f64,
+    );
     doc.gauge("ziggy_fleet_epoch", &[], view.epoch() as f64);
     doc.gauge(
         "ziggy_fleet_uptime_seconds",
@@ -1219,6 +1431,7 @@ fn handle_create_session(
                             backend: Arc::clone(&backend),
                             backend_session,
                             table: table.clone(),
+                            queries: Vec::new(),
                             last_used: Instant::now(),
                         },
                     );
@@ -1263,6 +1476,16 @@ fn parse_fleet_session_id(id: &str) -> Result<u64, Response> {
         .map_err(|_| error_response(400, "session id must be an integer"))
 }
 
+/// Appends one stepped query to a session's failover ledger, mirroring
+/// the backend's own history cap so the ledger and the real history
+/// describe the same window.
+fn record_query(session: &mut FleetSession, query: &str) {
+    if session.queries.len() >= ziggy_serve::sessions::MAX_HISTORY {
+        session.queries.remove(0);
+    }
+    session.queries.push(query.to_string());
+}
+
 fn handle_session_step(
     state: &FleetState,
     id: &str,
@@ -1285,6 +1508,11 @@ fn handle_session_step(
             None => return (error_response(404, &format!("no session {id}")), None),
         }
     };
+    // The stepped query, for the failover ledger (a body the backend
+    // will reject never needs replaying).
+    let query: Option<String> = parse_object(body.as_bytes())
+        .ok()
+        .and_then(|v| v.get("query").and_then(Value::as_str).map(str::to_string));
     let path = format!("/sessions/{backend_session}/step");
     let leg = forward_with_headers(
         state,
@@ -1305,21 +1533,164 @@ fn handle_session_step(
         Ok((status, resp_body)) => {
             if let Some(s) = state.sessions.write().get_mut(&id) {
                 s.last_used = Instant::now();
+                if (200..300).contains(&status) {
+                    if let Some(q) = &query {
+                        record_query(s, q);
+                    }
+                }
             }
             (
                 Response::new(status, resp_body),
                 Some(backend.id().to_string()),
             )
         }
-        // Sticky by design: the session's history lives on that backend.
-        Err(_) => (
-            error_response(
-                503,
-                "session replica unavailable; create a new session to continue",
-            ),
-            None,
-        ),
+        // The home backend is gone at the transport level. Session
+        // history lives in that process's memory, but the router holds
+        // the ledger of every query stepped so far — rebuild the
+        // session on another replica of the table and continue the
+        // conversation there.
+        Err(_) => failover_session(state, id, &backend, query.as_deref(), body, trace),
     }
+}
+
+/// Rebuilds a dead-homed session on another healthy replica of its
+/// table: create a fresh backend session, replay the recorded queries
+/// in order (reports are deterministic, so the rebuilt history matches
+/// the lost one), then forward the interrupted step. On success the
+/// fleet mapping is re-pointed and the response carries an
+/// `X-Fleet-Session-Failover` header naming the new home. Only when no
+/// replica can host the rebuild — the table has no other live copy —
+/// does the client see a 503, and that 503 states exactly that, instead
+/// of the old blanket "create a new session" hint for a session that
+/// was in fact recoverable.
+fn failover_session(
+    state: &FleetState,
+    id: u64,
+    dead: &Arc<Backend>,
+    query: Option<&str>,
+    step_body: &str,
+    trace: Option<&str>,
+) -> (Response, Option<String>) {
+    let (table, queries) = {
+        let sessions = state.sessions.read();
+        match sessions.get(&id) {
+            Some(s) => (s.table.clone(), s.queries.clone()),
+            None => return (error_response(404, &format!("no session {id}")), None),
+        }
+    };
+    let view = state.membership();
+    let candidates: Vec<Arc<Backend>> = state
+        .read_order(&view, &table)
+        .into_iter()
+        .filter(|b| !Arc::ptr_eq(b, dead))
+        .collect();
+    let create_body = serde_json::to_string(&Value::Object(vec![(
+        "table".into(),
+        Value::String(table.clone()),
+    )]))
+    .expect("session bodies always render");
+    for backend in candidates {
+        let created = forward_with_headers(
+            state,
+            &backend,
+            "POST",
+            "/sessions",
+            &trace_headers(trace),
+            Some(&create_body),
+        )
+        .map(|(status, _, resp_body)| (status, resp_body));
+        let Ok((201, resp_body)) = created else {
+            continue;
+        };
+        let Some(new_session) = serde_json::from_str_value(&resp_body)
+            .ok()
+            .as_ref()
+            .and_then(|v| v.get("session_id"))
+            .and_then(Value::as_u64)
+        else {
+            continue;
+        };
+        let step_path = format!("/sessions/{new_session}/step");
+        let abandon = |host: &Arc<Backend>| {
+            let _ = forward(
+                state,
+                host,
+                "DELETE",
+                &format!("/sessions/{new_session}"),
+                None,
+            );
+        };
+        // Replay the ledger. Any refused replay leg means this replica
+        // cannot faithfully host the session; try the next one.
+        let mut replayed = true;
+        for q in &queries {
+            let replay_body = serde_json::to_string(&Value::Object(vec![(
+                "query".into(),
+                Value::String(q.clone()),
+            )]))
+            .expect("session bodies always render");
+            match forward(state, &backend, "POST", &step_path, Some(&replay_body)) {
+                Ok((status, _)) if (200..300).contains(&status) => {}
+                _ => {
+                    replayed = false;
+                    break;
+                }
+            }
+        }
+        if !replayed {
+            abandon(&backend);
+            continue;
+        }
+        // The interrupted step itself. A client error (bad query) still
+        // counts as a successful failover — the session lives here now
+        // and the client sees the same 4xx a healthy home would return.
+        let stepped = forward_with_headers(
+            state,
+            &backend,
+            "POST",
+            &step_path,
+            &trace_headers(trace),
+            Some(step_body),
+        )
+        .map(|(status, _, resp_body)| (status, resp_body));
+        match stepped {
+            Ok((status, resp_body)) if status != 404 && !(500..600).contains(&status) => {
+                if let Some(s) = state.sessions.write().get_mut(&id) {
+                    s.backend = Arc::clone(&backend);
+                    s.backend_session = new_session;
+                    s.last_used = Instant::now();
+                    if (200..300).contains(&status) {
+                        if let Some(q) = query {
+                            record_query(s, q);
+                        }
+                    }
+                }
+                state.metrics.session_failovers_total.inc();
+                state.metrics.failovers_total.inc();
+                let backend_id = backend.id().to_string();
+                return (
+                    Response::new(status, resp_body)
+                        .with_header("X-Fleet-Session-Failover", backend_id.clone()),
+                    Some(backend_id),
+                );
+            }
+            _ => {
+                abandon(&backend);
+                continue;
+            }
+        }
+    }
+    (
+        error_response(
+            503,
+            &format!(
+                "session {id} is unrecoverable: its home backend is unreachable and no other \
+                 live replica of table `{table}` could rebuild it from {} recorded step(s)",
+                queries.len()
+            ),
+        ),
+        None,
+    )
 }
 
 fn handle_delete_session(state: &FleetState, id: &str) -> (Response, Option<String>) {

@@ -104,10 +104,12 @@ impl Drop for BackendProcess {
 /// has exited is respawned under its old id on a fresh ephemeral port,
 /// the dead incarnation is dropped from the router's membership, and the
 /// new one is added (two epoch bumps). The respawned process comes up
-/// *empty*; the repair loop then re-ingests its shard — every table
-/// whose replica walk lands on it — from the surviving holders, so a
-/// crash-restart cycle converges back to R live replicas without any
-/// operator action. Returns the ids that were restarted.
+/// *empty* (unless spawned onto a `--data-dir`, in which case it
+/// replays its WAL — see [`restart_dead_children_with`]); the repair
+/// loop then re-ingests its shard — every table whose replica walk
+/// lands on it — from the surviving holders, so a crash-restart cycle
+/// converges back to R live replicas without any operator action.
+/// Returns the ids that were restarted.
 ///
 /// Failures are contained: a child whose respawn fails stays dead in
 /// `children` (and out of the membership) and is retried on the next
@@ -118,13 +120,30 @@ pub fn restart_dead_children(
     state: &crate::router::FleetState,
     extra_args: &[&str],
 ) -> Vec<String> {
+    let owned: Vec<String> = extra_args.iter().map(|s| s.to_string()).collect();
+    restart_dead_children_with(binary, children, state, &|_| owned.clone())
+}
+
+/// [`restart_dead_children`] with per-child arguments: `extra_args_for`
+/// receives each dead child's id and returns the args its replacement
+/// is spawned with. This is how a durable fleet restarts a child onto
+/// *its own* `--data-dir` (keyed by id), so the replacement replays the
+/// dead incarnation's WAL instead of coming up empty.
+pub fn restart_dead_children_with(
+    binary: &Path,
+    children: &mut [BackendProcess],
+    state: &crate::router::FleetState,
+    extra_args_for: &dyn Fn(&str) -> Vec<String>,
+) -> Vec<String> {
     let mut restarted = Vec::new();
     for child in children.iter_mut() {
         if child.is_alive() {
             continue;
         }
         let id = child.id().to_string();
-        match BackendProcess::spawn(binary, &id, extra_args) {
+        let args = extra_args_for(&id);
+        let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        match BackendProcess::spawn(binary, &id, &arg_refs) {
             Ok(replacement) => {
                 // Remove-then-add under the same id: the dead
                 // incarnation's ring slots are re-pointed at the new

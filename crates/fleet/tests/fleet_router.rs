@@ -206,8 +206,9 @@ fn sessions_are_sticky_and_survive_other_replicas_dying() {
     assert_eq!(status, 200, "{step2}");
     assert!(step2.contains("\"step\":2"), "{step2}");
 
-    // Kill the session's home backend: steps answer 503 (sticky by
-    // design), and a fresh session lands on a surviving replica.
+    // Kill the session's home backend: the router replays the query
+    // ledger onto the surviving replica and the interrupted step
+    // succeeds *there* — same step counter, failover header set.
     let home_idx = home
         .strip_prefix("shard-")
         .unwrap()
@@ -219,25 +220,36 @@ fn sessions_are_sticky_and_survive_other_replicas_dying() {
         .position(|b| b.local_addr() == home_addr)
         .unwrap();
     backends.remove(victim).shutdown();
+    let mut client = Client::connect(router).unwrap();
+    let (status, headers, step3) = client
+        .request_with_headers("POST", &step_path, &[], Some(&step_body))
+        .unwrap();
+    assert_eq!(status, 200, "{step3}");
+    assert!(step3.contains("\"step\":3"), "{step3}");
+    let new_home = headers
+        .iter()
+        .find(|(k, _)| k == "x-fleet-session-failover")
+        .map(|(_, v)| v.clone())
+        .expect("failed-over step must carry X-Fleet-Session-Failover");
+    assert_ne!(new_home, home);
+    assert_eq!(fleet.state().metrics.session_failovers_total.get(), 1);
+    // The mapping is re-pointed: the next step runs on the new home
+    // without another failover.
+    let (status, headers, step4) = client
+        .request_with_headers("POST", &step_path, &[], Some(&step_body))
+        .unwrap();
+    assert_eq!(status, 200, "{step4}");
+    assert!(step4.contains("\"step\":4"), "{step4}");
+    assert!(!headers.iter().any(|(k, _)| k == "x-fleet-session-failover"));
+    assert_eq!(fleet.state().metrics.session_failovers_total.get(), 1);
+
+    // Kill the last replica too: now the session is *genuinely*
+    // unrecoverable, and the 503 says exactly why.
+    backends.remove(0).shutdown();
+    assert!(backends.is_empty());
     let (status, dead_step) = request_once(router, "POST", &step_path, Some(&step_body)).unwrap();
     assert_eq!(status, 503, "{dead_step}");
-    let (status, recreated) = request_once(
-        router,
-        "POST",
-        "/sessions",
-        Some(&json_body(&[("table", "t")])),
-    )
-    .unwrap();
-    assert_eq!(status, 201, "{recreated}");
-    assert_ne!(
-        serde_json::from_str_value(&recreated)
-            .unwrap()
-            .get("backend")
-            .unwrap()
-            .as_str()
-            .unwrap(),
-        home
-    );
+    assert!(dead_step.contains("unrecoverable"), "{dead_step}");
     fleet.shutdown();
 }
 
@@ -871,4 +883,220 @@ fn stale_fleet_session_mappings_are_swept() {
     assert_eq!(status, 404, "{resp}");
     fleet.shutdown();
     backends.into_iter().for_each(|b| b.shutdown());
+}
+
+/// Stray-copy GC: a replica the ring no longer assigns is collected —
+/// but only after the grace period, and *without* the clean-up ever
+/// reading as a fleet-wide delete. The stray here is deliberately
+/// *newer* (higher local ingest timestamp) than the nominal copy, the
+/// exact shape that would poison last-writer-wins if the GC tombstone
+/// were exported.
+#[test]
+fn stray_copies_are_collected_after_grace_and_never_poison_the_fleet() {
+    let (backends, addrs) = spawn_backends(3);
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 1,
+            probe_interval: Duration::from_millis(50),
+            repair_interval: None, // rounds driven by hand below
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    let csv = demo_csv();
+    let body = json_body(&[("name", "demo"), ("csv", &csv)]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+
+    let lists = |i: usize| {
+        let (s, body) = request_once(backends[i].local_addr(), "GET", "/tables", None).unwrap();
+        assert_eq!(s, 200);
+        body.contains("\"demo\"")
+    };
+    let holder = (0..3).find(|&i| lists(i)).unwrap();
+    // Plant a stray on some non-holder, via the same replicate path a
+    // ring shift would have used. Its local HLC stamp is necessarily
+    // newer than the holder's.
+    let stray = (0..3).find(|&i| i != holder).unwrap();
+    let put = json_body(&[("csv", &csv)]);
+    let (status, resp) = request_once(
+        backends[stray].local_addr(),
+        "PUT",
+        "/tables/demo",
+        Some(&put),
+    )
+    .unwrap();
+    assert!((200..300).contains(&status), "{resp}");
+
+    // Grace period: the first GC_GRACE_ROUNDS clean rounds arm the
+    // collector but must not fire it.
+    for round in 0..ziggy_fleet::repair::GC_GRACE_ROUNDS {
+        let report = ziggy_fleet::repair_round(fleet.state());
+        assert_eq!(report.under_replicated, 0, "round {round}: {report:?}");
+        assert_eq!(report.strays_collected, 0, "round {round}: {report:?}");
+        assert_eq!(report.deletes_propagated, 0, "round {round}: {report:?}");
+    }
+    assert!(lists(stray), "grace period must leave the stray alone");
+
+    // The armed round collects exactly the stray.
+    let report = ziggy_fleet::repair_round(fleet.state());
+    assert_eq!(report.strays_collected, 1, "{report:?}");
+    assert_eq!(report.deletes_propagated, 0, "{report:?}");
+    assert!(!lists(stray), "stray copy must be gone");
+    assert!(lists(holder), "nominal copy must survive GC");
+    assert_eq!(fleet.state().metrics.strays_collected_total.get(), 1);
+
+    // The regression this design exists for: the GC tombstone (stamped
+    // on the *newer* copy) must be invisible to the fleet. No follow-up
+    // round may read it as "demo was deleted" and cascade.
+    let (status, stones) =
+        request_once(backends[stray].local_addr(), "GET", "/tombstones", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        !stones.contains("\"demo\""),
+        "stray tombstones must not be exported: {stones}"
+    );
+    for round in 0..3 {
+        let report = ziggy_fleet::repair_round(fleet.state());
+        assert_eq!(report.deletes_propagated, 0, "round {round}: {report:?}");
+        assert_eq!(report.strays_collected, 0, "round {round}: {report:?}");
+    }
+    assert!(lists(holder), "the live table must never be collected");
+    let query_body = json_body(&[("query", "key >= 150")]);
+    let (status, resp) = request_once(
+        router,
+        "POST",
+        "/tables/demo/characterize",
+        Some(&query_body),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{resp}");
+
+    fleet.shutdown();
+    backends.into_iter().for_each(|b| b.shutdown());
+}
+
+/// Drain safety at R=1: removing the sole holder of a table copies the
+/// data out first; when no healthy target exists the removal is refused
+/// with the solely-held list, and `?force=true` remains the explicit
+/// data-losing override.
+#[test]
+fn drain_copies_out_solely_held_tables_or_refuses() {
+    let (backends, addrs) = spawn_backends(3);
+    let backend_addrs: Vec<std::net::SocketAddr> =
+        backends.iter().map(|b| b.local_addr()).collect();
+    let mut backends: Vec<Option<ServerHandle>> = backends.into_iter().map(Some).collect();
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 1,
+            probe_interval: Duration::from_millis(50),
+            repair_interval: None,
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    let body = json_body(&[("name", "solo"), ("csv", &demo_csv())]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+    let lists = |addr: std::net::SocketAddr| {
+        let (s, body) = request_once(addr, "GET", "/tables", None).unwrap();
+        assert_eq!(s, 200);
+        body.contains("\"solo\"")
+    };
+    let holder = (0..3).find(|&i| lists(backend_addrs[i])).unwrap();
+
+    // Draining the sole holder copies the table out instead of losing it.
+    let (status, resp) = request_once(
+        router,
+        "DELETE",
+        &format!("/admin/backends/shard-{holder}"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains("\"copied_out\""), "{resp}");
+    assert!(resp.contains("\"solo\""), "{resp}");
+    assert_eq!(fleet.state().metrics.drain_copyouts_total.get(), 1);
+    let new_holder = (0..3)
+        .find(|&i| i != holder && lists(backend_addrs[i]))
+        .expect("the drained table must land on a surviving member");
+    let query_body = json_body(&[("query", "key >= 150")]);
+    let (status, resp) = request_once(
+        router,
+        "POST",
+        "/tables/solo/characterize",
+        Some(&query_body),
+    )
+    .unwrap();
+    assert_eq!(
+        status, 200,
+        "the fleet must keep serving after a drain: {resp}"
+    );
+
+    // Kill the only *other* member: now there is nowhere to copy to,
+    // and the drain must refuse rather than silently lose the table.
+    let bystander = (0..3).find(|&i| i != holder && i != new_holder).unwrap();
+    backends[bystander].take().unwrap().shutdown();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, health) = request_once(router, "GET", "/healthz", None).unwrap();
+        let v = serde_json::from_str_value(&health).unwrap();
+        let down = v
+            .get("backends")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|b| b.get("healthy").unwrap().as_bool() == Some(false))
+            .count();
+        if down == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "prober never noticed: {health}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let (status, resp) = request_once(
+        router,
+        "DELETE",
+        &format!("/admin/backends/shard-{new_holder}"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(status, 409, "{resp}");
+    assert!(resp.contains("\"solely_held\""), "{resp}");
+    assert!(resp.contains("\"solo\""), "{resp}");
+    assert!(resp.contains("force=true"), "{resp}");
+    // The refused removal changed nothing: the member still serves.
+    let (status, resp) = request_once(
+        router,
+        "POST",
+        "/tables/solo/characterize",
+        Some(&query_body),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{resp}");
+
+    // The operator accepts the loss explicitly.
+    let (status, resp) = request_once(
+        router,
+        "DELETE",
+        &format!("/admin/backends/shard-{new_holder}?force=true"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{resp}");
+
+    fleet.shutdown();
+    backends.into_iter().flatten().for_each(|b| b.shutdown());
 }

@@ -60,6 +60,15 @@ impl ApiError {
         }
     }
 
+    /// 500 Internal Server Error (an acknowledged-durability write
+    /// failed; the request must not be acknowledged).
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self {
+            status: 500,
+            message: message.into(),
+        }
+    }
+
     /// The `{"error": ...}` response body.
     pub fn body(&self) -> Value {
         Value::Object(vec![("error".into(), Value::String(self.message.clone()))])

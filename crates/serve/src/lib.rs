@@ -29,11 +29,22 @@
 //! | `POST /sessions` | `{"table": "crime"}` | `201` `{"session_id", "table"}` — `404` unknown table |
 //! | `POST /sessions/{id}/step` | `{"query": "<predicate>"}` | `200` `{"step", "report", "diff"}` where `diff` is a [`ziggy_core::ReportDiff`] against the previous step (`null` on the first) — `404` unknown session, `422` engine rejection |
 //! | `DELETE /sessions/{id}` | — | `200` `{"deleted": <id>}` — `404` unknown session. Frees the session slot and releases its table pin |
+//! | `GET /tombstones` | — | `200` `{"tombstones":[{"table","ts"},…]}` — the HLC-stamped delete set, consumed by the fleet repair loop so backends that missed a delete cannot resurrect the table; stray-GC tombstones (`DELETE …?stray=true`) are withheld |
 //!
-//! CSV-ingested tables retain their source text in memory for the
-//! export route (the fleet repair loop replicates the *original* bytes
-//! so fingerprints match across replicas) — roughly doubling a table's
-//! footprint. Compressing or gating that retention is a ROADMAP item.
+//! With [`ServeOptions::data_dir`] unset, CSV-ingested tables retain
+//! their source text in memory for the export route (the fleet repair
+//! loop replicates the *original* bytes so fingerprints match across
+//! replicas) — roughly doubling a table's footprint. With the
+//! durability tier on, the retained copy is dropped and exports are
+//! read back out of the write-ahead log's ingest records instead: the
+//! bytes already on disk for crash recovery do double duty. Every
+//! mutation (ingest, delete, session create/step/delete) is logged
+//! before it is acknowledged, per [`ServeOptions::durability`]
+//! (`fsync` per-op / `batch` group commit / `async` write-to-OS), and
+//! boot replays the newest snapshot plus the log tail — tables,
+//! tombstones, and sessions all come back, and replayed reports are
+//! byte-identical (same `ETag`s) because wire bytes are a pure function
+//! of (table, configuration, query).
 //!
 //! Table and session counts are capped
 //! ([`registry::MAX_TABLES`], [`sessions::MAX_SESSIONS`]; `409` beyond
@@ -103,6 +114,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ziggy_core::ZiggyConfig;
+use ziggy_durable::{DurableLog, DurableOptions};
 use ziggy_obs::trace::{mint_trace_id, sanitize_trace_id, TRACE_HEADER};
 
 pub use http::{Client, Request, Response, Server};
@@ -113,6 +125,7 @@ pub use metrics::Metrics;
 pub use registry::{fnv1a_64, valid_table_name, TableEntry, TableRegistry};
 pub use router::{route, ServeState};
 pub use sessions::{SessionManager, StepOutcome};
+pub use ziggy_durable::DurabilityMode;
 
 /// Options for [`serve`].
 #[derive(Debug, Clone)]
@@ -136,6 +149,20 @@ pub struct ServeOptions {
     /// Idle TTL for exploration sessions; `None` keeps them until
     /// explicitly deleted. Defaults to one hour.
     pub session_ttl: Option<Duration>,
+    /// Durable-log directory. `Some` turns the durability tier on: boot
+    /// replays the newest snapshot plus the log tail (tables, delete
+    /// tombstones, sessions), every subsequent mutation is WAL'd before
+    /// it is acknowledged, and CSV exports are served from the log
+    /// instead of a retained in-memory copy. `None` (the default) keeps
+    /// the original all-in-memory behavior.
+    pub data_dir: Option<PathBuf>,
+    /// How hard an acknowledged write is (`--durability`); only
+    /// meaningful with `data_dir` set.
+    pub durability: DurabilityMode,
+    /// Snapshot after this many log records (0 disables snapshots;
+    /// segments then grow until restart). Only meaningful with
+    /// `data_dir` set.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServeOptions {
@@ -150,6 +177,9 @@ impl Default for ServeOptions {
             access_log_path: None,
             rate_limit: None,
             session_ttl: Some(Duration::from_secs(3600)),
+            data_dir: None,
+            durability: DurabilityMode::default(),
+            snapshot_every: DurableOptions::default().snapshot_every,
         }
     }
 }
@@ -178,10 +208,63 @@ impl ServerHandle {
     }
 }
 
+/// Opens the durable log in `dir`, replays snapshot + tail into the
+/// registry and session manager, and attaches the log so subsequent
+/// mutations are persisted. Replayed state that no longer applies (a
+/// table whose CSV the current parser rejects, a session whose table is
+/// gone) is skipped with a stderr note, never fatal: a backend must
+/// boot with whatever subset of its state is still valid.
+fn boot_durable(
+    state: &ServeState,
+    dir: &std::path::Path,
+    mode: DurabilityMode,
+    snapshot_every: u64,
+) -> io::Result<Arc<DurableLog>> {
+    let opts = DurableOptions {
+        mode,
+        snapshot_every,
+        ..DurableOptions::default()
+    };
+    let (log, replay) = DurableLog::open(dir, opts)?;
+    let log = Arc::new(log);
+    // Attach before restoring so restored tables serve CSV exports from
+    // the log (restore_table requires it).
+    state.registry.attach_durable(Arc::clone(&log));
+    for t in &replay.state.tables {
+        if let Err(e) =
+            state
+                .registry
+                .restore_table(&t.name, &t.csv, t.fingerprint, t.ts, state.config.clone())
+        {
+            eprintln!("ziggy-serve: replay skipped table `{}`: {e}", t.name);
+        }
+    }
+    for (name, ts, stray) in &replay.state.tombstones {
+        state.registry.restore_tombstone(name, *ts, *stray);
+    }
+    for s in &replay.state.sessions {
+        match state.registry.get(&s.table) {
+            Ok(entry) => {
+                state.sessions.restore(s.id, entry, &s.queries, s.steps);
+            }
+            Err(_) => {
+                eprintln!(
+                    "ziggy-serve: replay skipped session {} (table `{}` gone)",
+                    s.id, s.table
+                );
+            }
+        }
+    }
+    Ok(log)
+}
+
 /// Binds `addr` and starts serving the characterization API.
 pub fn serve(addr: impl ToSocketAddrs, options: ServeOptions) -> io::Result<ServerHandle> {
     let state = Arc::new(ServeState::with_config(options.config));
     state.sessions.set_ttl(options.session_ttl);
+    if let Some(dir) = &options.data_dir {
+        boot_durable(&state, dir, options.durability, options.snapshot_every)?;
+    }
     let limiter = options.rate_limit.map(RateLimiter::new);
     let log = Arc::new(match &options.access_log_path {
         Some(path) => AccessLog::to_file(path)?,

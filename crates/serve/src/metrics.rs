@@ -18,6 +18,7 @@ pub const ROUTE_KEYS: &[&str] = &[
     "csv",
     "sessions",
     "session_step",
+    "tombstones",
     "other",
 ];
 
@@ -33,6 +34,7 @@ pub fn route_key(method: &str, path: &str) -> &'static str {
         (_, ["tables", _, "csv"]) => "csv",
         (_, ["sessions"]) | (_, ["sessions", _]) => "sessions",
         (_, ["sessions", _, "step"]) => "session_step",
+        (_, ["tombstones"]) => "tombstones",
         _ => "other",
     }
 }

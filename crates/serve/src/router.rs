@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use serde_json::Value;
 use ziggy_core::{StageTimings, ZiggyConfig};
+use ziggy_durable::Record;
 
 use crate::http::{Request, Response};
 use crate::json::{parse_object, required_str, ApiError};
@@ -67,10 +68,11 @@ pub fn route(state: &ServeState, req: &Request) -> Response {
         ("POST", ["tables", name, "characterize"]) => handle_characterize(state, name, req),
         ("GET", ["tables", name, "csv"]) => handle_export_csv(state, name),
         ("PUT", ["tables", name]) => handle_replicate_table(state, name, &req.body),
-        ("DELETE", ["tables", name]) => handle_delete_table(state, name),
+        ("DELETE", ["tables", name]) => handle_delete_table(state, name, req),
         ("POST", ["sessions"]) => handle_create_session(state, &req.body),
         ("POST", ["sessions", id, "step"]) => handle_session_step(state, id, &req.body),
         ("DELETE", ["sessions", id]) => handle_delete_session(state, id),
+        ("GET", ["tombstones"]) => handle_tombstones(state),
         (
             _,
             ["healthz"]
@@ -81,10 +83,17 @@ pub fn route(state: &ServeState, req: &Request) -> Response {
             | ["tables", _, "csv"]
             | ["sessions"]
             | ["sessions", _]
-            | ["sessions", _, "step"],
+            | ["sessions", _, "step"]
+            | ["tombstones"],
         ) => Err(ApiError::method_not_allowed()),
         _ => Err(ApiError::not_found(format!("no route for {}", req.path))),
     };
+    // Mutating requests that succeeded may have pushed the log past its
+    // snapshot threshold; snapshotting here (not on a timer) keeps the
+    // whole serve layer thread-pool-only.
+    if result.is_ok() && req.method != "GET" {
+        maybe_snapshot(state);
+    }
     match result {
         Ok(response) => response,
         Err(e) => {
@@ -92,6 +101,62 @@ pub fn route(state: &ServeState, req: &Request) -> Response {
             json_response(e.status, &e.body())
         }
     }
+}
+
+/// Writes a snapshot when the attached log wants one. The cover LSN is
+/// captured *before* the live state is gathered, so records landing in
+/// between are both inside the snapshot and replayed after it — every
+/// record type is idempotent under re-application (see `ziggy_durable`).
+fn maybe_snapshot(state: &ServeState) {
+    let Some(log) = state.registry.durable() else {
+        return;
+    };
+    if !log.wants_snapshot() {
+        return;
+    }
+    let Some(cover) = log.begin_snapshot() else {
+        return; // Another thread's snapshot is in flight.
+    };
+    let snap = ziggy_durable::SnapshotState {
+        tables: state.registry.snapshot_tables(),
+        tombstones: state.registry.tombstones(),
+        sessions: state
+            .sessions
+            .snapshot_sessions()
+            .into_iter()
+            .map(|(id, table, steps, queries)| ziggy_durable::SessionState {
+                id,
+                table,
+                steps,
+                queries,
+            })
+            .collect(),
+    };
+    // A failed write is not fatal to the request that triggered it: the
+    // log is still intact, segments just don't compact yet.
+    let _ = log.write_snapshot(cover, &snap);
+}
+
+/// The local delete-tombstone set, consumed by the fleet's repair loop
+/// so a backend that missed a delete cannot resurrect the table. Stray
+/// garbage-collection tombstones are withheld — they are local
+/// clean-ups, not fleet-wide deletes.
+fn handle_tombstones(state: &ServeState) -> Result<Response, ApiError> {
+    let tombstones = state
+        .registry
+        .exported_tombstones()
+        .into_iter()
+        .map(|(table, ts)| {
+            Value::Object(vec![
+                ("table".into(), Value::String(table)),
+                ("ts".into(), Value::Number(serde_json::Number::U(ts))),
+            ])
+        })
+        .collect();
+    Ok(json_response(
+        200,
+        &Value::Object(vec![("tombstones".into(), Value::Array(tombstones))]),
+    ))
 }
 
 fn handle_healthz(state: &ServeState) -> Result<Response, ApiError> {
@@ -132,6 +197,71 @@ fn handle_metrics(state: &ServeState, req: &Request) -> Result<Response, ApiErro
             &[("version", env!("CARGO_PKG_VERSION"))],
             1.0,
         );
+        if let Some(log) = state.registry.durable() {
+            use std::sync::atomic::Ordering;
+            let m = log.metrics();
+            doc.counter(
+                "ziggy_durable_records_total",
+                &[],
+                m.records.load(Ordering::Relaxed),
+            );
+            doc.counter(
+                "ziggy_durable_fsyncs_total",
+                &[],
+                m.fsyncs.load(Ordering::Relaxed),
+            );
+            doc.counter(
+                "ziggy_durable_group_commits_total",
+                &[],
+                m.group_commits.load(Ordering::Relaxed),
+            );
+            doc.counter(
+                "ziggy_durable_snapshots_total",
+                &[],
+                m.snapshots.load(Ordering::Relaxed),
+            );
+            doc.counter(
+                "ziggy_durable_segments_compacted_total",
+                &[],
+                m.segments_compacted.load(Ordering::Relaxed),
+            );
+            doc.counter(
+                "ziggy_durable_torn_records_total",
+                &[],
+                m.torn_records.load(Ordering::Relaxed),
+            );
+            doc.gauge("ziggy_durable_segments", &[], log.segment_count() as f64);
+            doc.gauge("ziggy_durable_snapshot_lsn", &[], log.snapshot_lsn() as f64);
+            doc.gauge(
+                "ziggy_durable_replay_records",
+                &[],
+                m.replay_records.load(Ordering::Relaxed) as f64,
+            );
+            doc.gauge(
+                "ziggy_durable_replay_seconds",
+                &[],
+                m.replay_us.load(Ordering::Relaxed) as f64 / 1e6,
+            );
+            doc.gauge(
+                "ziggy_durable_mode_info",
+                &[("mode", log.mode().as_str())],
+                1.0,
+            );
+            if m.append_latency.count() > 0 {
+                doc.histogram_us(
+                    "ziggy_durable_append_duration_seconds",
+                    &[],
+                    &m.append_latency.snapshot(),
+                );
+            }
+            if m.fsync_latency.count() > 0 {
+                doc.histogram_us(
+                    "ziggy_durable_fsync_duration_seconds",
+                    &[],
+                    &m.fsync_latency.snapshot(),
+                );
+            }
+        }
         return Ok(Response::new(200, doc.render())
             .with_header("Content-Type", "text/plain; version=0.0.4"));
     }
@@ -146,6 +276,43 @@ fn handle_metrics(state: &ServeState, req: &Request) -> Result<Response, ApiErro
         ));
     }
     body.push(("tables".into(), Value::Array(state.registry.cache_stats())));
+    if let Some(log) = state.registry.durable() {
+        use std::sync::atomic::Ordering;
+        let m = log.metrics();
+        let n = |v: u64| Value::Number(serde_json::Number::U(v));
+        body.push((
+            "durable".into(),
+            Value::Object(vec![
+                ("mode".into(), Value::String(log.mode().as_str().into())),
+                ("records".into(), n(m.records.load(Ordering::Relaxed))),
+                ("fsyncs".into(), n(m.fsyncs.load(Ordering::Relaxed))),
+                (
+                    "group_commits".into(),
+                    n(m.group_commits.load(Ordering::Relaxed)),
+                ),
+                ("snapshots".into(), n(m.snapshots.load(Ordering::Relaxed))),
+                (
+                    "segments_compacted".into(),
+                    n(m.segments_compacted.load(Ordering::Relaxed)),
+                ),
+                (
+                    "torn_records".into(),
+                    n(m.torn_records.load(Ordering::Relaxed)),
+                ),
+                (
+                    "replay_records".into(),
+                    n(m.replay_records.load(Ordering::Relaxed)),
+                ),
+                ("replay_us".into(), n(m.replay_us.load(Ordering::Relaxed))),
+                ("segments".into(), n(log.segment_count() as u64)),
+                ("snapshot_lsn".into(), n(log.snapshot_lsn())),
+                (
+                    "append_p99_us".into(),
+                    n(m.append_latency.quantile_us(0.99).unwrap_or(0)),
+                ),
+            ]),
+        ));
+    }
     Ok(json_response(200, &Value::Object(body)))
 }
 
@@ -283,7 +450,7 @@ fn server_timing(t: &StageTimings, reuse_level: u8) -> String {
 /// have no CSV provenance and answer 404.
 fn handle_export_csv(state: &ServeState, name: &str) -> Result<Response, ApiError> {
     let entry = state.registry.get(name)?;
-    let Some(csv) = entry.source_csv() else {
+    let Some(csv) = entry.export_csv() else {
         return Err(ApiError::not_found(format!(
             "table `{name}` has no CSV provenance to export"
         )));
@@ -326,8 +493,20 @@ fn handle_replicate_table(
     ))
 }
 
-fn handle_delete_table(state: &ServeState, name: &str) -> Result<Response, ApiError> {
-    let entry = state.registry.remove(name)?;
+/// Drops a table. With `?stray=true` (the fleet garbage collector's
+/// variant) the tombstone is stamped at the copy's own ingest timestamp
+/// instead of a fresh one, so collecting a stranded replica can never
+/// outrank — and therefore never delete — the live copies elsewhere.
+fn handle_delete_table(
+    state: &ServeState,
+    name: &str,
+    req: &Request,
+) -> Result<Response, ApiError> {
+    let entry = if req.query_param("stray") == Some("true") {
+        state.registry.remove_stray(name)?
+    } else {
+        state.registry.remove(name)?
+    };
     // Cascade: close the table's sessions so the dropped engine's memory
     // actually frees instead of staying pinned behind abandoned clients.
     let sessions_closed = state.sessions.remove_for_table(&entry);
@@ -359,6 +538,10 @@ fn parse_session_id(id: &str) -> Result<u64, ApiError> {
 fn handle_delete_session(state: &ServeState, id: &str) -> Result<Response, ApiError> {
     let id = parse_session_id(id)?;
     state.sessions.remove(id)?;
+    if let Some(log) = state.registry.durable() {
+        log.append(&Record::SessionDelete { id })
+            .map_err(|e| ApiError::internal(format!("durable log append failed: {e}")))?;
+    }
     state.metrics.sessions_deleted.inc();
     Ok(json_response(
         200,
@@ -392,6 +575,22 @@ fn handle_create_session(state: &ServeState, body: &[u8]) -> Result<Response, Ap
             return Err(ApiError::not_found(format!("no table named `{table}`")));
         }
     }
+    // Log after validation so replay never resurrects a session whose
+    // creation this handler went on to undo. An append failure unwinds
+    // the in-memory session: the creation is not acknowledged.
+    if let Some(log) = state.registry.durable() {
+        if let Err(e) = log.append(&Record::SessionCreate {
+            id,
+            table: table.to_string(),
+        }) {
+            if state.sessions.remove(id).is_ok() {
+                state.metrics.sessions_deleted.inc();
+            }
+            return Err(ApiError::internal(format!(
+                "durable log append failed: {e}"
+            )));
+        }
+    }
     Ok(json_response(
         201,
         &Value::Object(vec![
@@ -409,6 +608,17 @@ fn handle_session_step(state: &ServeState, id: &str, body: &[u8]) -> Result<Resp
     let parsed = parse_object(body)?;
     let query = required_str(&parsed, "query")?;
     let outcome = state.sessions.step(id, query)?;
+    // WAL the accepted step before acknowledging. On append failure the
+    // in-memory step stands but the client sees a 500; replay's
+    // seq-idempotency makes a client retry of the same step harmless.
+    if let Some(log) = state.registry.durable() {
+        log.append(&Record::SessionStep {
+            id,
+            seq: outcome.step as u64,
+            query: query.to_string(),
+        })
+        .map_err(|e| ApiError::internal(format!("durable log append failed: {e}")))?;
+    }
     if outcome.fresh {
         state
             .metrics

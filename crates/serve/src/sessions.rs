@@ -25,13 +25,20 @@ use crate::registry::TableEntry;
 pub const MAX_SESSIONS: usize = 4096;
 
 /// Cap on per-session history length; older reports are dropped so
-/// long-lived sessions cannot grow without bound.
-const MAX_HISTORY: usize = 64;
+/// long-lived sessions cannot grow without bound. (Matches
+/// `ziggy_durable::MAX_SESSION_QUERIES` so a restored session replays
+/// exactly the history a live one would hold.)
+pub const MAX_HISTORY: usize = 64;
 
 /// One client's exploration state.
 pub struct Session {
     table: Arc<TableEntry>,
     history: Vec<CharacterizationReport>,
+    /// The predicate text of the retained history steps, oldest first
+    /// (capped alongside `history`). This is what makes a session
+    /// *replayable*: the durable log and the fleet's failover path both
+    /// re-step these queries to rebuild byte-identical reports.
+    queries: Vec<String>,
     /// Successful steps taken over the session's lifetime (monotonic —
     /// unlike `history.len()`, which is capped at [`MAX_HISTORY`]).
     steps_taken: usize,
@@ -167,11 +174,79 @@ impl SessionManager {
             Arc::new(Mutex::new(Session {
                 table,
                 history: Vec::new(),
+                queries: Vec::new(),
                 steps_taken: 0,
                 last_used: Instant::now(),
             })),
         );
         Ok(id)
+    }
+
+    /// Re-creates a session under a known id (durable-log replay and
+    /// fleet failover). The retained `queries` are re-stepped through
+    /// the table's shared engine so the rebuilt history — and therefore
+    /// the next diff — is byte-identical to what the lost process held;
+    /// `steps` restores the monotonic lifetime counter, which may exceed
+    /// `queries.len()` when history was truncated. Queries that no
+    /// longer parse (config drift) are skipped rather than fatal.
+    /// Returns how many steps were replayed.
+    pub fn restore(
+        &self,
+        id: u64,
+        table: Arc<TableEntry>,
+        queries: &[String],
+        steps: u64,
+    ) -> usize {
+        // Keep future `create` ids above every restored id.
+        self.next_id.fetch_max(id, Ordering::Relaxed);
+        let mut history = Vec::new();
+        let mut kept = Vec::new();
+        for q in queries.iter().take(MAX_HISTORY) {
+            if let Ok(outcome) = table.engine().characterize_cached(q) {
+                history.push(outcome.cached.report.clone());
+                kept.push(q.clone());
+            }
+        }
+        let replayed = history.len();
+        self.sessions.write().insert(
+            id,
+            Arc::new(Mutex::new(Session {
+                table,
+                history,
+                queries: kept,
+                steps_taken: steps as usize,
+                last_used: Instant::now(),
+            })),
+        );
+        replayed
+    }
+
+    /// A consistent copy of every live session's replayable state:
+    /// `(id, table name, lifetime steps, retained queries)`. Used by
+    /// snapshot writers; sessions busy in a step are captured as of
+    /// whenever their lock frees (the WAL tail covers the in-flight
+    /// step either way).
+    pub fn snapshot_sessions(&self) -> Vec<(u64, String, u64, Vec<String>)> {
+        let sessions: Vec<(u64, Arc<Mutex<Session>>)> = self
+            .sessions
+            .read()
+            .iter()
+            .map(|(id, s)| (*id, Arc::clone(s)))
+            .collect();
+        let mut out: Vec<(u64, String, u64, Vec<String>)> = sessions
+            .into_iter()
+            .map(|(id, s)| {
+                let s = s.lock();
+                (
+                    id,
+                    s.table.name().to_string(),
+                    s.steps_taken as u64,
+                    s.queries.clone(),
+                )
+            })
+            .collect();
+        out.sort_by_key(|(id, ..)| *id);
+        out
     }
 
     /// Closes a session, freeing its slot under [`MAX_SESSIONS`] and
@@ -233,8 +308,10 @@ impl SessionManager {
         let mut s = session.lock();
         let diff = s.history.last().map(|prev| diff_reports(prev, &report));
         s.history.push(report.clone());
+        s.queries.push(query.to_string());
         if s.history.len() > MAX_HISTORY {
             s.history.remove(0);
+            s.queries.remove(0);
         }
         s.steps_taken += 1;
         s.last_used = Instant::now();

@@ -46,7 +46,10 @@ fn print_usage() {
          --access-log-file PATH   append access-log lines to PATH instead of stderr\n  \
          --rate-limit N           per-client token bucket: N req/s (default: off)\n  \
          --session-ttl SECS       evict sessions idle past SECS (default 3600, 0 = off)\n  \
-         --port-file PATH         write the bound address to PATH once listening\n\n\
+         --port-file PATH         write the bound address to PATH once listening\n  \
+         --data-dir PATH          durability tier: WAL + snapshots in PATH, replayed on boot\n  \
+         --durability MODE        fsync | batch | async (default batch; needs --data-dir)\n  \
+         --snapshot-every N       snapshot + compact every N records (default 256)\n\n\
          fleet options:\n  \
          --addr ADDR              router bind address (default 127.0.0.1:8080)\n  \
          --backends N             local ziggy-serve processes to spawn (default 2)\n  \
@@ -57,7 +60,10 @@ fn print_usage() {
          --rate-limit N           per-client rate limit at the router edge\n  \
          --repair-interval SECS   self-healing replication cadence (default 0.5, 0 = off)\n  \
          --no-restart             report dead backends instead of restart-with-rejoin\n  \
-         --demo                   preload the crime synthetic twin as table `crime`\n\n\
+         --demo                   preload the crime synthetic twin as table `crime`\n  \
+         --data-dir PATH          per-backend durability: each shard logs to PATH/<id>\n  \
+         --durability MODE        fsync | batch | async for every backend (default batch)\n  \
+         --snapshot-every N       per-backend snapshot cadence (default 256)\n\n\
          the fleet router also serves POST /admin/backends {{\"id\",\"addr\"}} and\n\
          DELETE /admin/backends/{{id}} to grow/shrink the ring at runtime."
     );
@@ -126,6 +132,18 @@ fn run_serve(args: &[String]) {
                 Some(p) => port_file = Some(p.clone()),
                 None => die("--port-file needs a path"),
             },
+            "--data-dir" => match it.next() {
+                Some(p) => options.data_dir = Some(std::path::PathBuf::from(p)),
+                None => die("--data-dir needs a path"),
+            },
+            "--durability" => match it.next().map(|v| v.parse()) {
+                Some(Ok(mode)) => options.durability = mode,
+                _ => die("--durability needs one of: fsync, batch, async"),
+            },
+            "--snapshot-every" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => options.snapshot_every = n,
+                _ => die("--snapshot-every needs a positive integer"),
+            },
             other => die(&format!("unknown serve option: {other}")),
         }
     }
@@ -154,12 +172,18 @@ fn run_serve(args: &[String]) {
 }
 
 fn preload_demo(state: &ziggy::serve::ServeState) {
+    // Go through the CSV ingest path (not `insert_table`) so the demo
+    // table gets provenance: it lands in the WAL under `--data-dir`,
+    // exports via `/csv`, and is repairable. `replicate_csv` makes a
+    // restart with both `--data-dir` and `--demo` idempotent — the
+    // replayed copy fingerprints identically to the fresh render.
     let twin = ziggy::synth::us_crime(7);
+    let csv = ziggy::store::csv::write_csv_string(&twin.table, ',');
     match state
         .registry
-        .insert_table("crime", twin.table, state.config.clone())
+        .replicate_csv("crime", &csv, state.config.clone())
     {
-        Ok(entry) => println!(
+        Ok((entry, _created)) => println!(
             "preloaded table `crime` ({} rows x {} cols); try: {}",
             entry.table().n_rows(),
             entry.table().n_cols(),
@@ -175,6 +199,9 @@ fn run_fleet(args: &[String]) {
     let mut options = FleetOptions::default();
     let mut demo = false;
     let mut restart = true;
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut durability: Option<String> = None;
+    let mut snapshot_every: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -212,6 +239,20 @@ fn run_fleet(args: &[String]) {
             },
             "--no-restart" => restart = false,
             "--demo" => demo = true,
+            "--data-dir" => match it.next() {
+                Some(p) => data_dir = Some(std::path::PathBuf::from(p)),
+                None => die("--data-dir needs a path"),
+            },
+            "--durability" => match it.next() {
+                Some(v) if v.parse::<ziggy::serve::DurabilityMode>().is_ok() => {
+                    durability = Some(v.clone())
+                }
+                _ => die("--durability needs one of: fsync, batch, async"),
+            },
+            "--snapshot-every" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => snapshot_every = Some(n),
+                _ => die("--snapshot-every needs a positive integer"),
+            },
             other => die(&format!("unknown fleet option: {other}")),
         }
     }
@@ -222,10 +263,31 @@ fn run_fleet(args: &[String]) {
         Ok(b) => b,
         Err(e) => die(&format!("cannot locate own binary: {e}")),
     };
+    // Per-child serve args: with a data dir, each shard logs to its own
+    // id-keyed subdirectory — which is what lets a *restarted* child
+    // replay the dead incarnation's WAL instead of rejoining empty.
+    let backend_args_for = move |id: &str| -> Vec<String> {
+        let mut extra = Vec::new();
+        if let Some(dir) = &data_dir {
+            extra.push("--data-dir".to_string());
+            extra.push(dir.join(id).to_string_lossy().into_owned());
+            if let Some(mode) = &durability {
+                extra.push("--durability".to_string());
+                extra.push(mode.clone());
+            }
+            if let Some(n) = snapshot_every {
+                extra.push("--snapshot-every".to_string());
+                extra.push(n.to_string());
+            }
+        }
+        extra
+    };
     let mut children: Vec<BackendProcess> = Vec::with_capacity(backends);
     for i in 0..backends {
         let id = format!("shard-{i}");
-        match BackendProcess::spawn(&binary, &id, &[]) {
+        let extra = backend_args_for(&id);
+        let extra_refs: Vec<&str> = extra.iter().map(String::as_str).collect();
+        match BackendProcess::spawn(&binary, &id, &extra_refs) {
             Ok(child) => {
                 println!(
                     "spawned backend {id} (pid {}) on {}",
@@ -265,7 +327,12 @@ fn run_fleet(args: &[String]) {
         // the surviving replicas.
         loop {
             std::thread::sleep(std::time::Duration::from_secs(1));
-            ziggy::fleet::restart_dead_children(&binary, &mut children, fleet.state(), &[]);
+            ziggy::fleet::restart_dead_children_with(
+                &binary,
+                &mut children,
+                fleet.state(),
+                &backend_args_for,
+            );
         }
     } else {
         // Report-only supervision: the health prober routes around the
