@@ -62,6 +62,52 @@ fn num_f(x: f64) -> Value {
     Value::Number(Number::F(x))
 }
 
+/// Condensed fleet-assembled span breakdown from the router's
+/// `/debug/traces/{id}`: per-span name and µs, plus the shard label on
+/// spans the backends recorded. `Null` when the trace has already been
+/// evicted from the flight recorder.
+fn fetch_trace_breakdown(router: SocketAddr, trace_id: &str) -> Value {
+    let Ok((status, body)) =
+        request_once(router, "GET", &format!("/debug/traces/{trace_id}"), None)
+    else {
+        return Value::Null;
+    };
+    if status != 200 {
+        return Value::Null;
+    }
+    let v = serde_json::from_str_value(&body).unwrap();
+    let spans: Vec<Value> = v
+        .get("spans")
+        .and_then(|s| s.as_array())
+        .map(|spans| {
+            spans
+                .iter()
+                .map(|s| {
+                    let mut pairs = vec![
+                        ("name".into(), s.get("name").cloned().unwrap_or(Value::Null)),
+                        (
+                            "duration_us".into(),
+                            s.get("duration_us").cloned().unwrap_or(Value::Null),
+                        ),
+                    ];
+                    if let Some(backend) = s.get("backend") {
+                        pairs.push(("backend".into(), backend.clone()));
+                    }
+                    Value::Object(pairs)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Value::Object(vec![
+        ("trace_id".into(), Value::String(trace_id.to_string())),
+        (
+            "duration_us".into(),
+            v.get("duration_us").cloned().unwrap_or(Value::Null),
+        ),
+        ("spans".into(), Value::Array(spans)),
+    ])
+}
+
 /// Backends for one set: real processes when the `ziggy` binary sits
 /// next to this bench, in-process servers otherwise.
 enum Backends {
@@ -126,6 +172,8 @@ struct SetResult {
     warm_p99_ms: f64,
     total_requests: usize,
     failovers: u64,
+    cold_trace: Value,
+    slowest_warm_trace: Value,
 }
 
 fn run_set(
@@ -156,15 +204,26 @@ fn run_set(
     let ingest_ms = t_ingest.elapsed().as_secs_f64() * 1e3;
 
     // Warm every replica: reads rotate round-robin, so 2N requests give
-    // each backend its cold build (stats cache + PreparedStats).
+    // each backend its cold build (stats cache + PreparedStats). The
+    // first of them is the cold hop — a pinned request id lets the
+    // router assemble its fleet-wide span breakdown afterwards.
+    let cold_id = format!("bench-cold-{n_backends}");
+    let cold_headers = [("X-Request-Id", cold_id.as_str())];
     let mut warm = Client::connect(router).unwrap();
-    for _ in 0..(2 * n_backends) {
-        let (status, body) = warm
-            .request("POST", "/tables/crime/characterize", Some(query_body))
+    for i in 0..(2 * n_backends) {
+        let headers: &[(&str, &str)] = if i == 0 { &cold_headers } else { &[] };
+        let (status, _, body) = warm
+            .request_with_headers(
+                "POST",
+                "/tables/crime/characterize",
+                headers,
+                Some(query_body),
+            )
             .unwrap();
         assert_eq!(status, 200, "{body}");
     }
     drop(warm);
+    let cold_trace = fetch_trace_breakdown(router, &cold_id);
 
     let total_requests = clients * requests_per_client;
     // End-to-end (client → router → backend) latency percentiles, on
@@ -192,6 +251,18 @@ fn run_set(
     let snap = latency.snapshot();
     let pct_ms = |q: f64| snap.quantile_us(q).unwrap_or(0) as f64 / 1e3;
 
+    // Slowest warm request by the router recorder's own clock; its
+    // fleet-assembled breakdown shows which hop the tail hides in.
+    let slowest_warm_trace = fleet
+        .state()
+        .recorder
+        .recent()
+        .iter()
+        .filter(|e| e.route.as_deref() == Some("characterize") && e.trace_id != cold_id)
+        .max_by_key(|e| e.duration_us)
+        .map(|e| fetch_trace_breakdown(router, &e.trace_id))
+        .unwrap_or(Value::Null);
+
     fleet.shutdown();
     backends.shutdown();
     SetResult {
@@ -205,6 +276,8 @@ fn run_set(
         warm_p99_ms: pct_ms(0.99),
         total_requests,
         failovers,
+        cold_trace,
+        slowest_warm_trace,
     }
 }
 
@@ -466,6 +539,13 @@ fn main() {
                             ("warm_p99_latency_ms".into(), num_f(r.warm_p99_ms)),
                             ("speedup_vs_1".into(), num_f(r.warm_rps / baseline)),
                             ("failovers".into(), num_u(r.failovers)),
+                            (
+                                "traces".into(),
+                                Value::Object(vec![
+                                    ("cold".into(), r.cold_trace.clone()),
+                                    ("slowest_warm".into(), r.slowest_warm_trace.clone()),
+                                ]),
+                            ),
                         ])
                     })
                     .collect(),

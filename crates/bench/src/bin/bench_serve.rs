@@ -23,7 +23,7 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use serde_json::{Number, Value};
-use ziggy_obs::Histogram;
+use ziggy_obs::{Histogram, TraceEntry};
 use ziggy_serve::http::Client;
 use ziggy_serve::{serve, ServeOptions};
 
@@ -48,6 +48,31 @@ fn num_f(x: f64) -> Value {
     Value::Number(Number::F(x))
 }
 
+/// Condensed span breakdown of one recorded trace — the per-stage µs
+/// the flight recorder saw, without the attr noise of the full
+/// `/debug/traces/{id}` form.
+fn trace_breakdown(entry: &TraceEntry) -> Value {
+    Value::Object(vec![
+        ("trace_id".into(), Value::String(entry.trace_id.clone())),
+        ("duration_us".into(), num_u(entry.duration_us)),
+        (
+            "spans".into(),
+            Value::Array(
+                entry
+                    .spans
+                    .iter()
+                    .map(|s| {
+                        Value::Object(vec![
+                            ("name".into(), Value::String(s.name.clone())),
+                            ("duration_us".into(), num_u(s.duration_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn main() {
     let clients = arg("--clients", 8).max(1);
     let requests_per_client = arg("--requests", 64).max(1) / clients.max(1);
@@ -70,14 +95,27 @@ fn main() {
         .unwrap();
 
     // Cold request: pays the whole-table statistics + dependency graph.
+    // A pinned request id lets the flight recorder hand back the cold
+    // trace's span breakdown afterwards.
     let t_cold = Instant::now();
     let mut warmup = Client::connect(addr).unwrap();
-    let (status, body) = warmup
-        .request("POST", "/tables/crime/characterize", Some(&query_body))
+    let (status, _, body) = warmup
+        .request_with_headers(
+            "POST",
+            "/tables/crime/characterize",
+            &[("X-Request-Id", "bench-cold")],
+            Some(&query_body),
+        )
         .unwrap();
     assert_eq!(status, 200, "{body}");
     let cold_ms = t_cold.elapsed().as_secs_f64() * 1e3;
     drop(warmup);
+    let cold_trace = server
+        .state()
+        .recorder
+        .trace("bench-cold")
+        .map(|e| trace_breakdown(&e))
+        .unwrap_or(Value::Null);
 
     // Warm phase: all clients hammer the shared engine concurrently.
     // Per-request latencies land in one shared lock-free histogram, the
@@ -107,6 +145,18 @@ fn main() {
     let rps = total_requests as f64 / elapsed;
     let snap = latency.snapshot();
     let pct_ms = |q: f64| snap.quantile_us(q).unwrap_or(0) as f64 / 1e3;
+
+    // Slowest warm request, by the flight recorder's own clock: the
+    // span breakdown shows *where* the warm tail spends its time.
+    let slowest_warm_trace = server
+        .state()
+        .recorder
+        .recent()
+        .iter()
+        .filter(|e| e.route.as_deref() == Some("characterize") && e.trace_id != "bench-cold")
+        .max_by_key(|e| e.duration_us)
+        .map(trace_breakdown)
+        .unwrap_or(Value::Null);
 
     // Revalidation phase: warm clients holding the ETag revalidate with
     // If-None-Match and get bodyless 304s.
@@ -188,6 +238,13 @@ fn main() {
                 ("requests".into(), num_u(total_requests as u64)),
                 ("not_modified".into(), num_u(not_modified as u64)),
                 ("requests_per_sec".into(), num_f(reval_rps)),
+            ]),
+        ),
+        (
+            "traces".into(),
+            Value::Object(vec![
+                ("cold".into(), cold_trace),
+                ("slowest_warm".into(), slowest_warm_trace),
             ]),
         ),
     ]);

@@ -26,12 +26,16 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use ziggy_obs::span::{self, FlightRecorder};
 use ziggy_obs::Histogram;
 
 use crate::record::{frame, parse_frame, Record};
-use crate::state::{decode_snapshot, encode_snapshot, CsvLoc, Materializer, SnapshotState};
+use crate::state::{
+    decode_snapshot, encode_snapshot, CsvLoc, Materializer, SnapshotState,
+    SNAPSHOT_CHECKSUM_MISMATCH,
+};
 
 /// How hard an acknowledged append is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,6 +97,10 @@ pub struct DurableOptions {
     pub snapshot_every: u64,
     /// Group-commit flush cadence (Batch mode only).
     pub commit_interval: Duration,
+    /// How far behind the last append the background flusher may let
+    /// `async` mode run before fsyncing (bounds the power-loss window;
+    /// previously async data only reached disk on rotation).
+    pub async_flush_interval: Duration,
 }
 
 impl Default for DurableOptions {
@@ -102,6 +110,7 @@ impl Default for DurableOptions {
             segment_bytes: 4 * 1024 * 1024,
             snapshot_every: 256,
             commit_interval: Duration::from_millis(2),
+            async_flush_interval: Duration::from_millis(50),
         }
     }
 }
@@ -122,6 +131,10 @@ pub struct DurableMetrics {
     pub segments_compacted: AtomicU64,
     /// Torn/corrupt tails dropped at replay.
     pub torn_records: AtomicU64,
+    /// Snapshot files refused at boot because their checksum header did
+    /// not match the payload (boot fell back to an older snapshot or
+    /// pure WAL replay).
+    pub snapshot_checksum_failures: AtomicU64,
     /// Records replayed at the last boot.
     pub replay_records: AtomicU64,
     /// Wall time of the last boot replay, µs.
@@ -156,7 +169,15 @@ struct FlushState {
     written: u64,
     flushed: u64,
     io_error: bool,
+    /// When the oldest not-yet-fsynced append landed (None = fully
+    /// flushed); `flushed` vs `written` plus this instant is the
+    /// durability lag the `ziggy_durable_async_lag_ms` gauge reports.
+    oldest_pending: Option<Instant>,
 }
+
+/// The span context saved by the most recent append, so the background
+/// flusher can record its fsync under that request's trace.
+type SavedSpanCtx = (Arc<FlightRecorder>, String, String);
 
 struct Inner {
     dir: PathBuf,
@@ -170,6 +191,7 @@ struct Inner {
     snapshot_lsn: AtomicU64,
     since_snapshot: AtomicU64,
     snapshotting: AtomicBool,
+    last_span_ctx: Mutex<Option<SavedSpanCtx>>,
 }
 
 /// A per-backend durable log. One instance per data directory; share
@@ -225,6 +247,7 @@ impl DurableLog {
         // but be lenient anyway).
         let mut snap_lsn = 0u64;
         let mut snap_state: Option<SnapshotState> = None;
+        let mut checksum_failures = 0u64;
         for &lsn in snaps.iter().rev() {
             match fs::read_to_string(dir.join(snap_name(lsn))) {
                 Ok(text) => match decode_snapshot(&text) {
@@ -233,7 +256,16 @@ impl DurableLog {
                         snap_state = Some(state);
                         break;
                     }
-                    Err(_) => continue,
+                    Err(e) => {
+                        if e.starts_with(SNAPSHOT_CHECKSUM_MISMATCH) {
+                            checksum_failures += 1;
+                            eprintln!(
+                                "ziggy-durable: refusing {} ({e}); falling back",
+                                snap_name(lsn)
+                            );
+                        }
+                        continue;
+                    }
                 },
                 Err(_) => continue,
             }
@@ -327,6 +359,9 @@ impl DurableLog {
         metrics.replay_records.store(replayed, Ordering::Relaxed);
         metrics.torn_records.store(torn, Ordering::Relaxed);
         metrics
+            .snapshot_checksum_failures
+            .store(checksum_failures, Ordering::Relaxed);
+        metrics
             .replay_us
             .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
 
@@ -343,6 +378,7 @@ impl DurableLog {
                 written: next_lsn.saturating_sub(1),
                 flushed: next_lsn.saturating_sub(1),
                 io_error: false,
+                oldest_pending: None,
             }),
             flush_cv: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -351,9 +387,17 @@ impl DurableLog {
             snapshot_lsn: AtomicU64::new(snap_lsn),
             since_snapshot: AtomicU64::new(0),
             snapshotting: AtomicBool::new(false),
+            last_span_ctx: Mutex::new(None),
         });
 
-        let flusher = if inner.opts.mode == DurabilityMode::Batch {
+        // Batch needs the flusher for group commit; Async needs it to
+        // bound the power-loss window (fsync at most
+        // `async_flush_interval` behind the last append instead of only
+        // on rotation).
+        let flusher = if matches!(
+            inner.opts.mode,
+            DurabilityMode::Batch | DurabilityMode::Async
+        ) {
             let worker = Arc::clone(&inner);
             Some(
                 thread::Builder::new()
@@ -382,6 +426,19 @@ impl DurableLog {
     /// Returns the record's LSN.
     pub fn append(&self, rec: &Record) -> io::Result<u64> {
         let t0 = Instant::now();
+        let mut append_span = span::child("durable.append");
+        if let Some(s) = append_span.as_mut() {
+            s.attr("mode", self.inner.opts.mode.as_str());
+        }
+        // Save the caller's span context so the background flusher can
+        // attribute its next fsync to this request's trace.
+        if let Some(ctx) = span::current_recorder() {
+            *self
+                .inner
+                .last_span_ctx
+                .lock()
+                .expect("durable span ctx lock") = Some(ctx);
+        }
         let payload = rec.encode();
         let inner = &self.inner;
 
@@ -400,7 +457,17 @@ impl DurableLog {
         match inner.opts.mode {
             DurabilityMode::Fsync => {
                 let f0 = Instant::now();
-                w.file.sync_data()?;
+                {
+                    let mut fsync_span = span::child("durable.fsync");
+                    if let Some(s) = fsync_span.as_mut() {
+                        s.attr("batch", "1");
+                    }
+                    let result = w.file.sync_data();
+                    if let (Some(s), true) = (fsync_span.as_mut(), result.is_err()) {
+                        s.set_error(true);
+                    }
+                    result?;
+                }
                 inner.metrics.fsyncs.fetch_add(1, Ordering::Relaxed);
                 inner
                     .metrics
@@ -409,12 +476,18 @@ impl DurableLog {
                 drop(w);
             }
             DurabilityMode::Async => {
+                {
+                    let mut st = inner.flush_state.lock().expect("flush state lock");
+                    st.written = st.written.max(lsn);
+                    st.oldest_pending.get_or_insert_with(Instant::now);
+                }
                 drop(w);
             }
             DurabilityMode::Batch => {
                 {
                     let mut st = inner.flush_state.lock().expect("flush state lock");
                     st.written = st.written.max(lsn);
+                    st.oldest_pending.get_or_insert_with(Instant::now);
                 }
                 drop(w);
                 let mut st = inner.flush_state.lock().expect("flush state lock");
@@ -663,8 +736,24 @@ impl DurableLog {
         self.inner.metrics.fsyncs.fetch_add(1, Ordering::Relaxed);
         let mut st = self.inner.flush_state.lock().expect("flush state lock");
         st.flushed = st.flushed.max(st.written);
+        st.oldest_pending = None;
         self.inner.flush_cv.notify_all();
         Ok(())
+    }
+
+    /// Milliseconds the oldest acknowledged-but-unflushed append has
+    /// been waiting for its fsync (0 = everything acknowledged is on
+    /// disk). Only `async` mode runs a nonzero lag in steady state; the
+    /// background flusher bounds it to about
+    /// [`DurableOptions::async_flush_interval`].
+    pub fn async_lag_ms(&self) -> u64 {
+        let st = self.inner.flush_state.lock().expect("flush state lock");
+        if st.flushed >= st.written {
+            return 0;
+        }
+        st.oldest_pending
+            .map(|t| t.elapsed().as_millis() as u64)
+            .unwrap_or(0)
     }
 }
 
@@ -688,14 +777,22 @@ impl Inner {
     }
 
     fn flush_loop(self: &Arc<Self>) {
+        let interval = match self.opts.mode {
+            DurabilityMode::Batch => self.opts.commit_interval,
+            _ => self.opts.async_flush_interval,
+        };
         loop {
-            thread::sleep(self.opts.commit_interval);
+            thread::sleep(interval);
             let (target, flushed) = {
                 let st = self.flush_state.lock().expect("flush state lock");
                 (st.written, st.flushed)
             };
             if target > flushed {
                 let f0 = Instant::now();
+                let start_unix_us = SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_micros() as u64)
+                    .unwrap_or(0);
                 let result = {
                     let w = self.writer.lock().expect("durable writer lock");
                     w.file.sync_data()
@@ -704,6 +801,25 @@ impl Inner {
                 self.metrics
                     .fsync_latency
                     .record_us(f0.elapsed().as_micros() as u64);
+                // Attribute this fsync to the trace whose append queued
+                // it last — the flusher runs outside any request, so it
+                // records through the context that append saved.
+                if let Some((recorder, trace, parent)) = self
+                    .last_span_ctx
+                    .lock()
+                    .expect("durable span ctx lock")
+                    .take()
+                {
+                    recorder.record_span(
+                        &trace,
+                        Some(&parent),
+                        "durable.fsync",
+                        start_unix_us,
+                        f0.elapsed().as_micros() as u64,
+                        &[("batch", (target - flushed).to_string())],
+                        result.is_err(),
+                    );
+                }
                 let mut st = self.flush_state.lock().expect("flush state lock");
                 match result {
                     Ok(()) => {
@@ -711,6 +827,13 @@ impl Inner {
                             self.metrics.group_commits.fetch_add(1, Ordering::Relaxed);
                         }
                         st.flushed = st.flushed.max(target);
+                        st.oldest_pending = if st.flushed >= st.written {
+                            None
+                        } else {
+                            // Whatever is still pending arrived during
+                            // the fsync just issued.
+                            Some(Instant::now())
+                        };
                     }
                     Err(_) => st.io_error = true,
                 }

@@ -263,8 +263,27 @@ fn num(n: u64) -> Value {
     Value::Number(Number::U(n))
 }
 
-/// Renders a snapshot file: `{"version":1,"lsn":N,...}`.
+/// Header prefix of checksummed snapshot files:
+/// `ZS1 <fnv64-hex>\n<json>`. Files without it are pre-checksum
+/// snapshots and decode without verification.
+const SNAPSHOT_MAGIC: &str = "ZS1 ";
+
+/// Error-message prefix [`decode_snapshot`] uses for checksum
+/// mismatches, so boot can count them apart from plain parse failures.
+pub const SNAPSHOT_CHECKSUM_MISMATCH: &str = "snapshot checksum mismatch";
+
+use ziggy_store::fnv1a_64;
+
+/// Renders a snapshot file: a `ZS1 <fnv64>` checksum header line over
+/// the JSON payload `{"version":1,"lsn":N,...}`, so boot can tell a
+/// torn or bit-rotted snapshot from a good one and fall back to an
+/// older snapshot or pure WAL replay.
 pub fn encode_snapshot(cover_lsn: u64, state: &SnapshotState) -> String {
+    let json = encode_snapshot_json(cover_lsn, state);
+    format!("{SNAPSHOT_MAGIC}{:016x}\n{json}", fnv1a_64(json.as_bytes()))
+}
+
+fn encode_snapshot_json(cover_lsn: u64, state: &SnapshotState) -> String {
     let tables = state
         .tables
         .iter()
@@ -313,9 +332,31 @@ pub fn encode_snapshot(cover_lsn: u64, state: &SnapshotState) -> String {
     serde_json::to_string(&doc).expect("snapshot JSON render is infallible")
 }
 
-/// Parses a snapshot file back into `(cover_lsn, state)`.
+/// Parses a snapshot file back into `(cover_lsn, state)`. A `ZS1`
+/// checksum header is verified first — a mismatch is an error (whose
+/// message starts with [`SNAPSHOT_CHECKSUM_MISMATCH`]) so boot falls
+/// back to an older snapshot or pure WAL replay instead of trusting a
+/// corrupt file. Headerless files are legacy snapshots and parse
+/// unverified.
 pub fn decode_snapshot(text: &str) -> Result<(u64, SnapshotState), String> {
-    let doc = serde_json::from_str_value(text).map_err(|e| e.to_string())?;
+    let payload = match text.strip_prefix(SNAPSHOT_MAGIC) {
+        Some(rest) => {
+            let (sum, payload) = rest
+                .split_once('\n')
+                .ok_or("snapshot checksum header without a payload")?;
+            let expected = u64::from_str_radix(sum.trim(), 16)
+                .map_err(|_| format!("unparseable snapshot checksum `{sum}`"))?;
+            let actual = fnv1a_64(payload.as_bytes());
+            if actual != expected {
+                return Err(format!(
+                    "{SNAPSHOT_CHECKSUM_MISMATCH}: header {expected:016x}, payload {actual:016x}"
+                ));
+            }
+            payload
+        }
+        None => text,
+    };
+    let doc = serde_json::from_str_value(payload).map_err(|e| e.to_string())?;
     let version = doc
         .get("version")
         .and_then(Value::as_u64)
@@ -571,10 +612,35 @@ mod tests {
             }],
         };
         let text = encode_snapshot(42, &state);
+        assert!(text.starts_with(SNAPSHOT_MAGIC), "{text}");
         let (lsn, back) = decode_snapshot(&text).unwrap();
         assert_eq!(lsn, 42);
         assert_eq!(back, state);
         assert!(decode_snapshot("{}").is_err());
         assert!(decode_snapshot("junk").is_err());
+    }
+
+    #[test]
+    fn corrupted_snapshot_fails_the_checksum() {
+        let text = encode_snapshot(7, &SnapshotState::default());
+        // Flip one payload byte: the JSON may even still parse, but the
+        // checksum must catch it.
+        let corrupted = text.replacen("\"lsn\":7", "\"lsn\":8", 1);
+        assert_ne!(corrupted, text, "corruption must apply");
+        let err = decode_snapshot(&corrupted).unwrap_err();
+        assert!(err.starts_with(SNAPSHOT_CHECKSUM_MISMATCH), "{err}");
+        // A mangled header is an error too, but not a checksum mismatch.
+        let headerless_junk = format!("{SNAPSHOT_MAGIC}nothex\njunk");
+        assert!(decode_snapshot(&headerless_junk).is_err());
+    }
+
+    #[test]
+    fn legacy_headerless_snapshots_still_decode() {
+        let state = SnapshotState::default();
+        let legacy = encode_snapshot_json(9, &state);
+        assert!(!legacy.starts_with(SNAPSHOT_MAGIC));
+        let (lsn, back) = decode_snapshot(&legacy).unwrap();
+        assert_eq!(lsn, 9);
+        assert_eq!(back, state);
     }
 }

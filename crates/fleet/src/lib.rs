@@ -74,7 +74,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ziggy_obs::span::{self, DEFAULT_TRACE_CAPACITY, SPAN_CONTEXT_HEADER};
 use ziggy_obs::trace::{mint_trace_id, sanitize_trace_id, TRACE_HEADER};
+use ziggy_obs::FlightRecorder;
 use ziggy_serve::http::{EdgeObserver, Request, Server};
 use ziggy_serve::{AccessLog, RateLimiter, Response};
 
@@ -113,6 +115,10 @@ pub struct FleetOptions {
     /// How often the repair loop re-materializes under-replicated
     /// tables onto healthy backends; `None` disables self-healing.
     pub repair_interval: Option<Duration>,
+    /// Slow-query threshold in milliseconds (`--slow-ms`): requests at
+    /// or past it are pinned in the router's flight recorder and emit
+    /// one slow-query log line with their span breakdown.
+    pub slow_ms: u64,
 }
 
 impl Default for FleetOptions {
@@ -130,6 +136,7 @@ impl Default for FleetOptions {
             probe_interval: backend::DEFAULT_PROBE_INTERVAL,
             session_ttl: Some(Duration::from_secs(3600)),
             repair_interval: Some(repair::DEFAULT_REPAIR_INTERVAL),
+            slow_ms: ziggy_serve::router::DEFAULT_SLOW_US / 1000,
         }
     }
 }
@@ -178,12 +185,17 @@ pub fn start_fleet(
         .into_iter()
         .map(|(id, addr)| Arc::new(Backend::new(id, addr)))
         .collect();
-    let state = Arc::new(FleetState::new(
+    let mut state = FleetState::new(
         backends,
         options.replication,
         options.vnodes,
         options.session_ttl,
+    );
+    state.recorder = Arc::new(FlightRecorder::new(
+        DEFAULT_TRACE_CAPACITY,
+        options.slow_ms.saturating_mul(1000),
     ));
+    let state = Arc::new(state);
     // The prober reads membership through the state each round, so
     // backends added or removed at runtime are picked up within one
     // interval. It shares the state's LoopStats so `/metrics` sees its
@@ -218,25 +230,48 @@ pub fn start_fleet(
         options.threads,
         Arc::new(move |req: &Request| {
             let started = Instant::now();
-            // Honor a well-formed caller-supplied X-Request-Id (so a
-            // client can stitch its own traces); mint one otherwise.
-            // The id rides every proxied leg and comes back on the
-            // response, the router log line, and each backend log line.
-            let trace: String = req
-                .header(TRACE_HEADER)
-                .and_then(sanitize_trace_id)
-                .map(str::to_string)
-                .unwrap_or_else(mint_trace_id);
+            // An upstream X-Span-Context wins (it names the trace AND
+            // the remote parent span — routers can themselves be proxied
+            // to); a well-formed caller-supplied X-Request-Id still
+            // names the trace (so a client can stitch its own traces);
+            // mint one otherwise. The id rides every proxied leg and
+            // comes back on the response, the router log line, and each
+            // backend log line.
+            let span_ctx: Option<(String, String)> = req
+                .header(SPAN_CONTEXT_HEADER)
+                .and_then(span::parse_span_context)
+                .map(|(t, p)| (t.to_string(), p.to_string()));
+            let trace: String = match &span_ctx {
+                Some((t, _)) => t.clone(),
+                None => req
+                    .header(TRACE_HEADER)
+                    .and_then(sanitize_trace_id)
+                    .map(str::to_string)
+                    .unwrap_or_else(mint_trace_id),
+            };
+            let parent = span_ctx.as_ref().map(|(_, p)| p.as_str());
+            let mut root = handler_state.recorder.root(&trace, parent, "fleet.request");
+            root.attr("method", req.method.clone());
+            root.attr("path", req.path.clone());
+            let key = fleet_route_key(&req.method, &req.path);
+            root.attr("route", key);
             let (response, backend) = match throttle(&handler_state, limiter.as_ref(), req) {
                 Some(resp) => (resp, None),
                 None => route_fleet_traced(&handler_state, req, Some(&trace)),
             };
+            root.attr("status", response.status.to_string());
+            root.set_error(response.status >= 400);
+            drop(root); // Commits the trace to the flight recorder.
             let elapsed = started.elapsed();
+            let elapsed_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
             handler_state
                 .route_latency
-                .record_us(fleet_route_key(&req.method, &req.path), {
-                    elapsed.as_micros().min(u64::MAX as u128) as u64
-                });
+                .record_us_traced(key, elapsed_us, &trace);
+            if elapsed_us >= handler_state.recorder.slow_us() {
+                if let Some(entry) = handler_state.recorder.trace(&trace) {
+                    eprintln!("{}", ziggy_serve::logging::slow_query_line(&entry));
+                }
+            }
             handler_log.log(
                 &req.method,
                 &req.path,

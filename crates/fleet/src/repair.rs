@@ -67,6 +67,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use serde_json::Value;
+use ziggy_obs::trace::mint_trace_id;
 
 use crate::backend::Backend;
 use crate::router::{forward, FleetState};
@@ -106,7 +107,24 @@ pub struct RepairReport {
 /// instead of waiting out the background interval.
 pub fn repair_round(state: &FleetState) -> RepairReport {
     let round_started = std::time::Instant::now();
+    // Each round is its own trace in the router's flight recorder: the
+    // serialized repair legs (delete propagation, CSV export, replicate
+    // PUTs) land under it as `fleet.upstream` children, so a slow or
+    // failing round can be read span-by-span at `/debug/traces/{id}`.
+    // The `route=repair` attribute keeps rounds filterable apart from
+    // (and out of) request-trace listings.
+    let trace = mint_trace_id();
+    let mut root = state.recorder.root(&trace, None, "fleet.repair_round");
+    root.attr("route", "repair");
     let report = repair_round_inner(state);
+    root.attr("tables_seen", report.tables_seen.to_string());
+    root.attr("under_replicated", report.under_replicated.to_string());
+    root.attr("repaired", report.repaired.to_string());
+    root.attr("deletes_propagated", report.deletes_propagated.to_string());
+    root.attr("strays_collected", report.strays_collected.to_string());
+    root.attr("failed", report.failed.to_string());
+    root.set_error(report.failed > 0);
+    drop(root);
     // A round is *ok* when no repair leg failed; the stats feed the
     // router's `/healthz` (last-round age) and Prometheus exposition.
     state

@@ -46,11 +46,13 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use serde_json::Value;
+use ziggy_obs::span::{self, DEFAULT_TRACE_CAPACITY, SPAN_CONTEXT_HEADER};
 use ziggy_obs::trace::TRACE_HEADER;
-use ziggy_obs::{LoopStats, PromDoc, RouteHistograms};
+use ziggy_obs::{FlightRecorder, LoopStats, PromDoc, RouteHistograms};
 use ziggy_serve::http::{Request, Response};
 use ziggy_serve::json::{parse_object, required_str};
 use ziggy_serve::metrics::Counter;
+use ziggy_serve::router::{trace_json, DEFAULT_SLOW_US};
 
 use crate::backend::Backend;
 use crate::ring::HashRing;
@@ -262,6 +264,10 @@ pub struct FleetState {
     /// Per-route request latency at the router edge, keyed by
     /// [`FLEET_ROUTE_KEYS`].
     pub route_latency: RouteHistograms,
+    /// The router's flight recorder: one trace per routed request, its
+    /// upstream legs as child spans. `GET /debug/traces/{id}` overlays
+    /// the backends' spans for the same trace on top of this local view.
+    pub recorder: Arc<FlightRecorder>,
     /// Repair-loop round durations and outcomes.
     pub repair_stats: LoopStats,
     /// Prober round durations and outcomes (shared with the prober
@@ -300,6 +306,7 @@ impl FleetState {
             round_robin: AtomicUsize::new(0),
             metrics: FleetMetrics::default(),
             route_latency: RouteHistograms::new(FLEET_ROUTE_KEYS),
+            recorder: Arc::new(FlightRecorder::new(DEFAULT_TRACE_CAPACITY, DEFAULT_SLOW_US)),
             repair_stats: LoopStats::new(),
             probe_stats: Arc::new(LoopStats::new()),
             repair_clean_streak: AtomicU64::new(0),
@@ -489,6 +496,8 @@ pub fn route_fleet_traced(
         ("POST", ["sessions"]) => handle_create_session(state, &view, &req.body, trace),
         ("POST", ["sessions", id, "step"]) => handle_session_step(state, id, &req.body, trace),
         ("DELETE", ["sessions", id]) => handle_delete_session(state, id),
+        ("GET", ["debug", "traces"]) => (handle_list_traces(state, req), None),
+        ("GET", ["debug", "traces", id]) => (handle_get_trace(state, &view, id), None),
         ("GET", ["admin", "backends"]) => (handle_admin_list(&view), None),
         ("POST", ["admin", "backends"]) => (handle_admin_add(state, &req.body), None),
         ("DELETE", ["admin", "backends", id]) => (handle_admin_remove(state, &view, id, req), None),
@@ -503,6 +512,8 @@ pub fn route_fleet_traced(
             | ["sessions"]
             | ["sessions", _]
             | ["sessions", _, "step"]
+            | ["debug", "traces"]
+            | ["debug", "traces", _]
             | ["admin", "backends"]
             | ["admin", "backends", _],
         ) => (error_response(405, "method not allowed"), None),
@@ -553,6 +564,13 @@ pub(crate) fn forward(
 /// [`forward`] carrying extra request headers and returning the
 /// backend's response headers — the conditional-request leg of the
 /// characterize proxy path.
+///
+/// Every leg opens a `fleet.upstream` child span (backend id and path
+/// as attributes) and forwards its identity as `X-Span-Context`, so the
+/// backend's own root span becomes a *child* of this leg — one trace id
+/// then assembles the router's view and the backend's breakdown into a
+/// single tree. Legs issued outside a request context (scatter threads,
+/// the repair loop's direct [`forward`] calls) simply carry no span.
 fn forward_with_headers(
     state: &FleetState,
     backend: &Backend,
@@ -562,11 +580,21 @@ fn forward_with_headers(
     body: Option<&str>,
 ) -> std::io::Result<ziggy_serve::http::FullResponse> {
     state.metrics.proxied_total.inc();
+    let mut leg = span::child("fleet.upstream");
+    let span_ctx = leg.as_mut().map(|g| {
+        g.attr("backend", backend.id());
+        g.attr("path", path);
+        span::encode_span_context(g.trace_id(), g.span_id())
+    });
+    let mut headers: Vec<(&str, &str)> = extra_headers.to_vec();
+    if let Some(ctx) = span_ctx.as_deref() {
+        headers.push((SPAN_CONTEXT_HEADER, ctx));
+    }
     let started = Instant::now();
     match backend.pool().request_with_headers(
         method,
         path,
-        extra_headers,
+        &headers,
         body,
         retry_safe(method, path),
     ) {
@@ -577,6 +605,9 @@ fn forward_with_headers(
         }
         Err(e) => {
             backend.record_failure();
+            if let Some(g) = leg.as_mut() {
+                g.set_error(true);
+            }
             Err(e)
         }
     }
@@ -857,23 +888,120 @@ fn copy_out_solely_held(
 }
 
 /// Scatter one GET to every backend of `view` in parallel; gather
-/// `io::Result<(status, body)>` in membership order.
+/// `io::Result<(status, body)>` in membership order. Each leg adopts
+/// the calling request's span context, so the fan-out shows up as
+/// parallel `fleet.upstream` spans in its trace.
 fn scatter_get(
     state: &FleetState,
     view: &Membership,
     path: &str,
 ) -> Vec<std::io::Result<(u16, String)>> {
+    let ctx = span::current_recorder();
     std::thread::scope(|s| {
         let handles: Vec<_> = view
             .backends()
             .iter()
-            .map(|b| s.spawn(move || forward(state, b, "GET", path, None)))
+            .map(|b| {
+                let ctx = ctx.clone();
+                s.spawn(move || {
+                    let _adopted = ctx
+                        .as_ref()
+                        .map(|(rec, trace, parent)| span::adopt(Arc::clone(rec), trace, parent));
+                    forward(state, b, "GET", path, None)
+                })
+            })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("scatter thread panicked"))
             .collect()
     })
+}
+
+/// `GET /debug/traces` — the router's committed traces, newest first,
+/// with the same filters as the single-node server (`?min_ms=`,
+/// `?route=`, `?errors=1`). Listing stays local to the router; the
+/// detail endpoint is where backend spans are gathered in.
+fn handle_list_traces(state: &FleetState, req: &Request) -> Response {
+    let min_us = match req.query_param("min_ms") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => ms.saturating_mul(1000),
+            Err(_) => return error_response(400, "`min_ms` must be an integer"),
+        },
+        None => 0,
+    };
+    let route = req.query_param("route");
+    let errors_only = req.query_param("errors") == Some("1");
+    let traces: Vec<Value> = state
+        .recorder
+        .recent()
+        .iter()
+        .filter(|e| e.duration_us >= min_us)
+        .filter(|e| route.is_none_or(|r| e.route.as_deref() == Some(r)))
+        .filter(|e| !errors_only || e.error)
+        .map(|e| trace_json(e, false))
+        .collect();
+    Response::new(
+        200,
+        serde_json::to_string(&Value::Object(vec![(
+            "traces".into(),
+            Value::Array(traces),
+        )]))
+        .expect("trace listings always render"),
+    )
+}
+
+/// `GET /debug/traces/{id}` — one trace, **fleet-assembled**: the
+/// router's local spans (request root + upstream legs) plus every
+/// backend's spans for the same trace id, scatter-gathered from their
+/// `/debug/traces/{id}` and stamped with a `backend` field. The
+/// backends' roots carry the upstream leg's span id as their parent
+/// (propagated via `X-Span-Context`), so the merged flat list links
+/// into one tree. A backend that fails to answer contributes nothing —
+/// assembly degrades rather than 503s — and a trace the router already
+/// evicted still renders from whatever the backends retained.
+fn handle_get_trace(state: &FleetState, view: &Membership, id: &str) -> Response {
+    let local = state.recorder.trace(id);
+    let gathered = scatter_get(state, view, &format!("/debug/traces/{id}"));
+    let mut remote_spans: Vec<Value> = Vec::new();
+    for (backend, result) in view.backends().iter().zip(gathered) {
+        let Ok((200, body)) = result else { continue };
+        let Ok(v) = serde_json::from_str_value(&body) else {
+            continue;
+        };
+        let Some(spans) = v.get("spans").and_then(Value::as_array) else {
+            continue;
+        };
+        for s in spans {
+            if let Value::Object(pairs) = s {
+                let mut pairs = pairs.clone();
+                pairs.push(("backend".into(), Value::String(backend.id().to_string())));
+                remote_spans.push(Value::Object(pairs));
+            }
+        }
+    }
+    let mut pairs = match local {
+        Some(entry) => match trace_json(&entry, true) {
+            Value::Object(pairs) => pairs,
+            _ => unreachable!("trace_json renders an object"),
+        },
+        None if remote_spans.is_empty() => {
+            return error_response(404, &format!("no trace `{id}` anywhere in the fleet"));
+        }
+        // Evicted locally but still held by a backend: serve what
+        // remains of the tree.
+        None => vec![
+            ("trace_id".into(), Value::String(id.to_string())),
+            ("spans".into(), Value::Array(Vec::new())),
+        ],
+    };
+    if let Some((_, Value::Array(spans))) = pairs.iter_mut().find(|(k, _)| k == "spans") {
+        spans.extend(remote_spans);
+    }
+    Response::new(
+        200,
+        serde_json::to_string(&Value::Object(pairs)).expect("trace bodies always render"),
+    )
 }
 
 /// The router's own metrics as a Prometheus document (`ziggy_fleet_`
@@ -1041,6 +1169,10 @@ fn handle_metrics(state: &FleetState, view: &Membership, req: &Request) -> Respo
         .collect();
     let body = Value::Object(vec![
         ("router".into(), state.metrics.to_json()),
+        (
+            "latency_exemplars".into(),
+            ziggy_serve::metrics::route_exemplars_json(&state.route_latency),
+        ),
         ("epoch".into(), num_u(view.epoch())),
         ("replication".into(), num_u(state.replication as u64)),
         ("shards".into(), Value::Array(shards)),
@@ -1132,13 +1264,23 @@ fn handle_create_table(state: &FleetState, view: &Membership, body: &[u8]) -> Re
     .expect("replicate bodies always render");
     let path = format!("/tables/{name}");
 
+    // Each replicate leg adopts the request's span context: the ingest
+    // trace shows one parallel `fleet.upstream` per replica, with the
+    // backend's own spans (durable append/fsync included) as children.
+    let ctx = span::current_recorder();
     let results: Vec<std::io::Result<(u16, String)>> = std::thread::scope(|s| {
         let handles: Vec<_> = replicas
             .iter()
             .map(|b| {
                 let replicate_body = replicate_body.as_str();
                 let path = path.as_str();
-                s.spawn(move || forward(state, b, "PUT", path, Some(replicate_body)))
+                let ctx = ctx.clone();
+                s.spawn(move || {
+                    let _adopted = ctx
+                        .as_ref()
+                        .map(|(rec, trace, parent)| span::adopt(Arc::clone(rec), trace, parent));
+                    forward(state, b, "PUT", path, Some(replicate_body))
+                })
             })
             .collect();
         handles

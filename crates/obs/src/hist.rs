@@ -14,6 +14,7 @@
 //! path of every served response.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Decades covered by the finite buckets (10^0 … 10^7 µs).
@@ -73,6 +74,17 @@ pub fn bucket_width_us(value: u64) -> u64 {
     upper - lower
 }
 
+/// A bucket's retained exemplar: the trace id and raw value (µs) of
+/// the most recent *traced* sample that landed in the bucket, linking
+/// the aggregate back to one replayable trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The sample's trace id (`X-Request-Id`).
+    pub trace_id: String,
+    /// The sample's raw value, µs.
+    pub value_us: u64,
+}
+
 /// A fixed-ladder log-linear histogram with atomic counters.
 #[derive(Debug)]
 pub struct Histogram {
@@ -80,6 +92,9 @@ pub struct Histogram {
     count: AtomicU64,
     sum_us: AtomicU64,
     max_us: AtomicU64,
+    /// Per-bucket exemplars, set only by the traced recording path —
+    /// one short lock per *request*, never inside a measurement loop.
+    exemplars: Mutex<Vec<Option<Exemplar>>>,
 }
 
 impl Default for Histogram {
@@ -96,6 +111,7 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum_us: AtomicU64::new(0),
             max_us: AtomicU64::new(0),
+            exemplars: Mutex::new(vec![None; FINITE_BUCKETS + 1]),
         }
     }
 
@@ -105,6 +121,18 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Records one observation and retains `trace_id` as the bucket's
+    /// exemplar (most recent sample wins).
+    pub fn record_us_traced(&self, us: u64, trace_id: &str) {
+        self.record_us(us);
+        if let Ok(mut slots) = self.exemplars.lock() {
+            slots[bucket_index(us)] = Some(Exemplar {
+                trace_id: trace_id.to_string(),
+                value_us: us,
+            });
+        }
     }
 
     /// Records one observed duration.
@@ -139,6 +167,13 @@ impl Histogram {
             .fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
         self.max_us
             .fetch_max(other.max_us.load(Ordering::Relaxed), Ordering::Relaxed);
+        if let (Ok(mut mine), Ok(theirs)) = (self.exemplars.lock(), other.exemplars.lock()) {
+            for (slot, incoming) in mine.iter_mut().zip(theirs.iter()) {
+                if let Some(e) = incoming {
+                    *slot = Some(e.clone());
+                }
+            }
+        }
     }
 
     /// A point-in-time copy of the counters (buckets are read one by
@@ -154,6 +189,11 @@ impl Histogram {
             count: self.count(),
             sum_us: self.sum_us(),
             max_us: self.max_us(),
+            exemplars: self
+                .exemplars
+                .lock()
+                .map(|slots| slots.clone())
+                .unwrap_or_else(|_| vec![None; FINITE_BUCKETS + 1]),
         }
     }
 
@@ -175,6 +215,9 @@ pub struct HistogramSnapshot {
     pub sum_us: u64,
     /// Largest observation (µs); 0 when empty.
     pub max_us: u64,
+    /// Per-bucket exemplars (same indexing as `buckets`); `None` for
+    /// buckets that never saw a traced sample.
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 impl HistogramSnapshot {
@@ -265,6 +308,36 @@ mod tests {
         h.record_us(95_000_000);
         h.record_us(120_000_000);
         assert_eq!(h.quantile_us(1.0), Some(120_000_000));
+    }
+
+    #[test]
+    fn traced_records_retain_the_latest_exemplar_per_bucket() {
+        let h = Histogram::new();
+        h.record_us(500); // Untraced: no exemplar.
+        h.record_us_traced(500, "first"); // Bucket with bound 500.
+        h.record_us_traced(600, "second"); // Bucket with bound 600.
+        h.record_us_traced(450, "newer"); // Bound-500 bucket again: replaces "first".
+        let snap = h.snapshot();
+        let at = |us: u64| {
+            snap.exemplars[BUCKET_BOUNDS_US.partition_point(|&b| b < us)]
+                .as_ref()
+                .map(|e| e.trace_id.as_str())
+        };
+        assert_eq!(at(500), Some("newer"));
+        assert_eq!(at(600), Some("second"));
+        assert_eq!(at(700), None);
+
+        // Merge carries exemplars across, newest side winning.
+        let other = Histogram::new();
+        other.record_us_traced(480, "merged");
+        h.merge(&other);
+        let snap = h.snapshot();
+        assert_eq!(
+            snap.exemplars[BUCKET_BOUNDS_US.partition_point(|&b| b < 500)]
+                .as_ref()
+                .map(|e| e.trace_id.as_str()),
+            Some("merged")
+        );
     }
 
     #[test]

@@ -21,15 +21,22 @@
 //!   CI can lint the output), and a [`prom::PromDoc::lint`] validating
 //!   names, types, monotone bucket counts, and `_sum`/`_count`
 //!   consistency.
+//! * [`span`] — spans and the per-process [`FlightRecorder`]: a
+//!   bounded, tail-biased ring of recently completed traces, with a
+//!   thread-local context stack (the serving stack is
+//!   thread-per-request) and `X-Span-Context` propagation across the
+//!   fleet hop.
 //! * [`LoopStats`] — rounds / failure-streak / duration telemetry for
 //!   background loops (the fleet's repair loop and health prober).
 
 pub mod hist;
 pub mod prom;
+pub mod span;
 pub mod trace;
 
-pub use hist::{bucket_bounds_us, bucket_width_us, Histogram, HistogramSnapshot};
-pub use prom::{PromDoc, PromFamily, PromKind, PromSample};
+pub use hist::{bucket_bounds_us, bucket_width_us, Exemplar, Histogram, HistogramSnapshot};
+pub use prom::{PromDoc, PromExemplar, PromFamily, PromKind, PromSample};
+pub use span::{FlightRecorder, Span, SpanGuard, TraceEntry, SPAN_CONTEXT_HEADER};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -58,6 +65,14 @@ impl RouteHistograms {
     pub fn record_us(&self, key: &str, us: u64) {
         if let Some((_, h)) = self.entries.iter().find(|(k, _)| *k == key) {
             h.record_us(us);
+        }
+    }
+
+    /// Records one observation under `key`, retaining `trace_id` as
+    /// the bucket's exemplar (see [`Histogram::record_us_traced`]).
+    pub fn record_us_traced(&self, key: &str, us: u64, trace_id: &str) {
+        if let Some((_, h)) = self.entries.iter().find(|(k, _)| *k == key) {
+            h.record_us_traced(us, trace_id);
         }
     }
 

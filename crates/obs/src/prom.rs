@@ -40,7 +40,36 @@ impl PromKind {
     }
 }
 
-/// One sample line: `name{labels} value`.
+/// An OpenMetrics exemplar: `# {labels} value` trailing a sample line,
+/// linking an aggregate bucket back to one concrete observation (we
+/// attach a `trace_id` label pointing into the flight recorder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromExemplar {
+    /// Exemplar label pairs (for ziggy: `trace_id="<id>"`).
+    pub labels: Vec<(String, String)>,
+    /// The exemplar's observed value, in the sample's unit (seconds).
+    pub value: f64,
+}
+
+impl PromExemplar {
+    /// An exemplar carrying one `trace_id` label.
+    pub fn trace(trace_id: &str, value: f64) -> Self {
+        Self {
+            labels: vec![("trace_id".to_string(), trace_id.to_string())],
+            value,
+        }
+    }
+
+    /// The value of exemplar label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One sample line: `name{labels} value [# {exemplar} value]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PromSample {
     /// Sample name (for histograms: `<family>_bucket` / `_sum` / `_count`).
@@ -49,6 +78,8 @@ pub struct PromSample {
     pub labels: Vec<(String, String)>,
     /// The sample value.
     pub value: f64,
+    /// Trailing OpenMetrics exemplar, if any (`_bucket` lines only).
+    pub exemplar: Option<PromExemplar>,
 }
 
 impl PromSample {
@@ -130,6 +161,7 @@ impl PromDoc {
                 name: name.to_string(),
                 labels: own_labels(labels),
                 value: value as f64,
+                exemplar: None,
             },
         );
     }
@@ -143,6 +175,7 @@ impl PromDoc {
                 name: name.to_string(),
                 labels: own_labels(labels),
                 value,
+                exemplar: None,
             },
         );
     }
@@ -151,10 +184,18 @@ impl PromDoc {
     /// `le="+Inf"`, `_sum`, `_count`) from a snapshot recorded in µs.
     /// Finite buckets past the last non-empty one are elided — the
     /// cumulative count has already reached its total, and `+Inf`
-    /// closes the set — keeping idle histograms to three lines.
+    /// closes the set — keeping idle histograms to three lines. Each
+    /// bucket whose snapshot slot retained an [`crate::Exemplar`]
+    /// carries it as an OpenMetrics `# {trace_id="…"}` trailer.
     pub fn histogram_us(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
         let base = own_labels(labels);
         let fam = self.family(name, PromKind::Histogram);
+        let bucket_exemplar = |i: usize| {
+            snap.exemplars
+                .get(i)
+                .and_then(|e| e.as_ref())
+                .map(|e| PromExemplar::trace(&e.trace_id, e.value_us as f64 / 1e6))
+        };
         let last_used = snap.buckets[..FINITE_BUCKETS.min(snap.buckets.len())]
             .iter()
             .rposition(|&c| c != 0);
@@ -168,6 +209,7 @@ impl PromDoc {
                     name: format!("{name}_bucket"),
                     labels,
                     value: cumulative as f64,
+                    exemplar: bucket_exemplar(i),
                 });
             }
         }
@@ -177,16 +219,19 @@ impl PromDoc {
             name: format!("{name}_bucket"),
             labels: inf_labels,
             value: snap.count as f64,
+            exemplar: bucket_exemplar(FINITE_BUCKETS),
         });
         fam.samples.push(PromSample {
             name: format!("{name}_sum"),
             labels: base.clone(),
             value: snap.sum_us as f64 / 1e6,
+            exemplar: None,
         });
         fam.samples.push(PromSample {
             name: format!("{name}_count"),
             labels: base,
             value: snap.count as f64,
+            exemplar: None,
         });
     }
 
@@ -225,23 +270,15 @@ impl PromDoc {
             for s in &fam.samples {
                 out.push_str(&s.name);
                 if !s.labels.is_empty() {
-                    out.push('{');
-                    for (i, (k, v)) in s.labels.iter().enumerate() {
-                        if i > 0 {
-                            out.push(',');
-                        }
-                        out.push_str(k);
-                        out.push_str("=\"");
-                        out.push_str(&escape_label_value(v));
-                        out.push('"');
-                    }
-                    out.push('}');
+                    render_labels(&mut out, &s.labels);
                 }
                 out.push(' ');
-                if s.value == s.value.trunc() && s.value.abs() < 1e15 {
-                    out.push_str(&format!("{}", s.value as i64));
-                } else {
-                    out.push_str(&format!("{}", s.value));
+                render_value(&mut out, s.value);
+                if let Some(ex) = &s.exemplar {
+                    out.push_str(" # ");
+                    render_labels(&mut out, &ex.labels);
+                    out.push(' ');
+                    render_value(&mut out, ex.value);
                 }
                 out.push('\n');
             }
@@ -325,6 +362,9 @@ impl PromDoc {
                 if s.value.is_nan() {
                     problems.push(format!("sample `{}`: NaN value", s.name));
                 }
+                if let Some(ex) = &s.exemplar {
+                    lint_exemplar(fam, s, ex, &mut problems);
+                }
             }
             match fam.kind {
                 PromKind::Counter | PromKind::Gauge | PromKind::Untyped => {
@@ -345,6 +385,28 @@ impl PromDoc {
             }
         }
         problems
+    }
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)]) {
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn render_value(out: &mut String, value: f64) {
+    if value == value.trunc() && value.abs() < 1e15 {
+        out.push_str(&format!("{}", value as i64));
+    } else {
+        out.push_str(&format!("{}", value));
     }
 }
 
@@ -383,7 +445,8 @@ fn valid_label_name(name: &str) -> bool {
     head_ok && bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_')
 }
 
-/// Parses one sample line: `name[{k="v",...}] value [timestamp]`.
+/// Parses one sample line:
+/// `name[{k="v",...}] value [timestamp] [# {k="v",...} value [timestamp]]`.
 fn parse_sample(line: &str) -> Result<PromSample, String> {
     let (name, rest) = match line.find(['{', ' ', '\t']) {
         Some(i) => (&line[..i], &line[i..]),
@@ -397,23 +460,48 @@ fn parse_sample(line: &str) -> Result<PromSample, String> {
     } else {
         (Vec::new(), rest)
     };
-    let mut fields = value_part.split_whitespace();
-    let value_text = fields
-        .next()
-        .ok_or_else(|| format!("sample `{name}` has no value"))?;
-    let value = match value_text {
-        "+Inf" => f64::INFINITY,
-        "-Inf" => f64::NEG_INFINITY,
-        other => other
-            .parse::<f64>()
-            .map_err(|_| format!("sample `{name}`: bad value `{other}`"))?,
+    // A `#` after the value opens an OpenMetrics exemplar. Label values
+    // were already consumed above, so this `#` cannot be inside one.
+    let (value_part, exemplar_part) = match value_part.find('#') {
+        Some(i) => (&value_part[..i], Some(value_part[i + 1..].trim_start())),
+        None => (value_part, None),
     };
-    // An optional trailing timestamp is allowed and ignored.
+    let value = parse_value(name, value_part)?;
+    let exemplar = match exemplar_part {
+        Some(part) => Some(parse_exemplar(name, part)?),
+        None => None,
+    };
     Ok(PromSample {
         name: name.to_string(),
         labels,
         value,
+        exemplar,
     })
+}
+
+/// Parses `value [timestamp]` (the optional timestamp is ignored).
+fn parse_value(name: &str, part: &str) -> Result<f64, String> {
+    let value_text = part
+        .split_whitespace()
+        .next()
+        .ok_or_else(|| format!("sample `{name}` has no value"))?;
+    match value_text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("sample `{name}`: bad value `{other}`")),
+    }
+}
+
+/// Parses the exemplar trailer after the `#`: `{k="v",...} value [ts]`.
+fn parse_exemplar(name: &str, part: &str) -> Result<PromExemplar, String> {
+    let rest = part
+        .strip_prefix('{')
+        .ok_or_else(|| format!("sample `{name}`: exemplar without a labelset"))?;
+    let (labels, value_part) = parse_labels(rest)?;
+    let value = parse_value(name, value_part).map_err(|e| format!("{e} (in exemplar)"))?;
+    Ok(PromExemplar { labels, value })
 }
 
 /// Parsed labels plus the remainder after the closing brace.
@@ -456,6 +544,47 @@ fn parse_labels(mut rest: &str) -> Result<ParsedLabels<'_>, String> {
         let end = end.ok_or_else(|| format!("label `{key}`: unterminated value"))?;
         labels.push((key, value));
         rest = &rest[end..];
+    }
+}
+
+/// Exemplar lint: exemplars are only legal on histogram `_bucket`
+/// lines; their label names must be valid, the combined label set must
+/// stay within the OpenMetrics 128-rune budget, the value must be a
+/// real number no greater than the bucket's `le` bound, and a
+/// `trace_id` label (the only exemplar label ziggy emits) must be
+/// non-empty.
+fn lint_exemplar(fam: &PromFamily, s: &PromSample, ex: &PromExemplar, problems: &mut Vec<String>) {
+    let where_ = format!("sample `{}` exemplar", s.name);
+    if fam.kind != PromKind::Histogram || s.name != format!("{}_bucket", fam.name) {
+        problems.push(format!(
+            "{where_}: exemplars are only valid on _bucket lines"
+        ));
+    }
+    let mut runes = 0usize;
+    for (k, v) in &ex.labels {
+        if !valid_label_name(k) {
+            problems.push(format!("{where_}: invalid label name `{k}`"));
+        }
+        runes += k.chars().count() + v.chars().count();
+    }
+    if runes > 128 {
+        problems.push(format!("{where_}: label set exceeds 128 runes"));
+    }
+    if ex.value.is_nan() {
+        problems.push(format!("{where_}: NaN value"));
+    }
+    if let Some("") = ex.label("trace_id") {
+        problems.push(format!("{where_}: empty trace_id"));
+    }
+    if let Some(le) = s.label("le") {
+        if let Ok(bound) = le.parse::<f64>() {
+            if ex.value > bound {
+                problems.push(format!(
+                    "{where_}: value {} above the bucket's le {bound}",
+                    ex.value
+                ));
+            }
+        }
     }
 }
 
@@ -701,6 +830,65 @@ c -1
         assert!(PromDoc::parse("name{le=\"0.1\" 1\n").is_err());
         assert!(PromDoc::parse("name notanumber\n").is_err());
         assert!(PromDoc::parse("justaname\n").is_err());
+    }
+
+    #[test]
+    fn exemplars_render_parse_round_trip_and_lint_clean() {
+        let h = Histogram::new();
+        h.record_us_traced(1_500, "abc123");
+        let mut doc = PromDoc::new();
+        doc.histogram_us("lat_seconds", &[("route", "characterize")], &h.snapshot());
+        let text = doc.render();
+        assert!(
+            text.contains(
+                r#"lat_seconds_bucket{route="characterize",le="0.002"} 1 # {trace_id="abc123"} 0.0015"#
+            ),
+            "{text}"
+        );
+        let parsed = PromDoc::parse(&text).expect("parses");
+        assert_eq!(parsed, doc);
+        assert!(parsed.lint().is_empty(), "{:?}", parsed.lint());
+    }
+
+    #[test]
+    fn exemplars_survive_absorb_with_a_shard_label() {
+        let h = Histogram::new();
+        h.record_us_traced(100, "deadbeef");
+        let mut backend = PromDoc::new();
+        backend.histogram_us("lat_seconds", &[], &h.snapshot());
+        let mut router = PromDoc::new();
+        router.absorb(backend, Some(("shard", "shard-0")));
+        let text = router.render();
+        assert!(text.contains(r#"# {trace_id="deadbeef"} 0.0001"#), "{text}");
+        assert!(PromDoc::parse(&text).unwrap().lint().is_empty());
+    }
+
+    #[test]
+    fn lint_flags_misplaced_and_out_of_bucket_exemplars() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"0.1\"} 1 # {trace_id=\"t\"} 5
+h_bucket{le=\"+Inf\"} 1
+h_sum 0.05
+h_count 1
+# TYPE c counter
+c 1 # {trace_id=\"t\"} 1
+";
+        let problems = PromDoc::parse(text).unwrap().lint();
+        assert!(
+            problems.iter().any(|p| p.contains("above the bucket's le")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("only valid on _bucket")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_exemplars() {
+        assert!(PromDoc::parse("# TYPE h histogram\nh_bucket{le=\"1\"} 1 # nolabels 2\n").is_err());
+        assert!(PromDoc::parse("# TYPE h histogram\nh_bucket{le=\"1\"} 1 # {a=\"b\"}\n").is_err());
     }
 
     #[test]

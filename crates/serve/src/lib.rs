@@ -115,7 +115,9 @@ use std::time::{Duration, Instant};
 
 use ziggy_core::ZiggyConfig;
 use ziggy_durable::{DurableLog, DurableOptions};
+use ziggy_obs::span::{self, DEFAULT_TRACE_CAPACITY, SPAN_CONTEXT_HEADER};
 use ziggy_obs::trace::{mint_trace_id, sanitize_trace_id, TRACE_HEADER};
+use ziggy_obs::FlightRecorder;
 
 pub use http::{Client, Request, Response, Server};
 pub use json::ApiError;
@@ -163,6 +165,10 @@ pub struct ServeOptions {
     /// segments then grow until restart). Only meaningful with
     /// `data_dir` set.
     pub snapshot_every: u64,
+    /// Slow-query threshold in milliseconds (`--slow-ms`): requests at
+    /// or past it are pinned in the flight recorder and emit one
+    /// slow-query log line with their span breakdown.
+    pub slow_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -180,6 +186,7 @@ impl Default for ServeOptions {
             data_dir: None,
             durability: DurabilityMode::default(),
             snapshot_every: DurableOptions::default().snapshot_every,
+            slow_ms: 250,
         }
     }
 }
@@ -260,7 +267,12 @@ fn boot_durable(
 
 /// Binds `addr` and starts serving the characterization API.
 pub fn serve(addr: impl ToSocketAddrs, options: ServeOptions) -> io::Result<ServerHandle> {
-    let state = Arc::new(ServeState::with_config(options.config));
+    let mut state = ServeState::with_config(options.config);
+    state.recorder = Arc::new(FlightRecorder::new(
+        DEFAULT_TRACE_CAPACITY,
+        options.slow_ms.saturating_mul(1000),
+    ));
+    let state = Arc::new(state);
     state.sessions.set_ttl(options.session_ttl);
     if let Some(dir) = &options.data_dir {
         boot_durable(&state, dir, options.durability, options.snapshot_every)?;
@@ -285,22 +297,46 @@ pub fn serve(addr: impl ToSocketAddrs, options: ServeOptions) -> io::Result<Serv
         options.threads,
         Arc::new(move |req: &Request| {
             let started = Instant::now();
-            // Honor a well-formed caller-supplied X-Request-Id so traces
-            // span clients and hops; mint one otherwise.
-            let trace: String = req
-                .header(TRACE_HEADER)
-                .and_then(sanitize_trace_id)
-                .map(str::to_string)
-                .unwrap_or_else(mint_trace_id);
-            let response = throttle(&handler_state, limiter.as_ref(), req)
-                .unwrap_or_else(|| route(&handler_state, req));
+            // A fleet hop's X-Span-Context wins (it names the trace AND
+            // the remote parent span); a bare well-formed X-Request-Id
+            // still names the trace; mint one otherwise.
+            let span_ctx: Option<(String, String)> = req
+                .header(SPAN_CONTEXT_HEADER)
+                .and_then(span::parse_span_context)
+                .map(|(t, p)| (t.to_string(), p.to_string()));
+            let trace: String = match &span_ctx {
+                Some((t, _)) => t.clone(),
+                None => req
+                    .header(TRACE_HEADER)
+                    .and_then(sanitize_trace_id)
+                    .map(str::to_string)
+                    .unwrap_or_else(mint_trace_id),
+            };
+            let parent = span_ctx.as_ref().map(|(_, p)| p.as_str());
+            let mut root = handler_state.recorder.root(&trace, parent, "serve.request");
+            root.attr("method", req.method.clone());
+            root.attr("path", req.path.clone());
+            let key = metrics::route_key(&req.method, &req.path);
+            root.attr("route", key);
+            let response = {
+                let _handler = span::child("serve.handler");
+                throttle(&handler_state, limiter.as_ref(), req)
+                    .unwrap_or_else(|| route(&handler_state, req))
+            };
+            root.attr("status", response.status.to_string());
+            root.set_error(response.status >= 400);
+            drop(root); // Commits the trace to the flight recorder.
             let elapsed = started.elapsed();
+            let elapsed_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
             handler_state
                 .metrics
                 .route_latency
-                .record_us(metrics::route_key(&req.method, &req.path), {
-                    elapsed.as_micros().min(u64::MAX as u128) as u64
-                });
+                .record_us_traced(key, elapsed_us, &trace);
+            if elapsed_us >= handler_state.recorder.slow_us() {
+                if let Some(entry) = handler_state.recorder.trace(&trace) {
+                    eprintln!("{}", logging::slow_query_line(&entry));
+                }
+            }
             handler_log.log(
                 &req.method,
                 &req.path,

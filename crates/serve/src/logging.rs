@@ -128,6 +128,48 @@ impl AccessLog {
     }
 }
 
+/// Renders one slow-query log line: the trace's summary plus its span
+/// breakdown, as a single JSON object (the same one-line discipline as
+/// access-log lines, so both grep by `trace_id`).
+///
+/// ```text
+/// {"slow_query":true,"trace_id":"9f86…","route":"characterize","duration_ms":312.5,"error":false,"spans":[{"name":"serve.request","duration_us":312500,"error":false},…]}
+/// ```
+pub fn slow_query_line(entry: &ziggy_obs::TraceEntry) -> String {
+    let spans = entry
+        .spans
+        .iter()
+        .map(|s| {
+            Value::Object(vec![
+                ("name".to_string(), Value::String(s.name.clone())),
+                (
+                    "duration_us".to_string(),
+                    Value::Number(serde_json::Number::U(s.duration_us)),
+                ),
+                ("error".to_string(), Value::Bool(s.error)),
+            ])
+        })
+        .collect();
+    let duration_ms = (entry.duration_us as f64 / 10.0).round() / 100.0;
+    let mut pairs = vec![
+        ("slow_query".to_string(), Value::Bool(true)),
+        (
+            "trace_id".to_string(),
+            Value::String(entry.trace_id.clone()),
+        ),
+    ];
+    if let Some(route) = &entry.route {
+        pairs.push(("route".to_string(), Value::String(route.clone())));
+    }
+    pairs.push((
+        "duration_ms".to_string(),
+        Value::Number(serde_json::Number::F(duration_ms)),
+    ));
+    pairs.push(("error".to_string(), Value::Bool(entry.error)));
+    pairs.push(("spans".to_string(), Value::Array(spans)));
+    serde_json::to_string(&Value::Object(pairs)).expect("slow-query lines always render")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

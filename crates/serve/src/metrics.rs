@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde_json::Value;
 use ziggy_core::StageTimings;
+use ziggy_obs::hist::{BUCKET_BOUNDS_US, FINITE_BUCKETS};
 use ziggy_obs::{Histogram, PromDoc, RouteHistograms};
 
 /// Route-label keys for the per-route latency histograms. Every request
@@ -210,6 +211,12 @@ impl Metrics {
         doc
     }
 
+    /// The per-route latency exemplars as JSON (see
+    /// [`route_exemplars_json`]).
+    pub fn exemplars_json(&self) -> Value {
+        route_exemplars_json(&self.route_latency)
+    }
+
     /// Renders the counters as the `/metrics` JSON body (the `tables`
     /// section with per-table cache counters is appended by the router,
     /// which owns the registry).
@@ -248,6 +255,42 @@ impl Metrics {
             ),
         ])
     }
+}
+
+/// Renders a [`RouteHistograms`]'s latency exemplars as JSON: route →
+/// one entry per bucket that saw a traced sample,
+/// `{le_us, trace_id, value_us}` (`le_us` is `"+Inf"` for the overflow
+/// bucket). The same trace links the Prometheus exposition carries via
+/// OpenMetrics `# {trace_id="…"}` syntax. Shared by the single-node
+/// server and the fleet router, which meter different route keys but
+/// expose the identical exemplar shape.
+pub fn route_exemplars_json(route_latency: &RouteHistograms) -> Value {
+    let mut routes = Vec::new();
+    for (route, hist) in route_latency.iter() {
+        let snap = hist.snapshot();
+        let entries: Vec<Value> = snap
+            .exemplars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|e| (i, e)))
+            .map(|(i, e)| {
+                let le = if i < FINITE_BUCKETS {
+                    num(BUCKET_BOUNDS_US[i])
+                } else {
+                    Value::String("+Inf".into())
+                };
+                Value::Object(vec![
+                    ("le_us".into(), le),
+                    ("trace_id".into(), Value::String(e.trace_id.clone())),
+                    ("value_us".into(), num(e.value_us)),
+                ])
+            })
+            .collect();
+        if !entries.is_empty() {
+            routes.push((route.to_string(), Value::Array(entries)));
+        }
+    }
+    Value::Object(routes)
 }
 
 #[cfg(test)]

@@ -1,17 +1,23 @@
 //! Dispatches parsed HTTP requests to the API handlers.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use serde_json::Value;
 use ziggy_core::{StageTimings, ZiggyConfig};
 use ziggy_durable::Record;
+use ziggy_obs::span::{self, DEFAULT_TRACE_CAPACITY};
+use ziggy_obs::{FlightRecorder, Span, TraceEntry};
 
 use crate::http::{Request, Response};
 use crate::json::{parse_object, required_str, ApiError};
 use crate::metrics::Metrics;
 use crate::registry::TableRegistry;
 use crate::sessions::SessionManager;
+
+/// Default slow-trace threshold (µs): traces at or past it are pinned
+/// in the flight recorder and emitted to the slow-query log.
+pub const DEFAULT_SLOW_US: u64 = 250_000;
 
 /// Shared server state: registry, sessions, metrics, engine defaults.
 pub struct ServeState {
@@ -25,6 +31,8 @@ pub struct ServeState {
     pub config: ZiggyConfig,
     /// Process start, for the `/healthz` uptime and the uptime gauge.
     pub started: Instant,
+    /// The per-process flight recorder behind `/debug/traces`.
+    pub recorder: Arc<FlightRecorder>,
 }
 
 impl Default for ServeState {
@@ -35,6 +43,7 @@ impl Default for ServeState {
             metrics: Metrics::default(),
             config: ZiggyConfig::default(),
             started: Instant::now(),
+            recorder: Arc::new(FlightRecorder::new(DEFAULT_TRACE_CAPACITY, DEFAULT_SLOW_US)),
         }
     }
 }
@@ -73,6 +82,8 @@ pub fn route(state: &ServeState, req: &Request) -> Response {
         ("POST", ["sessions", id, "step"]) => handle_session_step(state, id, &req.body),
         ("DELETE", ["sessions", id]) => handle_delete_session(state, id),
         ("GET", ["tombstones"]) => handle_tombstones(state),
+        ("GET", ["debug", "traces"]) => handle_list_traces(state, req),
+        ("GET", ["debug", "traces", id]) => handle_get_trace(state, id),
         (
             _,
             ["healthz"]
@@ -84,7 +95,9 @@ pub fn route(state: &ServeState, req: &Request) -> Response {
             | ["sessions"]
             | ["sessions", _]
             | ["sessions", _, "step"]
-            | ["tombstones"],
+            | ["tombstones"]
+            | ["debug", "traces"]
+            | ["debug", "traces", _],
         ) => Err(ApiError::method_not_allowed()),
         _ => Err(ApiError::not_found(format!("no route for {}", req.path))),
     };
@@ -159,6 +172,135 @@ fn handle_tombstones(state: &ServeState) -> Result<Response, ApiError> {
     ))
 }
 
+/// One span as JSON, full form (ids, wall-clock, attrs, error flag).
+pub fn span_json(s: &Span) -> Value {
+    let attrs = s
+        .attrs
+        .iter()
+        .map(|(k, v)| (k.clone(), Value::String(v.clone())))
+        .collect();
+    Value::Object(vec![
+        ("span_id".into(), Value::String(s.span_id.clone())),
+        (
+            "parent_id".into(),
+            match &s.parent_id {
+                Some(p) => Value::String(p.clone()),
+                None => Value::Null,
+            },
+        ),
+        ("name".into(), Value::String(s.name.clone())),
+        (
+            "start_unix_us".into(),
+            Value::Number(serde_json::Number::U(s.start_unix_us)),
+        ),
+        (
+            "duration_us".into(),
+            Value::Number(serde_json::Number::U(s.duration_us)),
+        ),
+        ("error".into(), Value::Bool(s.error)),
+        ("attrs".into(), Value::Object(attrs)),
+    ])
+}
+
+/// One trace as JSON. The listing form (`with_spans: false`) carries a
+/// span *count*; the detail form inlines every span.
+pub fn trace_json(entry: &TraceEntry, with_spans: bool) -> Value {
+    let mut pairs = vec![
+        ("trace_id".into(), Value::String(entry.trace_id.clone())),
+        ("root".into(), Value::String(entry.root_name.clone())),
+        (
+            "route".into(),
+            match &entry.route {
+                Some(r) => Value::String(r.clone()),
+                None => Value::Null,
+            },
+        ),
+        (
+            "start_unix_us".into(),
+            Value::Number(serde_json::Number::U(entry.start_unix_us)),
+        ),
+        (
+            "duration_us".into(),
+            Value::Number(serde_json::Number::U(entry.duration_us)),
+        ),
+        ("error".into(), Value::Bool(entry.error)),
+    ];
+    if with_spans {
+        pairs.push((
+            "spans".into(),
+            Value::Array(entry.spans.iter().map(span_json).collect()),
+        ));
+    } else {
+        pairs.push((
+            "spans".into(),
+            Value::Number(serde_json::Number::U(entry.spans.len() as u64)),
+        ));
+    }
+    Value::Object(pairs)
+}
+
+/// `GET /debug/traces` — the flight recorder's committed traces,
+/// newest first. `?min_ms=` keeps traces at least that slow, `?route=`
+/// keeps one route class, `?errors=1` keeps erroring traces only.
+fn handle_list_traces(state: &ServeState, req: &Request) -> Result<Response, ApiError> {
+    let min_us = match req.query_param("min_ms") {
+        Some(raw) => raw
+            .parse::<u64>()
+            .map_err(|_| ApiError::bad_request("`min_ms` must be an integer"))?
+            .saturating_mul(1000),
+        None => 0,
+    };
+    let route = req.query_param("route");
+    let errors_only = req.query_param("errors") == Some("1");
+    let traces: Vec<Value> = state
+        .recorder
+        .recent()
+        .iter()
+        .filter(|e| e.duration_us >= min_us)
+        .filter(|e| route.is_none_or(|r| e.route.as_deref() == Some(r)))
+        .filter(|e| !errors_only || e.error)
+        .map(|e| trace_json(e, false))
+        .collect();
+    Ok(json_response(
+        200,
+        &Value::Object(vec![("traces".into(), Value::Array(traces))]),
+    ))
+}
+
+/// `GET /debug/traces/{id}` — one trace, spans inlined (the router's
+/// fleet handler overlays backend spans on top of this local form).
+fn handle_get_trace(state: &ServeState, id: &str) -> Result<Response, ApiError> {
+    let entry = state
+        .recorder
+        .trace(id)
+        .ok_or_else(|| ApiError::not_found(format!("no trace `{id}` in the flight recorder")))?;
+    Ok(json_response(200, &trace_json(&entry, true)))
+}
+
+/// Records the three characterize pipeline stages as spans under
+/// `parent`, tiled back from *now* so they line up end-to-end the way
+/// the build ran. Only fresh builds get stage spans — a cached report's
+/// timings describe someone else's build.
+fn record_stage_spans(t: &StageTimings) {
+    let Some((recorder, trace, parent)) = span::current_recorder() else {
+        return;
+    };
+    let total = t.preparation_us + t.view_search_us + t.post_processing_us;
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let mut start = now.saturating_sub(total);
+    for (name, dur) in [
+        ("stage.prepare", t.preparation_us),
+        ("stage.view_search", t.view_search_us),
+        ("stage.post_process", t.post_processing_us),
+    ] {
+        recorder.record_span(&trace, Some(&parent), name, start, dur, &[], false);
+        start += dur;
+    }
+}
+
 fn handle_healthz(state: &ServeState) -> Result<Response, ApiError> {
     Ok(json_response(
         200,
@@ -230,6 +372,12 @@ fn handle_metrics(state: &ServeState, req: &Request) -> Result<Response, ApiErro
                 &[],
                 m.torn_records.load(Ordering::Relaxed),
             );
+            doc.counter(
+                "ziggy_durable_snapshot_checksum_failures_total",
+                &[],
+                m.snapshot_checksum_failures.load(Ordering::Relaxed),
+            );
+            doc.gauge("ziggy_durable_async_lag_ms", &[], log.async_lag_ms() as f64);
             doc.gauge("ziggy_durable_segments", &[], log.segment_count() as f64);
             doc.gauge("ziggy_durable_snapshot_lsn", &[], log.snapshot_lsn() as f64);
             doc.gauge(
@@ -276,6 +424,7 @@ fn handle_metrics(state: &ServeState, req: &Request) -> Result<Response, ApiErro
         ));
     }
     body.push(("tables".into(), Value::Array(state.registry.cache_stats())));
+    body.push(("latency_exemplars".into(), state.metrics.exemplars_json()));
     if let Some(log) = state.registry.durable() {
         use std::sync::atomic::Ordering;
         let m = log.metrics();
@@ -299,6 +448,11 @@ fn handle_metrics(state: &ServeState, req: &Request) -> Result<Response, ApiErro
                     "torn_records".into(),
                     n(m.torn_records.load(Ordering::Relaxed)),
                 ),
+                (
+                    "snapshot_checksum_failures".into(),
+                    n(m.snapshot_checksum_failures.load(Ordering::Relaxed)),
+                ),
+                ("async_lag_ms".into(), n(log.async_lag_ms())),
                 (
                     "replay_records".into(),
                     n(m.replay_records.load(Ordering::Relaxed)),
@@ -383,6 +537,10 @@ fn handle_characterize(
     let parsed = parse_object(&req.body)?;
     let query = required_str(&parsed, "query")?;
     let entry = state.registry.get(name)?;
+    let mut guard = span::child("serve.characterize");
+    if let Some(g) = guard.as_mut() {
+        g.attr("table", name);
+    }
     let outcome = match parsed.get("config").filter(|v| !v.is_null()) {
         None => entry.engine().characterize_cached(query)?,
         Some(overrides) => {
@@ -403,7 +561,11 @@ fn handle_characterize(
             }
         }
     };
+    if let Some(g) = guard.as_mut() {
+        g.attr("reuse", outcome.reuse.as_u8().to_string());
+    }
     if outcome.fresh {
+        record_stage_spans(&outcome.cached.report.timings);
         state
             .metrics
             .record_characterization(&outcome.cached.report.timings);
@@ -607,7 +769,17 @@ fn handle_session_step(state: &ServeState, id: &str, body: &[u8]) -> Result<Resp
     let id = parse_session_id(id)?;
     let parsed = parse_object(body)?;
     let query = required_str(&parsed, "query")?;
+    let mut guard = span::child("serve.session_step");
+    if let Some(g) = guard.as_mut() {
+        g.attr("session", id.to_string());
+    }
     let outcome = state.sessions.step(id, query)?;
+    if let Some(g) = guard.as_mut() {
+        g.attr("step", outcome.step.to_string());
+    }
+    if outcome.fresh {
+        record_stage_spans(&outcome.report.timings);
+    }
     // WAL the accepted step before acknowledging. On append failure the
     // in-memory step stands but the client sees a 500; replay's
     // seq-idempotency makes a client retry of the same step harmless.

@@ -49,7 +49,8 @@ fn print_usage() {
          --port-file PATH         write the bound address to PATH once listening\n  \
          --data-dir PATH          durability tier: WAL + snapshots in PATH, replayed on boot\n  \
          --durability MODE        fsync | batch | async (default batch; needs --data-dir)\n  \
-         --snapshot-every N       snapshot + compact every N records (default 256)\n\n\
+         --snapshot-every N       snapshot + compact every N records (default 256)\n  \
+         --slow-ms MS             slow-query threshold: pin + log traces at/past MS (default 250)\n\n\
          fleet options:\n  \
          --addr ADDR              router bind address (default 127.0.0.1:8080)\n  \
          --backends N             local ziggy-serve processes to spawn (default 2)\n  \
@@ -63,7 +64,8 @@ fn print_usage() {
          --demo                   preload the crime synthetic twin as table `crime`\n  \
          --data-dir PATH          per-backend durability: each shard logs to PATH/<id>\n  \
          --durability MODE        fsync | batch | async for every backend (default batch)\n  \
-         --snapshot-every N       per-backend snapshot cadence (default 256)\n\n\
+         --snapshot-every N       per-backend snapshot cadence (default 256)\n  \
+         --slow-ms MS             slow-query threshold for router and backends (default 250)\n\n\
          the fleet router also serves POST /admin/backends {{\"id\",\"addr\"}} and\n\
          DELETE /admin/backends/{{id}} to grow/shrink the ring at runtime."
     );
@@ -144,6 +146,10 @@ fn run_serve(args: &[String]) {
                 Some(n) if n > 0 => options.snapshot_every = n,
                 _ => die("--snapshot-every needs a positive integer"),
             },
+            "--slow-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms > 0 => options.slow_ms = ms,
+                _ => die("--slow-ms needs a positive integer (milliseconds)"),
+            },
             other => die(&format!("unknown serve option: {other}")),
         }
     }
@@ -164,7 +170,7 @@ fn run_serve(args: &[String]) {
         }
     }
     println!("ziggy-serve listening on http://{}", server.local_addr());
-    println!("endpoints: /healthz /metrics /tables /tables/{{name}}[/characterize] /sessions /sessions/{{id}}[/step]");
+    println!("endpoints: /healthz /metrics /tables /tables/{{name}}[/characterize] /sessions /sessions/{{id}}[/step] /debug/traces[/{{id}}]");
     // Serve until the process is terminated.
     loop {
         std::thread::park();
@@ -202,6 +208,7 @@ fn run_fleet(args: &[String]) {
     let mut data_dir: Option<std::path::PathBuf> = None;
     let mut durability: Option<String> = None;
     let mut snapshot_every: Option<u64> = None;
+    let mut slow_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -253,6 +260,13 @@ fn run_fleet(args: &[String]) {
                 Some(n) if n > 0 => snapshot_every = Some(n),
                 _ => die("--snapshot-every needs a positive integer"),
             },
+            "--slow-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms > 0 => {
+                    options.slow_ms = ms;
+                    slow_ms = Some(ms);
+                }
+                _ => die("--slow-ms needs a positive integer (milliseconds)"),
+            },
             other => die(&format!("unknown fleet option: {other}")),
         }
     }
@@ -279,6 +293,12 @@ fn run_fleet(args: &[String]) {
                 extra.push("--snapshot-every".to_string());
                 extra.push(n.to_string());
             }
+        }
+        // The slow-query threshold applies fleet-wide: the router's own
+        // recorder (set above via options) and every spawned backend.
+        if let Some(ms) = slow_ms {
+            extra.push("--slow-ms".to_string());
+            extra.push(ms.to_string());
         }
         extra
     };
@@ -317,7 +337,7 @@ fn run_fleet(args: &[String]) {
         children.len(),
         fleet.state().replication()
     );
-    println!("same API as ziggy serve; /metrics and /tables aggregate all shards");
+    println!("same API as ziggy serve; /metrics and /tables aggregate all shards, /debug/traces/{{id}} assembles fleet-wide spans");
     println!("admin: POST /admin/backends {{\"id\",\"addr\"}} and DELETE /admin/backends/{{id}}");
 
     if restart {

@@ -578,6 +578,178 @@ fn wait_for_trace_line(path: &Path, trace: &str) -> serde_json::Value {
     }
 }
 
+/// Span-tier e2e: one trace id yields a *fleet-assembled* tree — the
+/// router's `fleet.request` root and `fleet.upstream` leg, plus the
+/// backend process's `serve.request`/`serve.handler`/stage spans parented
+/// under that leg via the propagated `X-Span-Context` header — all from
+/// one `GET /debug/traces/{id}` on the router. Also pins the
+/// `/debug/traces` listing schema and its filters.
+#[test]
+fn one_trace_id_assembles_router_and_backend_spans() {
+    let binary = Path::new(env!("CARGO_BIN_EXE_ziggy"));
+    let children: Vec<BackendProcess> = (0..2)
+        .map(|i| BackendProcess::spawn(binary, format!("shard-{i}"), &[]).unwrap())
+        .collect();
+    let addrs = children
+        .iter()
+        .map(|c| (c.id().to_string(), c.addr()))
+        .collect();
+    let fleet = start_fleet(
+        "127.0.0.1:0",
+        addrs,
+        FleetOptions {
+            replication: 2,
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    let router = fleet.local_addr();
+
+    let twin = ziggy::synth::box_office(7);
+    let csv = write_csv_string(&twin.table, ',');
+    let body = json_body(&[("name", "boxoffice"), ("csv", &csv)]);
+    let (status, resp) = request_once(router, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+
+    // A cold characterize under a caller-chosen trace id.
+    let trace = "span-e2e-0042";
+    let query_body = json_body(&[("query", &twin.predicate)]);
+    let mut client = Client::connect(router).unwrap();
+    let (status, _, resp_body) = client
+        .request_with_headers(
+            "POST",
+            "/tables/boxoffice/characterize",
+            &[("X-Request-Id", trace)],
+            Some(&query_body),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{resp_body}");
+
+    // The fleet-assembled detail: local router spans + the backend's.
+    let (status, detail) =
+        request_once(router, "GET", &format!("/debug/traces/{trace}"), None).unwrap();
+    assert_eq!(status, 200, "{detail}");
+    let v = serde_json::from_str_value(&detail).unwrap();
+    assert_eq!(v.get("trace_id").unwrap().as_str(), Some(trace));
+    assert_eq!(v.get("root").unwrap().as_str(), Some("fleet.request"));
+    assert_eq!(v.get("route").unwrap().as_str(), Some("characterize"));
+    let spans = v.get("spans").unwrap().as_array().unwrap();
+    let find = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some(name))
+            .unwrap_or_else(|| panic!("no span `{name}` in the assembled trace: {detail}"))
+    };
+    // Every span carries the full schema.
+    for s in spans {
+        for key in [
+            "span_id",
+            "parent_id",
+            "name",
+            "start_unix_us",
+            "duration_us",
+            "error",
+        ] {
+            assert!(s.get(key).is_some(), "span missing `{key}`: {detail}");
+        }
+    }
+    // Router half: the request root and its upstream leg.
+    let root = find("fleet.request");
+    assert!(root.get("parent_id").unwrap().is_null(), "{detail}");
+    let root_id = root.get("span_id").unwrap().as_str().unwrap();
+    let leg = find("fleet.upstream");
+    assert_eq!(
+        leg.get("parent_id").unwrap().as_str(),
+        Some(root_id),
+        "the upstream leg hangs off the request root: {detail}"
+    );
+    let leg_backend = leg
+        .get("attrs")
+        .unwrap()
+        .get("backend")
+        .expect("upstream leg names its backend")
+        .as_str()
+        .unwrap();
+    let leg_id = leg.get("span_id").unwrap().as_str().unwrap();
+    // Backend half, gathered across the process boundary and stamped
+    // with the shard id: its root is a *child* of the router's leg,
+    // which is exactly what X-Span-Context propagation buys.
+    let serve_root = find("serve.request");
+    assert_eq!(
+        serve_root.get("parent_id").unwrap().as_str(),
+        Some(leg_id),
+        "the backend root must parent under the router's upstream leg: {detail}"
+    );
+    assert_eq!(
+        serve_root.get("backend").unwrap().as_str(),
+        Some(leg_backend),
+        "gathered spans are stamped with their shard: {detail}"
+    );
+    // The cold build's full breakdown rode along.
+    for name in [
+        "serve.handler",
+        "serve.characterize",
+        "stage.prepare",
+        "stage.view_search",
+        "stage.post_process",
+    ] {
+        find(name);
+    }
+
+    // Listing schema + filters on the router.
+    let (status, listing) =
+        request_once(router, "GET", "/debug/traces?route=characterize", None).unwrap();
+    assert_eq!(status, 200, "{listing}");
+    let v = serde_json::from_str_value(&listing).unwrap();
+    let traces = v.get("traces").unwrap().as_array().unwrap();
+    assert!(
+        traces
+            .iter()
+            .any(|t| t.get("trace_id").unwrap().as_str() == Some(trace)),
+        "{listing}"
+    );
+    for t in traces {
+        for key in [
+            "trace_id",
+            "root",
+            "route",
+            "start_unix_us",
+            "duration_us",
+            "error",
+            "spans",
+        ] {
+            assert!(
+                t.get(key).is_some(),
+                "listing entry missing `{key}`: {listing}"
+            );
+        }
+        // The listing form carries a span *count*, not the spans.
+        assert!(t.get("spans").unwrap().as_u64().is_some(), "{listing}");
+    }
+    let (status, none) = request_once(router, "GET", "/debug/traces?route=sessions", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        serde_json::from_str_value(&none)
+            .unwrap()
+            .get("traces")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .all(|t| t.get("route").unwrap().as_str() == Some("sessions")),
+        "{none}"
+    );
+    let (status, _) = request_once(router, "GET", "/debug/traces?min_ms=abc", None).unwrap();
+    assert_eq!(status, 400, "non-integer min_ms must be refused");
+    let (status, _) = request_once(router, "GET", "/debug/traces/nosuchtrace", None).unwrap();
+    assert_eq!(status, 404, "an unknown trace 404s fleet-wide");
+
+    fleet.shutdown();
+    for mut c in children {
+        c.kill();
+    }
+}
+
 #[test]
 fn replicated_ingest_is_idempotent_across_retries() {
     let binary = Path::new(env!("CARGO_BIN_EXE_ziggy"));

@@ -50,6 +50,74 @@ fn scrape_clean(addr: std::net::SocketAddr) -> PromDoc {
     doc
 }
 
+/// Asserts every *populated* bucket of `family` (a cumulative count
+/// strictly above the previous bucket's, i.e. the slot itself took a
+/// sample) carries an OpenMetrics `trace_id` exemplar, and returns one
+/// of the trace ids for resolvability checks.
+fn assert_bucket_exemplars(doc: &PromDoc, family: &str) -> String {
+    let bucket_name = format!("{family}_bucket");
+    let mut series: std::collections::BTreeMap<String, Vec<(f64, f64, Option<String>)>> =
+        std::collections::BTreeMap::new();
+    for f in doc.families.iter().filter(|f| f.name == family) {
+        for s in f.samples.iter().filter(|s| s.name == bucket_name) {
+            let le = match s.label("le") {
+                Some("+Inf") => f64::INFINITY,
+                Some(raw) => raw.parse().unwrap(),
+                None => panic!("bucket sample without le: {s:?}"),
+            };
+            let key: Vec<String> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            series.entry(key.join(",")).or_default().push((
+                le,
+                s.value,
+                s.exemplar
+                    .as_ref()
+                    .and_then(|e| e.label("trace_id"))
+                    .map(str::to_string),
+            ));
+        }
+    }
+    assert!(!series.is_empty(), "no {bucket_name} samples in the scrape");
+    let mut witness = None;
+    for (labels, mut buckets) in series {
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut prev = 0.0;
+        for (le, cumulative, trace_id) in buckets {
+            if cumulative > prev {
+                let trace_id = trace_id.unwrap_or_else(|| {
+                    panic!(
+                        "populated bucket le={le} of {family}{{{labels}}} has no trace_id exemplar"
+                    )
+                });
+                witness = Some(trace_id);
+            }
+            prev = cumulative;
+        }
+    }
+    witness.expect("at least one populated bucket")
+}
+
+/// Asserts the trace id behind an exemplar resolves to a full span tree
+/// at `/debug/traces/{id}` on the same server.
+fn assert_trace_resolves(addr: std::net::SocketAddr, trace_id: &str) {
+    let (status, body) =
+        request_once(addr, "GET", &format!("/debug/traces/{trace_id}"), None).unwrap();
+    assert_eq!(
+        status, 200,
+        "exemplar trace {trace_id} must resolve: {body}"
+    );
+    let v = serde_json::from_str_value(&body).unwrap();
+    assert_eq!(v.get("trace_id").unwrap().as_str(), Some(trace_id));
+    assert!(
+        !v.get("spans").unwrap().as_array().unwrap().is_empty(),
+        "{body}"
+    );
+}
+
 #[test]
 fn serve_prometheus_exposition_is_lint_clean() {
     let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
@@ -87,6 +155,10 @@ fn serve_prometheus_exposition_is_lint_clean() {
             "missing family {family}"
         );
     }
+    // Every populated latency bucket carries a trace-id exemplar, and
+    // the id resolves to a span tree in the flight recorder.
+    let trace = assert_bucket_exemplars(&doc, "ziggy_request_duration_seconds");
+    assert_trace_resolves(addr, &trace);
     server.shutdown();
 }
 
@@ -158,6 +230,13 @@ fn fleet_prometheus_exposition_is_lint_clean_with_shard_labels() {
         vec!["shard-0", "shard-1"],
         "per-shard series must carry the shard label"
     );
+    // Router-edge exemplars resolve at the router's own recorder; the
+    // backends' exemplars (absorbed with their shard stamp) resolve
+    // fleet-assembled through the same endpoint.
+    let trace = assert_bucket_exemplars(&doc, "ziggy_fleet_request_duration_seconds");
+    assert_trace_resolves(router, &trace);
+    let backend_trace = assert_bucket_exemplars(&doc, "ziggy_request_duration_seconds");
+    assert_trace_resolves(router, &backend_trace);
 
     fleet.shutdown();
     for b in backends {
