@@ -156,6 +156,7 @@ fn main() {
 
     let doc = Value::Object(vec![
         ("benchmark".into(), Value::String("durability".into())),
+        ("host".into(), ziggy_bench::host_json()),
         (
             "config".into(),
             Value::Object(vec![

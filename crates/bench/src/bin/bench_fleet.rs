@@ -281,6 +281,49 @@ fn run_set(
     }
 }
 
+/// Warm characterize throughput against a single backend with **no
+/// router in between** — the data plane's speed-of-light. The router's
+/// warm rate divided by this is the proxy's multiplicative overhead
+/// (`router_direct_ratio`), the honest way to report relay cost.
+fn run_direct(
+    clients: usize,
+    requests_per_client: usize,
+    ingest_body: &str,
+    query_body: &str,
+) -> f64 {
+    let (backends, addrs, _mode) = Backends::spawn(1);
+    let direct = addrs[0].1;
+    let (status, resp) = request_once(direct, "POST", "/tables", Some(ingest_body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+    // Warm the caches off the clock.
+    let mut warm = Client::connect(direct).unwrap();
+    for _ in 0..2 {
+        let (status, body) = warm
+            .request("POST", "/tables/crime/characterize", Some(query_body))
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+    drop(warm);
+    let total_requests = clients * requests_per_client;
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(move || {
+                let mut client = Client::connect(direct).unwrap();
+                for _ in 0..requests_per_client {
+                    let (status, body) = client
+                        .request("POST", "/tables/crime/characterize", Some(query_body))
+                        .unwrap();
+                    assert_eq!(status, 200, "{body}");
+                }
+            });
+        }
+    });
+    let rps = total_requests as f64 / t.elapsed().as_secs_f64();
+    backends.shutdown();
+    rps
+}
+
 struct ChurnResult {
     backends: usize,
     replication: usize,
@@ -445,6 +488,16 @@ fn main() {
     let clients = arg("--clients", 8).max(1);
     let requests_per_client = (arg("--requests", 64).max(1) / clients).max(1);
     let sets = arg_sets();
+    let min_rps = arg("--assert-min-rps", 0);
+
+    if ziggy_bench::host_parallelism() <= 1 && sets.len() > 1 {
+        eprintln!(
+            "\n{0}\nWARNING: this host exposes 1 CPU to the scheduler — every set is\n\
+             CPU-bound at the single-backend rate, so the scaling curve below is\n\
+             NOT a scaling measurement. Compare sets only on multi-core hosts.\n{0}\n",
+            "=".repeat(72)
+        );
+    }
 
     let twin = ziggy_synth::us_crime(7);
     let (n_rows, n_cols) = (twin.table.n_rows(), twin.table.n_cols());
@@ -484,7 +537,14 @@ fn main() {
         None
     };
 
+    // Speed-of-light comparison: the same workload with no router.
+    eprintln!("--- direct set: 1 backend, no router ---");
+    let direct_rps = run_direct(clients, requests_per_client, &ingest_body, &query_body);
     let baseline = results.first().map(|r| r.warm_rps).unwrap_or(1.0);
+    let router_direct_ratio = baseline / direct_rps.max(f64::MIN_POSITIVE);
+    eprintln!(
+        "    direct {direct_rps:.1} req/s; router(n=1) {baseline:.1} req/s; ratio {router_direct_ratio:.2}"
+    );
     let churn_json = match &churn {
         None => Value::Null,
         Some(c) => Value::Object(vec![
@@ -513,13 +573,17 @@ fn main() {
         // parallelism: on a 1-core container every set is CPU-bound at
         // the single-backend rate; the fleet's scaling shows up with
         // cores (or boxes) to spread across.
+        ("host".into(), ziggy_bench::host_json()),
         (
             "host_parallelism".into(),
-            num_u(
-                std::thread::available_parallelism()
-                    .map(|n| n.get() as u64)
-                    .unwrap_or(0),
-            ),
+            num_u(ziggy_bench::host_parallelism()),
+        ),
+        (
+            "direct".into(),
+            Value::Object(vec![
+                ("warm_requests_per_sec".into(), num_f(direct_rps)),
+                ("router_direct_ratio".into(), num_f(router_direct_ratio)),
+            ]),
         ),
         (
             "results".into(),
@@ -558,4 +622,15 @@ fn main() {
     f.write_all(rendered.as_bytes()).unwrap();
     f.write_all(b"\n").unwrap();
     eprintln!("wrote BENCH_fleet.json");
+
+    // CI throughput floor: the event-loop data plane must never regress
+    // back into thread-per-connection territory unnoticed.
+    if min_rps > 0 {
+        let best = results.iter().map(|r| r.warm_rps).fold(0.0, f64::max);
+        assert!(
+            best >= min_rps as f64,
+            "router warm throughput {best:.1} req/s is below the asserted floor of {min_rps} req/s"
+        );
+        eprintln!("throughput floor ok: {best:.1} >= {min_rps} req/s");
+    }
 }

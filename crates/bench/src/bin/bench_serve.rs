@@ -194,6 +194,7 @@ fn main() {
 
     let result = Value::Object(vec![
         ("benchmark".into(), Value::String("serve_throughput".into())),
+        ("host".into(), ziggy_bench::host_json()),
         ("dataset".into(), Value::String("us_crime_twin".into())),
         ("n_rows".into(), num_u(n_rows as u64)),
         ("n_cols".into(), num_u(n_cols as u64)),

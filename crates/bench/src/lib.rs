@@ -11,4 +11,4 @@
 pub mod experiments;
 pub mod harness;
 
-pub use harness::{format_duration_us, MarkdownTable};
+pub use harness::{format_duration_us, host_cpus, host_json, host_parallelism, MarkdownTable};

@@ -62,6 +62,7 @@
 //! ([`spawn::BackendProcess`] supervises the children).
 
 pub mod backend;
+pub mod dataplane;
 pub mod proxy;
 pub mod repair;
 pub mod ring;
@@ -77,10 +78,11 @@ use std::time::{Duration, Instant};
 use ziggy_obs::span::{self, DEFAULT_TRACE_CAPACITY, SPAN_CONTEXT_HEADER};
 use ziggy_obs::trace::{mint_trace_id, sanitize_trace_id, TRACE_HEADER};
 use ziggy_obs::FlightRecorder;
-use ziggy_serve::http::{EdgeObserver, Request, Server};
+use ziggy_serve::http::{EdgeObserver, Request};
 use ziggy_serve::{AccessLog, RateLimiter, Response};
 
 pub use backend::{Backend, BackendsProvider, Prober};
+pub use dataplane::{DataPlane, DataPlaneConfig, DataPlaneStats};
 pub use repair::{repair_round, RepairReport, Repairer};
 pub use ring::HashRing;
 pub use router::{
@@ -143,7 +145,7 @@ impl Default for FleetOptions {
 
 /// A running fleet router (plus its health prober and repair loop).
 pub struct FleetHandle {
-    server: Server,
+    dataplane: DataPlane,
     state: Arc<FleetState>,
     prober: Option<Prober>,
     repairer: Option<Repairer>,
@@ -152,7 +154,7 @@ pub struct FleetHandle {
 impl FleetHandle {
     /// The router's bound address.
     pub fn local_addr(&self) -> SocketAddr {
-        self.server.local_addr()
+        self.dataplane.local_addr()
     }
 
     /// The shared router state, for inspection (tests, benchmarks).
@@ -170,7 +172,7 @@ impl FleetHandle {
         if let Some(p) = self.prober.take() {
             p.stop();
         }
-        self.server.shutdown();
+        self.dataplane.shutdown();
     }
 }
 
@@ -211,7 +213,7 @@ pub fn start_fleet(
     let repairer = options
         .repair_interval
         .map(|interval| Repairer::start(Arc::clone(&state), interval));
-    let limiter = options.rate_limit.map(RateLimiter::new);
+    let limiter = options.rate_limit.map(|r| Arc::new(RateLimiter::new(r)));
     let log = Arc::new(match &options.access_log_path {
         Some(path) => AccessLog::to_file(path)?,
         None if options.access_log => AccessLog::stderr(),
@@ -225,67 +227,79 @@ pub fn start_fleet(
     let edge: EdgeObserver = Arc::new(move |status: u16, trace: &str| {
         edge_log.log("-", "-", status, 0.0, Some(trace), None);
     });
-    let server = Server::start_observed(
-        addr,
-        options.threads,
-        Arc::new(move |req: &Request| {
-            let started = Instant::now();
-            // An upstream X-Span-Context wins (it names the trace AND
-            // the remote parent span — routers can themselves be proxied
-            // to); a well-formed caller-supplied X-Request-Id still
-            // names the trace (so a client can stitch its own traces);
-            // mint one otherwise. The id rides every proxied leg and
-            // comes back on the response, the router log line, and each
-            // backend log line.
-            let span_ctx: Option<(String, String)> = req
-                .header(SPAN_CONTEXT_HEADER)
-                .and_then(span::parse_span_context)
-                .map(|(t, p)| (t.to_string(), p.to_string()));
-            let trace: String = match &span_ctx {
-                Some((t, _)) => t.clone(),
-                None => req
-                    .header(TRACE_HEADER)
-                    .and_then(sanitize_trace_id)
-                    .map(str::to_string)
-                    .unwrap_or_else(mint_trace_id),
-            };
-            let parent = span_ctx.as_ref().map(|(_, p)| p.as_str());
-            let mut root = handler_state.recorder.root(&trace, parent, "fleet.request");
-            root.attr("method", req.method.clone());
-            root.attr("path", req.path.clone());
-            let key = fleet_route_key(&req.method, &req.path);
-            root.attr("route", key);
-            let (response, backend) = match throttle(&handler_state, limiter.as_ref(), req) {
-                Some(resp) => (resp, None),
-                None => route_fleet_traced(&handler_state, req, Some(&trace)),
-            };
-            root.attr("status", response.status.to_string());
-            root.set_error(response.status >= 400);
-            drop(root); // Commits the trace to the flight recorder.
-            let elapsed = started.elapsed();
-            let elapsed_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
-            handler_state
-                .route_latency
-                .record_us_traced(key, elapsed_us, &trace);
-            if elapsed_us >= handler_state.recorder.slow_us() {
-                if let Some(entry) = handler_state.recorder.trace(&trace) {
-                    eprintln!("{}", ziggy_serve::logging::slow_query_line(&entry));
-                }
+    // The control-plane handler: every route except the hot
+    // characterize relay runs here, on the data plane's worker pool.
+    // It is byte-for-byte the closure the threaded server ran, so
+    // admin/session/scatter-gather behavior (and its tracing, logging,
+    // and throttling) is unchanged by the reactor migration.
+    let handler_limiter = limiter.clone();
+    let handler = Arc::new(move |req: &Request| {
+        let started = Instant::now();
+        // An upstream X-Span-Context wins (it names the trace AND
+        // the remote parent span — routers can themselves be proxied
+        // to); a well-formed caller-supplied X-Request-Id still
+        // names the trace (so a client can stitch its own traces);
+        // mint one otherwise. The id rides every proxied leg and
+        // comes back on the response, the router log line, and each
+        // backend log line.
+        let span_ctx: Option<(String, String)> = req
+            .header(SPAN_CONTEXT_HEADER)
+            .and_then(span::parse_span_context)
+            .map(|(t, p)| (t.to_string(), p.to_string()));
+        let trace: String = match &span_ctx {
+            Some((t, _)) => t.clone(),
+            None => req
+                .header(TRACE_HEADER)
+                .and_then(sanitize_trace_id)
+                .map(str::to_string)
+                .unwrap_or_else(mint_trace_id),
+        };
+        let parent = span_ctx.as_ref().map(|(_, p)| p.as_str());
+        let mut root = handler_state.recorder.root(&trace, parent, "fleet.request");
+        root.attr("method", req.method.clone());
+        root.attr("path", req.path.clone());
+        let key = fleet_route_key(&req.method, &req.path);
+        root.attr("route", key);
+        let (response, backend) = match throttle(&handler_state, handler_limiter.as_deref(), req) {
+            Some(resp) => (resp, None),
+            None => route_fleet_traced(&handler_state, req, Some(&trace)),
+        };
+        root.attr("status", response.status.to_string());
+        root.set_error(response.status >= 400);
+        drop(root); // Commits the trace to the flight recorder.
+        let elapsed = started.elapsed();
+        let elapsed_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        handler_state
+            .route_latency
+            .record_us_traced(key, elapsed_us, &trace);
+        if elapsed_us >= handler_state.recorder.slow_us() {
+            if let Some(entry) = handler_state.recorder.trace(&trace) {
+                eprintln!("{}", ziggy_serve::logging::slow_query_line(&entry));
             }
-            handler_log.log(
-                &req.method,
-                &req.path,
-                response.status,
-                elapsed.as_secs_f64() * 1e3,
-                Some(&trace),
-                backend.as_deref(),
-            );
-            response.with_header(TRACE_HEADER, trace)
-        }),
-        Some(edge),
+        }
+        handler_log.log(
+            &req.method,
+            &req.path,
+            response.status,
+            elapsed.as_secs_f64() * 1e3,
+            Some(&trace),
+            backend.as_deref(),
+        );
+        response.with_header(TRACE_HEADER, trace)
+    });
+    let dataplane = DataPlane::start(
+        addr,
+        Arc::clone(&state),
+        handler,
+        DataPlaneConfig {
+            threads: options.threads,
+            limiter,
+            log,
+            edge: Some(edge),
+        },
     )?;
     Ok(FleetHandle {
-        server,
+        dataplane,
         state,
         prober: Some(prober),
         repairer,
@@ -293,8 +307,13 @@ pub fn start_fleet(
 }
 
 /// The router-edge rate limit (same bucket semantics as the single-node
-/// server; health checks exempt).
-fn throttle(state: &FleetState, limiter: Option<&RateLimiter>, req: &Request) -> Option<Response> {
+/// server; health checks exempt). Shared by the control-plane handler
+/// and the reactor's hot path.
+pub(crate) fn throttle(
+    state: &FleetState,
+    limiter: Option<&RateLimiter>,
+    req: &Request,
+) -> Option<Response> {
     let limiter = limiter?;
     if req.path == "/healthz" {
         return None;

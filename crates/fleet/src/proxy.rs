@@ -13,6 +13,7 @@
 
 use std::io;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -27,10 +28,28 @@ const POOL_SIZE: usize = 16;
 /// not after an OS default connect timeout.
 const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
 
+/// A snapshot of one pool's counters for `/metrics` (the threaded
+/// pool's side of the connection-pool gauges; the reactor's mux pools
+/// report separately).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Idle connections currently pooled.
+    pub idle: u64,
+    /// Requests served off a pooled connection.
+    pub checkouts: u64,
+    /// Requests that paid a TCP connect (pool empty or non-idempotent).
+    pub fresh_connects: u64,
+    /// Stale pooled sockets retried once on a fresh connection.
+    pub retried_reconnects: u64,
+}
+
 /// A pool of keep-alive [`Client`] connections to one backend address.
 pub struct BackendPool {
     addr: SocketAddr,
     idle: Mutex<Vec<Client>>,
+    checkouts: AtomicU64,
+    fresh_connects: AtomicU64,
+    retried_reconnects: AtomicU64,
 }
 
 impl BackendPool {
@@ -39,6 +58,19 @@ impl BackendPool {
         Self {
             addr,
             idle: Mutex::new(Vec::new()),
+            checkouts: AtomicU64::new(0),
+            fresh_connects: AtomicU64::new(0),
+            retried_reconnects: AtomicU64::new(0),
+        }
+    }
+
+    /// Counter snapshot for `/metrics`.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            idle: self.idle.lock().len() as u64,
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            fresh_connects: self.fresh_connects.load(Ordering::Relaxed),
+            retried_reconnects: self.retried_reconnects.load(Ordering::Relaxed),
         }
     }
 
@@ -94,6 +126,7 @@ impl BackendPool {
             // re-locks.
             let pooled = self.idle.lock().pop();
             if let Some(mut client) = pooled {
+                self.checkouts.fetch_add(1, Ordering::Relaxed);
                 // On error the socket was a stale keep-alive (backend
                 // restarted, or its idle timeout closed us): fall
                 // through to a fresh connection rather than reporting a
@@ -103,9 +136,14 @@ impl BackendPool {
                     self.put_back(client);
                     return Ok(response);
                 }
+                self.retried_reconnects.fetch_add(1, Ordering::Relaxed);
             }
         }
+        self.fresh_connects.fetch_add(1, Ordering::Relaxed);
         let mut client = Client::connect_with_timeout(self.addr, CONNECT_TIMEOUT)?;
+        // `connect` sets TCP_NODELAY already; re-assert it so the
+        // no-Nagle contract on upstream hops is explicit here too.
+        let _ = client.set_nodelay(true);
         let response = client.request_with_headers(method, path, extra_headers, body)?;
         self.put_back(client);
         Ok(response)
@@ -134,6 +172,11 @@ mod tests {
             assert!(body.contains(r#""status":"ok""#), "{body}");
         }
         assert_eq!(pool.idle_len(), 1, "sequential requests share one conn");
+        let stats = pool.stats();
+        assert_eq!(stats.idle, 1);
+        assert_eq!(stats.fresh_connects, 1, "only the first request connects");
+        assert_eq!(stats.checkouts, 2, "later requests ride the pooled conn");
+        assert_eq!(stats.retried_reconnects, 0);
         server.shutdown();
     }
 
@@ -160,6 +203,7 @@ mod tests {
             .request("GET", "/healthz", None, true)
             .expect("stale socket must be retried on a fresh connection");
         assert_eq!(status, 200);
+        assert_eq!(pool.stats().retried_reconnects, 1);
         replacement.shutdown();
     }
 

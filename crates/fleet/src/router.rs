@@ -279,6 +279,9 @@ pub struct FleetState {
     /// Membership epoch the last repair round ran under; a change
     /// resets the clean streak.
     pub(crate) repair_epoch: AtomicU64,
+    /// Event-loop data-plane counters and pool gauges (populated when
+    /// the router fronts with [`crate::dataplane::DataPlane`]).
+    pub dataplane: Arc<crate::dataplane::DataPlaneStats>,
     /// Router start, for `/healthz` uptime and the uptime gauge.
     pub started: Instant,
 }
@@ -311,6 +314,7 @@ impl FleetState {
             probe_stats: Arc::new(LoopStats::new()),
             repair_clean_streak: AtomicU64::new(0),
             repair_epoch: AtomicU64::new(0),
+            dataplane: Arc::new(crate::dataplane::DataPlaneStats::default()),
             started: Instant::now(),
         }
     }
@@ -427,7 +431,9 @@ impl FleetState {
     /// With every nominal replica healthy the order is exactly the
     /// nominal set, so a request for an *unknown* table still costs at
     /// most R hops (each answering 404), never a full-fleet sweep.
-    fn read_order(&self, view: &Membership, table: &str) -> Vec<Arc<Backend>> {
+    /// Shared with the event-loop data plane, whose hot path runs the
+    /// same failover walk.
+    pub(crate) fn read_order(&self, view: &Membership, table: &str) -> Vec<Arc<Backend>> {
         let walk = view.replicas_for(table, view.backends().len());
         if walk.is_empty() {
             return walk;
@@ -1049,6 +1055,68 @@ fn router_prometheus(state: &FleetState, view: &Membership) -> PromDoc {
     ] {
         doc.counter(name, &[], counter.get());
     }
+    let dp = &state.dataplane;
+    for (name, value) in [
+        (
+            "ziggy_fleet_reactor_loop_iterations_total",
+            &dp.loop_iterations,
+        ),
+        ("ziggy_fleet_reactor_wakeups_total", &dp.wakeups),
+        ("ziggy_fleet_reactor_hot_requests_total", &dp.hot_requests),
+        (
+            "ziggy_fleet_reactor_offloaded_requests_total",
+            &dp.offloaded_requests,
+        ),
+        (
+            "ziggy_fleet_reactor_pool_checkouts_total",
+            &dp.pool_checkouts,
+        ),
+        (
+            "ziggy_fleet_reactor_pool_fresh_connects_total",
+            &dp.pool_fresh_connects,
+        ),
+        (
+            "ziggy_fleet_reactor_pool_retried_reconnects_total",
+            &dp.pool_retried_reconnects,
+        ),
+    ] {
+        doc.counter(name, &[], value.load(Ordering::Relaxed));
+    }
+    for (backend, gauge) in dp.pool_gauges() {
+        doc.gauge(
+            "ziggy_fleet_reactor_pool_connections",
+            &[("backend", &backend), ("state", "idle")],
+            gauge.idle as f64,
+        );
+        doc.gauge(
+            "ziggy_fleet_reactor_pool_connections",
+            &[("backend", &backend), ("state", "in_flight")],
+            gauge.in_flight as f64,
+        );
+    }
+    for b in view.backends() {
+        let pool = b.pool().stats();
+        doc.gauge(
+            "ziggy_fleet_backend_pool_idle_connections",
+            &[("backend", b.id())],
+            pool.idle as f64,
+        );
+        doc.counter(
+            "ziggy_fleet_backend_pool_checkouts_total",
+            &[("backend", b.id())],
+            pool.checkouts,
+        );
+        doc.counter(
+            "ziggy_fleet_backend_pool_fresh_connects_total",
+            &[("backend", b.id())],
+            pool.fresh_connects,
+        );
+        doc.counter(
+            "ziggy_fleet_backend_pool_retried_reconnects_total",
+            &[("backend", b.id())],
+            pool.retried_reconnects,
+        );
+    }
     doc.gauge(
         "ziggy_fleet_repair_clean_streak",
         &[],
@@ -1158,17 +1226,31 @@ fn handle_metrics(state: &FleetState, view: &Membership, req: &Request) -> Respo
                 Ok((200, body)) => serde_json::from_str_value(&body).unwrap_or(Value::Null),
                 _ => Value::Null,
             };
+            let pool = b.pool().stats();
             Value::Object(vec![
                 ("id".into(), Value::String(b.id().to_string())),
                 ("addr".into(), Value::String(b.addr().to_string())),
                 ("healthy".into(), Value::Bool(b.is_healthy())),
                 ("failures_total".into(), num_u(b.failures_total())),
+                (
+                    "pool".into(),
+                    Value::Object(vec![
+                        ("idle".into(), num_u(pool.idle)),
+                        ("checkouts_total".into(), num_u(pool.checkouts)),
+                        ("fresh_connects_total".into(), num_u(pool.fresh_connects)),
+                        (
+                            "retried_reconnects_total".into(),
+                            num_u(pool.retried_reconnects),
+                        ),
+                    ]),
+                ),
                 ("metrics".into(), metrics),
             ])
         })
         .collect();
     let body = Value::Object(vec![
         ("router".into(), state.metrics.to_json()),
+        ("dataplane".into(), state.dataplane.to_json()),
         (
             "latency_exemplars".into(),
             ziggy_serve::metrics::route_exemplars_json(&state.route_latency),

@@ -146,32 +146,80 @@ impl FlightRecorder {
         self.slow_us
     }
 
+    /// Registers `trace_id` in the active-trace map (evicting the
+    /// longest-open trace when the map is full, exactly like [`root`]).
+    fn ensure_active(&self, trace_id: &str) {
+        let mut active = self.active.lock().expect("flight recorder active lock");
+        if active.len() >= MAX_ACTIVE_TRACES {
+            // Force-commit the longest-open trace (its root guard
+            // leaked or is wedged); its spans beat losing them.
+            let longest_open = active
+                .iter()
+                .max_by_key(|(_, t)| t.opened.elapsed())
+                .map(|(k, _)| k.clone());
+            if let Some(id) = longest_open {
+                if let Some(t) = active.remove(&id) {
+                    drop(active);
+                    self.commit_loose(&id, t.spans);
+                    active = self.active.lock().expect("flight recorder active lock");
+                }
+            }
+        }
+        active.entry(trace_id.to_string()).or_insert(ActiveTrace {
+            spans: Vec::new(),
+            opened: Instant::now(),
+        });
+    }
+
+    /// Opens `trace_id` without touching thread-local span context —
+    /// the event-loop entry point. A reactor thread interleaves many
+    /// requests, so a per-thread guard stack cannot represent "the
+    /// current request"; instead the data plane opens the trace here,
+    /// records legs with [`record_finished`], and closes the trace
+    /// with [`commit_root`].
+    pub fn open_trace(&self, trace_id: &str) {
+        self.ensure_active(trace_id);
+    }
+
+    /// Appends an already-finished span *preserving its caller-minted
+    /// span id* — required when the id was propagated to another
+    /// process (the router's upstream-leg span id travels in
+    /// `X-Span-Context` and becomes the parent of the backend's root,
+    /// so the recorded leg must carry that exact id). Lands in the
+    /// open trace when one exists, else in the committed ring entry;
+    /// spans for unknown traces are dropped.
+    pub fn record_finished(&self, span: Span) {
+        {
+            let mut active = self.active.lock().expect("flight recorder active lock");
+            if let Some(t) = active.get_mut(&span.trace_id) {
+                if t.spans.len() < MAX_SPANS_PER_TRACE {
+                    t.spans.push(span);
+                }
+                return;
+            }
+        }
+        let mut ring = self.ring.lock().expect("flight recorder ring lock");
+        if let Some(entry) = ring.iter_mut().find(|e| e.trace_id == span.trace_id) {
+            if entry.spans.len() < MAX_SPANS_PER_TRACE {
+                entry.error |= span.error;
+                entry.spans.push(span);
+            }
+        }
+    }
+
+    /// Finishes `root` and commits its whole trace to the ring — the
+    /// event-loop counterpart of a root [`SpanGuard`] dropping. Spans
+    /// previously recorded under the same trace (via
+    /// [`record_finished`] or [`record_span`]) ride along.
+    pub fn commit_root(&self, root: Span) {
+        self.finish_root(root);
+    }
+
     /// Opens the root span of `trace_id` in this process and makes it
     /// the thread's current span context. `parent` is the remote
     /// parent span id carried by `X-Span-Context`, if any.
     pub fn root(self: &Arc<Self>, trace_id: &str, parent: Option<&str>, name: &str) -> SpanGuard {
-        {
-            let mut active = self.active.lock().expect("flight recorder active lock");
-            if active.len() >= MAX_ACTIVE_TRACES {
-                // Force-commit the longest-open trace (its root guard
-                // leaked or is wedged); its spans beat losing them.
-                let longest_open = active
-                    .iter()
-                    .max_by_key(|(_, t)| t.opened.elapsed())
-                    .map(|(k, _)| k.clone());
-                if let Some(id) = longest_open {
-                    if let Some(t) = active.remove(&id) {
-                        drop(active);
-                        self.commit_loose(&id, t.spans);
-                        active = self.active.lock().expect("flight recorder active lock");
-                    }
-                }
-            }
-            active.entry(trace_id.to_string()).or_insert(ActiveTrace {
-                spans: Vec::new(),
-                opened: Instant::now(),
-            });
-        }
+        self.ensure_active(trace_id);
         let guard = SpanGuard {
             recorder: Arc::clone(self),
             trace_id: trace_id.to_string(),
@@ -204,7 +252,7 @@ impl FlightRecorder {
         attrs: &[(&str, String)],
         error: bool,
     ) {
-        let span = Span {
+        self.record_finished(Span {
             trace_id: trace_id.to_string(),
             span_id: mint_trace_id(),
             parent_id: parent_id.map(str::to_string),
@@ -216,23 +264,7 @@ impl FlightRecorder {
                 .map(|(k, v)| ((*k).to_string(), v.clone()))
                 .collect(),
             error,
-        };
-        {
-            let mut active = self.active.lock().expect("flight recorder active lock");
-            if let Some(t) = active.get_mut(trace_id) {
-                if t.spans.len() < MAX_SPANS_PER_TRACE {
-                    t.spans.push(span);
-                }
-                return;
-            }
-        }
-        let mut ring = self.ring.lock().expect("flight recorder ring lock");
-        if let Some(entry) = ring.iter_mut().find(|e| e.trace_id == trace_id) {
-            if entry.spans.len() < MAX_SPANS_PER_TRACE {
-                entry.error |= span.error;
-                entry.spans.push(span);
-            }
-        }
+        });
     }
 
     fn finish_child(&self, span: Span) {
@@ -611,6 +643,72 @@ mod tests {
         // Unknown traces are dropped silently.
         rec.record_span("nope", None, "x", 0, 1, &[], false);
         assert!(rec.trace("nope").is_none());
+    }
+
+    #[test]
+    fn manual_open_record_commit_assembles_event_loop_trace() {
+        // The reactor path: no thread-local guards, caller-minted span
+        // ids, interleaved traces on one thread.
+        let rec = recorder();
+        rec.open_trace("evt-a");
+        rec.open_trace("evt-b");
+        let start = now_unix_us();
+        rec.record_finished(Span {
+            trace_id: "evt-a".into(),
+            span_id: "leg00000000000a".into(),
+            parent_id: Some("root0000000000a".into()),
+            name: "fleet.upstream".into(),
+            start_unix_us: start,
+            duration_us: 7,
+            attrs: vec![("backend".into(), "shard-0".into())],
+            error: false,
+        });
+        rec.commit_root(Span {
+            trace_id: "evt-b".into(),
+            span_id: "root0000000000b".into(),
+            parent_id: None,
+            name: "fleet.request".into(),
+            start_unix_us: start,
+            duration_us: 11,
+            attrs: vec![("route".into(), "characterize".into())],
+            error: false,
+        });
+        rec.commit_root(Span {
+            trace_id: "evt-a".into(),
+            span_id: "root0000000000a".into(),
+            parent_id: None,
+            name: "fleet.request".into(),
+            start_unix_us: start,
+            duration_us: 13,
+            attrs: vec![("route".into(), "characterize".into())],
+            error: false,
+        });
+        let a = rec.trace("evt-a").expect("trace a committed");
+        assert_eq!(a.root_name, "fleet.request");
+        assert_eq!(a.route.as_deref(), Some("characterize"));
+        assert_eq!(a.spans.len(), 2);
+        assert_eq!(a.spans[0].span_id, "root0000000000a");
+        let leg = a.spans.iter().find(|s| s.name == "fleet.upstream").unwrap();
+        // The caller-minted leg id survives verbatim (it was already
+        // propagated to the backend as the remote parent).
+        assert_eq!(leg.span_id, "leg00000000000a");
+        assert_eq!(leg.parent_id.as_deref(), Some("root0000000000a"));
+        let b = rec.trace("evt-b").expect("trace b committed");
+        assert_eq!(b.spans.len(), 1);
+        // Late spans for an already-committed trace still land.
+        rec.record_finished(Span {
+            trace_id: "evt-b".into(),
+            span_id: "late0000000000b".into(),
+            parent_id: Some("root0000000000b".into()),
+            name: "fleet.upstream".into(),
+            start_unix_us: start,
+            duration_us: 3,
+            attrs: Vec::new(),
+            error: true,
+        });
+        let b = rec.trace("evt-b").unwrap();
+        assert_eq!(b.spans.len(), 2);
+        assert!(b.error, "late erroring span flips the trace error flag");
     }
 
     #[test]

@@ -17,9 +17,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Largest accepted request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Largest accepted request body (CSV ingest needs room).
-const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 /// Socket timeout while actively reading or writing a request.
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
 /// Wall-clock ceiling on reading one complete request (head + body).
@@ -118,7 +118,9 @@ impl Response {
     }
 }
 
-fn reason(status: u16) -> &'static str {
+/// The standard reason phrase for a status code (used by both the
+/// threaded writer and the router's event-loop data plane).
+pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         201 => "Created",
@@ -684,7 +686,9 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-fn write_response<W: Write>(writer: &mut W, response: &Response, close: bool) -> io::Result<()> {
+/// Renders the response head (status line + framing + extra headers +
+/// blank line) exactly as [`write_response`] would send it.
+fn response_head(response: &Response, close: bool) -> String {
     // Default to JSON, but let a handler override the content type (the
     // Prometheus exposition route serves text/plain).
     let has_content_type = response
@@ -708,9 +712,199 @@ fn write_response<W: Write>(writer: &mut W, response: &Response, close: bool) ->
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    writer.write_all(head.as_bytes())?;
+    head
+}
+
+fn write_response<W: Write>(writer: &mut W, response: &Response, close: bool) -> io::Result<()> {
+    writer.write_all(response_head(response, close).as_bytes())?;
     writer.write_all(response.body.as_bytes())?;
     writer.flush()
+}
+
+/// Serializes a full response into one byte buffer — the form the
+/// router's event loop queues on a connection's write buffer (the
+/// threaded path streams via [`write_response`] instead).
+pub fn encode_response(response: &Response, close: bool) -> Vec<u8> {
+    let head = response_head(response, close);
+    let mut out = Vec::with_capacity(head.len() + response.body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(response.body.as_bytes());
+    out
+}
+
+// --------------------------------------------------------------------
+// Incremental (buffer-at-a-time) parsing for the event-loop data plane
+// --------------------------------------------------------------------
+
+/// Locates the end of an HTTP head in `buf`: the index one past the
+/// blank line. Accepts CRLF and bare-LF line endings like the blocking
+/// parser does.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            // "\n\r\n" (CRLF blank line) or "\n\n" (bare-LF blank line).
+            if buf[i + 1..].starts_with(b"\r\n") {
+                return Some(i + 3);
+            }
+            if buf[i + 1..].starts_with(b"\n") {
+                return Some(i + 2);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses one complete request out of the front of `buf` without
+/// consuming from a stream: returns `Ok(Some((request, consumed)))`
+/// when `buf` holds a full head **and** body (the caller drains
+/// `consumed` bytes), `Ok(None)` when more bytes are needed, and
+/// `Err` on a malformed head — same validation rules as the blocking
+/// [`read_request`] path (head/body caps, `Content-Length`-only
+/// framing, digit-only agreeing lengths).
+pub fn try_parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, String> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err("request head too large".into());
+        }
+        return Ok(None);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err("request head too large".into());
+    }
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 request head")?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let line = lines.next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1") => (m.to_ascii_uppercase(), t),
+        _ => return Err("malformed request line".into()),
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut headers = Vec::new();
+    for h in lines {
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err("transfer-encoding is not supported".into());
+    }
+    let mut content_length: Option<usize> = None;
+    for (k, v) in &headers {
+        if k == "content-length" {
+            if !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err("bad content-length".into());
+            }
+            let n = v.parse::<usize>().map_err(|_| "bad content-length")?;
+            if content_length.is_some_and(|prev| prev != n) {
+                return Err("conflicting content-length headers".into());
+            }
+            content_length = Some(n);
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err("request body too large".into());
+    }
+    let total = head_end + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        Request {
+            method,
+            path,
+            query,
+            headers,
+            body: buf[head_end..total].to_vec(),
+            peer: None,
+        },
+        total,
+    )))
+}
+
+/// A parsed response head (the body follows at `head_len` and runs for
+/// `content_length` bytes).
+#[derive(Debug)]
+pub struct ResponseHead {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Lower-cased header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// Body length (Content-Length framing only; absent means 0).
+    pub content_length: usize,
+    /// Bytes consumed by the head, including the blank line.
+    pub head_len: usize,
+    /// Whether the peer signalled `Connection: close`.
+    pub close: bool,
+}
+
+impl ResponseHead {
+    /// First value of a (case-insensitive, stored lower-cased) header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses one response head from the front of `buf`: `Ok(Some(head))`
+/// when the head is complete (the body may still be in flight),
+/// `Ok(None)` when more bytes are needed, `Err` on garbage.
+pub fn try_parse_response_head(buf: &[u8]) -> Result<Option<ResponseHead>, String> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err("response head too large".into());
+        }
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 response head")?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let status_line = lines.next().unwrap_or("");
+    if !status_line.starts_with("HTTP/1") {
+        return Err("malformed status line".into());
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed status line")?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    let mut close = false;
+    for h in lines {
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            let k = k.trim().to_ascii_lowercase();
+            let v = v.trim().to_string();
+            if k == "content-length" {
+                content_length = v.parse().map_err(|_| "bad content-length")?;
+            }
+            if k == "connection" && v.eq_ignore_ascii_case("close") {
+                close = true;
+            }
+            headers.push((k, v));
+        }
+    }
+    Ok(Some(ResponseHead {
+        status,
+        headers,
+        content_length,
+        head_len: head_end,
+        close,
+    }))
 }
 
 // --------------------------------------------------------------------
@@ -753,6 +947,13 @@ impl Client {
     /// Overrides the read timeout (default [`IO_TIMEOUT`]).
     pub fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
         self.stream.get_ref().set_read_timeout(Some(timeout))
+    }
+
+    /// (Re)asserts `TCP_NODELAY` on the underlying socket. `connect`
+    /// already sets it; pool owners call this so the no-Nagle contract
+    /// on upstream hops is explicit at the call site.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.stream.get_ref().set_nodelay(nodelay)
     }
 
     /// Sends one request and reads the `(status, body)` response.
@@ -983,6 +1184,89 @@ mod tests {
         let (status, _) = request_once(server.local_addr(), "GET", "/fine", None).unwrap();
         assert_eq!(status, 200);
         server.shutdown();
+    }
+
+    #[test]
+    fn try_parse_request_is_incremental_and_strict() {
+        let full = b"POST /tables/t/characterize?k=1 HTTP/1.1\r\nHost: z\r\nContent-Length: 5\r\n\r\nhello";
+        // Every prefix short of the full message asks for more bytes.
+        for cut in 0..full.len() {
+            assert!(
+                try_parse_request(&full[..cut]).unwrap().is_none(),
+                "cut at {cut} should be incomplete"
+            );
+        }
+        let (req, consumed) = try_parse_request(full).unwrap().unwrap();
+        assert_eq!(consumed, full.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/tables/t/characterize");
+        assert_eq!(req.query, "k=1");
+        assert_eq!(req.header("host"), Some("z"));
+        assert_eq!(req.body, b"hello");
+
+        // Pipelined second request: only the first is consumed.
+        let mut two = full.to_vec();
+        two.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let (_, consumed) = try_parse_request(&two).unwrap().unwrap();
+        assert_eq!(consumed, full.len());
+        let (second, c2) = try_parse_request(&two[consumed..]).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert_eq!(consumed + c2, two.len());
+
+        // Same rejection rules as the blocking parser.
+        for bad_head in [
+            &b"NOT A REQUEST\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 7\r\n\r\nabc"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: +2\r\n\r\nhi"[..],
+        ] {
+            assert!(try_parse_request(bad_head).is_err(), "{bad_head:?}");
+        }
+        // An endless head is rejected rather than buffered forever.
+        let endless = vec![b'A'; MAX_HEAD_BYTES + 1];
+        assert!(try_parse_request(&endless).is_err());
+        // Bare-LF line endings are tolerated, like read_request.
+        let lf = b"GET /x HTTP/1.1\nHost: z\n\n";
+        let (req, consumed) = try_parse_request(lf).unwrap().unwrap();
+        assert_eq!(req.path, "/x");
+        assert_eq!(consumed, lf.len());
+    }
+
+    #[test]
+    fn try_parse_response_head_reads_framing() {
+        let raw = b"HTTP/1.1 304 Not Modified\r\nContent-Length: 0\r\nETag: \"abc\"\r\nConnection: keep-alive\r\n\r\n";
+        for cut in 0..raw.len() {
+            assert!(try_parse_response_head(&raw[..cut]).unwrap().is_none());
+        }
+        let head = try_parse_response_head(raw).unwrap().unwrap();
+        assert_eq!(head.status, 304);
+        assert_eq!(head.content_length, 0);
+        assert_eq!(head.head_len, raw.len());
+        assert_eq!(head.header("etag"), Some("\"abc\""));
+        assert!(!head.close);
+
+        let closing = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok";
+        let head = try_parse_response_head(closing).unwrap().unwrap();
+        assert!(head.close);
+        assert_eq!(head.content_length, 2);
+        assert_eq!(&closing[head.head_len..], b"ok");
+
+        assert!(try_parse_response_head(b"garbage\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn encode_response_matches_streamed_framing() {
+        let resp = Response::new(200, "{\"ok\":true}").with_header("ETag", "\"e1\"");
+        let encoded = encode_response(&resp, false);
+        let mut streamed = Vec::new();
+        write_response(&mut streamed, &resp, false).unwrap();
+        assert_eq!(encoded, streamed);
+        let head = try_parse_response_head(&encoded).unwrap().unwrap();
+        assert_eq!(head.status, 200);
+        assert_eq!(head.content_length, 11);
+        assert_eq!(head.header("etag"), Some("\"e1\""));
+        assert_eq!(head.header("content-type"), Some("application/json"));
     }
 
     #[test]

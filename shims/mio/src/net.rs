@@ -1,0 +1,121 @@
+//! Non-blocking TCP connect helper for reactor-driven clients.
+//!
+//! `std::net::TcpStream::connect` blocks until the handshake completes;
+//! a reactor wants to issue the SYN and get a WRITABLE event when the
+//! connection is established (or an error event when it is refused).
+//! This module creates the socket with `SOCK_NONBLOCK` directly so the
+//! `connect(2)` call returns immediately with `EINPROGRESS`.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::{FromRawFd, RawFd};
+
+const AF_INET: i32 = 2;
+const AF_INET6: i32 = 10;
+const SOCK_STREAM: i32 = 1;
+const SOCK_NONBLOCK: i32 = 0o4000;
+const SOCK_CLOEXEC: i32 = 0o2000000;
+const EINPROGRESS: i32 = 115;
+
+#[repr(C)]
+struct SockAddrIn {
+    sin_family: u16,
+    sin_port: u16,
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+#[repr(C)]
+struct SockAddrIn6 {
+    sin6_family: u16,
+    sin6_port: u16,
+    sin6_flowinfo: u32,
+    sin6_addr: [u8; 16],
+    sin6_scope_id: u32,
+}
+
+extern "C" {
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn connect(fd: RawFd, addr: *const u8, len: u32) -> i32;
+    fn close(fd: RawFd) -> i32;
+}
+
+/// Start a TCP connection without blocking.
+///
+/// Returns a non-blocking `TcpStream` whose handshake is still in flight
+/// (or already complete, on loopback). Register it for WRITABLE interest;
+/// when the event fires, `take_error()` distinguishes an established
+/// connection (`None`) from a refused one (`Some(..)`).
+pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let rc = match addr {
+        SocketAddr::V4(v4) => {
+            let raw = SockAddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+                sin_zero: [0; 8],
+            };
+            unsafe {
+                connect(
+                    fd,
+                    (&raw as *const SockAddrIn).cast::<u8>(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                )
+            }
+        }
+        SocketAddr::V6(v6) => {
+            let raw = SockAddrIn6 {
+                sin6_family: AF_INET6 as u16,
+                sin6_port: v6.port().to_be(),
+                sin6_flowinfo: v6.flowinfo().to_be(),
+                sin6_addr: v6.ip().octets(),
+                sin6_scope_id: v6.scope_id().to_be(),
+            };
+            unsafe {
+                connect(
+                    fd,
+                    (&raw as *const SockAddrIn6).cast::<u8>(),
+                    std::mem::size_of::<SockAddrIn6>() as u32,
+                )
+            }
+        }
+    };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() != Some(EINPROGRESS) {
+            unsafe { close(fd) };
+            return Err(err);
+        }
+    }
+    Ok(unsafe { TcpStream::from_raw_fd(fd) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn connects_to_loopback_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = connect_nonblocking(addr).unwrap();
+        let (_peer, _) = listener.accept().unwrap();
+        // The handshake completes even though the socket never blocked.
+        for _ in 0..100 {
+            if stream.peer_addr().is_ok() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(stream.peer_addr().unwrap(), addr);
+    }
+}
