@@ -11,13 +11,25 @@
 //! `BENCH_serve.json` so later PRs can track the serving-path
 //! trajectory.
 //!
+//! A second phase sweeps a **row-count scaling matrix**: synthetic
+//! scaling twins (16 columns, sizes from `--scale-sizes`, default
+//! 10k/100k/1M) each get a clustered `event_time` column so the
+//! chunked data plane has something to zone-map against, and the
+//! bench records per-size cold / warm / zone-query latency plus the
+//! chunk counters (`chunks_skipped`/`filled`/`scanned`) into
+//! `BENCH_serve.json`.
+//!
 //! ```text
 //! cargo run --release -p ziggy-bench --bin bench_serve \
-//!     [-- --clients 8 --requests 64 --assert-report-hits]
+//!     [-- --clients 8 --requests 64 --scale-sizes 10000,100000,1000000 \
+//!          --assert-report-hits --assert-zone-skips]
 //! ```
 //!
 //! `--assert-report-hits` exits nonzero unless the warm phase recorded
 //! report-cache hits (the CI smoke job pins the fast path with it).
+//! `--assert-zone-skips` exits nonzero unless every multi-chunk
+//! scaling entry both skipped and filled chunks via its zone maps —
+//! the CI floor proving summary-based skipping stays engaged.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -26,6 +38,7 @@ use serde_json::{Number, Value};
 use ziggy_obs::{Histogram, TraceEntry};
 use ziggy_serve::http::Client;
 use ziggy_serve::{serve, ServeOptions};
+use ziggy_store::{Table, TableBuilder, CHUNK_ROWS};
 
 fn arg(name: &str, default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();
@@ -34,6 +47,15 @@ fn arg(name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn arg_list(name: &str, default: &[usize]) -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_else(|| default.to_vec())
 }
 
 fn flag(name: &str) -> bool {
@@ -71,6 +93,38 @@ fn trace_breakdown(entry: &TraceEntry) -> Value {
             ),
         ),
     ])
+}
+
+/// The scaling twin plus a clustered `event_time` column (the row
+/// index): real tables almost always carry an ingest-ordered timestamp,
+/// and it is exactly the shape zone maps exploit.
+fn with_event_time(twin: &Table) -> Table {
+    let n = twin.n_rows();
+    let mut b = TableBuilder::new();
+    b.add_numeric("event_time", (0..n).map(|i| i as f64).collect());
+    for c in 0..twin.n_cols() {
+        b.add_numeric(
+            twin.name(c),
+            twin.numeric(c).expect("scaling twins are numeric").to_vec(),
+        );
+    }
+    b.build().expect("rebuilt scaling table")
+}
+
+fn query_json(predicate: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![(
+        "query".to_string(),
+        Value::String(predicate.to_string()),
+    )]))
+    .unwrap()
+}
+
+/// One characterize request, returning its wall latency in ms.
+fn timed_characterize(client: &mut Client, path: &str, body: &str) -> f64 {
+    let t = Instant::now();
+    let (status, resp) = client.request("POST", path, Some(body)).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    t.elapsed().as_secs_f64() * 1e3
 }
 
 fn main() {
@@ -187,6 +241,65 @@ fn main() {
     let reval_elapsed = t_reval.elapsed().as_secs_f64();
     let reval_rps = total_requests as f64 / reval_elapsed;
 
+    // Row-count scaling matrix: per-size cold characterize (whole-table
+    // statistics + chunked parallel prepare), warm repeat (report-cache
+    // hit), and a clustered zone query that must engage summary-based
+    // chunk skipping on every multi-chunk table.
+    let scale_sizes = arg_list("--scale-sizes", &[10_000, 100_000, 1_000_000]);
+    let mut scaling_entries = Vec::new();
+    let mut zone_floor_ok = true;
+    for &rows in &scale_sizes {
+        let t_build = Instant::now();
+        let twin = ziggy_synth::scaling_dataset(rows, 16, 7);
+        let table = with_event_time(&twin.table);
+        let build_ms = t_build.elapsed().as_secs_f64() * 1e3;
+        let name = format!("scale_{rows}");
+        let entry = server
+            .state()
+            .registry
+            .insert_table(&name, table, server.state().config.clone())
+            .unwrap();
+        let path = format!("/tables/{name}/characterize");
+        let mut client = Client::connect(addr).unwrap();
+        let driver_body = query_json(&twin.predicate);
+        let cold_ms = timed_characterize(&mut client, &path, &driver_body);
+        let warm_ms = timed_characterize(&mut client, &path, &driver_body);
+        // Clustered predicate, chunk-aligned so the geometry is exact:
+        // on a multi-chunk table the first chunk fills (all its
+        // event_time values are below the cut) and every later chunk
+        // skips (all at or above it).
+        let cut = (rows * 7 / 10).min(CHUNK_ROWS);
+        let zone_body = query_json(&format!("event_time < {cut}"));
+        let zone_ms = timed_characterize(&mut client, &path, &zone_body);
+        let (skipped, filled, scanned) = entry.cache().zone_maps().counters();
+        if rows > CHUNK_ROWS && (skipped == 0 || filled == 0) {
+            zone_floor_ok = false;
+        }
+        eprintln!(
+            "scale {rows}: build {build_ms:.0} ms, cold {cold_ms:.1} ms, warm {warm_ms:.2} ms, \
+             zone query {zone_ms:.1} ms (chunks skipped {skipped} / filled {filled} / scanned {scanned})"
+        );
+        scaling_entries.push(Value::Object(vec![
+            ("rows".into(), num_u(rows as u64)),
+            ("cols".into(), num_u(17)),
+            ("build_ms".into(), num_f(build_ms)),
+            ("cold_characterize_ms".into(), num_f(cold_ms)),
+            ("warm_characterize_ms".into(), num_f(warm_ms)),
+            ("zone_query_ms".into(), num_f(zone_ms)),
+            (
+                "zone_maps".into(),
+                Value::Object(vec![
+                    ("chunks_skipped".into(), num_u(skipped)),
+                    ("chunks_filled".into(), num_u(filled)),
+                    ("chunks_scanned".into(), num_u(scanned)),
+                ]),
+            ),
+        ]));
+        // Drop the table again so the matrix doesn't inflate resident
+        // memory across sizes.
+        server.state().registry.remove(&name).unwrap();
+    }
+
     let entry = server.state().registry.get("crime").unwrap();
     let counters = entry.cache().counters();
     let prepared = entry.engine().prepared_cache().counters();
@@ -248,6 +361,7 @@ fn main() {
                 ("slowest_warm".into(), slowest_warm_trace),
             ]),
         ),
+        ("scaling".into(), Value::Array(scaling_entries)),
     ]);
     let rendered = serde_json::to_string_pretty(&result).unwrap();
     println!("{rendered}");
@@ -260,6 +374,13 @@ fn main() {
     );
     if flag("--assert-report-hits") && reports.hits == 0 {
         eprintln!("FAIL: warm repeated-query phase recorded zero report-cache hits");
+        std::process::exit(1);
+    }
+    if flag("--assert-zone-skips") && !zone_floor_ok {
+        eprintln!(
+            "FAIL: a multi-chunk scaling table answered its clustered zone query \
+             without both skipping and filling chunks"
+        );
         std::process::exit(1);
     }
     server.shutdown();

@@ -11,15 +11,18 @@
 //! 2. [`PreparedStats`] are memoized per selection mask (the
 //!    [`PreparedCache`]), so a repeated predicate skips the masked scans;
 //! 3. the finished [`CharacterizationReport`] *and its serialized JSON
-//!    bytes* are memoized per `(mask, configuration, query label)`
-//!    (the report cache), so a repeated query skips view search,
-//!    post-processing, and serde entirely — the serving layer answers it
-//!    with memoized bytes and an `ETag`.
+//!    bytes* are memoized per `(mask, configuration)` (the report
+//!    cache), so a repeated query — under *any* spelling of the same
+//!    selection — skips view search, post-processing, and serde
+//!    entirely; the serving layer answers it with memoized bytes and an
+//!    `ETag`, splicing the client's query label in at render time.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use ziggy_store::{eval, parse_predicate, Bitmask, KeyedCache, PreparedCache, StatsCache, Table};
+use ziggy_store::{
+    eval, parse_predicate, run_indexed, Bitmask, KeyedCache, PreparedCache, StatsCache, Table,
+};
 
 use crate::candidates::generate_candidates;
 use crate::config::ZiggyConfig;
@@ -32,15 +35,18 @@ use crate::robust::view_robustness;
 use crate::search::search;
 
 /// Key of one report-cache entry: the selection mask (hashed by
-/// fingerprint, confirmed by full word equality), the configuration's
+/// fingerprint, confirmed by full word equality) and the configuration's
 /// canonical JSON ([`ZiggyConfig::canonical_json`] — forked engines
 /// share one cache, so artifacts built under an override must key apart
 /// from the default configuration's; the full string, compared by
 /// equality, because clients choose override configurations and a mere
-/// hash could be made to collide), and the query label (the label is
-/// embedded in the report, so two spellings of the same selection may
-/// share [`PreparedStats`] but never report bytes).
-pub type ReportKey = (Bitmask, Arc<str>, String);
+/// hash could be made to collide). The query label is deliberately *not*
+/// part of the key: two spellings of the same selection (`"x > 5"`,
+/// `"x>5.0"`, `"NOT x <= 5"`) are the same characterization, so they
+/// share one cached build. The label is spliced into the serialized
+/// bytes at render time ([`CachedReport::bytes_with_query`]) instead of
+/// being baked into the cached artifact.
+pub type ReportKey = (Bitmask, Arc<str>);
 
 /// The report cache: finished reports plus their serialized bytes,
 /// shared by all configuration forks of one engine.
@@ -48,24 +54,29 @@ pub type ReportCache = KeyedCache<ReportKey, Arc<CachedReport>>;
 
 /// A finished characterization in both forms the system serves: the
 /// structured report and its canonical JSON bytes. The bytes are
-/// `serde_json::to_string` of the report *with stage timings zeroed*:
-/// timings are wall-clock measurements of one build, so leaving them in
-/// the wire form would make two replicas that computed the identical
-/// report disagree byte-for-byte (and therefore tag-for-tag). They ride
-/// along as a side channel instead — [`CachedReport::report`] keeps the
-/// real values for struct-level consumers (sessions, `/metrics`, the
-/// REPL) — excluded from the fingerprint, so the `ETag` is a pure
-/// function of (table, configuration, query) and replicas revalidate
-/// each other's tags with `304`s.
+/// `serde_json::to_string` of the report *with stage timings and the
+/// query label zeroed*: timings are wall-clock measurements of one
+/// build, and the label is presentation — both would make two artifacts
+/// that computed the identical characterization disagree byte-for-byte
+/// (and therefore tag-for-tag) across replicas or across spellings of
+/// the same predicate. They ride along as side channels instead —
+/// [`CachedReport::report`] keeps the real timings for struct-level
+/// consumers, and the requested label is attached at render time by
+/// [`CachedReport::bytes_with_query`] / [`CachedReport::report_with_query`]
+/// — excluded from the fingerprint, so the `ETag` is a pure function of
+/// (table, configuration, mask) and replicas revalidate each other's
+/// tags with `304`s no matter how the client spelled the predicate.
 #[derive(Debug, Clone)]
 pub struct CachedReport {
     /// The structured report, timings included (this build's wall-clock
-    /// cost — the one field the serialized `bytes` zero out).
+    /// cost) and query label empty (attach one with
+    /// [`CachedReport::report_with_query`]).
     pub report: CharacterizationReport,
-    /// Its serialized JSON (timings zeroed) — what `ziggy-serve` writes
-    /// on the wire. Behind an `Arc` so the serving layer's warm path
-    /// hands the same allocation to every response instead of copying it
-    /// per request.
+    /// Its serialized JSON (timings zeroed, query label empty) — the
+    /// canonical label-free wire form. Behind an `Arc` so the serving
+    /// layer's warm path shares one allocation; responses carrying a
+    /// label are spliced per request by
+    /// [`CachedReport::bytes_with_query`].
     pub bytes: Arc<str>,
     /// FNV-1a fingerprint of `bytes` — the `ETag` source. Deterministic
     /// across processes and fleet replicas: any engine that computes the
@@ -73,15 +84,26 @@ pub struct CachedReport {
     pub fingerprint: u64,
 }
 
+/// Byte offset in [`CachedReport::bytes`] where the query label is
+/// spliced in: the length of `{"query":"` — `query` is the first field
+/// of [`CharacterizationReport`]'s serialized form.
+const QUERY_SPLICE_AT: usize = 10;
+
 impl CachedReport {
     fn build(mut report: CharacterizationReport) -> Self {
-        // Zero the timings only for serialization; the struct keeps the
-        // real ones. `StageTimings` is `Copy`, so this is a swap, not a
-        // whole-report clone.
+        // Zero the timings and the label only for serialization; the
+        // timings stay on the struct (real values), the label is
+        // dropped entirely (one cached build serves every spelling of
+        // the selection, so no single label is canonical).
         let timings = std::mem::take(&mut report.timings);
+        report.query.clear();
         let bytes: Arc<str> =
             Arc::from(serde_json::to_string(&report).expect("reports always render"));
         report.timings = timings;
+        debug_assert!(
+            bytes.starts_with(r#"{"query":"""#),
+            "query must serialize first for the render-time splice"
+        );
         let fingerprint = ziggy_store::fnv1a_64(bytes.as_bytes());
         Self {
             report,
@@ -90,8 +112,38 @@ impl CachedReport {
         }
     }
 
+    /// The serialized report with `query_label` spliced into the
+    /// (empty) `query` field — what a response body carries. The label
+    /// is JSON-escaped; everything after it is the shared label-free
+    /// allocation's tail, so this is one copy, no re-serialization.
+    pub fn bytes_with_query(&self, query_label: &str) -> Arc<str> {
+        if query_label.is_empty() {
+            return Arc::clone(&self.bytes);
+        }
+        let escaped = serde_json::to_string(query_label).expect("strings serialize");
+        let escaped = &escaped[1..escaped.len() - 1];
+        let mut out = String::with_capacity(self.bytes.len() + escaped.len());
+        out.push_str(&self.bytes[..QUERY_SPLICE_AT]);
+        out.push_str(escaped);
+        out.push_str(&self.bytes[QUERY_SPLICE_AT..]);
+        Arc::from(out)
+    }
+
+    /// A clone of the structured report with `query_label` attached —
+    /// the struct-level counterpart of [`CachedReport::bytes_with_query`]
+    /// (sessions, the REPL, and `characterize_mask` use this so the
+    /// caller sees their own spelling, whichever spelling built the
+    /// cached artifact).
+    pub fn report_with_query(&self, query_label: &str) -> CharacterizationReport {
+        let mut report = self.report.clone();
+        report.query = query_label.to_string();
+        report
+    }
+
     /// The strong HTTP entity tag for this report (quoted hex
     /// fingerprint), used for `ETag` / `If-None-Match` revalidation.
+    /// A pure function of (table, configuration, mask): every spelling
+    /// of the same selection revalidates against the same tag.
     pub fn etag(&self) -> String {
         format!("\"{:016x}\"", self.fingerprint)
     }
@@ -145,7 +197,7 @@ pub struct CharacterizeOutcome {
 /// (dependency graph + candidate views, query-independent), the
 /// per-query [`PreparedCache`] of finished [`PreparedStats`] keyed by
 /// the selection mask, and the report cache of finished
-/// [`CachedReport`]s keyed by `(mask, config, label)` so *repeated*
+/// [`CachedReport`]s keyed by `(mask, config)` so *repeated*
 /// queries skip the entire pipeline.
 ///
 /// The engine owns its table through an `Arc` and all interior state is
@@ -170,7 +222,7 @@ pub struct Ziggy {
     /// Per-query `PreparedStats`, memoized against the selection mask.
     prepared: PreparedCache<Arc<PreparedStats>>,
     /// Finished reports + serialized bytes, shared across configuration
-    /// forks (the `Arc`), keyed by `(mask, canonical config, label)`.
+    /// forks (the `Arc`), keyed by `(mask, canonical config)`.
     reports: Arc<ReportCache>,
 }
 
@@ -188,9 +240,21 @@ impl Ziggy {
 
     /// Creates an engine sharing ownership of `table` (no copy).
     pub fn shared(table: Arc<Table>, config: ZiggyConfig) -> Self {
+        Self::from_stats(Arc::new(StatsCache::shared(table)), config)
+    }
+
+    /// Creates an engine over a pre-built [`StatsCache`] (and the table
+    /// it serves). This is the incremental-append path: the new table's
+    /// cache is derived from the old one with `StatsCache::for_appended`
+    /// — full chunks keep their frozen partials, only the grown tail is
+    /// rescanned — and the engine is rebuilt around it, so everything a
+    /// longer table invalidates (masks, prepared stats, reports, the
+    /// search plan) starts cold while the whole-table statistics stay
+    /// warm.
+    pub fn from_stats(cache: Arc<StatsCache>, config: ZiggyConfig) -> Self {
         Self {
-            cache: Arc::new(StatsCache::shared(Arc::clone(&table))),
-            table,
+            table: cache.table_arc(),
+            cache,
             // Capacity 0 disables a cache at lookup time; the clamp to 1
             // inside `KeyedCache::new` only keeps the structs well-formed.
             prepared: PreparedCache::new(config.prepared_cache_capacity),
@@ -353,7 +417,7 @@ impl Ziggy {
     /// [`Ziggy::characterize_mask`]).
     pub fn characterize(&self, query: &str) -> Result<CharacterizationReport> {
         let expr = parse_predicate(query)?;
-        let mask = eval::evaluate(&expr, &self.table)?;
+        let mask = eval::evaluate_with(&expr, &self.table, Some(self.cache.zone_maps().as_ref()))?;
         self.characterize_mask(&mask, query)
     }
 
@@ -364,7 +428,7 @@ impl Ziggy {
     /// predicate evaluation, and a cache probe.
     pub fn characterize_cached(&self, query: &str) -> Result<CharacterizeOutcome> {
         let expr = parse_predicate(query)?;
-        let mask = eval::evaluate(&expr, &self.table)?;
+        let mask = eval::evaluate_with(&expr, &self.table, Some(self.cache.zone_maps().as_ref()))?;
         self.characterize_mask_cached(&mask, query)
     }
 
@@ -413,12 +477,11 @@ impl Ziggy {
         Ok(self
             .characterize_mask_cached(mask, query_label)?
             .cached
-            .report
-            .clone())
+            .report_with_query(query_label))
     }
 
     /// Cache-aware characterization of an arbitrary selection mask: the
-    /// report cache is probed with `(mask, canonical config, label)`,
+    /// report cache is probed with `(mask, canonical config)`,
     /// and only a miss runs the staged pipeline (concurrent identical
     /// requests collapse to exactly one run — the losers block on the
     /// winner's slot and share its artifact). Failed runs are never
@@ -442,11 +505,7 @@ impl Ziggy {
                 },
             });
         }
-        let key: ReportKey = (
-            mask.clone(),
-            Arc::clone(&self.config_key),
-            query_label.to_string(),
-        );
+        let key: ReportKey = (mask.clone(), Arc::clone(&self.config_key));
         let mut fresh = false;
         let mut prepared_hit = false;
         let cached = self.reports.get_or_build(&key, || {
@@ -512,13 +571,20 @@ impl Ziggy {
         let view_search_us = t1.elapsed().as_micros() as u64;
 
         // --- Stage 3: post-processing. ----------------------------------
+        // Each selected view is scored independently (robustness,
+        // explanation, tightness), so candidates fan out on the worker
+        // pool; results come back in selection order, keeping the
+        // report's view ranking — and its bytes — identical to the
+        // serial path.
         let t2 = Instant::now();
-        let mut views = Vec::with_capacity(selected.len());
-        for sv in selected {
+        let score_parallel =
+            self.config.parallel && selected.len() >= 2 && self.table.n_rows() >= 4096;
+        let scored: Vec<Option<ViewReport>> = run_indexed(selected.len(), score_parallel, |i| {
+            let sv = &selected[i];
             let comp_refs = prepared.components_for_view(&sv.columns);
             let robustness_p = view_robustness(&comp_refs, self.config.aggregation);
             if self.config.filter_insignificant && robustness_p >= self.config.alpha {
-                continue;
+                return None;
             }
             let explanation = explain::generate(
                 &self.table,
@@ -538,9 +604,9 @@ impl Ziggy {
                 .iter()
                 .map(|&c| self.table.name(c).to_string())
                 .collect();
-            views.push(ViewReport {
+            Some(ViewReport {
                 view: View {
-                    columns: sv.columns,
+                    columns: sv.columns.clone(),
                     names,
                 },
                 score: sv.score,
@@ -548,8 +614,9 @@ impl Ziggy {
                 tightness,
                 components: comp_refs.into_iter().copied().collect(),
                 explanation,
-            });
-        }
+            })
+        });
+        let views: Vec<ViewReport> = scored.into_iter().flatten().collect();
         let post_processing_us = t2.elapsed().as_micros() as u64;
 
         Ok((
@@ -896,26 +963,83 @@ mod tests {
         assert_eq!((c.hits, c.misses), (1, 1), "{c:?}");
 
         // The bytes are the canonical serialization of the report with
-        // timings zeroed (the wire form is timing-free so it is
-        // deterministic across replicas); the struct keeps the real
-        // build cost as a side channel.
+        // timings zeroed and the label empty (the wire form is
+        // timing-free and label-free so it is deterministic across
+        // replicas and spellings); the struct keeps the real build cost
+        // as a side channel.
         let mut wire = first.cached.report.clone();
         wire.timings = StageTimings::default();
+        wire.query.clear();
         assert_eq!(&*first.cached.bytes, serde_json::to_string(&wire).unwrap());
 
-        // A different spelling of the same selection shares the
-        // PreparedStats (same mask) but not the report (the label is in
-        // the key, because it is embedded in the report body).
+        // A different spelling of the same selection is the same
+        // characterization: it answers from the report cache (no
+        // pipeline, no new entry), and only the render-time label
+        // differs.
         let respelled = z.characterize_cached("NOT crime < 50").unwrap();
-        assert!(respelled.fresh);
-        assert_eq!(respelled.cached.report.query, "NOT crime < 50");
-        assert_eq!(z.prepared_cache().counters().hits, 1);
-        assert_eq!(z.report_cache().len(), 2);
+        assert!(!respelled.fresh, "respelled predicate must hit level 3");
+        assert!(Arc::ptr_eq(&respelled.cached, &first.cached));
+        assert_eq!(respelled.cached.etag(), first.cached.etag());
+        assert_eq!(z.report_cache().len(), 1);
+        assert_eq!(
+            respelled.cached.report_with_query("NOT crime < 50").query,
+            "NOT crime < 50"
+        );
 
         // A different selection is its own entry with different bytes.
         let other = z.characterize_cached("rain >= 50").unwrap();
         assert!(other.fresh);
         assert_ne!(other.cached.fingerprint, first.cached.fingerprint);
+    }
+
+    #[test]
+    fn respelled_predicates_share_one_cached_build() {
+        // The regression this pins: the level-3 cache used to key on the
+        // query *text*, so "x > 5" and "x>5.0" — the same selection —
+        // each paid a full pipeline run. The key is now (mask, config)
+        // only; the label is spliced into the bytes at render time.
+        let t = crime_like();
+        let z = Ziggy::new(&t, ZiggyConfig::default());
+        let a = z.characterize_cached("crime > 50").unwrap();
+        assert!(a.fresh);
+        let b = z.characterize_cached("crime>50.0").unwrap();
+        assert!(!b.fresh, "respelling must not rebuild");
+        assert_eq!(b.reuse, ReuseLevel::Report);
+        assert!(Arc::ptr_eq(&a.cached, &b.cached));
+        assert_eq!(z.report_cache().len(), 1);
+        let c = z.report_cache().counters();
+        assert_eq!((c.hits, c.misses), (1, 1), "{c:?}");
+
+        // One shared ETag — a client that revalidates the respelled
+        // request against the first response's tag gets a 304.
+        assert_eq!(a.cached.etag(), b.cached.etag());
+
+        // Render-time labels: the spliced bodies differ only in the
+        // query field and parse back to the requested spelling.
+        let body_a = a.cached.bytes_with_query("crime > 50");
+        let body_b = b.cached.bytes_with_query("crime>50.0");
+        assert_ne!(body_a, body_b);
+        let ra: CharacterizationReport = serde_json::from_str(&body_a).unwrap();
+        let rb: CharacterizationReport = serde_json::from_str(&body_b).unwrap();
+        assert_eq!(ra.query, "crime > 50");
+        assert_eq!(rb.query, "crime>50.0");
+        let mut ra = ra;
+        ra.query = rb.query.clone();
+        assert_eq!(
+            serde_json::to_string(&ra).unwrap(),
+            serde_json::to_string(&rb).unwrap(),
+            "bodies differ only in the query label"
+        );
+
+        // Labels needing JSON escapes splice correctly.
+        let hostile = "crime > 50 AND coast IN ('\"quoted\\')";
+        let spliced = a.cached.bytes_with_query(hostile);
+        let v: CharacterizationReport = serde_json::from_str(&spliced).unwrap();
+        assert_eq!(v.query, hostile);
+
+        // The struct path carries the caller's spelling too.
+        let via_mask = z.characterize("crime>50.0").unwrap();
+        assert_eq!(via_mask.query, "crime>50.0");
     }
 
     #[test]

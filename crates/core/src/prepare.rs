@@ -18,14 +18,21 @@
 //! * **word-wise masked kernels** (`UniMoments::from_mask_words` and
 //!   friends): the selection-side scans that do run process 64 rows per
 //!   packed mask word with per-word accumulation, instead of paying a
-//!   branch and an indirection per selected row. Pairwise components
-//!   additionally fan out over worker threads via `std::thread::scope`
-//!   when [`ZiggyConfig::parallel`] is set.
+//!   branch and an indirection per selected row. Scans are split along
+//!   the store's 64 Ki-row chunk boundaries and merged in ascending
+//!   chunk order, so large tables fan out across the worker pool
+//!   (columns in parallel, or chunks within a column — never both at
+//!   once) while staying bit-identical to the serial single-pass path.
+//!   Pairwise components additionally fan out over worker threads via
+//!   `std::thread::scope` when [`ZiggyConfig::parallel`] is set.
 
 use std::collections::HashMap;
 
 use ziggy_stats::{PairMoments, UniMoments};
-use ziggy_store::{Bitmask, ColumnType, StatsCache};
+use ziggy_store::{
+    chunk_bounds, chunk_count, run_indexed, Bitmask, ColumnType, StatsCache, CHUNK_ROWS,
+    WORDS_PER_CHUNK,
+};
 
 use crate::component::{normalize_components, ComponentKind, ZigComponent};
 use crate::config::ZiggyConfig;
@@ -95,20 +102,28 @@ pub fn prepare(
 
     let mut components: Vec<ZigComponent> = Vec::new();
 
-    // --- Univariate components, one word-wise pass per usable column. --
-    let mut numeric_cols: Vec<usize> = Vec::new();
-    let mut inside_uni: HashMap<usize, UniMoments> = HashMap::new();
-    for &col in usable {
+    // --- Univariate components, one chunked word-wise pass per usable
+    // column. Columns fan out on the worker pool; within a column the
+    // masked scan itself splits per chunk (only when the column loop is
+    // serial, so the two axes never multiply into oversubscription).
+    // Results are placed back in `usable` order, so component order —
+    // and therefore normalization and report bytes — is identical to
+    // the serial path.
+    let col_parallel = config.parallel && usable.len() >= 2 && table.n_rows() >= 4096;
+    let chunk_parallel = config.parallel && !col_parallel && table.n_rows() > CHUNK_ROWS;
+    let per_column: Vec<Result<Vec<ZigComponent>>> = run_indexed(usable.len(), col_parallel, |i| {
+        let col = usable[i];
+        let mut out: Vec<ZigComponent> = Vec::new();
         match table.schema().column(col).map(|c| c.ctype) {
             Some(ColumnType::Numeric) => {
                 let data = table.numeric(col)?;
-                let inside = UniMoments::from_mask_words(data, mask.words());
+                let inside = masked_uni_chunked(data, mask, chunk_parallel);
                 let outside = cache.uni_complement(col, &inside)?;
                 if let Ok(c) = ZigComponent::mean_shift(col, &inside, &outside) {
-                    components.push(c);
+                    out.push(c);
                 }
                 if let Ok(c) = ZigComponent::dispersion_shift(col, &inside, &outside) {
-                    components.push(c);
+                    out.push(c);
                 }
                 if config.extended_components {
                     // Raw-sample component: needs the actual values, not
@@ -126,22 +141,34 @@ pub fn prepare(
                         .map(|(_, &v)| v)
                         .collect();
                     if let Ok(c) = ZigComponent::shape_shift(col, &inside_vals, &outside_vals) {
-                        components.push(c);
+                        out.push(c);
                     }
                 }
-                numeric_cols.push(col);
-                inside_uni.insert(col, inside);
             }
             Some(ColumnType::Categorical) => {
                 let inside = ziggy_store::masked_freq(table, col, mask)?;
                 let outside = cache.freq_complement(col, &inside)?;
                 if let Ok(c) = ZigComponent::frequency_shift(col, &inside, &outside) {
-                    components.push(c);
+                    out.push(c);
                 }
             }
             None => {}
         }
+        Ok(out)
+    });
+    for per_col in per_column {
+        components.extend(per_col?);
     }
+    let numeric_cols: Vec<usize> = usable
+        .iter()
+        .copied()
+        .filter(|&col| {
+            matches!(
+                table.schema().column(col).map(|c| c.ctype),
+                Some(ColumnType::Numeric)
+            )
+        })
+        .collect();
 
     // --- Pairwise (correlation) components. ----------------------------
     if config.pairwise_components && numeric_cols.len() >= 2 {
@@ -152,9 +179,12 @@ pub fn prepare(
             }
         }
         let pair_components = if config.parallel && pairs.len() >= 64 {
+            // Many pairs: fan out across pairs, scan each pair serially.
             compute_pairs_parallel(cache, mask, &pairs)
         } else {
-            compute_pairs_serial(cache, mask, &pairs)
+            // Few pairs: scan each pair's chunks in parallel instead.
+            let chunk_parallel = config.parallel && table.n_rows() > CHUNK_ROWS;
+            compute_pairs_serial(cache, mask, &pairs, chunk_parallel)
         };
         components.extend(pair_components);
     }
@@ -173,11 +203,64 @@ pub fn prepare(
     })
 }
 
-fn compute_pair(cache: &StatsCache, mask: &Bitmask, a: usize, b: usize) -> Option<ZigComponent> {
+/// Masked univariate moments computed chunk-at-a-time and merged in
+/// ascending chunk order. Merging one chunk's partial into an empty
+/// accumulator reproduces it bit-for-bit, and the merge order is fixed,
+/// so this is byte-identical to the single-pass kernel on single-chunk
+/// tables and identical between serial and parallel execution.
+pub(crate) fn masked_uni_chunked(data: &[f64], mask: &Bitmask, parallel: bool) -> UniMoments {
+    let n_chunks = chunk_count(data.len());
+    if n_chunks <= 1 {
+        return UniMoments::from_mask_words(data, mask.words());
+    }
+    let words = mask.words();
+    let partials = run_indexed(n_chunks, parallel, |ci| {
+        let (start, end) = chunk_bounds(ci, data.len());
+        let w0 = ci * WORDS_PER_CHUNK;
+        let w1 = w0 + (end - start).div_ceil(64);
+        UniMoments::from_mask_words(&data[start..end], &words[w0..w1])
+    });
+    let mut whole = UniMoments::new();
+    for p in &partials {
+        whole.merge(p);
+    }
+    whole
+}
+
+/// Chunked counterpart of `PairMoments::from_mask_words`; same merge
+/// discipline as [`masked_uni_chunked`].
+fn masked_pair_chunked(xs: &[f64], ys: &[f64], mask: &Bitmask, parallel: bool) -> PairMoments {
+    let n_chunks = chunk_count(xs.len());
+    if n_chunks <= 1 {
+        return PairMoments::from_mask_words(xs, ys, mask.words())
+            .expect("equal-length slices by construction");
+    }
+    let words = mask.words();
+    let partials = run_indexed(n_chunks, parallel, |ci| {
+        let (start, end) = chunk_bounds(ci, xs.len());
+        let w0 = ci * WORDS_PER_CHUNK;
+        let w1 = w0 + (end - start).div_ceil(64);
+        PairMoments::from_mask_words(&xs[start..end], &ys[start..end], &words[w0..w1])
+            .expect("equal-length slices by construction")
+    });
+    let mut whole = PairMoments::new();
+    for p in &partials {
+        whole.merge(p);
+    }
+    whole
+}
+
+fn compute_pair(
+    cache: &StatsCache,
+    mask: &Bitmask,
+    a: usize,
+    b: usize,
+    chunk_parallel: bool,
+) -> Option<ZigComponent> {
     let table = cache.table();
     let xs = table.numeric(a).ok()?;
     let ys = table.numeric(b).ok()?;
-    let inside = PairMoments::from_mask_words(xs, ys, mask.words()).ok()?;
+    let inside = masked_pair_chunked(xs, ys, mask, chunk_parallel);
     let outside = cache.pair_complement(a, b, &inside).ok()?;
     ZigComponent::correlation_shift(a, b, &inside, &outside).ok()
 }
@@ -186,10 +269,11 @@ fn compute_pairs_serial(
     cache: &StatsCache,
     mask: &Bitmask,
     pairs: &[(usize, usize)],
+    chunk_parallel: bool,
 ) -> Vec<ZigComponent> {
     pairs
         .iter()
-        .filter_map(|&(a, b)| compute_pair(cache, mask, a, b))
+        .filter_map(|&(a, b)| compute_pair(cache, mask, a, b, chunk_parallel))
         .collect()
 }
 
@@ -211,7 +295,7 @@ fn compute_pairs_parallel(
                 s.spawn(move || {
                     slice
                         .iter()
-                        .filter_map(|&(a, b)| compute_pair(cache, mask, a, b))
+                        .filter_map(|&(a, b)| compute_pair(cache, mask, a, b, false))
                         .collect::<Vec<_>>()
                 })
             })
@@ -412,6 +496,100 @@ mod tests {
         // 2 mean + 2 dispersion + 1 correlation = 5 components at most.
         assert!(comps.len() <= 5 && comps.len() >= 3);
         assert!(comps.iter().all(|c| c.within(&view)));
+    }
+
+    #[test]
+    fn chunked_masked_kernels_match_single_pass() {
+        // Multi-chunk column with NULLs: the chunked merge must agree
+        // with the single-pass kernel, and serial/parallel chunk
+        // schedules must agree bit-for-bit with each other.
+        let n = 2 * ziggy_store::CHUNK_ROWS + 777;
+        let data: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % 89 == 0 {
+                    f64::NAN
+                } else {
+                    ((i * 31) % 1009) as f64 * 0.25 - 100.0
+                }
+            })
+            .collect();
+        let ys: Vec<f64> = (0..n).map(|i| ((i * 13) % 503) as f64).collect();
+        let mask = Bitmask::from_fn(n, |i| (i * 7) % 3 == 0);
+        let single = UniMoments::from_mask_words(&data, mask.words());
+        let serial = masked_uni_chunked(&data, &mask, false);
+        let parallel = masked_uni_chunked(&data, &mask, true);
+        assert_eq!(serial.count(), parallel.count());
+        assert_eq!(serial.mean(), parallel.mean());
+        assert_eq!(serial.variance().unwrap(), parallel.variance().unwrap());
+        assert_eq!(single.count(), serial.count());
+        assert!((single.mean() - serial.mean()).abs() < 1e-9);
+        assert!((single.variance().unwrap() - serial.variance().unwrap()).abs() < 1e-6);
+
+        let pair_single = PairMoments::from_mask_words(&data, &ys, mask.words()).unwrap();
+        let pair_serial = masked_pair_chunked(&data, &ys, &mask, false);
+        let pair_parallel = masked_pair_chunked(&data, &ys, &mask, true);
+        assert_eq!(
+            pair_serial.correlation().unwrap(),
+            pair_parallel.correlation().unwrap()
+        );
+        assert!(
+            (pair_single.correlation().unwrap() - pair_serial.correlation().unwrap()).abs() < 1e-9
+        );
+
+        // Single-chunk tables take the exact single-pass code path.
+        let small = &data[..1994];
+        let small_mask = Bitmask::from_fn(1994, |i| i % 2 == 0);
+        let a = UniMoments::from_mask_words(small, small_mask.words());
+        let b = masked_uni_chunked(small, &small_mask, true);
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.variance().unwrap(), b.variance().unwrap());
+    }
+
+    #[test]
+    fn column_parallel_prepare_matches_serial_exactly() {
+        // Table big enough to trip the column fan-out gate (>= 4096
+        // rows, >= 2 usable columns): component values must be
+        // bit-identical to the serial path.
+        let n = 5000usize;
+        let mut b = TableBuilder::new();
+        b.add_numeric("key", (0..n).map(|i| i as f64).collect());
+        b.add_numeric("a", (0..n).map(|i| ((i * 37) % 997) as f64 * 0.5).collect());
+        b.add_numeric(
+            "b",
+            (0..n).map(|i| ((i * 101) % 773) as f64 - 300.0).collect(),
+        );
+        b.add_categorical(
+            "cat",
+            (0..n).map(|i| Some(["x", "y", "z"][(i * 7) % 3])).collect(),
+        );
+        let t = b.build().unwrap();
+        let serial = prep(
+            &t,
+            "key >= 2500",
+            &ZiggyConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let parallel = prep(
+            &t,
+            "key >= 2500",
+            &ZiggyConfig {
+                parallel: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.components().len(), parallel.components().len());
+        for (s, p) in serial.components().iter().zip(parallel.components()) {
+            assert_eq!(s.kind, p.kind);
+            assert_eq!(s.column_a, p.column_a);
+            assert_eq!(s.column_b, p.column_b);
+            assert_eq!(
+                s.effect.value, p.effect.value,
+                "component order/value drift"
+            );
+            assert_eq!(s.normalized, p.normalized);
+        }
     }
 
     #[test]

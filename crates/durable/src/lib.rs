@@ -10,6 +10,9 @@
 //!   bytes*. The log copy replaces the registry's retained
 //!   `source_csv` (which doubled per-table memory); `GET
 //!   /tables/{name}/csv` is served straight from the log.
+//! * **append records** — the appended rows only (headerless CSV);
+//!   replay concatenates them onto the winning ingest's bytes with
+//!   [`combine_csv`] and reproduces the appended table byte-identically.
 //! * **delete tombstones** — HLC-timestamped, so a backend that was
 //!   outside the membership when a table was deleted rejoins and the
 //!   repair loop recognizes its copy as deleted instead of faithfully
@@ -34,9 +37,9 @@ mod record;
 mod state;
 
 pub use crate::log::{DurabilityMode, DurableLog, DurableMetrics, DurableOptions, ReplayOutcome};
-pub use crate::record::{frame, parse_frame, Record, FRAME_MAGIC};
+pub use crate::record::{combine_csv, frame, parse_frame, Record, FRAME_MAGIC};
 pub use crate::state::{
-    decode_snapshot, encode_snapshot, CsvLoc, Materializer, SessionState, SnapshotState,
+    decode_snapshot, encode_snapshot, CsvChain, CsvLoc, Materializer, SessionState, SnapshotState,
     TableState, MAX_SESSION_QUERIES,
 };
 

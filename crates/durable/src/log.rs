@@ -31,9 +31,9 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use ziggy_obs::span::{self, FlightRecorder};
 use ziggy_obs::Histogram;
 
-use crate::record::{frame, parse_frame, Record};
+use crate::record::{combine_csv, frame, parse_frame, Record};
 use crate::state::{
-    decode_snapshot, encode_snapshot, CsvLoc, Materializer, SnapshotState,
+    decode_snapshot, encode_snapshot, CsvChain, CsvLoc, Materializer, SnapshotState,
     SNAPSHOT_CHECKSUM_MISMATCH,
 };
 
@@ -187,7 +187,7 @@ struct Inner {
     flush_cv: Condvar,
     stop: AtomicBool,
     metrics: DurableMetrics,
-    csv_index: Mutex<HashMap<String, CsvLoc>>,
+    csv_index: Mutex<HashMap<String, CsvChain>>,
     snapshot_lsn: AtomicU64,
     since_snapshot: AtomicU64,
     snapshotting: AtomicBool,
@@ -510,11 +510,28 @@ impl DurableLog {
             Record::Ingest { table, .. } => {
                 inner.csv_index.lock().expect("csv index lock").insert(
                     table.clone(),
-                    CsvLoc::Segment {
+                    CsvChain::solo(CsvLoc::Segment {
                         file: seg_file,
                         offset,
-                    },
+                    }),
                 );
+            }
+            Record::Append { table, .. } => {
+                // Layer the append onto the table's chain. A missing
+                // chain means the table has no logged base (shouldn't
+                // happen — the registry refuses appends without CSV
+                // provenance) and the export index is left alone.
+                if let Some(chain) = inner
+                    .csv_index
+                    .lock()
+                    .expect("csv index lock")
+                    .get_mut(table)
+                {
+                    chain.appends.push(CsvLoc::Segment {
+                        file: seg_file,
+                        offset,
+                    });
+                }
             }
             Record::Tombstone { table, .. } => {
                 inner
@@ -535,42 +552,64 @@ impl DurableLog {
         Ok(lsn)
     }
 
-    /// Reads the current CSV bytes of `table` back out of the log
-    /// (active segment, sealed segment, or snapshot — wherever the
-    /// winning ingest record lives).
+    /// Reads one framed record back out of a segment file.
+    fn read_record(&self, file: &str, offset: u64) -> Option<Record> {
+        let path = self.inner.dir.join(file);
+        let f = File::open(path).ok()?;
+        let mut reader = BufReader::new(f);
+        reader.seek(SeekFrom::Start(offset)).ok()?;
+        let mut line = String::new();
+        reader.read_line(&mut line).ok()?;
+        let (_, payload) = parse_frame(line.strip_suffix('\n')?)?;
+        Record::decode(payload).ok()
+    }
+
+    /// Reads the current CSV bytes of `table` back out of the log by
+    /// walking its location chain: the winning ingest (segment or
+    /// snapshot) plus every append layered on top of it. The walk
+    /// re-runs the materializer's composition rule — records at or
+    /// below the base's timestamp are already folded into it (the
+    /// snapshot-race window) and skip — so export, replay, and the live
+    /// registry all produce the identical byte string.
     pub fn table_csv(&self, table: &str) -> Option<String> {
-        let loc = self
+        let chain = self
             .inner
             .csv_index
             .lock()
             .expect("csv index lock")
             .get(table)
             .cloned()?;
-        match loc {
-            CsvLoc::Segment { file, offset } => {
-                let path = self.inner.dir.join(&file);
-                let f = File::open(path).ok()?;
-                let mut reader = BufReader::new(f);
-                reader.seek(SeekFrom::Start(offset)).ok()?;
-                let mut line = String::new();
-                reader.read_line(&mut line).ok()?;
-                let (_, payload) = parse_frame(line.strip_suffix('\n')?)?;
-                match Record::decode(payload).ok()? {
-                    Record::Ingest { csv, .. } => Some(csv),
-                    _ => None,
-                }
-            }
+        let (mut csv, mut ts) = match chain.base {
+            CsvLoc::Segment { file, offset } => match self.read_record(&file, offset)? {
+                Record::Ingest { csv, ts, .. } => (csv, ts),
+                _ => return None,
+            },
             CsvLoc::Snapshot => {
                 let lsn = self.inner.snapshot_lsn.load(Ordering::Acquire);
                 let text = fs::read_to_string(self.inner.dir.join(snap_name(lsn))).ok()?;
                 let (_, state) = decode_snapshot(&text).ok()?;
-                state
-                    .tables
-                    .into_iter()
-                    .find(|t| t.name == table)
-                    .map(|t| t.csv)
+                let t = state.tables.into_iter().find(|t| t.name == table)?;
+                (t.csv, t.ts)
+            }
+        };
+        for loc in &chain.appends {
+            let CsvLoc::Segment { file, offset } = loc else {
+                continue;
+            };
+            if let Some(Record::Append {
+                table: rec_table,
+                ts: rec_ts,
+                rows,
+                ..
+            }) = self.read_record(file, *offset)
+            {
+                if rec_table == table && rec_ts > ts {
+                    csv = combine_csv(&csv, &rows);
+                    ts = rec_ts;
+                }
             }
         }
+        Some(csv)
     }
 
     /// Whether enough records have accumulated to warrant a snapshot.
@@ -661,17 +700,27 @@ impl DurableLog {
 
         {
             let mut index = inner.csv_index.lock().expect("csv index lock");
+            let in_deletable = |loc: &CsvLoc| matches!(loc, CsvLoc::Segment { file, .. } if deletable.contains(file));
             for t in &state.tables {
-                match index.get(&t.name) {
-                    Some(CsvLoc::Segment { file, .. }) if deletable.contains(file) => {
-                        index.insert(t.name.clone(), CsvLoc::Snapshot);
+                match index.get_mut(&t.name) {
+                    Some(chain) => {
+                        // Deletable segments form an LSN-ordered prefix,
+                        // so any append in a deletable segment implies
+                        // its base is deletable (or already Snapshot)
+                        // too. Appends folded into the snapshot but
+                        // living in surviving segments stay on the
+                        // chain; the read path's timestamp rule skips
+                        // them, so no row is ever applied twice.
+                        chain.appends.retain(|loc| !in_deletable(loc));
+                        if in_deletable(&chain.base) {
+                            chain.base = CsvLoc::Snapshot;
+                        }
                     }
                     None => {
                         // Shouldn't happen (live table with no index
                         // entry) but the snapshot can serve it anyway.
-                        index.insert(t.name.clone(), CsvLoc::Snapshot);
+                        index.insert(t.name.clone(), CsvChain::solo(CsvLoc::Snapshot));
                     }
-                    _ => {}
                 }
             }
         }

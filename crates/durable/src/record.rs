@@ -37,6 +37,23 @@ pub enum Record {
         /// The raw CSV text.
         csv: String,
     },
+    /// Rows were appended to a live table. Only the *appended* rows
+    /// ride in the record (headerless CSV, exactly as the client sent
+    /// them); replay reconstructs the full table by concatenating them
+    /// onto the winning ingest's CSV with [`combine_csv`], and the
+    /// fingerprint — taken over the *combined* bytes — pins the result:
+    /// replay must reproduce the appended table byte-identically.
+    Append {
+        /// Table name.
+        table: String,
+        /// FNV-1a of the combined CSV (base ++ rows) after this append.
+        fingerprint: u64,
+        /// HLC timestamp; appends are idempotent under re-application
+        /// by the same `ts > table.ts` rule ingests use.
+        ts: u64,
+        /// The appended rows: headerless CSV text.
+        rows: String,
+    },
     /// A table was deleted. Tombstones outlive the table so a stale
     /// rejoiner's copy is recognized as deleted, not resurrected.
     Tombstone {
@@ -114,6 +131,18 @@ impl Record {
                 ("ts", num(*ts)),
                 ("csv", Value::String(csv.clone())),
             ]),
+            Record::Append {
+                table,
+                fingerprint,
+                ts,
+                rows,
+            } => obj(vec![
+                ("op", Value::String("append".into())),
+                ("table", Value::String(table.clone())),
+                ("fingerprint", num(*fingerprint)),
+                ("ts", num(*ts)),
+                ("rows", Value::String(rows.clone())),
+            ]),
             Record::Tombstone { table, ts, stray } => obj(vec![
                 ("op", Value::String("tombstone".into())),
                 ("table", Value::String(table.clone())),
@@ -150,6 +179,12 @@ impl Record {
                 ts: u64_field(&value, "ts")?,
                 csv: str_field(&value, "csv")?,
             }),
+            "append" => Ok(Record::Append {
+                table: str_field(&value, "table")?,
+                fingerprint: u64_field(&value, "fingerprint")?,
+                ts: u64_field(&value, "ts")?,
+                rows: str_field(&value, "rows")?,
+            }),
             "tombstone" => Ok(Record::Tombstone {
                 table: str_field(&value, "table")?,
                 ts: u64_field(&value, "ts")?,
@@ -171,6 +206,22 @@ impl Record {
             other => Err(format!("unknown record op {other:?}")),
         }
     }
+}
+
+/// Concatenates appended rows onto a base CSV, inserting the newline a
+/// truncated base may be missing. This is THE append-composition rule:
+/// the registry uses it to fingerprint the live table, the materializer
+/// uses it at replay, and the log's export path uses it when stitching
+/// a table back together from its record chain — all three must build
+/// the identical byte string or replay stops being byte-faithful.
+pub fn combine_csv(base: &str, rows: &str) -> String {
+    let mut out = String::with_capacity(base.len() + rows.len() + 1);
+    out.push_str(base);
+    if !base.is_empty() && !base.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str(rows);
+    out
 }
 
 /// Frames a payload as one log line: magic, LSN, payload checksum,
@@ -210,6 +261,12 @@ mod tests {
                 fingerprint: 0xdead_beef_cafe_f00d,
                 ts: 1_754_000_000_123,
                 csv: "a,b\n1,2\n\"x\"\"y\",3\n".into(),
+            },
+            Record::Append {
+                table: "wines".into(),
+                fingerprint: 0x1234_5678_9abc_def0,
+                ts: 1_754_000_000_456,
+                rows: "4,5\n\"q\"\"z\",6\n".into(),
             },
             Record::Tombstone {
                 table: "wines".into(),
@@ -267,6 +324,17 @@ mod tests {
         assert!(Record::decode(r#"{"op":"warp_core_breach"}"#).is_err());
         assert!(Record::decode("not json").is_err());
         assert!(Record::decode(r#"{"op":"ingest","table":"t"}"#).is_err());
+    }
+
+    #[test]
+    fn combine_csv_inserts_exactly_the_missing_newline() {
+        assert_eq!(combine_csv("a,b\n1,2\n", "3,4\n"), "a,b\n1,2\n3,4\n");
+        assert_eq!(combine_csv("a,b\n1,2", "3,4\n"), "a,b\n1,2\n3,4\n");
+        assert_eq!(combine_csv("", "3,4\n"), "3,4\n");
+        // Associativity under normalized (newline-terminated) rows: one
+        // combined batch equals two chained appends byte for byte.
+        let two_step = combine_csv(&combine_csv("h\n1\n", "2\n"), "3\n");
+        assert_eq!(two_step, combine_csv("h\n1\n", "2\n3\n"));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use serde_json::{Number, Value};
 
-use crate::record::Record;
+use crate::record::{combine_csv, Record};
 
 /// Sessions keep at most this many replayable queries, mirroring the
 /// serve layer's history cap. Older queries age out; a restored
@@ -38,6 +38,30 @@ pub enum CsvLoc {
     },
     /// Inside the newest snapshot file.
     Snapshot,
+}
+
+/// Where a table's CSV bytes live once appends exist: the winning
+/// ingest's location plus the append records layered on top of it, in
+/// log order. Reading the chain re-runs the materializer's composition
+/// rule (skip records at or below the base's timestamp, concatenate the
+/// rest), so the export path and replay agree byte for byte. A snapshot
+/// collapses the chain back to a single [`CsvLoc::Snapshot`] base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvChain {
+    /// The winning ingest's CSV (or the snapshot's combined CSV).
+    pub base: CsvLoc,
+    /// Append records extending the base, oldest first.
+    pub appends: Vec<CsvLoc>,
+}
+
+impl CsvChain {
+    /// A chain with no appends.
+    pub fn solo(base: CsvLoc) -> Self {
+        Self {
+            base,
+            appends: Vec::new(),
+        }
+    }
 }
 
 /// A live table as carried by snapshots and replay results.
@@ -88,6 +112,8 @@ struct MatTable {
     ts: u64,
     csv: String,
     loc: CsvLoc,
+    /// Locations of append records applied on top of `loc`, log order.
+    appends: Vec<CsvLoc>,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -119,6 +145,7 @@ impl Materializer {
                         ts: t.ts,
                         csv: t.csv.clone(),
                         loc: CsvLoc::Snapshot,
+                        appends: Vec::new(),
                     },
                 );
             }
@@ -163,8 +190,30 @@ impl Materializer {
                         ts: *ts,
                         csv: csv.clone(),
                         loc,
+                        appends: Vec::new(),
                     },
                 );
+            }
+            Record::Append {
+                table,
+                fingerprint,
+                ts,
+                rows,
+            } => {
+                // Appends extend an existing table and never revive one:
+                // no table (deleted, or its ingest lost the LWW race)
+                // means the append's effect is already void. The same
+                // `ts > table.ts` rule ingests use makes re-application
+                // idempotent — a record also reflected in the snapshot
+                // (the snapshot-race window) ties on ts and is skipped.
+                if let Some(t) = self.tables.get_mut(table) {
+                    if *ts > t.ts {
+                        t.csv = combine_csv(&t.csv, rows);
+                        t.fingerprint = *fingerprint;
+                        t.ts = *ts;
+                        t.appends.push(loc);
+                    }
+                }
             }
             Record::Tombstone { table, ts, stray } => {
                 if self.tables.get(table).is_some_and(|t| t.ts > *ts) {
@@ -250,11 +299,20 @@ impl Materializer {
         }
     }
 
-    /// CSV locations of the live tables, for the log's export index.
-    pub fn csv_locs(&self) -> Vec<(String, CsvLoc)> {
+    /// CSV location chains of the live tables, for the log's export
+    /// index: winning ingest plus the appends layered on top of it.
+    pub fn csv_locs(&self) -> Vec<(String, CsvChain)> {
         self.tables
             .iter()
-            .map(|(name, t)| (name.clone(), t.loc.clone()))
+            .map(|(name, t)| {
+                (
+                    name.clone(),
+                    CsvChain {
+                        base: t.loc.clone(),
+                        appends: t.appends.clone(),
+                    },
+                )
+            })
             .collect()
     }
 }
@@ -527,6 +585,89 @@ mod tests {
         let state = mat.into_state();
         assert_eq!(state.tables.len(), 1);
         assert!(state.tombstones.is_empty());
+    }
+
+    #[test]
+    fn append_extends_csv_and_is_idempotent_by_ts() {
+        let mut mat = Materializer::default();
+        mat.apply(
+            &Record::Ingest {
+                table: "t".into(),
+                fingerprint: 1,
+                ts: 10,
+                csv: "a,b\n1,2\n".into(),
+            },
+            seg(0),
+        );
+        let append = Record::Append {
+            table: "t".into(),
+            fingerprint: 2,
+            ts: 11,
+            rows: "3,4\n".into(),
+        };
+        mat.apply(&append, seg(40));
+        // Re-application (the snapshot-race window) must be a no-op.
+        mat.apply(&append, seg(40));
+        // A stale append (ts at or below the table's) is skipped too.
+        mat.apply(
+            &Record::Append {
+                table: "t".into(),
+                fingerprint: 9,
+                ts: 11,
+                rows: "9,9\n".into(),
+            },
+            seg(80),
+        );
+        // An append to an absent table never creates one.
+        mat.apply(
+            &Record::Append {
+                table: "ghost".into(),
+                fingerprint: 9,
+                ts: 99,
+                rows: "1,1\n".into(),
+            },
+            seg(120),
+        );
+        let chains: std::collections::HashMap<_, _> = mat.csv_locs().into_iter().collect();
+        assert_eq!(chains["t"].appends.len(), 1);
+        let state = mat.into_state();
+        assert_eq!(state.tables.len(), 1);
+        assert_eq!(state.tables[0].csv, "a,b\n1,2\n3,4\n");
+        assert_eq!(state.tables[0].fingerprint, 2);
+        assert_eq!(state.tables[0].ts, 11);
+    }
+
+    #[test]
+    fn append_lost_to_tombstone_stays_dead() {
+        let mut mat = Materializer::default();
+        mat.apply(
+            &Record::Ingest {
+                table: "t".into(),
+                fingerprint: 1,
+                ts: 10,
+                csv: "a\n1\n".into(),
+            },
+            seg(0),
+        );
+        mat.apply(
+            &Record::Tombstone {
+                table: "t".into(),
+                ts: 20,
+                stray: false,
+            },
+            seg(40),
+        );
+        mat.apply(
+            &Record::Append {
+                table: "t".into(),
+                fingerprint: 2,
+                ts: 15,
+                rows: "2\n".into(),
+            },
+            seg(80),
+        );
+        let state = mat.into_state();
+        assert!(state.tables.is_empty());
     }
 
     #[test]

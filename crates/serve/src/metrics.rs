@@ -16,6 +16,7 @@ pub const ROUTE_KEYS: &[&str] = &[
     "metrics",
     "tables",
     "characterize",
+    "rows",
     "csv",
     "sessions",
     "session_step",
@@ -32,6 +33,7 @@ pub fn route_key(method: &str, path: &str) -> &'static str {
         (_, ["metrics"]) => "metrics",
         (_, ["tables"]) | (_, ["tables", _]) => "tables",
         (_, ["tables", _, "characterize"]) => "characterize",
+        (_, ["tables", _, "rows"]) => "rows",
         (_, ["tables", _, "csv"]) => "csv",
         (_, ["sessions"]) | (_, ["sessions", _]) => "sessions",
         (_, ["sessions", _, "step"]) => "session_step",
@@ -82,6 +84,10 @@ pub struct Metrics {
     pub tables_listed: Counter,
     /// `DELETE /tables/{name}` requests that dropped a table.
     pub tables_deleted: Counter,
+    /// `POST /tables/{name}/rows` requests that appended rows.
+    pub appends: Counter,
+    /// Total rows appended across all append requests.
+    pub rows_appended: Counter,
     /// Characterizations served (direct and via session steps),
     /// including ones answered from the report cache.
     pub characterizations: Counter,
@@ -127,6 +133,8 @@ impl Default for Metrics {
             tables_created: Counter::default(),
             tables_listed: Counter::default(),
             tables_deleted: Counter::default(),
+            appends: Counter::default(),
+            rows_appended: Counter::default(),
             characterizations: Counter::default(),
             report_cache_hits: Counter::default(),
             not_modified_total: Counter::default(),
@@ -178,6 +186,8 @@ impl Metrics {
             ("ziggy_tables_created_total", &self.tables_created),
             ("ziggy_tables_listed_total", &self.tables_listed),
             ("ziggy_tables_deleted_total", &self.tables_deleted),
+            ("ziggy_appends_total", &self.appends),
+            ("ziggy_rows_appended_total", &self.rows_appended),
             ("ziggy_characterizations_total", &self.characterizations),
             ("ziggy_report_cache_hits_total", &self.report_cache_hits),
             ("ziggy_not_modified_total", &self.not_modified_total),
@@ -230,6 +240,8 @@ impl Metrics {
                     ("tables_created".into(), num(self.tables_created.get())),
                     ("tables_listed".into(), num(self.tables_listed.get())),
                     ("tables_deleted".into(), num(self.tables_deleted.get())),
+                    ("appends".into(), num(self.appends.get())),
+                    ("rows_appended".into(), num(self.rows_appended.get())),
                     (
                         "characterizations".into(),
                         num(self.characterizations.get()),
@@ -323,6 +335,7 @@ mod tests {
             ("POST", "/tables", "tables"),
             ("DELETE", "/tables/demo", "tables"),
             ("POST", "/tables/demo/characterize", "characterize"),
+            ("POST", "/tables/demo/rows", "rows"),
             ("GET", "/tables/demo/csv", "csv"),
             ("POST", "/sessions", "sessions"),
             ("POST", "/sessions/7/step", "session_step"),

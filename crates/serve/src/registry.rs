@@ -13,9 +13,9 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 use serde_json::Value;
 use ziggy_core::{Ziggy, ZiggyConfig};
-use ziggy_durable::{wall_ms, DurableLog, Record};
+use ziggy_durable::{combine_csv, wall_ms, DurableLog, Record};
 use ziggy_store::csv::{read_csv_str, CsvOptions};
-use ziggy_store::{StatsCache, Table};
+use ziggy_store::{append_rows_csv, StatsCache, Table};
 
 use crate::json::ApiError;
 
@@ -328,6 +328,89 @@ impl TableRegistry {
         Ok(entry)
     }
 
+    /// Appends headerless CSV rows to a live CSV-ingested table.
+    ///
+    /// The append is *incremental* end to end: the new immutable table
+    /// extends the old columns ([`append_rows_csv`] guarantees rebuild
+    /// equivalence), the new engine inherits the warm whole-table
+    /// statistics and zone maps through [`StatsCache::for_appended`]
+    /// (only the tail chunk's summaries rebuild), and every derived
+    /// cache above them starts empty — exactly the artifacts the new
+    /// rows dirty. The append record is WAL-logged **before** the entry
+    /// swap, so replay reproduces the appended table byte-identically
+    /// (fingerprint taken over the combined `old CSV ++ rows` bytes).
+    ///
+    /// Returns the new entry plus the number of rows appended. Sessions
+    /// pinned to the old entry keep reading their snapshot; new
+    /// requests see the appended table.
+    pub fn append_rows(
+        &self,
+        name: &str,
+        rows: &str,
+        config: ZiggyConfig,
+    ) -> Result<(Arc<TableEntry>, usize), ApiError> {
+        let entry = self.get(name)?;
+        if entry.fingerprint.is_none() {
+            return Err(ApiError::conflict(format!(
+                "table `{name}` has no CSV provenance; only CSV-ingested tables accept appends"
+            )));
+        }
+        // Normalize to newline-terminated rows so the logged record,
+        // the fingerprint, and every future combine agree byte for byte.
+        let rows: String = if rows.ends_with('\n') {
+            rows.to_string()
+        } else {
+            format!("{rows}\n")
+        };
+        let new_table = append_rows_csv(entry.table(), &rows, &CsvOptions::default())
+            .map_err(|e| ApiError::unprocessable(format!("append rejected: {e}")))?;
+        let appended = new_table.n_rows() - entry.table().n_rows();
+        let old_csv = entry
+            .export_csv()
+            .ok_or_else(|| ApiError::internal(format!("table `{name}` lost its CSV bytes")))?;
+        let combined = combine_csv(&old_csv, &rows);
+        let fingerprint = fnv1a_64(combined.as_bytes());
+        let ts = self.hlc_now();
+        let cache = Arc::new(entry.cache().for_appended(Arc::new(new_table)));
+        let new_entry = Arc::new(TableEntry {
+            name: name.to_string(),
+            engine: Ziggy::from_stats(cache, config),
+            fingerprint: Some(fingerprint),
+            ts,
+            csv: match &entry.csv {
+                CsvSource::Durable(log) => CsvSource::Durable(Arc::clone(log)),
+                CsvSource::Memory(_) => CsvSource::Memory(Arc::from(combined.as_str())),
+                CsvSource::None => unreachable!("provenance checked above"),
+            },
+        });
+        let mut tables = self.tables.write();
+        // Re-validate under the write lock: a racing delete, re-ingest,
+        // or concurrent append swapped the entry out from under us — the
+        // table this append was computed against is stale.
+        match tables.get(name) {
+            Some(current) if Arc::ptr_eq(current, &entry) => {}
+            _ => {
+                return Err(ApiError::conflict(format!(
+                    "table `{name}` changed during the append; retry"
+                )))
+            }
+        }
+        // WAL before the swap (same discipline as ingest): if the
+        // append record cannot be made durable, the request fails and
+        // the registry still serves the old table.
+        if let CsvSource::Durable(log) = &entry.csv {
+            log.append(&Record::Append {
+                table: name.to_string(),
+                fingerprint,
+                ts,
+                rows,
+            })
+            .map_err(|e| ApiError::internal(format!("durable log append failed: {e}")))?;
+        }
+        tables.insert(name.to_string(), Arc::clone(&new_entry));
+        Ok((new_entry, appended))
+    }
+
     /// Looks up a table by name.
     pub fn get(&self, name: &str) -> Result<Arc<TableEntry>, ApiError> {
         self.tables
@@ -564,8 +647,26 @@ impl TableRegistry {
                 let (uni, pair, freq) = e.cache().sizes();
                 let p = e.engine().prepared_cache().counters();
                 let r = e.engine().report_cache().counters();
+                let (z_skip, z_fill, z_scan) = e.cache().zone_maps().counters();
                 Value::Object(vec![
                     ("name".into(), Value::String(e.name.clone())),
+                    (
+                        "zone_maps".into(),
+                        Value::Object(vec![
+                            (
+                                "chunks_skipped".into(),
+                                Value::Number(serde_json::Number::U(z_skip)),
+                            ),
+                            (
+                                "chunks_filled".into(),
+                                Value::Number(serde_json::Number::U(z_fill)),
+                            ),
+                            (
+                                "chunks_scanned".into(),
+                                Value::Number(serde_json::Number::U(z_scan)),
+                            ),
+                        ]),
+                    ),
                     (
                         "cache".into(),
                         Value::Object(vec![
@@ -799,6 +900,63 @@ mod tests {
         assert!(stones.iter().any(|(name, _, _)| name == "live"));
         // The oldest restored stone (ts=1) was the eviction victim.
         assert!(!stones.iter().any(|(_, ts, _)| *ts == 1));
+    }
+
+    #[test]
+    fn append_rows_matches_full_reingest_fingerprint() {
+        let r = TableRegistry::new();
+        let old = r.insert_csv("t", CSV, ZiggyConfig::default()).unwrap();
+        let (e, appended) = r
+            .append_rows("t", "7,8\n9,10\n", ZiggyConfig::default())
+            .unwrap();
+        assert_eq!(appended, 2);
+        assert_eq!(e.table().n_rows(), 5);
+        assert!(e.ts() > old.ts(), "appends take a fresh HLC tick");
+        // The combined bytes fingerprint exactly as a fresh upload of
+        // `old ++ rows` would — the fleet's idempotency contract.
+        let combined = format!("{CSV}7,8\n9,10\n");
+        assert_eq!(e.fingerprint(), Some(fnv1a_64(combined.as_bytes())));
+        assert_eq!(e.export_csv().as_deref(), Some(combined.as_str()));
+        // Missing trailing newline on the rows is normalized in.
+        let (e, _) = r.append_rows("t", "11,12", ZiggyConfig::default()).unwrap();
+        assert!(e.export_csv().unwrap().ends_with("11,12\n"));
+        // The old pinned entry still serves its snapshot.
+        assert_eq!(old.table().n_rows(), 3);
+    }
+
+    #[test]
+    fn append_rows_guards() {
+        let r = TableRegistry::new();
+        assert_eq!(
+            r.append_rows("ghost", "1,2\n", ZiggyConfig::default())
+                .unwrap_err()
+                .status,
+            404
+        );
+        // Provenance-free tables refuse appends: replay could never
+        // reproduce them.
+        let table = read_csv_str(CSV, &CsvOptions::default()).unwrap();
+        r.insert_table("demo", table, ZiggyConfig::default())
+            .unwrap();
+        assert_eq!(
+            r.append_rows("demo", "1,2\n", ZiggyConfig::default())
+                .unwrap_err()
+                .status,
+            409
+        );
+        // Type-flipping or ragged rows are a 422 and leave the table
+        // untouched.
+        r.insert_csv("t", CSV, ZiggyConfig::default()).unwrap();
+        for bad in ["oops,2\n", "1,2,3\n", ""] {
+            assert_eq!(
+                r.append_rows("t", bad, ZiggyConfig::default())
+                    .unwrap_err()
+                    .status,
+                422,
+                "{bad:?}"
+            );
+        }
+        assert_eq!(r.get("t").unwrap().table().n_rows(), 3);
     }
 
     #[test]

@@ -203,7 +203,7 @@ impl SessionManager {
         let mut kept = Vec::new();
         for q in queries.iter().take(MAX_HISTORY) {
             if let Ok(outcome) = table.engine().characterize_cached(q) {
-                history.push(outcome.cached.report.clone());
+                history.push(outcome.cached.report_with_query(q));
                 kept.push(q.clone());
             }
         }
@@ -303,7 +303,7 @@ impl SessionManager {
         // has asked before skips the pipeline.
         let table = session.lock().table.clone();
         let outcome = table.engine().characterize_cached(query)?;
-        let report = outcome.cached.report.clone();
+        let report = outcome.cached.report_with_query(query);
 
         let mut s = session.lock();
         let diff = s.history.last().map(|prev| diff_reports(prev, &report));

@@ -1,0 +1,255 @@
+//! Incremental row append: extend an immutable [`Table`] with headerless
+//! CSV rows, schema-directed.
+//!
+//! Tables are immutable (every cache layer above the store freezes
+//! derived artifacts against one table identity), so an append builds a
+//! *new* table that shares nothing mutable with the old one. The
+//! contract that makes incremental maintenance sound everywhere else —
+//! replay, repair, replication — is **rebuild equivalence**:
+//!
+//! > appending rows to a CSV-ingested table produces exactly the table
+//! > a full re-ingest of `old CSV ++ appended rows` would produce.
+//!
+//! Cell semantics therefore mirror [`crate::csv::read_csv_str`] verbatim
+//! (trimming, NULL tokens, finite-`f64` numerics, dictionary codes in
+//! first-appearance order). The one thing an append may *not* do is
+//! change a column's inferred type: a non-numeric cell landing in a
+//! numeric column — or a batch that would tip an all-numeric
+//! low-cardinality categorical column over the inference bound — would
+//! make the combined re-ingest disagree with the incremental table, so
+//! those rows are rejected up front and the table is left untouched.
+
+use crate::column::{Column, NULL_CODE};
+use crate::csv::{parse_records, CsvOptions};
+use crate::error::{Result, StoreError};
+use crate::schema::ColumnType;
+use crate::table::{Table, TableBuilder};
+
+/// The numeric-cell criterion of CSV inference: parses as a *finite*
+/// `f64` (`inf`/`NaN` spellings are text, not numbers).
+fn parses_numeric(s: &str) -> bool {
+    s.parse::<f64>().map(|v| v.is_finite()).unwrap_or(false)
+}
+
+/// Appends headerless CSV `rows_text` to `table`, returning the new
+/// table. Errors (ragged rows, empty input, type-flipping cells) leave
+/// no trace — the input table is untouched either way.
+pub fn append_rows_csv(table: &Table, rows_text: &str, options: &CsvOptions) -> Result<Table> {
+    let records = parse_records(rows_text, options.delimiter)?;
+    if records.is_empty() {
+        return Err(StoreError::Csv {
+            line: 1,
+            message: "append body contains no rows".into(),
+        });
+    }
+    let n_cols = table.n_cols();
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != n_cols {
+            return Err(StoreError::Csv {
+                line: i + 1,
+                message: format!("expected {n_cols} fields, found {}", rec.len()),
+            });
+        }
+    }
+    let is_null = |s: &str| s.is_empty() || options.null_tokens.iter().any(|t| t == s);
+
+    let mut builder = TableBuilder::new();
+    for c in 0..n_cols {
+        let meta = table
+            .schema()
+            .column(c)
+            .expect("column index in range")
+            .clone();
+        let cells: Vec<&str> = records.iter().map(|r| r[c].trim()).collect();
+        let column = match meta.ctype {
+            ColumnType::Numeric => {
+                let mut values = table.numeric(c)?.to_vec();
+                values.reserve(cells.len());
+                for (i, cell) in cells.iter().enumerate() {
+                    if is_null(cell) {
+                        values.push(f64::NAN);
+                    } else if parses_numeric(cell) {
+                        values.push(cell.parse::<f64>().expect("validated"));
+                    } else {
+                        return Err(StoreError::Csv {
+                            line: i + 1,
+                            message: format!(
+                                "column `{}` is numeric but got `{cell}`; a full re-ingest \
+                                 would re-type the column, so the append is rejected",
+                                meta.name
+                            ),
+                        });
+                    }
+                }
+                Column::Numeric(values)
+            }
+            ColumnType::Categorical => {
+                let (old_codes, old_labels) = table.categorical(c)?;
+                let mut labels = old_labels.to_vec();
+                let mut codes = old_codes.to_vec();
+                codes.reserve(cells.len());
+                for cell in &cells {
+                    if is_null(cell) {
+                        codes.push(NULL_CODE);
+                    } else {
+                        let code = labels.iter().position(|l| l == cell).unwrap_or_else(|| {
+                            labels.push((*cell).to_string());
+                            labels.len() - 1
+                        });
+                        codes.push(code as u32);
+                    }
+                }
+                // Type-flip guard: if every combined label parses as a
+                // number, a full re-ingest would call this column
+                // numeric — unless the low-cardinality bound still holds
+                // it categorical. (A column with any non-numeric label,
+                // or still all-NULL, can never flip.)
+                let bound = options.max_numeric_cardinality_as_categorical;
+                if !labels.is_empty()
+                    && labels.iter().all(|l| parses_numeric(l))
+                    && (bound == 0 || labels.len() > bound)
+                {
+                    return Err(StoreError::Csv {
+                        line: 1,
+                        message: format!(
+                            "append would re-type column `{}` as numeric (all {} distinct \
+                             values parse as numbers); rejected to keep incremental appends \
+                             equivalent to a full rebuild",
+                            meta.name,
+                            labels.len()
+                        ),
+                    });
+                }
+                Column::Categorical { codes, labels }
+            }
+        };
+        builder.add_column(meta, column);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::{read_csv_str, write_csv_string};
+
+    fn opts() -> CsvOptions {
+        CsvOptions::default()
+    }
+
+    /// Column equality with NaN-as-NULL compared bitwise (plain
+    /// `PartialEq` would fail every NULL numeric cell).
+    fn columns_equal(a: &Column, b: &Column) -> bool {
+        match (a, b) {
+            (Column::Numeric(x), Column::Numeric(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+            }
+            _ => a == b,
+        }
+    }
+
+    #[test]
+    fn append_matches_full_reingest_exactly() {
+        let base = "num,cat\n1.5,x\n2.5,y\n,\n3.5,x\n";
+        let extra = "4.25,z\n?,x\n-1e3,\n";
+        let t = read_csv_str(base, &opts()).unwrap();
+        let appended = append_rows_csv(&t, extra, &opts()).unwrap();
+        let rebuilt = read_csv_str(&format!("{base}{extra}"), &opts()).unwrap();
+        assert_eq!(appended.n_rows(), rebuilt.n_rows());
+        for c in 0..appended.n_cols() {
+            assert!(
+                columns_equal(appended.column(c), rebuilt.column(c)),
+                "column {c}"
+            );
+        }
+        // And the round trip through the writer agrees too.
+        assert_eq!(
+            write_csv_string(&appended, ','),
+            write_csv_string(&rebuilt, ',')
+        );
+    }
+
+    #[test]
+    fn one_at_a_time_equals_batch() {
+        let base = "a,b\n1,x\n2,y\n";
+        let rows = ["3,z", "4,x", "5,"];
+        let t = read_csv_str(base, &opts()).unwrap();
+        let mut incremental = t.clone();
+        for r in rows {
+            incremental = append_rows_csv(&incremental, &format!("{r}\n"), &opts()).unwrap();
+        }
+        let batch = append_rows_csv(&t, &rows.join("\n"), &opts()).unwrap();
+        for c in 0..batch.n_cols() {
+            assert!(columns_equal(incremental.column(c), batch.column(c)));
+        }
+    }
+
+    #[test]
+    fn quoted_fields_and_new_dictionary_labels() {
+        let t = read_csv_str("n,c\n1,alpha\n", &opts()).unwrap();
+        let appended = append_rows_csv(&t, "2,\"beta, with comma\"\n3,alpha\n", &opts()).unwrap();
+        let (codes, labels) = appended.categorical(1).unwrap();
+        assert_eq!(
+            labels,
+            &["alpha".to_string(), "beta, with comma".to_string()]
+        );
+        assert_eq!(codes, &[0, 1, 0]);
+    }
+
+    #[test]
+    fn ragged_and_empty_appends_rejected() {
+        let t = read_csv_str("a,b\n1,x\n", &opts()).unwrap();
+        assert!(matches!(
+            append_rows_csv(&t, "1,2,3\n", &opts()),
+            Err(StoreError::Csv { .. })
+        ));
+        assert!(matches!(
+            append_rows_csv(&t, "", &opts()),
+            Err(StoreError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn non_numeric_cell_in_numeric_column_rejected() {
+        let t = read_csv_str("a,b\n1,x\n2,y\n", &opts()).unwrap();
+        let err = append_rows_csv(&t, "oops,z\n", &opts()).unwrap_err();
+        assert!(err.to_string().contains("re-type"), "{err}");
+        // `inf` parses as f64 but is not a CSV number.
+        assert!(append_rows_csv(&t, "inf,z\n", &opts()).is_err());
+        // NULL tokens are fine.
+        assert!(append_rows_csv(&t, "?,z\n", &opts()).is_ok());
+    }
+
+    #[test]
+    fn all_null_column_type_flip_guard() {
+        // `b` ingests as all-NULL categorical; appending a numeric cell
+        // would make a re-ingest call it numeric, so it is rejected —
+        // while a text cell keeps it categorical and is accepted.
+        let t = read_csv_str("a,b\n1,?\n2,?\n", &opts()).unwrap();
+        assert_eq!(t.schema().column(1).unwrap().ctype, ColumnType::Categorical);
+        assert!(append_rows_csv(&t, "3,7\n", &opts()).is_err());
+        let ok = append_rows_csv(&t, "3,seven\n", &opts()).unwrap();
+        let rebuilt = read_csv_str("a,b\n1,?\n2,?\n3,seven\n", &opts()).unwrap();
+        assert_eq!(ok.column(1), rebuilt.column(1));
+    }
+
+    #[test]
+    fn low_cardinality_bound_guard() {
+        let o = CsvOptions {
+            max_numeric_cardinality_as_categorical: 2,
+            ..CsvOptions::default()
+        };
+        // `flag` is categorical by the bound (2 distinct numeric values).
+        let base = "flag,v\n0,10\n1,20\n0,30\n";
+        let t = read_csv_str(base, &o).unwrap();
+        assert_eq!(t.schema().column(0).unwrap().ctype, ColumnType::Categorical);
+        // A repeat of an existing code stays under the bound: accepted,
+        // and equal to the rebuild.
+        let ok = append_rows_csv(&t, "1,40\n", &o).unwrap();
+        let rebuilt = read_csv_str(&format!("{base}1,40\n"), &o).unwrap();
+        assert_eq!(ok.column(0), rebuilt.column(0));
+        // A third distinct numeric value would tip the re-ingest over
+        // the bound and re-type the column: rejected.
+        assert!(append_rows_csv(&t, "2,50\n", &o).is_err());
+    }
+}

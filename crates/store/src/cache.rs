@@ -42,6 +42,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::{Mutex, RwLock};
 use ziggy_stats::{FrequencyTable, PairMoments, UniMoments};
 
+use crate::chunk::{chunk_bounds, chunk_count, run_indexed, ZoneMaps, CHUNK_ROWS};
 use crate::error::{Result, StoreError};
 use crate::mask::Bitmask;
 use crate::table::Table;
@@ -82,6 +83,48 @@ fn initialized<K, V>(map: &RwLock<HashMap<K, Slot<V>>>) -> usize {
     map.read().values().filter(|s| s.get().is_some()).count()
 }
 
+/// Inserts an already-computed value into a slot map (the
+/// [`StatsCache::for_appended`] seeding path).
+fn seed<K: Eq + Hash + Copy, V>(map: &RwLock<HashMap<K, Slot<V>>>, key: K, value: V) {
+    let slot: Slot<V> = Arc::default();
+    let _ = slot.set(value);
+    map.write().insert(key, slot);
+}
+
+/// New per-chunk partial vector for an appended column: the first
+/// `inherited` entries (chunks full before the append, hence
+/// unchanged) are copied from `old`, the rest recomputed.
+fn extend_partials<T: Clone>(
+    old: &[T],
+    inherited: usize,
+    n_chunks: usize,
+    compute: impl Fn(usize) -> T,
+) -> Arc<Vec<T>> {
+    let mut v = Vec::with_capacity(n_chunks);
+    v.extend_from_slice(&old[..inherited.min(old.len()).min(n_chunks)]);
+    for ci in v.len()..n_chunks {
+        v.push(compute(ci));
+    }
+    Arc::new(v)
+}
+
+/// Frequency partial of one chunk of dictionary codes.
+fn chunk_freq(codes: &[u32], cardinality: usize) -> FrequencyTable {
+    FrequencyTable::from_codes(
+        codes.iter().map(|&c| {
+            if c == crate::column::NULL_CODE {
+                None
+            } else {
+                Some(c)
+            }
+        }),
+        cardinality,
+    )
+}
+
+/// Keyed map of frozen per-chunk partials (one `Vec` entry per chunk).
+type ChunkSlots<K, V> = RwLock<HashMap<K, Slot<Arc<Vec<V>>>>>;
+
 /// Memoized whole-table statistics for one [`Table`].
 ///
 /// The cache holds the table via `Arc`, guaranteeing the statistics
@@ -99,6 +142,20 @@ pub struct StatsCache {
     uni: RwLock<HashMap<usize, Slot<UniMoments>>>,
     pair: RwLock<HashMap<(usize, usize), Slot<PairMoments>>>,
     freq: RwLock<HashMap<usize, Slot<FrequencyTable>>>,
+    /// Frozen per-chunk partials beneath the whole-value slots. Every
+    /// whole-table value above is the *ascending-order merge* of these
+    /// (the canonical arithmetic — serial, parallel, and incremental
+    /// paths all merge in the same order, so they are bit-identical).
+    /// Each partial is a pure function of one chunk's data, which is
+    /// what makes appends incremental: [`StatsCache::for_appended`]
+    /// inherits every full-chunk partial unchanged and rescans only
+    /// from the old tail chunk onward.
+    uni_chunks: ChunkSlots<usize, UniMoments>,
+    pair_chunks: ChunkSlots<(usize, usize), PairMoments>,
+    freq_chunks: ChunkSlots<usize, FrequencyTable>,
+    /// Per-column chunk summaries for predicate-time chunk skipping,
+    /// shared with the evaluator (see [`crate::eval::evaluate_with`]).
+    zones: Arc<ZoneMaps>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -113,14 +170,101 @@ impl StatsCache {
 
     /// Creates an empty cache sharing ownership of `table` (no copy).
     pub fn shared(table: Arc<Table>) -> Self {
+        let zones = Arc::new(ZoneMaps::new(Arc::clone(&table)));
         Self {
             table,
             uni: RwLock::new(HashMap::new()),
             pair: RwLock::new(HashMap::new()),
             freq: RwLock::new(HashMap::new()),
+            uni_chunks: RwLock::new(HashMap::new()),
+            pair_chunks: RwLock::new(HashMap::new()),
+            freq_chunks: RwLock::new(HashMap::new()),
+            zones,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// A cache for `table`, which must be the cached table plus
+    /// appended rows (all old rows unchanged, columns identical). The
+    /// incremental-ingest path: every statistic this cache already
+    /// computed is carried over by reusing the frozen partials of
+    /// chunks the append did not touch and rescanning only the old
+    /// tail chunk onward — O(appended rows) per statistic instead of
+    /// O(table). Carried-over whole values are *seeded* (the first
+    /// lookup is a hit), and because the merge order is canonical, they
+    /// are bit-identical to what a cold cache over the same table would
+    /// compute. Statistics the old cache never computed stay lazy.
+    pub fn for_appended(&self, table: Arc<Table>) -> Self {
+        let old_rows = self.table.n_rows();
+        assert!(
+            table.n_rows() >= old_rows && table.n_cols() == self.table.n_cols(),
+            "for_appended requires the old table plus appended rows"
+        );
+        let fresh = Self {
+            zones: Arc::new(ZoneMaps::for_appended(&self.zones, Arc::clone(&table))),
+            ..Self::shared(table)
+        };
+        // Full chunks of the old table are unchanged in the new one.
+        let inherited = old_rows / CHUNK_ROWS;
+
+        for (&col, slot) in self.uni_chunks.read().iter() {
+            let Some(old) = slot.get() else { continue };
+            let Ok(data) = fresh.table.numeric(col) else {
+                continue;
+            };
+            let partials = extend_partials(old, inherited, chunk_count(data.len()), |ci| {
+                let (s, e) = chunk_bounds(ci, data.len());
+                UniMoments::from_slice(&data[s..e])
+            });
+            let mut whole = UniMoments::new();
+            for p in partials.iter() {
+                whole.merge(p);
+            }
+            seed(&fresh.uni_chunks, col, partials);
+            seed(&fresh.uni, col, whole);
+        }
+
+        for (&key, slot) in self.pair_chunks.read().iter() {
+            let Some(old) = slot.get() else { continue };
+            let (Ok(xs), Ok(ys)) = (fresh.table.numeric(key.0), fresh.table.numeric(key.1)) else {
+                continue;
+            };
+            let partials = extend_partials(old, inherited, chunk_count(xs.len()), |ci| {
+                let (s, e) = chunk_bounds(ci, xs.len());
+                PairMoments::from_slices(&xs[s..e], &ys[s..e]).expect("equal chunk slices")
+            });
+            let mut whole = PairMoments::new();
+            for p in partials.iter() {
+                whole.merge(p);
+            }
+            seed(&fresh.pair_chunks, key, partials);
+            seed(&fresh.pair, key, whole);
+        }
+
+        for (&col, slot) in self.freq_chunks.read().iter() {
+            let Some(old) = slot.get() else { continue };
+            let Ok((codes, labels)) = fresh.table.categorical(col) else {
+                continue;
+            };
+            // An append may have grown the dictionary; old partials
+            // count over the old cardinality and cannot merge with new
+            // ones — recompute that column lazily instead.
+            if old.first().is_some_and(|f| f.cardinality() != labels.len()) {
+                continue;
+            }
+            let partials = extend_partials(old, inherited, chunk_count(codes.len()), |ci| {
+                let (s, e) = chunk_bounds(ci, codes.len());
+                chunk_freq(&codes[s..e], labels.len())
+            });
+            let mut whole = FrequencyTable::new(labels.len());
+            for p in partials.iter() {
+                whole.merge(p).expect("equal cardinalities");
+            }
+            seed(&fresh.freq_chunks, col, partials);
+            seed(&fresh.freq, col, whole);
+        }
+        fresh
     }
 
     /// The table this cache serves.
@@ -151,7 +295,29 @@ impl StatsCache {
         }
     }
 
-    /// Whole-table univariate moments of numeric column `col` (cached).
+    /// Zone maps over this cache's table (per-column chunk summaries),
+    /// shared with the predicate evaluator for chunk skipping.
+    pub fn zone_maps(&self) -> &Arc<ZoneMaps> {
+        &self.zones
+    }
+
+    /// Per-chunk univariate partials of numeric column `col`, computed
+    /// once (chunks scanned in parallel on the worker pool when the
+    /// column spans several) and frozen — the unit of reuse for
+    /// incremental appends.
+    fn uni_partials(&self, col: usize, data: &[f64]) -> Arc<Vec<UniMoments>> {
+        let slot = slot_for(&self.uni_chunks, col);
+        Arc::clone(slot.get_or_init(|| {
+            let n_chunks = chunk_count(data.len());
+            Arc::new(run_indexed(n_chunks, n_chunks >= 2, |ci| {
+                let (s, e) = chunk_bounds(ci, data.len());
+                UniMoments::from_slice(&data[s..e])
+            }))
+        }))
+    }
+
+    /// Whole-table univariate moments of numeric column `col` (cached;
+    /// the ascending merge of the per-chunk partials).
     pub fn uni(&self, col: usize) -> Result<UniMoments> {
         let slot = slot_for(&self.uni, col);
         if let Some(m) = slot.get() {
@@ -162,7 +328,11 @@ impl StatsCache {
         let mut scanned = false;
         let m = *slot.get_or_init(|| {
             scanned = true;
-            UniMoments::from_slice(data)
+            let mut whole = UniMoments::new();
+            for p in self.uni_partials(col, data).iter() {
+                whole.merge(p);
+            }
+            whole
         });
         self.record(!scanned);
         Ok(m)
@@ -191,7 +361,19 @@ impl StatsCache {
         let mut scanned = false;
         let m = *slot.get_or_init(|| {
             scanned = true;
-            PairMoments::from_slices(xs, ys).expect("lengths checked above")
+            let chunk_slot = slot_for(&self.pair_chunks, key);
+            let partials = Arc::clone(chunk_slot.get_or_init(|| {
+                let n_chunks = chunk_count(xs.len());
+                Arc::new(run_indexed(n_chunks, n_chunks >= 2, |ci| {
+                    let (s, e) = chunk_bounds(ci, xs.len());
+                    PairMoments::from_slices(&xs[s..e], &ys[s..e]).expect("lengths checked above")
+                }))
+            }));
+            let mut whole = PairMoments::new();
+            for p in partials.iter() {
+                whole.merge(p);
+            }
+            whole
         });
         self.record(!scanned);
         Ok(m)
@@ -209,16 +391,19 @@ impl StatsCache {
         let t = slot
             .get_or_init(|| {
                 scanned = true;
-                FrequencyTable::from_codes(
-                    codes.iter().map(|&c| {
-                        if c == crate::column::NULL_CODE {
-                            None
-                        } else {
-                            Some(c)
-                        }
-                    }),
-                    labels.len(),
-                )
+                let chunk_slot = slot_for(&self.freq_chunks, col);
+                let partials = Arc::clone(chunk_slot.get_or_init(|| {
+                    let n_chunks = chunk_count(codes.len());
+                    Arc::new(run_indexed(n_chunks, n_chunks >= 2, |ci| {
+                        let (s, e) = chunk_bounds(ci, codes.len());
+                        chunk_freq(&codes[s..e], labels.len())
+                    }))
+                }));
+                let mut whole = FrequencyTable::new(labels.len());
+                for p in partials.iter() {
+                    whole.merge(p).expect("equal cardinalities");
+                }
+                whole
             })
             .clone();
         self.record(!scanned);
@@ -766,6 +951,123 @@ mod tests {
         assert_eq!(builds.load(Ordering::Relaxed), 1);
         let c = cache.counters();
         assert_eq!((c.hits, c.misses), (7, 1));
+    }
+
+    /// Over a multi-chunk column, the ascending chunk merge must agree
+    /// with the single-pass kernel numerically — and on a single-chunk
+    /// column (every table ≤ 64Ki rows) it must be *bit-identical*,
+    /// because merging one partial into an empty accumulator reproduces
+    /// it exactly.
+    #[test]
+    fn chunked_whole_table_stats_match_single_pass() {
+        use crate::chunk::CHUNK_ROWS;
+        // Single chunk: exact equality.
+        let t = sample();
+        let cache = StatsCache::new(&t);
+        let data = t.numeric(0).unwrap();
+        assert_eq!(cache.uni(0).unwrap(), UniMoments::from_slice(data));
+        let (xs, ys) = (t.numeric(0).unwrap(), t.numeric(1).unwrap());
+        assert_eq!(
+            cache.pair(0, 1).unwrap(),
+            PairMoments::from_slices(xs, ys).unwrap()
+        );
+
+        // Multi chunk: same count, tight numeric agreement.
+        let n = 2 * CHUNK_ROWS + 999;
+        let val = |i: usize| {
+            if i.is_multiple_of(101) {
+                f64::NAN
+            } else {
+                ((i % 4099) as f64 - 2000.0) * 0.25
+            }
+        };
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", (0..n).map(val).collect());
+        b.add_numeric("y", (0..n).map(|i| val(i + 7) * 1.5).collect());
+        let big = b.build().unwrap();
+        let cache = StatsCache::new(&big);
+        let whole = cache.uni(0).unwrap();
+        let single = UniMoments::from_slice(big.numeric(0).unwrap());
+        assert_eq!(whole.count(), single.count());
+        close(whole.mean(), single.mean(), 1e-9);
+        close(whole.variance().unwrap(), single.variance().unwrap(), 1e-9);
+        let wp = cache.pair(0, 1).unwrap();
+        let sp =
+            PairMoments::from_slices(big.numeric(0).unwrap(), big.numeric(1).unwrap()).unwrap();
+        assert_eq!(wp.count(), sp.count());
+        close(wp.correlation().unwrap(), sp.correlation().unwrap(), 1e-9);
+    }
+
+    /// `for_appended` must hand back *bit-identical* statistics to a
+    /// cold cache over the appended table — both are the ascending
+    /// merge of identical per-chunk partials, the incremental path just
+    /// reuses the frozen ones. Also checks the seeded lookups count as
+    /// hits (no rescan) and that a grown dictionary falls back safely.
+    #[test]
+    fn for_appended_matches_cold_cache_bitwise() {
+        use crate::chunk::CHUNK_ROWS;
+        let n = CHUNK_ROWS + 500;
+        let val = |i: usize| {
+            if i.is_multiple_of(97) {
+                f64::NAN
+            } else {
+                (i % 211) as f64 * 0.5 - 50.0
+            }
+        };
+        let cat = |i: usize| {
+            if i.is_multiple_of(13) {
+                None
+            } else {
+                Some(["a", "b", "c"][i % 3])
+            }
+        };
+        let build = |rows: usize| {
+            let mut b = TableBuilder::new();
+            b.add_numeric("x", (0..rows).map(val).collect());
+            b.add_numeric("y", (0..rows).map(|i| val(i + 3) * 2.0).collect());
+            b.add_categorical("c", (0..rows).map(cat).collect());
+            Arc::new(b.build().unwrap())
+        };
+        let old_cache = StatsCache::shared(build(n));
+        old_cache.uni(0).unwrap();
+        old_cache.pair(0, 1).unwrap();
+        old_cache.freq(2).unwrap();
+
+        let appended = build(n + 37);
+        let inc = old_cache.for_appended(Arc::clone(&appended));
+        let cold = StatsCache::shared(appended);
+        assert_eq!(inc.uni(0).unwrap(), cold.uni(0).unwrap());
+        assert_eq!(inc.pair(0, 1).unwrap(), cold.pair(0, 1).unwrap());
+        assert_eq!(
+            inc.freq(2).unwrap().counts(),
+            cold.freq(2).unwrap().counts()
+        );
+        // Seeded entries answer as hits: no misses for the carried keys.
+        let c = inc.counters();
+        assert_eq!((c.hits, c.misses), (3, 0), "{c:?}");
+        // Column 1 was never computed on the old cache — stays lazy.
+        assert_eq!(inc.sizes().0, 1);
+        inc.uni(1).unwrap();
+        assert_eq!(inc.counters().misses, 1);
+
+        // A grown dictionary cannot inherit frequency partials; the
+        // column recomputes cold and still matches.
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", (0..n + 1).map(val).collect());
+        b.add_numeric("y", (0..n + 1).map(|i| val(i + 3) * 2.0).collect());
+        b.add_categorical(
+            "c",
+            (0..n + 1)
+                .map(|i| if i == n { Some("NEW") } else { cat(i) })
+                .collect(),
+        );
+        let grown = Arc::new(b.build().unwrap());
+        let inc = old_cache.for_appended(Arc::clone(&grown));
+        let cold = StatsCache::shared(grown);
+        assert_eq!(
+            inc.freq(2).unwrap().counts(),
+            cold.freq(2).unwrap().counts()
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   shared-computation optimization: complement statistics are derived
 //!   algebraically as `whole − selection` instead of re-scanning.
 
+pub mod append;
 pub mod cache;
+pub mod chunk;
 pub mod column;
 pub mod csv;
 pub mod error;
@@ -32,9 +34,14 @@ pub mod parse;
 pub mod schema;
 pub mod table;
 
+pub use append::append_rows_csv;
 pub use cache::{
     masked_freq, masked_freq_naive, masked_pair, masked_uni, KeyedCache, PreparedCache,
     PreparedCounters, StatsCache,
+};
+pub use chunk::{
+    chunk_bounds, chunk_count, run_indexed, summarize_column, ChunkSummary, ZoneMaps, CHUNK_ROWS,
+    WORDS_PER_CHUNK,
 };
 pub use column::Column;
 pub use error::StoreError;

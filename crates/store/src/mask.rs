@@ -122,6 +122,35 @@ impl Bitmask {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Sets every bit in `[start, end)` — the zone-map *fill* fast
+    /// path, which marks a whole proven-hot chunk without per-row
+    /// writes. Panics when the range is inverted or out of bounds.
+    pub fn set_range(&mut self, start: usize, end: usize) {
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds for mask of {} rows",
+            self.len
+        );
+        if start == end {
+            return;
+        }
+        let (first_word, first_bit) = (start / 64, start % 64);
+        let (last_word, last_bit) = ((end - 1) / 64, (end - 1) % 64);
+        // Bits `first_bit..=63` of the first word, `0..=last_bit` of
+        // the last; everything between is a full word.
+        let lo_mask = u64::MAX << first_bit;
+        let hi_mask = u64::MAX >> (63 - last_bit);
+        if first_word == last_word {
+            self.words[first_word] |= lo_mask & hi_mask;
+            return;
+        }
+        self.words[first_word] |= lo_mask;
+        for w in &mut self.words[first_word + 1..last_word] {
+            *w = u64::MAX;
+        }
+        self.words[last_word] |= hi_mask;
+    }
+
     /// In-place intersection. Panics on length mismatch.
     pub fn and_assign(&mut self, other: &Bitmask) {
         assert_eq!(self.len, other.len, "mask length mismatch");
@@ -386,6 +415,32 @@ mod tests {
         let m64 = Bitmask::zeros(64);
         let m65 = Bitmask::zeros(65);
         assert_ne!(m64.fingerprint(), m65.fingerprint());
+    }
+
+    #[test]
+    fn set_range_matches_per_bit_sets() {
+        for len in [1usize, 63, 64, 65, 130, 300] {
+            for (start, end) in [(0, 0), (0, 1), (0, len), (len / 3, 2 * len / 3), (len, len)] {
+                let mut fast = Bitmask::zeros(len);
+                fast.set_range(start, end);
+                let mut slow = Bitmask::zeros(len);
+                for i in start..end {
+                    slow.set(i, true);
+                }
+                assert_eq!(fast, slow, "len {len} range {start}..{end}");
+                let rem = len % 64;
+                assert!(
+                    rem == 0 || fast.words().last().unwrap() >> rem == 0,
+                    "set_range leaked tail bits (len {len}, {start}..{end})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_range_rejects_overflow() {
+        Bitmask::zeros(10).set_range(5, 11);
     }
 
     #[test]

@@ -1,10 +1,16 @@
 //! Property-based tests for the store: CSV round trips with mixed
 //! content, predicate/complement laws, cache subtraction under hostile
-//! masks.
+//! masks, zone-mapped vs. plain selection, and append-vs-rebuild
+//! equivalence.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 use ziggy_store::csv::{read_csv_str, write_csv_string, CsvOptions};
-use ziggy_store::{eval, masked_uni, parse_predicate, Bitmask, StatsCache, TableBuilder};
+use ziggy_store::{
+    append_rows_csv, eval, masked_uni, parse_predicate, Bitmask, StatsCache, TableBuilder,
+    ZoneMaps, CHUNK_ROWS,
+};
 
 /// Strings that are CSV-hostile: commas, quotes, newlines, unicode.
 fn hostile_label() -> impl Strategy<Value = String> {
@@ -108,5 +114,130 @@ proptest! {
     #[test]
     fn parser_never_panics(input in "[ -~]{0,40}") {
         let _ = parse_predicate(&input);
+    }
+}
+
+/// Clustered multi-chunk column built through `prop_map` (which the
+/// shim shrinks by shrinking this source tuple and re-mapping): a
+/// strictly monotone ramp spanning three chunks, optionally descending,
+/// with an optional NULL stripe.
+fn clustered_column() -> impl Strategy<Value = Vec<f64>> {
+    (0usize..800, 0usize..4, any::<bool>()).prop_map(|(extra, nan_stride, descending)| {
+        let n = 2 * CHUNK_ROWS + 17 + extra;
+        (0..n)
+            .map(|i| {
+                if nan_stride > 0 && i % (nan_stride * 997) == 3 {
+                    f64::NAN
+                } else if descending {
+                    (n - i) as f64
+                } else {
+                    i as f64
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    // Each case materializes ~1 MiB of column data and scans it several
+    // times; a handful of cases covers the chunk-boundary geometry.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Zone-mapped selection is bit-identical to the plain scan for
+    /// every operator shape, and on clustered data the summary path
+    /// provably skips *and* fills whole chunks — the soundness +
+    /// usefulness contract of the chunk summaries at once.
+    #[test]
+    fn zone_mapped_selection_is_bit_identical(values in clustered_column(), frac in 0.0..1.0f64) {
+        let mut b = TableBuilder::new();
+        b.add_numeric("x", values.clone());
+        let table = Arc::new(b.build().unwrap());
+        let zones = ZoneMaps::new(Arc::clone(&table));
+        let finite: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        let (lo, hi) = (finite.iter().copied().fold(f64::INFINITY, f64::min),
+                        finite.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        let cut = lo + frac * (hi - lo);
+        let had_nulls = finite.len() < values.len();
+        let (blo, bhi) = (lo + 0.25 * (hi - lo), lo + 0.75 * (hi - lo));
+        for pred in [
+            format!("x >= {cut}"),
+            format!("x < {cut}"),
+            format!("x > {cut}"),
+            format!("x <= {cut}"),
+            format!("x = {cut}"),
+            format!("x != {cut}"),
+            format!("x BETWEEN {blo} AND {bhi}"),
+            format!("NOT x BETWEEN {blo} AND {bhi}"),
+        ] {
+            let plain = eval::select(&table, &pred).unwrap();
+            let mapped = eval::select_with(&table, &pred, Some(&zones)).unwrap();
+            prop_assert_eq!(&plain, &mapped, "zone-mapped mask diverged for {}", pred);
+        }
+        // A monotone ramp puts every chunk's range strictly on one side
+        // of *some* predicate above: skips must have happened, and —
+        // absent NULLs, which veto filling — fills too.
+        let (skipped, filled, _scanned) = zones.counters();
+        prop_assert!(skipped > 0, "clustered data must skip chunks");
+        if !had_nulls {
+            prop_assert!(filled > 0, "NULL-free clustered data must fill chunks");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Appending rows one at a time reproduces the full-CSV build bit
+    /// for bit: identical CSV bytes back out, identical columns, and
+    /// identical whole-table accumulator state through the incremental
+    /// `StatsCache::for_appended` chain — the additive-Kahan contract
+    /// behind the append fast path. NaNs ride along as empty cells.
+    #[test]
+    fn row_at_a_time_appends_match_full_ingest(
+        base in prop::collection::vec((-1e5..1e5f64, -1e3..1e3f64), 2..16),
+        extra in prop::collection::vec((-1e5..1e5f64, -1e3..1e3f64), 1..10)
+            .prop_map(|rows| {
+                // Re-mapped NULL stripe: every third appended row's
+                // second cell becomes NULL (shrinks via the source vec).
+                rows.into_iter()
+                    .enumerate()
+                    .map(|(i, (a, b))| (a, if i % 3 == 2 { f64::NAN } else { b }))
+                    .collect::<Vec<_>>()
+            }),
+    ) {
+        let cell = |v: f64| if v.is_nan() { String::new() } else { format!("{v}") };
+        let row = |&(a, b): &(f64, f64)| format!("{},{}\n", cell(a), cell(b));
+        let base_csv: String =
+            std::iter::once("x,y\n".to_string()).chain(base.iter().map(row)).collect();
+        let full_csv: String = base_csv.clone() + &extra.iter().map(row).collect::<String>();
+
+        // Incremental: ingest the base, then append one row at a time,
+        // threading the stats cache through for_appended at each step.
+        let mut table = Arc::new(read_csv_str(&base_csv, &CsvOptions::default()).unwrap());
+        let mut cache = StatsCache::shared(Arc::clone(&table));
+        cache.uni(0).unwrap(); // warm a seed so inheritance is exercised
+        for r in &extra {
+            table = Arc::new(append_rows_csv(&table, &row(r), &CsvOptions::default()).unwrap());
+            cache = cache.for_appended(Arc::clone(&table));
+        }
+
+        // Rebuild: one cold ingest of the combined CSV.
+        let full = Arc::new(read_csv_str(&full_csv, &CsvOptions::default()).unwrap());
+        let fresh = StatsCache::shared(Arc::clone(&full));
+
+        prop_assert_eq!(table.n_rows(), base.len() + extra.len());
+        prop_assert_eq!(
+            write_csv_string(&table, ','), write_csv_string(&full, ','),
+            "appended table must serialize byte-identically to the rebuild"
+        );
+        for col in 0..2 {
+            let inc = cache.uni(col).unwrap();
+            let cold = fresh.uni(col).unwrap();
+            prop_assert_eq!(inc.count(), cold.count());
+            prop_assert_eq!(inc.sum().to_bits(), cold.sum().to_bits(),
+                "column {} sum accumulator diverged", col);
+            prop_assert_eq!(inc.sum_sq().to_bits(), cold.sum_sq().to_bits(),
+                "column {} sum_sq accumulator diverged", col);
+        }
     }
 }

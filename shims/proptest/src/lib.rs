@@ -8,11 +8,17 @@
 //! On failure the runner **shrinks**: each strategy proposes simpler
 //! candidate values ([`Strategy::shrink`] — binary-search style for
 //! numeric ranges, length/element reduction for vectors), the runner
-//! greedily accepts any candidate that still fails, and the final panic
-//! reports the *minimal* failing input alongside the originally sampled
-//! one. Differences from real proptest: filters resample the whole
-//! value rather than locally rejecting, and `prop_map`/regex strategies
-//! do not shrink (the mapping is not invertible). Sampling is seeded
+//! greedily accepts any candidate that still fails (announcing the
+//! acceptance back via [`Strategy::note_accepted`]), and the final
+//! panic reports the *minimal* failing input alongside the originally
+//! sampled one. `prop_map` is not invertible, so [`Map`] shrinks in
+//! *source space*: it remembers the source behind the value under
+//! shrinking, shrinks that, and re-maps each candidate — exact for
+//! top-level maps, including under `prop_filter` and inside tuples,
+//! best-effort when one mapped strategy feeds many live values at once
+//! (e.g. as a [`collection::vec`] element). Other differences from real
+//! proptest: filters resample the whole value rather than locally
+//! rejecting, and regex strategies do not shrink. Sampling is seeded
 //! from the test function's name, so failures reproduce across runs.
 
 use std::ops::Range;
@@ -121,6 +127,16 @@ pub trait Strategy {
         Vec::new()
     }
 
+    /// Told by the runner that candidate `idx` of the most recent
+    /// [`shrink`](Strategy::shrink) call on `value` now replaces
+    /// `value` as the minimal failing input. Stateless strategies
+    /// ignore this (the default); [`Map`] uses it to advance its
+    /// recorded *source* value in lockstep, and combinators
+    /// ([`Filter`], tuples) translate `idx` and forward so a nested
+    /// map keeps tracking. Forwarders may recompute the proposal list
+    /// — `shrink` is required to be deterministic between acceptances.
+    fn note_accepted(&self, _value: &Self::Value, _idx: usize) {}
+
     /// Restricts the strategy to values satisfying `pred` (resamples on
     /// rejection; panics with `reason` if the filter looks unsatisfiable).
     fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
@@ -135,13 +151,22 @@ pub trait Strategy {
         }
     }
 
-    /// Maps generated values through `f`.
+    /// Maps generated values through `f`. The mapped strategy shrinks
+    /// by shrinking the recorded *source* value and re-mapping (see
+    /// [`Map`]).
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
         F: Fn(Self::Value) -> O,
     {
-        Map { inner: self, f }
+        Map {
+            inner: self,
+            f,
+            state: std::sync::Mutex::new(MapState {
+                current: None,
+                proposed: Vec::new(),
+            }),
+        }
     }
 }
 
@@ -175,19 +200,85 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
             .filter(|v| (self.pred)(v))
             .collect()
     }
+
+    fn note_accepted(&self, value: &Self::Value, idx: usize) {
+        // `shrink` dropped filter-rejected candidates, so the runner's
+        // index counts *surviving* proposals. Recompute the inner list
+        // (deterministic between acceptances) to recover the
+        // pre-filter index, then forward.
+        let mut survivors = 0usize;
+        for (inner_idx, candidate) in self.inner.shrink(value).into_iter().enumerate() {
+            if (self.pred)(&candidate) {
+                if survivors == idx {
+                    self.inner.note_accepted(value, inner_idx);
+                    return;
+                }
+                survivors += 1;
+            }
+        }
+    }
 }
 
-/// See [`Strategy::prop_map`].
-pub struct Map<S, F> {
+/// See [`Strategy::prop_map`]. Because `f` is not invertible, this
+/// strategy shrinks in **source space**: `sample` records the source
+/// behind the value it returns, `shrink` shrinks that recorded source
+/// and re-maps each candidate, and [`Strategy::note_accepted`]
+/// advances the record when the runner adopts a candidate. Exact
+/// whenever one live value is being shrunk at a time (the runner's
+/// protocol); when one `Map` feeds many values at once — e.g. as a
+/// `collection::vec` element — candidates are still valid re-mapped
+/// sources, merely derived from the most recently sampled one.
+pub struct Map<S: Strategy, F> {
     inner: S,
     f: F,
+    state: std::sync::Mutex<MapState<S::Value>>,
 }
 
-impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+struct MapState<V> {
+    /// Source of the value currently under shrinking (the last sample,
+    /// then each accepted candidate's source in turn).
+    current: Option<V>,
+    /// Sources behind the candidates returned by the last `shrink`.
+    proposed: Vec<V>,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F>
+where
+    S::Value: Clone,
+{
     type Value = O;
 
     fn sample(&self, rng: &mut TestRng) -> O {
-        (self.f)(self.inner.sample(rng))
+        let source = self.inner.sample(rng);
+        {
+            let mut state = self.state.lock().expect("map shrink state");
+            state.current = Some(source.clone());
+            state.proposed.clear();
+        }
+        (self.f)(source)
+    }
+
+    fn shrink(&self, _value: &O) -> Vec<O> {
+        let mut state = self.state.lock().expect("map shrink state");
+        let Some(current) = state.current.clone() else {
+            return Vec::new();
+        };
+        state.proposed = self.inner.shrink(&current);
+        state.proposed.iter().cloned().map(&self.f).collect()
+    }
+
+    fn note_accepted(&self, _value: &O, idx: usize) {
+        let mut state = self.state.lock().expect("map shrink state");
+        let Some(source) = state.proposed.get(idx).cloned() else {
+            return;
+        };
+        // Keep a nested map's own record advancing too: `proposed` is
+        // exactly `inner.shrink(current)`, so `idx` is valid there.
+        if let Some(current) = state.current.clone() {
+            self.inner.note_accepted(&current, idx);
+        }
+        state.current = Some(source);
+        state.proposed.clear();
     }
 }
 
@@ -470,6 +561,23 @@ macro_rules! tuple_strategy {
                 )+
                 out
             }
+
+            fn note_accepted(&self, value: &Self::Value, idx: usize) {
+                // Candidates were emitted per component in declaration
+                // order; recompute each component's (deterministic)
+                // proposal count to locate the accepted one, then
+                // forward with the within-component index.
+                let mut idx = idx;
+                $(
+                    let n = self.$idx.shrink(&value.$idx).len();
+                    if idx < n {
+                        self.$idx.note_accepted(&value.$idx, idx);
+                        return;
+                    }
+                    idx -= n;
+                )+
+                let _ = idx;
+            }
         }
     };
 }
@@ -610,12 +718,16 @@ where
         let mut steps = 0usize;
         let mut checks = 0usize;
         'shrinking: loop {
-            for candidate in strategy.shrink(&minimal) {
+            for (idx, candidate) in strategy.shrink(&minimal).into_iter().enumerate() {
                 if checks >= MAX_SHRINK_CHECKS {
                     break 'shrinking;
                 }
                 checks += 1;
                 if let Err(message) = check_quietly(&check, &candidate) {
+                    // Announce before replacing: stateful strategies
+                    // (prop_map) key the index off the value `shrink`
+                    // was called with.
+                    strategy.note_accepted(&minimal, idx);
                     minimal = candidate;
                     failure = message;
                     steps += 1;
@@ -806,6 +918,45 @@ mod tests {
         assert!(
             report.contains("): (52,)"),
             "must shrink to the minimal *even* counterexample: {report}"
+        );
+    }
+
+    #[test]
+    fn mapped_failures_shrink_in_source_space() {
+        // prop_map is not invertible, so the shim shrinks the *source*
+        // and re-maps. The property "v < 100" over
+        // (0..1000).prop_map(n → 2n) has minimal failing source 50:
+        // the report must say exactly (100,), not merely whatever even
+        // value happened to fail first.
+        let report = failing_property_report(
+            "meta::map_minimum",
+            ((0u32..1000).prop_map(|n| n * 2),),
+            |v| {
+                assert!(v.0 < 100, "{} must stay below 100", v.0);
+            },
+        );
+        assert!(
+            report.contains("): (100,)"),
+            "must shrink the mapped value to exactly 100: {report}"
+        );
+    }
+
+    #[test]
+    fn filtered_maps_shrink_and_keep_the_filter() {
+        // Filter over Map: the filter's index translation must keep
+        // the map's source record in lockstep, or the greedy walk
+        // would re-map stale sources and stall. Minimal failing
+        // multiple of four at or above 100 is 100 itself (source 50).
+        let strategy = ((0usize..1000)
+            .prop_map(|n| n * 2)
+            .prop_filter("multiple of four", |n| n % 4 == 0),);
+        let report = failing_property_report("meta::filtered_map_minimum", strategy, |v| {
+            assert_eq!(v.0 % 4, 0, "filter must hold during shrinking");
+            assert!(v.0 < 100, "{} must stay below 100", v.0);
+        });
+        assert!(
+            report.contains("): (100,)"),
+            "must shrink to the minimal multiple of four: {report}"
         );
     }
 

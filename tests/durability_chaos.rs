@@ -90,6 +90,13 @@ fn json_body(fields: &[(&str, &str)]) -> String {
     .unwrap()
 }
 
+/// Total row count seen by a characterize report body.
+fn report_rows(body: &str) -> u64 {
+    let v = serde_json::from_str_value(body).unwrap();
+    let field = |k: &str| v.get(k).unwrap().as_u64().unwrap();
+    field("n_inside") + field("n_outside")
+}
+
 fn lists_table(addr: SocketAddr, table: &str) -> bool {
     let (s, body) = request_once(addr, "GET", "/tables", None).unwrap();
     assert_eq!(s, 200);
@@ -203,6 +210,143 @@ fn sigkill_restart_replays_byte_identical_reports_and_sessions() {
         request_once(child.addr(), "POST", &step_path, Some(&query_body)).unwrap();
     assert_eq!(status, 200, "replayed session must keep stepping: {step2}");
     assert!(step2.contains("\"step\":2"), "{step2}");
+}
+
+#[test]
+fn sigkill_after_appends_replays_the_appended_table_byte_identically() {
+    let binary = Path::new(env!("CARGO_BIN_EXE_ziggy"));
+    let scratch = Scratch::new("append");
+    let mut child = spawn_durable(binary, "solo", &scratch);
+
+    let twin = ziggy::synth::box_office(7);
+    let csv = write_csv_string(&twin.table, ',');
+    let query_body = json_body(&[("query", &twin.predicate)]);
+    let body = json_body(&[("name", "boxoffice"), ("csv", &csv)]);
+    let (status, resp) = request_once(child.addr(), "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+
+    // Append rows recycled from the upload itself (guaranteed to match
+    // the schema), in two separate POSTs so replay must fold two append
+    // records onto the ingest in order.
+    let data_lines: Vec<&str> = csv.lines().skip(1).collect();
+    let batches = [
+        format!("{}\n{}\n", data_lines[0], data_lines[1]),
+        format!("{}\n", data_lines[2]),
+    ];
+    for batch in &batches {
+        let append_body = json_body(&[("rows", batch)]);
+        let (status, resp) = request_once(
+            child.addr(),
+            "POST",
+            "/tables/boxoffice/rows",
+            Some(&append_body),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{resp}");
+    }
+    let combined = format!("{csv}{}{}", batches[0], batches[1]);
+
+    // Baseline wire bytes + validator over the *appended* table.
+    let mut client = Client::connect(child.addr()).unwrap();
+    let (status, headers, baseline) = client
+        .request_with_headers(
+            "POST",
+            "/tables/boxoffice/characterize",
+            &[],
+            Some(&query_body),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{baseline}");
+    assert_eq!(report_rows(&baseline), 903, "{baseline}");
+    let etag = headers
+        .iter()
+        .find(|(k, _)| k == "etag")
+        .map(|(_, v)| v.clone())
+        .expect("characterize must carry an ETag");
+
+    // SIGKILL, restart on the same directory: the ingest record plus
+    // both append records must replay to the same appended table.
+    child.kill();
+    let mut child = spawn_durable(binary, "solo", &scratch);
+
+    let (status, exported) =
+        request_once(child.addr(), "GET", "/tables/boxoffice/csv", None).unwrap();
+    assert_eq!(status, 200);
+    let exported_csv = serde_json::from_str_value(&exported)
+        .unwrap()
+        .get("csv")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert_eq!(
+        exported_csv, combined,
+        "replayed CSV must be ingest bytes plus appended rows, verbatim"
+    );
+    let mut client = Client::connect(child.addr()).unwrap();
+    let (status, _, replayed) = client
+        .request_with_headers(
+            "POST",
+            "/tables/boxoffice/characterize",
+            &[],
+            Some(&query_body),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{replayed}");
+    assert_eq!(
+        replayed, baseline,
+        "replayed appended-table reports must be byte-identical"
+    );
+    let (status, _, empty) = client
+        .request_with_headers(
+            "POST",
+            "/tables/boxoffice/characterize",
+            &[("If-None-Match", &etag)],
+            Some(&query_body),
+        )
+        .unwrap();
+    assert_eq!(
+        status, 304,
+        "the pre-kill ETag must still validate: {empty}"
+    );
+
+    // The replayed table keeps accepting appends, and a second
+    // crash-replay folds the post-restart append record in too.
+    let append_body = json_body(&[("rows", &format!("{}\n", data_lines[3]))]);
+    let (status, resp) = request_once(
+        child.addr(),
+        "POST",
+        "/tables/boxoffice/rows",
+        Some(&append_body),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "append after replay must work: {resp}");
+    child.kill();
+    let child = spawn_durable(binary, "solo", &scratch);
+    let (status, exported) =
+        request_once(child.addr(), "GET", "/tables/boxoffice/csv", None).unwrap();
+    assert_eq!(status, 200);
+    let exported_csv = serde_json::from_str_value(&exported)
+        .unwrap()
+        .get("csv")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert_eq!(
+        exported_csv,
+        format!("{combined}{}\n", data_lines[3]),
+        "appends made after a replay must survive the next crash"
+    );
+    let (status, resp) = request_once(
+        child.addr(),
+        "POST",
+        "/tables/boxoffice/characterize",
+        Some(&query_body),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{resp}");
+    assert_eq!(report_rows(&resp), 904, "{resp}");
 }
 
 #[test]

@@ -349,9 +349,9 @@ fn prepared_stats_build_once_per_predicate_across_clients() {
     );
 
     // And a re-spelling of the first predicate that selects the same
-    // rows hits the *prepared* level (masks are compared by rows, not
-    // text) while building its own report (the label is embedded in the
-    // report body, so report entries key on it).
+    // rows answers from the *report* level: the cache keys on the mask,
+    // not the query text, so no pipeline stage runs at all — only the
+    // requested label is spliced into the response at render time.
     let respelled = json_body(&[("query", "NOT key >= 100")]);
     let (status, body) =
         request_once(addr, "POST", "/tables/p/characterize", Some(&respelled)).unwrap();
@@ -359,9 +359,89 @@ fn prepared_stats_build_once_per_predicate_across_clients() {
     assert!(body.contains("\"query\":\"NOT key >= 100\""), "{body}");
     let (hits, misses, _) = prepared_counters(addr, "p");
     assert_eq!(misses, 2);
-    assert_eq!(hits, 1, "re-spelled predicate reuses the PreparedStats");
-    let (_, misses, _) = report_counters(addr, "p");
-    assert_eq!(misses, 3, "but serializes its own report");
+    assert_eq!(
+        hits, 0,
+        "re-spelled predicate never reaches the prepared level"
+    );
+    let (hits, misses, entries) = report_counters(addr, "p");
+    assert_eq!(misses, 2, "re-spelling is not a rebuild");
+    assert_eq!(hits, CONCURRENT_CLIENTS as u64, "it is a report-cache hit");
+    assert_eq!(entries, 2, "and adds no entry");
+    // Same characterization: the respelled body differs from `first`
+    // only in the query label.
+    let mut relabeled: CharacterizationReport = serde_json::from_str(&body).unwrap();
+    relabeled.timings = StageTimings::default();
+    relabeled.query = "key < 100".to_string();
+    assert_eq!(
+        serde_json::to_string(&relabeled).unwrap(),
+        first,
+        "respelled predicate shares the cached build's bytes"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn respelled_predicates_share_one_cached_build_and_etag() {
+    // The cache-miss bug this pins: `"x > 5"` and `"x>5.0"` select the
+    // same rows, but the level-3 report cache used to key on the query
+    // text, so the respelling paid a second pipeline run and got a
+    // different ETag. Both spellings must now answer from one cached
+    // build, carry the same ETag, and revalidate against each other.
+    let mut csv = String::from("x,y\n");
+    for i in 0..400 {
+        csv.push_str(&format!("{},{}\n", i % 11, (i * 7919) % 31));
+    }
+    let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    let body = json_body(&[("name", "r"), ("csv", &csv)]);
+    let (status, resp) = request_once(addr, "POST", "/tables", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{resp}");
+
+    let mut client = Client::connect(addr).unwrap();
+    let spelled = json_body(&[("query", "x > 5")]);
+    let (status, headers_a, body_a) = client
+        .request_with_headers("POST", "/tables/r/characterize", &[], Some(&spelled))
+        .unwrap();
+    assert_eq!(status, 200, "{body_a}");
+    let etag_a = headers_a
+        .iter()
+        .find(|(k, _)| k == "etag")
+        .map(|(_, v)| v.clone())
+        .unwrap();
+
+    let respelled = json_body(&[("query", "x>5.0")]);
+    let (status, headers_b, body_b) = client
+        .request_with_headers("POST", "/tables/r/characterize", &[], Some(&respelled))
+        .unwrap();
+    assert_eq!(status, 200, "{body_b}");
+    let etag_b = headers_b
+        .iter()
+        .find(|(k, _)| k == "etag")
+        .map(|(_, v)| v.clone())
+        .unwrap();
+    assert_eq!(etag_a, etag_b, "one selection, one ETag");
+    assert!(body_a.contains("\"query\":\"x > 5\""), "{body_a}");
+    assert!(body_b.contains("\"query\":\"x>5.0\""), "{body_b}");
+
+    // One build total: the respelling was a report-cache hit.
+    let (hits, misses, entries) = report_counters(addr, "r");
+    assert_eq!((hits, misses, entries), (1, 1, 1));
+    let (_, prepared_misses, _) = prepared_counters(addr, "r");
+    assert_eq!(prepared_misses, 1, "one prepared build for both spellings");
+
+    // A conditional respelled request revalidates against the other
+    // spelling's tag.
+    let (status, _, not_modified) = client
+        .request_with_headers(
+            "POST",
+            "/tables/r/characterize",
+            &[("If-None-Match", &etag_a)],
+            Some(&respelled),
+        )
+        .unwrap();
+    assert_eq!(status, 304, "{not_modified}");
+    assert!(not_modified.is_empty());
 
     server.shutdown();
 }
